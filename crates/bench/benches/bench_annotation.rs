@@ -1,0 +1,119 @@
+//! Criterion wall-time benches for the annotation manager and A-SQL
+//! operators (experiments E03, E05, E07).
+
+use bdbms_bench::workloads::synthetic_gene_db;
+use bdbms_core::annotation::AnnotationSet;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+/// E05: attaching a column-granularity annotation under both schemes.
+fn bench_attach(c: &mut Criterion) {
+    let rows: Vec<u64> = (0..2000).collect();
+    let mut g = c.benchmark_group("annotation_attach_column");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("cell_scheme", |b| {
+        b.iter_batched(
+            || AnnotationSet::new("a", true),
+            |mut set| {
+                set.add("col ann", "u", 1, black_box(&rows), &[2]);
+                set
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("rect_scheme", |b| {
+        b.iter_batched(
+            || AnnotationSet::new("a", false),
+            |mut set| {
+                set.add("col ann", "u", 1, black_box(&rows), &[2]);
+                set
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// E05: cell lookups under both schemes.
+fn bench_lookup(c: &mut Criterion) {
+    let rows: Vec<u64> = (0..2000).collect();
+    let mut cell = AnnotationSet::new("a", true);
+    let mut rect = AnnotationSet::new("a", false);
+    for set in [&mut cell, &mut rect] {
+        for col in 0..4 {
+            set.add("col ann", "u", 1, &rows, &[col]);
+        }
+        for r in (0..2000).step_by(10) {
+            set.add("row ann", "u", 1, &[r], &[0, 1, 2, 3]);
+        }
+    }
+    let mut g = c.benchmark_group("annotation_cell_lookup");
+    g.sample_size(30);
+    g.bench_function("cell_scheme", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for r in (0..2000u64).step_by(37) {
+                n += cell.for_cell(black_box(r), 2).len();
+            }
+            n
+        })
+    });
+    g.bench_function("rect_scheme_rtree", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for r in (0..2000u64).step_by(37) {
+                n += rect.for_cell(black_box(r), 2).len();
+            }
+            n
+        })
+    });
+    g.bench_function("rect_scheme_scan", |b| {
+        let rs = rect.rect_scheme().unwrap();
+        b.iter(|| {
+            let mut n = 0;
+            for r in (0..2000u64).step_by(37) {
+                n += rs.for_cell_scan(black_box(r), 2).len();
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+/// E07: the Figure 7 SELECT variants.
+fn bench_asql_select(c: &mut Criterion) {
+    let mut db = synthetic_gene_db(1000, 40);
+    let mut g = c.benchmark_group("asql_select_1000rows");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (name, q) in [
+        ("plain", "SELECT * FROM DB1_Gene"),
+        (
+            "annotation",
+            "SELECT * FROM DB1_Gene ANNOTATION(GAnnotation)",
+        ),
+        (
+            "awhere",
+            "SELECT * FROM DB1_Gene ANNOTATION(GAnnotation) AWHERE CONTAINS 'curator'",
+        ),
+        (
+            "filter",
+            "SELECT * FROM DB1_Gene ANNOTATION(GAnnotation) FILTER CONTAINS 'Source'",
+        ),
+        (
+            "intersect_annotated",
+            "SELECT GID, GName, GSequence FROM DB1_Gene ANNOTATION(GAnnotation) \
+             INTERSECT \
+             SELECT GID, GName, GSequence FROM DB2_Gene ANNOTATION(GAnnotation)",
+        ),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| db.execute(black_box(q)).unwrap().rows.len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_attach, bench_lookup, bench_asql_select);
+criterion_main!(benches);

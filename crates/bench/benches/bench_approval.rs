@@ -1,0 +1,71 @@
+//! Criterion benches for content-based approval (E11): the logging
+//! overhead per update and the cost of a disapproval (inverse execution).
+
+use bdbms_bench::workloads::pipeline_db;
+use bdbms_core::Database;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn db_with_approval(n: usize, on: bool) -> Database {
+    let mut db = pipeline_db(n, 30);
+    db.execute("CREATE USER labadmin").unwrap();
+    db.execute("CREATE USER alice").unwrap();
+    db.execute("GRANT SELECT, UPDATE ON Gene TO alice").unwrap();
+    if on {
+        db.execute("START CONTENT APPROVAL ON Gene APPROVED BY labadmin")
+            .unwrap();
+    }
+    db
+}
+
+fn bench_update_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("approval_update_overhead");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for on in [false, true] {
+        g.bench_function(if on { "approval_on" } else { "approval_off" }, |b| {
+            b.iter_batched(
+                || db_with_approval(200, on),
+                |mut db| {
+                    db.execute_as(
+                        "UPDATE Gene SET GSequence = 'CCCGGGAAA' WHERE GID = 'JW0007'",
+                        "alice",
+                    )
+                    .unwrap();
+                    db
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_disapprove(c: &mut Criterion) {
+    let mut g = c.benchmark_group("approval_disapprove");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("disapprove_one_update", |b| {
+        b.iter_batched(
+            || {
+                let mut db = db_with_approval(200, true);
+                db.execute_as(
+                    "UPDATE Gene SET GSequence = 'CCCGGGAAA' WHERE GID = 'JW0007'",
+                    "alice",
+                )
+                .unwrap();
+                let id = db.approval().pending(None)[0].id.raw();
+                (db, id)
+            },
+            |(mut db, id)| {
+                db.execute_as(&format!("DISAPPROVE OPERATION {id}"), "labadmin")
+                    .unwrap();
+                db
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_update_overhead, bench_disapprove);
+criterion_main!(benches);

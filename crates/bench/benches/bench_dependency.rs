@@ -1,0 +1,68 @@
+//! Criterion benches for dependency tracking (E01/E09) and the outdated
+//! bitmaps (E10).
+
+use bdbms_bench::workloads::pipeline_db;
+use bdbms_common::bitmap::CellBitmap;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+/// E01: one gene update cascading through rules r1 (recompute) and r2
+/// (mark outdated).
+fn bench_cascade(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dependency_cascade");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for n in [200usize, 500] {
+        g.bench_function(format!("update_1_gene_of_{n}"), |b| {
+            b.iter_batched(
+                || pipeline_db(n, 60),
+                |mut db| {
+                    db.execute(
+                        "UPDATE Gene SET GSequence = 'GTGGTGGTG' WHERE GID = 'JW0000'",
+                    )
+                    .unwrap();
+                    db
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// E09: closure computation over the rule graph.
+fn bench_closure(c: &mut Criterion) {
+    let db = pipeline_db(10, 30);
+    c.bench_function("closure_of_attribute", |b| {
+        b.iter(|| {
+            db.dependencies()
+                .closure_of_attribute(black_box("Gene"), black_box("GSequence"))
+        })
+    });
+}
+
+/// E10: RLE compression of a realistic (clustered) outdated bitmap.
+fn bench_bitmap_rle(c: &mut Criterion) {
+    let mut bm = CellBitmap::new(20000, 8);
+    for r in 5000..7000 {
+        for col in 0..8 {
+            bm.set(r, col);
+        }
+    }
+    let mut g = c.benchmark_group("bitmap_rle");
+    g.bench_function("compress_row_major", |b| b.iter(|| black_box(&bm).to_rle()));
+    g.bench_function("compress_column_major", |b| {
+        b.iter(|| black_box(&bm).to_rle_column_major())
+    });
+    let rle = bm.to_rle();
+    g.bench_function("point_query_rle", |b| {
+        b.iter(|| rle.get(black_box(6000), black_box(3)))
+    });
+    g.bench_function("point_query_dense", |b| {
+        b.iter(|| bm.get(black_box(6000), black_box(3)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cascade, bench_closure, bench_bitmap_rle);
+criterion_main!(benches);

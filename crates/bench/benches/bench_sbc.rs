@@ -1,0 +1,87 @@
+//! Criterion benches for the SBC-tree vs String B-tree comparison (E12):
+//! insertion and the three search operations on both structures.
+
+use bdbms_bench::workloads::{pattern_from, ss_corpus};
+use bdbms_seq::{SbcTree, StringBTree};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn build_both(corpus: &[Vec<u8>]) -> (StringBTree, SbcTree) {
+    let mut sbt = StringBTree::new();
+    let mut sbc = SbcTree::new();
+    for t in corpus {
+        sbt.insert_text(t);
+        sbc.insert_sequence(t);
+    }
+    (sbt, sbc)
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let corpus = ss_corpus(40, 300, 12.0);
+    let mut g = c.benchmark_group("sbc_insert_40x300");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("string_btree", |b| {
+        b.iter_batched(
+            StringBTree::new,
+            |mut t| {
+                for s in &corpus {
+                    t.insert_text(black_box(s));
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("sbc_tree", |b| {
+        b.iter_batched(
+            SbcTree::new,
+            |mut t| {
+                for s in &corpus {
+                    t.insert_sequence(black_box(s));
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let corpus = ss_corpus(120, 300, 12.0);
+    let (sbt, sbc) = build_both(&corpus);
+    let pat = pattern_from(&corpus, 12, 7);
+    let mut g = c.benchmark_group("sbc_substring_search");
+    g.sample_size(30);
+    g.bench_function("string_btree", |b| {
+        b.iter(|| sbt.substring_search(black_box(&pat)).len())
+    });
+    g.bench_function("sbc_three_sided", |b| {
+        b.iter(|| sbc.substring_search(black_box(&pat)).len())
+    });
+    g.bench_function("sbc_scan_ablation", |b| {
+        b.iter(|| sbc.substring_search_scan(black_box(&pat)).len())
+    });
+    g.finish();
+
+    let prefix = corpus[3][..8].to_vec();
+    let mut g = c.benchmark_group("sbc_prefix_and_range");
+    g.sample_size(30);
+    g.bench_function("prefix_string_btree", |b| {
+        b.iter(|| sbt.prefix_search(black_box(&prefix)).len())
+    });
+    g.bench_function("prefix_sbc", |b| {
+        b.iter(|| sbc.prefix_search(black_box(&prefix)).len())
+    });
+    g.bench_function("range_string_btree", |b| {
+        b.iter(|| sbt.range_search(black_box(b"EE"), black_box(b"HL")).len())
+    });
+    g.bench_function("range_sbc", |b| {
+        b.iter(|| sbc.range_search(black_box(b"EE"), black_box(b"HL")).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_search);
+criterion_main!(benches);

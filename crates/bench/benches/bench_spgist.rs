@@ -1,0 +1,103 @@
+//! Criterion benches for the SP-GiST instantiations vs B+-tree / R-tree
+//! (E-SPGIST): exact / prefix / regex on strings, window / kNN on points.
+
+use bdbms_index::bptree::{prefix_range, BPlusTree};
+use bdbms_index::kdtree::{KdTreeOps, PointQuery};
+use bdbms_index::quadtree::QuadtreeOps;
+use bdbms_index::regex::Regex;
+use bdbms_index::trie::{StrQuery, TrieOps};
+use bdbms_index::{Rect, RTree, SpGist};
+use bdbms_seq::gen;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn string_keys(n: usize) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(5);
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                gen::gene_id(i).into_bytes()
+            } else {
+                gen::dna(&mut rng, 8 + i % 6)
+            }
+        })
+        .collect()
+}
+
+fn bench_strings(c: &mut Criterion) {
+    let keys = string_keys(20000);
+    let mut trie: SpGist<TrieOps, u32> = SpGist::new(TrieOps);
+    let mut bpt: BPlusTree<Vec<u8>, u32> = BPlusTree::new();
+    for (i, k) in keys.iter().enumerate() {
+        trie.insert(k.clone(), i as u32);
+        bpt.insert(k.clone(), i as u32);
+    }
+    let probe = keys[777].clone();
+    let mut g = c.benchmark_group("spgist_strings_20k");
+    g.bench_function("trie_exact", |b| {
+        b.iter(|| trie.search(&StrQuery::Exact(black_box(probe.clone()))).len())
+    });
+    g.bench_function("bptree_exact", |b| {
+        b.iter(|| bpt.get(black_box(&probe)).len())
+    });
+    g.bench_function("trie_prefix", |b| {
+        b.iter(|| trie.search(&StrQuery::Prefix(b"JW00".to_vec())).len())
+    });
+    g.bench_function("bptree_prefix", |b| {
+        b.iter(|| prefix_range(&bpt, black_box(b"JW00")).len())
+    });
+    g.bench_function("trie_regex", |b| {
+        b.iter(|| {
+            let re = Regex::compile("JW0[0-1][0-9][02468]").unwrap();
+            trie.search(&StrQuery::Regex(re)).len()
+        })
+    });
+    g.bench_function("bptree_regex_fullscan", |b| {
+        b.iter(|| {
+            let re = Regex::compile("JW0[0-1][0-9][02468]").unwrap();
+            bpt.iter_all().iter().filter(|(k, _)| re.is_match(k)).count()
+        })
+    });
+    g.finish();
+}
+
+fn bench_points(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let pts: Vec<[f64; 2]> = (0..20000)
+        .map(|_| [rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)])
+        .collect();
+    let mut kd: SpGist<KdTreeOps, u32> = SpGist::new(KdTreeOps);
+    let mut qt: SpGist<QuadtreeOps, u32> = SpGist::new(QuadtreeOps);
+    let mut rt = RTree::new();
+    for (i, p) in pts.iter().enumerate() {
+        kd.insert(*p, i as u32);
+        qt.insert(*p, i as u32);
+        rt.insert(Rect::point(p[0], p[1]), i as u64);
+    }
+    let mut g = c.benchmark_group("spgist_points_20k");
+    let (lo, hi) = ([400.0, 400.0], [425.0, 425.0]);
+    g.bench_function("kdtree_window", |b| {
+        b.iter(|| kd.search(&PointQuery::Window(black_box(lo), black_box(hi))).len())
+    });
+    g.bench_function("quadtree_window", |b| {
+        b.iter(|| qt.search(&PointQuery::Window(black_box(lo), black_box(hi))).len())
+    });
+    g.bench_function("rtree_window", |b| {
+        b.iter(|| rt.search(&Rect::new(black_box(lo), black_box(hi))).len())
+    });
+    g.bench_function("kdtree_knn10", |b| {
+        b.iter(|| kd.knn(black_box(&[500.0, 500.0]), 10).len())
+    });
+    g.bench_function("quadtree_knn10", |b| {
+        b.iter(|| qt.knn(black_box(&[500.0, 500.0]), 10).len())
+    });
+    g.bench_function("rtree_knn10", |b| {
+        b.iter(|| rt.knn(black_box([500.0, 500.0]), 10).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_strings, bench_points);
+criterion_main!(benches);

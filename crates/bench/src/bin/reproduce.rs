@@ -1,0 +1,54 @@
+//! The reproduction harness binary.
+//!
+//! Runs every experiment in DESIGN.md §4 (or the ids passed as arguments)
+//! and prints the paper-vs-measured tables.  `--markdown` renders the
+//! EXPERIMENTS.md body instead of console tables.
+//!
+//! ```text
+//! cargo run -p bdbms-bench --release --bin reproduce            # everything
+//! cargo run -p bdbms-bench --release --bin reproduce -- e12     # one table
+//! cargo run -p bdbms-bench --release --bin reproduce -- --markdown
+//! ```
+
+use std::time::Instant;
+
+use bdbms_bench::{all_experiments, e12_sbc_tree};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let mut experiments = all_experiments();
+    experiments.push(("e12b", e12_sbc_tree::run_prefix_range as fn() -> _));
+
+    let selected: Vec<_> = experiments
+        .into_iter()
+        .filter(|(id, _)| filter.is_empty() || filter.iter().any(|f| f.as_str() == *id))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no experiment matches; known ids:");
+        for (id, _) in all_experiments() {
+            eprintln!("  {id}");
+        }
+        std::process::exit(1);
+    }
+    if !markdown {
+        println!("bdbms reproduction harness — CIDR 2007 paper experiments\n");
+    }
+    let t0 = Instant::now();
+    for (id, f) in selected {
+        let start = Instant::now();
+        let report = f();
+        let elapsed = start.elapsed();
+        if markdown {
+            print!("{}", report.render_markdown());
+        } else {
+            print!("{}", report.render());
+            println!("({id} completed in {:.2}s)\n", elapsed.as_secs_f64());
+        }
+    }
+    if !markdown {
+        println!("total: {:.2}s", t0.elapsed().as_secs_f64());
+    }
+}

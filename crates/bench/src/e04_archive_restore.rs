@@ -1,0 +1,82 @@
+//! E04 — Archive / restore of annotations (Figure 6b/6c, §3.3).
+//!
+//! Archived annotations must disappear from query answers without being
+//! deleted, and restoring must bring them back; the `BETWEEN t1 AND t2`
+//! window selects by creation timestamp.
+
+use std::time::Instant;
+
+use crate::report::{ms, Report};
+use crate::workloads::synthetic_gene_db;
+
+/// E04 report.
+pub fn run() -> Report {
+    let mut r = Report::new(
+        "e04",
+        "annotation archival and restoration (time-windowed)",
+        "§3.3: archived annotations are not propagated with query answers; \
+         restoring makes them propagate again",
+    );
+    r.headers(&[
+        "rows",
+        "anns live",
+        "archived",
+        "live after",
+        "restored",
+        "live final",
+        "archive ms",
+    ]);
+    for n in [500usize, 2000] {
+        let mut db = synthetic_gene_db(n, 30);
+        let count_live = |db: &mut bdbms_core::Database| {
+            db.execute("SELECT * FROM DB1_Gene ANNOTATION(GAnnotation)")
+                .unwrap()
+                .rows
+                .iter()
+                .map(|row| row.all_anns().len())
+                .sum::<usize>()
+        };
+        let before = count_live(&mut db);
+        let t0 = Instant::now();
+        let res = db
+            .execute(
+                "ARCHIVE ANNOTATION FROM DB1_Gene.GAnnotation \
+                 ON (SELECT G.GSequence FROM DB1_Gene G)",
+            )
+            .unwrap();
+        let archive_t = t0.elapsed();
+        let archived: usize = res
+            .message
+            .as_deref()
+            .and_then(|m| m.split(' ').next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let after = count_live(&mut db);
+        let res = db
+            .execute(
+                "RESTORE ANNOTATION FROM DB1_Gene.GAnnotation \
+                 ON (SELECT G.GSequence FROM DB1_Gene G)",
+            )
+            .unwrap();
+        let restored: usize = res
+            .message
+            .as_deref()
+            .and_then(|m| m.split(' ').next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let final_count = count_live(&mut db);
+        assert_eq!(before, final_count, "restore is exact");
+        assert!(after < before);
+        r.row(vec![
+            n.to_string(),
+            before.to_string(),
+            archived.to_string(),
+            after.to_string(),
+            restored.to_string(),
+            final_count.to_string(),
+            ms(archive_t),
+        ]);
+    }
+    r.note("archive/restore round-trips exactly; archived annotations never reach query answers");
+    r
+}

@@ -1,0 +1,103 @@
+//! E10 — Outdated-cell bitmaps: dense vs Run-Length-Encoded (Figure 10).
+//!
+//! The paper: *"To reduce the storage overhead of the maintained bitmaps,
+//! data compression techniques such as Run-Length-Encoding can be used to
+//! effectively compress the bitmaps."*  Sweeps the fraction and the
+//! clustering of outdated cells, showing where RLE wins and where it
+//! loses (scattered bits).
+
+use bdbms_common::bitmap::CellBitmap;
+use rand::Rng;
+
+use crate::report::{ratio, Report};
+use crate::workloads::rng;
+
+const ROWS: usize = 20000;
+const COLS: usize = 8;
+
+fn clustered(frac: f64) -> CellBitmap {
+    let mut bm = CellBitmap::new(ROWS, COLS);
+    let dirty_rows = (ROWS as f64 * frac) as usize;
+    // one contiguous block of rows (e.g. a batch import gone stale)
+    let start = ROWS / 4;
+    for r in start..(start + dirty_rows).min(ROWS) {
+        for c in 0..COLS {
+            bm.set(r, c);
+        }
+    }
+    bm
+}
+
+fn column_stripe(frac: f64) -> CellBitmap {
+    let mut bm = CellBitmap::new(ROWS, COLS);
+    // entire columns outdated (procedure version change — §5's closure of
+    // a procedure produces exactly this shape)
+    let cols = ((COLS as f64 * frac).ceil() as usize).clamp(1, COLS);
+    for r in 0..ROWS {
+        for c in 0..cols {
+            bm.set(r, c);
+        }
+    }
+    bm
+}
+
+fn scattered(frac: f64) -> CellBitmap {
+    let mut rng = rng();
+    let mut bm = CellBitmap::new(ROWS, COLS);
+    let n = (ROWS * COLS) as f64 * frac;
+    for _ in 0..n as usize {
+        bm.set(rng.gen_range(0..ROWS), rng.gen_range(0..COLS));
+    }
+    bm
+}
+
+/// E10 report.
+pub fn run() -> Report {
+    let mut r = Report::new(
+        "e10",
+        "outdated-cell bitmap storage: dense vs RLE (Figure 10)",
+        "RLE effectively compresses the per-table outdated bitmaps",
+    );
+    r.headers(&[
+        "pattern",
+        "outdated frac",
+        "set cells",
+        "dense bytes",
+        "rle row-major",
+        "rle col-major",
+        "dense/best-rle",
+    ]);
+    for frac in [0.001, 0.01, 0.1, 0.5] {
+        for (name, bm) in [
+            ("clustered rows", clustered(frac)),
+            ("column stripe", column_stripe(frac)),
+            ("scattered cells", scattered(frac)),
+        ] {
+            let rle = bm.to_rle();
+            assert_eq!(rle.to_dense(), bm, "lossless");
+            let rle_cm = bm.to_rle_column_major();
+            assert_eq!(rle_cm.to_dense(), bm, "lossless (column-major)");
+            let best = rle.storage_bytes().min(rle_cm.storage_bytes());
+            r.row(vec![
+                name.into(),
+                format!("{frac}"),
+                bm.count_set().to_string(),
+                bm.storage_bytes().to_string(),
+                rle.storage_bytes().to_string(),
+                rle_cm.storage_bytes().to_string(),
+                ratio(bm.storage_bytes() as f64, best as f64),
+            ]);
+        }
+    }
+    r.note(
+        "clustered invalidation (the realistic case: batch updates, procedure \
+         upgrades) compresses by orders of magnitude under the matching run \
+         order; truly scattered bits at high density favour the dense bitmap",
+    );
+    r.note(
+        "ablation: column stripes (procedure-closure invalidation) need \
+         column-major run order — row-major RLE fragments them into one run \
+         per row",
+    );
+    r
+}

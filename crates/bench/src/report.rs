@@ -1,0 +1,163 @@
+//! Experiment report formatting.
+
+/// One experiment's result table, printable and Markdown-renderable.
+pub struct Report {
+    /// Experiment id (DESIGN.md §4).
+    pub id: &'static str,
+    /// Short title.
+    pub title: String,
+    /// The paper artifact / claim being reproduced.
+    pub paper_claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (stringified).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form observations (comparison against the paper).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(id: &'static str, title: &str, paper_claim: &str) -> Report {
+        Report {
+            id,
+            title: title.to_string(),
+            paper_claim: paper_claim.to_string(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Set the header row.
+    pub fn headers(&mut self, hs: &[&str]) -> &mut Self {
+        self.headers = hs.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Append a data row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Append an observation.
+    pub fn note(&mut self, n: impl Into<String>) -> &mut Self {
+        self.notes.push(n.into());
+        self
+    }
+
+    /// Render as an aligned console table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## [{}] {}\n", self.id, self.title));
+        out.push_str(&format!("paper: {}\n\n", self.paper_claim));
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+            }
+            s.trim_end().to_string()
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("* {n}\n"));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Render as a Markdown table section (used to build EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id.to_uppercase(), self.title));
+        out.push_str(&format!("**Paper:** {}\n\n", self.paper_claim));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.headers.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out.push('\n');
+        for n in &self.notes {
+            out.push_str(&format!("* {n}\n"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Format a duration as milliseconds with 3 decimals.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Format a ratio with 1 decimal and an `x` suffix.
+pub fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}x", a / b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_and_carries_notes() {
+        let mut r = Report::new("eXX", "demo", "a claim");
+        r.headers(&["col", "value"]);
+        r.row(vec!["a".into(), "1".into()]);
+        r.row(vec!["long-name".into(), "2".into()]);
+        r.note("all good");
+        let s = r.render();
+        assert!(s.contains("## [eXX] demo"));
+        assert!(s.contains("long-name"));
+        assert!(s.contains("* all good"));
+        let md = r.render_markdown();
+        assert!(md.contains("| col | value |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut r = Report::new("e", "t", "c");
+        r.headers(&["a", "b"]);
+        r.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(ratio(10.0, 2.0), "5.0x");
+        assert_eq!(ratio(1.0, 0.0), "-");
+        assert_eq!(ms(std::time::Duration::from_micros(1500)), "1.500");
+    }
+}

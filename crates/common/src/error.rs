@@ -1,0 +1,129 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible public operation in the bdbms crates returns
+//! [`Result<T>`](Result), so callers handle one error type across the
+//! storage engine, the access methods, and the query engine.
+
+use std::fmt;
+
+/// Convenient alias used across the workspace.
+pub type Result<T> = std::result::Result<T, BdbmsError>;
+
+/// All error conditions surfaced by bdbms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BdbmsError {
+    /// A SQL / A-SQL statement failed to lex or parse.
+    Parse(String),
+    /// A statement referenced a table, column, annotation table, user,
+    /// procedure, or rule that does not exist.
+    NotFound(String),
+    /// An object with the same name already exists.
+    AlreadyExists(String),
+    /// The statement is well-formed but violates a semantic rule
+    /// (type mismatch, arity mismatch, invalid granularity, ...).
+    Invalid(String),
+    /// The current user lacks the privilege for the attempted operation
+    /// (identity-based GRANT/REVOKE check — §6 of the paper).
+    Unauthorized(String),
+    /// A content-based approval constraint rejected the operation
+    /// (content-based authorization — §6 of the paper).
+    ApprovalViolation(String),
+    /// A dependency-rule operation failed (cycle detected, conflicting
+    /// rules, unknown procedure — §5 of the paper).
+    Dependency(String),
+    /// The storage layer failed (page overflow, bad record id, I/O error).
+    Storage(String),
+    /// An expression failed to evaluate at runtime.
+    Eval(String),
+    /// Underlying filesystem error, stringified to keep the type `Clone`.
+    Io(String),
+}
+
+impl BdbmsError {
+    /// Short machine-readable category, handy in tests and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BdbmsError::Parse(_) => "parse",
+            BdbmsError::NotFound(_) => "not_found",
+            BdbmsError::AlreadyExists(_) => "already_exists",
+            BdbmsError::Invalid(_) => "invalid",
+            BdbmsError::Unauthorized(_) => "unauthorized",
+            BdbmsError::ApprovalViolation(_) => "approval",
+            BdbmsError::Dependency(_) => "dependency",
+            BdbmsError::Storage(_) => "storage",
+            BdbmsError::Eval(_) => "eval",
+            BdbmsError::Io(_) => "io",
+        }
+    }
+
+    /// The human-readable message carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            BdbmsError::Parse(m)
+            | BdbmsError::NotFound(m)
+            | BdbmsError::AlreadyExists(m)
+            | BdbmsError::Invalid(m)
+            | BdbmsError::Unauthorized(m)
+            | BdbmsError::ApprovalViolation(m)
+            | BdbmsError::Dependency(m)
+            | BdbmsError::Storage(m)
+            | BdbmsError::Eval(m)
+            | BdbmsError::Io(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for BdbmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for BdbmsError {}
+
+impl From<std::io::Error> for BdbmsError {
+    fn from(e: std::io::Error) -> Self {
+        BdbmsError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = BdbmsError::NotFound("table Gene".into());
+        assert_eq!(e.to_string(), "not_found: table Gene");
+        assert_eq!(e.kind(), "not_found");
+        assert_eq!(e.message(), "table Gene");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("disk on fire");
+        let e: BdbmsError = io.into();
+        assert_eq!(e.kind(), "io");
+        assert!(e.message().contains("disk on fire"));
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let all = [
+            BdbmsError::Parse(String::new()),
+            BdbmsError::NotFound(String::new()),
+            BdbmsError::AlreadyExists(String::new()),
+            BdbmsError::Invalid(String::new()),
+            BdbmsError::Unauthorized(String::new()),
+            BdbmsError::ApprovalViolation(String::new()),
+            BdbmsError::Dependency(String::new()),
+            BdbmsError::Storage(String::new()),
+            BdbmsError::Eval(String::new()),
+            BdbmsError::Io(String::new()),
+        ];
+        let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), all.len());
+    }
+}

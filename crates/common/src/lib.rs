@@ -1,0 +1,31 @@
+//! # bdbms-common
+//!
+//! Shared foundation types for the bdbms workspace — a reproduction of
+//! *"bdbms: A Database Management System for Biological Data"*
+//! (Eltabakh, Ouzzani, Aref — CIDR 2007).
+//!
+//! This crate holds everything the other crates agree on:
+//!
+//! * [`value::Value`] / [`value::DataType`] — the tuple value model,
+//! * [`schema::Schema`] — relation schemas,
+//! * [`error::BdbmsError`] — the workspace-wide error type,
+//! * [`bitmap::CellBitmap`] / [`bitmap::RleBitmap`] — the outdated-cell
+//!   bitmaps of the paper's Figure 10, with the Run-Length-Encoded
+//!   compressed form the paper proposes,
+//! * [`stats::AccessStats`] — logical I/O instrumentation (one node ≈ one
+//!   page) used by every access method so benchmark I/O counts are
+//!   deterministic and comparable,
+//! * [`clock::LogicalClock`] — the timestamp source for annotations,
+//!   provenance, and the content-approval log.
+
+pub mod bitmap;
+pub mod clock;
+pub mod error;
+pub mod ids;
+pub mod schema;
+pub mod stats;
+pub mod value;
+
+pub use error::{BdbmsError, Result};
+pub use schema::{ColumnDef, Schema};
+pub use value::{DataType, Value};

@@ -1,0 +1,348 @@
+//! Content-based update authorization (§6, Figure 11).
+//!
+//! When content approval is active on a table, every INSERT / UPDATE /
+//! DELETE by a non-approver is applied immediately (*"users may be allowed
+//! to view the data pending its approval"*) **and** logged together with
+//! an automatically generated inverse operation: *"for INSERT, a DELETE
+//! statement will be generated, for DELETE, an INSERT statement [...] and
+//! for UPDATE, another UPDATE statement that restores the old values"*.
+//! The approver later approves (log entry closed) or disapproves (the
+//! stored inverse is executed by the `Database`, which also routes the
+//! undo through dependency tracking, as §6's last paragraph requires).
+
+use std::collections::HashMap;
+
+use bdbms_common::ids::OperationId;
+use bdbms_common::{BdbmsError, Result, Value};
+
+/// Approval configuration for one table (Figure 11's START command).
+#[derive(Debug, Clone)]
+pub struct ApprovalConfig {
+    /// Monitored columns, lowercased (`None` = every column).
+    pub columns: Option<Vec<String>>,
+    /// User or group allowed to approve/disapprove.
+    pub approver: String,
+}
+
+/// The inverse operation stored with each log entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InverseOp {
+    /// Inverse of INSERT: delete the inserted row.
+    DeleteRow {
+        /// Row to delete.
+        row_no: u64,
+    },
+    /// Inverse of DELETE: re-insert the old tuple under its old row number.
+    InsertRow {
+        /// Row number to restore.
+        row_no: u64,
+        /// The tuple at deletion time.
+        values: Vec<Value>,
+    },
+    /// Inverse of UPDATE: restore the old cell values.
+    RestoreCells {
+        /// Row to patch.
+        row_no: u64,
+        /// `(column index, old value)` pairs.
+        old: Vec<(usize, Value)>,
+    },
+}
+
+/// Status of a logged operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpStatus {
+    /// Awaiting a decision.
+    Pending,
+    /// Approved: permanent.
+    Approved,
+    /// Disapproved: inverse was executed.
+    Disapproved,
+}
+
+impl std::fmt::Display for OpStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OpStatus::Pending => "pending",
+            OpStatus::Approved => "approved",
+            OpStatus::Disapproved => "disapproved",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One logged update operation.
+#[derive(Debug, Clone)]
+pub struct LoggedOp {
+    /// Log id.
+    pub id: OperationId,
+    /// Table the operation touched.
+    pub table: String,
+    /// Issuing user (§6: "the log stores also the user identifier who
+    /// issued the update operation and the issuing time").
+    pub user: String,
+    /// Issuing time.
+    pub time: u64,
+    /// Human-readable description.
+    pub description: String,
+    /// The stored inverse.
+    pub inverse: InverseOp,
+    /// Current status.
+    pub status: OpStatus,
+}
+
+/// The content-based approval manager.
+#[derive(Default)]
+pub struct ApprovalManager {
+    configs: HashMap<String, ApprovalConfig>,
+    log: Vec<LoggedOp>,
+    next_id: u64,
+}
+
+impl ApprovalManager {
+    /// Fresh manager with approval off everywhere.
+    pub fn new() -> Self {
+        ApprovalManager::default()
+    }
+
+    fn key(table: &str) -> String {
+        table.to_ascii_lowercase()
+    }
+
+    /// Turn approval on for a table (Figure 11 START CONTENT APPROVAL).
+    pub fn start(&mut self, table: &str, columns: Option<Vec<String>>, approver: &str) {
+        self.configs.insert(
+            Self::key(table),
+            ApprovalConfig {
+                columns: columns
+                    .map(|cs| cs.into_iter().map(|c| c.to_ascii_lowercase()).collect()),
+                approver: approver.to_string(),
+            },
+        );
+    }
+
+    /// Turn approval off (STOP CONTENT APPROVAL).  With explicit columns,
+    /// stops monitoring only those; stopping the last column clears the
+    /// config.
+    pub fn stop(&mut self, table: &str, columns: &[String]) {
+        let key = Self::key(table);
+        if columns.is_empty() {
+            self.configs.remove(&key);
+            return;
+        }
+        if let Some(cfg) = self.configs.get_mut(&key) {
+            if let Some(cols) = &mut cfg.columns {
+                cols.retain(|c| {
+                    !columns.iter().any(|x| x.eq_ignore_ascii_case(c))
+                });
+                if cols.is_empty() {
+                    self.configs.remove(&key);
+                }
+            }
+            // configured for all columns: an explicit column list cannot
+            // partially disable it; keep monitoring (caller may STOP fully).
+        }
+    }
+
+    /// The active config for a table, if any.
+    pub fn config(&self, table: &str) -> Option<&ApprovalConfig> {
+        self.configs.get(&Self::key(table))
+    }
+
+    /// Should an operation touching `columns` (indices into the schema,
+    /// by name lowercased) be logged for approval?
+    pub fn monitors(&self, table: &str, touched_columns: &[String]) -> bool {
+        match self.config(table) {
+            None => false,
+            Some(cfg) => match &cfg.columns {
+                None => true,
+                Some(watch) => touched_columns
+                    .iter()
+                    .any(|c| watch.iter().any(|w| w.eq_ignore_ascii_case(c))),
+            },
+        }
+    }
+
+    /// Append a pending operation to the log.
+    pub fn log_operation(
+        &mut self,
+        table: &str,
+        user: &str,
+        time: u64,
+        description: String,
+        inverse: InverseOp,
+    ) -> OperationId {
+        let id = OperationId(self.next_id);
+        self.next_id += 1;
+        self.log.push(LoggedOp {
+            id,
+            table: table.to_string(),
+            user: user.to_string(),
+            time,
+            description,
+            inverse,
+            status: OpStatus::Pending,
+        });
+        id
+    }
+
+    /// The full log (newest last).
+    pub fn log(&self) -> &[LoggedOp] {
+        &self.log
+    }
+
+    /// Pending entries, optionally filtered by table.
+    pub fn pending(&self, table: Option<&str>) -> Vec<&LoggedOp> {
+        self.log
+            .iter()
+            .filter(|op| op.status == OpStatus::Pending)
+            .filter(|op| match table {
+                Some(t) => op.table.eq_ignore_ascii_case(t),
+                None => true,
+            })
+            .collect()
+    }
+
+    /// Look up a log entry.
+    pub fn get(&self, id: OperationId) -> Result<&LoggedOp> {
+        self.log
+            .iter()
+            .find(|op| op.id == id)
+            .ok_or_else(|| BdbmsError::NotFound(format!("operation {id}")))
+    }
+
+    /// Mark an entry decided; returns the entry (with the inverse the
+    /// caller must execute on disapproval).  Fails on double decisions.
+    pub fn decide(&mut self, id: OperationId, approve: bool) -> Result<LoggedOp> {
+        let op = self
+            .log
+            .iter_mut()
+            .find(|op| op.id == id)
+            .ok_or_else(|| BdbmsError::NotFound(format!("operation {id}")))?;
+        if op.status != OpStatus::Pending {
+            return Err(BdbmsError::ApprovalViolation(format!(
+                "operation {id} was already {}",
+                op.status
+            )));
+        }
+        op.status = if approve {
+            OpStatus::Approved
+        } else {
+            OpStatus::Disapproved
+        };
+        Ok(op.clone())
+    }
+
+    /// Bytes of log storage (for the E11 overhead report): description +
+    /// stored inverse values.
+    pub fn log_bytes(&self) -> usize {
+        self.log
+            .iter()
+            .map(|op| {
+                let inv = match &op.inverse {
+                    InverseOp::DeleteRow { .. } => 8,
+                    InverseOp::InsertRow { values, .. } => {
+                        8 + values.iter().map(value_bytes).sum::<usize>()
+                    }
+                    InverseOp::RestoreCells { old, .. } => {
+                        8 + old.iter().map(|(_, v)| 4 + value_bytes(v)).sum::<usize>()
+                    }
+                };
+                40 + op.description.len() + inv
+            })
+            .sum()
+    }
+}
+
+fn value_bytes(v: &Value) -> usize {
+    match v {
+        Value::Text(s) => 5 + s.len(),
+        _ => 9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_stop_and_monitoring() {
+        let mut m = ApprovalManager::new();
+        assert!(!m.monitors("Gene", &["gsequence".into()]));
+        m.start("Gene", None, "labadmin");
+        assert!(m.monitors("gene", &["anything".into()]));
+        m.stop("Gene", &[]);
+        assert!(!m.monitors("Gene", &["anything".into()]));
+
+        // column-scoped monitoring (the paper's GSequence example)
+        m.start("Gene", Some(vec!["GSequence".into()]), "labadmin");
+        assert!(m.monitors("Gene", &["gsequence".into()]));
+        assert!(!m.monitors("Gene", &["gname".into()]));
+        m.stop("Gene", &["GSequence".into()]);
+        assert!(!m.monitors("Gene", &["gsequence".into()]));
+    }
+
+    #[test]
+    fn log_and_decide() {
+        let mut m = ApprovalManager::new();
+        m.start("Gene", None, "labadmin");
+        let id = m.log_operation(
+            "Gene",
+            "alice",
+            7,
+            "UPDATE Gene SET GSequence='GTG' (row 0)".into(),
+            InverseOp::RestoreCells {
+                row_no: 0,
+                old: vec![(2, Value::Text("ATG".into()))],
+            },
+        );
+        assert_eq!(m.pending(None).len(), 1);
+        assert_eq!(m.pending(Some("gene")).len(), 1);
+        assert_eq!(m.pending(Some("other")).len(), 0);
+        let decided = m.decide(id, false).unwrap();
+        assert_eq!(decided.status, OpStatus::Disapproved);
+        assert!(matches!(decided.inverse, InverseOp::RestoreCells { .. }));
+        assert!(m.pending(None).is_empty());
+        // double decision rejected
+        assert_eq!(m.decide(id, true).unwrap_err().kind(), "approval");
+    }
+
+    #[test]
+    fn inverse_shapes() {
+        // the three inverse kinds of §6
+        let ins_inv = InverseOp::DeleteRow { row_no: 5 };
+        let del_inv = InverseOp::InsertRow {
+            row_no: 5,
+            values: vec![Value::Text("JW0080".into())],
+        };
+        let upd_inv = InverseOp::RestoreCells {
+            row_no: 5,
+            old: vec![(1, Value::Int(3))],
+        };
+        assert_ne!(ins_inv, del_inv);
+        assert_ne!(del_inv, upd_inv);
+    }
+
+    #[test]
+    fn log_bytes_grow() {
+        let mut m = ApprovalManager::new();
+        let empty = m.log_bytes();
+        for i in 0..10 {
+            m.log_operation(
+                "T",
+                "u",
+                i,
+                format!("op {i}"),
+                InverseOp::DeleteRow { row_no: i },
+            );
+        }
+        assert!(m.log_bytes() > empty + 10 * 40);
+        assert_eq!(m.log().len(), 10);
+    }
+
+    #[test]
+    fn unknown_operation() {
+        let mut m = ApprovalManager::new();
+        assert!(m.get(OperationId(9)).is_err());
+        assert!(m.decide(OperationId(9), true).is_err());
+    }
+}

@@ -1,0 +1,427 @@
+//! Abstract syntax for SQL and the paper's A-SQL extension.
+//!
+//! The A-SQL grammar is taken directly from the paper's figures:
+//! Figure 4 (`CREATE/DROP ANNOTATION TABLE`), Figure 6 (`ADD / ARCHIVE /
+//! RESTORE ANNOTATION`), Figure 7 (extended `SELECT` with `ANNOTATION`,
+//! `PROMOTE`, `AWHERE`, `AHAVING`, `FILTER`), and Figure 11
+//! (`START/STOP CONTENT APPROVAL`).  A handful of commands the paper
+//! describes in prose but gives no syntax for (approval decisions,
+//! dependency rules, outdated inspection) are defined here and documented
+//! as extensions in DESIGN.md.
+
+use bdbms_common::{DataType, Value};
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal constant.
+    Literal(Value),
+    /// Column reference, optionally qualified (`G.GSequence`).
+    Column(Option<String>, String),
+    /// Unary operators.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operators.
+    Binary(Box<Expr>, BinaryOp, Box<Expr>),
+    /// `expr IS [NOT] NULL`.
+    IsNull(Box<Expr>, bool),
+    /// `expr [NOT] LIKE 'pattern'` (SQL `%`/`_` wildcards).
+    Like(Box<Expr>, String, bool),
+    /// `expr [NOT] IN (v1, v2, ...)`.
+    InList(Box<Expr>, Vec<Expr>, bool),
+    /// Scalar function call (`LENGTH`, `UPPER`, `LOWER`, `ABS`, `SUBSTR`).
+    Call(String, Vec<Expr>),
+    /// Aggregate call inside SELECT/HAVING (`COUNT(*)` = `Count` + `None`).
+    Aggregate(AggFunc, Option<Box<Expr>>),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical negation.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// Comparison operators.
+    Eq,
+    /// `<>` / `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// Logical.
+    And,
+    /// Logical.
+    Or,
+    /// Arithmetic.
+    Add,
+    /// Arithmetic.
+    Sub,
+    /// Arithmetic.
+    Mul,
+    /// Arithmetic.
+    Div,
+    /// Arithmetic remainder.
+    Mod,
+    /// String concatenation (`||`).
+    Concat,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(expr)` / `COUNT(*)`.
+    Count,
+    /// `SUM`.
+    Sum,
+    /// `AVG`.
+    Avg,
+    /// `MIN`.
+    Min,
+    /// `MAX`.
+    Max,
+}
+
+/// One item in a SELECT projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The projected expression (`*` is expanded by the planner).
+    pub expr: Expr,
+    /// `AS alias`.
+    pub alias: Option<String>,
+    /// `PROMOTE (Cj, Ck, …)`: copy annotations from these columns onto
+    /// this projected column (Figure 7).
+    pub promote: Vec<(Option<String>, String)>,
+}
+
+/// Wildcard marker used before expansion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `SELECT *` (optionally `alias.*`).
+    Star(Option<String>),
+    /// Explicit item list.
+    Items(Vec<SelectItem>),
+}
+
+/// A table reference in FROM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name.
+    pub table: String,
+    /// Optional alias.
+    pub alias: Option<String>,
+    /// `ANNOTATION(S1, S2, …)` — which annotation tables to propagate
+    /// from this relation (Figure 7).  Empty = no annotation propagation.
+    pub annotations: Vec<String>,
+}
+
+/// Annotation predicates for AWHERE / AHAVING / FILTER.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnnExpr {
+    /// Annotation body (full text) contains the substring.
+    Contains(String),
+    /// Annotation came from the named annotation table (category check).
+    FromTable(String),
+    /// XML path comparison: `PATH '/Annotation/source' = 'RegulonDB'`.
+    PathEq(String, String),
+    /// Annotation timestamp strictly before `t`.
+    Before(u64),
+    /// Annotation timestamp at or after `t`.
+    After(u64),
+    /// Conjunction.
+    And(Box<AnnExpr>, Box<AnnExpr>),
+    /// Disjunction.
+    Or(Box<AnnExpr>, Box<AnnExpr>),
+    /// Negation.
+    Not(Box<AnnExpr>),
+}
+
+/// The extended SELECT of Figure 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// `DISTINCT`?
+    pub distinct: bool,
+    /// Projection list.
+    pub projection: Projection,
+    /// FROM tables (comma = cross product constrained by WHERE).
+    pub from: Vec<TableRef>,
+    /// Data predicate.
+    pub where_clause: Option<Expr>,
+    /// Annotation predicate over input tuples (Figure 7: AWHERE).
+    pub awhere: Option<AnnExpr>,
+    /// Grouping columns.
+    pub group_by: Vec<(Option<String>, String)>,
+    /// Post-grouping data predicate.
+    pub having: Option<Expr>,
+    /// Post-grouping annotation predicate (Figure 7: AHAVING).
+    pub ahaving: Option<AnnExpr>,
+    /// Annotation filter: keeps tuples, drops non-matching annotations
+    /// (Figure 7: FILTER).
+    pub filter: Option<AnnExpr>,
+    /// `ORDER BY col [DESC]` (extension for deterministic output).
+    pub order_by: Vec<((Option<String>, String), bool)>,
+    /// Trailing set operation, e.g. `… INTERSECT SELECT …`.
+    pub set_op: Option<(SetOp, Box<Select>)>,
+}
+
+/// Set operations with annotation-union semantics (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// Bag-union then duplicate elimination, annotations unioned.
+    Union,
+    /// Tuples in both inputs, annotations unioned from both (the paper's
+    /// gene-table example).
+    Intersect,
+    /// Tuples in the left only; left annotations kept.
+    Except,
+}
+
+/// Target of an `ADD ANNOTATION … ON (…)` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnnTarget {
+    /// Annotate the output cells of a SELECT.
+    Select(Box<Select>),
+    /// Insert-and-annotate (§3.2: link annotations to operations).
+    Insert(Box<Statement>),
+    /// Update-and-annotate.
+    Update(Box<Statement>),
+    /// Delete-and-annotate: deleted tuples go to the table's deletion log
+    /// together with the annotation.
+    Delete(Box<Statement>),
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col type, …)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<(String, DataType)>,
+    },
+    /// `DROP TABLE name`.
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// `CREATE ANNOTATION TABLE ann ON tbl [SCHEME CELL|RECTANGLE]`
+    /// (Figure 4; SCHEME is our ablation extension, default RECTANGLE).
+    CreateAnnotationTable {
+        /// Annotation table (category) name.
+        name: String,
+        /// User table it attaches to.
+        on: String,
+        /// `true` = per-cell scheme (Figure 3), `false` = compact
+        /// rectangle scheme (Figure 5).
+        cell_scheme: bool,
+    },
+    /// `DROP ANNOTATION TABLE ann ON tbl` (Figure 4).
+    DropAnnotationTable {
+        /// Annotation table name.
+        name: String,
+        /// User table.
+        on: String,
+    },
+    /// `ADD ANNOTATION TO t.a[, t.b] VALUE 'body' ON (…)` (Figure 6a).
+    AddAnnotation {
+        /// `(user_table, annotation_table)` pairs receiving the annotation.
+        to: Vec<(String, String)>,
+        /// Annotation body (XML or free text).
+        value: String,
+        /// What to annotate.
+        on: AnnTarget,
+    },
+    /// `ARCHIVE ANNOTATION FROM t.a[,…] [BETWEEN t1 AND t2] ON (SELECT …)`
+    /// (Figure 6b).
+    ArchiveAnnotation {
+        /// Annotation tables to archive from.
+        from: Vec<(String, String)>,
+        /// Optional timestamp window.
+        between: Option<(u64, u64)>,
+        /// Cells whose annotations are archived.
+        on: Select,
+    },
+    /// `RESTORE ANNOTATION …` (Figure 6c).
+    RestoreAnnotation {
+        /// Annotation tables to restore into.
+        from: Vec<(String, String)>,
+        /// Optional timestamp window.
+        between: Option<(u64, u64)>,
+        /// Cells whose annotations are restored.
+        on: Select,
+    },
+    /// A (possibly compound) SELECT.
+    Select(Select),
+    /// `INSERT INTO t VALUES (…), (…)`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Row literals.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// `UPDATE t SET c = e, … [WHERE …]`.
+    Update {
+        /// Target table.
+        table: String,
+        /// Assignments.
+        sets: Vec<(String, Expr)>,
+        /// Row predicate.
+        where_clause: Option<Expr>,
+    },
+    /// `DELETE FROM t [WHERE …]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Row predicate.
+        where_clause: Option<Expr>,
+    },
+    /// `CREATE USER name [IN GROUP g]`.
+    CreateUser {
+        /// User name.
+        name: String,
+        /// Optional group memberships.
+        groups: Vec<String>,
+    },
+    /// `GRANT priv[, …] ON t TO user` (§6: the classic model bdbms keeps).
+    Grant {
+        /// Privileges.
+        privileges: Vec<Privilege>,
+        /// Table.
+        table: String,
+        /// Grantee (user or group).
+        to: String,
+    },
+    /// `REVOKE priv[, …] ON t FROM user`.
+    Revoke {
+        /// Privileges.
+        privileges: Vec<Privilege>,
+        /// Table.
+        table: String,
+        /// Target.
+        from: String,
+    },
+    /// `START CONTENT APPROVAL ON t [COLUMNS c,…] APPROVED BY u` (Fig 11).
+    StartContentApproval {
+        /// Monitored table.
+        table: String,
+        /// Monitored columns (empty = all).
+        columns: Vec<String>,
+        /// Approver (user or group).
+        approved_by: String,
+    },
+    /// `STOP CONTENT APPROVAL ON t [COLUMNS c,…]` (Figure 11).
+    StopContentApproval {
+        /// Table.
+        table: String,
+        /// Columns (empty = all).
+        columns: Vec<String>,
+    },
+    /// `APPROVE OPERATION n` (extension: the paper describes the decision
+    /// but gives no syntax).
+    ApproveOperation {
+        /// Pending operation id.
+        id: u64,
+    },
+    /// `DISAPPROVE OPERATION n` — executes the stored inverse statement.
+    DisapproveOperation {
+        /// Pending operation id.
+        id: u64,
+    },
+    /// `SHOW PENDING OPERATIONS [ON t]` (extension).
+    ShowPending {
+        /// Optional table filter.
+        table: Option<String>,
+    },
+    /// `CREATE DEPENDENCY RULE name FROM t.c[, t.c2] TO t2.c3 VIA
+    /// PROCEDURE 'p' [EXECUTABLE] [INVERTIBLE] [LINK t.k = t2.k2]`
+    /// (§5 Procedural Dependencies; syntax is our extension).
+    CreateDependencyRule {
+        /// Rule name.
+        name: String,
+        /// Source columns (single table).
+        from: Vec<(String, String)>,
+        /// Target column.
+        to: (String, String),
+        /// Procedure name.
+        procedure: String,
+        /// Can the DBMS run the procedure (§5: executable)?
+        executable: bool,
+        /// Is the procedure invertible (§5)?
+        invertible: bool,
+        /// Row linkage `src_col = dst_col`; `None` = same row.
+        link: Option<(String, String)>,
+    },
+    /// `DROP DEPENDENCY RULE name`.
+    DropDependencyRule {
+        /// Rule name.
+        name: String,
+    },
+    /// `SHOW OUTDATED [ON t]` — report outdated cells (§5).
+    ShowOutdated {
+        /// Optional table filter.
+        table: Option<String>,
+    },
+    /// `VALIDATE t [WHERE …]` — revalidate outdated cells (§5:
+    /// "Validating outdated data").
+    Validate {
+        /// Table.
+        table: String,
+        /// Which columns to revalidate (empty = all).
+        columns: Vec<String>,
+        /// Row predicate.
+        where_clause: Option<Expr>,
+    },
+}
+
+/// Table privileges of the GRANT/REVOKE model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Privilege {
+    /// Read rows.
+    Select,
+    /// Insert rows.
+    Insert,
+    /// Update cells.
+    Update,
+    /// Delete rows.
+    Delete,
+    /// Insert/maintain provenance annotations (§4: provenance writes are
+    /// restricted to integration tools).
+    Provenance,
+}
+
+impl Privilege {
+    /// Parse a privilege keyword.
+    pub fn parse(s: &str) -> Option<Privilege> {
+        match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Some(Privilege::Select),
+            "INSERT" => Some(Privilege::Insert),
+            "UPDATE" => Some(Privilege::Update),
+            "DELETE" => Some(Privilege::Delete),
+            "PROVENANCE" => Some(Privilege::Provenance),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Privilege {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Privilege::Select => "SELECT",
+            Privilege::Insert => "INSERT",
+            Privilege::Update => "UPDATE",
+            Privilege::Delete => "DELETE",
+            Privilege::Provenance => "PROVENANCE",
+        };
+        f.write_str(s)
+    }
+}

@@ -1,0 +1,198 @@
+//! Identity-based authorization: the classic GRANT/REVOKE model (§6).
+//!
+//! The paper keeps GRANT/REVOKE and layers content-based approval *on top*
+//! ("the proposed content-based approval mechanism works with, not in
+//! replacement to, existing GRANT/REVOKE mechanisms").  This module is the
+//! GRANT/REVOKE half; [`crate::approval`] is the content-based half.
+
+use std::collections::{HashMap, HashSet};
+
+use bdbms_common::{BdbmsError, Result};
+
+use crate::ast::Privilege;
+
+/// The built-in superuser.
+pub const ADMIN: &str = "admin";
+
+/// Users, groups, and table privileges.
+pub struct AuthManager {
+    /// user → groups.
+    users: HashMap<String, Vec<String>>,
+    /// (grantee lowercased, table lowercased) → privileges.  The grantee
+    /// may be a user or a group name.
+    grants: HashMap<(String, String), HashSet<Privilege>>,
+}
+
+impl AuthManager {
+    /// A fresh manager with only the `admin` superuser.
+    pub fn new() -> Self {
+        let mut users = HashMap::new();
+        users.insert(ADMIN.to_string(), Vec::new());
+        AuthManager {
+            users,
+            grants: HashMap::new(),
+        }
+    }
+
+    fn key(s: &str) -> String {
+        s.to_ascii_lowercase()
+    }
+
+    /// Create a user with optional group memberships.
+    pub fn create_user(&mut self, name: &str, groups: &[String]) -> Result<()> {
+        let key = Self::key(name);
+        if self.users.contains_key(&key) {
+            return Err(BdbmsError::AlreadyExists(format!("user `{name}`")));
+        }
+        self.users
+            .insert(key, groups.iter().map(|g| Self::key(g)).collect());
+        Ok(())
+    }
+
+    /// Does the user exist?
+    pub fn user_exists(&self, name: &str) -> bool {
+        self.users.contains_key(&Self::key(name))
+    }
+
+    /// Groups of a user.
+    pub fn groups_of(&self, user: &str) -> &[String] {
+        self.users
+            .get(&Self::key(user))
+            .map(|g| g.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Is `user` the named principal, or a member of it (group)?
+    pub fn acts_as(&self, user: &str, principal: &str) -> bool {
+        let u = Self::key(user);
+        let p = Self::key(principal);
+        u == p || self.groups_of(user).contains(&p)
+    }
+
+    /// Grant privileges on a table to a user or group.
+    pub fn grant(&mut self, grantee: &str, table: &str, privileges: &[Privilege]) {
+        let e = self
+            .grants
+            .entry((Self::key(grantee), Self::key(table)))
+            .or_default();
+        e.extend(privileges.iter().copied());
+    }
+
+    /// Revoke privileges.
+    pub fn revoke(&mut self, grantee: &str, table: &str, privileges: &[Privilege]) {
+        if let Some(e) = self
+            .grants
+            .get_mut(&(Self::key(grantee), Self::key(table)))
+        {
+            for p in privileges {
+                e.remove(p);
+            }
+        }
+    }
+
+    /// Does `user` hold `privilege` on `table` (directly, via a group, or
+    /// as admin)?  Ownership is checked by the caller, which knows the
+    /// table's owner.
+    pub fn has_privilege(&self, user: &str, table: &str, privilege: Privilege) -> bool {
+        if Self::key(user) == ADMIN {
+            return true;
+        }
+        let t = Self::key(table);
+        let direct = self
+            .grants
+            .get(&(Self::key(user), t.clone()))
+            .is_some_and(|s| s.contains(&privilege));
+        if direct {
+            return true;
+        }
+        self.groups_of(user)
+            .iter()
+            .any(|g| {
+                self.grants
+                    .get(&(g.clone(), t.clone()))
+                    .is_some_and(|s| s.contains(&privilege))
+            })
+    }
+
+    /// Error unless the privilege is held (owner always passes).
+    pub fn check(
+        &self,
+        user: &str,
+        table: &str,
+        owner: &str,
+        privilege: Privilege,
+    ) -> Result<()> {
+        if Self::key(user) == Self::key(owner) || self.has_privilege(user, table, privilege)
+        {
+            Ok(())
+        } else {
+            Err(BdbmsError::Unauthorized(format!(
+                "user `{user}` lacks {privilege} on `{table}`"
+            )))
+        }
+    }
+}
+
+impl Default for AuthManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admin_has_everything() {
+        let a = AuthManager::new();
+        assert!(a.has_privilege("admin", "Gene", Privilege::Delete));
+        assert!(a.check("admin", "Gene", "someone", Privilege::Update).is_ok());
+    }
+
+    #[test]
+    fn grant_and_revoke() {
+        let mut a = AuthManager::new();
+        a.create_user("alice", &[]).unwrap();
+        assert!(!a.has_privilege("alice", "Gene", Privilege::Select));
+        a.grant("alice", "Gene", &[Privilege::Select, Privilege::Update]);
+        assert!(a.has_privilege("alice", "gene", Privilege::Select));
+        assert!(a.has_privilege("alice", "GENE", Privilege::Update));
+        assert!(!a.has_privilege("alice", "Gene", Privilege::Delete));
+        a.revoke("alice", "Gene", &[Privilege::Update]);
+        assert!(!a.has_privilege("alice", "Gene", Privilege::Update));
+        assert!(a.has_privilege("alice", "Gene", Privilege::Select));
+    }
+
+    #[test]
+    fn group_privileges() {
+        let mut a = AuthManager::new();
+        a.create_user("bob", &["lab1".to_string()]).unwrap();
+        a.grant("lab1", "Gene", &[Privilege::Insert]);
+        assert!(a.has_privilege("bob", "Gene", Privilege::Insert));
+        assert!(!a.has_privilege("bob", "Gene", Privilege::Delete));
+    }
+
+    #[test]
+    fn acts_as_user_or_group() {
+        let mut a = AuthManager::new();
+        a.create_user("carol", &["curators".to_string()]).unwrap();
+        assert!(a.acts_as("carol", "carol"));
+        assert!(a.acts_as("carol", "Curators"));
+        assert!(!a.acts_as("carol", "lab1"));
+    }
+
+    #[test]
+    fn owner_bypasses_grants() {
+        let a = AuthManager::new();
+        assert!(a.check("dave", "Gene", "dave", Privilege::Delete).is_ok());
+        assert!(a.check("dave", "Gene", "erin", Privilege::Delete).is_err());
+    }
+
+    #[test]
+    fn duplicate_user_rejected() {
+        let mut a = AuthManager::new();
+        a.create_user("x", &[]).unwrap();
+        assert!(a.create_user("X", &[]).is_err());
+    }
+}

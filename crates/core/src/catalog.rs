@@ -1,0 +1,402 @@
+//! The catalog: tables, their heaps, annotation sets, and outdated bitmaps.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bdbms_common::bitmap::CellBitmap;
+use bdbms_common::{BdbmsError, Result, Schema, Value};
+use bdbms_storage::{BufferPool, HeapFile, Rid};
+
+use crate::annotation::AnnotationSet;
+
+/// A row preserved in the deletion log (§3.2: *"the deleted tuples will be
+/// stored in separate log tables along with the annotation that specifies
+/// why these tuples have been deleted"*).
+#[derive(Debug, Clone)]
+pub struct DeletedRow {
+    /// The row number the tuple had while alive.
+    pub row_no: u64,
+    /// The tuple values at deletion time.
+    pub values: Vec<Value>,
+    /// The "why deleted" annotation, if the deletion was issued through
+    /// `ADD ANNOTATION … ON (DELETE …)`.
+    pub annotation: Option<String>,
+    /// Deletion timestamp.
+    pub time: u64,
+    /// Who deleted it.
+    pub user: String,
+}
+
+/// One user table.
+pub struct Table {
+    /// Case-preserved name.
+    pub name: String,
+    /// Relation schema.
+    pub schema: Schema,
+    /// Owner (may GRANT, start approval, drop).
+    pub owner: String,
+    heap: HeapFile,
+    rows: BTreeMap<u64, Rid>,
+    next_row: u64,
+    /// Annotation tables attached to this relation (§3.1).
+    pub ann_sets: Vec<AnnotationSet>,
+    /// Outdated-cell bitmap (§5, Figure 10), indexed `[row_no][col]`.
+    pub outdated: CellBitmap,
+    /// Deletion log.
+    pub deleted_log: Vec<DeletedRow>,
+}
+
+impl Table {
+    /// Create an empty table on the shared buffer pool.
+    pub fn create(
+        name: impl Into<String>,
+        schema: Schema,
+        owner: impl Into<String>,
+        pool: Arc<BufferPool>,
+    ) -> Result<Table> {
+        let arity = schema.arity();
+        Ok(Table {
+            name: name.into(),
+            schema,
+            owner: owner.into(),
+            heap: HeapFile::create(pool)?,
+            rows: BTreeMap::new(),
+            next_row: 0,
+            ann_sets: Vec::new(),
+            outdated: CellBitmap::new(0, arity),
+            deleted_log: Vec::new(),
+        })
+    }
+
+    fn encode_row(row_no: u64, values: &[Value]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16 + values.len() * 8);
+        buf.extend_from_slice(&row_no.to_le_bytes());
+        for v in values {
+            v.encode(&mut buf);
+        }
+        buf
+    }
+
+    fn decode_row(buf: &[u8], arity: usize) -> Result<(u64, Vec<Value>)> {
+        if buf.len() < 8 {
+            return Err(BdbmsError::Storage("row record too short".into()));
+        }
+        let row_no = u64::from_le_bytes(buf[..8].try_into().unwrap());
+        let mut pos = 8;
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            values.push(Value::decode(buf, &mut pos)?);
+        }
+        Ok((row_no, values))
+    }
+
+    /// Insert a row (validated/coerced against the schema); returns its
+    /// stable row number.
+    pub fn insert(&mut self, values: Vec<Value>) -> Result<u64> {
+        let values = self.schema.check_row(values)?;
+        let row_no = self.next_row;
+        self.insert_with_row_no(row_no, values)
+    }
+
+    /// Insert preserving a specific row number (used by disapproval
+    /// inverses restoring deleted rows).
+    pub fn insert_with_row_no(&mut self, row_no: u64, values: Vec<Value>) -> Result<u64> {
+        if self.rows.contains_key(&row_no) {
+            return Err(BdbmsError::Invalid(format!(
+                "row {row_no} already exists in {}",
+                self.name
+            )));
+        }
+        let values = self.schema.check_row(values)?;
+        let rid = self.heap.insert(&Self::encode_row(row_no, &values))?;
+        self.rows.insert(row_no, rid);
+        self.next_row = self.next_row.max(row_no + 1);
+        if self.outdated.rows() <= row_no as usize {
+            self.outdated.grow_rows(row_no as usize + 1);
+        }
+        Ok(row_no)
+    }
+
+    /// Fetch a row by number.
+    pub fn get(&self, row_no: u64) -> Result<Vec<Value>> {
+        let rid = *self
+            .rows
+            .get(&row_no)
+            .ok_or_else(|| BdbmsError::NotFound(format!("row {row_no} in {}", self.name)))?;
+        let buf = self.heap.get(rid)?;
+        let (no, values) = Self::decode_row(&buf, self.schema.arity())?;
+        debug_assert_eq!(no, row_no);
+        Ok(values)
+    }
+
+    /// Overwrite a row in place.
+    pub fn update(&mut self, row_no: u64, values: Vec<Value>) -> Result<()> {
+        let values = self.schema.check_row(values)?;
+        let rid = *self
+            .rows
+            .get(&row_no)
+            .ok_or_else(|| BdbmsError::NotFound(format!("row {row_no} in {}", self.name)))?;
+        let new_rid = self.heap.update(rid, &Self::encode_row(row_no, &values))?;
+        self.rows.insert(row_no, new_rid);
+        Ok(())
+    }
+
+    /// Delete a row; returns its last values.
+    pub fn delete(&mut self, row_no: u64) -> Result<Vec<Value>> {
+        let values = self.get(row_no)?;
+        let rid = self.rows.remove(&row_no).expect("checked by get");
+        self.heap.delete(rid)?;
+        // clear outdated bits of the dead row
+        for c in 0..self.schema.arity() {
+            self.outdated.clear(row_no as usize, c);
+        }
+        Ok(values)
+    }
+
+    /// All `(row_no, values)` pairs in row-number order.
+    pub fn scan(&self) -> Result<Vec<(u64, Vec<Value>)>> {
+        self.rows
+            .keys()
+            .map(|&no| self.get(no).map(|v| (no, v)))
+            .collect()
+    }
+
+    /// Live row numbers in order.
+    pub fn row_numbers(&self) -> Vec<u64> {
+        self.rows.keys().copied().collect()
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Is this row number live?
+    pub fn contains_row(&self, row_no: u64) -> bool {
+        self.rows.contains_key(&row_no)
+    }
+
+    /// Find the annotation set with this name (case-insensitive).
+    pub fn ann_set(&self, name: &str) -> Option<&AnnotationSet> {
+        self.ann_sets
+            .iter()
+            .find(|s| s.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Mutable variant of [`ann_set`](Self::ann_set).
+    pub fn ann_set_mut(&mut self, name: &str) -> Option<&mut AnnotationSet> {
+        self.ann_sets
+            .iter_mut()
+            .find(|s| s.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Mark a cell outdated (§5), growing the bitmap as needed.
+    pub fn mark_outdated(&mut self, row_no: u64, col: usize) {
+        if self.outdated.rows() <= row_no as usize {
+            self.outdated.grow_rows(row_no as usize + 1);
+        }
+        self.outdated.set(row_no as usize, col);
+    }
+
+    /// Clear the outdated mark (revalidation — §5).
+    pub fn clear_outdated(&mut self, row_no: u64, col: usize) {
+        if (row_no as usize) < self.outdated.rows() {
+            self.outdated.clear(row_no as usize, col);
+        }
+    }
+
+    /// Is the cell marked outdated?
+    pub fn is_outdated(&self, row_no: u64, col: usize) -> bool {
+        (row_no as usize) < self.outdated.rows() && self.outdated.get(row_no as usize, col)
+    }
+}
+
+/// The database catalog.
+#[derive(Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    /// Register a new table.
+    pub fn add_table(&mut self, table: Table) -> Result<()> {
+        let key = Self::key(&table.name);
+        if self.tables.contains_key(&key) {
+            return Err(BdbmsError::AlreadyExists(format!("table `{}`", table.name)));
+        }
+        self.tables.insert(key, table);
+        Ok(())
+    }
+
+    /// Drop a table.
+    pub fn drop_table(&mut self, name: &str) -> Result<Table> {
+        self.tables
+            .remove(&Self::key(name))
+            .ok_or_else(|| BdbmsError::NotFound(format!("table `{name}`")))
+    }
+
+    /// Case-insensitive lookup.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(&Self::key(name))
+            .ok_or_else(|| BdbmsError::NotFound(format!("table `{name}`")))
+    }
+
+    /// Mutable lookup.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(&Self::key(name))
+            .ok_or_else(|| BdbmsError::NotFound(format!("table `{name}`")))
+    }
+
+    /// Does the table exist?
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&Self::key(name))
+    }
+
+    /// All tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// All tables, mutably.
+    pub fn tables_mut(&mut self) -> impl Iterator<Item = &mut Table> {
+        self.tables.values_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdbms_common::DataType;
+    use bdbms_storage::MemStore;
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Box::new(MemStore::new()), 64))
+    }
+
+    fn gene_table() -> Table {
+        Table::create(
+            "Gene",
+            Schema::of(&[
+                ("GID", DataType::Text),
+                ("GName", DataType::Text),
+                ("GSequence", DataType::Text),
+            ]),
+            "admin",
+            pool(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_get_update_delete() {
+        let mut t = gene_table();
+        let r0 = t
+            .insert(vec!["JW0080".into(), "mraW".into(), "ATGATG".into()])
+            .unwrap();
+        let r1 = t
+            .insert(vec!["JW0082".into(), "ftsI".into(), "ATGAAA".into()])
+            .unwrap();
+        assert_eq!(r0, 0);
+        assert_eq!(r1, 1);
+        assert_eq!(t.get(r0).unwrap()[1], Value::Text("mraW".into()));
+        t.update(r0, vec!["JW0080".into(), "mraW".into(), "GTGGTG".into()])
+            .unwrap();
+        assert_eq!(t.get(r0).unwrap()[2], Value::Text("GTGGTG".into()));
+        let old = t.delete(r1).unwrap();
+        assert_eq!(old[0], Value::Text("JW0082".into()));
+        assert!(t.get(r1).is_err());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn row_numbers_stable_after_delete() {
+        let mut t = gene_table();
+        for i in 0..5 {
+            t.insert(vec![
+                format!("JW{i:04}").into(),
+                "x".into(),
+                "ATG".into(),
+            ])
+            .unwrap();
+        }
+        t.delete(2).unwrap();
+        let rows = t.row_numbers();
+        assert_eq!(rows, vec![0, 1, 3, 4]);
+        // new insert does not reuse row number 2
+        let r = t
+            .insert(vec!["JW9999".into(), "y".into(), "ATG".into()])
+            .unwrap();
+        assert_eq!(r, 5);
+    }
+
+    #[test]
+    fn insert_with_row_no_restores() {
+        let mut t = gene_table();
+        t.insert(vec!["a".into(), "b".into(), "c".into()]).unwrap();
+        let old = t.delete(0).unwrap();
+        t.insert_with_row_no(0, old).unwrap();
+        assert_eq!(t.get(0).unwrap()[0], Value::Text("a".into()));
+        assert!(t.insert_with_row_no(0, vec!["x".into(), "y".into(), "z".into()]).is_err());
+    }
+
+    #[test]
+    fn schema_violations_rejected() {
+        let mut t = gene_table();
+        assert!(t.insert(vec!["only-two".into(), "cols".into()]).is_err());
+        assert!(t
+            .insert(vec![Value::Int(1), "b".into(), "c".into()])
+            .is_err());
+    }
+
+    #[test]
+    fn outdated_bits() {
+        let mut t = gene_table();
+        t.insert(vec!["a".into(), "b".into(), "c".into()]).unwrap();
+        assert!(!t.is_outdated(0, 2));
+        t.mark_outdated(0, 2);
+        assert!(t.is_outdated(0, 2));
+        t.clear_outdated(0, 2);
+        assert!(!t.is_outdated(0, 2));
+        // growth beyond current rows
+        t.mark_outdated(10, 1);
+        assert!(t.is_outdated(10, 1));
+    }
+
+    #[test]
+    fn catalog_case_insensitive() {
+        let mut c = Catalog::new();
+        c.add_table(gene_table()).unwrap();
+        assert!(c.table("gene").is_ok());
+        assert!(c.table("GENE").is_ok());
+        assert!(c.has_table("Gene"));
+        assert!(c.add_table(gene_table()).is_err(), "duplicate rejected");
+        c.drop_table("GeNe").unwrap();
+        assert!(!c.has_table("Gene"));
+        assert!(c.drop_table("Gene").is_err());
+    }
+
+    #[test]
+    fn long_sequences_overflow_pages() {
+        let mut t = gene_table();
+        let long_seq: String = "ACGT".repeat(10_000); // 40 KB
+        t.insert(vec!["JW0001".into(), "big".into(), long_seq.clone().into()])
+            .unwrap();
+        assert_eq!(t.get(0).unwrap()[2], Value::Text(long_seq));
+    }
+}

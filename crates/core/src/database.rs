@@ -1,0 +1,1053 @@
+//! The bdbms database facade.
+//!
+//! [`Database`] owns the storage pool, catalog, logical clock, and the
+//! four managers the paper's architecture names (§2): the annotation
+//! manager (per-table [`crate::annotation::AnnotationSet`]s), the
+//! dependency manager, the authorization manager (GRANT/REVOKE), and the
+//! content-approval manager.  Statements enter through
+//! [`Database::execute_as`], which parses A-SQL and routes each command
+//! through authorization, approval logging, and dependency tracking.
+
+use std::sync::Arc;
+
+use bdbms_common::clock::LogicalClock;
+use bdbms_common::{BdbmsError, DataType, Result, Schema, Value};
+use bdbms_storage::{BufferPool, MemStore};
+
+use crate::annotation::AnnotationSet;
+use crate::approval::{ApprovalManager, InverseOp, OpStatus};
+use crate::ast::{AnnTarget, Expr, Privilege, Statement};
+use crate::auth::{AuthManager, ADMIN};
+use crate::catalog::{Catalog, DeletedRow, Table};
+use crate::dependency::{DependencyManager, DependencyRule};
+use crate::executor::{run_select, select_cells};
+use crate::expr::{eval, ColBinding};
+use crate::parser::parse;
+use crate::provenance::{self, ProvenanceRecord};
+use crate::result::{AnnRow, QueryResult};
+
+/// How a dependency cascade treats non-recomputable targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CascadeMode {
+    /// A source value was modified: recompute executable targets, mark the
+    /// rest outdated.
+    Update,
+    /// A fresh row arrived: derive computable cells, but don't outdate
+    /// values supplied with the row itself.
+    InsertFresh,
+    /// The source value is itself untrusted (outdated or deleted): mark
+    /// targets outdated, never recompute from stale inputs.
+    Stale,
+}
+
+/// The bdbms engine.
+pub struct Database {
+    pool: Arc<BufferPool>,
+    catalog: Catalog,
+    clock: LogicalClock,
+    auth: AuthManager,
+    approval: ApprovalManager,
+    deps: DependencyManager,
+}
+
+impl Database {
+    /// An in-memory database with a default-size buffer pool.
+    pub fn new_in_memory() -> Self {
+        Self::with_pool(Arc::new(BufferPool::new(Box::new(MemStore::new()), 1024)))
+    }
+
+    /// A database over a caller-supplied buffer pool (benchmarks use this
+    /// to control pool size and read I/O counters).
+    pub fn with_pool(pool: Arc<BufferPool>) -> Self {
+        Database {
+            pool,
+            catalog: Catalog::new(),
+            clock: LogicalClock::new(),
+            auth: AuthManager::new(),
+            approval: ApprovalManager::new(),
+            deps: DependencyManager::new(),
+        }
+    }
+
+    /// The shared buffer pool (I/O counters live here).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// The catalog (read access for benchmarks and tests).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The dependency manager.
+    pub fn dependencies(&self) -> &DependencyManager {
+        &self.deps
+    }
+
+    /// The approval manager.
+    pub fn approval(&self) -> &ApprovalManager {
+        &self.approval
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// Register an executable procedure body (§5) under `name`.
+    pub fn register_procedure(
+        &mut self,
+        name: &str,
+        f: impl Fn(&[Value]) -> Value + 'static,
+    ) {
+        self.deps.register_procedure(name, f);
+    }
+
+    /// Execute a statement as `admin`.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        self.execute_as(sql, ADMIN)
+    }
+
+    /// Execute a statement as a given user.
+    pub fn execute_as(&mut self, sql: &str, user: &str) -> Result<QueryResult> {
+        let stmt = parse(sql)?;
+        self.execute_stmt(stmt, user)
+    }
+
+    /// Execute a parsed statement.
+    pub fn execute_stmt(&mut self, stmt: Statement, user: &str) -> Result<QueryResult> {
+        self.clock.tick();
+        match stmt {
+            Statement::CreateTable { name, columns } => self.create_table(name, columns, user),
+            Statement::DropTable { name } => self.drop_table(&name, user),
+            Statement::CreateAnnotationTable {
+                name,
+                on,
+                cell_scheme,
+            } => self.create_annotation_table(&name, &on, cell_scheme, user),
+            Statement::DropAnnotationTable { name, on } => {
+                self.drop_annotation_table(&name, &on, user)
+            }
+            Statement::AddAnnotation { to, value, on } => {
+                self.add_annotation(to, &value, on, user)
+            }
+            Statement::ArchiveAnnotation { from, between, on } => {
+                self.archive_restore(from, between, on, true, user)
+            }
+            Statement::RestoreAnnotation { from, between, on } => {
+                self.archive_restore(from, between, on, false, user)
+            }
+            Statement::Select(sel) => {
+                for tref in &sel.from {
+                    let owner = self.catalog.table(&tref.table)?.owner.clone();
+                    self.auth
+                        .check(user, &tref.table, &owner, Privilege::Select)?;
+                }
+                run_select(&self.catalog, &sel)
+            }
+            Statement::Insert { table, rows } => {
+                let mut inserted = Vec::new();
+                for row in rows {
+                    inserted.push(self.do_insert(&table, &row, user)?);
+                }
+                Ok(QueryResult::affected(inserted.len()))
+            }
+            Statement::Update {
+                table,
+                sets,
+                where_clause,
+            } => {
+                let n = self.do_update(&table, &sets, where_clause.as_ref(), user)?.len();
+                Ok(QueryResult::affected(n))
+            }
+            Statement::Delete {
+                table,
+                where_clause,
+            } => {
+                let n = self
+                    .do_delete(&table, where_clause.as_ref(), user, None)?
+                    .len();
+                Ok(QueryResult::affected(n))
+            }
+            Statement::CreateUser { name, groups } => {
+                if user != ADMIN {
+                    return Err(BdbmsError::Unauthorized(
+                        "only admin may create users".into(),
+                    ));
+                }
+                self.auth.create_user(&name, &groups)?;
+                Ok(QueryResult::message(format!("user `{name}` created")))
+            }
+            Statement::Grant {
+                privileges,
+                table,
+                to,
+            } => {
+                self.require_owner(&table, user)?;
+                self.auth.grant(&to, &table, &privileges);
+                Ok(QueryResult::message(format!("granted on `{table}` to `{to}`")))
+            }
+            Statement::Revoke {
+                privileges,
+                table,
+                from,
+            } => {
+                self.require_owner(&table, user)?;
+                self.auth.revoke(&from, &table, &privileges);
+                Ok(QueryResult::message(format!(
+                    "revoked on `{table}` from `{from}`"
+                )))
+            }
+            Statement::StartContentApproval {
+                table,
+                columns,
+                approved_by,
+            } => {
+                self.require_owner(&table, user)?;
+                self.catalog.table(&table)?; // must exist
+                let cols = if columns.is_empty() {
+                    None
+                } else {
+                    Some(columns)
+                };
+                self.approval.start(&table, cols, &approved_by);
+                Ok(QueryResult::message(format!(
+                    "content approval started on `{table}`"
+                )))
+            }
+            Statement::StopContentApproval { table, columns } => {
+                self.require_owner(&table, user)?;
+                self.approval.stop(&table, &columns);
+                Ok(QueryResult::message(format!(
+                    "content approval stopped on `{table}`"
+                )))
+            }
+            Statement::ApproveOperation { id } => self.decide(id, true, user),
+            Statement::DisapproveOperation { id } => self.decide(id, false, user),
+            Statement::ShowPending { table } => {
+                let mut qr = QueryResult {
+                    columns: vec![
+                        "id".into(),
+                        "table".into(),
+                        "user".into(),
+                        "time".into(),
+                        "status".into(),
+                        "description".into(),
+                    ],
+                    ..Default::default()
+                };
+                for op in self.approval.pending(table.as_deref()) {
+                    qr.rows.push(AnnRow::plain(vec![
+                        Value::Int(op.id.raw() as i64),
+                        Value::Text(op.table.clone()),
+                        Value::Text(op.user.clone()),
+                        Value::Timestamp(op.time),
+                        Value::Text(op.status.to_string()),
+                        Value::Text(op.description.clone()),
+                    ]));
+                }
+                Ok(qr)
+            }
+            Statement::ShowOutdated { table } => self.show_outdated(table.as_deref()),
+            Statement::CreateDependencyRule {
+                name,
+                from,
+                to,
+                procedure,
+                executable,
+                invertible,
+                link,
+            } => self.create_dependency_rule(
+                name, from, to, procedure, executable, invertible, link, user,
+            ),
+            Statement::DropDependencyRule { name } => {
+                if user != ADMIN {
+                    return Err(BdbmsError::Unauthorized(
+                        "only admin may drop dependency rules".into(),
+                    ));
+                }
+                self.deps.drop_rule(&name)?;
+                Ok(QueryResult::message(format!("rule `{name}` dropped")))
+            }
+            Statement::Validate {
+                table,
+                columns,
+                where_clause,
+            } => self.validate(&table, &columns, where_clause.as_ref(), user),
+        }
+    }
+
+    fn require_owner(&self, table: &str, user: &str) -> Result<()> {
+        let t = self.catalog.table(table)?;
+        if user == ADMIN {
+            return Ok(());
+        }
+        if t.owner.eq_ignore_ascii_case(user) {
+            Ok(())
+        } else {
+            Err(BdbmsError::Unauthorized(format!(
+                "user `{user}` is not the owner of `{table}`"
+            )))
+        }
+    }
+
+    // ---- DDL ----
+
+    fn create_table(
+        &mut self,
+        name: String,
+        columns: Vec<(String, DataType)>,
+        user: &str,
+    ) -> Result<QueryResult> {
+        let schema = Schema::new(
+            columns
+                .into_iter()
+                .map(|(n, t)| bdbms_common::ColumnDef::new(n, t))
+                .collect(),
+        )?;
+        let table = Table::create(name.clone(), schema, user, self.pool.clone())?;
+        self.catalog.add_table(table)?;
+        Ok(QueryResult::message(format!("table `{name}` created")))
+    }
+
+    fn drop_table(&mut self, name: &str, user: &str) -> Result<QueryResult> {
+        self.require_owner(name, user)?;
+        self.catalog.drop_table(name)?;
+        Ok(QueryResult::message(format!("table `{name}` dropped")))
+    }
+
+    fn create_annotation_table(
+        &mut self,
+        name: &str,
+        on: &str,
+        cell_scheme: bool,
+        user: &str,
+    ) -> Result<QueryResult> {
+        self.require_owner(on, user)?;
+        let table = self.catalog.table_mut(on)?;
+        if table.ann_set(name).is_some() {
+            return Err(BdbmsError::AlreadyExists(format!(
+                "annotation table `{name}` on `{on}`"
+            )));
+        }
+        table.ann_sets.push(AnnotationSet::new(name, cell_scheme));
+        Ok(QueryResult::message(format!(
+            "annotation table `{name}` created on `{on}`"
+        )))
+    }
+
+    fn drop_annotation_table(&mut self, name: &str, on: &str, user: &str) -> Result<QueryResult> {
+        self.require_owner(on, user)?;
+        let table = self.catalog.table_mut(on)?;
+        let before = table.ann_sets.len();
+        table
+            .ann_sets
+            .retain(|s| !s.name.eq_ignore_ascii_case(name));
+        if table.ann_sets.len() == before {
+            return Err(BdbmsError::NotFound(format!(
+                "annotation table `{name}` on `{on}`"
+            )));
+        }
+        Ok(QueryResult::message(format!(
+            "annotation table `{name}` dropped from `{on}`"
+        )))
+    }
+
+    // ---- DML with approval + dependency integration ----
+
+    fn bindings_for(&self, table: &str) -> Result<Vec<ColBinding>> {
+        let t = self.catalog.table(table)?;
+        Ok(t.schema
+            .columns()
+            .iter()
+            .map(|c| ColBinding::new(Some(&t.name), &c.name))
+            .collect())
+    }
+
+    /// Insert one literal row; returns the new row number.
+    fn do_insert(&mut self, table: &str, row: &[Expr], user: &str) -> Result<u64> {
+        let owner = self.catalog.table(table)?.owner.clone();
+        self.auth.check(user, table, &owner, Privilege::Insert)?;
+        let values: Vec<Value> = row
+            .iter()
+            .map(|e| eval(e, &[], &[]))
+            .collect::<Result<_>>()?;
+        let t = self.catalog.table_mut(table)?;
+        let row_no = t.insert(values)?;
+        let all_cols: Vec<String> = t.schema.names().iter().map(|s| s.to_string()).collect();
+        // content approval (§6)
+        if self.approval.monitors(table, &all_cols) && !self.is_approver(user, table) {
+            let time = self.clock.now();
+            self.approval.log_operation(
+                table,
+                user,
+                time,
+                format!("INSERT INTO {table} (row {row_no})"),
+                InverseOp::DeleteRow { row_no },
+            );
+        }
+        // dependency cascade: the new row may feed *computable* derived
+        // cells; it never outdates values supplied with the fresh row
+        let arity = self.catalog.table(table)?.schema.arity();
+        for col in 0..arity {
+            self.cascade(table, row_no, col, CascadeMode::InsertFresh)?;
+        }
+        Ok(row_no)
+    }
+
+    /// Update matching rows; returns the touched row numbers.
+    fn do_update(
+        &mut self,
+        table: &str,
+        sets: &[(String, Expr)],
+        where_clause: Option<&Expr>,
+        user: &str,
+    ) -> Result<Vec<u64>> {
+        let owner = self.catalog.table(table)?.owner.clone();
+        self.auth.check(user, table, &owner, Privilege::Update)?;
+        let bindings = self.bindings_for(table)?;
+        let t = self.catalog.table(table)?;
+        let set_cols: Vec<usize> = sets
+            .iter()
+            .map(|(c, _)| t.schema.require(c))
+            .collect::<Result<_>>()?;
+        let touched_names: Vec<String> = sets.iter().map(|(c, _)| c.clone()).collect();
+        // plan: evaluate per row
+        #[allow(clippy::type_complexity)]
+        let mut plans: Vec<(u64, Vec<Value>, Vec<(usize, Value)>)> = Vec::new();
+        for (row_no, values) in t.scan()? {
+            let keep = match where_clause {
+                None => true,
+                Some(p) => eval(p, &bindings, &values)?.is_true(),
+            };
+            if !keep {
+                continue;
+            }
+            let mut new_values = values.clone();
+            let mut old: Vec<(usize, Value)> = Vec::new();
+            for ((_, e), &col) in sets.iter().zip(&set_cols) {
+                let v = eval(e, &bindings, &values)?;
+                old.push((col, values[col].clone()));
+                new_values[col] = v;
+            }
+            plans.push((row_no, new_values, old));
+        }
+        let monitored =
+            self.approval.monitors(table, &touched_names) && !self.is_approver(user, table);
+        let mut touched = Vec::with_capacity(plans.len());
+        for (row_no, new_values, old) in plans {
+            let t = self.catalog.table_mut(table)?;
+            t.update(row_no, new_values)?;
+            // an explicit update re-evaluates the cell: it is valid again
+            // until its own sources change (§5 "Validating outdated data")
+            for &(col, _) in &old {
+                t.clear_outdated(row_no, col);
+            }
+            if monitored {
+                let time = self.clock.now();
+                self.approval.log_operation(
+                    table,
+                    user,
+                    time,
+                    format!(
+                        "UPDATE {table} SET {} (row {row_no})",
+                        touched_names.join(", ")
+                    ),
+                    InverseOp::RestoreCells {
+                        row_no,
+                        old: old.clone(),
+                    },
+                );
+            }
+            for &(col, _) in &old {
+                self.cascade(table, row_no, col, CascadeMode::Update)?;
+            }
+            touched.push(row_no);
+        }
+        Ok(touched)
+    }
+
+    /// Delete matching rows; logs to the deletion log (with the optional
+    /// "why deleted" annotation).  Returns deleted row numbers.
+    fn do_delete(
+        &mut self,
+        table: &str,
+        where_clause: Option<&Expr>,
+        user: &str,
+        why: Option<&str>,
+    ) -> Result<Vec<u64>> {
+        let owner = self.catalog.table(table)?.owner.clone();
+        self.auth.check(user, table, &owner, Privilege::Delete)?;
+        let bindings = self.bindings_for(table)?;
+        let t = self.catalog.table(table)?;
+        let all_cols: Vec<String> = t.schema.names().iter().map(|s| s.to_string()).collect();
+        let mut victims = Vec::new();
+        for (row_no, values) in t.scan()? {
+            let keep = match where_clause {
+                None => true,
+                Some(p) => eval(p, &bindings, &values)?.is_true(),
+            };
+            if keep {
+                victims.push(row_no);
+            }
+        }
+        let monitored =
+            self.approval.monitors(table, &all_cols) && !self.is_approver(user, table);
+        let arity = self.catalog.table(table)?.schema.arity();
+        for &row_no in &victims {
+            // mark dependents stale *before* the source row disappears
+            for col in 0..arity {
+                self.cascade(table, row_no, col, CascadeMode::Stale)?;
+            }
+            let time = self.clock.now();
+            let t = self.catalog.table_mut(table)?;
+            let values = t.delete(row_no)?;
+            t.deleted_log.push(DeletedRow {
+                row_no,
+                values: values.clone(),
+                annotation: why.map(|s| s.to_string()),
+                time,
+                user: user.to_string(),
+            });
+            if monitored {
+                self.approval.log_operation(
+                    table,
+                    user,
+                    time,
+                    format!("DELETE FROM {table} (row {row_no})"),
+                    InverseOp::InsertRow { row_no, values },
+                );
+            }
+        }
+        Ok(victims)
+    }
+
+    fn is_approver(&self, user: &str, table: &str) -> bool {
+        match self.approval.config(table) {
+            Some(cfg) => self.auth.acts_as(user, &cfg.approver),
+            None => false,
+        }
+    }
+
+    // ---- dependency cascade (§5) ----
+
+    /// Propagate a change of `(table, row_no, col)`.
+    fn cascade(&mut self, table: &str, row_no: u64, col: usize, mode: CascadeMode) -> Result<()> {
+        let col_name = {
+            let t = self.catalog.table(table)?;
+            t.schema.columns()[col].name.clone()
+        };
+        let rules: Vec<DependencyRule> = self
+            .deps
+            .rules_from(table, &col_name)
+            .into_iter()
+            .cloned()
+            .collect();
+        for rule in rules {
+            let targets = self.link_targets(&rule, row_no)?;
+            for dst_row in targets {
+                let dst_col = {
+                    let dt = self.catalog.table(&rule.dst_table)?;
+                    dt.schema.require(&rule.dst_col)?
+                };
+                let recompute = mode != CascadeMode::Stale
+                    && rule.executable
+                    && self.deps.procedure(&rule.procedure).is_some();
+                if recompute {
+                    // gather the rule's source values from the source row
+                    let st = self.catalog.table(&rule.src_table)?;
+                    let src_values = st.get(row_no)?;
+                    let inputs: Vec<Value> = rule
+                        .src_cols
+                        .iter()
+                        .map(|c| st.schema.require(c).map(|i| src_values[i].clone()))
+                        .collect::<Result<_>>()?;
+                    let f = self.deps.procedure(&rule.procedure).expect("checked");
+                    let new_value = f(&inputs);
+                    let dt = self.catalog.table_mut(&rule.dst_table)?;
+                    let mut dst_values = dt.get(dst_row)?;
+                    if dst_values[dst_col] != new_value {
+                        dst_values[dst_col] = new_value;
+                        dt.update(dst_row, dst_values)?;
+                        // recomputed: the cell is current again (Figure 10:
+                        // PSequence bits stay 0); downstream saw a genuine
+                        // modification, so continue in Update mode
+                        dt.clear_outdated(dst_row, dst_col);
+                        self.cascade(&rule.dst_table, dst_row, dst_col, CascadeMode::Update)?;
+                    } else {
+                        dt.clear_outdated(dst_row, dst_col);
+                    }
+                } else if mode != CascadeMode::InsertFresh {
+                    // non-executable (or unregistered) procedure: mark the
+                    // target outdated; freshly inserted rows don't outdate
+                    // their own supplied values
+                    let dt = self.catalog.table_mut(&rule.dst_table)?;
+                    let was = dt.is_outdated(dst_row, dst_col);
+                    dt.mark_outdated(dst_row, dst_col);
+                    if !was {
+                        // downstream of an outdated cell is outdated too
+                        self.cascade(&rule.dst_table, dst_row, dst_col, CascadeMode::Stale)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Target rows of a rule for a given source row.
+    fn link_targets(&self, rule: &DependencyRule, src_row: u64) -> Result<Vec<u64>> {
+        match &rule.link {
+            None => {
+                // same-table, same-row dependency (paper's Rules 2 and 3)
+                if rule.src_table.eq_ignore_ascii_case(&rule.dst_table) {
+                    let dt = self.catalog.table(&rule.dst_table)?;
+                    Ok(if dt.contains_row(src_row) {
+                        vec![src_row]
+                    } else {
+                        vec![]
+                    })
+                } else {
+                    Err(BdbmsError::Dependency(format!(
+                        "rule `{}` spans tables but has no LINK",
+                        rule.name
+                    )))
+                }
+            }
+            Some((src_link, dst_link)) => {
+                let st = self.catalog.table(&rule.src_table)?;
+                let src_col = st.schema.require(src_link)?;
+                let key = st.get(src_row)?[src_col].clone();
+                let dt = self.catalog.table(&rule.dst_table)?;
+                let dst_col = dt.schema.require(dst_link)?;
+                let mut out = Vec::new();
+                for (row_no, values) in dt.scan()? {
+                    if values[dst_col] == key {
+                        out.push(row_no);
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the SQL statement's clauses
+    fn create_dependency_rule(
+        &mut self,
+        name: String,
+        from: Vec<(String, String)>,
+        to: (String, String),
+        procedure: String,
+        executable: bool,
+        invertible: bool,
+        link: Option<(String, String)>,
+        user: &str,
+    ) -> Result<QueryResult> {
+        self.require_owner(&to.0, user)?;
+        // validate sources: single table, existing columns
+        let src_table = from
+            .first()
+            .map(|(t, _)| t.clone())
+            .ok_or_else(|| BdbmsError::Invalid("rule needs a source column".into()))?;
+        if !from.iter().all(|(t, _)| t.eq_ignore_ascii_case(&src_table)) {
+            return Err(BdbmsError::Invalid(
+                "all source columns must come from one table".into(),
+            ));
+        }
+        {
+            let st = self.catalog.table(&src_table)?;
+            for (_, c) in &from {
+                st.schema.require(c)?;
+            }
+            let dt = self.catalog.table(&to.0)?;
+            dt.schema.require(&to.1)?;
+        }
+        // decode LINK "Table.Col = Table.Col" into column names
+        let link_cols = match link {
+            None => None,
+            Some((a, b)) => {
+                let parse_side = |s: &str| -> Result<(String, String)> {
+                    s.split_once('.')
+                        .map(|(t, c)| (t.to_string(), c.to_string()))
+                        .ok_or_else(|| {
+                            BdbmsError::Invalid(format!("bad LINK side `{s}`"))
+                        })
+                };
+                let (at, ac) = parse_side(&a)?;
+                let (bt, bc) = parse_side(&b)?;
+                // sides may come in either order
+                let (src_side, dst_side) = if at.eq_ignore_ascii_case(&src_table) {
+                    ((at, ac), (bt, bc))
+                } else {
+                    ((bt, bc), (at, ac))
+                };
+                if !src_side.0.eq_ignore_ascii_case(&src_table)
+                    || !dst_side.0.eq_ignore_ascii_case(&to.0)
+                {
+                    return Err(BdbmsError::Invalid(
+                        "LINK must join the rule's source and target tables".into(),
+                    ));
+                }
+                let st = self.catalog.table(&src_table)?;
+                st.schema.require(&src_side.1)?;
+                let dt = self.catalog.table(&to.0)?;
+                dt.schema.require(&dst_side.1)?;
+                Some((src_side.1, dst_side.1))
+            }
+        };
+        let rule = DependencyRule {
+            id: bdbms_common::ids::RuleId(0),
+            name: name.clone(),
+            src_table,
+            src_cols: from.into_iter().map(|(_, c)| c).collect(),
+            dst_table: to.0,
+            dst_col: to.1,
+            procedure,
+            executable,
+            invertible,
+            link: link_cols,
+        };
+        self.deps.add_rule(rule)?;
+        Ok(QueryResult::message(format!("dependency rule `{name}` created")))
+    }
+
+    // ---- approval decisions ----
+
+    fn decide(&mut self, id: u64, approve: bool, user: &str) -> Result<QueryResult> {
+        let op = self
+            .approval
+            .get(bdbms_common::ids::OperationId(id))?
+            .clone();
+        // the decision-maker must be the configured approver (or admin)
+        let allowed = user == ADMIN
+            || match self.approval.config(&op.table) {
+                Some(cfg) => self.auth.acts_as(user, &cfg.approver),
+                None => false,
+            };
+        if !allowed {
+            return Err(BdbmsError::Unauthorized(format!(
+                "user `{user}` may not decide operations on `{}`",
+                op.table
+            )));
+        }
+        let decided = self
+            .approval
+            .decide(bdbms_common::ids::OperationId(id), approve)?;
+        if approve {
+            return Ok(QueryResult::message(format!("operation {id} approved")));
+        }
+        // §6: execute the inverse statement; dependency tracking then
+        // invalidates anything derived from the undone values.
+        debug_assert_eq!(decided.status, OpStatus::Disapproved);
+        match decided.inverse {
+            InverseOp::DeleteRow { row_no } => {
+                let arity = self.catalog.table(&decided.table)?.schema.arity();
+                for col in 0..arity {
+                    self.cascade(&decided.table, row_no, col, CascadeMode::Stale)?;
+                }
+                let time = self.clock.now();
+                let t = self.catalog.table_mut(&decided.table)?;
+                let values = t.delete(row_no)?;
+                t.deleted_log.push(DeletedRow {
+                    row_no,
+                    values,
+                    annotation: Some(format!("disapproved operation {id}")),
+                    time,
+                    user: user.to_string(),
+                });
+            }
+            InverseOp::InsertRow { row_no, values } => {
+                let t = self.catalog.table_mut(&decided.table)?;
+                t.insert_with_row_no(row_no, values)?;
+                let arity = self.catalog.table(&decided.table)?.schema.arity();
+                for col in 0..arity {
+                    self.cascade(&decided.table, row_no, col, CascadeMode::Update)?;
+                }
+            }
+            InverseOp::RestoreCells { row_no, old } => {
+                let t = self.catalog.table_mut(&decided.table)?;
+                let mut values = t.get(row_no)?;
+                for (col, v) in &old {
+                    values[*col] = v.clone();
+                }
+                t.update(row_no, values)?;
+                for (col, _) in &old {
+                    self.cascade(&decided.table, row_no, *col, CascadeMode::Update)?;
+                }
+            }
+        }
+        Ok(QueryResult::message(format!(
+            "operation {id} disapproved; inverse executed"
+        )))
+    }
+
+    // ---- annotations (§3) ----
+
+    fn check_ann_write(&self, user: &str, table: &str, set_name: &str) -> Result<()> {
+        let t = self.catalog.table(table)?;
+        let set = t.ann_set(set_name).ok_or_else(|| {
+            BdbmsError::NotFound(format!("annotation table `{set_name}` on `{table}`"))
+        })?;
+        if set.system_only {
+            // §4: provenance writes restricted to integration tools
+            self.auth
+                .check(user, table, &t.owner, Privilege::Provenance)
+        } else {
+            self.auth.check(user, table, &t.owner, Privilege::Select)
+        }
+    }
+
+    fn add_annotation(
+        &mut self,
+        to: Vec<(String, String)>,
+        value: &str,
+        on: AnnTarget,
+        user: &str,
+    ) -> Result<QueryResult> {
+        for (t, s) in &to {
+            self.check_ann_write(user, t, s)?;
+            let set = self.catalog.table(t)?.ann_set(s).expect("checked");
+            if set.schema_enforced {
+                provenance::validate_body(value)?;
+            }
+        }
+        // resolve target cells (and run the wrapped DML, if any)
+        let (target_table, rows, cols): (String, Vec<u64>, Vec<usize>) = match on {
+            AnnTarget::Select(sel) => select_cells(&self.catalog, &sel)?,
+            AnnTarget::Insert(stmt) => match *stmt {
+                Statement::Insert { table, rows } => {
+                    let arity = self.catalog.table(&table)?.schema.arity();
+                    let mut new_rows = Vec::new();
+                    for row in rows {
+                        new_rows.push(self.do_insert(&table, &row, user)?);
+                    }
+                    (table, new_rows, (0..arity).collect())
+                }
+                _ => unreachable!("parser builds Insert"),
+            },
+            AnnTarget::Update(stmt) => match *stmt {
+                Statement::Update {
+                    table,
+                    sets,
+                    where_clause,
+                } => {
+                    let t = self.catalog.table(&table)?;
+                    let cols: Vec<usize> = sets
+                        .iter()
+                        .map(|(c, _)| t.schema.require(c))
+                        .collect::<Result<_>>()?;
+                    let rows = self.do_update(&table, &sets, where_clause.as_ref(), user)?;
+                    (table, rows, cols)
+                }
+                _ => unreachable!("parser builds Update"),
+            },
+            AnnTarget::Delete(stmt) => match *stmt {
+                Statement::Delete {
+                    table,
+                    where_clause,
+                } => {
+                    // §3.2: deleted tuples go to the log *with* the
+                    // annotation explaining why
+                    let rows =
+                        self.do_delete(&table, where_clause.as_ref(), user, Some(value))?;
+                    let n = rows.len();
+                    return Ok(QueryResult {
+                        affected: n,
+                        message: Some(format!(
+                            "{n} tuple(s) deleted and logged with annotation"
+                        )),
+                        ..Default::default()
+                    });
+                }
+                _ => unreachable!("parser builds Delete"),
+            },
+        };
+        // every target annotation table must belong to the target table
+        for (t, _) in &to {
+            if !t.eq_ignore_ascii_case(&target_table) {
+                return Err(BdbmsError::Invalid(format!(
+                    "annotation target selects from `{target_table}` but annotation \
+                     table is on `{t}`"
+                )));
+            }
+        }
+        let time = self.clock.now();
+        let mut added = 0;
+        for (t, s) in &to {
+            let table = self.catalog.table_mut(t)?;
+            let set = table.ann_set_mut(s).expect("checked");
+            set.add(value, user, time, &rows, &cols);
+            added += 1;
+        }
+        Ok(QueryResult {
+            affected: rows.len() * cols.len(),
+            message: Some(format!(
+                "annotation added to {added} annotation table(s) over {} row(s) × {} column(s)",
+                rows.len(),
+                cols.len()
+            )),
+            ..Default::default()
+        })
+    }
+
+    fn archive_restore(
+        &mut self,
+        from: Vec<(String, String)>,
+        between: Option<(u64, u64)>,
+        on: crate::ast::Select,
+        archive: bool,
+        user: &str,
+    ) -> Result<QueryResult> {
+        let (target_table, rows, cols) = select_cells(&self.catalog, &on)?;
+        let cells: Vec<(u64, usize)> = rows
+            .iter()
+            .flat_map(|&r| cols.iter().map(move |&c| (r, c)))
+            .collect();
+        let mut changed = 0;
+        for (t, s) in &from {
+            if !t.eq_ignore_ascii_case(&target_table) {
+                return Err(BdbmsError::Invalid(format!(
+                    "annotation target selects from `{target_table}` but annotation \
+                     table is on `{t}`"
+                )));
+            }
+            self.check_ann_write(user, t, s)?;
+            let table = self.catalog.table_mut(t)?;
+            let set = table.ann_set_mut(s).ok_or_else(|| {
+                BdbmsError::NotFound(format!("annotation table `{s}` on `{t}`"))
+            })?;
+            changed += set.set_archived(&cells, between, archive);
+        }
+        Ok(QueryResult::message(format!(
+            "{changed} annotation(s) {}",
+            if archive { "archived" } else { "restored" }
+        )))
+    }
+
+    // ---- outdated reporting & validation (§5) ----
+
+    fn show_outdated(&self, table: Option<&str>) -> Result<QueryResult> {
+        let mut qr = QueryResult {
+            columns: vec!["table".into(), "row".into(), "column".into()],
+            ..Default::default()
+        };
+        for t in self.catalog.tables() {
+            if let Some(f) = table {
+                if !t.name.eq_ignore_ascii_case(f) {
+                    continue;
+                }
+            }
+            for row_no in t.row_numbers() {
+                for (c, col) in t.schema.columns().iter().enumerate() {
+                    if t.is_outdated(row_no, c) {
+                        qr.rows.push(AnnRow::plain(vec![
+                            Value::Text(t.name.clone()),
+                            Value::Int(row_no as i64),
+                            Value::Text(col.name.clone()),
+                        ]));
+                    }
+                }
+            }
+        }
+        Ok(qr)
+    }
+
+    fn validate(
+        &mut self,
+        table: &str,
+        columns: &[String],
+        where_clause: Option<&Expr>,
+        user: &str,
+    ) -> Result<QueryResult> {
+        let owner = self.catalog.table(table)?.owner.clone();
+        self.auth.check(user, table, &owner, Privilege::Update)?;
+        let bindings = self.bindings_for(table)?;
+        let t = self.catalog.table(table)?;
+        let cols: Vec<usize> = if columns.is_empty() {
+            (0..t.schema.arity()).collect()
+        } else {
+            columns
+                .iter()
+                .map(|c| t.schema.require(c))
+                .collect::<Result<_>>()?
+        };
+        let mut targets = Vec::new();
+        for (row_no, values) in t.scan()? {
+            let keep = match where_clause {
+                None => true,
+                Some(p) => eval(p, &bindings, &values)?.is_true(),
+            };
+            if keep {
+                targets.push(row_no);
+            }
+        }
+        let t = self.catalog.table_mut(table)?;
+        let mut cleared = 0;
+        for row_no in targets {
+            for &c in &cols {
+                if t.is_outdated(row_no, c) {
+                    t.clear_outdated(row_no, c);
+                    cleared += 1;
+                }
+            }
+        }
+        Ok(QueryResult::message(format!(
+            "{cleared} cell(s) revalidated"
+        )))
+    }
+
+    // ---- provenance API (§4) ----
+
+    /// Create the reserved provenance annotation table on `table`.
+    pub fn enable_provenance(&mut self, table: &str) -> Result<()> {
+        let t = self.catalog.table_mut(table)?;
+        provenance::ensure_provenance_set(t);
+        Ok(())
+    }
+
+    /// Record a provenance annotation over cells (system path — this is
+    /// what integration tools call; end users go through A-SQL and hit
+    /// the PROVENANCE privilege check).
+    pub fn record_provenance(
+        &mut self,
+        table: &str,
+        rows: &[u64],
+        cols: &[usize],
+        record: &ProvenanceRecord,
+    ) -> Result<()> {
+        self.enable_provenance(table)?;
+        let time = self.clock.tick();
+        let t = self.catalog.table_mut(table)?;
+        let set = t
+            .ann_set_mut(provenance::PROVENANCE_TABLE)
+            .expect("just ensured");
+        set.add(&record.to_xml().to_xml(), "system", time, rows, cols);
+        Ok(())
+    }
+
+    /// Figure 8's query: the source of a cell at time `at`.
+    pub fn source_of(
+        &self,
+        table: &str,
+        row: u64,
+        col: usize,
+        at: u64,
+    ) -> Result<Option<ProvenanceRecord>> {
+        Ok(provenance::source_of(self.catalog.table(table)?, row, col, at))
+    }
+
+    /// Full provenance history of a cell.
+    pub fn provenance_history(
+        &self,
+        table: &str,
+        row: u64,
+        col: usize,
+    ) -> Result<Vec<ProvenanceRecord>> {
+        Ok(provenance::history_of(self.catalog.table(table)?, row, col))
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new_in_memory()
+    }
+}

@@ -1,0 +1,648 @@
+//! The annotation-aware query executor (§3.4).
+//!
+//! Every operator follows the paper's extended semantics:
+//!
+//! * **scan** attaches each cell's (non-archived) annotations from the
+//!   annotation tables named in `ANNOTATION(…)`, plus a synthetic
+//!   `outdated` annotation for cells marked in the Figure 10 bitmap
+//!   (§5: *"the database should propagate with those items an annotation
+//!   specifying that the query answer may not be correct"*);
+//! * **selection** (WHERE/HAVING) passes tuples *with all their
+//!   annotations*;
+//! * **projection** passes only the annotations of the projected columns;
+//!   `PROMOTE` copies annotations from non-projected columns onto a
+//!   projected one;
+//! * **AWHERE / AHAVING** filter tuples by a predicate over their
+//!   annotations (a tuple passes when *some* annotation satisfies it);
+//! * **FILTER** keeps every tuple but drops non-matching annotations;
+//! * **duplicate elimination, GROUP BY, UNION, INTERSECT, EXCEPT** union
+//!   the annotations of the tuples they merge (the paper's `+` operator).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bdbms_common::{BdbmsError, Result, Value};
+
+use crate::ast::{AnnExpr, Expr, Projection, Select, SelectItem, SetOp, TableRef};
+use crate::catalog::{Catalog, Table};
+use crate::expr::{eval, referenced_columns, resolve_column, ColBinding};
+use crate::result::{AnnOut, AnnRef, AnnRow, QueryResult};
+use crate::xml::XmlNode;
+
+/// Category name of the synthetic annotations that flag outdated cells.
+pub const OUTDATED_ANN_TABLE: &str = "outdated";
+
+/// Evaluate an annotation predicate against one annotation.
+pub fn eval_ann(cond: &AnnExpr, ann: &AnnOut) -> bool {
+    match cond {
+        AnnExpr::Contains(s) => ann.text().contains(s) || ann.raw.contains(s),
+        AnnExpr::FromTable(t) => ann.ann_table.eq_ignore_ascii_case(t),
+        AnnExpr::PathEq(path, value) => ann.body.path_text(path) == Some(value.as_str()),
+        AnnExpr::Before(t) => ann.created < *t,
+        AnnExpr::After(t) => ann.created >= *t,
+        AnnExpr::And(a, b) => eval_ann(a, ann) && eval_ann(b, ann),
+        AnnExpr::Or(a, b) => eval_ann(a, ann) || eval_ann(b, ann),
+        AnnExpr::Not(a) => !eval_ann(a, ann),
+    }
+}
+
+/// Scan one FROM entry, attaching annotations per the paper's semantics.
+fn scan_source(
+    catalog: &Catalog,
+    tref: &TableRef,
+) -> Result<(Vec<ColBinding>, Vec<AnnRow>)> {
+    let table = catalog.table(&tref.table)?;
+    // validate requested annotation tables up front
+    for ann in &tref.annotations {
+        if table.ann_set(ann).is_none() {
+            return Err(BdbmsError::NotFound(format!(
+                "annotation table `{}` on `{}`",
+                ann, table.name
+            )));
+        }
+    }
+    let qualifier = tref.alias.as_deref().unwrap_or(&tref.table);
+    let bindings: Vec<ColBinding> = table
+        .schema
+        .columns()
+        .iter()
+        .map(|c| ColBinding::new(Some(qualifier), &c.name))
+        .collect();
+    let arity = table.schema.arity();
+    // snapshot cache so one annotation becomes one Rc shared by all cells
+    let mut cache: HashMap<(String, u64), AnnRef> = HashMap::new();
+    let mut rows = Vec::with_capacity(table.len());
+    for (row_no, values) in table.scan()? {
+        let mut anns: Vec<Vec<AnnRef>> = vec![Vec::new(); arity];
+        for set_name in &tref.annotations {
+            let set = table.ann_set(set_name).expect("validated above");
+            for (col, slot) in anns.iter_mut().enumerate() {
+                for a in set.for_cell(row_no, col) {
+                    let key = (set.name.clone(), a.id.raw());
+                    let snap = cache
+                        .entry(key)
+                        .or_insert_with(|| {
+                            Rc::new(AnnOut {
+                                source_table: table.name.clone(),
+                                ann_table: set.name.clone(),
+                                id: a.id.raw(),
+                                raw: a.raw.clone(),
+                                body: a.body.clone(),
+                                created: a.created,
+                            })
+                        })
+                        .clone();
+                    slot.push(snap);
+                }
+            }
+        }
+        // outdated flags propagate as annotations (§5)
+        for (col, slot) in anns.iter_mut().enumerate() {
+            if table.is_outdated(row_no, col) {
+                slot.push(Rc::new(AnnOut {
+                    source_table: table.name.clone(),
+                    ann_table: OUTDATED_ANN_TABLE.to_string(),
+                    id: (row_no << 16) | col as u64,
+                    raw: "outdated: value pending re-verification".to_string(),
+                    body: XmlNode::leaf(
+                        "Annotation",
+                        "outdated: value pending re-verification",
+                    ),
+                    created: 0,
+                }));
+            }
+        }
+        rows.push(AnnRow { values, anns });
+    }
+    Ok((bindings, rows))
+}
+
+fn concat_rows(left: &AnnRow, right: &AnnRow) -> AnnRow {
+    let mut values = left.values.clone();
+    values.extend(right.values.iter().cloned());
+    let mut anns = left.anns.clone();
+    anns.extend(right.anns.iter().cloned());
+    AnnRow { values, anns }
+}
+
+/// Split a predicate into its top-level conjuncts.
+fn conjuncts(e: &Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Binary(a, crate::ast::BinaryOp::And, b) => {
+            conjuncts(a, out);
+            conjuncts(b, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Join `acc` with `next`.  If a WHERE conjunct is an equi-join between a
+/// column of `acc` and a column of `next`, use a hash join (cross products
+/// over gene tables are quadratic); otherwise fall back to the cross
+/// product.  The full WHERE predicate is re-applied afterwards, so using a
+/// conjunct here is purely a speedup.
+fn join_sources(
+    mut acc: (Vec<ColBinding>, Vec<AnnRow>),
+    next: (Vec<ColBinding>, Vec<AnnRow>),
+    where_clause: Option<&Expr>,
+) -> (Vec<ColBinding>, Vec<AnnRow>) {
+    let (nb, nrows) = next;
+    // look for a `left_col = right_col` conjunct; each side must resolve
+    // on exactly one input to be a usable join key
+    let mut key: Option<(usize, usize)> = None;
+    if let Some(pred) = where_clause {
+        let mut cs = Vec::new();
+        conjuncts(pred, &mut cs);
+        'outer: for c in cs {
+            if let Expr::Binary(a, crate::ast::BinaryOp::Eq, b) = &c {
+                if let (Expr::Column(qa, ca), Expr::Column(qb, cb)) = (&**a, &**b) {
+                    for ((q1, c1), (q2, c2)) in [((qa, ca), (qb, cb)), ((qb, cb), (qa, ca))]
+                    {
+                        let l = resolve_column(&acc.0, q1.as_deref(), c1);
+                        let r = resolve_column(&nb, q2.as_deref(), c2);
+                        let l_unambiguous = resolve_column(&nb, q1.as_deref(), c1).is_err();
+                        let r_unambiguous =
+                            resolve_column(&acc.0, q2.as_deref(), c2).is_err();
+                        if let (Ok(l), Ok(r)) = (l, r) {
+                            if l_unambiguous && r_unambiguous {
+                                key = Some((l, r));
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    match key {
+        Some((lcol, rcol)) => {
+            // hash join (NULL keys never match, per SQL)
+            let mut table: HashMap<&Value, Vec<usize>> = HashMap::new();
+            for (i, r) in nrows.iter().enumerate() {
+                if !r.values[rcol].is_null() {
+                    table.entry(&r.values[rcol]).or_default().push(i);
+                }
+            }
+            for left in &acc.1 {
+                if left.values[lcol].is_null() {
+                    continue;
+                }
+                if let Some(matches) = table.get(&left.values[lcol]) {
+                    for &i in matches {
+                        out.push(concat_rows(left, &nrows[i]));
+                    }
+                }
+            }
+        }
+        None => {
+            out.reserve(acc.1.len() * nrows.len().max(1));
+            for left in &acc.1 {
+                for right in &nrows {
+                    out.push(concat_rows(left, right));
+                }
+            }
+        }
+    }
+    acc.0.extend(nb);
+    acc.1 = out;
+    acc
+}
+
+/// Does the expression tree contain an aggregate?
+fn has_aggregate(e: &Expr) -> bool {
+    match e {
+        Expr::Aggregate(..) => true,
+        Expr::Literal(_) | Expr::Column(..) => false,
+        Expr::Unary(_, a) | Expr::IsNull(a, _) | Expr::Like(a, _, _) => has_aggregate(a),
+        Expr::Binary(a, _, b) => has_aggregate(a) || has_aggregate(b),
+        Expr::InList(a, items, _) => {
+            has_aggregate(a) || items.iter().any(has_aggregate)
+        }
+        Expr::Call(_, args) => args.iter().any(has_aggregate),
+    }
+}
+
+/// Evaluate an expression over a *group* of rows: aggregates reduce the
+/// group, everything else is evaluated on the group's first row (group-by
+/// keys are constant within a group).  Empty groups (global aggregates
+/// over empty input) see a row of NULLs.
+fn eval_group(e: &Expr, bindings: &[ColBinding], group: &[AnnRow]) -> Result<Value> {
+    let nulls: Vec<Value>;
+    let first: &[Value] = match group.first() {
+        Some(r) => &r.values,
+        None => {
+            nulls = vec![Value::Null; bindings.len()];
+            &nulls
+        }
+    };
+    match e {
+        Expr::Aggregate(f, arg) => {
+            use crate::ast::AggFunc::*;
+            let mut vals: Vec<Value> = Vec::with_capacity(group.len());
+            for row in group {
+                match arg {
+                    None => vals.push(Value::Int(1)),
+                    Some(a) => {
+                        let v = eval(a, bindings, &row.values)?;
+                        if !v.is_null() {
+                            vals.push(v);
+                        }
+                    }
+                }
+            }
+            Ok(match f {
+                Count => Value::Int(vals.len() as i64),
+                Sum | Avg => {
+                    if vals.is_empty() {
+                        Value::Null
+                    } else {
+                        let all_int = vals.iter().all(|v| matches!(v, Value::Int(_)));
+                        let total: f64 = vals.iter().filter_map(|v| v.as_float()).sum();
+                        match f {
+                            Sum if all_int => Value::Int(total as i64),
+                            Sum => Value::Float(total),
+                            _ => Value::Float(total / vals.len() as f64),
+                        }
+                    }
+                }
+                Min => vals.into_iter().min().unwrap_or(Value::Null),
+                Max => vals.into_iter().max().unwrap_or(Value::Null),
+            })
+        }
+        Expr::Binary(a, op, b) => {
+            // rebuild with pre-evaluated aggregate subtrees
+            let ea = Expr::Literal(eval_group(a, bindings, group)?);
+            let eb = Expr::Literal(eval_group(b, bindings, group)?);
+            eval(&Expr::Binary(Box::new(ea), *op, Box::new(eb)), bindings, first)
+        }
+        Expr::Unary(op, a) => {
+            let ea = Expr::Literal(eval_group(a, bindings, group)?);
+            eval(&Expr::Unary(*op, Box::new(ea)), bindings, first)
+        }
+        other => eval(other, bindings, first),
+    }
+}
+
+/// Expand a projection into concrete items.
+fn expand_projection(
+    projection: &Projection,
+    bindings: &[ColBinding],
+) -> Result<Vec<SelectItem>> {
+    match projection {
+        Projection::Items(items) => Ok(items.clone()),
+        Projection::Star(alias) => {
+            let items: Vec<SelectItem> = bindings
+                .iter()
+                .filter(|b| match alias {
+                    None => true,
+                    Some(a) => b.qualifier.as_deref()
+                        == Some(a.to_ascii_lowercase().as_str()),
+                })
+                .map(|b| SelectItem {
+                    expr: Expr::Column(b.qualifier.clone(), b.name.clone()),
+                    alias: None,
+                    promote: Vec::new(),
+                })
+                .collect();
+            if items.is_empty() {
+                return Err(BdbmsError::Invalid(
+                    "`*` matched no columns (bad alias?)".into(),
+                ));
+            }
+            Ok(items)
+        }
+    }
+}
+
+fn item_name(item: &SelectItem) -> String {
+    if let Some(a) = &item.alias {
+        return a.clone();
+    }
+    match &item.expr {
+        Expr::Column(_, n) => n.clone(),
+        Expr::Aggregate(f, _) => format!("{f:?}").to_lowercase(),
+        _ => "expr".to_string(),
+    }
+}
+
+/// Annotations that flow into one projected item: the referenced columns'
+/// annotations plus any PROMOTE sources (§3.4).
+fn item_ann_columns(
+    item: &SelectItem,
+    bindings: &[ColBinding],
+) -> Result<Vec<usize>> {
+    let mut cols = Vec::new();
+    referenced_columns(&item.expr, bindings, &mut cols)?;
+    for (q, n) in &item.promote {
+        cols.push(resolve_column(bindings, q.as_deref(), n)?);
+    }
+    cols.sort_unstable();
+    cols.dedup();
+    Ok(cols)
+}
+
+/// Merge rows with identical values, unioning annotations (the paper's
+/// duplicate-elimination semantics).
+fn dedup_union(rows: Vec<AnnRow>) -> Vec<AnnRow> {
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut out: Vec<AnnRow> = Vec::new();
+    for row in rows {
+        match index.get(&row.values) {
+            Some(&i) => out[i].union_anns_from(&row),
+            None => {
+                index.insert(row.values.clone(), out.len());
+                out.push(row);
+            }
+        }
+    }
+    out
+}
+
+/// Execute a (possibly compound) SELECT.
+pub fn run_select(catalog: &Catalog, sel: &Select) -> Result<QueryResult> {
+    let mut result = run_simple_select(catalog, sel)?;
+    if let Some((op, right)) = &sel.set_op {
+        let right_res = run_select(catalog, right)?;
+        if right_res.columns.len() != result.columns.len() {
+            return Err(BdbmsError::Invalid(format!(
+                "set operation arity mismatch: {} vs {}",
+                result.columns.len(),
+                right_res.columns.len()
+            )));
+        }
+        let left_rows = dedup_union(result.rows);
+        let right_rows = dedup_union(right_res.rows);
+        let right_index: HashMap<Vec<Value>, usize> = right_rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.values.clone(), i))
+            .collect();
+        let rows = match op {
+            SetOp::Intersect => {
+                // tuples in both; annotations unioned from both sides —
+                // exactly the paper's DB1_Gene ∩ DB2_Gene example
+                let mut out = Vec::new();
+                for mut l in left_rows {
+                    if let Some(&ri) = right_index.get(&l.values) {
+                        l.union_anns_from(&right_rows[ri]);
+                        out.push(l);
+                    }
+                }
+                out
+            }
+            SetOp::Union => {
+                let mut all = left_rows;
+                all.extend(right_rows);
+                dedup_union(all)
+            }
+            SetOp::Except => left_rows
+                .into_iter()
+                .filter(|l| !right_index.contains_key(&l.values))
+                .collect(),
+        };
+        result.rows = rows;
+    }
+    // ORDER BY applies to the final output
+    if !sel.order_by.is_empty() {
+        let mut keys = Vec::new();
+        for ((_, name), desc) in &sel.order_by {
+            let idx = result
+                .columns
+                .iter()
+                .position(|c| c.eq_ignore_ascii_case(name))
+                .ok_or_else(|| {
+                    BdbmsError::NotFound(format!("ORDER BY column `{name}`"))
+                })?;
+            keys.push((idx, *desc));
+        }
+        result.rows.sort_by(|a, b| {
+            for (idx, desc) in &keys {
+                let ord = a.values[*idx].cmp(&b.values[*idx]);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    Ok(result)
+}
+
+fn run_simple_select(catalog: &Catalog, sel: &Select) -> Result<QueryResult> {
+    if sel.from.is_empty() {
+        return Err(BdbmsError::Invalid("SELECT requires FROM".into()));
+    }
+    // FROM: scan + join (hash join on equi-join conjuncts, else cross)
+    let mut source = scan_source(catalog, &sel.from[0])?;
+    for tref in &sel.from[1..] {
+        source = join_sources(
+            source,
+            scan_source(catalog, tref)?,
+            sel.where_clause.as_ref(),
+        );
+    }
+    let (bindings, mut rows) = source;
+
+    // WHERE: selection passes tuples with all their annotations
+    if let Some(pred) = &sel.where_clause {
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            if eval(pred, &bindings, &row.values)?.is_true() {
+                kept.push(row);
+            }
+        }
+        rows = kept;
+    }
+
+    // AWHERE: annotation-based selection (some annotation satisfies)
+    if let Some(cond) = &sel.awhere {
+        rows.retain(|row| row.all_anns().iter().any(|a| eval_ann(cond, a)));
+    }
+
+    let items = expand_projection(&sel.projection, &bindings)?;
+    let aggregated = !sel.group_by.is_empty()
+        || items.iter().any(|i| has_aggregate(&i.expr))
+        || sel.having.as_ref().is_some_and(has_aggregate);
+
+    let mut out_rows: Vec<AnnRow>;
+    let out_columns: Vec<String> = items.iter().map(item_name).collect();
+
+    if aggregated {
+        // group rows by the GROUP BY key
+        let key_idxs: Vec<usize> = sel
+            .group_by
+            .iter()
+            .map(|(q, n)| resolve_column(&bindings, q.as_deref(), n))
+            .collect::<Result<_>>()?;
+        let mut groups: Vec<(Vec<Value>, Vec<AnnRow>)> = Vec::new();
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        for row in rows {
+            let key: Vec<Value> = key_idxs.iter().map(|&i| row.values[i].clone()).collect();
+            match index.get(&key) {
+                Some(&g) => groups[g].1.push(row),
+                None => {
+                    index.insert(key.clone(), groups.len());
+                    groups.push((key, vec![row]));
+                }
+            }
+        }
+        // empty input with no GROUP BY still yields one (empty) group for
+        // global aggregates like COUNT(*)
+        if groups.is_empty() && sel.group_by.is_empty() {
+            groups.push((Vec::new(), Vec::new()));
+        }
+        out_rows = Vec::with_capacity(groups.len());
+        for (_, group) in groups {
+            // HAVING (data predicate over the group)
+            if let Some(h) = &sel.having {
+                if !eval_group(h, &bindings, &group)?.is_true() {
+                    continue;
+                }
+            }
+            // AHAVING: some annotation within the group satisfies
+            if let Some(cond) = &sel.ahaving {
+                let any = group
+                    .iter()
+                    .flat_map(|r| r.all_anns())
+                    .any(|a| eval_ann(cond, &a));
+                if !any {
+                    continue;
+                }
+            }
+            let mut values = Vec::with_capacity(items.len());
+            let mut anns = Vec::with_capacity(items.len());
+            for item in &items {
+                values.push(eval_group(&item.expr, &bindings, &group)?);
+                // annotations: union across the group of referenced cols
+                let cols = item_ann_columns(item, &bindings)?;
+                let mut merged: Vec<AnnRef> = Vec::new();
+                for row in &group {
+                    for &c in &cols {
+                        for a in &row.anns[c] {
+                            if !merged.iter().any(|x| x.identity() == a.identity()) {
+                                merged.push(a.clone());
+                            }
+                        }
+                    }
+                }
+                anns.push(merged);
+            }
+            out_rows.push(AnnRow { values, anns });
+        }
+    } else {
+        if sel.having.is_some() || sel.ahaving.is_some() {
+            return Err(BdbmsError::Invalid(
+                "HAVING/AHAVING require GROUP BY or aggregates".into(),
+            ));
+        }
+        // plain projection: pass only the projected columns' annotations
+        let item_cols: Vec<Vec<usize>> = items
+            .iter()
+            .map(|i| item_ann_columns(i, &bindings))
+            .collect::<Result<_>>()?;
+        out_rows = Vec::with_capacity(rows.len());
+        for row in rows {
+            let mut values = Vec::with_capacity(items.len());
+            let mut anns = Vec::with_capacity(items.len());
+            for (item, cols) in items.iter().zip(&item_cols) {
+                values.push(eval(&item.expr, &bindings, &row.values)?);
+                let mut merged: Vec<AnnRef> = Vec::new();
+                for &c in cols {
+                    for a in &row.anns[c] {
+                        if !merged.iter().any(|x| x.identity() == a.identity()) {
+                            merged.push(a.clone());
+                        }
+                    }
+                }
+                anns.push(merged);
+            }
+            out_rows.push(AnnRow { values, anns });
+        }
+    }
+
+    // DISTINCT: merge duplicates, unioning annotations (§3.4)
+    if sel.distinct {
+        out_rows = dedup_union(out_rows);
+    }
+
+    // FILTER: keep tuples, drop non-matching annotations (§3.4)
+    if let Some(cond) = &sel.filter {
+        for row in &mut out_rows {
+            for col in &mut row.anns {
+                col.retain(|a| eval_ann(cond, a));
+            }
+        }
+    }
+
+    Ok(QueryResult {
+        columns: out_columns,
+        rows: out_rows,
+        affected: 0,
+        message: None,
+    })
+}
+
+/// Resolve an annotation-command target (`ADD/ARCHIVE/RESTORE … ON
+/// (SELECT …)`) to concrete cells of one table.
+///
+/// The paper's granularity-selection queries are simple single-table
+/// SELECTs (its §3.2 examples), and that is what bdbms supports here:
+/// one table, plain column projection (or `*`), optional WHERE.
+pub fn select_cells(
+    catalog: &Catalog,
+    sel: &Select,
+) -> Result<(String, Vec<u64>, Vec<usize>)> {
+    if sel.from.len() != 1
+        || sel.set_op.is_some()
+        || !sel.group_by.is_empty()
+        || sel.having.is_some()
+        || sel.distinct
+        || sel.awhere.is_some()
+        || sel.ahaving.is_some()
+        || sel.filter.is_some()
+    {
+        return Err(BdbmsError::Invalid(
+            "annotation target must be a simple single-table SELECT \
+             (no set ops, grouping, DISTINCT, or annotation clauses)"
+                .into(),
+        ));
+    }
+    let tref = &sel.from[0];
+    let table: &Table = catalog.table(&tref.table)?;
+    let qualifier = tref.alias.as_deref().unwrap_or(&tref.table);
+    let bindings: Vec<ColBinding> = table
+        .schema
+        .columns()
+        .iter()
+        .map(|c| ColBinding::new(Some(qualifier), &c.name))
+        .collect();
+    // target columns
+    let items = expand_projection(&sel.projection, &bindings)?;
+    let mut cols = Vec::with_capacity(items.len());
+    for item in &items {
+        match &item.expr {
+            Expr::Column(q, n) => cols.push(resolve_column(&bindings, q.as_deref(), n)?),
+            _ => {
+                return Err(BdbmsError::Invalid(
+                    "annotation target must project plain columns".into(),
+                ))
+            }
+        }
+    }
+    cols.sort_unstable();
+    cols.dedup();
+    // target rows
+    let mut row_nos = Vec::new();
+    for (row_no, values) in table.scan()? {
+        let keep = match &sel.where_clause {
+            None => true,
+            Some(pred) => eval(pred, &bindings, &values)?.is_true(),
+        };
+        if keep {
+            row_nos.push(row_no);
+        }
+    }
+    Ok((table.name.clone(), row_nos, cols))
+}

@@ -1,0 +1,504 @@
+//! Scalar expression evaluation.
+
+use bdbms_common::{BdbmsError, Result, Value};
+use bdbms_index::regex::Regex;
+
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+
+/// One column binding in scope: optional qualifier (table name or alias,
+/// lowercased) + column name.
+#[derive(Debug, Clone)]
+pub struct ColBinding {
+    /// Qualifier this column answers to (alias if given, else table name).
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+}
+
+impl ColBinding {
+    /// New binding.
+    pub fn new(qualifier: Option<&str>, name: &str) -> ColBinding {
+        ColBinding {
+            qualifier: qualifier.map(|q| q.to_ascii_lowercase()),
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Resolve a (possibly qualified) column reference to its index.
+pub fn resolve_column(
+    bindings: &[ColBinding],
+    qualifier: Option<&str>,
+    name: &str,
+) -> Result<usize> {
+    let q = qualifier.map(|q| q.to_ascii_lowercase());
+    let matches: Vec<usize> = bindings
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| {
+            b.name.eq_ignore_ascii_case(name)
+                && match &q {
+                    None => true,
+                    Some(q) => b.qualifier.as_deref() == Some(q.as_str()),
+                }
+        })
+        .map(|(i, _)| i)
+        .collect();
+    match matches.len() {
+        0 => Err(BdbmsError::NotFound(format!(
+            "column `{}{}`",
+            qualifier.map(|q| format!("{q}.")).unwrap_or_default(),
+            name
+        ))),
+        1 => Ok(matches[0]),
+        _ => Err(BdbmsError::Invalid(format!(
+            "ambiguous column `{name}` (qualify it)"
+        ))),
+    }
+}
+
+/// All column indexes referenced by an expression (for annotation
+/// propagation through projections).
+pub fn referenced_columns(
+    expr: &Expr,
+    bindings: &[ColBinding],
+    out: &mut Vec<usize>,
+) -> Result<()> {
+    match expr {
+        Expr::Literal(_) => Ok(()),
+        Expr::Column(q, n) => {
+            out.push(resolve_column(bindings, q.as_deref(), n)?);
+            Ok(())
+        }
+        Expr::Unary(_, e) | Expr::IsNull(e, _) | Expr::Like(e, _, _) => {
+            referenced_columns(e, bindings, out)
+        }
+        Expr::Binary(l, _, r) => {
+            referenced_columns(l, bindings, out)?;
+            referenced_columns(r, bindings, out)
+        }
+        Expr::InList(e, items, _) => {
+            referenced_columns(e, bindings, out)?;
+            for i in items {
+                referenced_columns(i, bindings, out)?;
+            }
+            Ok(())
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                referenced_columns(a, bindings, out)?;
+            }
+            Ok(())
+        }
+        Expr::Aggregate(_, arg) => {
+            if let Some(a) = arg {
+                referenced_columns(a, bindings, out)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Evaluate an expression over one row.  Aggregates are rejected here —
+/// the executor computes them per group.
+pub fn eval(expr: &Expr, bindings: &[ColBinding], values: &[Value]) -> Result<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column(q, n) => {
+            let idx = resolve_column(bindings, q.as_deref(), n)?;
+            Ok(values[idx].clone())
+        }
+        Expr::Unary(UnaryOp::Not, e) => {
+            let v = eval(e, bindings, values)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                other => Err(BdbmsError::Eval(format!(
+                    "NOT applied to {}",
+                    other.type_name()
+                ))),
+            }
+        }
+        Expr::Unary(UnaryOp::Neg, e) => {
+            let v = eval(e, bindings, values)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(f) => Ok(Value::Float(-f)),
+                other => Err(BdbmsError::Eval(format!(
+                    "negation of {}",
+                    other.type_name()
+                ))),
+            }
+        }
+        Expr::IsNull(e, negated) => {
+            let v = eval(e, bindings, values)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::Like(e, pattern, negated) => {
+            let v = eval(e, bindings, values)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => {
+                    let hit = like_match(&s, pattern)?;
+                    Ok(Value::Bool(hit != *negated))
+                }
+                other => Err(BdbmsError::Eval(format!(
+                    "LIKE applied to {}",
+                    other.type_name()
+                ))),
+            }
+        }
+        Expr::InList(e, items, negated) => {
+            let v = eval(e, bindings, values)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut found = false;
+            for item in items {
+                let iv = eval(item, bindings, values)?;
+                if v.sql_cmp(&iv) == Some(std::cmp::Ordering::Equal) {
+                    found = true;
+                    break;
+                }
+            }
+            Ok(Value::Bool(found != *negated))
+        }
+        Expr::Binary(l, op, r) => eval_binary(l, *op, r, bindings, values),
+        Expr::Call(name, args) => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval(a, bindings, values))
+                .collect::<Result<_>>()?;
+            eval_function(name, &vals)
+        }
+        Expr::Aggregate(..) => Err(BdbmsError::Eval(
+            "aggregate used outside GROUP BY context".into(),
+        )),
+    }
+}
+
+fn eval_binary(
+    l: &Expr,
+    op: BinaryOp,
+    r: &Expr,
+    bindings: &[ColBinding],
+    values: &[Value],
+) -> Result<Value> {
+    // short-circuit logic with SQL three-valued semantics
+    if matches!(op, BinaryOp::And | BinaryOp::Or) {
+        let lv = eval(l, bindings, values)?;
+        match (op, &lv) {
+            (BinaryOp::And, Value::Bool(false)) => return Ok(Value::Bool(false)),
+            (BinaryOp::Or, Value::Bool(true)) => return Ok(Value::Bool(true)),
+            _ => {}
+        }
+        let rv = eval(r, bindings, values)?;
+        return match (op, lv, rv) {
+            (BinaryOp::And, Value::Bool(a), Value::Bool(b)) => Ok(Value::Bool(a && b)),
+            (BinaryOp::Or, Value::Bool(a), Value::Bool(b)) => Ok(Value::Bool(a || b)),
+            (BinaryOp::And, Value::Null, Value::Bool(false))
+            | (BinaryOp::And, Value::Bool(false), Value::Null) => Ok(Value::Bool(false)),
+            (BinaryOp::Or, Value::Null, Value::Bool(true))
+            | (BinaryOp::Or, Value::Bool(true), Value::Null) => Ok(Value::Bool(true)),
+            (_, Value::Null, _) | (_, _, Value::Null) => Ok(Value::Null),
+            (_, a, b) => Err(BdbmsError::Eval(format!(
+                "logic over {} and {}",
+                a.type_name(),
+                b.type_name()
+            ))),
+        };
+    }
+    let lv = eval(l, bindings, values)?;
+    let rv = eval(r, bindings, values)?;
+    match op {
+        BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt
+        | BinaryOp::Ge => {
+            let cmp = lv.sql_cmp(&rv);
+            let Some(ord) = cmp else {
+                return Ok(Value::Null);
+            };
+            let b = match op {
+                BinaryOp::Eq => ord.is_eq(),
+                BinaryOp::Ne => ord.is_ne(),
+                BinaryOp::Lt => ord.is_lt(),
+                BinaryOp::Le => ord.is_le(),
+                BinaryOp::Gt => ord.is_gt(),
+                BinaryOp::Ge => ord.is_ge(),
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        BinaryOp::Concat => match (lv, rv) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (a, b) => Ok(Value::Text(format!("{a}{b}"))),
+        },
+        BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => {
+            arith(op, lv, rv)
+        }
+        BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
+    }
+}
+
+fn arith(op: BinaryOp, lv: Value, rv: Value) -> Result<Value> {
+    if lv.is_null() || rv.is_null() {
+        return Ok(Value::Null);
+    }
+    // integer arithmetic when both are ints (except division by zero)
+    if let (Value::Int(a), Value::Int(b)) = (&lv, &rv) {
+        return match op {
+            BinaryOp::Add => Ok(Value::Int(a.wrapping_add(*b))),
+            BinaryOp::Sub => Ok(Value::Int(a.wrapping_sub(*b))),
+            BinaryOp::Mul => Ok(Value::Int(a.wrapping_mul(*b))),
+            BinaryOp::Div => {
+                if *b == 0 {
+                    Err(BdbmsError::Eval("division by zero".into()))
+                } else {
+                    Ok(Value::Int(a / b))
+                }
+            }
+            BinaryOp::Mod => {
+                if *b == 0 {
+                    Err(BdbmsError::Eval("modulo by zero".into()))
+                } else {
+                    Ok(Value::Int(a % b))
+                }
+            }
+            _ => unreachable!(),
+        };
+    }
+    let (a, b) = match (lv.as_float(), rv.as_float()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(BdbmsError::Eval(format!(
+                "arithmetic over {} and {}",
+                lv.type_name(),
+                rv.type_name()
+            )))
+        }
+    };
+    let out = match op {
+        BinaryOp::Add => a + b,
+        BinaryOp::Sub => a - b,
+        BinaryOp::Mul => a * b,
+        BinaryOp::Div => {
+            if b == 0.0 {
+                return Err(BdbmsError::Eval("division by zero".into()));
+            }
+            a / b
+        }
+        BinaryOp::Mod => a % b,
+        _ => unreachable!(),
+    };
+    Ok(Value::Float(out))
+}
+
+fn eval_function(name: &str, args: &[Value]) -> Result<Value> {
+    let argc = |n: usize| -> Result<()> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(BdbmsError::Eval(format!(
+                "{name} expects {n} argument(s), got {}",
+                args.len()
+            )))
+        }
+    };
+    match name {
+        "LENGTH" => {
+            argc(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => Ok(Value::Int(s.chars().count() as i64)),
+                other => Err(BdbmsError::Eval(format!(
+                    "LENGTH of {}",
+                    other.type_name()
+                ))),
+            }
+        }
+        "UPPER" | "LOWER" => {
+            argc(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => Ok(Value::Text(if name == "UPPER" {
+                    s.to_uppercase()
+                } else {
+                    s.to_lowercase()
+                })),
+                other => Err(BdbmsError::Eval(format!("{name} of {}", other.type_name()))),
+            }
+        }
+        "ABS" => {
+            argc(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                Value::Float(f) => Ok(Value::Float(f.abs())),
+                other => Err(BdbmsError::Eval(format!("ABS of {}", other.type_name()))),
+            }
+        }
+        "SUBSTR" => {
+            argc(3)?;
+            match (&args[0], &args[1], &args[2]) {
+                (Value::Null, _, _) => Ok(Value::Null),
+                (Value::Text(s), Value::Int(start), Value::Int(len)) => {
+                    let start = (*start).max(1) as usize - 1;
+                    let len = (*len).max(0) as usize;
+                    Ok(Value::Text(s.chars().skip(start).take(len).collect()))
+                }
+                _ => Err(BdbmsError::Eval("SUBSTR(text, int, int) expected".into())),
+            }
+        }
+        "TRIM" => {
+            argc(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => Ok(Value::Text(s.trim().to_string())),
+                other => Err(BdbmsError::Eval(format!("TRIM of {}", other.type_name()))),
+            }
+        }
+        other => Err(BdbmsError::Eval(format!("unknown function `{other}`"))),
+    }
+}
+
+/// SQL LIKE via the workspace regex engine: `%` → `.*`, `_` → `.`,
+/// everything else escaped.
+pub fn like_match(s: &str, pattern: &str) -> Result<bool> {
+    let mut re = String::with_capacity(pattern.len() * 2);
+    for ch in pattern.chars() {
+        match ch {
+            '%' => re.push_str(".*"),
+            '_' => re.push('.'),
+            c if "\\.*+?()[]|".contains(c) => {
+                re.push('\\');
+                re.push(c);
+            }
+            c => re.push(c),
+        }
+    }
+    let compiled = Regex::compile(&re)
+        .map_err(|e| BdbmsError::Eval(format!("bad LIKE pattern: {e}")))?;
+    Ok(compiled.is_match(s.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::ast::Statement;
+
+    fn where_expr(sql: &str) -> Expr {
+        match parse(&format!("SELECT * FROM t WHERE {sql}")).unwrap() {
+            Statement::Select(s) => s.where_clause.unwrap(),
+            _ => panic!(),
+        }
+    }
+
+    fn ctx() -> (Vec<ColBinding>, Vec<Value>) {
+        (
+            vec![
+                ColBinding::new(Some("g"), "GID"),
+                ColBinding::new(Some("g"), "len"),
+                ColBinding::new(Some("g"), "score"),
+                ColBinding::new(Some("g"), "note"),
+            ],
+            vec![
+                Value::Text("JW0080".into()),
+                Value::Int(12),
+                Value::Float(2.5),
+                Value::Null,
+            ],
+        )
+    }
+
+    fn run(sql: &str) -> Value {
+        let (b, v) = ctx();
+        eval(&where_expr(sql), &b, &v).unwrap()
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(run("len > 10 AND score < 3"), Value::Bool(true));
+        assert_eq!(run("len > 10 AND score > 3"), Value::Bool(false));
+        assert_eq!(run("len = 12 OR 1 = 2"), Value::Bool(true));
+        assert_eq!(run("NOT len = 12"), Value::Bool(false));
+        assert_eq!(run("GID = 'JW0080'"), Value::Bool(true));
+        assert_eq!(run("g.GID <> 'JW0080'"), Value::Bool(false));
+    }
+
+    #[test]
+    fn null_semantics() {
+        assert_eq!(run("note = 'x'"), Value::Null);
+        assert_eq!(run("note IS NULL"), Value::Bool(true));
+        assert_eq!(run("note IS NOT NULL"), Value::Bool(false));
+        assert_eq!(run("note = 'x' OR len = 12"), Value::Bool(true));
+        assert_eq!(run("note = 'x' AND 1 = 2"), Value::Bool(false));
+        assert!(!run("note = 'x'").is_true());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(run("len + 1 = 13"), Value::Bool(true));
+        assert_eq!(run("len * 2 - 4 = 20"), Value::Bool(true));
+        assert_eq!(run("len / 5 = 2"), Value::Bool(true), "integer division");
+        assert_eq!(run("len % 5 = 2"), Value::Bool(true));
+        assert_eq!(run("score * 2 = 5.0"), Value::Bool(true));
+        let (b, v) = ctx();
+        assert!(eval(&where_expr("len / 0 = 1"), &b, &v).is_err());
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert_eq!(run("GID LIKE 'JW%'"), Value::Bool(true));
+        assert_eq!(run("GID LIKE 'JW___0'"), Value::Bool(true));
+        assert_eq!(run("GID LIKE 'JW___9'"), Value::Bool(false));
+        assert_eq!(run("GID LIKE 'JW00_0'"), Value::Bool(true));
+        assert_eq!(run("GID NOT LIKE '%99'"), Value::Bool(true));
+        assert_eq!(run("GID LIKE '%008%'"), Value::Bool(true));
+    }
+
+    #[test]
+    fn in_list() {
+        assert_eq!(run("GID IN ('JW0080', 'JW0082')"), Value::Bool(true));
+        assert_eq!(run("len NOT IN (1, 2, 3)"), Value::Bool(true));
+        assert_eq!(run("note IN ('a')"), Value::Null);
+    }
+
+    #[test]
+    fn functions() {
+        assert_eq!(run("LENGTH(GID) = 6"), Value::Bool(true));
+        assert_eq!(run("UPPER('atg') = 'ATG'"), Value::Bool(true));
+        assert_eq!(run("SUBSTR(GID, 1, 2) = 'JW'"), Value::Bool(true));
+        assert_eq!(run("ABS(0 - len) = 12"), Value::Bool(true));
+        assert_eq!(run("TRIM('  x ') = 'x'"), Value::Bool(true));
+        assert_eq!(run("GID || '!' = 'JW0080!'"), Value::Bool(true));
+    }
+
+    #[test]
+    fn resolution_errors() {
+        let (b, v) = ctx();
+        assert!(eval(&where_expr("missing = 1"), &b, &v).is_err());
+        // ambiguity
+        let b2 = vec![
+            ColBinding::new(Some("a"), "x"),
+            ColBinding::new(Some("b"), "x"),
+        ];
+        let e = where_expr("x = 1");
+        assert!(eval(&e, &b2, &[Value::Int(1), Value::Int(2)]).is_err());
+        let e = where_expr("b.x = 2");
+        assert_eq!(
+            eval(&e, &b2, &[Value::Int(1), Value::Int(2)]).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn referenced_columns_walks_everything() {
+        let (b, _) = ctx();
+        let e = where_expr("LENGTH(GID) + len > score");
+        let mut cols = Vec::new();
+        referenced_columns(&e, &b, &mut cols).unwrap();
+        cols.sort_unstable();
+        assert_eq!(cols, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Tokenizer for SQL / A-SQL.
+
+use bdbms_common::{BdbmsError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (uppercased match, original preserved).
+    Ident(String),
+    /// String literal (single quotes, `''` escape).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Punctuation / operator.
+    Sym(&'static str),
+}
+
+impl Token {
+    /// Is this the identifier/keyword `kw` (case-insensitive)?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize an input statement.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let b = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // -- line comments
+        if c == b'-' && b.get(i + 1) == Some(&b'-') {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push(Token::Ident(input[start..i].to_string()));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            let mut is_float = false;
+            if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+            {
+                is_float = true;
+                i += 1;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            // scientific notation (BLAST E-values: 2e-04)
+            if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                let mut j = i + 1;
+                if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+                    j += 1;
+                }
+                if j < b.len() && b[j].is_ascii_digit() {
+                    is_float = true;
+                    i = j;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            let text = &input[start..i];
+            if is_float {
+                out.push(Token::Float(text.parse().map_err(|_| {
+                    BdbmsError::Parse(format!("bad float literal `{text}`"))
+                })?));
+            } else {
+                out.push(Token::Int(text.parse().map_err(|_| {
+                    BdbmsError::Parse(format!("bad integer literal `{text}`"))
+                })?));
+            }
+            continue;
+        }
+        if c == b'\'' {
+            let mut s = String::new();
+            i += 1;
+            loop {
+                match b.get(i) {
+                    None => {
+                        return Err(BdbmsError::Parse("unterminated string literal".into()))
+                    }
+                    Some(b'\'') if b.get(i + 1) == Some(&b'\'') => {
+                        s.push('\'');
+                        i += 2;
+                    }
+                    Some(b'\'') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        // consume a full UTF-8 scalar
+                        let rest = &input[i..];
+                        let ch = rest.chars().next().unwrap();
+                        s.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+            }
+            out.push(Token::Str(s));
+            continue;
+        }
+        // multi-char operators first
+        let two = &input[i..(i + 2).min(input.len())];
+        let sym: &'static str = match two {
+            "<=" => "<=",
+            ">=" => ">=",
+            "<>" => "<>",
+            "!=" => "<>",
+            "||" => "||",
+            _ => "",
+        };
+        if !sym.is_empty() {
+            out.push(Token::Sym(sym));
+            i += 2;
+            continue;
+        }
+        let sym: &'static str = match c {
+            b'(' => "(",
+            b')' => ")",
+            b',' => ",",
+            b'.' => ".",
+            b';' => ";",
+            b'*' => "*",
+            b'+' => "+",
+            b'-' => "-",
+            b'/' => "/",
+            b'%' => "%",
+            b'=' => "=",
+            b'<' => "<",
+            b'>' => ">",
+            _ => {
+                return Err(BdbmsError::Parse(format!(
+                    "unexpected character `{}`",
+                    c as char
+                )))
+            }
+        };
+        out.push(Token::Sym(sym));
+        i += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_strings_numbers() {
+        let toks = lex("SELECT GID FROM DB1_Gene WHERE E = 2e-04 AND n >= 3.5 -- tail")
+            .unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert!(toks.contains(&Token::Float(2e-4)));
+        assert!(toks.contains(&Token::Sym(">=")));
+        assert!(toks.contains(&Token::Float(3.5)));
+        // comment dropped
+        assert!(!toks.iter().any(|t| t.is_kw("tail")));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = lex("'it''s a gene'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's a gene".into())]);
+    }
+
+    #[test]
+    fn xml_in_string() {
+        let toks = lex("VALUE '<Annotation>obtained from GenoBase</Annotation>'").unwrap();
+        assert_eq!(toks.len(), 2);
+        match &toks[1] {
+            Token::Str(s) => assert!(s.starts_with("<Annotation>")),
+            t => panic!("unexpected {t:?}"),
+        }
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("a<>b != c || d").unwrap();
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t, Token::Sym(_)))
+                .count(),
+            3
+        );
+        assert!(toks.contains(&Token::Sym("||")));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("a ? b").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let toks = lex("'σ-factor'").unwrap();
+        assert_eq!(toks, vec![Token::Str("σ-factor".into())]);
+    }
+}

@@ -1,0 +1,1252 @@
+//! Recursive-descent parser for SQL + A-SQL.
+
+use bdbms_common::{BdbmsError, DataType, Result, Value};
+
+use crate::ast::*;
+use crate::lexer::{lex, Token};
+
+/// Parse one statement (trailing `;` allowed).
+pub fn parse(input: &str) -> Result<Statement> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.accept_sym(";");
+    if p.pos != p.tokens.len() {
+        return Err(BdbmsError::Parse(format!(
+            "unexpected trailing tokens starting at {:?}",
+            p.tokens[p.pos]
+        )));
+    }
+    Ok(stmt)
+}
+
+/// Keywords that terminate a table alias position.
+const CLAUSE_KEYWORDS: &[&str] = &[
+    "WHERE", "AWHERE", "GROUP", "HAVING", "AHAVING", "FILTER", "ORDER", "INTERSECT", "UNION",
+    "EXCEPT", "ON", "SET", "VALUES", "ANNOTATION", "JOIN", "AND", "BETWEEN",
+];
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, what: &str) -> BdbmsError {
+        match self.peek() {
+            Some(t) => BdbmsError::Parse(format!("expected {what}, found {t:?}")),
+            None => BdbmsError::Parse(format!("expected {what}, found end of input")),
+        }
+    }
+
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.accept_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err_here(&format!("keyword {kw}")))
+        }
+    }
+
+    fn accept_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Sym(x)) if *x == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<()> {
+        if self.accept_sym(s) {
+            Ok(())
+        } else {
+            Err(self.err_here(&format!("`{s}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err_here("identifier"))
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        match self.bump() {
+            Some(Token::Str(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err_here("string literal"))
+            }
+        }
+    }
+
+    fn uint(&mut self) -> Result<u64> {
+        match self.bump() {
+            Some(Token::Int(i)) if i >= 0 => Ok(i as u64),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err_here("non-negative integer"))
+            }
+        }
+    }
+
+    // ---- statements ----
+
+    fn statement(&mut self) -> Result<Statement> {
+        let t = self.peek().ok_or_else(|| self.err_here("statement"))?;
+        match t {
+            t if t.is_kw("CREATE") => self.create_stmt(),
+            t if t.is_kw("DROP") => self.drop_stmt(),
+            t if t.is_kw("ADD") => self.add_annotation(),
+            t if t.is_kw("ARCHIVE") => self.archive_restore(true),
+            t if t.is_kw("RESTORE") => self.archive_restore(false),
+            t if t.is_kw("SELECT") => Ok(Statement::Select(self.select()?)),
+            t if t.is_kw("INSERT") => self.insert(),
+            t if t.is_kw("UPDATE") => self.update(),
+            t if t.is_kw("DELETE") => self.delete(),
+            t if t.is_kw("GRANT") => self.grant(true),
+            t if t.is_kw("REVOKE") => self.grant(false),
+            t if t.is_kw("START") => self.start_approval(),
+            t if t.is_kw("STOP") => self.stop_approval(),
+            t if t.is_kw("APPROVE") => {
+                self.bump();
+                self.expect_kw("OPERATION")?;
+                Ok(Statement::ApproveOperation { id: self.uint()? })
+            }
+            t if t.is_kw("DISAPPROVE") => {
+                self.bump();
+                self.expect_kw("OPERATION")?;
+                Ok(Statement::DisapproveOperation { id: self.uint()? })
+            }
+            t if t.is_kw("SHOW") => self.show(),
+            t if t.is_kw("VALIDATE") => self.validate(),
+            _ => Err(self.err_here("statement keyword")),
+        }
+    }
+
+    fn create_stmt(&mut self) -> Result<Statement> {
+        self.expect_kw("CREATE")?;
+        if self.accept_kw("TABLE") {
+            let name = self.ident()?;
+            self.expect_sym("(")?;
+            let mut columns = Vec::new();
+            loop {
+                let col = self.ident()?;
+                let ty = DataType::parse(&self.ident()?)?;
+                columns.push((col, ty));
+                if !self.accept_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            return Ok(Statement::CreateTable { name, columns });
+        }
+        if self.accept_kw("ANNOTATION") {
+            self.expect_kw("TABLE")?;
+            let name = self.ident()?;
+            self.expect_kw("ON")?;
+            let on = self.ident()?;
+            let mut cell_scheme = false;
+            if self.accept_kw("SCHEME") {
+                let scheme = self.ident()?;
+                cell_scheme = match scheme.to_ascii_uppercase().as_str() {
+                    "CELL" => true,
+                    "RECTANGLE" | "RECT" => false,
+                    other => {
+                        return Err(BdbmsError::Parse(format!(
+                            "unknown annotation scheme `{other}`"
+                        )))
+                    }
+                };
+            }
+            return Ok(Statement::CreateAnnotationTable {
+                name,
+                on,
+                cell_scheme,
+            });
+        }
+        if self.accept_kw("USER") {
+            let name = self.ident()?;
+            let mut groups = Vec::new();
+            if self.accept_kw("IN") {
+                self.expect_kw("GROUP")?;
+                loop {
+                    groups.push(self.ident()?);
+                    if !self.accept_sym(",") {
+                        break;
+                    }
+                }
+            }
+            return Ok(Statement::CreateUser { name, groups });
+        }
+        if self.accept_kw("DEPENDENCY") {
+            self.expect_kw("RULE")?;
+            let name = self.ident()?;
+            self.expect_kw("FROM")?;
+            let mut from = Vec::new();
+            loop {
+                from.push(self.qualified()?);
+                if !self.accept_sym(",") {
+                    break;
+                }
+            }
+            self.expect_kw("TO")?;
+            let to = self.qualified()?;
+            self.expect_kw("VIA")?;
+            self.expect_kw("PROCEDURE")?;
+            let procedure = self.string()?;
+            let mut executable = false;
+            let mut invertible = false;
+            loop {
+                if self.accept_kw("EXECUTABLE") {
+                    executable = true;
+                } else if self.accept_kw("INVERTIBLE") {
+                    invertible = true;
+                } else {
+                    break;
+                }
+            }
+            let link = if self.accept_kw("LINK") {
+                let a = self.qualified()?;
+                self.expect_sym("=")?;
+                let b = self.qualified()?;
+                Some((format!("{}.{}", a.0, a.1), format!("{}.{}", b.0, b.1)))
+            } else {
+                None
+            };
+            return Ok(Statement::CreateDependencyRule {
+                name,
+                from: from.into_iter().collect(),
+                to,
+                procedure,
+                executable,
+                invertible,
+                link,
+            });
+        }
+        Err(self.err_here("TABLE, ANNOTATION TABLE, USER, or DEPENDENCY RULE"))
+    }
+
+    /// `table.column` (both parts required here).
+    fn qualified(&mut self) -> Result<(String, String)> {
+        let a = self.ident()?;
+        self.expect_sym(".")?;
+        let b = self.ident()?;
+        Ok((a, b))
+    }
+
+    fn drop_stmt(&mut self) -> Result<Statement> {
+        self.expect_kw("DROP")?;
+        if self.accept_kw("TABLE") {
+            return Ok(Statement::DropTable { name: self.ident()? });
+        }
+        if self.accept_kw("ANNOTATION") {
+            self.expect_kw("TABLE")?;
+            let name = self.ident()?;
+            self.expect_kw("ON")?;
+            let on = self.ident()?;
+            return Ok(Statement::DropAnnotationTable { name, on });
+        }
+        if self.accept_kw("DEPENDENCY") {
+            self.expect_kw("RULE")?;
+            return Ok(Statement::DropDependencyRule { name: self.ident()? });
+        }
+        Err(self.err_here("TABLE, ANNOTATION TABLE, or DEPENDENCY RULE"))
+    }
+
+    /// `t.a` pairs for ADD/ARCHIVE/RESTORE ANNOTATION.
+    fn ann_table_list(&mut self) -> Result<Vec<(String, String)>> {
+        let mut out = Vec::new();
+        loop {
+            out.push(self.qualified()?);
+            if !self.accept_sym(",") {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn add_annotation(&mut self) -> Result<Statement> {
+        self.expect_kw("ADD")?;
+        self.expect_kw("ANNOTATION")?;
+        self.expect_kw("TO")?;
+        let to = self.ann_table_list()?;
+        self.expect_kw("VALUE")?;
+        let value = self.string()?;
+        self.expect_kw("ON")?;
+        self.expect_sym("(")?;
+        let on = match self.peek() {
+            Some(t) if t.is_kw("SELECT") => AnnTarget::Select(Box::new(self.select()?)),
+            Some(t) if t.is_kw("INSERT") => AnnTarget::Insert(Box::new(self.insert()?)),
+            Some(t) if t.is_kw("UPDATE") => AnnTarget::Update(Box::new(self.update()?)),
+            Some(t) if t.is_kw("DELETE") => AnnTarget::Delete(Box::new(self.delete()?)),
+            _ => return Err(self.err_here("SELECT, INSERT, UPDATE, or DELETE")),
+        };
+        self.expect_sym(")")?;
+        Ok(Statement::AddAnnotation { to, value, on })
+    }
+
+    fn archive_restore(&mut self, archive: bool) -> Result<Statement> {
+        self.bump(); // ARCHIVE | RESTORE
+        self.expect_kw("ANNOTATION")?;
+        self.expect_kw("FROM")?;
+        let from = self.ann_table_list()?;
+        let between = if self.accept_kw("BETWEEN") {
+            let a = self.uint()?;
+            self.expect_kw("AND")?;
+            let b = self.uint()?;
+            Some((a, b))
+        } else {
+            None
+        };
+        self.expect_kw("ON")?;
+        self.expect_sym("(")?;
+        let on = self.select()?;
+        self.expect_sym(")")?;
+        Ok(if archive {
+            Statement::ArchiveAnnotation { from, between, on }
+        } else {
+            Statement::RestoreAnnotation { from, between, on }
+        })
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw("INSERT")?;
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_sym("(")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.accept_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            rows.push(row);
+            if !self.accept_sym(",") {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        self.expect_kw("UPDATE")?;
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_sym("=")?;
+            sets.push((col, self.expr()?));
+            if !self.accept_sym(",") {
+                break;
+            }
+        }
+        let where_clause = if self.accept_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            sets,
+            where_clause,
+        })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw("DELETE")?;
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+        let where_clause = if self.accept_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete {
+            table,
+            where_clause,
+        })
+    }
+
+    fn grant(&mut self, grant: bool) -> Result<Statement> {
+        self.bump(); // GRANT | REVOKE
+        let mut privileges = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let p = Privilege::parse(&name)
+                .ok_or_else(|| BdbmsError::Parse(format!("unknown privilege `{name}`")))?;
+            privileges.push(p);
+            if !self.accept_sym(",") {
+                break;
+            }
+        }
+        self.expect_kw("ON")?;
+        let table = self.ident()?;
+        if grant {
+            self.expect_kw("TO")?;
+            Ok(Statement::Grant {
+                privileges,
+                table,
+                to: self.ident()?,
+            })
+        } else {
+            self.expect_kw("FROM")?;
+            Ok(Statement::Revoke {
+                privileges,
+                table,
+                from: self.ident()?,
+            })
+        }
+    }
+
+    fn start_approval(&mut self) -> Result<Statement> {
+        self.expect_kw("START")?;
+        self.expect_kw("CONTENT")?;
+        self.expect_kw("APPROVAL")?;
+        self.expect_kw("ON")?;
+        let table = self.ident()?;
+        let mut columns = Vec::new();
+        if self.accept_kw("COLUMNS") {
+            loop {
+                columns.push(self.ident()?);
+                if !self.accept_sym(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_kw("APPROVED")?;
+        self.expect_kw("BY")?;
+        let approved_by = self.ident()?;
+        Ok(Statement::StartContentApproval {
+            table,
+            columns,
+            approved_by,
+        })
+    }
+
+    fn stop_approval(&mut self) -> Result<Statement> {
+        self.expect_kw("STOP")?;
+        self.expect_kw("CONTENT")?;
+        self.expect_kw("APPROVAL")?;
+        self.expect_kw("ON")?;
+        let table = self.ident()?;
+        let mut columns = Vec::new();
+        if self.accept_kw("COLUMNS") {
+            loop {
+                columns.push(self.ident()?);
+                if !self.accept_sym(",") {
+                    break;
+                }
+            }
+        }
+        Ok(Statement::StopContentApproval { table, columns })
+    }
+
+    fn show(&mut self) -> Result<Statement> {
+        self.expect_kw("SHOW")?;
+        if self.accept_kw("PENDING") {
+            self.expect_kw("OPERATIONS")?;
+            let table = if self.accept_kw("ON") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            return Ok(Statement::ShowPending { table });
+        }
+        if self.accept_kw("OUTDATED") {
+            let table = if self.accept_kw("ON") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            return Ok(Statement::ShowOutdated { table });
+        }
+        Err(self.err_here("PENDING OPERATIONS or OUTDATED"))
+    }
+
+    fn validate(&mut self) -> Result<Statement> {
+        self.expect_kw("VALIDATE")?;
+        let table = self.ident()?;
+        let mut columns = Vec::new();
+        if self.accept_kw("COLUMNS") {
+            loop {
+                columns.push(self.ident()?);
+                if !self.accept_sym(",") {
+                    break;
+                }
+            }
+        }
+        let where_clause = if self.accept_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Validate {
+            table,
+            columns,
+            where_clause,
+        })
+    }
+
+    // ---- SELECT ----
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.accept_kw("DISTINCT");
+        let projection = self.projection()?;
+        self.expect_kw("FROM")?;
+        let mut from = Vec::new();
+        loop {
+            from.push(self.table_ref()?);
+            if !self.accept_sym(",") {
+                break;
+            }
+        }
+        let where_clause = if self.accept_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let awhere = if self.accept_kw("AWHERE") {
+            Some(self.ann_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.accept_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.maybe_qualified()?);
+                if !self.accept_sym(",") {
+                    break;
+                }
+            }
+        }
+        let having = if self.accept_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let ahaving = if self.accept_kw("AHAVING") {
+            Some(self.ann_expr()?)
+        } else {
+            None
+        };
+        let filter = if self.accept_kw("FILTER") {
+            Some(self.ann_expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.accept_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let col = self.maybe_qualified()?;
+                let desc = if self.accept_kw("DESC") {
+                    true
+                } else {
+                    self.accept_kw("ASC");
+                    false
+                };
+                order_by.push((col, desc));
+                if !self.accept_sym(",") {
+                    break;
+                }
+            }
+        }
+        let mut set_op = if self.accept_kw("INTERSECT") {
+            Some((SetOp::Intersect, Box::new(self.select()?)))
+        } else if self.accept_kw("UNION") {
+            Some((SetOp::Union, Box::new(self.select()?)))
+        } else if self.accept_kw("EXCEPT") {
+            Some((SetOp::Except, Box::new(self.select()?)))
+        } else {
+            None
+        };
+        // A trailing ORDER BY after a set operation binds to the whole
+        // compound (standard SQL), but right-recursion hands it to the
+        // rightmost SELECT — hoist it up.  (Inner ORDER BY is meaningless
+        // on set-operation inputs anyway.)
+        if let Some((_, right)) = &mut set_op {
+            if order_by.is_empty() && !right.order_by.is_empty() {
+                order_by = std::mem::take(&mut right.order_by);
+            }
+        }
+        Ok(Select {
+            distinct,
+            projection,
+            from,
+            where_clause,
+            awhere,
+            group_by,
+            having,
+            ahaving,
+            filter,
+            order_by,
+            set_op,
+        })
+    }
+
+    fn projection(&mut self) -> Result<Projection> {
+        if self.accept_sym("*") {
+            return Ok(Projection::Star(None));
+        }
+        // alias.* form
+        if let (Some(Token::Ident(a)), Some(Token::Sym(".")), Some(Token::Sym("*"))) = (
+            self.tokens.get(self.pos),
+            self.tokens.get(self.pos + 1),
+            self.tokens.get(self.pos + 2),
+        ) {
+            let alias = a.clone();
+            self.pos += 3;
+            return Ok(Projection::Star(Some(alias)));
+        }
+        let mut items = Vec::new();
+        loop {
+            let expr = self.expr()?;
+            let mut promote = Vec::new();
+            if self.accept_kw("PROMOTE") {
+                self.expect_sym("(")?;
+                loop {
+                    promote.push(self.maybe_qualified()?);
+                    if !self.accept_sym(",") {
+                        break;
+                    }
+                }
+                self.expect_sym(")")?;
+            }
+            let alias = if self.accept_kw("AS") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            items.push(SelectItem {
+                expr,
+                alias,
+                promote,
+            });
+            if !self.accept_sym(",") {
+                break;
+            }
+        }
+        Ok(Projection::Items(items))
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let table = self.ident()?;
+        let mut annotations = Vec::new();
+        if self.accept_kw("ANNOTATION") {
+            self.expect_sym("(")?;
+            loop {
+                annotations.push(self.ident()?);
+                if !self.accept_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+        }
+        let alias = match self.peek() {
+            Some(Token::Ident(s))
+                if !CLAUSE_KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)) =>
+            {
+                let a = s.clone();
+                self.pos += 1;
+                Some(a)
+            }
+            _ => None,
+        };
+        Ok(TableRef {
+            table,
+            alias,
+            annotations,
+        })
+    }
+
+    /// `[alias.]column`.
+    fn maybe_qualified(&mut self) -> Result<(Option<String>, String)> {
+        let first = self.ident()?;
+        if self.accept_sym(".") {
+            let second = self.ident()?;
+            Ok((Some(first), second))
+        } else {
+            Ok((None, first))
+        }
+    }
+
+    // ---- scalar expressions ----
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.accept_kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary(Box::new(left), BinaryOp::Or, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.accept_kw("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Binary(Box::new(left), BinaryOp::And, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.accept_kw("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary(UnaryOp::Not, Box::new(inner)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // IS [NOT] NULL
+        if self.accept_kw("IS") {
+            let negated = self.accept_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull(Box::new(left), negated));
+        }
+        // [NOT] LIKE / [NOT] IN
+        let negated = self.accept_kw("NOT");
+        if self.accept_kw("LIKE") {
+            let pat = self.string()?;
+            return Ok(Expr::Like(Box::new(left), pat, negated));
+        }
+        if self.accept_kw("IN") {
+            self.expect_sym("(")?;
+            let mut items = Vec::new();
+            loop {
+                items.push(self.expr()?);
+                if !self.accept_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            return Ok(Expr::InList(Box::new(left), items, negated));
+        }
+        if negated {
+            return Err(self.err_here("LIKE or IN after NOT"));
+        }
+        let op = match self.peek() {
+            Some(Token::Sym("=")) => Some(BinaryOp::Eq),
+            Some(Token::Sym("<>")) => Some(BinaryOp::Ne),
+            Some(Token::Sym("<")) => Some(BinaryOp::Lt),
+            Some(Token::Sym("<=")) => Some(BinaryOp::Le),
+            Some(Token::Sym(">")) => Some(BinaryOp::Gt),
+            Some(Token::Sym(">=")) => Some(BinaryOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(Expr::Binary(Box::new(left), op, Box::new(right)));
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym("+")) => BinaryOp::Add,
+                Some(Token::Sym("-")) => BinaryOp::Sub,
+                Some(Token::Sym("||")) => BinaryOp::Concat,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::Binary(Box::new(left), op, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym("*")) => BinaryOp::Mul,
+                Some(Token::Sym("/")) => BinaryOp::Div,
+                Some(Token::Sym("%")) => BinaryOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::Binary(Box::new(left), op, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.accept_sym("-") {
+            let inner = self.unary()?;
+            return Ok(Expr::Unary(UnaryOp::Neg, Box::new(inner)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.bump() {
+            Some(Token::Int(i)) => Ok(Expr::Literal(Value::Int(i))),
+            Some(Token::Float(f)) => Ok(Expr::Literal(Value::Float(f))),
+            Some(Token::Str(s)) => Ok(Expr::Literal(Value::Text(s))),
+            Some(Token::Sym("(")) => {
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                let upper = name.to_ascii_uppercase();
+                match upper.as_str() {
+                    "NULL" => return Ok(Expr::Literal(Value::Null)),
+                    "TRUE" => return Ok(Expr::Literal(Value::Bool(true))),
+                    "FALSE" => return Ok(Expr::Literal(Value::Bool(false))),
+                    _ => {}
+                }
+                // aggregate?
+                let agg = match upper.as_str() {
+                    "COUNT" => Some(AggFunc::Count),
+                    "SUM" => Some(AggFunc::Sum),
+                    "AVG" => Some(AggFunc::Avg),
+                    "MIN" => Some(AggFunc::Min),
+                    "MAX" => Some(AggFunc::Max),
+                    _ => None,
+                };
+                if let Some(agg) = agg {
+                    if self.accept_sym("(") {
+                        if self.accept_sym("*") {
+                            self.expect_sym(")")?;
+                            return Ok(Expr::Aggregate(agg, None));
+                        }
+                        let inner = self.expr()?;
+                        self.expect_sym(")")?;
+                        return Ok(Expr::Aggregate(agg, Some(Box::new(inner))));
+                    }
+                    // not a call: fall through to column reference
+                }
+                // scalar function call?
+                if self.accept_sym("(") {
+                    let mut args = Vec::new();
+                    if !self.accept_sym(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.accept_sym(",") {
+                                break;
+                            }
+                        }
+                        self.expect_sym(")")?;
+                    }
+                    return Ok(Expr::Call(upper, args));
+                }
+                // qualified column?
+                if self.accept_sym(".") {
+                    let col = self.ident()?;
+                    return Ok(Expr::Column(Some(name), col));
+                }
+                Ok(Expr::Column(None, name))
+            }
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(BdbmsError::Parse(format!(
+                    "expected expression, found {other:?}"
+                )))
+            }
+        }
+    }
+
+    // ---- annotation expressions (AWHERE / AHAVING / FILTER) ----
+
+    fn ann_expr(&mut self) -> Result<AnnExpr> {
+        self.ann_or()
+    }
+
+    fn ann_or(&mut self) -> Result<AnnExpr> {
+        let mut left = self.ann_and()?;
+        while self.accept_kw("OR") {
+            let right = self.ann_and()?;
+            left = AnnExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn ann_and(&mut self) -> Result<AnnExpr> {
+        let mut left = self.ann_not()?;
+        while self.accept_kw("AND") {
+            let right = self.ann_not()?;
+            left = AnnExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn ann_not(&mut self) -> Result<AnnExpr> {
+        if self.accept_kw("NOT") {
+            let inner = self.ann_not()?;
+            return Ok(AnnExpr::Not(Box::new(inner)));
+        }
+        self.ann_primary()
+    }
+
+    fn ann_primary(&mut self) -> Result<AnnExpr> {
+        if self.accept_sym("(") {
+            let e = self.ann_expr()?;
+            self.expect_sym(")")?;
+            return Ok(e);
+        }
+        if self.accept_kw("CONTAINS") {
+            return Ok(AnnExpr::Contains(self.string()?));
+        }
+        if self.accept_kw("FROM") {
+            return Ok(AnnExpr::FromTable(self.ident()?));
+        }
+        if self.accept_kw("PATH") {
+            let path = self.string()?;
+            self.expect_sym("=")?;
+            let value = self.string()?;
+            return Ok(AnnExpr::PathEq(path, value));
+        }
+        if self.accept_kw("BEFORE") {
+            return Ok(AnnExpr::Before(self.uint()?));
+        }
+        if self.accept_kw("AFTER") {
+            return Ok(AnnExpr::After(self.uint()?));
+        }
+        Err(self.err_here("CONTAINS, FROM, PATH, BEFORE, AFTER, NOT, or `(`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table() {
+        let s = parse("CREATE TABLE DB1_Gene (GID TEXT, GName TEXT, GSequence TEXT)").unwrap();
+        match s {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "DB1_Gene");
+                assert_eq!(columns.len(), 3);
+                assert_eq!(columns[2], ("GSequence".to_string(), DataType::Text));
+            }
+            _ => panic!("wrong statement"),
+        }
+    }
+
+    #[test]
+    fn create_annotation_table_fig4() {
+        let s = parse("CREATE ANNOTATION TABLE GAnnotation ON DB2_Gene").unwrap();
+        assert_eq!(
+            s,
+            Statement::CreateAnnotationTable {
+                name: "GAnnotation".into(),
+                on: "DB2_Gene".into(),
+                cell_scheme: false,
+            }
+        );
+        let s = parse("CREATE ANNOTATION TABLE A ON T SCHEME CELL").unwrap();
+        assert!(matches!(
+            s,
+            Statement::CreateAnnotationTable { cell_scheme: true, .. }
+        ));
+        let s = parse("DROP ANNOTATION TABLE GAnnotation ON DB2_Gene").unwrap();
+        assert!(matches!(s, Statement::DropAnnotationTable { .. }));
+    }
+
+    #[test]
+    fn add_annotation_column_granularity_paper_example() {
+        // verbatim from §3.2 (column-level annotation B3)
+        let s = parse(
+            "ADD ANNOTATION TO DB2_Gene.GAnnotation \
+             VALUE '<Annotation>obtained from GenoBase</Annotation>' \
+             ON (Select G.GSequence From DB2_Gene G)",
+        )
+        .unwrap();
+        match s {
+            Statement::AddAnnotation { to, value, on } => {
+                assert_eq!(to, vec![("DB2_Gene".to_string(), "GAnnotation".to_string())]);
+                assert!(value.contains("GenoBase"));
+                match on {
+                    AnnTarget::Select(sel) => {
+                        assert_eq!(sel.from[0].alias.as_deref(), Some("G"));
+                    }
+                    _ => panic!("expected SELECT target"),
+                }
+            }
+            _ => panic!("wrong statement"),
+        }
+    }
+
+    #[test]
+    fn add_annotation_tuple_granularity_paper_example() {
+        // verbatim from §3.2 (tuple-level annotation B5)
+        let s = parse(
+            "ADD ANNOTATION TO DB2_Gene.GAnnotation \
+             VALUE '<Annotation>This gene has an unknown function</Annotation>' \
+             ON (Select G.* From DB2_Gene G WHERE GID = 'JW0080')",
+        )
+        .unwrap();
+        match s {
+            Statement::AddAnnotation { on: AnnTarget::Select(sel), .. } => {
+                assert!(matches!(sel.projection, Projection::Star(Some(_))));
+                assert!(sel.where_clause.is_some());
+            }
+            _ => panic!("wrong statement"),
+        }
+    }
+
+    #[test]
+    fn archive_with_time_window_fig6() {
+        let s = parse(
+            "ARCHIVE ANNOTATION FROM T.Comments BETWEEN 5 AND 10 \
+             ON (SELECT GID FROM T)",
+        )
+        .unwrap();
+        match s {
+            Statement::ArchiveAnnotation { from, between, .. } => {
+                assert_eq!(from.len(), 1);
+                assert_eq!(between, Some((5, 10)));
+            }
+            _ => panic!("wrong statement"),
+        }
+        assert!(matches!(
+            parse("RESTORE ANNOTATION FROM T.C ON (SELECT GID FROM T)").unwrap(),
+            Statement::RestoreAnnotation { between: None, .. }
+        ));
+    }
+
+    #[test]
+    fn asql_select_fig7_full_form() {
+        let s = parse(
+            "SELECT DISTINCT GID PROMOTE (GSequence, GName), GName \
+             FROM DB1_Gene ANNOTATION(Prov, Comments) G, DB2_Gene H \
+             WHERE G.GID = H.GID \
+             AWHERE CONTAINS 'RegulonDB' \
+             GROUP BY GID \
+             HAVING COUNT(*) > 1 \
+             AHAVING FROM Prov \
+             FILTER NOT CONTAINS 'obsolete' \
+             ORDER BY GID DESC",
+        )
+        .unwrap();
+        let sel = match s {
+            Statement::Select(sel) => sel,
+            _ => panic!("wrong statement"),
+        };
+        assert!(sel.distinct);
+        match &sel.projection {
+            Projection::Items(items) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[0].promote.len(), 2);
+            }
+            _ => panic!("expected items"),
+        }
+        assert_eq!(sel.from.len(), 2);
+        assert_eq!(sel.from[0].annotations, vec!["Prov", "Comments"]);
+        assert_eq!(sel.from[0].alias.as_deref(), Some("G"));
+        assert!(sel.awhere.is_some());
+        assert!(sel.having.is_some());
+        assert!(matches!(sel.ahaving, Some(AnnExpr::FromTable(_))));
+        assert!(matches!(sel.filter, Some(AnnExpr::Not(_))));
+        assert_eq!(sel.order_by.len(), 1);
+        assert!(sel.order_by[0].1);
+    }
+
+    #[test]
+    fn intersect_paper_step_a() {
+        let s = parse(
+            "SELECT GID, GName, GSequence FROM DB1_Gene \
+             INTERSECT \
+             SELECT GID, GName, GSequence FROM DB2_Gene",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert!(matches!(sel.set_op, Some((SetOp::Intersect, _))));
+            }
+            _ => panic!("wrong statement"),
+        }
+    }
+
+    #[test]
+    fn dml_statements() {
+        assert!(matches!(
+            parse("INSERT INTO T VALUES ('a', 1), ('b', 2)").unwrap(),
+            Statement::Insert { rows, .. } if rows.len() == 2
+        ));
+        assert!(matches!(
+            parse("UPDATE Gene SET GSequence = 'ATG' WHERE GID = 'JW0080'").unwrap(),
+            Statement::Update { sets, .. } if sets.len() == 1
+        ));
+        assert!(matches!(
+            parse("DELETE FROM Gene WHERE GID = 'JW0080'").unwrap(),
+            Statement::Delete { .. }
+        ));
+    }
+
+    #[test]
+    fn approval_fig11() {
+        let s = parse(
+            "START CONTENT APPROVAL ON Gene COLUMNS GSequence APPROVED BY labadmin",
+        )
+        .unwrap();
+        assert_eq!(
+            s,
+            Statement::StartContentApproval {
+                table: "Gene".into(),
+                columns: vec!["GSequence".into()],
+                approved_by: "labadmin".into(),
+            }
+        );
+        assert!(matches!(
+            parse("STOP CONTENT APPROVAL ON Gene").unwrap(),
+            Statement::StopContentApproval { .. }
+        ));
+        assert!(matches!(
+            parse("APPROVE OPERATION 7").unwrap(),
+            Statement::ApproveOperation { id: 7 }
+        ));
+        assert!(matches!(
+            parse("DISAPPROVE OPERATION 9").unwrap(),
+            Statement::DisapproveOperation { id: 9 }
+        ));
+        assert!(matches!(
+            parse("SHOW PENDING OPERATIONS ON Gene").unwrap(),
+            Statement::ShowPending { table: Some(_) }
+        ));
+    }
+
+    #[test]
+    fn dependency_rule_paper_rule1() {
+        let s = parse(
+            "CREATE DEPENDENCY RULE r1 FROM Gene.GSequence TO Protein.PSequence \
+             VIA PROCEDURE 'P' EXECUTABLE LINK Gene.GID = Protein.GID",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateDependencyRule {
+                name,
+                from,
+                to,
+                procedure,
+                executable,
+                invertible,
+                link,
+            } => {
+                assert_eq!(name, "r1");
+                assert_eq!(from, vec![("Gene".to_string(), "GSequence".to_string())]);
+                assert_eq!(to, ("Protein".to_string(), "PSequence".to_string()));
+                assert_eq!(procedure, "P");
+                assert!(executable);
+                assert!(!invertible);
+                assert_eq!(
+                    link,
+                    Some(("Gene.GID".to_string(), "Protein.GID".to_string()))
+                );
+            }
+            _ => panic!("wrong statement"),
+        }
+    }
+
+    #[test]
+    fn dependency_rule_multi_source_rule3() {
+        // Rule 3: GeneMatching.Gene1, Gene2 -> Evalue via BLAST-2.2.15
+        let s = parse(
+            "CREATE DEPENDENCY RULE r3 FROM GeneMatching.Gene1, GeneMatching.Gene2 \
+             TO GeneMatching.Evalue VIA PROCEDURE 'BLAST-2.2.15' EXECUTABLE",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateDependencyRule { from, link, .. } => {
+                assert_eq!(from.len(), 2);
+                assert_eq!(link, None);
+            }
+            _ => panic!("wrong statement"),
+        }
+    }
+
+    #[test]
+    fn grant_revoke_users() {
+        assert!(matches!(
+            parse("CREATE USER alice IN GROUP lab1").unwrap(),
+            Statement::CreateUser { groups, .. } if groups == vec!["lab1".to_string()]
+        ));
+        match parse("GRANT SELECT, UPDATE ON Gene TO alice").unwrap() {
+            Statement::Grant { privileges, .. } => {
+                assert_eq!(privileges, vec![Privilege::Select, Privilege::Update]);
+            }
+            _ => panic!("wrong statement"),
+        }
+        assert!(matches!(
+            parse("REVOKE UPDATE ON Gene FROM alice").unwrap(),
+            Statement::Revoke { .. }
+        ));
+    }
+
+    #[test]
+    fn expressions() {
+        let s = parse("SELECT * FROM T WHERE NOT (a + 1 >= 2 * b) AND c LIKE 'JW%' OR d IS NOT NULL").unwrap();
+        assert!(matches!(s, Statement::Select(_)));
+        let s = parse("SELECT LENGTH(GSequence), COUNT(*) FROM G GROUP BY GID").unwrap();
+        assert!(matches!(s, Statement::Select(_)));
+        let s = parse("SELECT * FROM T WHERE x IN (1, 2, 3) AND y NOT IN (4)").unwrap();
+        assert!(matches!(s, Statement::Select(_)));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("SELECT").is_err());
+        assert!(parse("CREATE TABLE t").is_err());
+        assert!(parse("FROB THE DATABASE").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("GRANT FLY ON t TO u").is_err());
+        assert!(parse("SELECT * FROM t; extra").is_err());
+    }
+
+    #[test]
+    fn validate_and_show_outdated() {
+        assert!(matches!(
+            parse("VALIDATE Protein COLUMNS PFunction WHERE GID = 'JW0080'").unwrap(),
+            Statement::Validate { columns, .. } if columns == vec!["PFunction".to_string()]
+        ));
+        assert!(matches!(
+            parse("SHOW OUTDATED ON Protein").unwrap(),
+            Statement::ShowOutdated { table: Some(_) }
+        ));
+    }
+}

@@ -1,0 +1,264 @@
+//! Provenance management (§4, Figure 8).
+//!
+//! The paper treats provenance as *a kind of annotation* with two extra
+//! requirements:
+//!
+//! 1. **Structure** — provenance bodies follow a predefined XML schema
+//!    that the DBMS enforces (`<Annotation><source>…</source>
+//!    <operation>…</operation>…</Annotation>`);
+//! 2. **Authorization** — end-users cannot write provenance; only the
+//!    system / integration tools may (modelled with the `PROVENANCE`
+//!    privilege).
+//!
+//! Figure 8's question — *"what is the source of this value at time T?"* —
+//! is answered by [`source_of`]: the latest provenance record attached to
+//! the cell with timestamp ≤ T.
+
+use bdbms_common::{BdbmsError, Result};
+
+use crate::annotation::AnnotationSet;
+use crate::catalog::Table;
+use crate::xml::XmlNode;
+
+/// Name of the reserved provenance annotation table on each relation.
+pub const PROVENANCE_TABLE: &str = "provenance";
+
+/// The operations Figure 8 depicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProvOp {
+    /// Data copied in from an external source.
+    Copy,
+    /// Locally inserted.
+    LocalInsert,
+    /// Updated by a program.
+    ProgramUpdate,
+    /// Overwritten by data from another source.
+    Overwrite,
+}
+
+impl ProvOp {
+    /// Canonical text used in the XML body.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProvOp::Copy => "copy",
+            ProvOp::LocalInsert => "local-insert",
+            ProvOp::ProgramUpdate => "program-update",
+            ProvOp::Overwrite => "overwrite",
+        }
+    }
+
+    /// Parse the canonical text.
+    pub fn parse(s: &str) -> Option<ProvOp> {
+        match s {
+            "copy" => Some(ProvOp::Copy),
+            "local-insert" => Some(ProvOp::LocalInsert),
+            "program-update" => Some(ProvOp::ProgramUpdate),
+            "overwrite" => Some(ProvOp::Overwrite),
+            _ => None,
+        }
+    }
+}
+
+/// One provenance record (a decoded provenance annotation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceRecord {
+    /// The source (database, program, or `local`).
+    pub source: String,
+    /// The operation that brought the value in.
+    pub operation: ProvOp,
+    /// Optional program/tool name.
+    pub program: Option<String>,
+    /// When it was recorded.
+    pub time: u64,
+}
+
+impl ProvenanceRecord {
+    /// Build the schema'd XML body.
+    pub fn to_xml(&self) -> XmlNode {
+        let mut children = vec![
+            XmlNode::leaf("source", &self.source),
+            XmlNode::leaf("operation", self.operation.as_str()),
+        ];
+        if let Some(p) = &self.program {
+            children.push(XmlNode::leaf("program", p));
+        }
+        XmlNode::elem("Annotation", children)
+    }
+
+    /// Decode and validate a provenance body (§4: the schema is enforced).
+    pub fn from_xml(body: &XmlNode, created: u64) -> Result<ProvenanceRecord> {
+        let source = body
+            .path_text("/Annotation/source")
+            .ok_or_else(|| {
+                BdbmsError::Invalid("provenance body missing <source>".into())
+            })?
+            .to_string();
+        let op_text = body.path_text("/Annotation/operation").ok_or_else(|| {
+            BdbmsError::Invalid("provenance body missing <operation>".into())
+        })?;
+        let operation = ProvOp::parse(op_text).ok_or_else(|| {
+            BdbmsError::Invalid(format!("unknown provenance operation `{op_text}`"))
+        })?;
+        Ok(ProvenanceRecord {
+            source,
+            operation,
+            program: body
+                .path_text("/Annotation/program")
+                .map(|s| s.to_string()),
+            time: created,
+        })
+    }
+}
+
+/// Validate a raw annotation body against the provenance schema; returns
+/// the parse error the engine reports when schema enforcement is on.
+pub fn validate_body(raw: &str) -> Result<()> {
+    let body = XmlNode::parse(raw)
+        .map_err(|e| BdbmsError::Invalid(format!("provenance body must be XML: {e}")))?;
+    ProvenanceRecord::from_xml(&body, 0).map(|_| ())
+}
+
+/// Ensure the table has its provenance annotation set (idempotent);
+/// the set is flagged system-only and schema-enforced.
+pub fn ensure_provenance_set(table: &mut Table) {
+    if table.ann_set(PROVENANCE_TABLE).is_none() {
+        let mut set = AnnotationSet::new(PROVENANCE_TABLE, false);
+        set.system_only = true;
+        set.schema_enforced = true;
+        table.ann_sets.push(set);
+    }
+}
+
+/// The source of `(row, col)` at time `at` — the newest provenance record
+/// with `time <= at` (Figure 8's query).  `None` when the cell has no
+/// provenance that old.
+pub fn source_of(table: &Table, row: u64, col: usize, at: u64) -> Option<ProvenanceRecord> {
+    let set = table.ann_set(PROVENANCE_TABLE)?;
+    let mut best: Option<ProvenanceRecord> = None;
+    for id in set.ids_for_cell(row, col) {
+        let ann = set.get(id)?;
+        if ann.created > at {
+            continue;
+        }
+        if let Ok(rec) = ProvenanceRecord::from_xml(&ann.body, ann.created) {
+            if best.as_ref().is_none_or(|b| rec.time >= b.time) {
+                best = Some(rec);
+            }
+        }
+    }
+    best
+}
+
+/// Full provenance history of a cell, oldest first.
+pub fn history_of(table: &Table, row: u64, col: usize) -> Vec<ProvenanceRecord> {
+    let Some(set) = table.ann_set(PROVENANCE_TABLE) else {
+        return Vec::new();
+    };
+    let mut out: Vec<ProvenanceRecord> = set
+        .ids_for_cell(row, col)
+        .into_iter()
+        .filter_map(|id| set.get(id))
+        .filter_map(|a| ProvenanceRecord::from_xml(&a.body, a.created).ok())
+        .collect();
+    out.sort_by_key(|r| r.time);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdbms_common::{DataType, Schema};
+    use bdbms_storage::{BufferPool, MemStore};
+    use std::sync::Arc;
+
+    fn table() -> Table {
+        let pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 16));
+        let mut t = Table::create(
+            "Gene",
+            Schema::of(&[("GID", DataType::Text), ("GSequence", DataType::Text)]),
+            "admin",
+            pool,
+        )
+        .unwrap();
+        t.insert(vec!["JW0080".into(), "ATG".into()]).unwrap();
+        ensure_provenance_set(&mut t);
+        t
+    }
+
+    fn record(table: &mut Table, time: u64, source: &str, op: ProvOp, rows: &[u64], cols: &[usize]) {
+        let rec = ProvenanceRecord {
+            source: source.to_string(),
+            operation: op,
+            program: None,
+            time,
+        };
+        let xml = rec.to_xml().to_xml();
+        table
+            .ann_set_mut(PROVENANCE_TABLE)
+            .unwrap()
+            .add(&xml, "system", time, rows, cols);
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let rec = ProvenanceRecord {
+            source: "RegulonDB".into(),
+            operation: ProvOp::Copy,
+            program: Some("loader-v2".into()),
+            time: 7,
+        };
+        let xml = rec.to_xml();
+        let back = ProvenanceRecord::from_xml(&xml, 7).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn schema_enforcement() {
+        assert!(validate_body(
+            "<Annotation><source>S1</source><operation>copy</operation></Annotation>"
+        )
+        .is_ok());
+        assert!(validate_body("<Annotation><source>S1</source></Annotation>").is_err());
+        assert!(validate_body("free text").is_err());
+        assert!(validate_body(
+            "<Annotation><source>S1</source><operation>teleport</operation></Annotation>"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn figure8_source_at_time_t() {
+        let mut t = table();
+        // history: copied from S2 at t=1, updated by P1 at t=5,
+        // overwritten from S3 at t=9
+        record(&mut t, 1, "S2", ProvOp::Copy, &[0], &[1]);
+        record(&mut t, 5, "P1", ProvOp::ProgramUpdate, &[0], &[1]);
+        record(&mut t, 9, "S3", ProvOp::Overwrite, &[0], &[1]);
+        assert_eq!(source_of(&t, 0, 1, 0), None);
+        assert_eq!(source_of(&t, 0, 1, 1).unwrap().source, "S2");
+        assert_eq!(source_of(&t, 0, 1, 4).unwrap().source, "S2");
+        assert_eq!(source_of(&t, 0, 1, 5).unwrap().source, "P1");
+        assert_eq!(source_of(&t, 0, 1, 100).unwrap().source, "S3");
+        let hist = history_of(&t, 0, 1);
+        assert_eq!(hist.len(), 3);
+        assert!(hist.windows(2).all(|w| w[0].time <= w[1].time));
+        // other cells untouched
+        assert_eq!(source_of(&t, 0, 0, 100), None);
+    }
+
+    #[test]
+    fn ensure_is_idempotent_and_flagged() {
+        let mut t = table();
+        ensure_provenance_set(&mut t);
+        assert_eq!(
+            t.ann_sets
+                .iter()
+                .filter(|s| s.name == PROVENANCE_TABLE)
+                .count(),
+            1
+        );
+        let set = t.ann_set(PROVENANCE_TABLE).unwrap();
+        assert!(set.system_only);
+        assert!(set.schema_enforced);
+    }
+}

@@ -1,0 +1,334 @@
+//! A small XML subset parser for annotation bodies.
+//!
+//! §3.2 of the paper: *"we plan to support XML-formatted annotations [...]
+//! users can (semi-)structure their annotations and make use of XML
+//! querying capabilities over the annotations."*  §4 adds that provenance
+//! records *"can follow a predefined XML schema that needs to be stored
+//! and enforced by the database system."*
+//!
+//! A-SQL annotation conditions only need tag trees and path lookup, so the
+//! supported subset is: nested elements, text content, and entity escapes
+//! (`&lt; &gt; &amp; &quot; &apos;`).  Attributes, comments, and
+//! processing instructions are intentionally out of scope.
+
+use bdbms_common::{BdbmsError, Result};
+
+/// One parsed XML element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlNode {
+    /// Tag name.
+    pub tag: String,
+    /// Concatenated direct text content (trimmed).
+    pub text: String,
+    /// Child elements in document order.
+    pub children: Vec<XmlNode>,
+}
+
+impl XmlNode {
+    /// Parse a document with a single root element.
+    pub fn parse(input: &str) -> Result<XmlNode> {
+        let mut p = Parser {
+            s: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let node = p.parse_element()?;
+        p.skip_ws();
+        if p.pos != p.s.len() {
+            return Err(BdbmsError::Parse(format!(
+                "trailing content after root element at byte {}",
+                p.pos
+            )));
+        }
+        Ok(node)
+    }
+
+    /// Wrap plain text in an `<Annotation>` root if it isn't XML already —
+    /// the paper's commands always show annotation bodies inside
+    /// `<Annotation>` tags, but free-text comments are common too.
+    pub fn parse_or_wrap(input: &str) -> XmlNode {
+        match Self::parse(input) {
+            Ok(n) => n,
+            Err(_) => XmlNode {
+                tag: "Annotation".to_string(),
+                text: input.trim().to_string(),
+                children: Vec::new(),
+            },
+        }
+    }
+
+    /// Look up the first node at `path`, e.g. `/Annotation/source`.
+    /// The leading component must match the root tag.
+    pub fn path(&self, path: &str) -> Option<&XmlNode> {
+        let mut parts = path.trim_matches('/').split('/');
+        let root = parts.next()?;
+        if !self.tag.eq_ignore_ascii_case(root) {
+            return None;
+        }
+        let mut cur = self;
+        for part in parts {
+            cur = cur
+                .children
+                .iter()
+                .find(|c| c.tag.eq_ignore_ascii_case(part))?;
+        }
+        Some(cur)
+    }
+
+    /// The text at `path`, if the node exists.
+    pub fn path_text(&self, path: &str) -> Option<&str> {
+        self.path(path).map(|n| n.text.as_str())
+    }
+
+    /// All text in the subtree (depth-first), space-joined — used by the
+    /// `CONTAINS` annotation predicate.
+    pub fn full_text(&self) -> String {
+        let mut out = String::new();
+        fn walk(n: &XmlNode, out: &mut String) {
+            if !n.text.is_empty() {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(&n.text);
+            }
+            for c in &n.children {
+                walk(c, out);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Serialize back to XML text.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        out.push('<');
+        out.push_str(&self.tag);
+        out.push('>');
+        out.push_str(&escape(&self.text));
+        for c in &self.children {
+            c.write(out);
+        }
+        out.push_str("</");
+        out.push_str(&self.tag);
+        out.push('>');
+    }
+
+    /// Build a leaf element.
+    pub fn leaf(tag: &str, text: &str) -> XmlNode {
+        XmlNode {
+            tag: tag.to_string(),
+            text: text.to_string(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Build an element with children.
+    pub fn elem(tag: &str, children: Vec<XmlNode>) -> XmlNode {
+        XmlNode {
+            tag: tag.to_string(),
+            text: String::new(),
+            children,
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.s.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(BdbmsError::Parse(format!(
+                "expected `{}` at byte {} of annotation XML",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while self.pos < self.s.len()
+            && (self.s[self.pos].is_ascii_alphanumeric()
+                || self.s[self.pos] == b'_'
+                || self.s[self.pos] == b'-')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(BdbmsError::Parse(format!(
+                "expected tag name at byte {}",
+                self.pos
+            )));
+        }
+        Ok(String::from_utf8_lossy(&self.s[start..self.pos]).into_owned())
+    }
+
+    fn parse_element(&mut self) -> Result<XmlNode> {
+        self.expect(b'<')?;
+        let tag = self.parse_name()?;
+        self.skip_ws();
+        // self-closing form
+        if self.s.get(self.pos) == Some(&b'/') {
+            self.pos += 1;
+            self.expect(b'>')?;
+            return Ok(XmlNode {
+                tag,
+                text: String::new(),
+                children: Vec::new(),
+            });
+        }
+        self.expect(b'>')?;
+        let mut text = String::new();
+        let mut children = Vec::new();
+        loop {
+            // text run until next '<'
+            let start = self.pos;
+            while self.pos < self.s.len() && self.s[self.pos] != b'<' {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                text.push_str(&unescape(&String::from_utf8_lossy(
+                    &self.s[start..self.pos],
+                )));
+            }
+            if self.pos >= self.s.len() {
+                return Err(BdbmsError::Parse(format!("unclosed <{tag}>")));
+            }
+            if self.s.get(self.pos + 1) == Some(&b'/') {
+                // closing tag
+                self.pos += 2;
+                let close = self.parse_name()?;
+                self.skip_ws();
+                self.expect(b'>')?;
+                if !close.eq_ignore_ascii_case(&tag) {
+                    return Err(BdbmsError::Parse(format!(
+                        "mismatched </{close}> for <{tag}>"
+                    )));
+                }
+                return Ok(XmlNode {
+                    tag,
+                    text: text.trim().to_string(),
+                    children,
+                });
+            }
+            children.push(self.parse_element()?);
+        }
+    }
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_annotation() {
+        let n = XmlNode::parse("<Annotation>obtained from GenoBase</Annotation>").unwrap();
+        assert_eq!(n.tag, "Annotation");
+        assert_eq!(n.text, "obtained from GenoBase");
+        assert!(n.children.is_empty());
+    }
+
+    #[test]
+    fn parses_structured_provenance() {
+        let xml = "<Annotation><source>RegulonDB</source><operation>copy</operation>\
+                   <time>42</time></Annotation>";
+        let n = XmlNode::parse(xml).unwrap();
+        assert_eq!(n.children.len(), 3);
+        assert_eq!(n.path_text("/Annotation/source"), Some("RegulonDB"));
+        assert_eq!(n.path_text("/Annotation/operation"), Some("copy"));
+        assert_eq!(n.path_text("/Annotation/missing"), None);
+        assert_eq!(n.path_text("/Wrong/source"), None);
+    }
+
+    #[test]
+    fn nested_paths() {
+        let xml = "<a><b><c>deep</c></b></a>";
+        let n = XmlNode::parse(xml).unwrap();
+        assert_eq!(n.path_text("/a/b/c"), Some("deep"));
+        assert_eq!(n.path("/a/b").unwrap().children.len(), 1);
+    }
+
+    #[test]
+    fn self_closing_and_whitespace() {
+        let n = XmlNode::parse("  <a> hi <b/> there </a> ").unwrap();
+        assert_eq!(n.tag, "a");
+        assert_eq!(n.children.len(), 1);
+        assert_eq!(n.children[0].tag, "b");
+        assert!(n.text.contains("hi"));
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let n = XmlNode::parse("<a>1 &lt; 2 &amp;&amp; 3 &gt; 2</a>").unwrap();
+        assert_eq!(n.text, "1 < 2 && 3 > 2");
+        let back = XmlNode::parse(&n.to_xml()).unwrap();
+        assert_eq!(back, n);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(XmlNode::parse("<a>").is_err());
+        assert!(XmlNode::parse("<a></b>").is_err());
+        assert!(XmlNode::parse("<a></a><b></b>").is_err());
+        assert!(XmlNode::parse("no tags").is_err());
+        assert!(XmlNode::parse("<>x</>").is_err());
+    }
+
+    #[test]
+    fn parse_or_wrap_falls_back() {
+        let n = XmlNode::parse_or_wrap("These genes are published in Nature");
+        assert_eq!(n.tag, "Annotation");
+        assert_eq!(n.text, "These genes are published in Nature");
+        let x = XmlNode::parse_or_wrap("<Annotation><source>S1</source></Annotation>");
+        assert_eq!(x.path_text("/Annotation/source"), Some("S1"));
+    }
+
+    #[test]
+    fn full_text_gathers_subtree() {
+        let n =
+            XmlNode::parse("<a>top<b>left</b><c><d>deep</d></c></a>").unwrap();
+        assert_eq!(n.full_text(), "top left deep");
+    }
+
+    #[test]
+    fn builders() {
+        let n = XmlNode::elem(
+            "Annotation",
+            vec![XmlNode::leaf("source", "GenoBase"), XmlNode::leaf("kind", "lineage")],
+        );
+        assert_eq!(n.path_text("/Annotation/source"), Some("GenoBase"));
+        let parsed = XmlNode::parse(&n.to_xml()).unwrap();
+        assert_eq!(parsed, n);
+    }
+}

@@ -1,0 +1,298 @@
+//! Edge-case tests for the SQL surface: NULLs, coercion, compound set
+//! operations, multi-key ordering, LIKE corner cases, error surfaces.
+
+use bdbms_common::Value;
+use bdbms_core::Database;
+
+fn db() -> Database {
+    Database::new_in_memory()
+}
+
+#[test]
+fn null_handling_through_the_pipeline() {
+    let mut d = db();
+    d.execute("CREATE TABLE T (a INT, b TEXT)").unwrap();
+    d.execute("INSERT INTO T VALUES (1, 'x'), (NULL, 'y'), (3, NULL)")
+        .unwrap();
+    // NULL never satisfies comparisons
+    let qr = d.execute("SELECT b FROM T WHERE a > 0").unwrap();
+    assert_eq!(qr.rows.len(), 2);
+    // IS NULL / IS NOT NULL
+    let qr = d.execute("SELECT b FROM T WHERE a IS NULL").unwrap();
+    assert_eq!(qr.rows.len(), 1);
+    assert_eq!(qr.rows[0].values[0], Value::Text("y".into()));
+    // aggregates skip NULLs; COUNT(*) does not
+    let qr = d
+        .execute("SELECT COUNT(*), COUNT(a), SUM(a), AVG(a) FROM T")
+        .unwrap();
+    assert_eq!(qr.rows[0].values[0], Value::Int(3));
+    assert_eq!(qr.rows[0].values[1], Value::Int(2));
+    assert_eq!(qr.rows[0].values[2], Value::Int(4));
+    assert_eq!(qr.rows[0].values[3], Value::Float(2.0));
+    // NULLs sort first in ORDER BY
+    let qr = d.execute("SELECT a FROM T ORDER BY a").unwrap();
+    assert!(qr.rows[0].values[0].is_null());
+}
+
+#[test]
+fn int_float_coercion_in_storage_and_compare() {
+    let mut d = db();
+    d.execute("CREATE TABLE T (e FLOAT)").unwrap();
+    d.execute("INSERT INTO T VALUES (2), (2.5), (3e-2)").unwrap();
+    let qr = d.execute("SELECT e FROM T WHERE e = 2").unwrap();
+    assert_eq!(qr.rows.len(), 1);
+    assert_eq!(qr.rows[0].values[0], Value::Float(2.0));
+    let qr = d.execute("SELECT e FROM T WHERE e < 0.1").unwrap();
+    assert_eq!(qr.rows[0].values[0], Value::Float(0.03));
+}
+
+#[test]
+fn chained_set_operations() {
+    let mut d = db();
+    for (t, vals) in [("A", vec![1, 2, 3]), ("B", vec![2, 3, 4]), ("C", vec![3])] {
+        d.execute(&format!("CREATE TABLE {t} (v INT)")).unwrap();
+        for v in vals {
+            d.execute(&format!("INSERT INTO {t} VALUES ({v})")).unwrap();
+        }
+    }
+    // right-associative chain: A INTERSECT (B EXCEPT C) = {1,2,3} ∩ {2,4} = {2}
+    let qr = d
+        .execute("SELECT v FROM A INTERSECT SELECT v FROM B EXCEPT SELECT v FROM C")
+        .unwrap();
+    let got: Vec<i64> = qr.rows.iter().map(|r| r.values[0].as_int().unwrap()).collect();
+    assert_eq!(got, vec![2]);
+}
+
+#[test]
+fn multi_key_order_by() {
+    let mut d = db();
+    d.execute("CREATE TABLE T (a INT, b INT)").unwrap();
+    d.execute("INSERT INTO T VALUES (1, 2), (1, 1), (0, 9), (1, 3)")
+        .unwrap();
+    let qr = d.execute("SELECT a, b FROM T ORDER BY a, b DESC").unwrap();
+    let got: Vec<(i64, i64)> = qr
+        .rows
+        .iter()
+        .map(|r| (r.values[0].as_int().unwrap(), r.values[1].as_int().unwrap()))
+        .collect();
+    assert_eq!(got, vec![(0, 9), (1, 3), (1, 2), (1, 1)]);
+}
+
+#[test]
+fn like_special_characters() {
+    let mut d = db();
+    d.execute("CREATE TABLE T (s TEXT)").unwrap();
+    d.execute("INSERT INTO T VALUES ('a.b'), ('axb'), ('a*b'), ('ab')")
+        .unwrap();
+    // regex metacharacters in the pattern must be literal
+    let qr = d.execute("SELECT s FROM T WHERE s LIKE 'a.b'").unwrap();
+    assert_eq!(qr.rows.len(), 1);
+    assert_eq!(qr.rows[0].values[0], Value::Text("a.b".into()));
+    let qr = d.execute("SELECT s FROM T WHERE s LIKE 'a*b'").unwrap();
+    assert_eq!(qr.rows.len(), 1);
+    // _ matches exactly one char
+    let qr = d.execute("SELECT s FROM T WHERE s LIKE 'a_b'").unwrap();
+    assert_eq!(qr.rows.len(), 3);
+    let qr = d.execute("SELECT s FROM T WHERE s LIKE 'a%b'").unwrap();
+    assert_eq!(qr.rows.len(), 4);
+}
+
+#[test]
+fn runtime_errors_are_errors_not_panics() {
+    let mut d = db();
+    d.execute("CREATE TABLE T (a INT)").unwrap();
+    d.execute("INSERT INTO T VALUES (1)").unwrap();
+    let e = d.execute("SELECT a / 0 FROM T").unwrap_err();
+    assert_eq!(e.kind(), "eval");
+    let e = d.execute("SELECT LENGTH(a) FROM T").unwrap_err();
+    assert_eq!(e.kind(), "eval");
+    let e = d.execute("SELECT NOSUCHFN(a) FROM T").unwrap_err();
+    assert_eq!(e.kind(), "eval");
+    // HAVING without aggregate context
+    let e = d.execute("SELECT a FROM T HAVING a > 0").unwrap_err();
+    assert_eq!(e.kind(), "invalid");
+}
+
+#[test]
+fn string_concat_and_functions_in_projection() {
+    let mut d = db();
+    d.execute("CREATE TABLE G (GID TEXT, GSequence TEXT)").unwrap();
+    d.execute("INSERT INTO G VALUES ('JW0080', 'atgatg')").unwrap();
+    let qr = d
+        .execute(
+            "SELECT GID || ':' || UPPER(GSequence) AS tagged, \
+             LENGTH(GSequence) AS len, SUBSTR(GSequence, 1, 3) AS codon FROM G",
+        )
+        .unwrap();
+    assert_eq!(qr.columns, vec!["tagged", "len", "codon"]);
+    assert_eq!(qr.rows[0].values[0], Value::Text("JW0080:ATGATG".into()));
+    assert_eq!(qr.rows[0].values[1], Value::Int(6));
+    assert_eq!(qr.rows[0].values[2], Value::Text("atg".into()));
+}
+
+#[test]
+fn self_join_with_aliases() {
+    let mut d = db();
+    d.execute("CREATE TABLE G (GID TEXT, len INT)").unwrap();
+    d.execute("INSERT INTO G VALUES ('a', 1), ('b', 2), ('c', 2)")
+        .unwrap();
+    // pairs with equal length, distinct ids
+    let qr = d
+        .execute(
+            "SELECT X.GID, Y.GID FROM G X, G Y \
+             WHERE X.len = Y.len AND X.GID < Y.GID",
+        )
+        .unwrap();
+    assert_eq!(qr.rows.len(), 1);
+    assert_eq!(qr.rows[0].values[0], Value::Text("b".into()));
+    assert_eq!(qr.rows[0].values[1], Value::Text("c".into()));
+}
+
+#[test]
+fn three_way_join() {
+    let mut d = db();
+    d.execute("CREATE TABLE A (k TEXT, va INT)").unwrap();
+    d.execute("CREATE TABLE B (k TEXT, vb INT)").unwrap();
+    d.execute("CREATE TABLE C (k TEXT, vc INT)").unwrap();
+    for i in 0..20 {
+        d.execute(&format!("INSERT INTO A VALUES ('k{i}', {i})")).unwrap();
+        if i % 2 == 0 {
+            d.execute(&format!("INSERT INTO B VALUES ('k{i}', {})", i * 10))
+                .unwrap();
+        }
+        if i % 3 == 0 {
+            d.execute(&format!("INSERT INTO C VALUES ('k{i}', {})", i * 100))
+                .unwrap();
+        }
+    }
+    let qr = d
+        .execute(
+            "SELECT A.k, va, vb, vc FROM A, B, C \
+             WHERE A.k = B.k AND B.k = C.k ORDER BY va",
+        )
+        .unwrap();
+    // multiples of 6 in 0..20: 0, 6, 12, 18
+    assert_eq!(qr.rows.len(), 4);
+    assert_eq!(qr.rows[2].values[1], Value::Int(12));
+    assert_eq!(qr.rows[2].values[2], Value::Int(120));
+    assert_eq!(qr.rows[2].values[3], Value::Int(1200));
+}
+
+#[test]
+fn group_by_qualified_column_and_having() {
+    let mut d = db();
+    d.execute("CREATE TABLE H (gene TEXT, score INT)").unwrap();
+    d.execute(
+        "INSERT INTO H VALUES ('g1', 5), ('g1', 15), ('g2', 1), ('g3', 7), ('g3', 9)",
+    )
+    .unwrap();
+    let qr = d
+        .execute(
+            "SELECT gene, AVG(score) FROM H GROUP BY gene \
+             HAVING COUNT(*) > 1 AND AVG(score) >= 8 ORDER BY gene",
+        )
+        .unwrap();
+    let genes: Vec<String> = qr.rows.iter().map(|r| r.values[0].to_string()).collect();
+    assert_eq!(genes, vec!["g1", "g3"]);
+}
+
+#[test]
+fn distinct_on_expressions() {
+    let mut d = db();
+    d.execute("CREATE TABLE T (v INT)").unwrap();
+    d.execute("INSERT INTO T VALUES (1), (2), (3), (4)").unwrap();
+    let qr = d.execute("SELECT DISTINCT v % 2 FROM T").unwrap();
+    assert_eq!(qr.rows.len(), 2);
+}
+
+#[test]
+fn insert_arity_and_type_errors() {
+    let mut d = db();
+    d.execute("CREATE TABLE T (a INT, b TEXT)").unwrap();
+    assert!(d.execute("INSERT INTO T VALUES (1)").is_err());
+    assert!(d.execute("INSERT INTO T VALUES (1, 'x', 2)").is_err());
+    assert!(d.execute("INSERT INTO T VALUES ('no', 'x')").is_err());
+    // expressions allowed in VALUES
+    d.execute("INSERT INTO T VALUES (1 + 2 * 3, 'a' || 'b')").unwrap();
+    let qr = d.execute("SELECT a, b FROM T").unwrap();
+    assert_eq!(qr.rows[0].values[0], Value::Int(7));
+    assert_eq!(qr.rows[0].values[1], Value::Text("ab".into()));
+}
+
+#[test]
+fn empty_table_queries() {
+    let mut d = db();
+    d.execute("CREATE TABLE T (a INT)").unwrap();
+    assert!(d.execute("SELECT * FROM T").unwrap().rows.is_empty());
+    assert_eq!(
+        d.execute("SELECT COUNT(*) FROM T").unwrap().rows[0].values[0],
+        Value::Int(0)
+    );
+    assert!(d.execute("SELECT SUM(a) FROM T").unwrap().rows[0].values[0].is_null());
+    assert_eq!(d.execute("UPDATE T SET a = 1").unwrap().affected, 0);
+    assert_eq!(d.execute("DELETE FROM T").unwrap().affected, 0);
+    // set ops with an empty side
+    d.execute("CREATE TABLE U (a INT)").unwrap();
+    d.execute("INSERT INTO U VALUES (1)").unwrap();
+    assert!(d
+        .execute("SELECT a FROM T INTERSECT SELECT a FROM U")
+        .unwrap()
+        .rows
+        .is_empty());
+    assert_eq!(
+        d.execute("SELECT a FROM U EXCEPT SELECT a FROM T")
+            .unwrap()
+            .rows
+            .len(),
+        1
+    );
+}
+
+#[test]
+fn case_insensitive_identifiers_everywhere() {
+    let mut d = db();
+    d.execute("create table GeNe (gId TEXT, LEN int)").unwrap();
+    d.execute("insert into gene values ('x', 1)").unwrap();
+    let qr = d.execute("SELECT GID, len FROM GENE WHERE Gid = 'x'").unwrap();
+    assert_eq!(qr.rows.len(), 1);
+    d.execute("create annotation table NOTES on gene").unwrap();
+    d.execute("ADD ANNOTATION TO Gene.notes VALUE 'hi' ON (SELECT G.gid FROM gene G)")
+        .unwrap();
+    let qr = d.execute("SELECT gid FROM gene ANNOTATION(Notes)").unwrap();
+    assert_eq!(qr.rows[0].anns[0].len(), 1);
+}
+
+#[test]
+fn semicolons_and_comments_tolerated() {
+    let mut d = db();
+    d.execute("CREATE TABLE T (a INT); ").unwrap();
+    d.execute("-- populate\nINSERT INTO T VALUES (1) -- one row\n;")
+        .unwrap();
+    assert_eq!(d.execute("SELECT * FROM T;").unwrap().rows.len(), 1);
+}
+
+#[test]
+fn update_with_expression_referencing_other_columns() {
+    let mut d = db();
+    d.execute("CREATE TABLE T (a INT, b INT)").unwrap();
+    d.execute("INSERT INTO T VALUES (1, 10), (2, 20)").unwrap();
+    d.execute("UPDATE T SET a = b * 2 + a").unwrap();
+    let qr = d.execute("SELECT a FROM T ORDER BY a").unwrap();
+    let got: Vec<i64> = qr.rows.iter().map(|r| r.values[0].as_int().unwrap()).collect();
+    assert_eq!(got, vec![21, 42]);
+}
+
+#[test]
+fn annotations_survive_row_updates() {
+    // annotations attach to row numbers; updating a row must not lose them
+    let mut d = db();
+    d.execute("CREATE TABLE T (k TEXT, v TEXT)").unwrap();
+    d.execute("CREATE ANNOTATION TABLE n ON T").unwrap();
+    d.execute("INSERT INTO T VALUES ('a', 'old')").unwrap();
+    d.execute("ADD ANNOTATION TO T.n VALUE 'sticky' ON (SELECT G.k FROM T G)")
+        .unwrap();
+    d.execute("UPDATE T SET v = 'new' WHERE k = 'a'").unwrap();
+    let qr = d.execute("SELECT k, v FROM T ANNOTATION(n)").unwrap();
+    assert_eq!(qr.rows[0].values[1], Value::Text("new".into()));
+    assert_eq!(qr.rows[0].anns[0].len(), 1, "annotation sticks to the row");
+}

@@ -1,0 +1,519 @@
+//! An in-memory, node-instrumented B+-tree.
+//!
+//! This is the baseline access method the paper compares SP-GiST and the
+//! SBC-tree against.  Nodes live in an arena and every node visited or
+//! modified is counted through [`AccessStats`], with one node standing in
+//! for one disk page (fanout defaults to a page-realistic 128).
+//!
+//! The tree is a multimap: duplicate keys are allowed and kept in insertion
+//! order within a key.
+
+use bdbms_common::stats::AccessStats;
+
+const DEFAULT_FANOUT: usize = 128;
+
+/// Arena index of a node.
+type NodeId = usize;
+
+enum Node<K, V> {
+    Inner {
+        /// `keys[i]` separates `children[i]` (< key) from `children[i+1]` (≥ key).
+        keys: Vec<K>,
+        children: Vec<NodeId>,
+    },
+    Leaf {
+        entries: Vec<(K, V)>,
+        next: Option<NodeId>,
+    },
+}
+
+/// B+-tree multimap with logical I/O accounting.
+pub struct BPlusTree<K, V> {
+    nodes: Vec<Node<K, V>>,
+    root: NodeId,
+    fanout: usize,
+    len: usize,
+    stats: AccessStats,
+    /// Estimated byte cost per entry (key bytes are measured by the caller
+    /// via `key_bytes`).
+    key_bytes: fn(&K) -> usize,
+}
+
+impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
+    /// Empty tree with the default fanout.
+    pub fn new() -> Self {
+        Self::with_fanout(DEFAULT_FANOUT)
+    }
+
+    /// Empty tree with a custom fanout (min 4).
+    pub fn with_fanout(fanout: usize) -> Self {
+        assert!(fanout >= 4, "fanout must be at least 4");
+        BPlusTree {
+            nodes: vec![Node::Leaf {
+                entries: Vec::new(),
+                next: None,
+            }],
+            root: 0,
+            fanout,
+            len: 0,
+            stats: AccessStats::new(),
+            key_bytes: |_| 8,
+        }
+    }
+
+    /// Set the function used to estimate stored key size (for the
+    /// storage-bytes comparisons in E12 / E-SPGIST).
+    pub fn set_key_size_fn(&mut self, f: fn(&K) -> usize) {
+        self.key_bytes = f;
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Logical node I/O counters.
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Number of nodes (≈ pages) in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Estimated storage footprint in bytes: per-node header plus per-entry
+    /// key/value/pointer costs.
+    pub fn storage_bytes(&self) -> usize {
+        let mut total = 0;
+        for n in &self.nodes {
+            total += 16; // node header
+            match n {
+                Node::Inner { keys, children } => {
+                    total += keys.iter().map(|k| (self.key_bytes)(k)).sum::<usize>();
+                    total += children.len() * 8;
+                }
+                Node::Leaf { entries, .. } => {
+                    total += entries
+                        .iter()
+                        .map(|(k, _)| (self.key_bytes)(k) + 8)
+                        .sum::<usize>();
+                }
+            }
+        }
+        total
+    }
+
+    /// Depth of the tree (1 = root is a leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { .. } => return h,
+                Node::Inner { children, .. } => {
+                    id = children[0];
+                    h += 1;
+                }
+            }
+        }
+    }
+
+    /// Insert `(key, value)`.
+    pub fn insert(&mut self, key: K, value: V) {
+        if let Some((sep, right)) = self.insert_rec(self.root, key, value) {
+            // Root split: make a new root.
+            let old_root = self.root;
+            self.nodes.push(Node::Inner {
+                keys: vec![sep],
+                children: vec![old_root, right],
+            });
+            self.root = self.nodes.len() - 1;
+            self.stats.record_write();
+        }
+        self.len += 1;
+    }
+
+    /// Recursive insert; returns `Some((separator, new_right))` on split.
+    fn insert_rec(&mut self, id: NodeId, key: K, value: V) -> Option<(K, NodeId)> {
+        self.stats.record_read();
+        match &mut self.nodes[id] {
+            Node::Leaf { entries, .. } => {
+                let pos = entries.partition_point(|(k, _)| *k <= key);
+                entries.insert(pos, (key, value));
+                self.stats.record_write();
+                if let Node::Leaf { entries, next } = &mut self.nodes[id] {
+                    if entries.len() > self.fanout {
+                        let mid = entries.len() / 2;
+                        let right_entries = entries.split_off(mid);
+                        let old_next = *next;
+                        let sep = right_entries[0].0.clone();
+                        self.nodes.push(Node::Leaf {
+                            entries: right_entries,
+                            next: old_next,
+                        });
+                        let right_id = self.nodes.len() - 1;
+                        if let Node::Leaf { next, .. } = &mut self.nodes[id] {
+                            *next = Some(right_id);
+                        }
+                        self.stats.record_write();
+                        return Some((sep, right_id));
+                    }
+                }
+                None
+            }
+            Node::Inner { keys, children } => {
+                let idx = keys.partition_point(|k| *k <= key);
+                let child = children[idx];
+                let split = self.insert_rec(child, key, value);
+                if let Some((sep, right)) = split {
+                    if let Node::Inner { keys, children } = &mut self.nodes[id] {
+                        let idx = keys.partition_point(|k| *k <= sep);
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        self.stats.record_write();
+                        if keys.len() > self.fanout {
+                            let mid = keys.len() / 2;
+                            let up = keys[mid].clone();
+                            let right_keys = keys.split_off(mid + 1);
+                            keys.pop(); // `up` moves to the parent
+                            let right_children = children.split_off(mid + 1);
+                            self.nodes.push(Node::Inner {
+                                keys: right_keys,
+                                children: right_children,
+                            });
+                            self.stats.record_write();
+                            return Some((up, self.nodes.len() - 1));
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Descend to the *leftmost* leaf that may contain `key`.  Duplicate
+    /// runs can straddle a separator equal to the key, so lookups start at
+    /// the left edge and scan forward along the leaf chain.
+    fn find_leaf(&self, key: &K) -> NodeId {
+        let mut id = self.root;
+        loop {
+            self.stats.record_read();
+            match &self.nodes[id] {
+                Node::Leaf { .. } => return id,
+                Node::Inner { keys, children } => {
+                    let idx = keys.partition_point(|k| k < key);
+                    id = children[idx];
+                }
+            }
+        }
+    }
+
+    /// All values stored under `key`.
+    pub fn get(&self, key: &K) -> Vec<V> {
+        let mut out = Vec::new();
+        let mut leaf = self.find_leaf(key);
+        loop {
+            match &self.nodes[leaf] {
+                Node::Leaf { entries, next } => {
+                    let start = entries.partition_point(|(k, _)| k < key);
+                    let mut i = start;
+                    while i < entries.len() && entries[i].0 == *key {
+                        out.push(entries[i].1.clone());
+                        i += 1;
+                    }
+                    if i < entries.len() || next.is_none() {
+                        break;
+                    }
+                    // key run may continue into the next leaf
+                    leaf = next.unwrap();
+                    self.stats.record_read();
+                }
+                _ => unreachable!(),
+            }
+        }
+        out
+    }
+
+    /// True iff at least one entry with `key` exists.
+    pub fn contains(&self, key: &K) -> bool {
+        !self.get(key).is_empty()
+    }
+
+    /// All entries with `lo <= key < hi` in key order.
+    pub fn range(&self, lo: &K, hi: &K) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        if lo >= hi {
+            return out;
+        }
+        let mut leaf = self.find_leaf(lo);
+        loop {
+            match &self.nodes[leaf] {
+                Node::Leaf { entries, next } => {
+                    for (k, v) in entries {
+                        if k < lo {
+                            continue;
+                        }
+                        if k >= hi {
+                            return out;
+                        }
+                        out.push((k.clone(), v.clone()));
+                    }
+                    match next {
+                        Some(n) => {
+                            leaf = *n;
+                            self.stats.record_read();
+                        }
+                        None => return out,
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    /// Delete one entry equal to `(key, value)`; returns whether one was
+    /// removed.  (No rebalancing — deletes are rare in the bdbms workloads
+    /// and underfull nodes only waste space, never break correctness.)
+    pub fn delete(&mut self, key: &K, value: &V) -> bool
+    where
+        V: PartialEq,
+    {
+        let mut leaf = self.find_leaf(key);
+        loop {
+            match &mut self.nodes[leaf] {
+                Node::Leaf { entries, next } => {
+                    let start = entries.partition_point(|(k, _)| k < key);
+                    let mut i = start;
+                    while i < entries.len() && entries[i].0 == *key {
+                        if entries[i].1 == *value {
+                            entries.remove(i);
+                            self.len -= 1;
+                            self.stats.record_write();
+                            return true;
+                        }
+                        i += 1;
+                    }
+                    if i < entries.len() {
+                        return false;
+                    }
+                    match next {
+                        Some(n) => {
+                            leaf = *n;
+                            self.stats.record_read();
+                        }
+                        None => return false,
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    /// Every entry in key order (test / debugging helper).
+    pub fn iter_all(&self) -> Vec<(K, V)> {
+        // walk to the leftmost leaf, then follow the leaf chain
+        let mut id = self.root;
+        while let Node::Inner { children, .. } = &self.nodes[id] {
+            id = children[0];
+        }
+        let mut out = Vec::with_capacity(self.len);
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { entries, next } => {
+                    out.extend(entries.iter().cloned());
+                    match next {
+                        Some(n) => id = *n,
+                        None => break,
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        out
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Prefix search helper for byte-string keys: all entries whose key starts
+/// with `prefix`, implemented as the range `[prefix, prefix+1)` — this is
+/// exactly how a B+-tree serves prefix queries, and is the baseline for the
+/// trie comparisons in E-SPGIST.
+pub fn prefix_range<V: Clone>(
+    tree: &BPlusTree<Vec<u8>, V>,
+    prefix: &[u8],
+) -> Vec<(Vec<u8>, V)> {
+    let lo = prefix.to_vec();
+    let hi = prefix_upper_bound(prefix);
+    match hi {
+        Some(hi) => tree.range(&lo, &hi),
+        None => {
+            // prefix is all 0xFF: everything ≥ prefix matches the range scan
+            let mut out = Vec::new();
+            for (k, v) in tree.iter_all() {
+                if k.starts_with(prefix) {
+                    out.push((k, v));
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Smallest byte string strictly greater than every string with `prefix`.
+pub fn prefix_upper_bound(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut hi = prefix.to_vec();
+    while let Some(last) = hi.last_mut() {
+        if *last < 0xFF {
+            *last += 1;
+            return Some(hi);
+        }
+        hi.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_basic() {
+        let mut t = BPlusTree::new();
+        t.insert(5, "five");
+        t.insert(3, "three");
+        t.insert(8, "eight");
+        assert_eq!(t.get(&3), vec!["three"]);
+        assert_eq!(t.get(&5), vec!["five"]);
+        assert_eq!(t.get(&9), Vec::<&str>::new());
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn duplicates_preserved() {
+        let mut t = BPlusTree::new();
+        t.insert("JW0080".to_string(), 1);
+        t.insert("JW0080".to_string(), 2);
+        t.insert("JW0080".to_string(), 3);
+        assert_eq!(t.get(&"JW0080".to_string()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn splits_keep_order_small_fanout() {
+        let mut t = BPlusTree::with_fanout(4);
+        let n = 1000;
+        for i in (0..n).rev() {
+            t.insert(i, i * 10);
+        }
+        assert_eq!(t.len(), n as usize);
+        assert!(t.height() > 2, "must have split into a multi-level tree");
+        let all = t.iter_all();
+        assert_eq!(all.len(), n as usize);
+        for (i, (k, v)) in all.iter().enumerate() {
+            assert_eq!(*k, i as i64);
+            assert_eq!(*v, i as i64 * 10);
+        }
+    }
+
+    #[test]
+    fn range_scan() {
+        let mut t = BPlusTree::with_fanout(4);
+        for i in 0..100 {
+            t.insert(i, ());
+        }
+        let r = t.range(&10, &20);
+        let keys: Vec<i32> = r.into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, (10..20).collect::<Vec<_>>());
+        assert!(t.range(&50, &50).is_empty());
+        assert!(t.range(&60, &50).is_empty());
+    }
+
+    #[test]
+    fn range_spans_leaves() {
+        let mut t = BPlusTree::with_fanout(4);
+        for i in 0..64 {
+            t.insert(i, ());
+        }
+        assert_eq!(t.range(&0, &64).len(), 64);
+    }
+
+    #[test]
+    fn delete_specific_entry() {
+        let mut t = BPlusTree::with_fanout(4);
+        t.insert(7, "a");
+        t.insert(7, "b");
+        assert!(t.delete(&7, &"a"));
+        assert_eq!(t.get(&7), vec!["b"]);
+        assert!(!t.delete(&7, &"zzz"));
+        assert!(t.delete(&7, &"b"));
+        assert!(t.get(&7).is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn duplicate_run_across_leaf_boundary() {
+        let mut t = BPlusTree::with_fanout(4);
+        for _ in 0..20 {
+            t.insert(5, 1);
+        }
+        t.insert(1, 0);
+        t.insert(9, 2);
+        assert_eq!(t.get(&5).len(), 20);
+    }
+
+    #[test]
+    fn prefix_search_on_bytes() {
+        let mut t: BPlusTree<Vec<u8>, usize> = BPlusTree::with_fanout(8);
+        let words = ["ATG", "ATGAAA", "ATGC", "ATT", "GTG", "AT"];
+        for (i, w) in words.iter().enumerate() {
+            t.insert(w.as_bytes().to_vec(), i);
+        }
+        let hits = prefix_range(&t, b"ATG");
+        let mut got: Vec<&str> = hits
+            .iter()
+            .map(|(k, _)| std::str::from_utf8(k).unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec!["ATG", "ATGAAA", "ATGC"]);
+    }
+
+    #[test]
+    fn prefix_upper_bound_edge_cases() {
+        assert_eq!(prefix_upper_bound(b"AB"), Some(b"AC".to_vec()));
+        assert_eq!(prefix_upper_bound(&[0x41, 0xFF]), Some(vec![0x42]));
+        assert_eq!(prefix_upper_bound(&[0xFF, 0xFF]), None);
+    }
+
+    #[test]
+    fn stats_count_descent() {
+        let mut t = BPlusTree::with_fanout(4);
+        for i in 0..1000 {
+            t.insert(i, ());
+        }
+        t.stats().reset();
+        let _ = t.get(&500);
+        let h = t.height() as u64;
+        assert!(t.stats().reads() >= h, "lookup must read ≥ height nodes");
+        assert_eq!(t.stats().writes(), 0);
+    }
+
+    #[test]
+    fn storage_bytes_grows_with_entries() {
+        let mut t = BPlusTree::with_fanout(16);
+        let empty = t.storage_bytes();
+        for i in 0..500 {
+            t.insert(i, i);
+        }
+        assert!(t.storage_bytes() > empty + 500 * 8);
+    }
+}

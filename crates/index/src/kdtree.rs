@@ -1,0 +1,227 @@
+//! SP-GiST k-d tree instantiation over 2-D points.
+//!
+//! §7.1 cites the kd-tree (Bentley 1975) among the structures instantiated
+//! with SP-GiST.  Inner nodes split space with an axis-aligned plane; the
+//! split dimension is the one with the widest spread and the split value is
+//! the midpoint of the occupied extent, which guarantees both sides of a
+//! split are non-empty whenever the points are not all identical.
+
+use crate::spgist::{SpGist, SpgistOps};
+
+/// A 2-D point key.
+pub type Point = [f64; 2];
+
+/// Axis-aligned (possibly unbounded) box — the `Path` of the kd-tree.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundBox {
+    /// Minimum corner.
+    pub lo: Point,
+    /// Maximum corner.
+    pub hi: Point,
+}
+
+impl BoundBox {
+    /// The whole plane.
+    pub fn everything() -> Self {
+        BoundBox {
+            lo: [f64::NEG_INFINITY; 2],
+            hi: [f64::INFINITY; 2],
+        }
+    }
+
+    /// Does this box intersect the window `[wlo, whi]`?
+    pub fn intersects_window(&self, wlo: Point, whi: Point) -> bool {
+        (0..2).all(|d| self.lo[d] <= whi[d] && wlo[d] <= self.hi[d])
+    }
+
+    /// Minimum squared distance from `p` to this box.
+    pub fn min_dist2(&self, p: Point) -> f64 {
+        let mut d2 = 0.0;
+        for (d, &coord) in p.iter().enumerate() {
+            let delta = (self.lo[d] - coord).max(0.0).max(coord - self.hi[d]);
+            d2 += delta * delta;
+        }
+        d2
+    }
+}
+
+/// Queries over point sets (shared with the quadtree).
+pub enum PointQuery {
+    /// Points inside the closed window `[lo, hi]`.
+    Window(Point, Point),
+    /// Exact point lookup.
+    Exact(Point),
+}
+
+/// Inner-node predicate: split plane.
+#[derive(Debug, Clone, Copy)]
+pub struct KdPred {
+    /// Splitting dimension (0 = x, 1 = y).
+    pub dim: usize,
+    /// Splitting value: label 0 holds `p[dim] <= value`, label 1 the rest.
+    pub value: f64,
+}
+
+/// Operator set for the 2-D kd-tree.
+#[derive(Debug, Default, Clone)]
+pub struct KdTreeOps;
+
+impl SpgistOps for KdTreeOps {
+    type Key = Point;
+    type Pred = KdPred;
+    type Path = BoundBox;
+    type Query = PointQuery;
+
+    fn root_path(&self) -> BoundBox {
+        BoundBox::everything()
+    }
+
+    fn picksplit(&self, keys: &[Point], _path: &BoundBox) -> Option<KdPred> {
+        let (mut lo, mut hi) = ([f64::INFINITY; 2], [f64::NEG_INFINITY; 2]);
+        for p in keys {
+            for (d, &coord) in p.iter().enumerate() {
+                lo[d] = lo[d].min(coord);
+                hi[d] = hi[d].max(coord);
+            }
+        }
+        let spread = [hi[0] - lo[0], hi[1] - lo[1]];
+        if spread[0] <= 0.0 && spread[1] <= 0.0 {
+            return None; // all points identical
+        }
+        let dim = if spread[0] >= spread[1] { 0 } else { 1 };
+        Some(KdPred {
+            dim,
+            value: (lo[dim] + hi[dim]) / 2.0,
+        })
+    }
+
+    fn choose(&self, pred: &KdPred, key: &Point) -> usize {
+        usize::from(key[pred.dim] > pred.value)
+    }
+
+    fn extend_path(&self, path: &BoundBox, pred: &KdPred, label: usize) -> BoundBox {
+        let mut b = *path;
+        if label == 0 {
+            b.hi[pred.dim] = b.hi[pred.dim].min(pred.value);
+        } else {
+            b.lo[pred.dim] = b.lo[pred.dim].max(pred.value);
+        }
+        b
+    }
+
+    fn query_consistent(&self, path: &BoundBox, q: &PointQuery) -> bool {
+        match q {
+            PointQuery::Window(lo, hi) => path.intersects_window(*lo, *hi),
+            PointQuery::Exact(p) => path.intersects_window(*p, *p),
+        }
+    }
+
+    fn leaf_matches(&self, key: &Point, q: &PointQuery) -> bool {
+        match q {
+            PointQuery::Window(lo, hi) => {
+                (0..2).all(|d| lo[d] <= key[d] && key[d] <= hi[d])
+            }
+            PointQuery::Exact(p) => key == p,
+        }
+    }
+
+    fn path_min_dist(&self, path: &BoundBox, target: &Point) -> f64 {
+        path.min_dist2(*target).sqrt()
+    }
+
+    fn key_dist(&self, a: &Point, b: &Point) -> f64 {
+        ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt()
+    }
+
+    fn key_bytes(&self, _key: &Point) -> usize {
+        16
+    }
+}
+
+/// A ready-made kd-tree index.
+pub type KdTreeIndex<V> = SpGist<KdTreeOps, V>;
+
+/// Build an empty kd-tree index.
+pub fn kdtree_index<V: Clone>() -> KdTreeIndex<V> {
+    SpGist::new(KdTreeOps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> KdTreeIndex<usize> {
+        let mut t = SpGist::with_leaf_capacity(KdTreeOps, 4);
+        for i in 0..n {
+            let x = (i % 32) as f64;
+            let y = (i / 32) as f64;
+            t.insert([x, y], i);
+        }
+        t
+    }
+
+    #[test]
+    fn window_query_on_grid() {
+        let t = grid(1024);
+        let hits = t.search(&PointQuery::Window([2.0, 2.0], [5.0, 4.0]));
+        assert_eq!(hits.len(), 4 * 3);
+        for (p, _) in &hits {
+            assert!(p[0] >= 2.0 && p[0] <= 5.0 && p[1] >= 2.0 && p[1] <= 4.0);
+        }
+    }
+
+    #[test]
+    fn exact_query() {
+        let t = grid(1024);
+        let hits = t.search(&PointQuery::Exact([7.0, 3.0]));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1, 3 * 32 + 7);
+        assert!(t.search(&PointQuery::Exact([7.5, 3.0])).is_empty());
+    }
+
+    #[test]
+    fn knn_on_grid() {
+        let t = grid(1024);
+        let got = t.knn(&[10.1, 10.1], 5);
+        assert_eq!(got.len(), 5);
+        // nearest must be (10, 10)
+        assert_eq!(got[0].0, [10.0, 10.0]);
+        // distances are non-decreasing
+        for w in got.windows(2) {
+            assert!(w[0].2 <= w[1].2);
+        }
+    }
+
+    #[test]
+    fn identical_points_unsplittable() {
+        let mut t = SpGist::with_leaf_capacity(KdTreeOps, 2);
+        for i in 0..40usize {
+            t.insert([1.0, 1.0], i);
+        }
+        assert_eq!(t.len(), 40);
+        assert_eq!(t.search(&PointQuery::Exact([1.0, 1.0])).len(), 40);
+    }
+
+    #[test]
+    fn knn_visits_fraction_of_nodes() {
+        let t = grid(1024);
+        t.stats().reset();
+        let _ = t.knn(&[16.0, 16.0], 3);
+        assert!(
+            (t.stats().reads() as usize) < t.node_count() / 2,
+            "kNN should prune: read {} of {} nodes",
+            t.stats().reads(),
+            t.node_count()
+        );
+    }
+
+    #[test]
+    fn collinear_points_split_fine() {
+        let mut t = SpGist::with_leaf_capacity(KdTreeOps, 2);
+        for i in 0..100usize {
+            t.insert([i as f64, 0.0], i);
+        }
+        let hits = t.search(&PointQuery::Window([10.0, -1.0], [20.0, 1.0]));
+        assert_eq!(hits.len(), 11);
+    }
+}

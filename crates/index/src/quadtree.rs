@@ -1,0 +1,183 @@
+//! SP-GiST point-quadtree instantiation.
+//!
+//! §7.1 cites the point quadtree (Finkel & Bentley 1974) among the SP-GiST
+//! instantiations.  Each inner node splits the plane into four quadrants
+//! around a centre point (we use the centroid of the overflowing leaf,
+//! which guarantees progress for non-degenerate point sets).
+//!
+//! The query language is shared with the kd-tree
+//! ([`PointQuery`]), so the E-SPGIST experiment
+//! can run the same workload over both structures plus the R-tree baseline.
+
+use crate::kdtree::{BoundBox, Point, PointQuery};
+use crate::spgist::{SpGist, SpgistOps};
+
+/// Inner-node predicate: the quadrant centre.
+#[derive(Debug, Clone, Copy)]
+pub struct QuadPred {
+    /// Centre point; quadrant label = (x > cx) + 2·(y > cy).
+    pub centre: Point,
+}
+
+/// Operator set for the point quadtree.
+#[derive(Debug, Default, Clone)]
+pub struct QuadtreeOps;
+
+impl SpgistOps for QuadtreeOps {
+    type Key = Point;
+    type Pred = QuadPred;
+    type Path = BoundBox;
+    type Query = PointQuery;
+
+    fn root_path(&self) -> BoundBox {
+        BoundBox::everything()
+    }
+
+    fn picksplit(&self, keys: &[Point], _path: &BoundBox) -> Option<QuadPred> {
+        let n = keys.len() as f64;
+        let cx = keys.iter().map(|p| p[0]).sum::<f64>() / n;
+        let cy = keys.iter().map(|p| p[1]).sum::<f64>() / n;
+        let spread_x = keys.iter().any(|p| p[0] != keys[0][0]);
+        let spread_y = keys.iter().any(|p| p[1] != keys[0][1]);
+        if !spread_x && !spread_y {
+            return None; // all points identical
+        }
+        Some(QuadPred { centre: [cx, cy] })
+    }
+
+    fn choose(&self, pred: &QuadPred, key: &Point) -> usize {
+        usize::from(key[0] > pred.centre[0]) + 2 * usize::from(key[1] > pred.centre[1])
+    }
+
+    fn extend_path(&self, path: &BoundBox, pred: &QuadPred, label: usize) -> BoundBox {
+        let mut b = *path;
+        if label & 1 == 0 {
+            b.hi[0] = b.hi[0].min(pred.centre[0]);
+        } else {
+            b.lo[0] = b.lo[0].max(pred.centre[0]);
+        }
+        if label & 2 == 0 {
+            b.hi[1] = b.hi[1].min(pred.centre[1]);
+        } else {
+            b.lo[1] = b.lo[1].max(pred.centre[1]);
+        }
+        b
+    }
+
+    fn query_consistent(&self, path: &BoundBox, q: &PointQuery) -> bool {
+        match q {
+            PointQuery::Window(lo, hi) => path.intersects_window(*lo, *hi),
+            PointQuery::Exact(p) => path.intersects_window(*p, *p),
+        }
+    }
+
+    fn leaf_matches(&self, key: &Point, q: &PointQuery) -> bool {
+        match q {
+            PointQuery::Window(lo, hi) => {
+                (0..2).all(|d| lo[d] <= key[d] && key[d] <= hi[d])
+            }
+            PointQuery::Exact(p) => key == p,
+        }
+    }
+
+    fn path_min_dist(&self, path: &BoundBox, target: &Point) -> f64 {
+        path.min_dist2(*target).sqrt()
+    }
+
+    fn key_dist(&self, a: &Point, b: &Point) -> f64 {
+        ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt()
+    }
+
+    fn key_bytes(&self, _key: &Point) -> usize {
+        16
+    }
+}
+
+/// A ready-made point-quadtree index.
+pub type QuadtreeIndex<V> = SpGist<QuadtreeOps, V>;
+
+/// Build an empty quadtree index.
+pub fn quadtree_index<V: Clone>() -> QuadtreeIndex<V> {
+    SpGist::new(QuadtreeOps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(n: usize) -> (QuadtreeIndex<usize>, Vec<Point>) {
+        let mut t = SpGist::with_leaf_capacity(QuadtreeOps, 4);
+        let mut pts = Vec::new();
+        let mut x: u64 = 99;
+        for i in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let px = ((x >> 33) % 1000) as f64 / 10.0;
+            let py = ((x >> 11) % 1000) as f64 / 10.0;
+            t.insert([px, py], i);
+            pts.push([px, py]);
+        }
+        (t, pts)
+    }
+
+    #[test]
+    fn window_matches_naive() {
+        let (t, pts) = cloud(2000);
+        let (lo, hi) = ([20.0, 20.0], [40.0, 60.0]);
+        let expect = pts
+            .iter()
+            .filter(|p| p[0] >= lo[0] && p[0] <= hi[0] && p[1] >= lo[1] && p[1] <= hi[1])
+            .count();
+        let got = t.search(&PointQuery::Window(lo, hi)).len();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn knn_matches_naive() {
+        let (t, pts) = cloud(1500);
+        let target = [50.0, 50.0];
+        let got = t.knn(&target, 10);
+        assert_eq!(got.len(), 10);
+        let mut naive: Vec<f64> = pts
+            .iter()
+            .map(|p| ((p[0] - target[0]).powi(2) + (p[1] - target[1]).powi(2)).sqrt())
+            .collect();
+        naive.sort_by(|a, b| a.total_cmp(b));
+        for (i, (_, _, d)) in got.iter().enumerate() {
+            assert!(
+                (d - naive[i]).abs() < 1e-9,
+                "kNN #{i}: got {d}, want {}",
+                naive[i]
+            );
+        }
+    }
+
+    #[test]
+    fn quadrant_labels() {
+        let ops = QuadtreeOps;
+        let pred = QuadPred { centre: [0.0, 0.0] };
+        assert_eq!(ops.choose(&pred, &[-1.0, -1.0]), 0);
+        assert_eq!(ops.choose(&pred, &[1.0, -1.0]), 1);
+        assert_eq!(ops.choose(&pred, &[-1.0, 1.0]), 2);
+        assert_eq!(ops.choose(&pred, &[1.0, 1.0]), 3);
+        // boundary points go to the "≤" side
+        assert_eq!(ops.choose(&pred, &[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn duplicate_points_dont_loop() {
+        let mut t = SpGist::with_leaf_capacity(QuadtreeOps, 2);
+        for i in 0..30usize {
+            t.insert([5.0, 5.0], i);
+        }
+        t.insert([6.0, 6.0], 30);
+        assert_eq!(t.search(&PointQuery::Exact([5.0, 5.0])).len(), 30);
+        assert_eq!(t.len(), 31);
+    }
+
+    #[test]
+    fn height_stays_logarithmic_on_uniform_data() {
+        let (t, _) = cloud(4000);
+        // centroid splits keep the tree shallow on uniform points
+        assert!(t.height() <= 16, "height {}", t.height());
+    }
+}

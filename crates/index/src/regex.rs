@@ -1,0 +1,490 @@
+//! A small Thompson-NFA regular-expression engine.
+//!
+//! §7.1 of the paper lists *"regular expression match search"* among the
+//! advanced operations implemented over SP-GiST tries.  Serving a regex
+//! query from a trie requires asking, at every trie node, *"can this
+//! pattern still match some string extending the current prefix?"* — that
+//! is exactly the NFA-state-set question, so we implement a classic
+//! Thompson construction with a simulation API exposing intermediate state
+//! sets ([`Regex::feed`] / [`StateSet`]).
+//!
+//! Supported syntax: literals, `.`, character classes `[A-Z]` / `[^...]`,
+//! alternation `|`, grouping `(...)`, and the postfix operators `*`, `+`,
+//! `?`.  Patterns are anchored at both ends (full-match semantics), which
+//! is what index probes need; substring semantics are obtained by wrapping
+//! the pattern in `.*...?.*` by the caller if desired.
+
+use bdbms_common::{BdbmsError, Result};
+
+/// One NFA transition condition.
+#[derive(Debug, Clone)]
+enum Cond {
+    /// Match exactly this byte.
+    Byte(u8),
+    /// Match any byte.
+    Any,
+    /// Match a set of bytes (inclusive ranges), possibly negated.
+    Class { ranges: Vec<(u8, u8)>, negated: bool },
+}
+
+impl Cond {
+    fn matches(&self, b: u8) -> bool {
+        match self {
+            Cond::Byte(c) => *c == b,
+            Cond::Any => true,
+            Cond::Class { ranges, negated } => {
+                let inside = ranges.iter().any(|(lo, hi)| *lo <= b && b <= *hi);
+                inside != *negated
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum State {
+    /// Consume one byte matching `cond`, go to `next`.
+    Consume { cond: Cond, next: usize },
+    /// ε-split to both targets.
+    Split { a: usize, b: usize },
+    /// Accepting state.
+    Accept,
+}
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    states: Vec<State>,
+    start: usize,
+    source: String,
+}
+
+/// A set of live NFA states during simulation (ε-closed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateSet {
+    live: Vec<bool>,
+}
+
+impl StateSet {
+    /// No live states: the pattern can no longer match any extension.
+    pub fn is_dead(&self) -> bool {
+        !self.live.iter().any(|&b| b)
+    }
+}
+
+// ---- parser (recursive descent over the pattern bytes) ----
+
+struct Parser<'a> {
+    pat: &'a [u8],
+    pos: usize,
+}
+
+/// Parsed AST.
+enum Ast {
+    Empty,
+    Byte(u8),
+    Any,
+    Class { ranges: Vec<(u8, u8)>, negated: bool },
+    Concat(Box<Ast>, Box<Ast>),
+    Alt(Box<Ast>, Box<Ast>),
+    Star(Box<Ast>),
+    Plus(Box<Ast>),
+    Opt(Box<Ast>),
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.pat.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn parse_alt(&mut self) -> Result<Ast> {
+        let mut left = self.parse_concat()?;
+        while self.peek() == Some(b'|') {
+            self.bump();
+            let right = self.parse_concat()?;
+            left = Ast::Alt(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast> {
+        let mut node = Ast::Empty;
+        let mut first = true;
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            let atom = self.parse_postfix()?;
+            node = if first {
+                atom
+            } else {
+                Ast::Concat(Box::new(node), Box::new(atom))
+            };
+            first = false;
+        }
+        Ok(node)
+    }
+
+    fn parse_postfix(&mut self) -> Result<Ast> {
+        let mut atom = self.parse_atom()?;
+        while let Some(b) = self.peek() {
+            atom = match b {
+                b'*' => {
+                    self.bump();
+                    Ast::Star(Box::new(atom))
+                }
+                b'+' => {
+                    self.bump();
+                    Ast::Plus(Box::new(atom))
+                }
+                b'?' => {
+                    self.bump();
+                    Ast::Opt(Box::new(atom))
+                }
+                _ => break,
+            };
+        }
+        Ok(atom)
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast> {
+        match self.bump() {
+            None => Err(BdbmsError::Parse("unexpected end of pattern".into())),
+            Some(b'(') => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(b')') {
+                    return Err(BdbmsError::Parse("unclosed group".into()));
+                }
+                Ok(inner)
+            }
+            Some(b'.') => Ok(Ast::Any),
+            Some(b'[') => self.parse_class(),
+            Some(b'\\') => {
+                let b = self
+                    .bump()
+                    .ok_or_else(|| BdbmsError::Parse("trailing backslash".into()))?;
+                Ok(Ast::Byte(b))
+            }
+            Some(b @ (b'*' | b'+' | b'?' | b')')) => Err(BdbmsError::Parse(format!(
+                "misplaced `{}` in pattern",
+                b as char
+            ))),
+            Some(b) => Ok(Ast::Byte(b)),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Ast> {
+        let mut negated = false;
+        if self.peek() == Some(b'^') {
+            self.bump();
+            negated = true;
+        }
+        let mut ranges = Vec::new();
+        loop {
+            let b = self
+                .bump()
+                .ok_or_else(|| BdbmsError::Parse("unclosed character class".into()))?;
+            if b == b']' {
+                if ranges.is_empty() {
+                    return Err(BdbmsError::Parse("empty character class".into()));
+                }
+                break;
+            }
+            let lo = if b == b'\\' {
+                self.bump()
+                    .ok_or_else(|| BdbmsError::Parse("trailing backslash in class".into()))?
+            } else {
+                b
+            };
+            if self.peek() == Some(b'-') && self.pat.get(self.pos + 1) != Some(&b']') {
+                self.bump(); // '-'
+                let hi = self
+                    .bump()
+                    .ok_or_else(|| BdbmsError::Parse("unclosed range in class".into()))?;
+                if hi < lo {
+                    return Err(BdbmsError::Parse(format!(
+                        "inverted range {}-{} in class",
+                        lo as char, hi as char
+                    )));
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        Ok(Ast::Class { ranges, negated })
+    }
+}
+
+// ---- compiler (Thompson construction) ----
+
+struct Compiler {
+    states: Vec<State>,
+}
+
+impl Compiler {
+    fn push(&mut self, s: State) -> usize {
+        self.states.push(s);
+        self.states.len() - 1
+    }
+
+    /// Compile `ast` so that on success control flows to `next`.
+    /// Returns the entry state index.
+    fn compile(&mut self, ast: &Ast, next: usize) -> usize {
+        match ast {
+            Ast::Empty => next,
+            Ast::Byte(b) => self.push(State::Consume {
+                cond: Cond::Byte(*b),
+                next,
+            }),
+            Ast::Any => self.push(State::Consume {
+                cond: Cond::Any,
+                next,
+            }),
+            Ast::Class { ranges, negated } => self.push(State::Consume {
+                cond: Cond::Class {
+                    ranges: ranges.clone(),
+                    negated: *negated,
+                },
+                next,
+            }),
+            Ast::Concat(a, b) => {
+                let b_entry = self.compile(b, next);
+                self.compile(a, b_entry)
+            }
+            Ast::Alt(a, b) => {
+                let a_entry = self.compile(a, next);
+                let b_entry = self.compile(b, next);
+                self.push(State::Split {
+                    a: a_entry,
+                    b: b_entry,
+                })
+            }
+            Ast::Star(inner) => {
+                // placeholder split, patched after compiling the body
+                let split = self.push(State::Split { a: 0, b: 0 });
+                let entry = self.compile(inner, split);
+                self.states[split] = State::Split { a: entry, b: next };
+                split
+            }
+            Ast::Plus(inner) => {
+                let split = self.push(State::Split { a: 0, b: 0 });
+                let entry = self.compile(inner, split);
+                self.states[split] = State::Split { a: entry, b: next };
+                entry
+            }
+            Ast::Opt(inner) => {
+                let entry = self.compile(inner, next);
+                self.push(State::Split {
+                    a: entry,
+                    b: next,
+                })
+            }
+        }
+    }
+}
+
+impl Regex {
+    /// Compile `pattern` (full-match semantics).
+    pub fn compile(pattern: &str) -> Result<Regex> {
+        let mut p = Parser {
+            pat: pattern.as_bytes(),
+            pos: 0,
+        };
+        let ast = p.parse_alt()?;
+        if p.pos != p.pat.len() {
+            return Err(BdbmsError::Parse(format!(
+                "unexpected `{}` at position {}",
+                p.pat[p.pos] as char, p.pos
+            )));
+        }
+        let mut c = Compiler { states: Vec::new() };
+        let accept = c.push(State::Accept);
+        let start = c.compile(&ast, accept);
+        Ok(Regex {
+            states: c.states,
+            start,
+            source: pattern.to_string(),
+        })
+    }
+
+    /// The original pattern text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    fn closure(&self, set: &mut Vec<bool>, s: usize) {
+        if set[s] {
+            return;
+        }
+        set[s] = true;
+        if let State::Split { a, b } = &self.states[s] {
+            self.closure(set, *a);
+            self.closure(set, *b);
+        }
+    }
+
+    /// The initial ε-closed state set.
+    pub fn start_set(&self) -> StateSet {
+        let mut live = vec![false; self.states.len()];
+        self.closure(&mut live, self.start);
+        StateSet { live }
+    }
+
+    /// Advance `set` by one input byte.
+    pub fn feed(&self, set: &StateSet, byte: u8) -> StateSet {
+        let mut live = vec![false; self.states.len()];
+        for (i, on) in set.live.iter().enumerate() {
+            if !on {
+                continue;
+            }
+            if let State::Consume { cond, next } = &self.states[i] {
+                if cond.matches(byte) {
+                    self.closure(&mut live, *next);
+                }
+            }
+        }
+        StateSet { live }
+    }
+
+    /// Advance `set` by a sequence of bytes.
+    pub fn feed_all(&self, set: &StateSet, bytes: &[u8]) -> StateSet {
+        let mut s = set.clone();
+        for &b in bytes {
+            if s.is_dead() {
+                break;
+            }
+            s = self.feed(&s, b);
+        }
+        s
+    }
+
+    /// Is `set` accepting (i.e. the input consumed so far is a full match)?
+    pub fn is_accepting(&self, set: &StateSet) -> bool {
+        set.live
+            .iter()
+            .enumerate()
+            .any(|(i, on)| *on && matches!(self.states[i], State::Accept))
+    }
+
+    /// Full-match test over a byte string.
+    pub fn is_match(&self, input: &[u8]) -> bool {
+        let s = self.feed_all(&self.start_set(), input);
+        self.is_accepting(&s)
+    }
+
+    /// Can the pattern match *some extension* of `prefix`?  This is the
+    /// pruning predicate the SP-GiST trie uses while descending.
+    pub fn can_match_extension(&self, prefix: &[u8]) -> bool {
+        !self.feed_all(&self.start_set(), prefix).is_dead()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, s: &str) -> bool {
+        Regex::compile(pat).unwrap().is_match(s.as_bytes())
+    }
+
+    #[test]
+    fn literals() {
+        assert!(m("ATG", "ATG"));
+        assert!(!m("ATG", "ATGC"));
+        assert!(!m("ATG", "AT"));
+        assert!(m("", ""));
+        assert!(!m("", "x"));
+    }
+
+    #[test]
+    fn dot_and_classes() {
+        assert!(m("A.G", "ATG"));
+        assert!(m("A.G", "ACG"));
+        assert!(!m("A.G", "AG"));
+        assert!(m("[ACGT]+", "GATTACA"));
+        assert!(!m("[ACGT]+", "GATTXCA"));
+        assert!(m("[^0-9]+", "gene"));
+        assert!(!m("[^0-9]+", "gene7"));
+        assert!(m("[A-Z][a-z]*", "Gene"));
+    }
+
+    #[test]
+    fn postfix_operators() {
+        assert!(m("AT*G", "AG"));
+        assert!(m("AT*G", "ATTTG"));
+        assert!(m("AT+G", "ATG"));
+        assert!(!m("AT+G", "AG"));
+        assert!(m("AT?G", "AG"));
+        assert!(m("AT?G", "ATG"));
+        assert!(!m("AT?G", "ATTG"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("ATG|GTG", "GTG"));
+        assert!(m("A(TG|CC)A", "ATGA"));
+        assert!(m("A(TG|CC)A", "ACCA"));
+        assert!(!m("A(TG|CC)A", "AGGA"));
+        assert!(m("(AT)+", "ATATAT"));
+        assert!(!m("(AT)+", "ATA"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m(r"a\*b", "a*b"));
+        assert!(!m(r"a\*b", "ab"));
+        assert!(m(r"a\.b", "a.b"));
+        assert!(!m(r"a\.b", "axb"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::compile("(ab").is_err());
+        assert!(Regex::compile("*a").is_err());
+        assert!(Regex::compile("[abc").is_err());
+        assert!(Regex::compile("[]").is_err());
+        assert!(Regex::compile("[z-a]").is_err());
+        assert!(Regex::compile("ab)").is_err());
+    }
+
+    #[test]
+    fn extension_pruning() {
+        let re = Regex::compile("ATG[ACGT]*").unwrap();
+        assert!(re.can_match_extension(b"ATG"));
+        assert!(re.can_match_extension(b"AT"));
+        assert!(re.can_match_extension(b""));
+        assert!(!re.can_match_extension(b"AC"));
+        assert!(!re.can_match_extension(b"ATGX"));
+    }
+
+    #[test]
+    fn incremental_feed_equals_batch() {
+        let re = Regex::compile("(HE*|L+)[A-Z]").unwrap();
+        let input = b"HEEEX";
+        let mut s = re.start_set();
+        for &b in input {
+            s = re.feed(&s, b);
+        }
+        assert_eq!(s, re.feed_all(&re.start_set(), input));
+        assert!(re.is_accepting(&s));
+    }
+
+    #[test]
+    fn protein_motif_patterns() {
+        // prosite-like motif: H-x(2)-E translated to our syntax
+        let re = Regex::compile("H..E").unwrap();
+        assert!(re.is_match(b"HLLE"));
+        assert!(!re.is_match(b"HLE"));
+        // secondary-structure run pattern
+        assert!(m("L+H+E+", "LLHHHHEE"));
+        assert!(!m("L+H+E+", "LLHHHH"));
+    }
+}

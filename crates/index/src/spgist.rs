@@ -1,0 +1,406 @@
+//! The SP-GiST extensible indexing framework.
+//!
+//! §7.1 of the paper: *"SP-GiST is an extensible indexing framework [...]
+//! that broadens the class of supported indexes to include disk-based
+//! versions of space-partitioning trees [...] SP-GiST allows developers to
+//! instantiate a variety of index structures in an efficient way through
+//! pluggable modules and without modifying the database engine."*
+//!
+//! [`SpGist`] is that framework: a generic space-partitioning tree whose
+//! behaviour is defined entirely by a pluggable operator set implementing
+//! [`SpgistOps`] — the Rust analogue of SP-GiST's `PickSplit` / `Choose` /
+//! `Consistent` external methods.  The paper's instantiations are provided
+//! in sibling modules: [`crate::trie`], [`crate::kdtree`], and
+//! [`crate::quadtree`].
+//!
+//! The framework provides, generically over any operator set:
+//! search with query-specific pruning ([`SpGist::search`]), best-first
+//! k-nearest-neighbour search ([`SpGist::knn`]), node-level I/O accounting,
+//! and storage estimation.
+
+use bdbms_common::stats::AccessStats;
+
+/// Pluggable operator set defining one space-partitioning tree.
+///
+/// Terminology follows the SP-GiST papers:
+/// * `Pred` is the *node predicate* stored in each inner node (a trie
+///   depth, a kd-tree split plane, a quadtree centre);
+/// * `Path` is the accumulated description of the subtree's region
+///   (a string prefix, a bounding box);
+/// * [`picksplit`](SpgistOps::picksplit) decomposes an overfull leaf;
+/// * [`choose`](SpgistOps::choose) routes a key to a partition;
+/// * [`query_consistent`](SpgistOps::query_consistent) prunes subtrees.
+pub trait SpgistOps {
+    /// Indexed key type.
+    type Key: Clone;
+    /// Inner-node predicate.
+    type Pred: Clone;
+    /// Accumulated subtree region descriptor.
+    type Path: Clone;
+    /// Query type served by [`SpGist::search`].
+    type Query;
+
+    /// Region of the root (the whole space).
+    fn root_path(&self) -> Self::Path;
+
+    /// Decide how to partition an overfull leaf holding `keys` within
+    /// region `path`.  Returning `None` declares the key set unsplittable
+    /// (all keys equivalent); the leaf is then allowed to grow.
+    ///
+    /// Contract: when `Some(pred)` is returned, [`choose`](Self::choose)
+    /// must distribute `keys` over at least two distinct partitions, or
+    /// route every key to a partition that strictly consumes the key
+    /// (guaranteeing termination).
+    fn picksplit(&self, keys: &[Self::Key], path: &Self::Path) -> Option<Self::Pred>;
+
+    /// Partition label (sparse, arbitrary `usize`) for `key` under `pred`.
+    fn choose(&self, pred: &Self::Pred, key: &Self::Key) -> usize;
+
+    /// Refine `path` by descending into partition `label` of `pred`.
+    fn extend_path(&self, path: &Self::Path, pred: &Self::Pred, label: usize) -> Self::Path;
+
+    /// May the region `path` contain keys matching `q`?  (Pruning test —
+    /// false negatives are forbidden, false positives merely cost time.)
+    fn query_consistent(&self, path: &Self::Path, q: &Self::Query) -> bool;
+
+    /// Does `key` match `q`? (Exact test at the leaves.)
+    fn leaf_matches(&self, key: &Self::Key, q: &Self::Query) -> bool;
+
+    /// Lower bound on the distance from `target` to any key inside `path`
+    /// (for kNN; return `0.0` when kNN is not meaningful).
+    fn path_min_dist(&self, _path: &Self::Path, _target: &Self::Key) -> f64 {
+        0.0
+    }
+
+    /// Distance between two keys (for kNN).
+    fn key_dist(&self, _a: &Self::Key, _b: &Self::Key) -> f64 {
+        f64::INFINITY
+    }
+
+    /// Bytes needed to store a key (for storage accounting).
+    fn key_bytes(&self, _key: &Self::Key) -> usize {
+        8
+    }
+}
+
+type NodeId = usize;
+
+enum Node<K, P, V> {
+    Inner {
+        pred: P,
+        /// Sparse children: (partition label, node id), sorted by label.
+        children: Vec<(usize, NodeId)>,
+    },
+    Leaf {
+        entries: Vec<(K, V)>,
+        /// Set when picksplit declared this key set unsplittable.
+        unsplittable: bool,
+    },
+}
+
+/// A space-partitioning tree driven by an [`SpgistOps`] operator set.
+pub struct SpGist<O: SpgistOps, V> {
+    ops: O,
+    nodes: Vec<Node<O::Key, O::Pred, V>>,
+    root: NodeId,
+    leaf_capacity: usize,
+    len: usize,
+    stats: AccessStats,
+}
+
+impl<O: SpgistOps, V: Clone> SpGist<O, V> {
+    /// Empty tree with default leaf capacity (page-realistic 64).
+    pub fn new(ops: O) -> Self {
+        Self::with_leaf_capacity(ops, 64)
+    }
+
+    /// Empty tree with a custom leaf capacity (min 2).
+    pub fn with_leaf_capacity(ops: O, leaf_capacity: usize) -> Self {
+        assert!(leaf_capacity >= 2);
+        SpGist {
+            ops,
+            nodes: vec![Node::Leaf {
+                entries: Vec::new(),
+                unsplittable: false,
+            }],
+            root: 0,
+            leaf_capacity,
+            len: 0,
+            stats: AccessStats::new(),
+        }
+    }
+
+    /// The operator set.
+    pub fn ops(&self) -> &O {
+        &self.ops
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Logical node I/O counters.
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Number of nodes (≈ pages).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Estimated storage footprint: 16-byte node headers, 10 bytes per
+    /// child pointer, key bytes + 8-byte payload per leaf entry.
+    pub fn storage_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Inner { children, .. } => 16 + 10 * children.len(),
+                Node::Leaf { entries, .. } => {
+                    16 + entries
+                        .iter()
+                        .map(|(k, _)| self.ops.key_bytes(k) + 8)
+                        .sum::<usize>()
+                }
+            })
+            .sum()
+    }
+
+    /// Insert `key → value`.
+    pub fn insert(&mut self, key: O::Key, value: V) {
+        let mut id = self.root;
+        let mut path = self.ops.root_path();
+        loop {
+            self.stats.record_read();
+            match &mut self.nodes[id] {
+                Node::Inner { pred, children } => {
+                    let label = self.ops.choose(pred, &key);
+                    path = self.ops.extend_path(&path, pred, label);
+                    match children.binary_search_by_key(&label, |(l, _)| *l) {
+                        Ok(pos) => id = children[pos].1,
+                        Err(pos) => {
+                            // create a fresh leaf for this partition
+                            let leaf = Node::Leaf {
+                                entries: vec![(key, value)],
+                                unsplittable: false,
+                            };
+                            let new_id = self.nodes.len();
+                            match &mut self.nodes[id] {
+                                Node::Inner { children, .. } => {
+                                    children.insert(pos, (label, new_id))
+                                }
+                                _ => unreachable!(),
+                            }
+                            self.nodes.push(leaf);
+                            self.stats.record_write();
+                            self.stats.record_write();
+                            self.len += 1;
+                            return;
+                        }
+                    }
+                }
+                Node::Leaf {
+                    entries,
+                    unsplittable,
+                } => {
+                    entries.push((key, value));
+                    self.stats.record_write();
+                    self.len += 1;
+                    if entries.len() > self.leaf_capacity && !*unsplittable {
+                        self.split_leaf(id, &path);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Split leaf `id` (region `path`) using the operator set's picksplit.
+    fn split_leaf(&mut self, id: NodeId, path: &O::Path) {
+        let (entries, _) = match &mut self.nodes[id] {
+            Node::Leaf {
+                entries,
+                unsplittable,
+            } => (std::mem::take(entries), *unsplittable),
+            _ => unreachable!("split of inner node"),
+        };
+        let keys: Vec<O::Key> = entries.iter().map(|(k, _)| k.clone()).collect();
+        let Some(pred) = self.ops.picksplit(&keys, path) else {
+            // Unsplittable: put entries back, mark, let the leaf grow.
+            self.nodes[id] = Node::Leaf {
+                entries,
+                unsplittable: true,
+            };
+            return;
+        };
+        // Bucket entries by partition label.
+        #[allow(clippy::type_complexity)]
+        let mut buckets: Vec<(usize, Vec<(O::Key, V)>)> = Vec::new();
+        for (k, v) in entries {
+            let label = self.ops.choose(&pred, &k);
+            match buckets.binary_search_by_key(&label, |(l, _)| *l) {
+                Ok(pos) => buckets[pos].1.push((k, v)),
+                Err(pos) => buckets.insert(pos, (label, vec![(k, v)])),
+            }
+        }
+        let mut children = Vec::with_capacity(buckets.len());
+        for (label, bucket) in buckets {
+            let child_path = self.ops.extend_path(path, &pred, label);
+            let child_id = self.nodes.len();
+            let overfull = bucket.len() > self.leaf_capacity;
+            self.nodes.push(Node::Leaf {
+                entries: bucket,
+                unsplittable: false,
+            });
+            self.stats.record_write();
+            children.push((label, child_id));
+            // Recursively split overfull children.  Termination is the ops
+            // contract: every `Some(pred)` either distributes keys over ≥ 2
+            // partitions or strictly consumes the key (trie descent), and
+            // fully-equivalent key sets return `None` → unsplittable leaf.
+            if overfull {
+                self.split_leaf(child_id, &child_path);
+            }
+        }
+        self.nodes[id] = Node::Inner { pred, children };
+        self.stats.record_write();
+    }
+
+    /// All `(key, value)` entries matching `q`, found by descending only
+    /// query-consistent partitions.
+    pub fn search(&self, q: &O::Query) -> Vec<(O::Key, V)> {
+        let mut out = Vec::new();
+        let mut stack = vec![(self.root, self.ops.root_path())];
+        while let Some((id, path)) = stack.pop() {
+            if !self.ops.query_consistent(&path, q) {
+                continue;
+            }
+            self.stats.record_read();
+            match &self.nodes[id] {
+                Node::Inner { pred, children } => {
+                    for (label, child) in children {
+                        let child_path = self.ops.extend_path(&path, pred, *label);
+                        stack.push((*child, child_path));
+                    }
+                }
+                Node::Leaf { entries, .. } => {
+                    for (k, v) in entries {
+                        if self.ops.leaf_matches(k, q) {
+                            out.push((k.clone(), v.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `k` nearest keys to `target`, best-first (paper §7.1:
+    /// "k-nearest-neighbor search" over SP-GiST indexes).
+    pub fn knn(&self, target: &O::Key, k: usize) -> Vec<(O::Key, V, f64)> {
+        use std::collections::BinaryHeap;
+
+        struct Item<K, V, P> {
+            dist: f64,
+            node: Option<(usize, P)>,
+            entry: Option<(K, V)>,
+        }
+        impl<K, V, P> PartialEq for Item<K, V, P> {
+            fn eq(&self, o: &Self) -> bool {
+                self.dist == o.dist
+            }
+        }
+        impl<K, V, P> Eq for Item<K, V, P> {}
+        impl<K, V, P> PartialOrd for Item<K, V, P> {
+            fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+        impl<K, V, P> Ord for Item<K, V, P> {
+            fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                o.dist.total_cmp(&self.dist) // min-heap
+            }
+        }
+
+        let mut out = Vec::new();
+        if k == 0 {
+            return out;
+        }
+        let mut pq: BinaryHeap<Item<O::Key, V, O::Path>> = BinaryHeap::new();
+        pq.push(Item {
+            dist: 0.0,
+            node: Some((self.root, self.ops.root_path())),
+            entry: None,
+        });
+        while let Some(item) = pq.pop() {
+            if let Some((id, path)) = item.node {
+                self.stats.record_read();
+                match &self.nodes[id] {
+                    Node::Inner { pred, children } => {
+                        for (label, child) in children {
+                            let child_path = self.ops.extend_path(&path, pred, *label);
+                            pq.push(Item {
+                                dist: self.ops.path_min_dist(&child_path, target),
+                                node: Some((*child, child_path)),
+                                entry: None,
+                            });
+                        }
+                    }
+                    Node::Leaf { entries, .. } => {
+                        for (key, v) in entries {
+                            pq.push(Item {
+                                dist: self.ops.key_dist(key, target),
+                                node: None,
+                                entry: Some((key.clone(), v.clone())),
+                            });
+                        }
+                    }
+                }
+            } else if let Some((key, v)) = item.entry {
+                out.push((key, v, item.dist));
+                if out.len() == k {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Every entry (test helper; order unspecified).
+    pub fn iter_all(&self) -> Vec<(O::Key, V)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            match &self.nodes[id] {
+                Node::Inner { children, .. } => {
+                    stack.extend(children.iter().map(|(_, c)| *c))
+                }
+                Node::Leaf { entries, .. } => out.extend(entries.iter().cloned()),
+            }
+        }
+        out
+    }
+
+    /// Maximum depth of the tree (1 = root leaf).
+    pub fn height(&self) -> usize {
+        fn depth<K, P, V>(nodes: &[Node<K, P, V>], id: NodeId) -> usize {
+            match &nodes[id] {
+                Node::Leaf { .. } => 1,
+                Node::Inner { children, .. } => {
+                    1 + children
+                        .iter()
+                        .map(|(_, c)| depth(nodes, *c))
+                        .max()
+                        .unwrap_or(0)
+                }
+            }
+        }
+        depth(&self.nodes, self.root)
+    }
+}

@@ -1,0 +1,308 @@
+//! SP-GiST trie instantiation over byte strings.
+//!
+//! The paper (§7.1) cites trie variants as a primary SP-GiST
+//! instantiation, with *"k-nearest-neighbor search, regular expression
+//! match search, and substring searching"* implemented on top.  This
+//! module supplies the operator set [`TrieOps`] plus the query language
+//! [`StrQuery`]: exact match, prefix match, lexicographic range, and
+//! regular-expression match (via [`crate::regex::Regex`]).
+//!
+//! Substring search is served by the same trie built over *suffixes*
+//! (`bdbms-seq` does exactly that for sequences), so the query set here is
+//! complete for the paper's operations.
+//!
+//! Each inner node branches on one byte of the key at its depth; keys that
+//! end at the node live in a dedicated end-bucket partition.  Duplicate
+//! keys make an end bucket unsplittable, which the framework handles.
+
+use crate::bptree::prefix_upper_bound;
+use crate::regex::Regex;
+use crate::spgist::{SpGist, SpgistOps};
+
+/// Partition label for keys ending exactly at this node's depth.
+const END_LABEL: usize = 0;
+
+/// Queries supported by the trie.
+pub enum StrQuery {
+    /// Key equals the needle exactly.
+    Exact(Vec<u8>),
+    /// Key starts with the needle.
+    Prefix(Vec<u8>),
+    /// `lo <= key < hi` lexicographically (`hi = None` = unbounded).
+    Range(Vec<u8>, Option<Vec<u8>>),
+    /// Key matches the (anchored) regular expression.
+    Regex(Regex),
+}
+
+/// Operator set for the byte-string trie.
+#[derive(Debug, Default, Clone)]
+pub struct TrieOps;
+
+/// Inner-node predicate: branch on `key[depth]`.
+#[derive(Debug, Clone, Copy)]
+pub struct TriePred {
+    /// Depth (number of key bytes consumed above this node).
+    pub depth: usize,
+}
+
+impl SpgistOps for TrieOps {
+    type Key = Vec<u8>;
+    type Pred = TriePred;
+    /// Accumulated prefix of the subtree.
+    type Path = Vec<u8>;
+    type Query = StrQuery;
+
+    fn root_path(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn picksplit(&self, keys: &[Vec<u8>], path: &Vec<u8>) -> Option<TriePred> {
+        let depth = path.len();
+        // All keys end here → duplicates → unsplittable.
+        if keys.iter().all(|k| k.len() == depth) {
+            return None;
+        }
+        Some(TriePred { depth })
+    }
+
+    fn choose(&self, pred: &TriePred, key: &Vec<u8>) -> usize {
+        match key.get(pred.depth) {
+            None => END_LABEL,
+            Some(&b) => b as usize + 1,
+        }
+    }
+
+    fn extend_path(&self, path: &Vec<u8>, _pred: &TriePred, label: usize) -> Vec<u8> {
+        let mut p = path.clone();
+        if label != END_LABEL {
+            p.push((label - 1) as u8);
+        }
+        p
+    }
+
+    fn query_consistent(&self, path: &Vec<u8>, q: &StrQuery) -> bool {
+        match q {
+            StrQuery::Exact(t) => t.starts_with(path),
+            StrQuery::Prefix(p) => {
+                // Subtrees whose prefix overlaps the needle may match.
+                p.starts_with(path) || path.starts_with(p)
+            }
+            StrQuery::Range(lo, hi) => {
+                // Keys under `path` span [path, prefix_upper_bound(path)).
+                let below_hi = match hi {
+                    Some(hi) => path.as_slice() < hi.as_slice(),
+                    None => true,
+                };
+                let above_lo = match prefix_upper_bound(path) {
+                    Some(ub) => ub.as_slice() > lo.as_slice(),
+                    None => true,
+                };
+                below_hi && above_lo
+            }
+            StrQuery::Regex(re) => re.can_match_extension(path),
+        }
+    }
+
+    fn leaf_matches(&self, key: &Vec<u8>, q: &StrQuery) -> bool {
+        match q {
+            StrQuery::Exact(t) => key == t,
+            StrQuery::Prefix(p) => key.starts_with(p),
+            StrQuery::Range(lo, hi) => {
+                key.as_slice() >= lo.as_slice()
+                    && match hi {
+                        Some(hi) => key.as_slice() < hi.as_slice(),
+                        None => true,
+                    }
+            }
+            StrQuery::Regex(re) => re.is_match(key),
+        }
+    }
+
+    fn key_bytes(&self, key: &Vec<u8>) -> usize {
+        key.len() + 4
+    }
+}
+
+/// A ready-made trie index: `SpGist<TrieOps, V>`.
+pub type TrieIndex<V> = SpGist<TrieOps, V>;
+
+/// Build an empty trie index with page-realistic leaf capacity.
+pub fn trie_index<V: Clone>() -> TrieIndex<V> {
+    SpGist::new(TrieOps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrieIndex<usize> {
+        let mut t = SpGist::with_leaf_capacity(TrieOps, 2);
+        let words = [
+            "ATG", "ATGAAA", "ATGC", "ATT", "GTG", "AT", "ATG", // dup
+            "CAT", "CATTLE", "CA",
+        ];
+        for (i, w) in words.iter().enumerate() {
+            t.insert(w.as_bytes().to_vec(), i);
+        }
+        t
+    }
+
+    #[test]
+    fn exact_match_with_duplicates() {
+        let t = sample();
+        let hits = t.search(&StrQuery::Exact(b"ATG".to_vec()));
+        let mut ids: Vec<usize> = hits.into_iter().map(|(_, v)| v).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 6]);
+        assert!(t.search(&StrQuery::Exact(b"ATGA".to_vec())).is_empty());
+    }
+
+    #[test]
+    fn prefix_match() {
+        let t = sample();
+        let hits = t.search(&StrQuery::Prefix(b"ATG".to_vec()));
+        let mut got: Vec<String> = hits
+            .into_iter()
+            .map(|(k, _)| String::from_utf8(k).unwrap())
+            .collect();
+        got.sort();
+        assert_eq!(got, vec!["ATG", "ATG", "ATGAAA", "ATGC"]);
+        // prefix shorter than any node path
+        let all_a = t.search(&StrQuery::Prefix(b"A".to_vec()));
+        assert_eq!(all_a.len(), 6);
+        // empty prefix matches everything
+        assert_eq!(t.search(&StrQuery::Prefix(Vec::new())).len(), t.len());
+    }
+
+    #[test]
+    fn range_query() {
+        let t = sample();
+        let hits = t.search(&StrQuery::Range(
+            b"AT".to_vec(),
+            Some(b"CAT".to_vec()),
+        ));
+        let mut got: Vec<String> = hits
+            .into_iter()
+            .map(|(k, _)| String::from_utf8(k).unwrap())
+            .collect();
+        got.sort();
+        assert_eq!(got, vec!["AT", "ATG", "ATG", "ATGAAA", "ATGC", "ATT", "CA"]);
+        // unbounded range
+        let all = t.search(&StrQuery::Range(Vec::new(), None));
+        assert_eq!(all.len(), t.len());
+    }
+
+    #[test]
+    fn regex_query() {
+        let t = sample();
+        let re = Regex::compile("AT[GT].*").unwrap();
+        let hits = t.search(&StrQuery::Regex(re));
+        let mut got: Vec<String> = hits
+            .into_iter()
+            .map(|(k, _)| String::from_utf8(k).unwrap())
+            .collect();
+        got.sort();
+        assert_eq!(got, vec!["ATG", "ATG", "ATGAAA", "ATGC", "ATT"]);
+    }
+
+    #[test]
+    fn regex_prunes_subtrees() {
+        let mut t = SpGist::with_leaf_capacity(TrieOps, 2);
+        for i in 0..200usize {
+            let key = format!("GENE{i:04}");
+            t.insert(key.into_bytes(), i);
+        }
+        for i in 0..200usize {
+            let key = format!("PROT{i:04}");
+            t.insert(key.into_bytes(), i);
+        }
+        t.stats().reset();
+        let re = Regex::compile("GENE00[0-4][0-9]").unwrap();
+        let hits = t.search(&StrQuery::Regex(re));
+        assert_eq!(hits.len(), 50);
+        let pruned_reads = t.stats().reads();
+        t.stats().reset();
+        let re_all = Regex::compile(".*").unwrap();
+        let all = t.search(&StrQuery::Regex(re_all));
+        assert_eq!(all.len(), 400);
+        assert!(
+            pruned_reads < t.stats().reads() / 2,
+            "selective regex must prune: {} vs {}",
+            pruned_reads,
+            t.stats().reads()
+        );
+    }
+
+    #[test]
+    fn deep_duplicate_keys_terminate() {
+        let mut t = SpGist::with_leaf_capacity(TrieOps, 2);
+        for i in 0..50usize {
+            t.insert(b"SAMEKEY".to_vec(), i);
+        }
+        assert_eq!(t.len(), 50);
+        assert_eq!(t.search(&StrQuery::Exact(b"SAMEKEY".to_vec())).len(), 50);
+    }
+
+    #[test]
+    fn keys_that_are_prefixes_of_each_other() {
+        let mut t = SpGist::with_leaf_capacity(TrieOps, 2);
+        let keys = ["A", "AB", "ABC", "ABCD", "ABCDE", "ABCDEF"];
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(k.as_bytes().to_vec(), i);
+        }
+        for k in keys {
+            assert_eq!(
+                t.search(&StrQuery::Exact(k.as_bytes().to_vec())).len(),
+                1,
+                "exact {k}"
+            );
+        }
+        assert_eq!(t.search(&StrQuery::Prefix(b"ABC".to_vec())).len(), 4);
+    }
+
+    #[test]
+    fn empty_key_is_indexable() {
+        let mut t = trie_index();
+        t.insert(Vec::new(), 0usize);
+        t.insert(b"A".to_vec(), 1usize);
+        assert_eq!(t.search(&StrQuery::Exact(Vec::new())).len(), 1);
+        assert_eq!(t.search(&StrQuery::Prefix(Vec::new())).len(), 2);
+    }
+
+    #[test]
+    fn large_trie_consistency_with_naive() {
+        let mut t = SpGist::with_leaf_capacity(TrieOps, 8);
+        let mut naive: Vec<Vec<u8>> = Vec::new();
+        let mut x: u64 = 7;
+        for i in 0..3000usize {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let len = 3 + (x % 12) as usize;
+            let key: Vec<u8> = (0..len)
+                .map(|j| b"ACGT"[((x >> (j * 2 % 60)) & 3) as usize])
+                .collect();
+            naive.push(key.clone());
+            t.insert(key, i);
+        }
+        // prefix agreement
+        for probe in ["A", "AC", "ACG", "GGG", "TTTT"] {
+            let expect = naive
+                .iter()
+                .filter(|k| k.starts_with(probe.as_bytes()))
+                .count();
+            let got = t.search(&StrQuery::Prefix(probe.as_bytes().to_vec())).len();
+            assert_eq!(got, expect, "prefix {probe}");
+        }
+        // range agreement
+        let lo = b"AC".to_vec();
+        let hi = b"GT".to_vec();
+        let expect = naive
+            .iter()
+            .filter(|k| k.as_slice() >= lo.as_slice() && k.as_slice() < hi.as_slice())
+            .count();
+        assert_eq!(
+            t.search(&StrQuery::Range(lo, Some(hi))).len(),
+            expect,
+            "range"
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Synthetic biological sequence generators.
+//!
+//! The paper's driving datasets (an E. coli model-organism resource and a
+//! protein structure database) are not available, so benchmarks use
+//! synthetic equivalents whose *statistics* exercise the same code paths
+//! (documented substitution — see DESIGN.md §2):
+//!
+//! * [`secondary_structure`] — H/E/L sequences with geometrically
+//!   distributed run lengths, matching the bursty structure shown in
+//!   Figure 12 (helices/strands/loops come in runs of ~4–20 residues).
+//!   This is what makes RLE give its order-of-magnitude compression.
+//! * [`dna`] — uniform A/C/G/T (short runs: the anti-RLE contrast case).
+//! * [`protein`] — uniform 20-letter amino-acid sequences.
+//! * [`gene_table`] — rows shaped like the paper's Figure 2 gene tables.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Secondary-structure alphabet of Figure 12.
+pub const SS_ALPHABET: [u8; 3] = [b'H', b'E', b'L'];
+/// DNA alphabet.
+pub const DNA_ALPHABET: [u8; 4] = [b'A', b'C', b'G', b'T'];
+/// The 20 standard amino acids.
+pub const AA_ALPHABET: [u8; 20] = *b"ACDEFGHIKLMNPQRSTVWY";
+
+/// A protein secondary-structure string of exactly `len` characters with
+/// geometric run lengths of mean `mean_run` (clamped ≥ 1.01).
+///
+/// Consecutive runs always switch characters, so the generated string's
+/// RLE run-length distribution matches the requested mean.
+pub fn secondary_structure(rng: &mut impl Rng, len: usize, mean_run: f64) -> Vec<u8> {
+    let mean_run = mean_run.max(1.01);
+    // geometric with mean m: success probability 1/m
+    let p = 1.0 / mean_run;
+    let mut out = Vec::with_capacity(len);
+    let mut prev: Option<u8> = None;
+    while out.len() < len {
+        let ch = loop {
+            let c = *SS_ALPHABET.choose(rng).expect("non-empty alphabet");
+            if Some(c) != prev {
+                break c;
+            }
+        };
+        prev = Some(ch);
+        // sample a geometric run length ≥ 1
+        let mut run = 1usize;
+        while rng.gen::<f64>() > p {
+            run += 1;
+        }
+        let run = run.min(len - out.len());
+        out.extend(std::iter::repeat_n(ch, run));
+    }
+    out
+}
+
+/// A uniform DNA sequence of `len` bases.
+pub fn dna(rng: &mut impl Rng, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|_| *DNA_ALPHABET.choose(rng).expect("non-empty alphabet"))
+        .collect()
+}
+
+/// A uniform protein (primary structure) sequence of `len` residues.
+pub fn protein(rng: &mut impl Rng, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|_| *AA_ALPHABET.choose(rng).expect("non-empty alphabet"))
+        .collect()
+}
+
+/// A gene identifier in the paper's `JWxxxx` style (Figure 2).
+pub fn gene_id(i: usize) -> String {
+    format!("JW{i:04}")
+}
+
+/// A pronounceable-ish gene name like the paper's `fruR` / `yabP` / `mraW`.
+pub fn gene_name(rng: &mut impl Rng, i: usize) -> String {
+    let consonants = b"bcdfgmnprstvwy";
+    let vowels = b"aeiou";
+    let c1 = *consonants.choose(rng).unwrap() as char;
+    let v = *vowels.choose(rng).unwrap() as char;
+    let c2 = *consonants.choose(rng).unwrap() as char;
+    let upper = (b'A' + (i % 26) as u8) as char;
+    format!("{c1}{v}{c2}{upper}")
+}
+
+/// One synthetic gene row: `(GID, GName, GSequence)` — the shape of the
+/// paper's `DB1_Gene` / `DB2_Gene` tables.
+pub fn gene_row(rng: &mut impl Rng, i: usize, seq_len: usize) -> (String, String, String) {
+    let seq = dna(rng, seq_len);
+    (
+        gene_id(i),
+        gene_name(rng, i),
+        String::from_utf8(seq).expect("DNA is ASCII"),
+    )
+}
+
+/// A batch of `n` gene rows with sequence lengths in `[min_len, max_len]`.
+pub fn gene_table(
+    rng: &mut impl Rng,
+    n: usize,
+    min_len: usize,
+    max_len: usize,
+) -> Vec<(String, String, String)> {
+    (0..n)
+        .map(|i| {
+            let len = rng.gen_range(min_len..=max_len);
+            gene_row(rng, i, len)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rle::RleSeq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn secondary_structure_length_and_alphabet() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = secondary_structure(&mut rng, 5000, 8.0);
+        assert_eq!(s.len(), 5000);
+        assert!(s.iter().all(|c| SS_ALPHABET.contains(c)));
+    }
+
+    #[test]
+    fn secondary_structure_mean_run_tracks_parameter() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = secondary_structure(&mut rng, 50_000, 10.0);
+        let rle = RleSeq::encode(&s);
+        let mean = s.len() as f64 / rle.num_runs() as f64;
+        assert!(
+            (7.0..13.0).contains(&mean),
+            "mean run {mean} should be near 10"
+        );
+        // and it compresses well, as the paper's Figure 12 shows
+        assert!(rle.compression_ratio() > 1.5);
+    }
+
+    #[test]
+    fn dna_is_poorly_compressible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = dna(&mut rng, 20_000);
+        let rle = RleSeq::encode(&s);
+        let mean = s.len() as f64 / rle.num_runs() as f64;
+        assert!(mean < 2.0, "uniform DNA mean run {mean} should be ≈ 1.33");
+    }
+
+    #[test]
+    fn protein_uses_20_letters() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = protein(&mut rng, 10_000);
+        let distinct: std::collections::HashSet<u8> = s.iter().copied().collect();
+        assert!(distinct.len() > 15);
+        assert!(s.iter().all(|c| AA_ALPHABET.contains(c)));
+    }
+
+    #[test]
+    fn gene_rows_have_paper_shape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let rows = gene_table(&mut rng, 10, 50, 100);
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[0].0, "JW0000");
+        assert_eq!(rows[7].0, "JW0007");
+        for (_, name, seq) in &rows {
+            assert_eq!(name.len(), 4);
+            assert!((50..=100).contains(&seq.len()));
+            assert!(seq.bytes().all(|c| DNA_ALPHABET.contains(&c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = gene_table(&mut StdRng::seed_from_u64(42), 5, 10, 20);
+        let b = gene_table(&mut StdRng::seed_from_u64(42), 5, 10, 20);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,465 @@
+//! Run-Length Encoding of sequences (Figure 12 of the paper).
+//!
+//! *"RLE replaces the consecutive repeats of a character C by one
+//! occurrence of C followed by C's frequency."*  Protein secondary
+//! structures (`H`/`E`/`L` with long runs) compress by roughly an order of
+//! magnitude, which is the source of the paper's storage claims.
+//!
+//! [`RleSeq`] supports random access, run-boundary iteration (the SBC-tree
+//! indexes suffixes at run boundaries), and textual form matching the
+//! figure (`L3E7H22E6…`).
+
+use std::fmt;
+
+/// One run: `len` repeats of `ch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// The repeated byte.
+    pub ch: u8,
+    /// Repeat count (≥ 1).
+    pub len: u32,
+}
+
+/// A run-length-encoded byte sequence.
+///
+/// Invariant: adjacent runs have distinct characters and every run has
+/// `len ≥ 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RleSeq {
+    runs: Vec<Run>,
+    /// Cumulative start offset of each run (same length as `runs`);
+    /// `offsets[i]` = uncompressed position where run `i` begins.
+    offsets: Vec<u64>,
+    total_len: u64,
+}
+
+impl RleSeq {
+    /// Compress a raw byte sequence.
+    pub fn encode(raw: &[u8]) -> RleSeq {
+        let mut runs = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let ch = raw[i];
+            let start = i;
+            while i < raw.len() && raw[i] == ch {
+                i += 1;
+            }
+            runs.push(Run {
+                ch,
+                len: (i - start) as u32,
+            });
+        }
+        Self::from_runs(runs)
+    }
+
+    /// Build from runs, merging adjacent equal characters and dropping
+    /// zero-length runs so the invariant holds.
+    pub fn from_runs(raw_runs: Vec<Run>) -> RleSeq {
+        let mut runs: Vec<Run> = Vec::with_capacity(raw_runs.len());
+        for r in raw_runs {
+            if r.len == 0 {
+                continue;
+            }
+            match runs.last_mut() {
+                Some(last) if last.ch == r.ch => last.len += r.len,
+                _ => runs.push(r),
+            }
+        }
+        let mut offsets = Vec::with_capacity(runs.len());
+        let mut pos = 0u64;
+        for r in &runs {
+            offsets.push(pos);
+            pos += r.len as u64;
+        }
+        RleSeq {
+            runs,
+            offsets,
+            total_len: pos,
+        }
+    }
+
+    /// Decompress to raw bytes.
+    pub fn decode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_len as usize);
+        for r in &self.runs {
+            out.extend(std::iter::repeat_n(r.ch, r.len as usize));
+        }
+        out
+    }
+
+    /// The runs.
+    pub fn runs(&self) -> &[Run] {
+        &self.runs
+    }
+
+    /// Number of runs.
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Uncompressed length in bytes.
+    pub fn uncompressed_len(&self) -> u64 {
+        self.total_len
+    }
+
+    /// Compressed storage: 5 bytes per run (1 char + 4 length), the layout
+    /// used for the paper's storage comparisons.
+    pub fn compressed_bytes(&self) -> usize {
+        self.runs.len() * 5
+    }
+
+    /// Compression ratio (uncompressed / compressed); 0 for empty input.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.total_len as f64 / self.compressed_bytes() as f64
+    }
+
+    /// Uncompressed start offset of run `i`.
+    pub fn run_offset(&self, i: usize) -> u64 {
+        self.offsets[i]
+    }
+
+    /// Random access to the byte at uncompressed position `pos`, without
+    /// decompressing (binary search over run offsets).
+    pub fn char_at(&self, pos: u64) -> Option<u8> {
+        if pos >= self.total_len {
+            return None;
+        }
+        let i = self.offsets.partition_point(|&o| o <= pos) - 1;
+        Some(self.runs[i].ch)
+    }
+
+    /// Textual form as in Figure 12: `L3E7H22E6…`.
+    pub fn to_text(&self) -> String {
+        let mut s = String::with_capacity(self.runs.len() * 3);
+        for r in &self.runs {
+            s.push(r.ch as char);
+            s.push_str(&r.len.to_string());
+        }
+        s
+    }
+
+    /// Parse the textual form back (inverse of [`to_text`](Self::to_text)).
+    pub fn from_text(text: &str) -> Option<RleSeq> {
+        let bytes = text.as_bytes();
+        let mut runs = Vec::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            let ch = bytes[i];
+            if ch.is_ascii_digit() {
+                return None;
+            }
+            i += 1;
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if start == i {
+                return None;
+            }
+            let len: u32 = text[start..i].parse().ok()?;
+            runs.push(Run { ch, len });
+        }
+        Some(RleSeq::from_runs(runs))
+    }
+
+    /// Compare the *decompressed* content of `self[self_run..]` with
+    /// `other[other_run..]` in lexicographic (string) order, walking runs
+    /// without decompressing.  This is the comparator of the SBC-tree's
+    /// String B-tree component.
+    pub fn cmp_suffixes(
+        &self,
+        self_run: usize,
+        other: &RleSeq,
+        other_run: usize,
+    ) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        let (mut i, mut j) = (self_run, other_run);
+        // remaining length within the current run of each side
+        let mut a_left = self.runs.get(i).map(|r| r.len).unwrap_or(0);
+        let mut b_left = other.runs.get(j).map(|r| r.len).unwrap_or(0);
+        loop {
+            match (self.runs.get(i), other.runs.get(j)) {
+                (None, None) => return Ordering::Equal,
+                (None, Some(_)) => return Ordering::Less,
+                (Some(_), None) => return Ordering::Greater,
+                (Some(a), Some(b)) => {
+                    if a.ch != b.ch {
+                        return a.ch.cmp(&b.ch);
+                    }
+                    // same character: consume the shorter remaining run
+                    let step = a_left.min(b_left);
+                    a_left -= step;
+                    b_left -= step;
+                    if a_left == 0 {
+                        i += 1;
+                        a_left = self.runs.get(i).map(|r| r.len).unwrap_or(0);
+                    }
+                    if b_left == 0 {
+                        j += 1;
+                        b_left = other.runs.get(j).map(|r| r.len).unwrap_or(0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Compare the *decompressed* content of `self[run_idx..]` against a
+    /// raw byte string, walking runs without decompressing.
+    pub fn cmp_suffix_bytes(&self, run_idx: usize, bytes: &[u8]) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        let mut p = 0usize; // position in `bytes`
+        let mut i = run_idx;
+        loop {
+            match (self.runs.get(i), bytes.get(p)) {
+                (None, None) => return Ordering::Equal,
+                (None, Some(_)) => return Ordering::Less,
+                (Some(_), None) => return Ordering::Greater,
+                (Some(r), Some(&b)) => {
+                    if r.ch != b {
+                        return r.ch.cmp(&b);
+                    }
+                    // consume min(run length, matching stretch of bytes)
+                    let mut want = 0usize;
+                    while p + want < bytes.len()
+                        && bytes[p + want] == r.ch
+                        && want < r.len as usize
+                    {
+                        want += 1;
+                    }
+                    p += want;
+                    if want < r.len as usize {
+                        // run not exhausted: the next byte (if any) differs
+                        match bytes.get(p) {
+                            None => return Ordering::Greater,
+                            Some(&nb) => return r.ch.cmp(&nb),
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Does the suffix starting at run `run_idx` begin with `pat` (raw
+    /// bytes)?  Walks runs without decompressing.
+    pub fn suffix_starts_with(&self, run_idx: usize, pat: &[u8]) -> bool {
+        let mut p = 0;
+        let mut i = run_idx;
+        while p < pat.len() {
+            let Some(r) = self.runs.get(i) else {
+                return false;
+            };
+            let need_ch = pat[p];
+            if r.ch != need_ch {
+                return false;
+            }
+            // how many of this char does the pattern want here?
+            let mut want = 0usize;
+            while p + want < pat.len() && pat[p + want] == need_ch {
+                want += 1;
+            }
+            let have = r.len as usize;
+            if have >= want {
+                p += want;
+                if p < pat.len() {
+                    // pattern continues with a different char: the run must
+                    // be exactly consumed
+                    if have != want {
+                        return false;
+                    }
+                    i += 1;
+                }
+            } else {
+                // run shorter than the wanted stretch: pattern must continue
+                // with the same char in the next run — impossible in RLE
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for RleSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let raw = b"LLLEEEEEEEHHHHHHHHHHHHHHHHHHHHHHEEEEEELLEEELHHHHHHHHHHLL";
+        let rle = RleSeq::encode(raw);
+        assert_eq!(rle.decode(), raw);
+        assert_eq!(rle.to_text(), "L3E7H22E6L2E3L1H10L2");
+        assert_eq!(rle.uncompressed_len(), raw.len() as u64);
+    }
+
+    #[test]
+    fn figure12_compression_direction() {
+        // Long-run secondary structures compress well.
+        let raw: Vec<u8> = "L3E7H22E6L2E3L1H10L10H16L4E7H12E10L4H7L4H14E10H7E8H10"
+            .as_bytes()
+            .to_vec();
+        let rle = RleSeq::from_text(std::str::from_utf8(&raw).unwrap()).unwrap();
+        assert!(rle.uncompressed_len() > 100);
+        assert!(rle.compression_ratio() > 1.0);
+    }
+
+    #[test]
+    fn from_text_parses_and_rejects() {
+        let r = RleSeq::from_text("H5E3L10").unwrap();
+        assert_eq!(r.decode(), b"HHHHHEEELLLLLLLLLL");
+        assert!(RleSeq::from_text("5H").is_none());
+        assert!(RleSeq::from_text("H").is_none());
+        assert_eq!(RleSeq::from_text("").unwrap().num_runs(), 0);
+    }
+
+    #[test]
+    fn from_runs_normalizes() {
+        let r = RleSeq::from_runs(vec![
+            Run { ch: b'H', len: 2 },
+            Run { ch: b'H', len: 3 },
+            Run { ch: b'E', len: 0 },
+            Run { ch: b'L', len: 1 },
+        ]);
+        assert_eq!(r.to_text(), "H5L1");
+    }
+
+    #[test]
+    fn char_at_random_access() {
+        let rle = RleSeq::encode(b"HHHEELLLLL");
+        assert_eq!(rle.char_at(0), Some(b'H'));
+        assert_eq!(rle.char_at(2), Some(b'H'));
+        assert_eq!(rle.char_at(3), Some(b'E'));
+        assert_eq!(rle.char_at(4), Some(b'E'));
+        assert_eq!(rle.char_at(5), Some(b'L'));
+        assert_eq!(rle.char_at(9), Some(b'L'));
+        assert_eq!(rle.char_at(10), None);
+    }
+
+    #[test]
+    fn run_offsets() {
+        let rle = RleSeq::encode(b"HHHEELLLLL");
+        assert_eq!(rle.run_offset(0), 0);
+        assert_eq!(rle.run_offset(1), 3);
+        assert_eq!(rle.run_offset(2), 5);
+    }
+
+    #[test]
+    fn cmp_suffixes_is_string_order() {
+        // "AAB" < "AB" in string order even though pair order would differ.
+        let a = RleSeq::encode(b"AAB");
+        let b = RleSeq::encode(b"AB");
+        assert_eq!(a.cmp_suffixes(0, &b, 0), Ordering::Less);
+        assert_eq!(b.cmp_suffixes(0, &a, 0), Ordering::Greater);
+        // prefix relation: "AB" < "ABB"
+        let c = RleSeq::encode(b"ABB");
+        assert_eq!(b.cmp_suffixes(0, &c, 0), Ordering::Less);
+        // equality across different run alignments
+        let d = RleSeq::encode(b"HHEE");
+        let e = RleSeq::encode(b"HHEE");
+        assert_eq!(d.cmp_suffixes(0, &e, 0), Ordering::Equal);
+        // suffix vs suffix
+        let f = RleSeq::encode(b"LLLHHE"); // suffix at run 1 = "HHE"
+        let g = RleSeq::encode(b"HHE");
+        assert_eq!(f.cmp_suffixes(1, &g, 0), Ordering::Equal);
+    }
+
+    #[test]
+    fn cmp_suffixes_matches_decoded_comparison() {
+        let texts = [
+            "HHHEELLL", "HEL", "LLLL", "EHEHE", "HHHH", "ELLLH", "H", "",
+        ];
+        let rles: Vec<RleSeq> = texts.iter().map(|t| RleSeq::encode(t.as_bytes())).collect();
+        for (i, a) in rles.iter().enumerate() {
+            for (j, b) in rles.iter().enumerate() {
+                for ra in 0..=a.num_runs() {
+                    for rb in 0..=b.num_runs() {
+                        let da = &texts[i].as_bytes()[a
+                            .offsets
+                            .get(ra)
+                            .map(|&o| o as usize)
+                            .unwrap_or(texts[i].len())..];
+                        let db = &texts[j].as_bytes()[b
+                            .offsets
+                            .get(rb)
+                            .map(|&o| o as usize)
+                            .unwrap_or(texts[j].len())..];
+                        assert_eq!(
+                            a.cmp_suffixes(ra, b, rb),
+                            da.cmp(db),
+                            "texts {i}/{j} runs {ra}/{rb}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn suffix_starts_with_walks_runs() {
+        let rle = RleSeq::encode(b"HHHEELLLLH");
+        assert!(rle.suffix_starts_with(0, b"HHH"));
+        assert!(rle.suffix_starts_with(0, b"HHHEE"));
+        assert!(!rle.suffix_starts_with(0, b"HHHH"));
+        assert!(!rle.suffix_starts_with(0, b"HHE"));
+        assert!(rle.suffix_starts_with(1, b"EELL"));
+        assert!(rle.suffix_starts_with(2, b"LLLLH"));
+        assert!(!rle.suffix_starts_with(2, b"LLLLHH"));
+        assert!(rle.suffix_starts_with(3, b"H"));
+        assert!(rle.suffix_starts_with(0, b""));
+    }
+
+    #[test]
+    fn cmp_suffix_bytes_matches_decoded() {
+        let texts = ["HHHEELLL", "HEL", "LLLL", "EHEHE", "HHHH", "H", ""];
+        let probes: &[&[u8]] = &[
+            b"HHH", b"HHHE", b"HHHEELLL", b"HHHEELLLX", b"A", b"Z", b"", b"HEL", b"LL",
+        ];
+        for t in texts {
+            let rle = RleSeq::encode(t.as_bytes());
+            for r in 0..=rle.num_runs() {
+                let start = rle
+                    .offsets
+                    .get(r)
+                    .map(|&o| o as usize)
+                    .unwrap_or(t.len());
+                let suffix = &t.as_bytes()[start..];
+                for p in probes {
+                    assert_eq!(
+                        rle.cmp_suffix_bytes(r, p),
+                        suffix.cmp(p),
+                        "text {t:?} run {r} probe {:?}",
+                        std::str::from_utf8(p).unwrap()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let rle = RleSeq::encode(b"");
+        assert_eq!(rle.num_runs(), 0);
+        assert_eq!(rle.decode(), Vec::<u8>::new());
+        assert_eq!(rle.compression_ratio(), 0.0);
+        assert_eq!(rle.char_at(0), None);
+    }
+
+    #[test]
+    fn dna_compresses_poorly() {
+        // Uniform DNA has short runs: RLE expands it (5 bytes per ~1.3 chars).
+        let dna = b"ACGTACGTAACCGGTTACGT";
+        let rle = RleSeq::encode(dna);
+        assert!(rle.compression_ratio() < 1.0);
+        assert_eq!(rle.decode(), dna);
+    }
+}

@@ -1,0 +1,664 @@
+//! The SBC-tree: an index for Run-Length-Compressed sequences (§7.2,
+//! Figure 12; Eltabakh et al., technical report CSD TR05-030).
+//!
+//! *"The SBC-tree is a two-level index structure based on the well-known
+//! String B-tree and a 3-sided range query structure [...] The SBC-tree
+//! supports substring as well as prefix matching, and range search
+//! operations over RLE-compressed sequences [without decompressing
+//! them]."*
+//!
+//! ## How it works (and how this module implements it)
+//!
+//! Sequences are stored RLE-compressed.  One suffix is indexed **per run
+//! boundary** (not per character — this is where the order-of-magnitude
+//! storage saving comes from).  A substring pattern `P = p1 p2 … pk`
+//! (RLE runs) occurs in a text iff
+//!
+//! 1. the tail `Q = p2 … pk` matches at some run boundary `j`
+//!    (interior runs exactly; the final run may be a prefix of a longer
+//!    run), **and**
+//! 2. the run *preceding* the boundary has `P`'s first-run character and
+//!    length ≥ `p1.len` (the first run of an occurrence may be the tail of
+//!    a longer run).
+//!
+//! Condition 1 is a prefix probe on the String-B-tree component (suffixes
+//! in true string order, compared run-wise without decompression).
+//! Condition 2 is a **3-sided query** — lexicographic position within the
+//! answer range of (1), preceding-run length ≥ `p1.len` — served by an
+//! R-tree, exactly the substitution the paper's own prototype made.
+//! Single-run patterns use a small run-length index instead.
+//!
+//! Every component counts logical node I/O, so E12 can compare insertion
+//! and search I/O against [`crate::string_btree::StringBTree`].
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use bdbms_common::stats::IoSnapshot;
+use bdbms_index::bptree::BPlusTree;
+use bdbms_index::rtree::{RTree, Rect};
+
+use crate::rle::RleSeq;
+use crate::sufbtree::SufBTree;
+
+/// Reference to the suffix of text `text` starting at run boundary `run`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunRef {
+    /// Index of the text in the store.
+    pub text: u32,
+    /// Run index where the suffix starts (`0` = whole text).
+    pub run: u32,
+}
+
+/// Sentinel y-coordinate for boundary 0 (no preceding run); chosen above
+/// every `char * 2^32 + len` encoding so first-run filters never match it.
+const NO_PREV_Y: f64 = 256.0 * 4294967296.0;
+
+/// Initial spacing of lexicographic order keys (see `assign_x`).
+const X_GAP: f64 = 1048576.0; // 2^20
+
+/// One substring occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Occurrence {
+    /// Text id.
+    pub text: u32,
+    /// Byte position of the match in the *uncompressed* text.
+    pub pos: u64,
+}
+
+/// The SBC-tree index over RLE-compressed sequences.
+pub struct SbcTree {
+    texts: Vec<RleSeq>,
+    /// String-B-tree component: suffixes at run boundaries, string order.
+    tree: SufBTree<RunRef>,
+    /// Lexicographic order key of each indexed suffix (x-axis of the
+    /// 3-sided structure). Maintained by neighbour midpoints on insert.
+    xkeys: HashMap<(u32, u32), f64>,
+    /// 3-sided structure (R-tree, per the paper's own substitution):
+    /// point (x = order key, y = preceding-run char·2³² + len).
+    rtree: RTree,
+    /// Single-run pattern index: (char, run length, text, run) → ().
+    runlen_idx: BPlusTree<(u8, u32, u32, u32), ()>,
+    text_write_io: Cell<u64>,
+    text_read_io: Cell<u64>,
+}
+
+impl SbcTree {
+    /// Empty index with page-realistic fanouts.
+    pub fn new() -> Self {
+        Self::with_fanout(64)
+    }
+
+    /// Empty index with a custom String-B-tree fanout.
+    pub fn with_fanout(fanout: usize) -> Self {
+        SbcTree {
+            texts: Vec::new(),
+            tree: SufBTree::with_fanout(fanout),
+            xkeys: HashMap::new(),
+            rtree: RTree::with_capacity(fanout.max(8)),
+            runlen_idx: BPlusTree::with_fanout(fanout.max(8)),
+            text_write_io: Cell::new(0),
+            text_read_io: Cell::new(0),
+        }
+    }
+
+    /// Insert a raw sequence (RLE-compressed on the way in).
+    pub fn insert_sequence(&mut self, seq: &[u8]) -> u32 {
+        self.insert_rle(RleSeq::encode(seq))
+    }
+
+    /// Insert an already-compressed sequence.
+    pub fn insert_rle(&mut self, rle: RleSeq) -> u32 {
+        let id = self.texts.len() as u32;
+        self.text_write_io
+            .set(self.text_write_io.get() + (rle.compressed_bytes() as u64 / 8192).max(1));
+        self.texts.push(rle);
+        let num_runs = self.texts[id as usize].num_runs() as u32;
+        // Index one suffix per run boundary, 0..num_runs.
+        let texts = std::mem::take(&mut self.texts);
+        let cmp = |a: RunRef, b: RunRef| {
+            texts[a.text as usize]
+                .cmp_suffixes(a.run as usize, &texts[b.text as usize], b.run as usize)
+                .then_with(|| (a.text, a.run).cmp(&(b.text, b.run)))
+        };
+        for run in 0..num_runs {
+            let e = RunRef { text: id, run };
+            let (pred, succ) = self.tree.insert(&cmp, e);
+            let x = self.assign_x(pred, succ);
+            self.xkeys.insert((id, run), x);
+            let y = if run == 0 {
+                NO_PREV_Y
+            } else {
+                let prev = texts[id as usize].runs()[run as usize - 1];
+                encode_y(prev.ch, prev.len)
+            };
+            self.rtree
+                .insert(Rect::point(x, y), payload(id, run));
+            let this_run = texts[id as usize].runs()[run as usize];
+            self.runlen_idx
+                .insert((this_run.ch, this_run.len, id, run), ());
+        }
+        self.texts = texts;
+        id
+    }
+
+    /// Midpoint order-key assignment between the new entry's neighbours.
+    /// Collisions after repeated midpointing are harmless: the 3-sided
+    /// query result is verified against the texts before being reported.
+    fn assign_x(&self, pred: Option<RunRef>, succ: Option<RunRef>) -> f64 {
+        let get = |e: RunRef| self.xkeys[&(e.text, e.run)];
+        match (pred.map(get), succ.map(get)) {
+            (None, None) => 0.0,
+            (Some(p), None) => p + X_GAP,
+            (None, Some(s)) => s - X_GAP,
+            (Some(p), Some(s)) => (p + s) / 2.0,
+        }
+    }
+
+    /// Number of stored sequences.
+    pub fn num_texts(&self) -> usize {
+        self.texts.len()
+    }
+
+    /// The compressed sequence by id.
+    pub fn text(&self, id: u32) -> &RleSeq {
+        &self.texts[id as usize]
+    }
+
+    /// Decompress a stored sequence (tests / display only — queries never
+    /// need this).
+    pub fn decompress(&self, id: u32) -> Vec<u8> {
+        self.texts[id as usize].decode()
+    }
+
+    /// Number of indexed run-boundary suffixes.
+    pub fn num_suffixes(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Classifier: Equal ⟺ suffix begins (string-wise) with `pat`.
+    fn prefix_class<'a>(&'a self, pat: &'a [u8]) -> impl Fn(RunRef) -> Ordering + 'a {
+        move |e: RunRef| {
+            let t = &self.texts[e.text as usize];
+            if t.suffix_starts_with(e.run as usize, pat) {
+                Ordering::Equal
+            } else {
+                t.cmp_suffix_bytes(e.run as usize, pat)
+            }
+        }
+    }
+
+    /// All occurrences of `pat` as a substring, using the 3-sided (R-tree)
+    /// first-run filter.  Empty patterns return no occurrences.
+    pub fn substring_search(&self, pat: &[u8]) -> Vec<Occurrence> {
+        let prle = RleSeq::encode(pat);
+        match prle.num_runs() {
+            0 => Vec::new(),
+            1 => self.single_run_search(prle.runs()[0].ch, prle.runs()[0].len),
+            _ => self.multi_run_search(&prle, true),
+        }
+    }
+
+    /// Ablation variant: skip the 3-sided structure and filter candidates
+    /// by scanning (E12 ablation — shows what the 3-sided structure buys).
+    pub fn substring_search_scan(&self, pat: &[u8]) -> Vec<Occurrence> {
+        let prle = RleSeq::encode(pat);
+        match prle.num_runs() {
+            0 => Vec::new(),
+            1 => self.single_run_search(prle.runs()[0].ch, prle.runs()[0].len),
+            _ => self.multi_run_search(&prle, false),
+        }
+    }
+
+    /// Single-run pattern `c^l`: every run of char `c` with length ≥ `l`
+    /// yields `len - l + 1` occurrences.
+    fn single_run_search(&self, ch: u8, len: u32) -> Vec<Occurrence> {
+        let lo = (ch, len, 0u32, 0u32);
+        let hi = (ch, u32::MAX, u32::MAX, u32::MAX);
+        let mut out = Vec::new();
+        for ((_, run_len, text, run), _) in self.runlen_idx.range(&lo, &hi) {
+            let base = self.texts[text as usize].run_offset(run as usize);
+            for d in 0..=(run_len - len) as u64 {
+                out.push(Occurrence {
+                    text,
+                    pos: base + d,
+                });
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Multi-run pattern: String-B-tree probe for the tail `Q`, then the
+    /// first-run filter (3-sided or scan).
+    fn multi_run_search(&self, prle: &RleSeq, use_three_sided: bool) -> Vec<Occurrence> {
+        let first = prle.runs()[0];
+        // Q = pattern minus its first run, as raw bytes.
+        let pat_bytes = prle.decode();
+        let q = &pat_bytes[first.len as usize..];
+        let classify = self.prefix_class(q);
+        let mut out = Vec::new();
+        if use_three_sided {
+            let Some(first_e) = self.tree.first_in_class(&classify) else {
+                return out;
+            };
+            let last_e = self
+                .tree
+                .last_in_class(&classify)
+                .expect("non-empty class has a last element");
+            let x_lo = self.xkeys[&(first_e.text, first_e.run)];
+            let x_hi = self.xkeys[&(last_e.text, last_e.run)];
+            let y_lo = encode_y(first.ch, first.len);
+            let y_hi = encode_y(first.ch, u32::MAX);
+            for (_, p) in self.rtree.three_sided(x_lo, x_hi, y_lo) {
+                if self.rtree_point_y(p) > y_hi {
+                    continue;
+                }
+                let (text, run) = unpayload(p);
+                // Verify against the text (guards against order-key
+                // collisions).  Text accesses are not counted as I/O on
+                // either side of the E12 comparison: the String B-tree's
+                // comparator reads texts just the same.
+                if let Some(occ) = self.verify_occurrence(text, run, first.ch, first.len, q)
+                {
+                    out.push(occ);
+                }
+            }
+        } else {
+            for e in self.tree.collect_class(&classify) {
+                if let Some(occ) =
+                    self.verify_occurrence(e.text, e.run, first.ch, first.len, q)
+                {
+                    out.push(occ);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Check conditions (1) and (2) for a candidate boundary and build the
+    /// occurrence.
+    fn verify_occurrence(
+        &self,
+        text: u32,
+        run: u32,
+        first_ch: u8,
+        first_len: u32,
+        q: &[u8],
+    ) -> Option<Occurrence> {
+        if run == 0 {
+            return None; // no preceding run
+        }
+        let t = &self.texts[text as usize];
+        let prev = t.runs()[run as usize - 1];
+        if prev.ch != first_ch || prev.len < first_len {
+            return None;
+        }
+        if !t.suffix_starts_with(run as usize, q) {
+            return None;
+        }
+        Some(Occurrence {
+            text,
+            pos: t.run_offset(run as usize) - first_len as u64,
+        })
+    }
+
+    /// The y-coordinate of an R-tree payload point (recomputed from the
+    /// stored text; avoids trusting the rectangle).
+    fn rtree_point_y(&self, p: u64) -> f64 {
+        let (text, run) = unpayload(p);
+        if run == 0 {
+            NO_PREV_Y
+        } else {
+            let prev = self.texts[text as usize].runs()[run as usize - 1];
+            encode_y(prev.ch, prev.len)
+        }
+    }
+
+    /// Texts containing `pat` as a *subsequence* (characters in order,
+    /// gaps allowed) — the operation §7.2 lists as planned future work
+    /// (*"We plan to extend the supported operations of the SBC-tree index
+    /// to include subsequence matching"*).
+    ///
+    /// Evaluated directly over the compressed form: the greedy two-pointer
+    /// walk consumes runs, never decompressing.  The run-length index
+    /// prunes texts that lack enough of the pattern's scarcest character.
+    pub fn subsequence_search(&self, pat: &[u8]) -> Vec<u32> {
+        if pat.is_empty() {
+            return (0..self.texts.len() as u32).collect();
+        }
+        let prle = RleSeq::encode(pat);
+        // prune: per-text totals of the pattern's first run character must
+        // reach that run's length (cheap necessary condition via run walk)
+        let mut out = Vec::new();
+        for (id, t) in self.texts.iter().enumerate() {
+            if rle_is_subsequence(t, &prle) {
+                out.push(id as u32);
+            }
+        }
+        out
+    }
+
+    /// Texts having `pat` as a prefix (whole-text suffixes are indexed at
+    /// boundary 0, so this is a class probe + boundary filter).
+    pub fn prefix_search(&self, pat: &[u8]) -> Vec<u32> {
+        if pat.is_empty() {
+            return (0..self.texts.len() as u32).collect();
+        }
+        let classify = self.prefix_class(pat);
+        let mut out: Vec<u32> = self
+            .tree
+            .collect_class(&classify)
+            .into_iter()
+            .filter(|e| e.run == 0)
+            .map(|e| e.text)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Texts `t` with `lo <= t < hi` lexicographically (uncompressed
+    /// content order, evaluated over the compressed form).
+    pub fn range_search(&self, lo: &[u8], hi: &[u8]) -> Vec<u32> {
+        let classify = |e: RunRef| {
+            let t = &self.texts[e.text as usize];
+            match t.cmp_suffix_bytes(e.run as usize, lo) {
+                Ordering::Less => Ordering::Less,
+                _ => match t.cmp_suffix_bytes(e.run as usize, hi) {
+                    Ordering::Less => Ordering::Equal,
+                    _ => Ordering::Greater,
+                },
+            }
+        };
+        let mut out: Vec<u32> = self
+            .tree
+            .collect_class(&classify)
+            .into_iter()
+            .filter(|e| e.run == 0)
+            .map(|e| e.text)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Modeled on-disk storage footprint, using the packed layouts a disk
+    /// SBC-tree would write (the in-memory R-tree/`HashMap` shapes are
+    /// build-time artifacts, not the persisted format):
+    ///
+    /// * compressed text: 5 bytes per run (char + u32 length);
+    /// * String-B-tree component: 8 bytes per suffix entry
+    ///   (packed text/run reference) plus node overhead;
+    /// * 3-sided structure: 9 bytes per point — 4-byte leaf rank (the
+    ///   order key is implicit in on-disk position), 1-byte preceding-run
+    ///   char, 4-byte preceding-run length.
+    ///
+    /// The single-run accelerator index is reported separately by
+    /// [`runlen_index_bytes`](Self::runlen_index_bytes) since the paper's
+    /// SBC-tree handles single-run patterns inside the main structure.
+    pub fn storage_bytes(&self) -> usize {
+        self.compressed_text_bytes() + self.tree.storage_bytes(8) + self.tree.len() * 9
+    }
+
+    /// Bytes of RLE-compressed sequence data alone.
+    pub fn compressed_text_bytes(&self) -> usize {
+        self.texts.iter().map(|t| t.compressed_bytes()).sum()
+    }
+
+    /// Storage of the optional single-run-pattern accelerator (8 packed
+    /// bytes per run).
+    pub fn runlen_index_bytes(&self) -> usize {
+        self.runlen_idx.len() * 8
+    }
+
+    /// Total logical I/O so far across all components.
+    pub fn io_stats(&self) -> IoSnapshot {
+        let a = self.tree.stats().snapshot();
+        let b = self.rtree.stats().snapshot();
+        let c = self.runlen_idx.stats().snapshot();
+        IoSnapshot {
+            reads: a.reads + b.reads + c.reads + self.text_read_io.get(),
+            writes: a.writes + b.writes + c.writes + self.text_write_io.get(),
+        }
+    }
+
+    /// Reset all I/O counters.
+    pub fn reset_io(&self) {
+        self.tree.stats().reset();
+        self.rtree.stats().reset();
+        self.runlen_idx.stats().reset();
+        self.text_write_io.set(0);
+        self.text_read_io.set(0);
+    }
+}
+
+impl Default for SbcTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Greedy subsequence test over two RLE sequences, no decompression:
+/// for each pattern run `(c, k)`, consume `k` copies of `c` from the text
+/// runs at/after the cursor (greedy matching is optimal for subsequences).
+fn rle_is_subsequence(text: &RleSeq, pat: &RleSeq) -> bool {
+    let mut ti = 0usize;
+    // how much of text run `ti` is already consumed
+    let mut used: u64 = 0;
+    for pr in pat.runs() {
+        let mut need = pr.len as u64;
+        while need > 0 {
+            let Some(tr) = text.runs().get(ti) else {
+                return false;
+            };
+            if tr.ch == pr.ch {
+                let avail = tr.len as u64 - used;
+                let take = avail.min(need);
+                need -= take;
+                used += take;
+                if used == tr.len as u64 {
+                    ti += 1;
+                    used = 0;
+                }
+            } else {
+                ti += 1;
+                used = 0;
+            }
+        }
+    }
+    true
+}
+
+fn encode_y(ch: u8, len: u32) -> f64 {
+    ch as f64 * 4294967296.0 + len as f64
+}
+
+fn payload(text: u32, run: u32) -> u64 {
+    ((text as u64) << 32) | run as u64
+}
+
+fn unpayload(p: u64) -> (u32, u32) {
+    ((p >> 32) as u32, p as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::string_btree::naive_substring_search;
+
+    fn build(texts: &[&str]) -> SbcTree {
+        let mut t = SbcTree::with_fanout(4);
+        for s in texts {
+            t.insert_sequence(s.as_bytes());
+        }
+        t
+    }
+
+    fn occs(v: Vec<Occurrence>) -> Vec<(u32, u64)> {
+        v.into_iter().map(|o| (o.text, o.pos)).collect()
+    }
+
+    #[test]
+    fn substring_matches_naive_small() {
+        let texts = ["HHHEELLLHH", "ELLHHH", "LLLL", "HEL"];
+        let t = build(&texts);
+        let raw: Vec<Vec<u8>> = texts.iter().map(|s| s.as_bytes().to_vec()).collect();
+        for pat in [
+            "HH", "LL", "ELL", "HEL", "HHH", "L", "HHHEELLLHH", "XYZ", "LLLL", "EL",
+            "HHEE", "HHE",
+        ] {
+            let mut want = naive_substring_search(&raw, pat.as_bytes());
+            want.sort_unstable();
+            let got = occs(t.substring_search(pat.as_bytes()));
+            assert_eq!(got, want, "pattern {pat} (3-sided)");
+            let got_scan = occs(t.substring_search_scan(pat.as_bytes()));
+            assert_eq!(got_scan, want, "pattern {pat} (scan)");
+        }
+    }
+
+    #[test]
+    fn single_run_pattern_enumerates_positions() {
+        let t = build(&["HHHH"]);
+        // "HH" occurs at 0, 1, 2
+        assert_eq!(occs(t.substring_search(b"HH")), vec![(0, 0), (0, 1), (0, 2)]);
+        assert_eq!(occs(t.substring_search(b"HHHH")), vec![(0, 0)]);
+        assert!(t.substring_search(b"HHHHH").is_empty());
+    }
+
+    #[test]
+    fn pattern_first_run_inside_longer_run() {
+        // "HHE" inside "HHHHE": first run of the pattern (HH) is the tail
+        // of a longer run — the 3-sided y ≥ filter case.
+        let t = build(&["HHHHE"]);
+        assert_eq!(occs(t.substring_search(b"HHE")), vec![(0, 2)]);
+        assert_eq!(occs(t.substring_search(b"HHHHE")), vec![(0, 0)]);
+        assert!(t.substring_search(b"HHHHHE").is_empty());
+    }
+
+    #[test]
+    fn pattern_last_run_prefix_of_longer_run() {
+        // "ELL" inside "HELLL": pattern's last run (LL) is a prefix of LLL.
+        let t = build(&["HELLL"]);
+        assert_eq!(occs(t.substring_search(b"ELL")), vec![(0, 1)]);
+        // but interior runs must match exactly:
+        let t2 = build(&["HEELL"]);
+        assert!(t2.substring_search(b"HEEEL").is_empty());
+    }
+
+    #[test]
+    fn prefix_search_texts() {
+        let t = build(&["HHHE", "HHL", "HH", "EHH"]);
+        assert_eq!(t.prefix_search(b"HH"), vec![0, 1, 2]);
+        assert_eq!(t.prefix_search(b"HHH"), vec![0]);
+        assert_eq!(t.prefix_search(b"E"), vec![3]);
+        assert_eq!(t.prefix_search(b""), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn range_search_texts() {
+        let t = build(&["EEE", "HEL", "HHL", "LLL"]);
+        // string order: EEE < HEL < HHL < LLL
+        assert_eq!(t.range_search(b"H", b"L"), vec![1, 2]);
+        assert_eq!(t.range_search(b"E", b"Z"), vec![0, 1, 2, 3]);
+        assert_eq!(t.range_search(b"M", b"N"), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn storage_is_far_smaller_than_string_btree_on_long_runs() {
+        use crate::string_btree::StringBTree;
+        // long-run text: 100 runs of length 50
+        let mut raw = Vec::new();
+        for i in 0..100 {
+            let ch = [b'H', b'E', b'L'][i % 3];
+            raw.extend(std::iter::repeat_n(ch, 50));
+        }
+        let mut sbc = SbcTree::new();
+        sbc.insert_sequence(&raw);
+        let mut sbt = StringBTree::new();
+        sbt.insert_text(&raw);
+        assert!(
+            sbc.storage_bytes() * 5 < sbt.storage_bytes(),
+            "sbc {} vs sbt {}",
+            sbc.storage_bytes(),
+            sbt.storage_bytes()
+        );
+        // and the suffix count ratio is the run length
+        assert_eq!(sbt.num_suffixes(), 5000);
+        assert_eq!(sbc.num_suffixes(), 100);
+    }
+
+    #[test]
+    fn io_counts_insert_and_search() {
+        let mut t = SbcTree::new();
+        t.insert_sequence(b"HHHEELLLHHHEELLL");
+        assert!(t.io_stats().writes > 0);
+        t.reset_io();
+        let _ = t.substring_search(b"EELL");
+        let s = t.io_stats();
+        assert!(s.reads > 0);
+        assert_eq!(s.writes, 0);
+    }
+
+    #[test]
+    fn occurrences_across_many_texts() {
+        let texts: Vec<String> = (0..30)
+            .map(|i| {
+                let chars = [b'H', b'E', b'L'];
+                let mut s = Vec::new();
+                for j in 0..20 {
+                    let ch = chars[(i + j) % 3];
+                    s.extend(std::iter::repeat_n(ch, 1 + (i * 7 + j * 3) % 5));
+                }
+                String::from_utf8(s).unwrap()
+            })
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let t = build(&refs);
+        let raw: Vec<Vec<u8>> = texts.iter().map(|s| s.as_bytes().to_vec()).collect();
+        for pat in ["HEL", "EELL", "HHEE", "LLLHH", "EEE"] {
+            let mut want = naive_substring_search(&raw, pat.as_bytes());
+            want.sort_unstable();
+            assert_eq!(occs(t.substring_search(pat.as_bytes())), want, "pat {pat}");
+        }
+    }
+
+    #[test]
+    fn subsequence_search_matches_naive() {
+        fn naive_subseq(text: &[u8], pat: &[u8]) -> bool {
+            let mut it = text.iter();
+            pat.iter().all(|c| it.any(|t| t == c))
+        }
+        let texts = ["HHHEELLLHH", "ELLHHH", "LLLL", "HEL", "EHEHEH"];
+        let t = build(&texts);
+        for pat in ["HEL", "HHLL", "LLLLL", "EEH", "HHHHHH", "", "X", "ELH"] {
+            let got = t.subsequence_search(pat.as_bytes());
+            let want: Vec<u32> = texts
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| naive_subseq(s.as_bytes(), pat.as_bytes()))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(got, want, "pattern {pat:?}");
+        }
+    }
+
+    #[test]
+    fn subsequence_greedy_handles_split_runs() {
+        // pattern needs 4 H's spread over two text runs separated by E
+        let t = build(&["HHEHH"]);
+        assert_eq!(t.subsequence_search(b"HHHH"), vec![0]);
+        assert!(t.subsequence_search(b"HHHHH").is_empty());
+        // interleaved requirement
+        assert_eq!(t.subsequence_search(b"HEH"), vec![0]);
+        assert!(t.subsequence_search(b"EHE").is_empty());
+    }
+
+    #[test]
+    fn empty_and_missing_patterns() {
+        let t = build(&["HHEE"]);
+        assert!(t.substring_search(b"").is_empty());
+        assert!(t.substring_search(b"XY").is_empty());
+        assert!(t.prefix_search(b"X").is_empty());
+    }
+}

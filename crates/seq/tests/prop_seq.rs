@@ -1,0 +1,132 @@
+//! Property tests: the SBC-tree (compressed) and String B-tree
+//! (uncompressed) must agree with each other and with a naive oracle on
+//! every operation, over arbitrary run-structured sequences.
+
+use bdbms_seq::rle::RleSeq;
+use bdbms_seq::string_btree::naive_substring_search;
+use bdbms_seq::{SbcTree, StringBTree};
+use proptest::prelude::*;
+
+/// Run-structured sequences over {H, E, L} (compressible, like Figure 12).
+fn arb_ss_text() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec((prop::sample::select(b"HEL".to_vec()), 1usize..6), 1..8)
+        .prop_map(|runs| {
+            let mut out = Vec::new();
+            for (ch, len) in runs {
+                out.extend(std::iter::repeat_n(ch, len));
+            }
+            out
+        })
+}
+
+fn arb_pattern() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec((prop::sample::select(b"HEL".to_vec()), 1usize..4), 1..4)
+        .prop_map(|runs| {
+            let mut out = Vec::new();
+            for (ch, len) in runs {
+                out.extend(std::iter::repeat_n(ch, len));
+            }
+            out
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// RLE encode/decode is the identity; textual form round-trips.
+    #[test]
+    fn rle_roundtrips(text in arb_ss_text()) {
+        let rle = RleSeq::encode(&text);
+        prop_assert_eq!(rle.decode(), text.clone());
+        let parsed = RleSeq::from_text(&rle.to_text()).unwrap();
+        prop_assert_eq!(parsed.decode(), text.clone());
+        // random access agrees
+        for (i, &c) in text.iter().enumerate() {
+            prop_assert_eq!(rle.char_at(i as u64), Some(c));
+        }
+        prop_assert_eq!(rle.char_at(text.len() as u64), None);
+    }
+
+    /// SBC-tree substring search (both paths) == String B-tree == naive.
+    #[test]
+    fn substring_search_three_way_agreement(
+        texts in prop::collection::vec(arb_ss_text(), 1..12),
+        pat in arb_pattern(),
+    ) {
+        let mut sbc = SbcTree::with_fanout(4);
+        let mut sbt = StringBTree::with_fanout(4);
+        for t in &texts {
+            sbc.insert_sequence(t);
+            sbt.insert_text(t);
+        }
+        let mut want = naive_substring_search(&texts, &pat);
+        want.sort_unstable();
+        let got_sbc: Vec<(u32, u64)> = sbc
+            .substring_search(&pat)
+            .into_iter()
+            .map(|o| (o.text, o.pos))
+            .collect();
+        let got_scan: Vec<(u32, u64)> = sbc
+            .substring_search_scan(&pat)
+            .into_iter()
+            .map(|o| (o.text, o.pos))
+            .collect();
+        let mut got_sbt = sbt.substring_search(&pat);
+        got_sbt.sort_unstable();
+        prop_assert_eq!(&got_sbc, &want, "sbc 3-sided");
+        prop_assert_eq!(&got_scan, &want, "sbc scan");
+        prop_assert_eq!(&got_sbt, &want, "string b-tree");
+    }
+
+    /// Prefix and range search agree between the two index structures.
+    #[test]
+    fn prefix_and_range_agreement(
+        texts in prop::collection::vec(arb_ss_text(), 1..12),
+        pat in arb_pattern(),
+        lo in arb_pattern(),
+        hi in arb_pattern(),
+    ) {
+        let mut sbc = SbcTree::with_fanout(4);
+        let mut sbt = StringBTree::with_fanout(4);
+        for t in &texts {
+            sbc.insert_sequence(t);
+            sbt.insert_text(t);
+        }
+        prop_assert_eq!(sbc.prefix_search(&pat), sbt.prefix_search(&pat));
+        let naive_prefix: Vec<u32> = texts
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.starts_with(&pat))
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(sbc.prefix_search(&pat), naive_prefix);
+
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let naive_range: Vec<u32> = texts
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.as_slice() >= lo.as_slice() && t.as_slice() < hi.as_slice())
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(sbc.range_search(&lo, &hi), naive_range.clone());
+        prop_assert_eq!(sbt.range_search(&lo, &hi), naive_range);
+    }
+
+    /// The SBC-tree indexes exactly one suffix per run, the String B-tree
+    /// one per character — the structural source of the storage claim.
+    #[test]
+    fn suffix_count_ratio_is_mean_run_length(texts in prop::collection::vec(arb_ss_text(), 1..8)) {
+        let mut sbc = SbcTree::new();
+        let mut sbt = StringBTree::new();
+        let mut chars = 0usize;
+        let mut runs = 0usize;
+        for t in &texts {
+            sbc.insert_sequence(t);
+            sbt.insert_text(t);
+            chars += t.len();
+            runs += RleSeq::encode(t).num_runs();
+        }
+        prop_assert_eq!(sbc.num_suffixes(), runs);
+        prop_assert_eq!(sbt.num_suffixes(), chars);
+    }
+}

@@ -1,0 +1,23 @@
+//! # bdbms-storage
+//!
+//! The page-based storage substrate under the bdbms engine.
+//!
+//! The paper prototypes bdbms inside PostgreSQL; this crate is the
+//! from-scratch replacement substrate: a pager with pluggable backing
+//! stores ([`pager::MemStore`], [`pager::FileStore`]), a buffer pool with
+//! LRU eviction and page-level I/O accounting ([`buffer::BufferPool`]),
+//! slotted pages for variable-length records ([`slotted`]), and heap files
+//! ([`heap::HeapFile`]) that the engine's tables sit on.
+//!
+//! I/O accounting matters here: the paper's evaluation claims are phrased
+//! in I/Os, so the buffer pool counts every page fetched from and flushed
+//! to the backing store, and benchmarks read those counters.
+
+pub mod buffer;
+pub mod heap;
+pub mod pager;
+pub mod slotted;
+
+pub use buffer::BufferPool;
+pub use heap::{HeapFile, Rid};
+pub use pager::{FileStore, MemStore, PageId, PageStore, PAGE_SIZE};

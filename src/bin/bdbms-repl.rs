@@ -1,0 +1,135 @@
+//! An interactive A-SQL shell over an in-memory bdbms instance.
+//!
+//! ```text
+//! cargo run --release --bin bdbms-repl
+//! bdbms> CREATE TABLE Gene (GID TEXT, GSequence TEXT)
+//! bdbms> .user alice        -- switch the session user
+//! bdbms> .demo              -- load the paper's Figure 2 scenario
+//! bdbms> .help
+//! ```
+//!
+//! Statements may span lines; a trailing `;` or an empty line submits.
+
+use std::io::{BufRead, Write};
+
+use bdbms::core::Database;
+
+const HELP: &str = "\
+dot-commands:
+  .help            this help
+  .user NAME       switch session user (default: admin)
+  .demo            load the paper's Figure 2 gene tables + annotations
+  .tables          list tables, row counts, annotation tables
+  .quit            exit
+everything else is executed as (A-)SQL, e.g.:
+  SELECT GID FROM DB2_Gene ANNOTATION(GAnnotation) AWHERE CONTAINS 'GenoBase'
+  ADD ANNOTATION TO T.notes VALUE 'checked' ON (SELECT G.c FROM T G)
+  SHOW PENDING OPERATIONS / SHOW OUTDATED / VALIDATE T";
+
+fn load_demo(db: &mut Database) {
+    let stmts = [
+        "CREATE TABLE DB1_Gene (GID TEXT, GName TEXT, GSequence TEXT)",
+        "CREATE TABLE DB2_Gene (GID TEXT, GName TEXT, GSequence TEXT)",
+        "CREATE ANNOTATION TABLE GAnnotation ON DB1_Gene",
+        "CREATE ANNOTATION TABLE GAnnotation ON DB2_Gene",
+        "INSERT INTO DB1_Gene VALUES ('JW0080','mraW','ATGATGGAAAA'), \
+         ('JW0082','ftsI','ATGAAAGCAGC'), ('JW0055','yabP','ATGAAAGTATC'), \
+         ('JW0078','fruR','GTGAAACTGGA')",
+        "INSERT INTO DB2_Gene VALUES ('JW0080','mraW','ATGATGGAAAA'), \
+         ('JW0041','fixB','ATGAACACGTT'), ('JW0037','caiB','ATGGATCATCT'), \
+         ('JW0027','ispH','ATGCAGATCCT'), ('JW0055','yabP','ATGAAAGTATC')",
+        "ADD ANNOTATION TO DB2_Gene.GAnnotation \
+         VALUE '<Annotation>B3: obtained from GenoBase</Annotation>' \
+         ON (SELECT G.GSequence FROM DB2_Gene G)",
+        "ADD ANNOTATION TO DB2_Gene.GAnnotation \
+         VALUE '<Annotation>B5: This gene has an unknown function</Annotation>' \
+         ON (SELECT G.* FROM DB2_Gene G WHERE GID = 'JW0080')",
+        "ADD ANNOTATION TO DB1_Gene.GAnnotation \
+         VALUE '<Annotation>A2: These genes were obtained from RegulonDB</Annotation>' \
+         ON (SELECT G.* FROM DB1_Gene G WHERE GID IN ('JW0055','JW0078'))",
+    ];
+    for s in stmts {
+        if let Err(e) = db.execute(s) {
+            eprintln!("demo load failed: {e}");
+            return;
+        }
+    }
+    println!("Figure 2 scenario loaded (DB1_Gene, DB2_Gene, GAnnotation). Try:");
+    println!("  SELECT GID, GName, GSequence FROM DB1_Gene ANNOTATION(GAnnotation)");
+    println!("  INTERSECT SELECT GID, GName, GSequence FROM DB2_Gene ANNOTATION(GAnnotation)");
+}
+
+fn list_tables(db: &Database) {
+    for t in db.catalog().tables() {
+        let anns: Vec<&str> = t.ann_sets.iter().map(|s| s.name.as_str()).collect();
+        println!(
+            "{:<16} {:>6} rows   annotation tables: [{}]",
+            t.name,
+            t.len(),
+            anns.join(", ")
+        );
+    }
+}
+
+fn main() {
+    let mut db = Database::new_in_memory();
+    let mut user = "admin".to_string();
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    println!("bdbms — CIDR 2007 reproduction. `.help` for commands, `.quit` to exit.");
+    loop {
+        if buffer.is_empty() {
+            print!("bdbms> ");
+        } else {
+            print!("   ..> ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            let mut parts = trimmed.splitn(2, ' ');
+            match parts.next().unwrap() {
+                ".quit" | ".exit" => break,
+                ".help" => println!("{HELP}"),
+                ".demo" => load_demo(&mut db),
+                ".tables" => list_tables(&db),
+                ".user" => match parts.next() {
+                    Some(u) if !u.trim().is_empty() => {
+                        user = u.trim().to_string();
+                        println!("session user is now `{user}`");
+                    }
+                    _ => println!("usage: .user NAME"),
+                },
+                other => println!("unknown command {other} (`.help`)"),
+            }
+            continue;
+        }
+        // accumulate until `;` or a blank line after content
+        if !trimmed.is_empty() {
+            buffer.push_str(&line);
+            if !trimmed.ends_with(';') {
+                continue;
+            }
+        } else if buffer.is_empty() {
+            continue;
+        }
+        let stmt = buffer.trim().trim_end_matches(';').to_string();
+        buffer.clear();
+        if stmt.is_empty() {
+            continue;
+        }
+        match db.execute_as(&stmt, &user) {
+            Ok(result) => println!("{result}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,40 @@
+//! # bdbms
+//!
+//! A from-scratch Rust reproduction of
+//! *"bdbms — A Database Management System for Biological Data"*
+//! (Eltabakh, Ouzzani, Aref — CIDR 2007): an extensible database engine
+//! with annotation & provenance management, local dependency tracking,
+//! content-based update authorization, and non-traditional access methods
+//! (SP-GiST space-partitioning indexes and the SBC-tree for
+//! RLE-compressed sequences).
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`core`] — the engine: catalog, A-SQL, the four managers (§2–§6);
+//! * [`storage`] — pager, buffer pool, slotted pages, heap files;
+//! * [`index`] — B+-tree, R-tree, SP-GiST framework + trie/kd-tree/quadtree;
+//! * [`seq`] — RLE codec, String B-tree, SBC-tree (§7);
+//! * [`common`] — values, schemas, bitmaps, instrumentation.
+//!
+//! ```
+//! use bdbms::core::Database;
+//!
+//! let mut db = Database::new_in_memory();
+//! db.execute("CREATE TABLE Gene (GID TEXT, GSequence TEXT)").unwrap();
+//! db.execute("CREATE ANNOTATION TABLE Comments ON Gene").unwrap();
+//! db.execute("INSERT INTO Gene VALUES ('JW0080', 'ATGATGGAAAA')").unwrap();
+//! db.execute(
+//!     "ADD ANNOTATION TO Gene.Comments VALUE 'curated' \
+//!      ON (SELECT G.GID FROM Gene G)",
+//! ).unwrap();
+//! let r = db.execute("SELECT GID FROM Gene ANNOTATION(Comments)").unwrap();
+//! assert_eq!(r.rows[0].anns[0][0].text(), "curated");
+//! ```
+
+pub use bdbms_common as common;
+pub use bdbms_core as core;
+pub use bdbms_index as index;
+pub use bdbms_seq as seq;
+pub use bdbms_storage as storage;
+
+pub use bdbms_core::{Database, QueryResult};

@@ -1,0 +1,106 @@
+//! Fast regression guards for the paper's headline claims: if a future
+//! change breaks the *shape* of a reproduced result (who wins, and that
+//! the gap grows the right way), these tests fail long before anyone
+//! reruns the full benchmark harness.
+
+use bdbms::seq::gen;
+use bdbms::seq::{SbcTree, StringBTree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn corpus(n: usize, len: usize, mean_run: f64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..n)
+        .map(|_| gen::secondary_structure(&mut rng, len, mean_run))
+        .collect()
+}
+
+fn build(corpus: &[Vec<u8>]) -> (StringBTree, SbcTree) {
+    let mut sbt = StringBTree::new();
+    let mut sbc = SbcTree::new();
+    for t in corpus {
+        sbt.insert_text(t);
+        sbc.insert_sequence(t);
+    }
+    (sbt, sbc)
+}
+
+/// §7.2: "up to an order of magnitude reduction in storage" — the ratio
+/// must favour the SBC-tree and grow with the mean run length.
+#[test]
+fn sbc_storage_claim_shape() {
+    let short = corpus(40, 200, 4.0);
+    let long = corpus(40, 200, 24.0);
+    let (sbt_s, sbc_s) = build(&short);
+    let (sbt_l, sbc_l) = build(&long);
+    let ratio_short = sbt_s.storage_bytes() as f64 / sbc_s.storage_bytes() as f64;
+    let ratio_long = sbt_l.storage_bytes() as f64 / sbc_l.storage_bytes() as f64;
+    assert!(ratio_short > 1.2, "SBC must win even at short runs: {ratio_short}");
+    assert!(
+        ratio_long > 2.0 * ratio_short,
+        "the gap must grow with run length: {ratio_short} -> {ratio_long}"
+    );
+    assert!(ratio_long > 6.0, "long runs must approach the paper's 10x: {ratio_long}");
+}
+
+/// §7.2: "up to 30% reduction in I/Os for the insertion operations" —
+/// the SBC-tree must write fewer nodes, by at least the paper's margin.
+#[test]
+fn sbc_insertion_io_claim_shape() {
+    let c = corpus(40, 200, 8.0);
+    let (sbt, sbc) = build(&c);
+    let sbt_writes = sbt.io_stats().writes as f64;
+    let sbc_writes = sbc.io_stats().writes as f64;
+    assert!(
+        sbc_writes < sbt_writes * 0.7,
+        "paper claims ≥30% fewer insertion I/Os: sbt={sbt_writes} sbc={sbc_writes}"
+    );
+}
+
+/// §7.2: search performance retained — on long-run data the SBC-tree must
+/// answer substring queries within a small factor of the String B-tree's
+/// read I/O (and agree on results, which the property tests cover deeper).
+#[test]
+fn sbc_search_claim_shape() {
+    let c = corpus(60, 300, 20.0);
+    let (sbt, sbc) = build(&c);
+    let pat = &c[5][100..112];
+    sbt.reset_io();
+    let a = sbt.substring_search(pat);
+    let sbt_reads = sbt.io_stats().reads.max(1);
+    sbc.reset_io();
+    let b = sbc.substring_search(pat);
+    let sbc_reads = sbc.io_stats().reads.max(1);
+    assert_eq!(a.len(), b.len(), "identical answers");
+    assert!(!a.is_empty());
+    assert!(
+        sbc_reads <= sbt_reads * 4,
+        "search I/O must stay comparable on long-run data: sbt={sbt_reads} sbc={sbc_reads}"
+    );
+}
+
+/// §7.1: the SP-GiST trie must beat a B+-tree full scan on regex match by
+/// a wide margin.
+#[test]
+fn spgist_regex_claim_shape() {
+    use bdbms::index::regex::Regex;
+    use bdbms::index::trie::{StrQuery, TrieOps};
+    use bdbms::index::{BPlusTree, SpGist};
+    let mut trie: SpGist<TrieOps, u32> = SpGist::new(TrieOps);
+    let mut bpt: BPlusTree<Vec<u8>, u32> = BPlusTree::new();
+    for i in 0..10_000 {
+        let k = gen::gene_id(i).into_bytes();
+        trie.insert(k.clone(), i as u32);
+        bpt.insert(k, i as u32);
+    }
+    trie.stats().reset();
+    let re = Regex::compile("JW00[0-9][05]").unwrap();
+    let hits = trie.search(&StrQuery::Regex(re)).len();
+    assert_eq!(hits, 20);
+    let trie_reads = trie.stats().reads();
+    let bpt_scan = bpt.node_count() as u64;
+    assert!(
+        trie_reads * 5 < bpt_scan,
+        "trie regex must prune: {trie_reads} reads vs {bpt_scan}-node scan"
+    );
+}
