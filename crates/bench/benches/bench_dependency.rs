@@ -17,10 +17,8 @@ fn bench_cascade(c: &mut Criterion) {
             b.iter_batched(
                 || pipeline_db(n, 60),
                 |mut db| {
-                    db.execute(
-                        "UPDATE Gene SET GSequence = 'GTGGTGGTG' WHERE GID = 'JW0000'",
-                    )
-                    .unwrap();
+                    db.execute("UPDATE Gene SET GSequence = 'GTGGTGGTG' WHERE GID = 'JW0000'")
+                        .unwrap();
                     db
                 },
                 BatchSize::SmallInput,

@@ -1,0 +1,52 @@
+//! Executor micro-benchmark: naive full-scan executor vs. the streaming
+//! pushdown/index executor on a 100k-row Gene table with selective
+//! predicates (point = 0.001%, range = 1%).
+//!
+//! The same comparison (with wall-time numbers and a JSON rendering) is
+//! available as experiment `e13` in the reproduce harness:
+//! `cargo run -p bdbms-bench --release --bin reproduce -- e13 --json`.
+
+use bdbms_bench::workloads::indexed_gene_db;
+use bdbms_core::executor::ExecOptions;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_executor(c: &mut Criterion) {
+    let n = 100_000;
+    let db = indexed_gene_db(n);
+    let point = format!("SELECT GID FROM Gene WHERE Len = {}", n / 2);
+    let range = format!(
+        "SELECT GID FROM Gene WHERE Len >= {} AND Len < {}",
+        n / 2,
+        n / 2 + n / 100
+    );
+    let annotated = format!(
+        "SELECT GID, GName FROM Gene ANNOTATION(Curation) WHERE Len = {}",
+        n / 2
+    );
+    let mut g = c.benchmark_group("executor_100k");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (label, sql) in [
+        ("point", &point),
+        ("range_1pct", &range),
+        ("point_annotated", &annotated),
+    ] {
+        g.bench_function(format!("naive/{label}"), |b| {
+            b.iter(|| {
+                db.query_traced(black_box(sql), &ExecOptions::naive())
+                    .unwrap()
+            })
+        });
+        g.bench_function(format!("optimized/{label}"), |b| {
+            b.iter(|| {
+                db.query_traced(black_box(sql), &ExecOptions::default())
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

@@ -6,7 +6,7 @@ use bdbms_index::kdtree::{KdTreeOps, PointQuery};
 use bdbms_index::quadtree::QuadtreeOps;
 use bdbms_index::regex::Regex;
 use bdbms_index::trie::{StrQuery, TrieOps};
-use bdbms_index::{Rect, RTree, SpGist};
+use bdbms_index::{RTree, Rect, SpGist};
 use bdbms_seq::gen;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -37,7 +37,10 @@ fn bench_strings(c: &mut Criterion) {
     let probe = keys[777].clone();
     let mut g = c.benchmark_group("spgist_strings_20k");
     g.bench_function("trie_exact", |b| {
-        b.iter(|| trie.search(&StrQuery::Exact(black_box(probe.clone()))).len())
+        b.iter(|| {
+            trie.search(&StrQuery::Exact(black_box(probe.clone())))
+                .len()
+        })
     });
     g.bench_function("bptree_exact", |b| {
         b.iter(|| bpt.get(black_box(&probe)).len())
@@ -57,7 +60,10 @@ fn bench_strings(c: &mut Criterion) {
     g.bench_function("bptree_regex_fullscan", |b| {
         b.iter(|| {
             let re = Regex::compile("JW0[0-1][0-9][02468]").unwrap();
-            bpt.iter_all().iter().filter(|(k, _)| re.is_match(k)).count()
+            bpt.iter_all()
+                .iter()
+                .filter(|(k, _)| re.is_match(k))
+                .count()
         })
     });
     g.finish();
@@ -79,10 +85,16 @@ fn bench_points(c: &mut Criterion) {
     let mut g = c.benchmark_group("spgist_points_20k");
     let (lo, hi) = ([400.0, 400.0], [425.0, 425.0]);
     g.bench_function("kdtree_window", |b| {
-        b.iter(|| kd.search(&PointQuery::Window(black_box(lo), black_box(hi))).len())
+        b.iter(|| {
+            kd.search(&PointQuery::Window(black_box(lo), black_box(hi)))
+                .len()
+        })
     });
     g.bench_function("quadtree_window", |b| {
-        b.iter(|| qt.search(&PointQuery::Window(black_box(lo), black_box(hi))).len())
+        b.iter(|| {
+            qt.search(&PointQuery::Window(black_box(lo), black_box(hi)))
+                .len()
+        })
     });
     g.bench_function("rtree_window", |b| {
         b.iter(|| rt.search(&Rect::new(black_box(lo), black_box(hi))).len())

@@ -17,6 +17,7 @@ use bdbms_bench::{all_experiments, e12_sbc_tree};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let markdown = args.iter().any(|a| a == "--markdown");
+    let json = args.iter().any(|a| a == "--json");
     let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
     let mut experiments = all_experiments();
@@ -33,22 +34,27 @@ fn main() {
         }
         std::process::exit(1);
     }
-    if !markdown {
+    if !markdown && !json {
         println!("bdbms reproduction harness — CIDR 2007 paper experiments\n");
     }
     let t0 = Instant::now();
+    let mut json_reports = Vec::new();
     for (id, f) in selected {
         let start = Instant::now();
         let report = f();
         let elapsed = start.elapsed();
-        if markdown {
+        if json {
+            json_reports.push(report.render_json());
+        } else if markdown {
             print!("{}", report.render_markdown());
         } else {
             print!("{}", report.render());
             println!("({id} completed in {:.2}s)\n", elapsed.as_secs_f64());
         }
     }
-    if !markdown {
+    if json {
+        println!("[{}]", json_reports.join(","));
+    } else if !markdown {
         println!("total: {:.2}s", t0.elapsed().as_secs_f64());
     }
 }

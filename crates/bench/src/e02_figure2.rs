@@ -65,7 +65,11 @@ pub fn run() -> Report {
              ORDER BY GID",
         )
         .unwrap();
-    let gids: Vec<String> = qr.rows.iter().map(|row| row.values[0].to_string()).collect();
+    let gids: Vec<String> = qr
+        .rows
+        .iter()
+        .map(|row| row.values[0].to_string())
+        .collect();
     let pass = gids == vec!["JW0055", "JW0080"];
     r.row(vec![
         "INTERSECT common genes".into(),
@@ -96,8 +100,17 @@ pub fn run() -> Report {
     r.row(vec![
         "attachment records (rect scheme)".into(),
         "1 record per annotation (B1-B5)".into(),
-        format!("{} records for {} annotations", set.attachment_records(), set.len()),
-        if set.attachment_records() <= set.len() + 2 { "PASS" } else { "FAIL" }.into(),
+        format!(
+            "{} records for {} annotations",
+            set.attachment_records(),
+            set.len()
+        ),
+        if set.attachment_records() <= set.len() + 2 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+        .into(),
     ]);
     r.note("the naive Figure 3 scheme would store B3 five times and A2/B1 per cell");
     r

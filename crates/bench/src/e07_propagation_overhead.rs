@@ -57,8 +57,7 @@ pub fn run() -> Report {
             ),
             (
                 "+ DISTINCT (ann-union)",
-                "SELECT DISTINCT GName FROM DB1_Gene ANNOTATION(GAnnotation)"
-                    .to_string(),
+                "SELECT DISTINCT GName FROM DB1_Gene ANNOTATION(GAnnotation)".to_string(),
             ),
         ];
         let mut plain_ms = None;

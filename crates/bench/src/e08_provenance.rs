@@ -55,13 +55,8 @@ pub fn run() -> Report {
         let t_loaded = db.now();
         // phase 2: program P1 updates every 4th row's v
         let p1_rows: Vec<u64> = (0..n as u64).step_by(4).collect();
-        db.record_provenance(
-            "T",
-            &p1_rows,
-            &[1],
-            &rec("P1", ProvOp::ProgramUpdate),
-        )
-        .unwrap();
+        db.record_provenance("T", &p1_rows, &[1], &rec("P1", ProvOp::ProgramUpdate))
+            .unwrap();
         let t_program = db.now();
         // phase 3: S3 overwrites the whole v column
         let all: Vec<u64> = (0..n as u64).collect();
@@ -112,6 +107,8 @@ pub fn run() -> Report {
         ]);
         assert_eq!(correct, total);
     }
-    r.note("provenance stored as rectangle annotations: whole-column overwrites are single records");
+    r.note(
+        "provenance stored as rectangle annotations: whole-column overwrites are single records",
+    );
     r
 }

@@ -56,11 +56,9 @@ pub fn run() -> Report {
         let originals: Vec<String> = (0..n)
             .map(|i| {
                 let gid = bdbms_seq::gen::gene_id(i);
-                db.execute(&format!(
-                    "SELECT GSequence FROM Gene WHERE GID = '{gid}'"
-                ))
-                .unwrap()
-                .rows[0]
+                db.execute(&format!("SELECT GSequence FROM Gene WHERE GID = '{gid}'"))
+                    .unwrap()
+                    .rows[0]
                     .values[0]
                     .to_string()
             })
@@ -92,9 +90,7 @@ pub fn run() -> Report {
         for (i, orig) in originals.iter().enumerate() {
             let gid = bdbms_seq::gen::gene_id(i);
             let now = db
-                .execute(&format!(
-                    "SELECT GSequence FROM Gene WHERE GID = '{gid}'"
-                ))
+                .execute(&format!("SELECT GSequence FROM Gene WHERE GID = '{gid}'"))
                 .unwrap()
                 .rows[0]
                 .values[0]

@@ -77,11 +77,9 @@ pub fn run() -> Report {
             let mut a_sorted = a.clone();
             a_sorted.sort_unstable();
             assert_eq!(a_sorted, want, "string b-tree correct");
-            let b_pairs: Vec<(u32, u64)> =
-                b.iter().map(|o| (o.text, o.pos)).collect();
+            let b_pairs: Vec<(u32, u64)> = b.iter().map(|o| (o.text, o.pos)).collect();
             assert_eq!(b_pairs, want, "sbc 3-sided correct");
-            let c_pairs: Vec<(u32, u64)> =
-                c.iter().map(|o| (o.text, o.pos)).collect();
+            let c_pairs: Vec<(u32, u64)> = c.iter().map(|o| (o.text, o.pos)).collect();
             assert_eq!(c_pairs, want, "sbc scan correct");
         }
         let mean_run_measured: f64 = corpus
@@ -120,13 +118,7 @@ pub fn run_prefix_range() -> Report {
         "the SBC-tree supports substring as well as prefix matching, and range \
          search operations over RLE-compressed sequences",
     );
-    r.headers(&[
-        "mean run",
-        "op",
-        "hits",
-        "reads SBT",
-        "reads SBC",
-    ]);
+    r.headers(&["mean run", "op", "hits", "reads SBT", "reads SBC"]);
     for mean_run in [8.0, 24.0] {
         let corpus = ss_corpus(N_SEQS, SEQ_LEN, mean_run);
         let mut sbt = StringBTree::new();

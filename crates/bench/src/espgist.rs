@@ -17,7 +17,7 @@ use bdbms_index::kdtree::{KdTreeOps, PointQuery};
 use bdbms_index::quadtree::QuadtreeOps;
 use bdbms_index::regex::Regex;
 use bdbms_index::trie::{StrQuery, TrieOps};
-use bdbms_index::{Rect, RTree, SpGist};
+use bdbms_index::{RTree, Rect, SpGist};
 use bdbms_seq::gen;
 use rand::Rng;
 
@@ -180,9 +180,24 @@ pub fn run() -> Report {
         rt.insert(Rect::point(p[0], p[1]), i as u64);
     }
     let builds = [
-        ("SP-GiST kd-tree", kd.stats().writes(), kd.node_count(), kd.storage_bytes()),
-        ("SP-GiST quadtree", qt.stats().writes(), qt.node_count(), qt.storage_bytes()),
-        ("R-tree", rt.stats().writes(), rt.node_count(), rt.storage_bytes()),
+        (
+            "SP-GiST kd-tree",
+            kd.stats().writes(),
+            kd.node_count(),
+            kd.storage_bytes(),
+        ),
+        (
+            "SP-GiST quadtree",
+            qt.stats().writes(),
+            qt.node_count(),
+            qt.storage_bytes(),
+        ),
+        (
+            "R-tree",
+            rt.stats().writes(),
+            rt.node_count(),
+            rt.storage_bytes(),
+        ),
     ];
 
     // window queries
@@ -217,10 +232,7 @@ pub fn run() -> Report {
     qt.stats().reset();
     rt.stats().reset();
     for i in 0..N_PROBES {
-        let p = [
-            (i as f64 * 7.3) % 1000.0,
-            (i as f64 * 13.7) % 1000.0,
-        ];
+        let p = [(i as f64 * 7.3) % 1000.0, (i as f64 * 13.7) % 1000.0];
         let a = kd.knn(&p, 10);
         let b = qt.knn(&p, 10);
         let c = rt.knn(p, 10);

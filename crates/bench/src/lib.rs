@@ -19,6 +19,7 @@ pub mod e08_provenance;
 pub mod e10_bitmaps;
 pub mod e11_approval;
 pub mod e12_sbc_tree;
+pub mod e13_executor;
 pub mod espgist;
 
 use report::Report;
@@ -40,6 +41,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e10", e10_bitmaps::run),
         ("e11", e11_approval::run),
         ("e12", e12_sbc_tree::run),
+        ("e13", e13_executor::run),
         ("spgist", espgist::run),
     ]
 }

@@ -91,16 +91,53 @@ impl Report {
         out
     }
 
+    /// Render as a JSON object (hand-rolled — the workspace carries no
+    /// serde).  `reproduce --json` emits an array of these so future PRs
+    /// can track the perf trajectory mechanically.
+    pub fn render_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let str_array = |items: &[String]| -> String {
+            let quoted: Vec<String> = items.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+            format!("[{}]", quoted.join(","))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| str_array(r)).collect();
+        format!(
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"paper_claim\":\"{}\",\
+             \"headers\":{},\"rows\":[{}],\"notes\":{}}}",
+            esc(self.id),
+            esc(&self.title),
+            esc(&self.paper_claim),
+            str_array(&self.headers),
+            rows.join(","),
+            str_array(&self.notes),
+        )
+    }
+
     /// Render as a Markdown table section (used to build EXPERIMENTS.md).
     pub fn render_markdown(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("### {} — {}\n\n", self.id.to_uppercase(), self.title));
+        out.push_str(&format!(
+            "### {} — {}\n\n",
+            self.id.to_uppercase(),
+            self.title
+        ));
         out.push_str(&format!("**Paper:** {}\n\n", self.paper_claim));
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.headers.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
@@ -144,6 +181,21 @@ mod tests {
         assert!(s.contains("* all good"));
         let md = r.render_markdown();
         assert!(md.contains("| col | value |"));
+    }
+
+    #[test]
+    fn render_json_escapes_and_structures() {
+        let mut r = Report::new("e13", "exec \"perf\"", "claim\nwith newline");
+        r.headers(&["path", "ms"]);
+        r.row(vec!["naive\\scan".into(), "12.5".into()]);
+        r.note("5.0x");
+        let j = r.render_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"id\":\"e13\""));
+        assert!(j.contains("exec \\\"perf\\\""));
+        assert!(j.contains("claim\\nwith newline"));
+        assert!(j.contains("naive\\\\scan"));
+        assert!(j.contains("\"notes\":[\"5.0x\"]"));
     }
 
     #[test]

@@ -144,9 +144,7 @@ pub fn pipeline_db(n: usize, seq_len: usize) -> Database {
     db.execute("CREATE TABLE Protein (PName TEXT, GID TEXT, PSequence TEXT, PFunction TEXT)")
         .unwrap();
     db.register_procedure("P", |args| match &args[0] {
-        Value::Text(dna) => {
-            Value::Text(dna.as_bytes().chunks(3).map(|c| c[0] as char).collect())
-        }
+        Value::Text(dna) => Value::Text(dna.as_bytes().chunks(3).map(|c| c[0] as char).collect()),
         _ => Value::Null,
     });
     db.execute(
@@ -173,6 +171,37 @@ pub fn pipeline_db(n: usize, seq_len: usize) -> Database {
         ))
         .unwrap();
     }
+    db
+}
+
+/// The executor-bench fixture: a `Gene` table with `n` rows whose `Len`
+/// column holds the row number (so `Len = k` selects exactly one row and
+/// `Len >= a AND Len < a + n/100` selects 1%), a column-granularity
+/// `Curation` annotation over `GName`, and a secondary index on `Len`.
+pub fn indexed_gene_db(n: usize) -> Database {
+    let mut db = Database::new_in_memory();
+    db.execute("CREATE TABLE Gene (GID TEXT, GName TEXT, Len INT)")
+        .unwrap();
+    db.execute("CREATE ANNOTATION TABLE Curation ON Gene")
+        .unwrap();
+    // batched inserts: one statement per 500 rows keeps parse overhead
+    // negligible at 100k rows
+    let mut i = 0;
+    while i < n {
+        let hi = (i + 500).min(n);
+        let tuples: Vec<String> = (i..hi)
+            .map(|r| format!("('JW{r:06}', 'g{r}', {r})"))
+            .collect();
+        db.execute(&format!("INSERT INTO Gene VALUES {}", tuples.join(", ")))
+            .unwrap();
+        i = hi;
+    }
+    db.execute(
+        "ADD ANNOTATION TO Gene.Curation VALUE 'curated against GenoBase' \
+         ON (SELECT G.GName FROM Gene G)",
+    )
+    .unwrap();
+    db.execute("CREATE INDEX len_idx ON Gene (Len)").unwrap();
     db
 }
 

@@ -47,12 +47,8 @@ impl Schema {
 
     /// Convenience constructor from `(name, type)` pairs.
     pub fn of(cols: &[(&str, DataType)]) -> Schema {
-        Schema::new(
-            cols.iter()
-                .map(|(n, t)| ColumnDef::new(*n, *t))
-                .collect(),
-        )
-        .expect("static schema must not contain duplicates")
+        Schema::new(cols.iter().map(|(n, t)| ColumnDef::new(*n, *t)).collect())
+            .expect("static schema must not contain duplicates")
     }
 
     /// The column definitions in order.

@@ -115,7 +115,13 @@ mod tests {
         s.record_read();
         s.record_write();
         let delta = s.snapshot().since(before);
-        assert_eq!(delta, IoSnapshot { reads: 1, writes: 1 });
+        assert_eq!(
+            delta,
+            IoSnapshot {
+                reads: 1,
+                writes: 1
+            }
+        );
         assert_eq!(delta.total(), 2);
     }
 }

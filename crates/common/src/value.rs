@@ -241,12 +241,8 @@ impl Value {
             (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
             (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
             (Value::Timestamp(a), Value::Timestamp(b)) => Some(a.cmp(b)),
-            (Value::Timestamp(a), Value::Int(b)) => {
-                Some((*a as i128).cmp(&(*b as i128)))
-            }
-            (Value::Int(a), Value::Timestamp(b)) => {
-                Some((*a as i128).cmp(&(*b as i128)))
-            }
+            (Value::Timestamp(a), Value::Int(b)) => Some((*a as i128).cmp(&(*b as i128))),
+            (Value::Int(a), Value::Timestamp(b)) => Some((*a as i128).cmp(&(*b as i128))),
             _ => None,
         }
     }

@@ -331,7 +331,10 @@ mod tests {
 
     #[test]
     fn contiguous_decomposition() {
-        assert_eq!(contiguous_u64(&[1, 2, 3, 7, 8, 10]), vec![(1, 3), (7, 8), (10, 10)]);
+        assert_eq!(
+            contiguous_u64(&[1, 2, 3, 7, 8, 10]),
+            vec![(1, 3), (7, 8), (10, 10)]
+        );
         assert_eq!(contiguous_u64(&[5, 3, 4]), vec![(3, 5)]);
         assert_eq!(contiguous_u64(&[2, 2, 2]), vec![(2, 2)]);
         assert!(contiguous_u64(&[]).is_empty());
@@ -352,7 +355,13 @@ mod tests {
                 &[0, 1, 2, 3, 4],
                 &[2],
             );
-            let b5 = set.add("This gene has an unknown function", "alice", 3, &[0], &[0, 1, 2]);
+            let b5 = set.add(
+                "This gene has an unknown function",
+                "alice",
+                3,
+                &[0],
+                &[0, 1, 2],
+            );
             // cell lookups
             let on_00: Vec<_> = set.for_cell(0, 0).iter().map(|a| a.id).collect();
             assert!(on_00.contains(&b1) && on_00.contains(&b5));

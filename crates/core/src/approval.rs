@@ -113,8 +113,7 @@ impl ApprovalManager {
         self.configs.insert(
             Self::key(table),
             ApprovalConfig {
-                columns: columns
-                    .map(|cs| cs.into_iter().map(|c| c.to_ascii_lowercase()).collect()),
+                columns: columns.map(|cs| cs.into_iter().map(|c| c.to_ascii_lowercase()).collect()),
                 approver: approver.to_string(),
             },
         );
@@ -131,9 +130,7 @@ impl ApprovalManager {
         }
         if let Some(cfg) = self.configs.get_mut(&key) {
             if let Some(cols) = &mut cfg.columns {
-                cols.retain(|c| {
-                    !columns.iter().any(|x| x.eq_ignore_ascii_case(c))
-                });
+                cols.retain(|c| !columns.iter().any(|x| x.eq_ignore_ascii_case(c)));
                 if cols.is_empty() {
                     self.configs.remove(&key);
                 }

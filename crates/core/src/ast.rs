@@ -214,6 +214,23 @@ pub enum Statement {
         /// Table name.
         name: String,
     },
+    /// `CREATE INDEX name ON table (column)` — a secondary B+-tree index
+    /// the executor routes equality/range predicates through.
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Indexed table.
+        table: String,
+        /// Indexed column.
+        column: String,
+    },
+    /// `DROP INDEX name ON table`.
+    DropIndex {
+        /// Index name.
+        name: String,
+        /// Indexed table.
+        table: String,
+    },
     /// `CREATE ANNOTATION TABLE ann ON tbl [SCHEME CELL|RECTANGLE]`
     /// (Figure 4; SCHEME is our ablation extension, default RECTANGLE).
     CreateAnnotationTable {

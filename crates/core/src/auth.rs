@@ -80,10 +80,7 @@ impl AuthManager {
 
     /// Revoke privileges.
     pub fn revoke(&mut self, grantee: &str, table: &str, privileges: &[Privilege]) {
-        if let Some(e) = self
-            .grants
-            .get_mut(&(Self::key(grantee), Self::key(table)))
-        {
+        if let Some(e) = self.grants.get_mut(&(Self::key(grantee), Self::key(table))) {
             for p in privileges {
                 e.remove(p);
             }
@@ -105,25 +102,16 @@ impl AuthManager {
         if direct {
             return true;
         }
-        self.groups_of(user)
-            .iter()
-            .any(|g| {
-                self.grants
-                    .get(&(g.clone(), t.clone()))
-                    .is_some_and(|s| s.contains(&privilege))
-            })
+        self.groups_of(user).iter().any(|g| {
+            self.grants
+                .get(&(g.clone(), t.clone()))
+                .is_some_and(|s| s.contains(&privilege))
+        })
     }
 
     /// Error unless the privilege is held (owner always passes).
-    pub fn check(
-        &self,
-        user: &str,
-        table: &str,
-        owner: &str,
-        privilege: Privilege,
-    ) -> Result<()> {
-        if Self::key(user) == Self::key(owner) || self.has_privilege(user, table, privilege)
-        {
+    pub fn check(&self, user: &str, table: &str, owner: &str, privilege: Privilege) -> Result<()> {
+        if Self::key(user) == Self::key(owner) || self.has_privilege(user, table, privilege) {
             Ok(())
         } else {
             Err(BdbmsError::Unauthorized(format!(
@@ -147,7 +135,9 @@ mod tests {
     fn admin_has_everything() {
         let a = AuthManager::new();
         assert!(a.has_privilege("admin", "Gene", Privilege::Delete));
-        assert!(a.check("admin", "Gene", "someone", Privilege::Update).is_ok());
+        assert!(a
+            .check("admin", "Gene", "someone", Privilege::Update)
+            .is_ok());
     }
 
     #[test]

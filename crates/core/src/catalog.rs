@@ -1,13 +1,83 @@
 //! The catalog: tables, their heaps, annotation sets, and outdated bitmaps.
 
 use std::collections::BTreeMap;
+use std::ops::Bound;
 use std::sync::Arc;
 
 use bdbms_common::bitmap::CellBitmap;
 use bdbms_common::{BdbmsError, Result, Schema, Value};
+use bdbms_index::BPlusTree;
 use bdbms_storage::{BufferPool, HeapFile, Rid};
 
 use crate::annotation::AnnotationSet;
+
+/// A secondary B+-tree index over one column, kept in sync by every
+/// [`Table`] write path (plain DML, approval inverses, dependency
+/// cascades — they all funnel through `insert_with_row_no` / `update` /
+/// `delete`).
+///
+/// NULL values are not indexed: no SQL comparison is ever true against
+/// NULL, so equality/range probes — the only lookups the executor issues —
+/// can never need them.
+pub struct TableIndex {
+    /// Index name (unique per table, case-insensitive).
+    pub name: String,
+    /// Indexed column position.
+    pub column: usize,
+    tree: BPlusTree<Value, u64>,
+}
+
+impl TableIndex {
+    fn new(name: impl Into<String>, column: usize) -> TableIndex {
+        TableIndex {
+            name: name.into(),
+            column,
+            tree: BPlusTree::new(),
+        }
+    }
+
+    fn add(&mut self, value: &Value, row_no: u64) {
+        if !value.is_null() {
+            self.tree.insert(value.clone(), row_no);
+        }
+    }
+
+    fn remove(&mut self, value: &Value, row_no: u64) {
+        if !value.is_null() {
+            self.tree.delete(value, &row_no);
+        }
+    }
+
+    /// Row numbers whose indexed value falls within the bounds, sorted
+    /// ascending (scan order), deduplicated.
+    ///
+    /// The tree orders [`Value`]s by their *total* order, which coarsens
+    /// SQL comparison on a few numeric edge cases (e.g. `i64` beyond
+    /// 2^53 collapsing under the float interleave), so callers must
+    /// re-check the originating predicate on the returned rows — the
+    /// index is a candidate pruner, not an oracle.
+    pub fn probe(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<u64> {
+        let mut rows: Vec<u64> = self
+            .tree
+            .scan_bounds(lo, hi)
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+
+    /// Number of indexed (non-NULL) entries.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True when no entries are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+}
 
 /// A row preserved in the deletion log (§3.2: *"the deleted tuples will be
 /// stored in separate log tables along with the annotation that specifies
@@ -44,6 +114,8 @@ pub struct Table {
     pub outdated: CellBitmap,
     /// Deletion log.
     pub deleted_log: Vec<DeletedRow>,
+    /// Secondary indexes (`CREATE INDEX … ON …`).
+    indexes: Vec<TableIndex>,
 }
 
 impl Table {
@@ -65,6 +137,7 @@ impl Table {
             ann_sets: Vec::new(),
             outdated: CellBitmap::new(0, arity),
             deleted_log: Vec::new(),
+            indexes: Vec::new(),
         })
     }
 
@@ -114,6 +187,9 @@ impl Table {
         if self.outdated.rows() <= row_no as usize {
             self.outdated.grow_rows(row_no as usize + 1);
         }
+        for idx in &mut self.indexes {
+            idx.add(&values[idx.column], row_no);
+        }
         Ok(row_no)
     }
 
@@ -131,6 +207,33 @@ impl Table {
 
     /// Overwrite a row in place.
     pub fn update(&mut self, row_no: u64, values: Vec<Value>) -> Result<()> {
+        // indexed columns need the old values to retire stale entries
+        let old = if self.indexes.is_empty() {
+            None
+        } else {
+            Some(self.get(row_no)?)
+        };
+        self.update_inner(row_no, old.as_deref(), values)
+    }
+
+    /// Overwrite a row whose current values the caller already holds
+    /// (UPDATE's row-selection pass materializes them), saving the heap
+    /// re-read that index maintenance would otherwise need.
+    pub fn update_with_old(
+        &mut self,
+        row_no: u64,
+        old: &[Value],
+        values: Vec<Value>,
+    ) -> Result<()> {
+        self.update_inner(row_no, Some(old), values)
+    }
+
+    fn update_inner(
+        &mut self,
+        row_no: u64,
+        old: Option<&[Value]>,
+        values: Vec<Value>,
+    ) -> Result<()> {
         let values = self.schema.check_row(values)?;
         let rid = *self
             .rows
@@ -138,6 +241,14 @@ impl Table {
             .ok_or_else(|| BdbmsError::NotFound(format!("row {row_no} in {}", self.name)))?;
         let new_rid = self.heap.update(rid, &Self::encode_row(row_no, &values))?;
         self.rows.insert(row_no, new_rid);
+        if let Some(old) = old {
+            for idx in &mut self.indexes {
+                if old[idx.column] != values[idx.column] {
+                    idx.remove(&old[idx.column], row_no);
+                    idx.add(&values[idx.column], row_no);
+                }
+            }
+        }
         Ok(())
     }
 
@@ -150,6 +261,9 @@ impl Table {
         for c in 0..self.schema.arity() {
             self.outdated.clear(row_no as usize, c);
         }
+        for idx in &mut self.indexes {
+            idx.remove(&values[idx.column], row_no);
+        }
         Ok(values)
     }
 
@@ -159,6 +273,67 @@ impl Table {
             .keys()
             .map(|&no| self.get(no).map(|v| (no, v)))
             .collect()
+    }
+
+    /// Lazy variant of [`scan`](Self::scan): rows are fetched from the
+    /// heap one at a time as the iterator is advanced, so a consumer that
+    /// stops early (LIMIT-style) or filters cheaply never materializes
+    /// the whole table.
+    pub fn iter_rows(&self) -> impl Iterator<Item = Result<(u64, Vec<Value>)>> + '_ {
+        self.rows
+            .keys()
+            .map(move |&no| self.get(no).map(|v| (no, v)))
+    }
+
+    // ---- secondary indexes ----
+
+    /// Create a secondary index named `name` over `column`, backfilling
+    /// it from the live rows.
+    pub fn create_index(&mut self, name: &str, column: &str) -> Result<()> {
+        if self.index_named(name).is_some() {
+            return Err(BdbmsError::AlreadyExists(format!(
+                "index `{name}` on `{}`",
+                self.name
+            )));
+        }
+        let col = self.schema.require(column)?;
+        let mut idx = TableIndex::new(name, col);
+        for entry in self.iter_rows() {
+            let (row_no, values) = entry?;
+            idx.add(&values[col], row_no);
+        }
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    /// Drop the index named `name`.
+    pub fn drop_index(&mut self, name: &str) -> Result<()> {
+        let before = self.indexes.len();
+        self.indexes.retain(|i| !i.name.eq_ignore_ascii_case(name));
+        if self.indexes.len() == before {
+            return Err(BdbmsError::NotFound(format!(
+                "index `{name}` on `{}`",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// Find an index by name (case-insensitive).
+    pub fn index_named(&self, name: &str) -> Option<&TableIndex> {
+        self.indexes
+            .iter()
+            .find(|i| i.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Find an index over the given column position, if any.
+    pub fn index_on(&self, column: usize) -> Option<&TableIndex> {
+        self.indexes.iter().find(|i| i.column == column)
+    }
+
+    /// All indexes on this table.
+    pub fn indexes(&self) -> &[TableIndex] {
+        &self.indexes
     }
 
     /// Live row numbers in order.
@@ -328,12 +503,8 @@ mod tests {
     fn row_numbers_stable_after_delete() {
         let mut t = gene_table();
         for i in 0..5 {
-            t.insert(vec![
-                format!("JW{i:04}").into(),
-                "x".into(),
-                "ATG".into(),
-            ])
-            .unwrap();
+            t.insert(vec![format!("JW{i:04}").into(), "x".into(), "ATG".into()])
+                .unwrap();
         }
         t.delete(2).unwrap();
         let rows = t.row_numbers();
@@ -352,7 +523,9 @@ mod tests {
         let old = t.delete(0).unwrap();
         t.insert_with_row_no(0, old).unwrap();
         assert_eq!(t.get(0).unwrap()[0], Value::Text("a".into()));
-        assert!(t.insert_with_row_no(0, vec!["x".into(), "y".into(), "z".into()]).is_err());
+        assert!(t
+            .insert_with_row_no(0, vec!["x".into(), "y".into(), "z".into()])
+            .is_err());
     }
 
     #[test]
@@ -376,6 +549,68 @@ mod tests {
         // growth beyond current rows
         t.mark_outdated(10, 1);
         assert!(t.is_outdated(10, 1));
+    }
+
+    #[test]
+    fn index_stays_consistent_across_dml() {
+        let mut t = gene_table();
+        for i in 0..20 {
+            t.insert(vec![format!("JW{i:04}").into(), "x".into(), "ATG".into()])
+                .unwrap();
+        }
+        t.create_index("gid_idx", "GID").unwrap();
+        assert_eq!(t.index_named("gid_idx").unwrap().len(), 20, "backfilled");
+        let probe = |t: &Table, key: &str| -> Vec<u64> {
+            let v = Value::Text(key.into());
+            t.index_on(0)
+                .unwrap()
+                .probe(Bound::Included(&v), Bound::Included(&v))
+        };
+        assert_eq!(probe(&t, "JW0007"), vec![7]);
+        // update moves the entry to the new key
+        t.update(7, vec!["JW9999".into(), "x".into(), "ATG".into()])
+            .unwrap();
+        assert_eq!(probe(&t, "JW0007"), Vec::<u64>::new());
+        assert_eq!(probe(&t, "JW9999"), vec![7]);
+        // delete retires the entry
+        t.delete(7).unwrap();
+        assert_eq!(probe(&t, "JW9999"), Vec::<u64>::new());
+        assert_eq!(t.index_on(0).unwrap().len(), 19);
+        // re-insert with a preserved row number (approval inverse path)
+        t.insert_with_row_no(7, vec!["JW0007".into(), "x".into(), "ATG".into()])
+            .unwrap();
+        assert_eq!(probe(&t, "JW0007"), vec![7]);
+        // range probe is sorted scan order
+        let lo = Value::Text("JW0003".into());
+        let hi = Value::Text("JW0006".into());
+        let rows = t
+            .index_on(0)
+            .unwrap()
+            .probe(Bound::Included(&lo), Bound::Included(&hi));
+        assert_eq!(rows, vec![3, 4, 5, 6]);
+        t.drop_index("GID_IDX").unwrap();
+        assert!(t.index_on(0).is_none());
+        assert!(t.drop_index("gid_idx").is_err());
+    }
+
+    #[test]
+    fn index_skips_nulls() {
+        let mut t = Table::create(
+            "N",
+            Schema::of(&[("a", DataType::Int), ("b", DataType::Text)]),
+            "admin",
+            pool(),
+        )
+        .unwrap();
+        t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        t.insert(vec![Value::Null, "x".into()]).unwrap();
+        t.create_index("a_idx", "a").unwrap();
+        assert_eq!(t.index_named("a_idx").unwrap().len(), 1);
+        // updating NULL → value adds an entry; value → NULL removes it
+        t.update(1, vec![Value::Int(5), "x".into()]).unwrap();
+        assert_eq!(t.index_named("a_idx").unwrap().len(), 2);
+        t.update(0, vec![Value::Null, Value::Null]).unwrap();
+        assert_eq!(t.index_named("a_idx").unwrap().len(), 1);
     }
 
     #[test]

@@ -20,9 +20,10 @@ use crate::ast::{AnnTarget, Expr, Privilege, Statement};
 use crate::auth::{AuthManager, ADMIN};
 use crate::catalog::{Catalog, DeletedRow, Table};
 use crate::dependency::{DependencyManager, DependencyRule};
-use crate::executor::{run_select, select_cells};
+use crate::executor::{run_select, run_select_traced, select_cells, ExecOptions, ExecStats};
 use crate::expr::{eval, ColBinding};
 use crate::parser::parse;
+use crate::plan;
 use crate::provenance::{self, ProvenanceRecord};
 use crate::result::{AnnRow, QueryResult};
 
@@ -95,11 +96,7 @@ impl Database {
     }
 
     /// Register an executable procedure body (§5) under `name`.
-    pub fn register_procedure(
-        &mut self,
-        name: &str,
-        f: impl Fn(&[Value]) -> Value + 'static,
-    ) {
+    pub fn register_procedure(&mut self, name: &str, f: impl Fn(&[Value]) -> Value + 'static) {
         self.deps.register_procedure(name, f);
     }
 
@@ -114,12 +111,47 @@ impl Database {
         self.execute_stmt(stmt, user)
     }
 
+    /// Run a SELECT with explicit executor options, returning the result
+    /// together with execution counters.  This is the instrumentation
+    /// path used by benchmarks and the pushdown regression tests; it
+    /// runs with admin visibility and does not tick the logical clock.
+    pub fn query_traced(&self, sql: &str, opts: &ExecOptions) -> Result<(QueryResult, ExecStats)> {
+        match parse(sql)? {
+            Statement::Select(sel) => {
+                let mut stats = ExecStats::default();
+                let qr = run_select_traced(&self.catalog, &sel, opts, &mut stats)?;
+                Ok((qr, stats))
+            }
+            _ => Err(BdbmsError::Invalid("query_traced expects a SELECT".into())),
+        }
+    }
+
     /// Execute a parsed statement.
     pub fn execute_stmt(&mut self, stmt: Statement, user: &str) -> Result<QueryResult> {
         self.clock.tick();
         match stmt {
             Statement::CreateTable { name, columns } => self.create_table(name, columns, user),
             Statement::DropTable { name } => self.drop_table(&name, user),
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+            } => {
+                self.require_owner(&table, user)?;
+                self.catalog
+                    .table_mut(&table)?
+                    .create_index(&name, &column)?;
+                Ok(QueryResult::message(format!(
+                    "index `{name}` created on `{table}`"
+                )))
+            }
+            Statement::DropIndex { name, table } => {
+                self.require_owner(&table, user)?;
+                self.catalog.table_mut(&table)?.drop_index(&name)?;
+                Ok(QueryResult::message(format!(
+                    "index `{name}` dropped from `{table}`"
+                )))
+            }
             Statement::CreateAnnotationTable {
                 name,
                 on,
@@ -128,9 +160,7 @@ impl Database {
             Statement::DropAnnotationTable { name, on } => {
                 self.drop_annotation_table(&name, &on, user)
             }
-            Statement::AddAnnotation { to, value, on } => {
-                self.add_annotation(to, &value, on, user)
-            }
+            Statement::AddAnnotation { to, value, on } => self.add_annotation(to, &value, on, user),
             Statement::ArchiveAnnotation { from, between, on } => {
                 self.archive_restore(from, between, on, true, user)
             }
@@ -157,7 +187,9 @@ impl Database {
                 sets,
                 where_clause,
             } => {
-                let n = self.do_update(&table, &sets, where_clause.as_ref(), user)?.len();
+                let n = self
+                    .do_update(&table, &sets, where_clause.as_ref(), user)?
+                    .len();
                 Ok(QueryResult::affected(n))
             }
             Statement::Delete {
@@ -185,7 +217,9 @@ impl Database {
             } => {
                 self.require_owner(&table, user)?;
                 self.auth.grant(&to, &table, &privileges);
-                Ok(QueryResult::message(format!("granted on `{table}` to `{to}`")))
+                Ok(QueryResult::message(format!(
+                    "granted on `{table}` to `{to}`"
+                )))
             }
             Statement::Revoke {
                 privileges,
@@ -412,17 +446,11 @@ impl Database {
             .map(|(c, _)| t.schema.require(c))
             .collect::<Result<_>>()?;
         let touched_names: Vec<String> = sets.iter().map(|(c, _)| c.clone()).collect();
-        // plan: evaluate per row
+        // plan: evaluate per matching row (row selection shares the
+        // executor's pushdown/index planning)
         #[allow(clippy::type_complexity)]
-        let mut plans: Vec<(u64, Vec<Value>, Vec<(usize, Value)>)> = Vec::new();
-        for (row_no, values) in t.scan()? {
-            let keep = match where_clause {
-                None => true,
-                Some(p) => eval(p, &bindings, &values)?.is_true(),
-            };
-            if !keep {
-                continue;
-            }
+        let mut plans: Vec<(u64, Vec<Value>, Vec<Value>, Vec<(usize, Value)>)> = Vec::new();
+        for (row_no, values) in plan::filter_rows(t, &t.name, where_clause)? {
             let mut new_values = values.clone();
             let mut old: Vec<(usize, Value)> = Vec::new();
             for ((_, e), &col) in sets.iter().zip(&set_cols) {
@@ -430,14 +458,16 @@ impl Database {
                 old.push((col, values[col].clone()));
                 new_values[col] = v;
             }
-            plans.push((row_no, new_values, old));
+            plans.push((row_no, values, new_values, old));
         }
         let monitored =
             self.approval.monitors(table, &touched_names) && !self.is_approver(user, table);
         let mut touched = Vec::with_capacity(plans.len());
-        for (row_no, new_values, old) in plans {
+        for (row_no, old_values, new_values, old) in plans {
             let t = self.catalog.table_mut(table)?;
-            t.update(row_no, new_values)?;
+            // the row-selection pass already materialized the old values,
+            // so index maintenance needs no heap re-read
+            t.update_with_old(row_no, &old_values, new_values)?;
             // an explicit update re-evaluates the cell: it is valid again
             // until its own sources change (§5 "Validating outdated data")
             for &(col, _) in &old {
@@ -478,21 +508,13 @@ impl Database {
     ) -> Result<Vec<u64>> {
         let owner = self.catalog.table(table)?.owner.clone();
         self.auth.check(user, table, &owner, Privilege::Delete)?;
-        let bindings = self.bindings_for(table)?;
         let t = self.catalog.table(table)?;
         let all_cols: Vec<String> = t.schema.names().iter().map(|s| s.to_string()).collect();
-        let mut victims = Vec::new();
-        for (row_no, values) in t.scan()? {
-            let keep = match where_clause {
-                None => true,
-                Some(p) => eval(p, &bindings, &values)?.is_true(),
-            };
-            if keep {
-                victims.push(row_no);
-            }
-        }
-        let monitored =
-            self.approval.monitors(table, &all_cols) && !self.is_approver(user, table);
+        let victims: Vec<u64> = plan::filter_rows(t, &t.name, where_clause)?
+            .into_iter()
+            .map(|(row_no, _)| row_no)
+            .collect();
+        let monitored = self.approval.monitors(table, &all_cols) && !self.is_approver(user, table);
         let arity = self.catalog.table(table)?.schema.arity();
         for &row_no in &victims {
             // mark dependents stale *before* the source row disappears
@@ -668,9 +690,7 @@ impl Database {
                 let parse_side = |s: &str| -> Result<(String, String)> {
                     s.split_once('.')
                         .map(|(t, c)| (t.to_string(), c.to_string()))
-                        .ok_or_else(|| {
-                            BdbmsError::Invalid(format!("bad LINK side `{s}`"))
-                        })
+                        .ok_or_else(|| BdbmsError::Invalid(format!("bad LINK side `{s}`")))
                 };
                 let (at, ac) = parse_side(&a)?;
                 let (bt, bc) = parse_side(&b)?;
@@ -707,7 +727,9 @@ impl Database {
             link: link_cols,
         };
         self.deps.add_rule(rule)?;
-        Ok(QueryResult::message(format!("dependency rule `{name}` created")))
+        Ok(QueryResult::message(format!(
+            "dependency rule `{name}` created"
+        )))
     }
 
     // ---- approval decisions ----
@@ -847,14 +869,11 @@ impl Database {
                 } => {
                     // §3.2: deleted tuples go to the log *with* the
                     // annotation explaining why
-                    let rows =
-                        self.do_delete(&table, where_clause.as_ref(), user, Some(value))?;
+                    let rows = self.do_delete(&table, where_clause.as_ref(), user, Some(value))?;
                     let n = rows.len();
                     return Ok(QueryResult {
                         affected: n,
-                        message: Some(format!(
-                            "{n} tuple(s) deleted and logged with annotation"
-                        )),
+                        message: Some(format!("{n} tuple(s) deleted and logged with annotation")),
                         ..Default::default()
                     });
                 }
@@ -912,9 +931,9 @@ impl Database {
             }
             self.check_ann_write(user, t, s)?;
             let table = self.catalog.table_mut(t)?;
-            let set = table.ann_set_mut(s).ok_or_else(|| {
-                BdbmsError::NotFound(format!("annotation table `{s}` on `{t}`"))
-            })?;
+            let set = table
+                .ann_set_mut(s)
+                .ok_or_else(|| BdbmsError::NotFound(format!("annotation table `{s}` on `{t}`")))?;
             changed += set.set_archived(&cells, between, archive);
         }
         Ok(QueryResult::message(format!(
@@ -960,7 +979,6 @@ impl Database {
     ) -> Result<QueryResult> {
         let owner = self.catalog.table(table)?.owner.clone();
         self.auth.check(user, table, &owner, Privilege::Update)?;
-        let bindings = self.bindings_for(table)?;
         let t = self.catalog.table(table)?;
         let cols: Vec<usize> = if columns.is_empty() {
             (0..t.schema.arity()).collect()
@@ -970,16 +988,10 @@ impl Database {
                 .map(|c| t.schema.require(c))
                 .collect::<Result<_>>()?
         };
-        let mut targets = Vec::new();
-        for (row_no, values) in t.scan()? {
-            let keep = match where_clause {
-                None => true,
-                Some(p) => eval(p, &bindings, &values)?.is_true(),
-            };
-            if keep {
-                targets.push(row_no);
-            }
-        }
+        let targets: Vec<u64> = plan::filter_rows(t, &t.name, where_clause)?
+            .into_iter()
+            .map(|(row_no, _)| row_no)
+            .collect();
         let t = self.catalog.table_mut(table)?;
         let mut cleared = 0;
         for row_no in targets {
@@ -1032,7 +1044,12 @@ impl Database {
         col: usize,
         at: u64,
     ) -> Result<Option<ProvenanceRecord>> {
-        Ok(provenance::source_of(self.catalog.table(table)?, row, col, at))
+        Ok(provenance::source_of(
+            self.catalog.table(table)?,
+            row,
+            col,
+            at,
+        ))
     }
 
     /// Full provenance history of a cell.

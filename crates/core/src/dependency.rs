@@ -109,11 +109,7 @@ impl DependencyManager {
     }
 
     /// Register the body of an executable procedure.
-    pub fn register_procedure(
-        &mut self,
-        name: &str,
-        f: impl Fn(&[Value]) -> Value + 'static,
-    ) {
+    pub fn register_procedure(&mut self, name: &str, f: impl Fn(&[Value]) -> Value + 'static) {
         self.procedures.insert(name.to_string(), Rc::new(f));
     }
 
@@ -375,7 +371,10 @@ mod tests {
         assert_eq!(d.src, vec![("gene".to_string(), "gsequence".to_string())]);
         assert_eq!(d.dst, ("protein".to_string(), "pfunction".to_string()));
         assert_eq!(d.chain, vec!["P".to_string(), "lab-experiment".to_string()]);
-        assert!(!d.executable, "chain with a lab experiment is non-executable");
+        assert!(
+            !d.executable,
+            "chain with a lab experiment is non-executable"
+        );
         assert!(!d.invertible);
     }
 
@@ -442,9 +441,7 @@ mod tests {
     #[test]
     fn procedures_registry() {
         let mut m = DependencyManager::new();
-        m.register_procedure("P", |args| {
-            Value::Text(format!("translated:{}", args[0]))
-        });
+        m.register_procedure("P", |args| Value::Text(format!("translated:{}", args[0])));
         let f = m.procedure("P").unwrap();
         assert_eq!(
             f(&[Value::Text("ATG".into())]),

@@ -212,8 +212,7 @@ fn eval_binary(
     let lv = eval(l, bindings, values)?;
     let rv = eval(r, bindings, values)?;
     match op {
-        BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt
-        | BinaryOp::Ge => {
+        BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => {
             let cmp = lv.sql_cmp(&rv);
             let Some(ord) = cmp else {
                 return Ok(Value::Null);
@@ -310,10 +309,7 @@ fn eval_function(name: &str, args: &[Value]) -> Result<Value> {
             match &args[0] {
                 Value::Null => Ok(Value::Null),
                 Value::Text(s) => Ok(Value::Int(s.chars().count() as i64)),
-                other => Err(BdbmsError::Eval(format!(
-                    "LENGTH of {}",
-                    other.type_name()
-                ))),
+                other => Err(BdbmsError::Eval(format!("LENGTH of {}", other.type_name()))),
             }
         }
         "UPPER" | "LOWER" => {
@@ -376,16 +372,16 @@ pub fn like_match(s: &str, pattern: &str) -> Result<bool> {
             c => re.push(c),
         }
     }
-    let compiled = Regex::compile(&re)
-        .map_err(|e| BdbmsError::Eval(format!("bad LIKE pattern: {e}")))?;
+    let compiled =
+        Regex::compile(&re).map_err(|e| BdbmsError::Eval(format!("bad LIKE pattern: {e}")))?;
     Ok(compiled.is_match(s.as_bytes()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse;
     use crate::ast::Statement;
+    use crate::parser::parse;
 
     fn where_expr(sql: &str) -> Expr {
         match parse(&format!("SELECT * FROM t WHERE {sql}")).unwrap() {

@@ -56,8 +56,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             let mut is_float = false;
-            if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())
-            {
+            if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
                 is_float = true;
                 i += 1;
                 while i < b.len() && b[i].is_ascii_digit() {
@@ -95,9 +94,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
             i += 1;
             loop {
                 match b.get(i) {
-                    None => {
-                        return Err(BdbmsError::Parse("unterminated string literal".into()))
-                    }
+                    None => return Err(BdbmsError::Parse("unterminated string literal".into())),
                     Some(b'\'') if b.get(i + 1) == Some(&b'\'') => {
                         s.push('\'');
                         i += 2;
@@ -166,8 +163,7 @@ mod tests {
 
     #[test]
     fn keywords_strings_numbers() {
-        let toks = lex("SELECT GID FROM DB1_Gene WHERE E = 2e-04 AND n >= 3.5 -- tail")
-            .unwrap();
+        let toks = lex("SELECT GID FROM DB1_Gene WHERE E = 2e-04 AND n >= 3.5 -- tail").unwrap();
         assert!(toks[0].is_kw("select"));
         assert!(toks.contains(&Token::Float(2e-4)));
         assert!(toks.contains(&Token::Sym(">=")));
@@ -196,9 +192,7 @@ mod tests {
     fn operators() {
         let toks = lex("a<>b != c || d").unwrap();
         assert_eq!(
-            toks.iter()
-                .filter(|t| matches!(t, Token::Sym(_)))
-                .count(),
+            toks.iter().filter(|t| matches!(t, Token::Sym(_))).count(),
             3
         );
         assert!(toks.contains(&Token::Sym("||")));

@@ -50,6 +50,7 @@ pub mod executor;
 pub mod expr;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod provenance;
 pub mod result;
 pub mod xml;

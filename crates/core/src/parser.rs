@@ -22,8 +22,23 @@ pub fn parse(input: &str) -> Result<Statement> {
 
 /// Keywords that terminate a table alias position.
 const CLAUSE_KEYWORDS: &[&str] = &[
-    "WHERE", "AWHERE", "GROUP", "HAVING", "AHAVING", "FILTER", "ORDER", "INTERSECT", "UNION",
-    "EXCEPT", "ON", "SET", "VALUES", "ANNOTATION", "JOIN", "AND", "BETWEEN",
+    "WHERE",
+    "AWHERE",
+    "GROUP",
+    "HAVING",
+    "AHAVING",
+    "FILTER",
+    "ORDER",
+    "INTERSECT",
+    "UNION",
+    "EXCEPT",
+    "ON",
+    "SET",
+    "VALUES",
+    "ANNOTATION",
+    "JOIN",
+    "AND",
+    "BETWEEN",
 ];
 
 struct Parser {
@@ -190,6 +205,19 @@ impl Parser {
                 cell_scheme,
             });
         }
+        if self.accept_kw("INDEX") {
+            let name = self.ident()?;
+            self.expect_kw("ON")?;
+            let table = self.ident()?;
+            self.expect_sym("(")?;
+            let column = self.ident()?;
+            self.expect_sym(")")?;
+            return Ok(Statement::CreateIndex {
+                name,
+                table,
+                column,
+            });
+        }
         if self.accept_kw("USER") {
             let name = self.ident()?;
             let mut groups = Vec::new();
@@ -249,7 +277,7 @@ impl Parser {
                 link,
             });
         }
-        Err(self.err_here("TABLE, ANNOTATION TABLE, USER, or DEPENDENCY RULE"))
+        Err(self.err_here("TABLE, INDEX, ANNOTATION TABLE, USER, or DEPENDENCY RULE"))
     }
 
     /// `table.column` (both parts required here).
@@ -263,7 +291,9 @@ impl Parser {
     fn drop_stmt(&mut self) -> Result<Statement> {
         self.expect_kw("DROP")?;
         if self.accept_kw("TABLE") {
-            return Ok(Statement::DropTable { name: self.ident()? });
+            return Ok(Statement::DropTable {
+                name: self.ident()?,
+            });
         }
         if self.accept_kw("ANNOTATION") {
             self.expect_kw("TABLE")?;
@@ -272,11 +302,19 @@ impl Parser {
             let on = self.ident()?;
             return Ok(Statement::DropAnnotationTable { name, on });
         }
+        if self.accept_kw("INDEX") {
+            let name = self.ident()?;
+            self.expect_kw("ON")?;
+            let table = self.ident()?;
+            return Ok(Statement::DropIndex { name, table });
+        }
         if self.accept_kw("DEPENDENCY") {
             self.expect_kw("RULE")?;
-            return Ok(Statement::DropDependencyRule { name: self.ident()? });
+            return Ok(Statement::DropDependencyRule {
+                name: self.ident()?,
+            });
         }
-        Err(self.err_here("TABLE, ANNOTATION TABLE, or DEPENDENCY RULE"))
+        Err(self.err_here("TABLE, INDEX, ANNOTATION TABLE, or DEPENDENCY RULE"))
     }
 
     /// `t.a` pairs for ADD/ARCHIVE/RESTORE ANNOTATION.
@@ -677,9 +715,7 @@ impl Parser {
             self.expect_sym(")")?;
         }
         let alias = match self.peek() {
-            Some(Token::Ident(s))
-                if !CLAUSE_KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)) =>
-            {
+            Some(Token::Ident(s)) if !CLAUSE_KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)) => {
                 let a = s.clone();
                 self.pos += 1;
                 Some(a)
@@ -969,6 +1005,30 @@ mod tests {
     }
 
     #[test]
+    fn create_and_drop_index() {
+        assert_eq!(
+            parse("CREATE INDEX gid_idx ON Gene (GID)").unwrap(),
+            Statement::CreateIndex {
+                name: "gid_idx".into(),
+                table: "Gene".into(),
+                column: "GID".into(),
+            }
+        );
+        assert_eq!(
+            parse("DROP INDEX gid_idx ON Gene").unwrap(),
+            Statement::DropIndex {
+                name: "gid_idx".into(),
+                table: "Gene".into(),
+            }
+        );
+        assert!(
+            parse("CREATE INDEX i ON t").is_err(),
+            "column list required"
+        );
+        assert!(parse("DROP INDEX i").is_err(), "table required");
+    }
+
+    #[test]
     fn create_annotation_table_fig4() {
         let s = parse("CREATE ANNOTATION TABLE GAnnotation ON DB2_Gene").unwrap();
         assert_eq!(
@@ -982,7 +1042,10 @@ mod tests {
         let s = parse("CREATE ANNOTATION TABLE A ON T SCHEME CELL").unwrap();
         assert!(matches!(
             s,
-            Statement::CreateAnnotationTable { cell_scheme: true, .. }
+            Statement::CreateAnnotationTable {
+                cell_scheme: true,
+                ..
+            }
         ));
         let s = parse("DROP ANNOTATION TABLE GAnnotation ON DB2_Gene").unwrap();
         assert!(matches!(s, Statement::DropAnnotationTable { .. }));
@@ -999,7 +1062,10 @@ mod tests {
         .unwrap();
         match s {
             Statement::AddAnnotation { to, value, on } => {
-                assert_eq!(to, vec![("DB2_Gene".to_string(), "GAnnotation".to_string())]);
+                assert_eq!(
+                    to,
+                    vec![("DB2_Gene".to_string(), "GAnnotation".to_string())]
+                );
                 assert!(value.contains("GenoBase"));
                 match on {
                     AnnTarget::Select(sel) => {
@@ -1022,7 +1088,10 @@ mod tests {
         )
         .unwrap();
         match s {
-            Statement::AddAnnotation { on: AnnTarget::Select(sel), .. } => {
+            Statement::AddAnnotation {
+                on: AnnTarget::Select(sel),
+                ..
+            } => {
                 assert!(matches!(sel.projection, Projection::Star(Some(_))));
                 assert!(sel.where_clause.is_some());
             }
@@ -1121,10 +1190,8 @@ mod tests {
 
     #[test]
     fn approval_fig11() {
-        let s = parse(
-            "START CONTENT APPROVAL ON Gene COLUMNS GSequence APPROVED BY labadmin",
-        )
-        .unwrap();
+        let s =
+            parse("START CONTENT APPROVAL ON Gene COLUMNS GSequence APPROVED BY labadmin").unwrap();
         assert_eq!(
             s,
             Statement::StartContentApproval {
@@ -1220,7 +1287,9 @@ mod tests {
 
     #[test]
     fn expressions() {
-        let s = parse("SELECT * FROM T WHERE NOT (a + 1 >= 2 * b) AND c LIKE 'JW%' OR d IS NOT NULL").unwrap();
+        let s =
+            parse("SELECT * FROM T WHERE NOT (a + 1 >= 2 * b) AND c LIKE 'JW%' OR d IS NOT NULL")
+                .unwrap();
         assert!(matches!(s, Statement::Select(_)));
         let s = parse("SELECT LENGTH(GSequence), COUNT(*) FROM G GROUP BY GID").unwrap();
         assert!(matches!(s, Statement::Select(_)));

@@ -1,0 +1,468 @@
+//! Scan planning: conjunct splitting, predicate-pushdown classification,
+//! and index access-path selection.
+//!
+//! The streaming executor (see [`crate::executor`]) plans each FROM
+//! source before any tuple is materialized:
+//!
+//! 1. the WHERE clause is split into top-level conjuncts
+//!    ([`split_conjuncts`]);
+//! 2. each conjunct whose columns all resolve inside one source is
+//!    *pushed down* to that source's scan ([`classify_conjuncts`]), so
+//!    non-qualifying tuples are dropped before joins and before any
+//!    annotation is attached;
+//! 3. a pushed conjunct of the shape `column ⟨cmp⟩ constant` over an
+//!    indexed column turns the scan into a B+-tree probe
+//!    ([`choose_probe`]) instead of a full heap scan.
+//!
+//! Index probes are deliberately *approximate*: bounds are widened to
+//! inclusive and the originating conjunct is still re-evaluated on every
+//! candidate row, because [`Value`]'s total order (used as the tree key
+//! order) coarsens SQL comparison on numeric edge cases (the float
+//! interleave collapses `i64` values beyond 2^53).  Widening keeps the
+//! candidate set a superset of the true result; re-evaluation trims the
+//! false positives.
+
+use std::ops::Bound;
+
+use bdbms_common::{DataType, Result, Value};
+
+use crate::ast::{BinaryOp, Expr};
+use crate::catalog::Table;
+use crate::expr::{eval, referenced_columns, ColBinding};
+
+/// Split a predicate into its top-level conjuncts, in evaluation order.
+pub fn split_conjuncts(e: &Expr) -> Vec<Expr> {
+    fn walk(e: &Expr, out: &mut Vec<Expr>) {
+        match e {
+            Expr::Binary(a, BinaryOp::And, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    let mut out = Vec::new();
+    walk(e, &mut out);
+    out
+}
+
+/// Where a conjunct may be evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConjunctSite {
+    /// All referenced columns live in one source: evaluate at its scan.
+    Source(usize),
+    /// Spans sources (or does not resolve cleanly): evaluate after joins.
+    Residual,
+}
+
+/// Decide, for one conjunct, whether it can run at a single source's
+/// scan.  `segments` gives each source's `(offset, arity)` within the
+/// joined binding list.  Conjuncts that reference no column at all are
+/// assigned to source 0 (they are constant; filtering the first scan
+/// preserves the cross-product semantics).  Conjuncts whose columns do
+/// not resolve are left residual so the original evaluation-time error
+/// behavior is preserved.
+pub fn classify_conjunct(
+    conjunct: &Expr,
+    bindings: &[ColBinding],
+    segments: &[(usize, usize)],
+) -> ConjunctSite {
+    let mut cols = Vec::new();
+    if referenced_columns(conjunct, bindings, &mut cols).is_err() {
+        return ConjunctSite::Residual;
+    }
+    if cols.is_empty() {
+        return ConjunctSite::Source(0);
+    }
+    for (i, &(off, arity)) in segments.iter().enumerate() {
+        if cols.iter().all(|&c| c >= off && c < off + arity) {
+            return ConjunctSite::Source(i);
+        }
+    }
+    ConjunctSite::Residual
+}
+
+/// The access path chosen for one source's scan.
+#[derive(Debug, Clone)]
+pub enum Probe {
+    /// Walk every live row.
+    FullScan,
+    /// The pushed predicate compares against NULL: no row can qualify.
+    Empty,
+    /// B+-tree probe over `column` (source-local position) with the given
+    /// key bounds; candidates still re-checked against the predicate.
+    Index {
+        /// Source-local column position.
+        column: usize,
+        /// Lower key bound (inclusive or unbounded — see module docs).
+        lo: Bound<Value>,
+        /// Upper key bound (inclusive or unbounded).
+        hi: Bound<Value>,
+    },
+}
+
+/// Is an index over a column of type `col` usable for a probe with a
+/// constant of type `key`?  Requires that SQL comparison agree with the
+/// B+-tree's total value order (up to the inclusive-bound widening).
+fn probe_types_compatible(col: DataType, key: DataType) -> bool {
+    use DataType::*;
+    let numeric = |t: DataType| matches!(t, Int | Float | Timestamp);
+    col == key || (numeric(col) && numeric(key))
+}
+
+/// Evaluate an expression that references no columns to a constant.
+fn const_fold(e: &Expr) -> Option<Value> {
+    eval(e, &[], &[]).ok()
+}
+
+/// Accumulated inclusive bounds for one indexed column.
+#[derive(Default)]
+struct ColBounds {
+    lo: Option<Value>,
+    hi: Option<Value>,
+    has_eq: bool,
+}
+
+impl ColBounds {
+    /// Tighten with another inclusive bound (keep the larger lower /
+    /// smaller upper — SQL comparison and the tree's total order agree
+    /// closely enough that picking by total order plus the residual
+    /// re-check stays a superset).
+    fn tighten_lo(&mut self, key: Value) {
+        match &self.lo {
+            Some(cur) if *cur >= key => {}
+            _ => self.lo = Some(key),
+        }
+    }
+    fn tighten_hi(&mut self, key: Value) {
+        match &self.hi {
+            Some(cur) if *cur <= key => {}
+            _ => self.hi = Some(key),
+        }
+    }
+}
+
+/// Pick an index access path for one source given its pushed conjuncts.
+///
+/// All usable `column ⟨cmp⟩ constant` conjuncts over indexed columns are
+/// collected and their bounds intersected per column (so `k >= a AND
+/// k < b` probes the `[a, b]` range, not `[a, ∞)`); a column with an
+/// equality wins over range-only columns.  `local_bindings` are the
+/// source's own bindings, so resolved positions are source-local.
+pub fn choose_probe(table: &Table, local_bindings: &[ColBinding], pushed: &[Expr]) -> Probe {
+    // per-column accumulated bounds, in first-seen order
+    let mut cols: Vec<(usize, ColBounds)> = Vec::new();
+    for conjunct in pushed {
+        let Expr::Binary(l, op, r) = conjunct else {
+            continue;
+        };
+        // only comparison conjuncts constrain an index — in particular
+        // the NULL shortcut below is valid for `col ⟨cmp⟩ NULL` but NOT
+        // for e.g. `col OR NULL`, which can still be true
+        if !matches!(
+            op,
+            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        ) {
+            continue;
+        }
+        // column on one side, constant expression on the other
+        let sides = [(l, *op, r), (r, mirror(*op), l)];
+        for (col_side, op, const_side) in sides {
+            let Expr::Column(q, n) = &**col_side else {
+                continue;
+            };
+            let Ok(col) = crate::expr::resolve_column(local_bindings, q.as_deref(), n) else {
+                continue;
+            };
+            let mut const_cols = Vec::new();
+            if referenced_columns(const_side, local_bindings, &mut const_cols).is_err()
+                || !const_cols.is_empty()
+            {
+                continue;
+            }
+            let Some(key) = const_fold(const_side) else {
+                continue;
+            };
+            if table.index_on(col).is_none() {
+                continue;
+            }
+            if key.is_null() {
+                // `col ⟨cmp⟩ NULL` is never true, and the conjunct must
+                // hold for a row to survive: the scan is provably empty
+                return Probe::Empty;
+            }
+            let key_ty = key.data_type().expect("non-null");
+            if !probe_types_compatible(table.schema.columns()[col].ty, key_ty) {
+                continue;
+            }
+            let pos = match cols.iter().position(|(c, _)| *c == col) {
+                Some(p) => p,
+                None => {
+                    cols.push((col, ColBounds::default()));
+                    cols.len() - 1
+                }
+            };
+            let entry = &mut cols[pos].1;
+            // bounds widened to inclusive: see module docs
+            match op {
+                BinaryOp::Eq => {
+                    entry.tighten_lo(key.clone());
+                    entry.tighten_hi(key);
+                    entry.has_eq = true;
+                }
+                BinaryOp::Gt | BinaryOp::Ge => entry.tighten_lo(key),
+                BinaryOp::Lt | BinaryOp::Le => entry.tighten_hi(key),
+                _ => {}
+            }
+            break; // a conjunct constrains via at most one side
+        }
+    }
+    let pick = cols.iter().find(|(_, b)| b.has_eq).or_else(|| cols.first());
+    match pick {
+        Some((col, b)) if b.lo.is_some() || b.hi.is_some() => Probe::Index {
+            column: *col,
+            lo: b.lo.clone().map_or(Bound::Unbounded, Bound::Included),
+            hi: b.hi.clone().map_or(Bound::Unbounded, Bound::Included),
+        },
+        _ => Probe::FullScan,
+    }
+}
+
+/// Mirror a comparison so `const ⟨cmp⟩ col` reads as `col ⟨cmp'⟩ const`.
+fn mirror(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::Le => BinaryOp::Ge,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::Ge => BinaryOp::Le,
+        other => other,
+    }
+}
+
+/// Filter one table's rows by a predicate, using conjunct pushdown and
+/// any usable index.  This is the shared row-selection path for
+/// annotation targeting (`select_cells`), UPDATE, DELETE, and VALIDATE —
+/// the same planning the executor applies to SELECT scans.
+///
+/// Returns `(row_no, values)` pairs in row-number order (identical to a
+/// filtered full scan).
+pub fn filter_rows(
+    table: &Table,
+    qualifier: &str,
+    where_clause: Option<&Expr>,
+) -> Result<Vec<(u64, Vec<Value>)>> {
+    let bindings: Vec<ColBinding> = table
+        .schema
+        .columns()
+        .iter()
+        .map(|c| ColBinding::new(Some(qualifier), &c.name))
+        .collect();
+    let Some(pred) = where_clause else {
+        return table.scan();
+    };
+    // conjuncts that fail to resolve keep the whole predicate residual so
+    // evaluation-time errors surface exactly as they would on a full scan
+    let conjuncts = {
+        let cs = split_conjuncts(pred);
+        let mut cols = Vec::new();
+        if cs
+            .iter()
+            .any(|c| referenced_columns(c, &bindings, &mut cols).is_err())
+        {
+            vec![pred.clone()]
+        } else {
+            cs
+        }
+    };
+    let probe = choose_probe(table, &bindings, &conjuncts);
+    let mut out = Vec::new();
+    let mut keep_row = |row_no: u64, values: Vec<Value>| -> Result<()> {
+        for c in &conjuncts {
+            if !eval(c, &bindings, &values)?.is_true() {
+                return Ok(());
+            }
+        }
+        out.push((row_no, values));
+        Ok(())
+    };
+    match probe {
+        Probe::Empty => {}
+        Probe::Index { column, lo, hi } => {
+            let idx = table.index_on(column).expect("probe chose an index");
+            for row_no in idx.probe(as_ref_bound(&lo), as_ref_bound(&hi)) {
+                let values = table.get(row_no)?;
+                keep_row(row_no, values)?;
+            }
+        }
+        Probe::FullScan => {
+            for entry in table.iter_rows() {
+                let (row_no, values) = entry?;
+                keep_row(row_no, values)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Borrow a bound's key.
+pub fn as_ref_bound(b: &Bound<Value>) -> Bound<&Value> {
+    match b {
+        Bound::Included(v) => Bound::Included(v),
+        Bound::Excluded(v) => Bound::Excluded(v),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Statement;
+    use crate::parser::parse;
+    use bdbms_common::Schema;
+    use bdbms_storage::{BufferPool, MemStore};
+    use std::sync::Arc;
+
+    fn where_of(sql: &str) -> Expr {
+        match parse(sql).unwrap() {
+            Statement::Select(s) => s.where_clause.unwrap(),
+            _ => panic!(),
+        }
+    }
+
+    fn test_table(with_index: bool) -> Table {
+        let mut t = Table::create(
+            "G",
+            Schema::of(&[
+                ("GID", DataType::Text),
+                ("len", DataType::Int),
+                ("score", DataType::Float),
+            ]),
+            "admin",
+            Arc::new(BufferPool::new(Box::new(MemStore::new()), 64)),
+        )
+        .unwrap();
+        for i in 0..100i64 {
+            t.insert(vec![
+                Value::Text(format!("JW{i:04}")),
+                Value::Int(i),
+                Value::Float(i as f64 / 2.0),
+            ])
+            .unwrap();
+        }
+        if with_index {
+            t.create_index("len_idx", "len").unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn conjunct_splitting_preserves_order() {
+        let e = where_of("SELECT * FROM t WHERE a = 1 AND b = 2 AND (c = 3 OR d = 4)");
+        let cs = split_conjuncts(&e);
+        assert_eq!(cs.len(), 3);
+        assert!(matches!(&cs[2], Expr::Binary(_, BinaryOp::Or, _)));
+    }
+
+    #[test]
+    fn classification_by_segment() {
+        let bindings = vec![
+            ColBinding::new(Some("a"), "x"),
+            ColBinding::new(Some("a"), "y"),
+            ColBinding::new(Some("b"), "z"),
+        ];
+        let segs = [(0, 2), (2, 1)];
+        let c = where_of("SELECT * FROM t WHERE a.x = 1 AND a.y = a.x");
+        for conj in split_conjuncts(&c) {
+            assert_eq!(
+                classify_conjunct(&conj, &bindings, &segs),
+                ConjunctSite::Source(0)
+            );
+        }
+        let c = where_of("SELECT * FROM t WHERE b.z = 1");
+        assert_eq!(
+            classify_conjunct(&c, &bindings, &segs),
+            ConjunctSite::Source(1)
+        );
+        let c = where_of("SELECT * FROM t WHERE a.x = b.z");
+        assert_eq!(
+            classify_conjunct(&c, &bindings, &segs),
+            ConjunctSite::Residual
+        );
+        let c = where_of("SELECT * FROM t WHERE 1 = 2");
+        assert_eq!(
+            classify_conjunct(&c, &bindings, &segs),
+            ConjunctSite::Source(0)
+        );
+        let c = where_of("SELECT * FROM t WHERE missing = 1");
+        assert_eq!(
+            classify_conjunct(&c, &bindings, &segs),
+            ConjunctSite::Residual
+        );
+    }
+
+    #[test]
+    fn probe_selection_prefers_equality() {
+        let t = test_table(true);
+        let bindings: Vec<ColBinding> = t
+            .schema
+            .columns()
+            .iter()
+            .map(|c| ColBinding::new(Some("g"), &c.name))
+            .collect();
+        let cs = split_conjuncts(&where_of(
+            "SELECT * FROM g WHERE len > 5 AND len = 42 AND GID LIKE 'JW%'",
+        ));
+        match choose_probe(&t, &bindings, &cs) {
+            Probe::Index { column, lo, hi } => {
+                assert_eq!(column, 1);
+                assert_eq!(lo, Bound::Included(Value::Int(42)));
+                assert_eq!(hi, Bound::Included(Value::Int(42)));
+            }
+            other => panic!("expected equality probe, got {other:?}"),
+        }
+        // no index on score → full scan
+        let cs = split_conjuncts(&where_of("SELECT * FROM g WHERE score = 1.0"));
+        assert!(matches!(choose_probe(&t, &bindings, &cs), Probe::FullScan));
+        // reversed sides and ranges
+        let cs = split_conjuncts(&where_of("SELECT * FROM g WHERE 10 >= len"));
+        assert!(matches!(
+            choose_probe(&t, &bindings, &cs),
+            Probe::Index {
+                column: 1,
+                lo: Bound::Unbounded,
+                hi: Bound::Included(Value::Int(10))
+            }
+        ));
+        // NULL comparison → provably empty
+        let cs = split_conjuncts(&where_of("SELECT * FROM g WHERE len = NULL"));
+        assert!(matches!(choose_probe(&t, &bindings, &cs), Probe::Empty));
+        // non-comparison operators never constrain (and never trip the
+        // NULL shortcut: `len OR NULL` can still be true)
+        let cs = split_conjuncts(&where_of("SELECT * FROM g WHERE len OR NULL"));
+        assert!(matches!(choose_probe(&t, &bindings, &cs), Probe::FullScan));
+        let cs = split_conjuncts(&where_of("SELECT * FROM g WHERE len + NULL"));
+        assert!(matches!(choose_probe(&t, &bindings, &cs), Probe::FullScan));
+        // type-incompatible constant → no index
+        let cs = split_conjuncts(&where_of("SELECT * FROM g WHERE len = 'JW'"));
+        assert!(matches!(choose_probe(&t, &bindings, &cs), Probe::FullScan));
+    }
+
+    #[test]
+    fn filter_rows_matches_full_scan() {
+        let indexed = test_table(true);
+        let naive = test_table(false);
+        for sql in [
+            "SELECT * FROM g WHERE len = 42",
+            "SELECT * FROM g WHERE len > 90 AND G.GID LIKE 'JW%'",
+            "SELECT * FROM g WHERE len >= 95 OR len < 2",
+            "SELECT * FROM g WHERE len * 2 = 10",
+            "SELECT * FROM g WHERE score > 40.0",
+        ] {
+            let pred = where_of(sql);
+            let a = filter_rows(&indexed, "G", Some(&pred)).unwrap();
+            let b = filter_rows(&naive, "G", Some(&pred)).unwrap();
+            assert_eq!(a, b, "{sql}");
+        }
+        assert_eq!(filter_rows(&indexed, "G", None).unwrap().len(), 100);
+    }
+}

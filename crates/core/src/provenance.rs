@@ -89,22 +89,18 @@ impl ProvenanceRecord {
     pub fn from_xml(body: &XmlNode, created: u64) -> Result<ProvenanceRecord> {
         let source = body
             .path_text("/Annotation/source")
-            .ok_or_else(|| {
-                BdbmsError::Invalid("provenance body missing <source>".into())
-            })?
+            .ok_or_else(|| BdbmsError::Invalid("provenance body missing <source>".into()))?
             .to_string();
-        let op_text = body.path_text("/Annotation/operation").ok_or_else(|| {
-            BdbmsError::Invalid("provenance body missing <operation>".into())
-        })?;
+        let op_text = body
+            .path_text("/Annotation/operation")
+            .ok_or_else(|| BdbmsError::Invalid("provenance body missing <operation>".into()))?;
         let operation = ProvOp::parse(op_text).ok_or_else(|| {
             BdbmsError::Invalid(format!("unknown provenance operation `{op_text}`"))
         })?;
         Ok(ProvenanceRecord {
             source,
             operation,
-            program: body
-                .path_text("/Annotation/program")
-                .map(|s| s.to_string()),
+            program: body.path_text("/Annotation/program").map(|s| s.to_string()),
             time: created,
         })
     }
@@ -185,7 +181,14 @@ mod tests {
         t
     }
 
-    fn record(table: &mut Table, time: u64, source: &str, op: ProvOp, rows: &[u64], cols: &[usize]) {
+    fn record(
+        table: &mut Table,
+        time: u64,
+        source: &str,
+        op: ProvOp,
+        rows: &[u64],
+        cols: &[usize],
+    ) {
         let rec = ProvenanceRecord {
             source: source.to_string(),
             operation: op,

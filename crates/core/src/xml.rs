@@ -316,8 +316,7 @@ mod tests {
 
     #[test]
     fn full_text_gathers_subtree() {
-        let n =
-            XmlNode::parse("<a>top<b>left</b><c><d>deep</d></c></a>").unwrap();
+        let n = XmlNode::parse("<a>top<b>left</b><c><d>deep</d></c></a>").unwrap();
         assert_eq!(n.full_text(), "top left deep");
     }
 
@@ -325,7 +324,10 @@ mod tests {
     fn builders() {
         let n = XmlNode::elem(
             "Annotation",
-            vec![XmlNode::leaf("source", "GenoBase"), XmlNode::leaf("kind", "lineage")],
+            vec![
+                XmlNode::leaf("source", "GenoBase"),
+                XmlNode::leaf("kind", "lineage"),
+            ],
         );
         assert_eq!(n.path_text("/Annotation/source"), Some("GenoBase"));
         let parsed = XmlNode::parse(&n.to_xml()).unwrap();

@@ -135,9 +135,7 @@ fn selection_passes_all_annotations_of_selected_tuples() {
     // results in reporting the first tuple along with B1, B3, and B5"
     let mut db = figure2_db();
     let qr = db
-        .execute(
-            "SELECT * FROM DB2_Gene ANNOTATION(GAnnotation) WHERE GID = 'JW0080'",
-        )
+        .execute("SELECT * FROM DB2_Gene ANNOTATION(GAnnotation) WHERE GID = 'JW0080'")
         .unwrap();
     assert_eq!(qr.rows.len(), 1);
     let all: Vec<String> = {
@@ -188,11 +186,11 @@ fn promote_copies_annotations_onto_projected_column() {
     // loses A3 (it lives on GSequence); PROMOTE(GSequence) keeps it.
     let mut db = figure2_db();
     let without = db
-        .execute(
-            "SELECT GID FROM DB1_Gene ANNOTATION(GAnnotation) WHERE GID = 'JW0080'",
-        )
+        .execute("SELECT GID FROM DB1_Gene ANNOTATION(GAnnotation) WHERE GID = 'JW0080'")
         .unwrap();
-    assert!(!ann_texts(&without, 0, 0).iter().any(|a| a.starts_with("A3")));
+    assert!(!ann_texts(&without, 0, 0)
+        .iter()
+        .any(|a| a.starts_with("A3")));
     let with = db
         .execute(
             "SELECT GID PROMOTE (GSequence) FROM DB1_Gene ANNOTATION(GAnnotation) \
@@ -243,7 +241,8 @@ fn annotation_predicates_path_from_before_after() {
     db.execute("CREATE TABLE T (id INT, v TEXT)").unwrap();
     db.execute("CREATE ANNOTATION TABLE prov ON T").unwrap();
     db.execute("CREATE ANNOTATION TABLE comments ON T").unwrap();
-    db.execute("INSERT INTO T VALUES (1, 'x'), (2, 'y')").unwrap();
+    db.execute("INSERT INTO T VALUES (1, 'x'), (2, 'y')")
+        .unwrap();
     db.execute(
         "ADD ANNOTATION TO T.prov \
          VALUE '<Annotation><source>RegulonDB</source></Annotation>' \
@@ -266,9 +265,7 @@ fn annotation_predicates_path_from_before_after() {
     assert_eq!(qr.rows[0].values[0].to_string(), "1");
     // FROM predicate (category selection)
     let qr = db
-        .execute(
-            "SELECT id FROM T ANNOTATION(prov, comments) AWHERE FROM comments",
-        )
+        .execute("SELECT id FROM T ANNOTATION(prov, comments) AWHERE FROM comments")
         .unwrap();
     assert_eq!(qr.rows[0].values[0].to_string(), "2");
     // BEFORE/AFTER over creation timestamps
@@ -337,12 +334,11 @@ fn archive_with_time_window() {
 #[test]
 fn group_by_unions_annotations_and_ahaving() {
     let mut db = Database::new_in_memory();
-    db.execute("CREATE TABLE Hits (gene TEXT, score INT)").unwrap();
+    db.execute("CREATE TABLE Hits (gene TEXT, score INT)")
+        .unwrap();
     db.execute("CREATE ANNOTATION TABLE note ON Hits").unwrap();
-    db.execute(
-        "INSERT INTO Hits VALUES ('g1', 10), ('g1', 20), ('g2', 5), ('g2', 7), ('g3', 1)",
-    )
-    .unwrap();
+    db.execute("INSERT INTO Hits VALUES ('g1', 10), ('g1', 20), ('g2', 5), ('g2', 7), ('g3', 1)")
+        .unwrap();
     db.execute(
         "ADD ANNOTATION TO Hits.note VALUE 'suspect run' \
          ON (SELECT H.score FROM Hits H WHERE score = 20)",
@@ -381,7 +377,9 @@ fn distinct_unions_annotations() {
     // annotate all, then one cell)
     db.execute("ADD ANNOTATION TO T.a VALUE 'both' ON (SELECT G.v FROM T G)")
         .unwrap();
-    let qr = db.execute("SELECT DISTINCT v FROM T ANNOTATION(a)").unwrap();
+    let qr = db
+        .execute("SELECT DISTINCT v FROM T ANNOTATION(a)")
+        .unwrap();
     assert_eq!(qr.rows.len(), 1);
     assert_eq!(ann_texts(&qr, 0, 0), vec!["both"]);
 }
@@ -411,7 +409,11 @@ fn union_and_except() {
     let except = db
         .execute("SELECT GID FROM DB1_Gene EXCEPT SELECT GID FROM DB2_Gene ORDER BY GID")
         .unwrap();
-    let gids: Vec<String> = except.rows.iter().map(|r| r.values[0].to_string()).collect();
+    let gids: Vec<String> = except
+        .rows
+        .iter()
+        .map(|r| r.values[0].to_string())
+        .collect();
     assert_eq!(gids, vec!["JW0078", "JW0082"]);
 }
 
@@ -481,7 +483,8 @@ fn delete_with_annotation_goes_to_log() {
     let mut db = Database::new_in_memory();
     db.execute("CREATE TABLE G (GID TEXT)").unwrap();
     db.execute("CREATE ANNOTATION TABLE why ON G").unwrap();
-    db.execute("INSERT INTO G VALUES ('dead'), ('alive')").unwrap();
+    db.execute("INSERT INTO G VALUES ('dead'), ('alive')")
+        .unwrap();
     db.execute(
         "ADD ANNOTATION TO G.why VALUE 'retracted by journal' \
          ON (DELETE FROM G WHERE GID = 'dead')",
@@ -509,7 +512,9 @@ fn multiple_annotation_tables_categorization() {
     // propagating only one category
     let qr = db.execute("SELECT GID FROM G ANNOTATION(prov)").unwrap();
     assert_eq!(ann_texts(&qr, 0, 0), vec!["from RegulonDB"]);
-    let qr = db.execute("SELECT GID FROM G ANNOTATION(comments)").unwrap();
+    let qr = db
+        .execute("SELECT GID FROM G ANNOTATION(comments)")
+        .unwrap();
     assert_eq!(ann_texts(&qr, 0, 0), vec!["looks off"]);
     let qr = db
         .execute("SELECT GID FROM G ANNOTATION(prov, comments)")
@@ -527,9 +532,7 @@ fn errors_are_reported() {
     db.execute("CREATE TABLE T (x INT)").unwrap();
     assert!(db.execute("SELECT nope FROM T").is_err());
     assert!(db.execute("INSERT INTO T VALUES ('text')").is_err());
-    assert!(db
-        .execute("SELECT x FROM T ANNOTATION(ghost)")
-        .is_err());
+    assert!(db.execute("SELECT x FROM T ANNOTATION(ghost)").is_err());
     assert!(db.execute("CREATE TABLE T (y INT)").is_err());
     assert!(db
         .execute("ADD ANNOTATION TO T.ghost VALUE 'x' ON (SELECT G.x FROM T G)")

@@ -56,10 +56,7 @@ fn figure9_db() -> Database {
 
 /// Toy stand-in for the prediction tool: one residue per codon.
 fn translate(dna: &str) -> String {
-    dna.as_bytes()
-        .chunks(3)
-        .map(|c| c[0] as char)
-        .collect()
+    dna.as_bytes().chunks(3).map(|c| c[0] as char).collect()
 }
 
 fn gene_seq(db: &mut Database, gid: &str) -> String {
@@ -152,7 +149,8 @@ fn non_executable_chain_marks_transitively() {
     // If the prediction tool is NOT registered, PSequence itself is marked
     // outdated, and PFunction is marked transitively (derived Rule 4).
     let mut db = Database::new_in_memory();
-    db.execute("CREATE TABLE Gene (GID TEXT, GSequence TEXT)").unwrap();
+    db.execute("CREATE TABLE Gene (GID TEXT, GSequence TEXT)")
+        .unwrap();
     db.execute("CREATE TABLE Protein (GID TEXT, PSequence TEXT, PFunction TEXT)")
         .unwrap();
     // note: rule says EXECUTABLE but no procedure body is registered →
@@ -186,7 +184,10 @@ fn multi_source_rule_blast_recomputes() {
         .unwrap();
     db.register_procedure("BLAST-2.2.15", |args| {
         // toy E-value: shared prefix length between the two sequences
-        let (a, b) = (args[0].as_text().unwrap_or(""), args[1].as_text().unwrap_or(""));
+        let (a, b) = (
+            args[0].as_text().unwrap_or(""),
+            args[1].as_text().unwrap_or(""),
+        );
         let shared = a.bytes().zip(b.bytes()).take_while(|(x, y)| x == y).count();
         Value::Float(1.0 / (1.0 + shared as f64))
     });
@@ -201,7 +202,8 @@ fn multi_source_rule_blast_recomputes() {
     let qr = db.execute("SELECT Evalue FROM GeneMatching").unwrap();
     assert_eq!(qr.rows[0].values[0], Value::Float(1.0 / 5.0));
     // updating either source recomputes again; nothing is marked outdated
-    db.execute("UPDATE GeneMatching SET Gene2 = 'ATCCTGGTT'").unwrap();
+    db.execute("UPDATE GeneMatching SET Gene2 = 'ATCCTGGTT'")
+        .unwrap();
     let qr = db.execute("SELECT Evalue FROM GeneMatching").unwrap();
     assert_eq!(qr.rows[0].values[0], Value::Float(1.0 / 10.0));
     assert_eq!(db.execute("SHOW OUTDATED").unwrap().rows.len(), 0);
@@ -255,7 +257,11 @@ fn pending_update_visible_then_disapproved_and_undone() {
     // matches the original gene
     let (pseq, _) = protein_row(&mut db, "JW0080");
     assert_eq!(pseq, translate(&original));
-    assert!(db.execute("SHOW PENDING OPERATIONS").unwrap().rows.is_empty());
+    assert!(db
+        .execute("SHOW PENDING OPERATIONS")
+        .unwrap()
+        .rows
+        .is_empty());
 }
 
 #[test]
@@ -309,7 +315,9 @@ fn insert_and_delete_inverses() {
     let id = pending.rows[0].values[0].as_int().unwrap();
     db.execute_as(&format!("DISAPPROVE OPERATION {id}"), "labadmin")
         .unwrap();
-    let qr = db.execute("SELECT GName FROM Gene WHERE GID = 'JW0055'").unwrap();
+    let qr = db
+        .execute("SELECT GName FROM Gene WHERE GID = 'JW0055'")
+        .unwrap();
     assert_eq!(qr.rows[0].values[0].to_string(), "yabP");
 }
 
@@ -323,11 +331,22 @@ fn approver_and_unmonitored_changes_bypass_log() {
         "labadmin",
     )
     .unwrap();
-    assert!(db.execute("SHOW PENDING OPERATIONS").unwrap().rows.is_empty());
+    assert!(db
+        .execute("SHOW PENDING OPERATIONS")
+        .unwrap()
+        .rows
+        .is_empty());
     // updates to unmonitored columns are not logged either
-    db.execute_as("UPDATE Gene SET GName = 'renamed' WHERE GID = 'JW0080'", "alice")
-        .unwrap();
-    assert!(db.execute("SHOW PENDING OPERATIONS").unwrap().rows.is_empty());
+    db.execute_as(
+        "UPDATE Gene SET GName = 'renamed' WHERE GID = 'JW0080'",
+        "alice",
+    )
+    .unwrap();
+    assert!(db
+        .execute("SHOW PENDING OPERATIONS")
+        .unwrap()
+        .rows
+        .is_empty());
     // STOP turns monitoring off entirely
     db.execute("STOP CONTENT APPROVAL ON Gene").unwrap();
     db.execute_as(
@@ -335,7 +354,11 @@ fn approver_and_unmonitored_changes_bypass_log() {
         "alice",
     )
     .unwrap();
-    assert!(db.execute("SHOW PENDING OPERATIONS").unwrap().rows.is_empty());
+    assert!(db
+        .execute("SHOW PENDING OPERATIONS")
+        .unwrap()
+        .rows
+        .is_empty());
 }
 
 #[test]
@@ -389,7 +412,8 @@ fn grant_revoke_enforced() {
 fn figure8_source_queries() {
     let mut db = Database::new_in_memory();
     db.execute("CREATE TABLE T (id INT, v TEXT)").unwrap();
-    db.execute("INSERT INTO T VALUES (1, 'a'), (2, 'b')").unwrap();
+    db.execute("INSERT INTO T VALUES (1, 'a'), (2, 'b')")
+        .unwrap();
     db.enable_provenance("T").unwrap();
     // copy from S2, then program P1 updates, then S3 overwrites column v
     db.record_provenance(
@@ -459,7 +483,8 @@ fn provenance_writes_are_restricted() {
     db.execute("CREATE USER enduser").unwrap();
     db.execute("GRANT SELECT ON T TO enduser").unwrap();
     db.execute("CREATE USER loader").unwrap();
-    db.execute("GRANT SELECT, PROVENANCE ON T TO loader").unwrap();
+    db.execute("GRANT SELECT, PROVENANCE ON T TO loader")
+        .unwrap();
     let stmt = "ADD ANNOTATION TO T.provenance \
                 VALUE '<Annotation><source>S1</source><operation>copy</operation></Annotation>' \
                 ON (SELECT G.id FROM T G)";

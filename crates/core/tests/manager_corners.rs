@@ -45,10 +45,8 @@ fn drop_dependency_rule_stops_cascade() {
     let mut db = Database::new_in_memory();
     db.execute("CREATE TABLE A (k TEXT, v TEXT)").unwrap();
     db.execute("CREATE TABLE B (k TEXT, d TEXT)").unwrap();
-    db.execute(
-        "CREATE DEPENDENCY RULE r FROM A.v TO B.d VIA PROCEDURE 'lab' LINK A.k = B.k",
-    )
-    .unwrap();
+    db.execute("CREATE DEPENDENCY RULE r FROM A.v TO B.d VIA PROCEDURE 'lab' LINK A.k = B.k")
+        .unwrap();
     db.execute("INSERT INTO A VALUES ('x', 'v1')").unwrap();
     db.execute("INSERT INTO B VALUES ('x', 'd1')").unwrap();
     db.execute("UPDATE A SET v = 'v2'").unwrap();
@@ -68,8 +66,10 @@ fn disapproved_insert_with_dependents_marks_stale() {
     // disapproving an INSERT deletes the row; anything derived from it
     // must be invalidated (§6's closing interaction with §5)
     let mut db = Database::new_in_memory();
-    db.execute("CREATE TABLE Gene (GID TEXT, GSequence TEXT)").unwrap();
-    db.execute("CREATE TABLE Protein (GID TEXT, PFunction TEXT)").unwrap();
+    db.execute("CREATE TABLE Gene (GID TEXT, GSequence TEXT)")
+        .unwrap();
+    db.execute("CREATE TABLE Protein (GID TEXT, PFunction TEXT)")
+        .unwrap();
     db.execute(
         "CREATE DEPENDENCY RULE r FROM Gene.GSequence TO Protein.PFunction \
          VIA PROCEDURE 'lab' LINK Gene.GID = Protein.GID",
@@ -81,7 +81,8 @@ fn disapproved_insert_with_dependents_marks_stale() {
     db.execute("START CONTENT APPROVAL ON Gene APPROVED BY labadmin")
         .unwrap();
     // the protein exists first; alice's gene insert is pending
-    db.execute("INSERT INTO Protein VALUES ('g1', 'kinase')").unwrap();
+    db.execute("INSERT INTO Protein VALUES ('g1', 'kinase')")
+        .unwrap();
     db.execute_as("INSERT INTO Gene VALUES ('g1', 'ATG')", "alice")
         .unwrap();
     let id = db.execute("SHOW PENDING OPERATIONS").unwrap().rows[0].values[0]
@@ -101,10 +102,8 @@ fn deleted_rows_keep_annotation_log_and_row_numbers_not_reused() {
     db.execute("CREATE TABLE T (k TEXT)").unwrap();
     db.execute("CREATE ANNOTATION TABLE why ON T").unwrap();
     db.execute("INSERT INTO T VALUES ('a'), ('b')").unwrap();
-    db.execute(
-        "ADD ANNOTATION TO T.why VALUE 'dup of b' ON (DELETE FROM T WHERE k = 'a')",
-    )
-    .unwrap();
+    db.execute("ADD ANNOTATION TO T.why VALUE 'dup of b' ON (DELETE FROM T WHERE k = 'a')")
+        .unwrap();
     db.execute("INSERT INTO T VALUES ('c')").unwrap();
     let t = db.catalog().table("T").unwrap();
     assert_eq!(t.deleted_log.len(), 1);
@@ -124,7 +123,8 @@ fn show_pending_table_filter_and_statuses() {
     db.execute("CREATE USER boss").unwrap();
     db.execute("CREATE USER worker").unwrap();
     for t in ["A", "B"] {
-        db.execute(&format!("GRANT UPDATE ON {t} TO worker")).unwrap();
+        db.execute(&format!("GRANT UPDATE ON {t} TO worker"))
+            .unwrap();
         db.execute(&format!("START CONTENT APPROVAL ON {t} APPROVED BY boss"))
             .unwrap();
     }
@@ -132,14 +132,18 @@ fn show_pending_table_filter_and_statuses() {
     db.execute_as("UPDATE B SET v = 2", "worker").unwrap();
     assert_eq!(db.execute("SHOW PENDING OPERATIONS").unwrap().rows.len(), 2);
     assert_eq!(
-        db.execute("SHOW PENDING OPERATIONS ON A").unwrap().rows.len(),
+        db.execute("SHOW PENDING OPERATIONS ON A")
+            .unwrap()
+            .rows
+            .len(),
         1
     );
     // approving removes from pending, log retains the decision
     let id = db.execute("SHOW PENDING OPERATIONS ON A").unwrap().rows[0].values[0]
         .as_int()
         .unwrap();
-    db.execute_as(&format!("APPROVE OPERATION {id}"), "boss").unwrap();
+    db.execute_as(&format!("APPROVE OPERATION {id}"), "boss")
+        .unwrap();
     assert_eq!(db.execute("SHOW PENDING OPERATIONS").unwrap().rows.len(), 1);
     assert_eq!(db.approval().log().len(), 2);
 }
@@ -204,10 +208,8 @@ fn executable_rule_without_registered_procedure_falls_back_to_marking() {
     db.execute("CREATE TABLE A (v INT)").unwrap();
     db.execute("CREATE TABLE B (v INT, d INT)").unwrap();
     // declared EXECUTABLE but no body registered
-    db.execute(
-        "CREATE DEPENDENCY RULE r FROM B.v TO B.d VIA PROCEDURE 'ghost' EXECUTABLE",
-    )
-    .unwrap();
+    db.execute("CREATE DEPENDENCY RULE r FROM B.v TO B.d VIA PROCEDURE 'ghost' EXECUTABLE")
+        .unwrap();
     db.execute("INSERT INTO B VALUES (1, 10)").unwrap();
     db.execute("UPDATE B SET v = 2").unwrap();
     let outdated = db.execute("SHOW OUTDATED").unwrap();

@@ -1,0 +1,350 @@
+//! Pushdown/index regression suite: the optimized streaming executor
+//! must return **identical rows and identical annotation sets** to the
+//! naive fully-materializing executor for every §3.4 construct —
+//! ANNOTATION propagation, AWHERE, FILTER, PROMOTE, the synthetic
+//! `outdated` annotation (§5), grouping, set operations — and the
+//! secondary indexes must stay consistent across INSERT / UPDATE /
+//! DELETE and dependency cascades.
+
+use bdbms_core::executor::{ExecOptions, ExecStats};
+use bdbms_core::result::QueryResult;
+use bdbms_core::Database;
+
+/// `(source table, annotation table, id, raw body)` — one annotation's
+/// comparable identity.
+type AnnKey = (String, String, u64, String);
+
+/// A result's annotations as a comparable, order-insensitive fingerprint
+/// (per row, per cell).
+fn ann_fingerprint(qr: &QueryResult) -> Vec<Vec<Vec<AnnKey>>> {
+    qr.rows
+        .iter()
+        .map(|row| {
+            row.anns
+                .iter()
+                .map(|cell| {
+                    let mut a: Vec<_> = cell
+                        .iter()
+                        .map(|a| {
+                            (
+                                a.source_table.clone(),
+                                a.ann_table.clone(),
+                                a.id,
+                                a.raw.clone(),
+                            )
+                        })
+                        .collect();
+                    a.sort();
+                    a
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn values_of(qr: &QueryResult) -> Vec<Vec<String>> {
+    qr.rows
+        .iter()
+        .map(|r| r.values.iter().map(|v| v.to_string()).collect())
+        .collect()
+}
+
+/// Run `sql` under both executors and assert identical answers
+/// (columns, row values in order, and per-cell annotation sets).
+/// Returns the optimized run's stats for additional assertions.
+fn assert_equivalent(db: &Database, sql: &str) -> ExecStats {
+    let (naive, _) = db
+        .query_traced(sql, &ExecOptions::naive())
+        .unwrap_or_else(|e| panic!("naive failed on {sql}: {e:?}"));
+    let (opt, stats) = db
+        .query_traced(sql, &ExecOptions::default())
+        .unwrap_or_else(|e| panic!("optimized failed on {sql}: {e:?}"));
+    assert_eq!(naive.columns, opt.columns, "columns differ: {sql}");
+    assert_eq!(
+        values_of(&naive),
+        values_of(&opt),
+        "row values differ: {sql}"
+    );
+    assert_eq!(
+        ann_fingerprint(&naive),
+        ann_fingerprint(&opt),
+        "annotation sets differ: {sql}"
+    );
+    stats
+}
+
+/// The paper-shaped fixture: two gene tables with annotation tables,
+/// per-cell annotations at several granularities, outdated marks, and a
+/// secondary index on the join/filter column.
+fn fixture() -> Database {
+    let mut db = Database::new_in_memory();
+    db.execute("CREATE TABLE DB1_Gene (GID TEXT, GName TEXT, Len INT)")
+        .unwrap();
+    db.execute("CREATE TABLE DB2_Gene (GID TEXT, GFunction TEXT, Score FLOAT)")
+        .unwrap();
+    db.execute("CREATE ANNOTATION TABLE Prov ON DB1_Gene")
+        .unwrap();
+    db.execute("CREATE ANNOTATION TABLE Comments ON DB1_Gene")
+        .unwrap();
+    db.execute("CREATE ANNOTATION TABLE GAnnotation ON DB2_Gene")
+        .unwrap();
+    for i in 0..60 {
+        db.execute(&format!(
+            "INSERT INTO DB1_Gene VALUES ('JW{i:04}', 'g{i}', {i})"
+        ))
+        .unwrap();
+    }
+    for i in 0..40 {
+        db.execute(&format!(
+            "INSERT INTO DB2_Gene VALUES ('JW{:04}', 'fn{i}', {}.5)",
+            i * 2,
+            i
+        ))
+        .unwrap();
+    }
+    // column-granularity annotation (§3.2 example B3)
+    db.execute(
+        "ADD ANNOTATION TO DB1_Gene.Prov VALUE 'obtained from RegulonDB' \
+         ON (SELECT G.GName FROM DB1_Gene G)",
+    )
+    .unwrap();
+    // tuple- and cell-granularity annotations
+    db.execute(
+        "ADD ANNOTATION TO DB1_Gene.Comments VALUE 'unknown function' \
+         ON (SELECT G.GID, G.GName, G.Len FROM DB1_Gene G WHERE Len < 10)",
+    )
+    .unwrap();
+    db.execute(
+        "ADD ANNOTATION TO DB2_Gene.GAnnotation VALUE 'obtained from GenoBase' \
+         ON (SELECT G.GFunction FROM DB2_Gene G WHERE Score > 30.0)",
+    )
+    .unwrap();
+    db.execute("CREATE INDEX len_idx ON DB1_Gene (Len)")
+        .unwrap();
+    db.execute("CREATE INDEX gid_idx ON DB2_Gene (GID)")
+        .unwrap();
+    db
+}
+
+#[test]
+fn filtered_queries_agree_between_executors() {
+    let db = fixture();
+    for sql in [
+        // selective equality over the indexed column
+        "SELECT GID, Len FROM DB1_Gene WHERE Len = 42",
+        // range over the indexed column
+        "SELECT GID FROM DB1_Gene WHERE Len > 55",
+        "SELECT GID FROM DB1_Gene WHERE Len >= 10 AND Len < 13",
+        // non-indexed predicate (full scan both ways)
+        "SELECT GID FROM DB1_Gene WHERE GName LIKE 'g1%'",
+        // compound with OR (not pushable through the index)
+        "SELECT GID FROM DB1_Gene WHERE Len = 3 OR Len = 57",
+        // NULL comparison: provably empty
+        "SELECT GID FROM DB1_Gene WHERE Len = NULL",
+        // non-comparison NULL: `x OR NULL` is true when x is true, so
+        // this must NOT be planned as empty
+        "SELECT GID FROM DB1_Gene WHERE Len > 55 OR NULL",
+        // expression predicates
+        "SELECT GID FROM DB1_Gene WHERE Len * 2 = 20 AND LENGTH(GID) = 6",
+    ] {
+        assert_equivalent(&db, sql);
+    }
+}
+
+#[test]
+fn annotation_propagation_agrees_between_executors() {
+    let db = fixture();
+    for sql in [
+        // scan-time attachment + projection annotation semantics
+        "SELECT GID, GName FROM DB1_Gene ANNOTATION(Prov, Comments) WHERE Len < 12",
+        // AWHERE over attached annotations
+        "SELECT GID FROM DB1_Gene ANNOTATION(Comments) WHERE Len < 30 AWHERE CONTAINS 'unknown'",
+        // FILTER keeps tuples, drops non-matching annotations
+        "SELECT GID, GName FROM DB1_Gene ANNOTATION(Prov, Comments) \
+         WHERE Len < 12 FILTER CONTAINS 'RegulonDB'",
+        // PROMOTE pulls a non-projected column's annotations
+        "SELECT GID PROMOTE (GName) FROM DB1_Gene ANNOTATION(Prov) WHERE Len = 7",
+        // join with annotations from both sides, pushdown on each input
+        "SELECT G.GID, H.GFunction FROM DB1_Gene ANNOTATION(Prov) G, \
+         DB2_Gene ANNOTATION(GAnnotation) H \
+         WHERE G.GID = H.GID AND G.Len < 20 AND H.Score > 1.0",
+        // DISTINCT union-of-annotations semantics
+        "SELECT DISTINCT GName FROM DB1_Gene ANNOTATION(Prov) WHERE Len < 15",
+        // grouping: annotations union across the group; AHAVING
+        "SELECT COUNT(*) FROM DB1_Gene ANNOTATION(Comments) WHERE Len < 9 \
+         GROUP BY GName AHAVING CONTAINS 'unknown'",
+        // set operation with annotation union
+        "SELECT GID FROM DB1_Gene ANNOTATION(Comments) WHERE Len < 5 \
+         UNION SELECT GID FROM DB2_Gene ANNOTATION(GAnnotation) WHERE Score > 35.0",
+        "SELECT GID FROM DB1_Gene WHERE Len < 20 \
+         INTERSECT SELECT GID FROM DB2_Gene WHERE Score < 50.0",
+        // ORDER BY on the compound output
+        "SELECT GID FROM DB1_Gene WHERE Len < 6 ORDER BY GID DESC",
+    ] {
+        assert_equivalent(&db, sql);
+    }
+}
+
+#[test]
+fn outdated_annotations_agree_between_executors() {
+    let mut db = fixture();
+    // make cells outdated the § 5 way: a non-executable dependency rule
+    // marks targets stale when sources change
+    db.execute("CREATE TABLE Protein (GID TEXT, PSequence TEXT)")
+        .unwrap();
+    for i in 0..10 {
+        db.execute(&format!(
+            "INSERT INTO Protein VALUES ('JW{i:04}', 'seq{i}')"
+        ))
+        .unwrap();
+    }
+    db.execute(
+        "CREATE DEPENDENCY RULE r1 FROM DB1_Gene.GName TO Protein.PSequence \
+         VIA PROCEDURE 'translate' LINK DB1_Gene.GID = Protein.GID",
+    )
+    .unwrap();
+    db.execute("UPDATE DB1_Gene SET GName = 'renamed' WHERE Len = 3")
+        .unwrap();
+    db.execute("UPDATE DB1_Gene SET GName = 'renamed2' WHERE Len = 7")
+        .unwrap();
+    // outdated cells now exist on Protein; both executors must attach the
+    // synthetic annotation identically, with and without pushdown
+    for sql in [
+        "SELECT GID, PSequence FROM Protein",
+        "SELECT GID, PSequence FROM Protein WHERE GID = 'JW0003'",
+        "SELECT PSequence FROM Protein AWHERE FROM outdated",
+        "SELECT GID FROM Protein AWHERE CONTAINS 'pending re-verification'",
+    ] {
+        assert_equivalent(&db, sql);
+    }
+}
+
+#[test]
+fn optimized_path_actually_uses_the_index() {
+    let db = fixture();
+    let stats = assert_equivalent(&db, "SELECT GID FROM DB1_Gene WHERE Len = 42");
+    assert_eq!(stats.index_probes, 1, "equality must probe the index");
+    assert_eq!(stats.full_scans, 0);
+    assert_eq!(stats.rows_fetched, 1, "only the matching row is fetched");
+    let (_, naive_stats) = db
+        .query_traced(
+            "SELECT GID FROM DB1_Gene WHERE Len = 42",
+            &ExecOptions::naive(),
+        )
+        .unwrap();
+    assert_eq!(naive_stats.rows_fetched, 60, "baseline scans everything");
+    assert!(naive_stats.anns_attached == 0, "no annotations requested");
+
+    // pushdown without an index still avoids materializing losers into
+    // the join: only annotation work shrinks, row fetches stay full-scan
+    let stats = assert_equivalent(
+        &db,
+        "SELECT G.GID FROM DB1_Gene ANNOTATION(Prov) G, DB2_Gene H \
+         WHERE G.GID = H.GID AND G.Len = 4",
+    );
+    assert_eq!(stats.index_probes, 1, "G.Len = 4 probes len_idx");
+    // lazy attachment: only the surviving joined row's projected column
+    // gets annotation work
+    let (_, naive) = db
+        .query_traced(
+            "SELECT G.GID FROM DB1_Gene ANNOTATION(Prov) G, DB2_Gene H \
+             WHERE G.GID = H.GID AND G.Len = 4",
+            &ExecOptions::naive(),
+        )
+        .unwrap();
+    assert!(
+        stats.anns_attached < naive.anns_attached,
+        "lazy attachment must do strictly less annotation work \
+         (opt {} vs naive {})",
+        stats.anns_attached,
+        naive.anns_attached
+    );
+}
+
+#[test]
+fn index_consistency_through_dml_and_cascades() {
+    let mut db = fixture();
+    let probe = |db: &Database, len: i64| -> Vec<String> {
+        let (qr, stats) = db
+            .query_traced(
+                &format!("SELECT GID FROM DB1_Gene WHERE Len = {len}"),
+                &ExecOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(stats.index_probes, 1);
+        qr.rows.iter().map(|r| r.values[0].to_string()).collect()
+    };
+    // INSERT: new row visible through the index
+    db.execute("INSERT INTO DB1_Gene VALUES ('JW9001', 'new', 1001)")
+        .unwrap();
+    assert_eq!(probe(&db, 1001), vec!["JW9001"]);
+    // UPDATE: moves the key
+    db.execute("UPDATE DB1_Gene SET Len = 2002 WHERE GID = 'JW9001'")
+        .unwrap();
+    assert_eq!(probe(&db, 1001), Vec::<String>::new());
+    assert_eq!(probe(&db, 2002), vec!["JW9001"]);
+    // DELETE: retires the key
+    db.execute("DELETE FROM DB1_Gene WHERE GID = 'JW9001'")
+        .unwrap();
+    assert_eq!(probe(&db, 2002), Vec::<String>::new());
+
+    // dependency cascades write through Table::update and must maintain
+    // indexes on the *target* table too
+    db.execute("CREATE TABLE Derived (GID TEXT, DLen INT)")
+        .unwrap();
+    for i in 0..10 {
+        db.execute(&format!("INSERT INTO Derived VALUES ('JW{i:04}', 0)"))
+            .unwrap();
+    }
+    db.execute("CREATE INDEX dlen_idx ON Derived (DLen)")
+        .unwrap();
+    db.register_procedure("double_len", |inputs| match &inputs[0] {
+        bdbms_common::Value::Int(i) => bdbms_common::Value::Int(i * 2),
+        other => other.clone(),
+    });
+    db.execute(
+        "CREATE DEPENDENCY RULE dd FROM DB1_Gene.Len TO Derived.DLen \
+         VIA PROCEDURE 'double_len' EXECUTABLE LINK DB1_Gene.GID = Derived.GID",
+    )
+    .unwrap();
+    // cascade recomputes Derived.DLen = 2 * Len through Table::update
+    db.execute("UPDATE DB1_Gene SET Len = 500 WHERE GID = 'JW0004'")
+        .unwrap();
+    let (qr, stats) = db
+        .query_traced(
+            "SELECT GID FROM Derived WHERE DLen = 1000",
+            &ExecOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(stats.index_probes, 1);
+    assert_eq!(qr.rows.len(), 1);
+    assert_eq!(qr.rows[0].values[0].to_string(), "JW0004");
+    // and the equivalence still holds table-wide after all the churn
+    assert_equivalent(&db, "SELECT GID, DLen FROM Derived WHERE DLen > 0");
+    assert_equivalent(
+        &db,
+        "SELECT GID, Len FROM DB1_Gene WHERE Len >= 0 ORDER BY GID",
+    );
+}
+
+#[test]
+fn update_delete_where_go_through_index_planning() {
+    let mut db = fixture();
+    // UPDATE/DELETE with indexable predicates must produce the same
+    // state as the full-scan path would — churn then verify
+    db.execute("UPDATE DB1_Gene SET GName = 'hit' WHERE Len = 33")
+        .unwrap();
+    let (qr, _) = db
+        .query_traced(
+            "SELECT GName FROM DB1_Gene WHERE Len = 33",
+            &ExecOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(qr.rows[0].values[0].to_string(), "hit");
+    db.execute("DELETE FROM DB1_Gene WHERE Len >= 58").unwrap();
+    let (qr, _) = db
+        .query_traced("SELECT COUNT(*) FROM DB1_Gene", &ExecOptions::default())
+        .unwrap();
+    assert_eq!(qr.rows[0].values[0].to_string(), "58");
+    assert_equivalent(&db, "SELECT GID FROM DB1_Gene WHERE Len > 50");
+}

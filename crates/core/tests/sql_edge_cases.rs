@@ -38,7 +38,8 @@ fn null_handling_through_the_pipeline() {
 fn int_float_coercion_in_storage_and_compare() {
     let mut d = db();
     d.execute("CREATE TABLE T (e FLOAT)").unwrap();
-    d.execute("INSERT INTO T VALUES (2), (2.5), (3e-2)").unwrap();
+    d.execute("INSERT INTO T VALUES (2), (2.5), (3e-2)")
+        .unwrap();
     let qr = d.execute("SELECT e FROM T WHERE e = 2").unwrap();
     assert_eq!(qr.rows.len(), 1);
     assert_eq!(qr.rows[0].values[0], Value::Float(2.0));
@@ -59,7 +60,11 @@ fn chained_set_operations() {
     let qr = d
         .execute("SELECT v FROM A INTERSECT SELECT v FROM B EXCEPT SELECT v FROM C")
         .unwrap();
-    let got: Vec<i64> = qr.rows.iter().map(|r| r.values[0].as_int().unwrap()).collect();
+    let got: Vec<i64> = qr
+        .rows
+        .iter()
+        .map(|r| r.values[0].as_int().unwrap())
+        .collect();
     assert_eq!(got, vec![2]);
 }
 
@@ -116,8 +121,10 @@ fn runtime_errors_are_errors_not_panics() {
 #[test]
 fn string_concat_and_functions_in_projection() {
     let mut d = db();
-    d.execute("CREATE TABLE G (GID TEXT, GSequence TEXT)").unwrap();
-    d.execute("INSERT INTO G VALUES ('JW0080', 'atgatg')").unwrap();
+    d.execute("CREATE TABLE G (GID TEXT, GSequence TEXT)")
+        .unwrap();
+    d.execute("INSERT INTO G VALUES ('JW0080', 'atgatg')")
+        .unwrap();
     let qr = d
         .execute(
             "SELECT GID || ':' || UPPER(GSequence) AS tagged, \
@@ -155,7 +162,8 @@ fn three_way_join() {
     d.execute("CREATE TABLE B (k TEXT, vb INT)").unwrap();
     d.execute("CREATE TABLE C (k TEXT, vc INT)").unwrap();
     for i in 0..20 {
-        d.execute(&format!("INSERT INTO A VALUES ('k{i}', {i})")).unwrap();
+        d.execute(&format!("INSERT INTO A VALUES ('k{i}', {i})"))
+            .unwrap();
         if i % 2 == 0 {
             d.execute(&format!("INSERT INTO B VALUES ('k{i}', {})", i * 10))
                 .unwrap();
@@ -182,10 +190,8 @@ fn three_way_join() {
 fn group_by_qualified_column_and_having() {
     let mut d = db();
     d.execute("CREATE TABLE H (gene TEXT, score INT)").unwrap();
-    d.execute(
-        "INSERT INTO H VALUES ('g1', 5), ('g1', 15), ('g2', 1), ('g3', 7), ('g3', 9)",
-    )
-    .unwrap();
+    d.execute("INSERT INTO H VALUES ('g1', 5), ('g1', 15), ('g2', 1), ('g3', 7), ('g3', 9)")
+        .unwrap();
     let qr = d
         .execute(
             "SELECT gene, AVG(score) FROM H GROUP BY gene \
@@ -200,7 +206,8 @@ fn group_by_qualified_column_and_having() {
 fn distinct_on_expressions() {
     let mut d = db();
     d.execute("CREATE TABLE T (v INT)").unwrap();
-    d.execute("INSERT INTO T VALUES (1), (2), (3), (4)").unwrap();
+    d.execute("INSERT INTO T VALUES (1), (2), (3), (4)")
+        .unwrap();
     let qr = d.execute("SELECT DISTINCT v % 2 FROM T").unwrap();
     assert_eq!(qr.rows.len(), 2);
 }
@@ -213,7 +220,8 @@ fn insert_arity_and_type_errors() {
     assert!(d.execute("INSERT INTO T VALUES (1, 'x', 2)").is_err());
     assert!(d.execute("INSERT INTO T VALUES ('no', 'x')").is_err());
     // expressions allowed in VALUES
-    d.execute("INSERT INTO T VALUES (1 + 2 * 3, 'a' || 'b')").unwrap();
+    d.execute("INSERT INTO T VALUES (1 + 2 * 3, 'a' || 'b')")
+        .unwrap();
     let qr = d.execute("SELECT a, b FROM T").unwrap();
     assert_eq!(qr.rows[0].values[0], Value::Int(7));
     assert_eq!(qr.rows[0].values[1], Value::Text("ab".into()));
@@ -253,7 +261,9 @@ fn case_insensitive_identifiers_everywhere() {
     let mut d = db();
     d.execute("create table GeNe (gId TEXT, LEN int)").unwrap();
     d.execute("insert into gene values ('x', 1)").unwrap();
-    let qr = d.execute("SELECT GID, len FROM GENE WHERE Gid = 'x'").unwrap();
+    let qr = d
+        .execute("SELECT GID, len FROM GENE WHERE Gid = 'x'")
+        .unwrap();
     assert_eq!(qr.rows.len(), 1);
     d.execute("create annotation table NOTES on gene").unwrap();
     d.execute("ADD ANNOTATION TO Gene.notes VALUE 'hi' ON (SELECT G.gid FROM gene G)")
@@ -278,7 +288,11 @@ fn update_with_expression_referencing_other_columns() {
     d.execute("INSERT INTO T VALUES (1, 10), (2, 20)").unwrap();
     d.execute("UPDATE T SET a = b * 2 + a").unwrap();
     let qr = d.execute("SELECT a FROM T ORDER BY a").unwrap();
-    let got: Vec<i64> = qr.rows.iter().map(|r| r.values[0].as_int().unwrap()).collect();
+    let got: Vec<i64> = qr
+        .rows
+        .iter()
+        .map(|r| r.values[0].as_int().unwrap())
+        .collect();
     assert_eq!(got, vec![21, 42]);
 }
 

@@ -277,6 +277,62 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
         }
     }
 
+    /// All entries within `lo`/`hi` (any [`Bound`] combination) in key
+    /// order.  This is the executor's index-scan entry point: equality
+    /// probes use `Included(k)..=Included(k)`, one-sided comparisons leave
+    /// the other end `Unbounded`.
+    pub fn scan_bounds(&self, lo: std::ops::Bound<&K>, hi: std::ops::Bound<&K>) -> Vec<(K, V)> {
+        use std::ops::Bound;
+        let below_lo = |k: &K| match lo {
+            Bound::Included(b) => k < b,
+            Bound::Excluded(b) => k <= b,
+            Bound::Unbounded => false,
+        };
+        let above_hi = |k: &K| match hi {
+            Bound::Included(b) => k > b,
+            Bound::Excluded(b) => k >= b,
+            Bound::Unbounded => false,
+        };
+        // start at the leftmost leaf that can hold the lower bound
+        let mut leaf = match lo {
+            Bound::Included(b) | Bound::Excluded(b) => self.find_leaf(b),
+            Bound::Unbounded => {
+                let mut id = self.root;
+                loop {
+                    self.stats.record_read();
+                    match &self.nodes[id] {
+                        Node::Leaf { .. } => break id,
+                        Node::Inner { children, .. } => id = children[0],
+                    }
+                }
+            }
+        };
+        let mut out = Vec::new();
+        loop {
+            match &self.nodes[leaf] {
+                Node::Leaf { entries, next } => {
+                    for (k, v) in entries {
+                        if below_lo(k) {
+                            continue;
+                        }
+                        if above_hi(k) {
+                            return out;
+                        }
+                        out.push((k.clone(), v.clone()));
+                    }
+                    match next {
+                        Some(n) => {
+                            leaf = *n;
+                            self.stats.record_read();
+                        }
+                        None => return out,
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
     /// Delete one entry equal to `(key, value)`; returns whether one was
     /// removed.  (No rebalancing — deletes are rare in the bdbms workloads
     /// and underfull nodes only waste space, never break correctness.)
@@ -349,10 +405,7 @@ impl<K: Ord + Clone, V: Clone> Default for BPlusTree<K, V> {
 /// with `prefix`, implemented as the range `[prefix, prefix+1)` — this is
 /// exactly how a B+-tree serves prefix queries, and is the baseline for the
 /// trie comparisons in E-SPGIST.
-pub fn prefix_range<V: Clone>(
-    tree: &BPlusTree<Vec<u8>, V>,
-    prefix: &[u8],
-) -> Vec<(Vec<u8>, V)> {
+pub fn prefix_range<V: Clone>(tree: &BPlusTree<Vec<u8>, V>, prefix: &[u8]) -> Vec<(Vec<u8>, V)> {
     let lo = prefix.to_vec();
     let hi = prefix_upper_bound(prefix);
     match hi {
@@ -445,6 +498,43 @@ mod tests {
             t.insert(i, ());
         }
         assert_eq!(t.range(&0, &64).len(), 64);
+    }
+
+    #[test]
+    fn scan_bounds_all_combinations() {
+        use std::ops::Bound::*;
+        let mut t = BPlusTree::with_fanout(4);
+        for i in 0..50 {
+            t.insert(i, i);
+        }
+        let keys =
+            |lo, hi| -> Vec<i32> { t.scan_bounds(lo, hi).into_iter().map(|(k, _)| k).collect() };
+        assert_eq!(keys(Included(&10), Included(&12)), vec![10, 11, 12]);
+        assert_eq!(keys(Excluded(&10), Excluded(&13)), vec![11, 12]);
+        assert_eq!(keys(Included(&47), Unbounded), vec![47, 48, 49]);
+        assert_eq!(keys(Unbounded, Excluded(&3)), vec![0, 1, 2]);
+        assert_eq!(keys(Unbounded, Unbounded).len(), 50);
+        assert_eq!(
+            keys(Included(&30), Included(&30)),
+            vec![30],
+            "equality probe"
+        );
+        assert!(keys(Included(&20), Excluded(&20)).is_empty());
+        assert!(keys(Included(&60), Unbounded).is_empty());
+    }
+
+    #[test]
+    fn scan_bounds_with_duplicates() {
+        use std::ops::Bound::*;
+        let mut t = BPlusTree::with_fanout(4);
+        for _ in 0..12 {
+            t.insert(5, "x");
+        }
+        t.insert(4, "below");
+        t.insert(6, "above");
+        assert_eq!(t.scan_bounds(Included(&5), Included(&5)).len(), 12);
+        assert_eq!(t.scan_bounds(Excluded(&5), Unbounded).len(), 1);
+        assert_eq!(t.scan_bounds(Unbounded, Excluded(&5)).len(), 1);
     }
 
     #[test]

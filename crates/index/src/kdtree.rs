@@ -118,9 +118,7 @@ impl SpgistOps for KdTreeOps {
 
     fn leaf_matches(&self, key: &Point, q: &PointQuery) -> bool {
         match q {
-            PointQuery::Window(lo, hi) => {
-                (0..2).all(|d| lo[d] <= key[d] && key[d] <= hi[d])
-            }
+            PointQuery::Window(lo, hi) => (0..2).all(|d| lo[d] <= key[d] && key[d] <= hi[d]),
             PointQuery::Exact(p) => key == p,
         }
     }

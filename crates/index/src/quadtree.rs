@@ -73,9 +73,7 @@ impl SpgistOps for QuadtreeOps {
 
     fn leaf_matches(&self, key: &Point, q: &PointQuery) -> bool {
         match q {
-            PointQuery::Window(lo, hi) => {
-                (0..2).all(|d| lo[d] <= key[d] && key[d] <= hi[d])
-            }
+            PointQuery::Window(lo, hi) => (0..2).all(|d| lo[d] <= key[d] && key[d] <= hi[d]),
             PointQuery::Exact(p) => key == p,
         }
     }
@@ -110,7 +108,9 @@ mod tests {
         let mut pts = Vec::new();
         let mut x: u64 = 99;
         for i in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let px = ((x >> 33) % 1000) as f64 / 10.0;
             let py = ((x >> 11) % 1000) as f64 / 10.0;
             t.insert([px, py], i);

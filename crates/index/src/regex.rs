@@ -24,7 +24,10 @@ enum Cond {
     /// Match any byte.
     Any,
     /// Match a set of bytes (inclusive ranges), possibly negated.
-    Class { ranges: Vec<(u8, u8)>, negated: bool },
+    Class {
+        ranges: Vec<(u8, u8)>,
+        negated: bool,
+    },
 }
 
 impl Cond {
@@ -83,7 +86,10 @@ enum Ast {
     Empty,
     Byte(u8),
     Any,
-    Class { ranges: Vec<(u8, u8)>, negated: bool },
+    Class {
+        ranges: Vec<(u8, u8)>,
+        negated: bool,
+    },
     Concat(Box<Ast>, Box<Ast>),
     Alt(Box<Ast>, Box<Ast>),
     Star(Box<Ast>),
@@ -282,10 +288,7 @@ impl Compiler {
             }
             Ast::Opt(inner) => {
                 let entry = self.compile(inner, next);
-                self.push(State::Split {
-                    a: entry,
-                    b: next,
-                })
+                self.push(State::Split { a: entry, b: next })
             }
         }
     }

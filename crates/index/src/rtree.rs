@@ -57,14 +57,8 @@ impl Rect {
     /// Smallest rectangle covering both.
     pub fn union(&self, other: &Rect) -> Rect {
         Rect {
-            min: [
-                self.min[0].min(other.min[0]),
-                self.min[1].min(other.min[1]),
-            ],
-            max: [
-                self.max[0].max(other.max[0]),
-                self.max[1].max(other.max[1]),
-            ],
+            min: [self.min[0].min(other.min[0]), self.min[1].min(other.min[1])],
+            max: [self.max[0].max(other.max[0]), self.max[1].max(other.max[1])],
         }
     }
 
@@ -89,25 +83,15 @@ impl Rect {
 type NodeId = usize;
 
 enum Node {
-    Inner {
-        entries: Vec<(Rect, NodeId)>,
-    },
-    Leaf {
-        entries: Vec<(Rect, u64)>,
-    },
+    Inner { entries: Vec<(Rect, NodeId)> },
+    Leaf { entries: Vec<(Rect, u64)> },
 }
 
 impl Node {
     fn mbr(&self) -> Option<Rect> {
         match self {
-            Node::Inner { entries } => entries
-                .iter()
-                .map(|(r, _)| *r)
-                .reduce(|a, b| a.union(&b)),
-            Node::Leaf { entries } => entries
-                .iter()
-                .map(|(r, _)| *r)
-                .reduce(|a, b| a.union(&b)),
+            Node::Inner { entries } => entries.iter().map(|(r, _)| *r).reduce(|a, b| a.union(&b)),
+            Node::Leaf { entries } => entries.iter().map(|(r, _)| *r).reduce(|a, b| a.union(&b)),
         }
     }
 }
@@ -542,7 +526,9 @@ mod tests {
         // deterministic pseudo-random points
         let mut x: u64 = 12345;
         for i in 0..2000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let px = (x >> 33) as f64 % 1000.0;
             let py = (x >> 13) as f64 % 1000.0;
             pts.push((px, py, i));

@@ -378,9 +378,7 @@ impl<O: SpgistOps, V: Clone> SpGist<O, V> {
         let mut stack = vec![self.root];
         while let Some(id) = stack.pop() {
             match &self.nodes[id] {
-                Node::Inner { children, .. } => {
-                    stack.extend(children.iter().map(|(_, c)| *c))
-                }
+                Node::Inner { children, .. } => stack.extend(children.iter().map(|(_, c)| *c)),
                 Node::Leaf { entries, .. } => out.extend(entries.iter().cloned()),
             }
         }

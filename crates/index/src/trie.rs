@@ -177,10 +177,7 @@ mod tests {
     #[test]
     fn range_query() {
         let t = sample();
-        let hits = t.search(&StrQuery::Range(
-            b"AT".to_vec(),
-            Some(b"CAT".to_vec()),
-        ));
+        let hits = t.search(&StrQuery::Range(b"AT".to_vec(), Some(b"CAT".to_vec())));
         let mut got: Vec<String> = hits
             .into_iter()
             .map(|(k, _)| String::from_utf8(k).unwrap())

@@ -5,7 +5,7 @@ use bdbms_index::kdtree::{KdTreeOps, PointQuery};
 use bdbms_index::quadtree::QuadtreeOps;
 use bdbms_index::regex::Regex;
 use bdbms_index::trie::{StrQuery, TrieOps};
-use bdbms_index::{Rect, RTree, SpGist};
+use bdbms_index::{RTree, Rect, SpGist};
 use proptest::prelude::*;
 
 fn arb_dna() -> impl Strategy<Value = Vec<u8>> {

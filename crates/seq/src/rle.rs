@@ -223,9 +223,7 @@ impl RleSeq {
                     }
                     // consume min(run length, matching stretch of bytes)
                     let mut want = 0usize;
-                    while p + want < bytes.len()
-                        && bytes[p + want] == r.ch
-                        && want < r.len as usize
+                    while p + want < bytes.len() && bytes[p + want] == r.ch && want < r.len as usize
                     {
                         want += 1;
                     }
@@ -375,9 +373,7 @@ mod tests {
 
     #[test]
     fn cmp_suffixes_matches_decoded_comparison() {
-        let texts = [
-            "HHHEELLL", "HEL", "LLLL", "EHEHE", "HHHH", "ELLLH", "H", "",
-        ];
+        let texts = ["HHHEELLL", "HEL", "LLLL", "EHEHE", "HHHH", "ELLLH", "H", ""];
         let rles: Vec<RleSeq> = texts.iter().map(|t| RleSeq::encode(t.as_bytes())).collect();
         for (i, a) in rles.iter().enumerate() {
             for (j, b) in rles.iter().enumerate() {
@@ -422,16 +418,20 @@ mod tests {
     fn cmp_suffix_bytes_matches_decoded() {
         let texts = ["HHHEELLL", "HEL", "LLLL", "EHEHE", "HHHH", "H", ""];
         let probes: &[&[u8]] = &[
-            b"HHH", b"HHHE", b"HHHEELLL", b"HHHEELLLX", b"A", b"Z", b"", b"HEL", b"LL",
+            b"HHH",
+            b"HHHE",
+            b"HHHEELLL",
+            b"HHHEELLLX",
+            b"A",
+            b"Z",
+            b"",
+            b"HEL",
+            b"LL",
         ];
         for t in texts {
             let rle = RleSeq::encode(t.as_bytes());
             for r in 0..=rle.num_runs() {
-                let start = rle
-                    .offsets
-                    .get(r)
-                    .map(|&o| o as usize)
-                    .unwrap_or(t.len());
+                let start = rle.offsets.get(r).map(|&o| o as usize).unwrap_or(t.len());
                 let suffix = &t.as_bytes()[start..];
                 for p in probes {
                     assert_eq!(

@@ -133,8 +133,7 @@ impl SbcTree {
                 let prev = texts[id as usize].runs()[run as usize - 1];
                 encode_y(prev.ch, prev.len)
             };
-            self.rtree
-                .insert(Rect::point(x, y), payload(id, run));
+            self.rtree.insert(Rect::point(x, y), payload(id, run));
             let this_run = texts[id as usize].runs()[run as usize];
             self.runlen_idx
                 .insert((this_run.ch, this_run.len, id, run), ());
@@ -260,16 +259,13 @@ impl SbcTree {
                 // collisions).  Text accesses are not counted as I/O on
                 // either side of the E12 comparison: the String B-tree's
                 // comparator reads texts just the same.
-                if let Some(occ) = self.verify_occurrence(text, run, first.ch, first.len, q)
-                {
+                if let Some(occ) = self.verify_occurrence(text, run, first.ch, first.len, q) {
                     out.push(occ);
                 }
             }
         } else {
             for e in self.tree.collect_class(&classify) {
-                if let Some(occ) =
-                    self.verify_occurrence(e.text, e.run, first.ch, first.len, q)
-                {
+                if let Some(occ) = self.verify_occurrence(e.text, e.run, first.ch, first.len, q) {
                     out.push(occ);
                 }
             }
@@ -505,8 +501,18 @@ mod tests {
         let t = build(&texts);
         let raw: Vec<Vec<u8>> = texts.iter().map(|s| s.as_bytes().to_vec()).collect();
         for pat in [
-            "HH", "LL", "ELL", "HEL", "HHH", "L", "HHHEELLLHH", "XYZ", "LLLL", "EL",
-            "HHEE", "HHE",
+            "HH",
+            "LL",
+            "ELL",
+            "HEL",
+            "HHH",
+            "L",
+            "HHHEELLLHH",
+            "XYZ",
+            "LLLL",
+            "EL",
+            "HHEE",
+            "HHE",
         ] {
             let mut want = naive_substring_search(&raw, pat.as_bytes());
             want.sort_unstable();
@@ -521,7 +527,10 @@ mod tests {
     fn single_run_pattern_enumerates_positions() {
         let t = build(&["HHHH"]);
         // "HH" occurs at 0, 1, 2
-        assert_eq!(occs(t.substring_search(b"HH")), vec![(0, 0), (0, 1), (0, 2)]);
+        assert_eq!(
+            occs(t.substring_search(b"HH")),
+            vec![(0, 0), (0, 1), (0, 2)]
+        );
         assert_eq!(occs(t.substring_search(b"HHHH")), vec![(0, 0)]);
         assert!(t.substring_search(b"HHHHH").is_empty());
     }

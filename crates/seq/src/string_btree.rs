@@ -64,7 +64,8 @@ impl StringBTree {
         let cmp = |a: SufRef, b: SufRef| {
             let sa = &texts[a.text as usize][a.off as usize..];
             let sb = &texts[b.text as usize][b.off as usize..];
-            sa.cmp(sb).then_with(|| (a.text, a.off).cmp(&(b.text, b.off)))
+            sa.cmp(sb)
+                .then_with(|| (a.text, a.off).cmp(&(b.text, b.off)))
         };
         for off in 0..seq.len() as u32 {
             self.tree.insert(&cmp, SufRef { text: id, off });

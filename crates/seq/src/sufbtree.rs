@@ -104,9 +104,7 @@ impl<E: Copy> SufBTree<E> {
             .iter()
             .map(|n| {
                 16 + match n {
-                    Node::Inner { seps, children } => {
-                        seps.len() * entry_bytes + children.len() * 8
-                    }
+                    Node::Inner { seps, children } => seps.len() * entry_bytes + children.len() * 8,
                     Node::Leaf { entries, .. } => entries.len() * entry_bytes,
                 }
             })
@@ -116,11 +114,7 @@ impl<E: Copy> SufBTree<E> {
     /// Insert `e` under total order `cmp`, returning the in-order
     /// `(predecessor, successor)` of the new entry (used by the SBC-tree to
     /// assign order keys for its 3-sided structure).
-    pub fn insert(
-        &mut self,
-        cmp: &impl Fn(E, E) -> Ordering,
-        e: E,
-    ) -> (Option<E>, Option<E>) {
+    pub fn insert(&mut self, cmp: &impl Fn(E, E) -> Ordering, e: E) -> (Option<E>, Option<E>) {
         let (split, pred, succ) = self.insert_rec(self.root, cmp, e);
         if let Some((sep, right)) = split {
             let old_root = self.root;
@@ -144,7 +138,11 @@ impl<E: Copy> SufBTree<E> {
     ) -> (Option<(E, NodeId)>, Option<E>, Option<E>) {
         self.stats.record_read();
         match &mut self.nodes[id] {
-            Node::Leaf { entries, prev, next } => {
+            Node::Leaf {
+                entries,
+                prev,
+                next,
+            } => {
                 let pos = entries.partition_point(|x| cmp(*x, e) == Ordering::Less);
                 let pred0 = (pos > 0).then(|| entries[pos - 1]);
                 let succ0 = entries.get(pos).copied();
@@ -215,8 +213,7 @@ impl<E: Copy> SufBTree<E> {
                 let up = if let Some((sep, right)) = split {
                     match &mut self.nodes[id] {
                         Node::Inner { seps, children } => {
-                            let idx =
-                                seps.partition_point(|s| cmp(*s, sep) == Ordering::Less);
+                            let idx = seps.partition_point(|s| cmp(*s, sep) == Ordering::Less);
                             seps.insert(idx, sep);
                             children.insert(idx + 1, right);
                             self.stats.record_write();
@@ -478,11 +475,10 @@ mod tests {
         for v in [10u32, 20, 30] {
             t.insert(&cmp_u32, v);
         }
+        // the Equal band is empty: everything is strictly Less or Greater
         let classify = |e: u32| {
             if e < 15 {
                 Ordering::Less
-            } else if e < 15 {
-                Ordering::Equal
             } else {
                 Ordering::Greater
             }

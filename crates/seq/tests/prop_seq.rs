@@ -9,25 +9,27 @@ use proptest::prelude::*;
 
 /// Run-structured sequences over {H, E, L} (compressible, like Figure 12).
 fn arb_ss_text() -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec((prop::sample::select(b"HEL".to_vec()), 1usize..6), 1..8)
-        .prop_map(|runs| {
+    prop::collection::vec((prop::sample::select(b"HEL".to_vec()), 1usize..6), 1..8).prop_map(
+        |runs| {
             let mut out = Vec::new();
             for (ch, len) in runs {
                 out.extend(std::iter::repeat_n(ch, len));
             }
             out
-        })
+        },
+    )
 }
 
 fn arb_pattern() -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec((prop::sample::select(b"HEL".to_vec()), 1usize..4), 1..4)
-        .prop_map(|runs| {
+    prop::collection::vec((prop::sample::select(b"HEL".to_vec()), 1usize..4), 1..4).prop_map(
+        |runs| {
             let mut out = Vec::new();
             for (ch, len) in runs {
                 out.extend(std::iter::repeat_n(ch, len));
             }
             out
-        })
+        },
+    )
 }
 
 proptest! {

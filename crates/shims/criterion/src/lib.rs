@@ -1,0 +1,253 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build container has no network access, so this workspace-local
+//! crate provides the subset of the criterion API the bdbms benches use:
+//! `Criterion::bench_function` / `benchmark_group`, `Bencher::iter` /
+//! `iter_batched`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros.  Measurement is a plain wall-clock loop
+//! (warmup + timed samples) printing mean / min per iteration — enough
+//! for before/after comparisons, without criterion's statistics engine.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (ignored by the shim's runner).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine input.
+    SmallInput,
+    /// Large routine input.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Top-level bench context.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark (`id` may be `&str` or `String`, as in criterion).
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        run_bench(id.as_ref(), self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_bench(&full, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Finish the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        sample_size,
+        measurement_time,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<50} (no samples)");
+        return;
+    }
+    let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+    let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "{id:<50} mean {:>12}  min {:>12}  ({} samples)",
+        fmt_ns(mean),
+        fmt_ns(min),
+        b.samples.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Drives the measured routine; one `iter*` call performs the whole
+/// warmup + sampling sequence.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine` directly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // warmup + calibration: how many iterations fit one sample slot
+        let t0 = Instant::now();
+        let mut warm_iters = 0u64;
+        while t0.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = t0.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let budget_ns = self.measurement_time.as_nanos() as f64;
+        let per_sample_ns = budget_ns / self.sample_size as f64;
+        let iters_per_sample = ((per_sample_ns / per_iter.max(1.0)) as u64).clamp(1, 1 << 20);
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let s = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(s.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    /// Measure `routine` over fresh inputs from `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // warmup one run
+        black_box(routine(setup()));
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let s = Instant::now();
+            black_box(routine(input));
+            self.samples.push(s.elapsed().as_nanos() as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    /// `iter_batched` with a by-reference routine.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let mut warm = setup();
+        black_box(routine(&mut warm));
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let mut input = setup();
+            let s = Instant::now();
+            black_box(routine(&mut input));
+            self.samples.push(s.elapsed().as_nanos() as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Collect bench functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3)
+            .measurement_time(Duration::from_millis(100));
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

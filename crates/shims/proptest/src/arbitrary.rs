@@ -1,0 +1,78 @@
+//! `any::<T>()` for the proptest shim.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` (`any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // bias towards small magnitudes half the time — boundary
+                // and small values find more bugs than uniform 64-bit noise
+                let raw = rng.next_u64();
+                let full = rng.next_u64() as $t;
+                if raw & 1 == 0 {
+                    full % (100 as $t)
+                } else {
+                    full
+                }
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        match rng.next_u64() % 8 {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::INFINITY,
+            3 => f64::NEG_INFINITY,
+            4 => f64::NAN,
+            // from_bits covers subnormals / extreme exponents / NaNs
+            _ => f64::from_bits(rng.next_u64()),
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // printable ASCII most of the time, arbitrary scalar otherwise
+        if rng.next_u64() & 3 != 0 {
+            (0x20 + rng.usize_below(0x5f) as u32 as u8) as char
+        } else {
+            char::from_u32(rng.next_u64() as u32 % 0x11_0000).unwrap_or('\u{FFFD}')
+        }
+    }
+}

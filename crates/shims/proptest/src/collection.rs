@@ -1,0 +1,29 @@
+//! Collection strategies for the proptest shim.
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `len` (half-open).
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(
+        len.start < len.end,
+        "empty length range for collection::vec"
+    );
+    VecStrategy { element, len }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.start + rng.usize_below(self.len.end - self.len.start);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

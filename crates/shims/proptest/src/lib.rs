@@ -1,0 +1,157 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build container has no network access, so this workspace-local
+//! crate implements the subset of proptest the bdbms test suites use:
+//! the [`strategy::Strategy`] trait with `prop_map`, [`arbitrary::any`],
+//! range / tuple / string-regex strategies, [`collection::vec`],
+//! [`sample::select`], `prop_oneof!`, and the `proptest!` test macro.
+//!
+//! Inputs are generated from a deterministic per-test seed (so failures
+//! reproduce), but there is **no shrinking**: a failing case panics with
+//! the assertion message and its case number.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Items `use proptest::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` namespace (`prop::collection::vec`, `prop::sample::select`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// One random arm of several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skip the current case when an assumption fails.  The shim counts the
+/// case as run (no resampling), which is sound — just slightly fewer
+/// effective cases.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` that runs `body` over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @with_config ($cfg) $($rest)* }
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    let case_guard = $crate::test_runner::CaseGuard::new(stringify!($name), case);
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    $body
+                    case_guard.passed();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (i64, String)> {
+        (0i64..10, "[a-c]{0,4}")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_and_strings(x in -5i64..5, s in "[a-zA-Z0-9 ]{0,40}", p in arb_pair()) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!(s.chars().count() <= 40);
+            prop_assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+            prop_assert!((0..10).contains(&p.0));
+            prop_assert!(p.1.len() <= 4 && p.1.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn oneof_vec_select(
+            v in prop::collection::vec(prop_oneof![Just(0u8), 1u8..4], 2..6),
+            pick in prop::sample::select(vec![10, 20, 30]),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 4));
+            prop_assert!([10, 20, 30].contains(&pick));
+        }
+
+        #[test]
+        fn any_and_map(x in any::<u8>().prop_map(|b| b as u32 * 2)) {
+            prop_assert!(x % 2 == 0 && x <= 510);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::deterministic("seed");
+        let mut b = crate::test_runner::TestRng::deterministic("seed");
+        let s: Vec<u8> =
+            crate::collection::vec(crate::arbitrary::any::<u8>(), 5..6).generate(&mut a);
+        let t: Vec<u8> =
+            crate::collection::vec(crate::arbitrary::any::<u8>(), 5..6).generate(&mut b);
+        assert_eq!(s, t);
+    }
+}

@@ -1,0 +1,22 @@
+//! Sampling strategies for the proptest shim.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy that picks a uniformly random element of `items`.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "sample::select over an empty vec");
+    Select { items }
+}
+
+/// Strategy returned by [`select`].
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.items[rng.usize_below(self.items.len())].clone()
+    }
+}

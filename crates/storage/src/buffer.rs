@@ -21,25 +21,69 @@ use crate::pager::{PageId, PageStore, PAGE_SIZE};
 struct Frame {
     data: Box<[u8; PAGE_SIZE]>,
     dirty: bool,
-    /// LRU tick of last access.
-    last_used: u64,
+    /// Towards the MRU end of the intrusive LRU list.
+    prev: Option<PageId>,
+    /// Towards the LRU end of the intrusive LRU list.
+    next: Option<PageId>,
 }
 
+/// Frames double as nodes of an intrusive doubly-linked LRU list
+/// (`head` = most recently used, `tail` = eviction victim), so touching a
+/// page and picking a victim are both O(1) — the previous implementation
+/// scanned every frame per eviction, which made cold scans through a
+/// small pool quadratic.
 struct Inner {
     store: Box<dyn PageStore>,
     frames: HashMap<PageId, Frame>,
     capacity: usize,
-    tick: u64,
+    head: Option<PageId>,
+    tail: Option<PageId>,
     reads: u64,
     writes: u64,
 }
 
 impl Inner {
+    /// Unlink `id` from the LRU list (it must be linked).
+    fn detach(&mut self, id: PageId) {
+        let (prev, next) = {
+            let f = self.frames.get(&id).expect("detach of non-resident frame");
+            (f.prev, f.next)
+        };
+        match prev {
+            Some(p) => self.frames.get_mut(&p).expect("linked prev").next = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(n) => self.frames.get_mut(&n).expect("linked next").prev = prev,
+            None => self.tail = prev,
+        }
+    }
+
+    /// Link `id` at the MRU end (its links must be dangling).
+    fn attach_front(&mut self, id: PageId) {
+        let old_head = self.head;
+        {
+            let f = self
+                .frames
+                .get_mut(&id)
+                .expect("attach of non-resident frame");
+            f.prev = None;
+            f.next = old_head;
+        }
+        match old_head {
+            Some(h) => self.frames.get_mut(&h).expect("old head").prev = Some(id),
+            None => self.tail = Some(id),
+        }
+        self.head = Some(id);
+    }
+
     fn touch(&mut self, id: PageId) {
-        self.tick += 1;
-        let tick = self.tick;
-        if let Some(f) = self.frames.get_mut(&id) {
-            f.last_used = tick;
+        if self.head == Some(id) {
+            return;
+        }
+        if self.frames.contains_key(&id) {
+            self.detach(id);
+            self.attach_front(id);
         }
     }
 
@@ -54,25 +98,24 @@ impl Inner {
         let mut data = Box::new([0u8; PAGE_SIZE]);
         self.store.read_page(id, &mut data[..])?;
         self.reads += 1;
-        self.tick += 1;
         self.frames.insert(
             id,
             Frame {
                 data,
                 dirty: false,
-                last_used: self.tick,
+                prev: None,
+                next: None,
             },
         );
+        self.attach_front(id);
         Ok(())
     }
 
     fn evict_one(&mut self) -> Result<()> {
         let victim = self
-            .frames
-            .iter()
-            .min_by_key(|(_, f)| f.last_used)
-            .map(|(id, _)| *id)
+            .tail
             .ok_or_else(|| BdbmsError::Storage("evict from empty pool".into()))?;
+        self.detach(victim);
         let frame = self.frames.remove(&victim).unwrap();
         if frame.dirty {
             self.store.write_page(victim, &frame.data[..])?;
@@ -96,7 +139,8 @@ impl BufferPool {
                 store,
                 frames: HashMap::new(),
                 capacity,
-                tick: 0,
+                head: None,
+                tail: None,
                 reads: 0,
                 writes: 0,
             }),
@@ -110,16 +154,16 @@ impl BufferPool {
         if g.frames.len() >= g.capacity {
             g.evict_one()?;
         }
-        g.tick += 1;
-        let tick = g.tick;
         g.frames.insert(
             id,
             Frame {
                 data: Box::new([0u8; PAGE_SIZE]),
                 dirty: true,
-                last_used: tick,
+                prev: None,
+                next: None,
             },
         );
+        g.attach_front(id);
         Ok(id)
     }
 
@@ -192,6 +236,8 @@ impl BufferPool {
         self.flush_all()?;
         let mut g = self.inner.lock();
         g.frames.clear();
+        g.head = None;
+        g.tail = None;
         Ok(())
     }
 }
@@ -266,6 +312,34 @@ mod tests {
         assert_eq!(p.io_stats().reads, 0);
         p.with_page(b, |_| ()).unwrap(); // evicted → miss
         assert_eq!(p.io_stats().reads, 1);
+    }
+
+    #[test]
+    fn lru_order_tracks_arbitrary_access_patterns() {
+        // The resident set must always be the `cap` most recently used
+        // pages, whatever the access interleaving — this pins down the
+        // linked-list bookkeeping (detach/attach) under churn.
+        let cap = 4;
+        let p = pool(cap);
+        let ids: Vec<_> = (0..8).map(|_| p.allocate().unwrap()).collect();
+        p.flush_all().unwrap();
+        let pattern = [0usize, 3, 5, 1, 7, 2, 0, 6, 4, 3, 3, 0, 5, 7, 1, 2, 6, 0];
+        let mut recency: Vec<usize> = Vec::new();
+        for &i in &pattern {
+            p.with_page(ids[i], |_| ()).unwrap();
+            recency.retain(|&r| r != i);
+            recency.push(i);
+        }
+        let resident: Vec<usize> = recency[recency.len() - cap..].to_vec();
+        p.reset_io_stats();
+        for &i in &resident {
+            p.with_page(ids[i], |_| ()).unwrap();
+        }
+        assert_eq!(
+            p.io_stats().reads,
+            0,
+            "the {cap} most recently used pages must be resident"
+        );
     }
 
     #[test]

@@ -162,11 +162,10 @@ impl HeapFile {
         let mut cur = Some(rid);
         let mut first = true;
         while let Some(r) = cur {
-            let frag = self.pool.with_page(r.page, |pg| {
-                slotted::get(pg, r.slot).map(|d| d.to_vec())
-            })?;
-            let frag =
-                frag.ok_or_else(|| BdbmsError::Storage(format!("no record at {r}")))?;
+            let frag = self
+                .pool
+                .with_page(r.page, |pg| slotted::get(pg, r.slot).map(|d| d.to_vec()))?;
+            let frag = frag.ok_or_else(|| BdbmsError::Storage(format!("no record at {r}")))?;
             let (is_head, next, payload) = decode_fragment(&frag)?;
             if first && !is_head {
                 return Err(BdbmsError::Storage(format!(
@@ -195,11 +194,10 @@ impl HeapFile {
         }
         let mut cur = Some(rid);
         while let Some(r) = cur {
-            let frag = self.pool.with_page(r.page, |pg| {
-                slotted::get(pg, r.slot).map(|d| d.to_vec())
-            })?;
-            let frag =
-                frag.ok_or_else(|| BdbmsError::Storage(format!("broken chain at {r}")))?;
+            let frag = self
+                .pool
+                .with_page(r.page, |pg| slotted::get(pg, r.slot).map(|d| d.to_vec()))?;
+            let frag = frag.ok_or_else(|| BdbmsError::Storage(format!("broken chain at {r}")))?;
             let (_, next, _) = decode_fragment(&frag)?;
             self.pool
                 .with_page_mut(r.page, |pg| slotted::delete(pg, r.slot))?;

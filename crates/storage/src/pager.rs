@@ -111,8 +111,7 @@ impl FileStore {
 impl PageStore for FileStore {
     fn allocate(&mut self) -> Result<PageId> {
         let id = PageId(self.num_pages);
-        self.file
-            .seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+        self.file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
         self.file.write_all(&[0u8; PAGE_SIZE])?;
         self.num_pages += 1;
         Ok(id)
@@ -122,8 +121,7 @@ impl PageStore for FileStore {
         if id.0 >= self.num_pages {
             return Err(BdbmsError::Storage(format!("read of unallocated {id}")));
         }
-        self.file
-            .seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+        self.file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
         self.file.read_exact(buf)?;
         Ok(())
     }
@@ -132,8 +130,7 @@ impl PageStore for FileStore {
         if id.0 >= self.num_pages {
             return Err(BdbmsError::Storage(format!("write of unallocated {id}")));
         }
-        self.file
-            .seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+        self.file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
         self.file.write_all(buf)?;
         Ok(())
     }

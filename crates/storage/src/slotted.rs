@@ -271,7 +271,11 @@ mod tests {
         let s = insert(&mut p, b"keepme").unwrap();
         let huge = vec![1u8; PAGE_SIZE];
         assert!(!update(&mut p, s, &huge));
-        assert_eq!(get(&p, s).unwrap(), b"keepme", "failed update must not corrupt");
+        assert_eq!(
+            get(&p, s).unwrap(),
+            b"keepme",
+            "failed update must not corrupt"
+        );
     }
 
     #[test]

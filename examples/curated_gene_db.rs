@@ -89,10 +89,16 @@ fn main() {
         }
         println!("reviewing op {id} by {user}: {desc}");
     }
-    db.execute_as(&format!("APPROVE OPERATION {}", approve_id.unwrap()), "labadmin")
-        .unwrap();
-    db.execute_as(&format!("DISAPPROVE OPERATION {}", reject_id.unwrap()), "labadmin")
-        .unwrap();
+    db.execute_as(
+        &format!("APPROVE OPERATION {}", approve_id.unwrap()),
+        "labadmin",
+    )
+    .unwrap();
+    db.execute_as(
+        &format!("DISAPPROVE OPERATION {}", reject_id.unwrap()),
+        "labadmin",
+    )
+    .unwrap();
     println!("\nAfter review (bob's bogus edit was undone by its inverse):\n");
     println!("{}", db.execute("SELECT * FROM Gene ORDER BY GID").unwrap());
 

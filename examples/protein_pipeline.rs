@@ -90,7 +90,10 @@ fn main() {
     db.execute("INSERT INTO GeneMatching VALUES ('ATCCTGGTT', 'ATCCCGGTT', 1.0)")
         .unwrap();
 
-    println!("Initial state:\n{}", db.execute("SELECT * FROM Protein").unwrap());
+    println!(
+        "Initial state:\n{}",
+        db.execute("SELECT * FROM Protein").unwrap()
+    );
 
     // ---- the Figure 10 scenario: modify two gene sequences ----
     for gid in ["JW0080", "JW0082"] {
@@ -115,8 +118,10 @@ fn main() {
     );
 
     // ---- re-running the lab experiment validates the cell ----
-    db.execute("UPDATE Protein SET PFunction = 'Methyltransferase (re-assayed)' WHERE GID = 'JW0080'")
-        .unwrap();
+    db.execute(
+        "UPDATE Protein SET PFunction = 'Methyltransferase (re-assayed)' WHERE GID = 'JW0080'",
+    )
+    .unwrap();
     db.execute("VALIDATE Protein COLUMNS PFunction WHERE GID = 'JW0082'")
         .unwrap();
     println!("After re-assaying mraW and revalidating ftsI:\n");

@@ -108,9 +108,7 @@ fn main() {
     .unwrap();
     println!("After archiving B5 (function became known), JW0080 carries:\n");
     let result = db
-        .execute(
-            "SELECT * FROM DB2_Gene ANNOTATION(GAnnotation) WHERE GID = 'JW0080'",
-        )
+        .execute("SELECT * FROM DB2_Gene ANNOTATION(GAnnotation) WHERE GID = 'JW0080'")
         .unwrap();
     println!("{result}");
 }

@@ -22,17 +22,17 @@ fn e_coli_curation_scenario() {
         .unwrap();
     db.execute("CREATE TABLE Protein (PName TEXT, GID TEXT, PSequence TEXT, PFunction TEXT)")
         .unwrap();
-    db.execute("CREATE ANNOTATION TABLE Comments ON Gene").unwrap();
+    db.execute("CREATE ANNOTATION TABLE Comments ON Gene")
+        .unwrap();
     db.execute("CREATE USER labadmin").unwrap();
     db.execute("CREATE USER alice IN GROUP lab1").unwrap();
-    db.execute("GRANT SELECT, INSERT, UPDATE ON Gene TO lab1").unwrap();
+    db.execute("GRANT SELECT, INSERT, UPDATE ON Gene TO lab1")
+        .unwrap();
     db.execute("GRANT SELECT ON Protein TO lab1").unwrap();
 
     // -- dependency rules + executable tool --
     db.register_procedure("P", |args| match &args[0] {
-        Value::Text(dna) => {
-            Value::Text(dna.as_bytes().chunks(3).map(|c| c[0] as char).collect())
-        }
+        Value::Text(dna) => Value::Text(dna.as_bytes().chunks(3).map(|c| c[0] as char).collect()),
         _ => Value::Null,
     });
     db.execute(
@@ -132,7 +132,8 @@ fn e_coli_curation_scenario() {
 fn engine_data_flows_into_sequence_indexes() {
     let mut rng = StdRng::seed_from_u64(99);
     let mut db = Database::new_in_memory();
-    db.execute("CREATE TABLE SS (PID TEXT, Structure TEXT)").unwrap();
+    db.execute("CREATE TABLE SS (PID TEXT, Structure TEXT)")
+        .unwrap();
     let mut corpus = Vec::new();
     for i in 0..40 {
         let s = gen::secondary_structure(&mut rng, 200, 9.0);
@@ -196,8 +197,11 @@ fn engine_correct_under_tiny_buffer_pool() {
     let mut db = Database::with_pool(pool.clone());
     db.execute("CREATE TABLE T (id INT, payload TEXT)").unwrap();
     for i in 0..500 {
-        db.execute(&format!("INSERT INTO T VALUES ({i}, 'payload-{i}-{}')", "x".repeat(100)))
-            .unwrap();
+        db.execute(&format!(
+            "INSERT INTO T VALUES ({i}, 'payload-{i}-{}')",
+            "x".repeat(100)
+        ))
+        .unwrap();
     }
     db.execute("UPDATE T SET payload = 'rewritten' WHERE id % 7 = 0")
         .unwrap();
@@ -213,6 +217,9 @@ fn engine_correct_under_tiny_buffer_pool() {
     // the tiny pool really did hit the backing store: the table spans more
     // pages than the pool holds, so scans fault pages back in
     let io = pool.io_stats();
-    assert!(io.reads > 10, "scans over an evicted table must re-read pages");
+    assert!(
+        io.reads > 10,
+        "scans over an evicted table must re-read pages"
+    );
     assert!(io.writes > 5, "dirty evictions must have written pages");
 }

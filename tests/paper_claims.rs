@@ -35,12 +35,18 @@ fn sbc_storage_claim_shape() {
     let (sbt_l, sbc_l) = build(&long);
     let ratio_short = sbt_s.storage_bytes() as f64 / sbc_s.storage_bytes() as f64;
     let ratio_long = sbt_l.storage_bytes() as f64 / sbc_l.storage_bytes() as f64;
-    assert!(ratio_short > 1.2, "SBC must win even at short runs: {ratio_short}");
+    assert!(
+        ratio_short > 1.2,
+        "SBC must win even at short runs: {ratio_short}"
+    );
     assert!(
         ratio_long > 2.0 * ratio_short,
         "the gap must grow with run length: {ratio_short} -> {ratio_long}"
     );
-    assert!(ratio_long > 6.0, "long runs must approach the paper's 10x: {ratio_long}");
+    assert!(
+        ratio_long > 6.0,
+        "long runs must approach the paper's 10x: {ratio_long}"
+    );
 }
 
 /// §7.2: "up to 30% reduction in I/Os for the insertion operations" —
@@ -64,15 +70,26 @@ fn sbc_insertion_io_claim_shape() {
 fn sbc_search_claim_shape() {
     let c = corpus(60, 300, 20.0);
     let (sbt, sbc) = build(&c);
-    let pat = &c[5][100..112];
-    sbt.reset_io();
-    let a = sbt.substring_search(pat);
-    let sbt_reads = sbt.io_stats().reads.max(1);
-    sbc.reset_io();
-    let b = sbc.substring_search(pat);
-    let sbc_reads = sbc.io_stats().reads.max(1);
-    assert_eq!(a.len(), b.len(), "identical answers");
-    assert!(!a.is_empty());
+    // The claim is about search cost in aggregate, so probe several
+    // patterns and compare total I/O — a single pattern's ratio is noisy
+    // (it depends on where the generated corpus happens to split nodes).
+    let mut sbt_reads = 0;
+    let mut sbc_reads = 0;
+    let mut answered = 0usize;
+    for i in 0..10 {
+        let text = &c[(i * 6) % c.len()];
+        let pat = &text[100..112];
+        sbt.reset_io();
+        let a = sbt.substring_search(pat);
+        sbt_reads += sbt.io_stats().reads;
+        sbc.reset_io();
+        let b = sbc.substring_search(pat);
+        sbc_reads += sbc.io_stats().reads;
+        assert_eq!(a.len(), b.len(), "identical answers");
+        answered += a.len();
+    }
+    assert!(answered > 0);
+    let (sbt_reads, sbc_reads) = (sbt_reads.max(1), sbc_reads.max(1));
     assert!(
         sbc_reads <= sbt_reads * 4,
         "search I/O must stay comparable on long-run data: sbt={sbt_reads} sbc={sbc_reads}"
