@@ -14,8 +14,22 @@ use std::time::Instant;
 
 use bdbms_bench::{all_experiments, e12_sbc_tree};
 
+/// Flags the harness understands; anything else starting with `--` is
+/// rejected (a typo like `--jsn` silently falling through to console
+/// output would corrupt scripted perf-gate pipelines).
+const KNOWN_FLAGS: &[&str] = &["--markdown", "--json"];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    for a in &args {
+        if a.starts_with("--") && !KNOWN_FLAGS.contains(&a.as_str()) {
+            eprintln!(
+                "unknown flag `{a}`; known flags: {}",
+                KNOWN_FLAGS.join(", ")
+            );
+            std::process::exit(1);
+        }
+    }
     let markdown = args.iter().any(|a| a == "--markdown");
     let json = args.iter().any(|a| a == "--json");
     let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();

@@ -174,13 +174,23 @@ pub fn pipeline_db(n: usize, seq_len: usize) -> Database {
     db
 }
 
-/// The executor-bench fixture: a `Gene` table with `n` rows whose `Len`
-/// column holds the row number (so `Len = k` selects exactly one row and
-/// `Len >= a AND Len < a + n/100` selects 1%), a column-granularity
-/// `Curation` annotation over `GName`, and a secondary index on `Len`.
+/// The executor-bench fixture:
+///
+/// * a `Gene` table with `n` rows whose `Len` column holds the row
+///   number (so `Len = k` selects exactly one row and `Len >= a AND
+///   Len < a + n/100` selects 1%) and whose `Bucket` column holds
+///   `row % 100` (so `Bucket = b` selects 1% — a *less* selective
+///   equality than a narrow `Len` range, which is what the cost-based
+///   multi-index choice workload exploits);
+/// * secondary indexes on **both** `Len` and `Bucket`;
+/// * a column-granularity `Curation` annotation over `GName`;
+/// * a small `Tag` dimension table (`n / 100` rows, `Len` values spaced
+///   100 apart) for join-order workloads — written first in FROM lists
+///   so FROM-order execution hash-builds the big table while the
+///   cost-based order streams it.
 pub fn indexed_gene_db(n: usize) -> Database {
     let mut db = Database::new_in_memory();
-    db.execute("CREATE TABLE Gene (GID TEXT, GName TEXT, Len INT)")
+    db.execute("CREATE TABLE Gene (GID TEXT, GName TEXT, Len INT, Bucket INT)")
         .unwrap();
     db.execute("CREATE ANNOTATION TABLE Curation ON Gene")
         .unwrap();
@@ -190,7 +200,7 @@ pub fn indexed_gene_db(n: usize) -> Database {
     while i < n {
         let hi = (i + 500).min(n);
         let tuples: Vec<String> = (i..hi)
-            .map(|r| format!("('JW{r:06}', 'g{r}', {r})"))
+            .map(|r| format!("('JW{r:06}', 'g{r}', {r}, {})", r % 100))
             .collect();
         db.execute(&format!("INSERT INTO Gene VALUES {}", tuples.join(", ")))
             .unwrap();
@@ -202,6 +212,17 @@ pub fn indexed_gene_db(n: usize) -> Database {
     )
     .unwrap();
     db.execute("CREATE INDEX len_idx ON Gene (Len)").unwrap();
+    db.execute("CREATE INDEX bucket_idx ON Gene (Bucket)")
+        .unwrap();
+    db.execute("CREATE TABLE Tag (Len INT, TName TEXT)")
+        .unwrap();
+    let tags: Vec<String> = (0..n.div_ceil(100))
+        .map(|t| format!("({}, 'tag{t}')", t * 100))
+        .collect();
+    if !tags.is_empty() {
+        db.execute(&format!("INSERT INTO Tag VALUES {}", tags.join(", ")))
+            .unwrap();
+    }
     db
 }
 

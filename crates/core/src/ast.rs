@@ -169,6 +169,11 @@ pub struct Select {
     pub filter: Option<AnnExpr>,
     /// `ORDER BY col [DESC]` (extension for deterministic output).
     pub order_by: Vec<((Option<String>, String), bool)>,
+    /// `LIMIT n` — cap the final output at `n` rows.  Without ORDER BY
+    /// the kept subset follows pipeline order (standard SQL leaves it
+    /// unspecified), and the executor pushes the limit into the pipeline
+    /// for early termination when no blocking operator intervenes.
+    pub limit: Option<u64>,
     /// Trailing set operation, e.g. `… INTERSECT SELECT …`.
     pub set_op: Option<(SetOp, Box<Select>)>,
 }
@@ -387,6 +392,13 @@ pub enum Statement {
     ShowOutdated {
         /// Optional table filter.
         table: Option<String>,
+    },
+    /// `ANALYZE t` — rebuild the table's planner statistics (row count,
+    /// per-column min/max, NULL counts, distinct-value estimates) from a
+    /// full scan.  Stats are otherwise maintained incrementally by DML.
+    Analyze {
+        /// Table to re-analyze.
+        table: String,
     },
     /// `VALIDATE t [WHERE …]` — revalidate outdated cells (§5:
     /// "Validating outdated data").

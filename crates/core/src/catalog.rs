@@ -10,6 +10,7 @@ use bdbms_index::BPlusTree;
 use bdbms_storage::{BufferPool, HeapFile, Rid};
 
 use crate::annotation::AnnotationSet;
+use crate::stats::TableStats;
 
 /// A secondary B+-tree index over one column, kept in sync by every
 /// [`Table`] write path (plain DML, approval inverses, dependency
@@ -57,14 +58,26 @@ impl TableIndex {
     /// re-check the originating predicate on the returned rows — the
     /// index is a candidate pruner, not an oracle.
     pub fn probe(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<u64> {
-        let mut rows: Vec<u64> = self
+        self.probe_entries(lo, hi)
+            .into_iter()
+            .map(|(row_no, _)| row_no)
+            .collect()
+    }
+
+    /// Like [`probe`](Self::probe), but also returns each row's indexed
+    /// key value, enabling *index-only* scans: when a query touches no
+    /// column but the indexed one, the executor reconstructs the visible
+    /// part of the tuple from the key and skips the heap fetch entirely.
+    /// Same order contract as `probe` (ascending row number).
+    pub fn probe_entries(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<(u64, Value)> {
+        let mut rows: Vec<(u64, Value)> = self
             .tree
             .scan_bounds(lo, hi)
             .into_iter()
-            .map(|(_, r)| r)
+            .map(|(k, r)| (r, k))
             .collect();
-        rows.sort_unstable();
-        rows.dedup();
+        rows.sort_unstable_by_key(|&(row_no, _)| row_no);
+        rows.dedup_by(|a, b| a.0 == b.0);
         rows
     }
 
@@ -116,6 +129,9 @@ pub struct Table {
     pub deleted_log: Vec<DeletedRow>,
     /// Secondary indexes (`CREATE INDEX … ON …`).
     indexes: Vec<TableIndex>,
+    /// Planner statistics, maintained incrementally by every write path
+    /// and rebuilt exactly by `ANALYZE`.
+    stats: TableStats,
 }
 
 impl Table {
@@ -138,6 +154,7 @@ impl Table {
             outdated: CellBitmap::new(0, arity),
             deleted_log: Vec::new(),
             indexes: Vec::new(),
+            stats: TableStats::new(arity),
         })
     }
 
@@ -190,6 +207,7 @@ impl Table {
         for idx in &mut self.indexes {
             idx.add(&values[idx.column], row_no);
         }
+        self.stats.observe_row(&values);
         Ok(row_no)
     }
 
@@ -207,13 +225,9 @@ impl Table {
 
     /// Overwrite a row in place.
     pub fn update(&mut self, row_no: u64, values: Vec<Value>) -> Result<()> {
-        // indexed columns need the old values to retire stale entries
-        let old = if self.indexes.is_empty() {
-            None
-        } else {
-            Some(self.get(row_no)?)
-        };
-        self.update_inner(row_no, old.as_deref(), values)
+        // index and stats maintenance both need the old values
+        let old = self.get(row_no)?;
+        self.update_inner(row_no, &old, values)
     }
 
     /// Overwrite a row whose current values the caller already holds
@@ -225,15 +239,10 @@ impl Table {
         old: &[Value],
         values: Vec<Value>,
     ) -> Result<()> {
-        self.update_inner(row_no, Some(old), values)
+        self.update_inner(row_no, old, values)
     }
 
-    fn update_inner(
-        &mut self,
-        row_no: u64,
-        old: Option<&[Value]>,
-        values: Vec<Value>,
-    ) -> Result<()> {
+    fn update_inner(&mut self, row_no: u64, old: &[Value], values: Vec<Value>) -> Result<()> {
         let values = self.schema.check_row(values)?;
         let rid = *self
             .rows
@@ -241,12 +250,15 @@ impl Table {
             .ok_or_else(|| BdbmsError::NotFound(format!("row {row_no} in {}", self.name)))?;
         let new_rid = self.heap.update(rid, &Self::encode_row(row_no, &values))?;
         self.rows.insert(row_no, new_rid);
-        if let Some(old) = old {
-            for idx in &mut self.indexes {
-                if old[idx.column] != values[idx.column] {
-                    idx.remove(&old[idx.column], row_no);
-                    idx.add(&values[idx.column], row_no);
-                }
+        for idx in &mut self.indexes {
+            if old[idx.column] != values[idx.column] {
+                idx.remove(&old[idx.column], row_no);
+                idx.add(&values[idx.column], row_no);
+            }
+        }
+        for (col, (o, n)) in old.iter().zip(&values).enumerate() {
+            if o != n {
+                self.stats.update_cell(col, o, n);
             }
         }
         Ok(())
@@ -264,6 +276,7 @@ impl Table {
         for idx in &mut self.indexes {
             idx.remove(&values[idx.column], row_no);
         }
+        self.stats.retire_row(&values);
         Ok(values)
     }
 
@@ -334,6 +347,28 @@ impl Table {
     /// All indexes on this table.
     pub fn indexes(&self) -> &[TableIndex] {
         &self.indexes
+    }
+
+    // ---- planner statistics ----
+
+    /// The table's planner statistics (always present; incrementally
+    /// maintained, exact after [`analyze`](Self::analyze)).
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// Rebuild statistics exactly from the live rows (`ANALYZE`).
+    /// Returns the number of rows scanned.
+    pub fn analyze(&mut self) -> Result<u64> {
+        let mut stats = TableStats::new(self.schema.arity());
+        let mut scanned = 0u64;
+        for entry in self.iter_rows() {
+            let (_, values) = entry?;
+            stats.observe_row(&values);
+            scanned += 1;
+        }
+        self.stats = stats;
+        Ok(scanned)
     }
 
     /// Live row numbers in order.

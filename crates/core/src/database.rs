@@ -303,6 +303,14 @@ impl Database {
                 self.deps.drop_rule(&name)?;
                 Ok(QueryResult::message(format!("rule `{name}` dropped")))
             }
+            Statement::Analyze { table } => {
+                let owner = self.catalog.table(&table)?.owner.clone();
+                self.auth.check(user, &table, &owner, Privilege::Select)?;
+                let rows = self.catalog.table_mut(&table)?.analyze()?;
+                Ok(QueryResult::message(format!(
+                    "analyzed `{table}`: {rows} row(s)"
+                )))
+            }
             Statement::Validate {
                 table,
                 columns,

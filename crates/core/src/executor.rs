@@ -83,6 +83,13 @@ pub struct ExecOptions {
     pub index_scans: bool,
     /// Attach annotations only to surviving tuples / referenced columns.
     pub lazy_annotations: bool,
+    /// Reorder joins by estimated cardinality (greedy: stream the
+    /// largest source, hash-build the rest smallest-connected-first)
+    /// instead of taking FROM order.
+    pub join_reorder: bool,
+    /// Push `LIMIT n` through the pipeline for early termination when no
+    /// blocking operator (sort, group, distinct, set op) intervenes.
+    pub limit_pushdown: bool,
 }
 
 impl Default for ExecOptions {
@@ -91,27 +98,34 @@ impl Default for ExecOptions {
             predicate_pushdown: true,
             index_scans: true,
             lazy_annotations: true,
+            join_reorder: true,
+            limit_pushdown: true,
         }
     }
 }
 
 impl ExecOptions {
     /// The unoptimized baseline: full scans, post-join filtering, eager
-    /// annotation attachment.
+    /// annotation attachment, FROM-order joins, LIMIT applied only to
+    /// the materialized result.
     pub fn naive() -> Self {
         ExecOptions {
             predicate_pushdown: false,
             index_scans: false,
             lazy_annotations: false,
+            join_reorder: false,
+            limit_pushdown: false,
         }
     }
 }
 
-/// Counters describing how a query was executed (deterministic, unlike
-/// wall-clock time — the regression tests pin speedups on these).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Counters and plan decisions describing how a query was executed
+/// (deterministic, unlike wall-clock time — the regression tests pin
+/// speedups and plan shapes on these).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStats {
-    /// Tuples materialized from table heaps.
+    /// Tuples that entered the pipeline from scans (heap fetches plus
+    /// index-only reconstructions).
     pub rows_fetched: u64,
     /// Tuples rejected by pushed-down predicates at scan time.
     pub rows_scan_filtered: u64,
@@ -119,8 +133,25 @@ pub struct ExecStats {
     pub index_probes: u64,
     /// Scans that walked the whole heap.
     pub full_scans: u64,
+    /// Index probes that never touched the heap (all needed columns
+    /// covered by the index key).
+    pub index_only_scans: u64,
     /// Annotation references attached to tuples.
     pub anns_attached: u64,
+    /// Names of the indexes chosen by [`crate::plan::choose_probe`], in
+    /// scan-execution order (across set-operation branches too).
+    pub chosen_indexes: Vec<String>,
+    /// Join order actually executed, as FROM-clause positions (the first
+    /// entry streams; the rest are hash-build sides).  One run of
+    /// positions is appended per simple SELECT executed.
+    pub join_order: Vec<usize>,
+    /// Number of simple SELECTs whose LIMIT was pushed into the
+    /// pipeline (scans then stop after the k-th surviving tuple).
+    pub limit_pushdowns: u64,
+    /// Rows that were fully computed and then discarded by a LIMIT that
+    /// could not be pushed (the naive baseline's waste; 0 when the limit
+    /// terminated the pipeline instead).
+    pub rows_limit_discarded: u64,
 }
 
 /// Evaluate an annotation predicate against one annotation.
@@ -237,11 +268,18 @@ impl<'a> SourceAttach<'a> {
 /// One source's scan as a lazy stream of `(row_no, values)`: index probe
 /// or heap walk, with pushed conjuncts applied per tuple before anything
 /// downstream sees it.
+///
+/// `value_needed` lists the source-local columns whose *values* any part
+/// of the query reads (`None` = unknown, assume all).  When an index
+/// probe covers every needed column, the scan is served *index-only*:
+/// tuples are reconstructed from the B+-tree keys (all other slots NULL,
+/// provably unread) and the heap is never touched.
 fn scan_stream<'a>(
     src: &Source<'a>,
     local_bindings: &'a [ColBinding],
     pushed: Vec<Expr>,
     use_index: bool,
+    value_needed: Option<Vec<usize>>,
     st: &'a RefCell<ExecStats>,
 ) -> Box<dyn Iterator<Item = Result<(u64, Vec<Value>)>> + 'a> {
     let probe = if use_index {
@@ -252,14 +290,35 @@ fn scan_stream<'a>(
     let base: Box<dyn Iterator<Item = Result<(u64, Vec<Value>)>> + 'a> = match probe {
         Probe::Empty => Box::new(std::iter::empty()),
         Probe::Index { column, lo, hi } => {
-            st.borrow_mut().index_probes += 1;
             let idx = src.table.index_on(column).expect("plan chose an index");
-            let table = src.table;
-            Box::new(
-                idx.probe(plan::as_ref_bound(&lo), plan::as_ref_bound(&hi))
-                    .into_iter()
-                    .map(move |row_no| table.get(row_no).map(|v| (row_no, v))),
-            )
+            {
+                let mut s = st.borrow_mut();
+                s.index_probes += 1;
+                s.chosen_indexes.push(idx.name.clone());
+            }
+            let covered = value_needed
+                .as_ref()
+                .is_some_and(|cols| cols.iter().all(|&c| c == column));
+            if covered {
+                st.borrow_mut().index_only_scans += 1;
+                let arity = src.arity;
+                Box::new(
+                    idx.probe_entries(plan::as_ref_bound(&lo), plan::as_ref_bound(&hi))
+                        .into_iter()
+                        .map(move |(row_no, key)| {
+                            let mut values = vec![Value::Null; arity];
+                            values[column] = key;
+                            Ok((row_no, values))
+                        }),
+                )
+            } else {
+                let table = src.table;
+                Box::new(
+                    idx.probe(plan::as_ref_bound(&lo), plan::as_ref_bound(&hi))
+                        .into_iter()
+                        .map(move |row_no| table.get(row_no).map(|v| (row_no, v))),
+                )
+            }
         }
         Probe::FullScan => {
             st.borrow_mut().full_scans += 1;
@@ -559,7 +618,128 @@ pub fn run_select_traced(
             std::cmp::Ordering::Equal
         });
     }
+    // LIMIT caps the final output; when the pipeline already terminated
+    // early (pushed limit) this is a no-op, otherwise the discarded rows
+    // were computed for nothing and are counted as such
+    if let Some(k) = sel.limit {
+        let k = k as usize;
+        if result.rows.len() > k {
+            stats.rows_limit_discarded += (result.rows.len() - k) as u64;
+            result.rows.truncate(k);
+        }
+    }
     Ok(result)
+}
+
+/// The column bindings one FROM source contributes (alias-qualified).
+fn source_bindings(table: &Table, tref: &TableRef) -> Vec<ColBinding> {
+    let qualifier = tref.alias.as_deref().unwrap_or(&tref.table);
+    table
+        .schema
+        .columns()
+        .iter()
+        .map(|c| ColBinding::new(Some(qualifier), &c.name))
+        .collect()
+}
+
+/// Greedy cost-based join order over the FROM sources, as FROM
+/// positions.  The first source streams through the pipeline (it is
+/// never materialized), every later source becomes a hash-join build
+/// side — so the source with the *largest* estimated post-pushdown
+/// cardinality goes first, and the rest follow smallest-estimate-first,
+/// preferring sources connected to the accumulated prefix by an
+/// equi-join conjunct (to avoid intermediate cross products).  Ties
+/// break toward FROM order, so the plan is deterministic given fixed
+/// stats.
+fn choose_join_order(
+    resolved: &[(&Table, &TableRef)],
+    pushed_from: &[Vec<Expr>],
+    conjuncts: &[Expr],
+) -> Vec<usize> {
+    let n = resolved.len();
+    let locals: Vec<Vec<ColBinding>> = resolved
+        .iter()
+        .map(|(t, r)| source_bindings(t, r))
+        .collect();
+    let est: Vec<f64> = (0..n)
+        .map(|i| plan::estimate_scan_rows(resolved[i].0, &locals[i], &pushed_from[i]))
+        .collect();
+    let mut first = 0;
+    for i in 1..n {
+        if est[i] > est[first] {
+            first = i;
+        }
+    }
+    let mut order = vec![first];
+    let mut acc: Vec<ColBinding> = locals[first].clone();
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| i != first).collect();
+    while !remaining.is_empty() {
+        let mut best_pos = 0;
+        for p in 1..remaining.len() {
+            let (a, b) = (remaining[best_pos], remaining[p]);
+            let ca = find_equi_key(conjuncts, &acc, &locals[a]).is_some();
+            let cb = find_equi_key(conjuncts, &acc, &locals[b]).is_some();
+            let better = match (ca, cb) {
+                (true, false) => false,
+                (false, true) => true,
+                // strict `<` keeps the earlier FROM position on ties
+                _ => est[b] < est[a],
+            };
+            if better {
+                best_pos = p;
+            }
+        }
+        let next = remaining.remove(best_pos);
+        acc.extend(locals[next].iter().cloned());
+        order.push(next);
+    }
+    order
+}
+
+/// Global binding positions whose *values* the query reads (conjuncts,
+/// projected expressions, grouping keys, HAVING).  `None` when any
+/// reference fails to resolve — the caller then assumes every column is
+/// needed and index-only scans are disabled.  Annotation propagation is
+/// deliberately excluded: annotations are keyed by row number, never by
+/// the cell's value.
+fn needed_value_columns(
+    sel: &Select,
+    bindings: &[ColBinding],
+    items: Option<&[SelectItem]>,
+    conjuncts: &[Expr],
+) -> Option<BTreeSet<usize>> {
+    let mut out = BTreeSet::new();
+    let mut cols = Vec::new();
+    let mut add = |e: &Expr, out: &mut BTreeSet<usize>| -> bool {
+        cols.clear();
+        if referenced_columns(e, bindings, &mut cols).is_err() {
+            return false;
+        }
+        out.extend(cols.iter().copied());
+        true
+    };
+    for c in conjuncts {
+        if !add(c, &mut out) {
+            return None;
+        }
+    }
+    for item in items? {
+        if !add(&item.expr, &mut out) {
+            return None;
+        }
+    }
+    for (q, n) in &sel.group_by {
+        match resolve_column(bindings, q.as_deref(), n) {
+            Ok(i) => out.insert(i),
+            Err(_) => return None,
+        };
+    }
+    if let Some(h) = &sel.having {
+        if !add(h, &mut out) {
+            return None;
+        }
+    }
+    Some(out)
 }
 
 fn run_simple_select(
@@ -572,9 +752,8 @@ fn run_simple_select(
         return Err(BdbmsError::Invalid("SELECT requires FROM".into()));
     }
 
-    // ---- source resolution ----
-    let mut sources: Vec<Source> = Vec::new();
-    let mut all_bindings: Vec<ColBinding> = Vec::new();
+    // ---- source resolution (FROM order) ----
+    let mut resolved: Vec<(&Table, &TableRef)> = Vec::new();
     for tref in &sel.from {
         let table = catalog.table(&tref.table)?;
         // validate requested annotation tables up front
@@ -586,15 +765,66 @@ fn run_simple_select(
                 )));
             }
         }
-        let qualifier = tref.alias.as_deref().unwrap_or(&tref.table);
+        resolved.push((table, tref));
+    }
+    let from_bindings: Vec<ColBinding> = resolved
+        .iter()
+        .flat_map(|(t, r)| source_bindings(t, r))
+        .collect();
+
+    // the projection expands against FROM-ordered bindings so `SELECT *`
+    // column order does not depend on the join order chosen below;
+    // expansion errors surface at projection time, exactly where the
+    // naive path reports them
+    let items_early = expand_projection(&sel.projection, &from_bindings);
+
+    let all_conjuncts: Vec<Expr> = sel
+        .where_clause
+        .as_ref()
+        .map(plan::split_conjuncts)
+        .unwrap_or_default();
+
+    // ---- conjunct classification (pushdown), FROM layout ----
+    // classification is permutation-invariant (it resolves by
+    // qualifier/name over the same multiset of bindings), so one pass
+    // against the FROM layout serves both join-order estimation and the
+    // reordered execution below
+    let mut offset = 0usize;
+    let from_segments: Vec<(usize, usize)> = resolved
+        .iter()
+        .map(|(t, _)| {
+            let seg = (offset, t.schema.arity());
+            offset += t.schema.arity();
+            seg
+        })
+        .collect();
+    let mut pushed_from: Vec<Vec<Expr>> = vec![Vec::new(); resolved.len()];
+    let mut residual: Vec<Expr> = Vec::new();
+    if opts.predicate_pushdown {
+        for c in &all_conjuncts {
+            match plan::classify_conjunct(c, &from_bindings, &from_segments) {
+                ConjunctSite::Source(i) => pushed_from[i].push(c.clone()),
+                ConjunctSite::Residual => residual.push(c.clone()),
+            }
+        }
+    } else if let Some(pred) = &sel.where_clause {
+        residual.push(pred.clone());
+    }
+
+    // ---- join order (greedy, by estimated post-pushdown cardinality) ----
+    let order: Vec<usize> = if opts.join_reorder && resolved.len() > 1 {
+        choose_join_order(&resolved, &pushed_from, &all_conjuncts)
+    } else {
+        (0..resolved.len()).collect()
+    };
+
+    // ---- sources, bindings, pushed conjuncts in execution order ----
+    let mut sources: Vec<Source> = Vec::new();
+    let mut all_bindings: Vec<ColBinding> = Vec::new();
+    for &i in &order {
+        let (table, tref) = resolved[i];
         let offset = all_bindings.len();
-        all_bindings.extend(
-            table
-                .schema
-                .columns()
-                .iter()
-                .map(|c| ColBinding::new(Some(qualifier), &c.name)),
-        );
+        all_bindings.extend(source_bindings(table, tref));
         sources.push(Source {
             table,
             tref,
@@ -602,28 +832,13 @@ fn run_simple_select(
             arity: table.schema.arity(),
         });
     }
+    let mut pushed: Vec<Vec<Expr>> = order
+        .iter()
+        .map(|&i| std::mem::take(&mut pushed_from[i]))
+        .collect();
     let total_arity = all_bindings.len();
     let st = RefCell::new(std::mem::take(stats_out));
-
-    // ---- conjunct classification (pushdown) ----
-    let all_conjuncts: Vec<Expr> = sel
-        .where_clause
-        .as_ref()
-        .map(plan::split_conjuncts)
-        .unwrap_or_default();
-    let segments: Vec<(usize, usize)> = sources.iter().map(|s| (s.offset, s.arity)).collect();
-    let mut pushed: Vec<Vec<Expr>> = vec![Vec::new(); sources.len()];
-    let mut residual: Vec<Expr> = Vec::new();
-    if opts.predicate_pushdown {
-        for c in &all_conjuncts {
-            match plan::classify_conjunct(c, &all_bindings, &segments) {
-                ConjunctSite::Source(i) => pushed[i].push(c.clone()),
-                ConjunctSite::Residual => residual.push(c.clone()),
-            }
-        }
-    } else if let Some(pred) = &sel.where_clause {
-        residual.push(pred.clone());
-    }
+    st.borrow_mut().join_order.extend(order.iter().copied());
 
     // ---- columns whose annotations the query can propagate ----
     let eager = !opts.lazy_annotations;
@@ -632,8 +847,8 @@ fn run_simple_select(
         (0..total_arity).collect()
     } else {
         let mut needed = BTreeSet::new();
-        if let Ok(items) = expand_projection(&sel.projection, &all_bindings) {
-            for item in &items {
+        if let Ok(items) = &items_early {
+            for item in items {
                 // unresolvable items error later, exactly where the
                 // naive path would have reported them
                 if let Ok(cols) = item_ann_columns(item, &all_bindings) {
@@ -642,6 +857,37 @@ fn run_simple_select(
             }
         }
         needed
+    };
+
+    // ---- columns whose values the query reads (index-only planning) ----
+    let value_cols: Option<BTreeSet<usize>> = if opts.index_scans {
+        needed_value_columns(
+            sel,
+            &all_bindings,
+            items_early.as_deref().ok(),
+            &all_conjuncts,
+        )
+    } else {
+        None
+    };
+
+    // ---- LIMIT pushdown eligibility: nothing between the pipeline and
+    //      the final output may block or reorder rows ----
+    let push_limit: Option<usize> = match sel.limit {
+        Some(k)
+            if opts.limit_pushdown
+                && sel.set_op.is_none()
+                && sel.order_by.is_empty()
+                && !sel.distinct
+                && sel.group_by.is_empty()
+                && sel.having.is_none()
+                && sel.ahaving.is_none()
+                && matches!(&items_early,
+                    Ok(items) if !items.iter().any(|i| has_aggregate(&i.expr))) =>
+        {
+            Some(k as usize)
+        }
+        _ => None,
     };
     let local_needed = |src: &Source| -> Vec<usize> {
         needed_cols
@@ -660,11 +906,18 @@ fn run_simple_select(
                 Vec::new();
             for (i, src) in sources.iter().enumerate() {
                 let local = &all_bindings[src.offset..src.offset + src.arity];
+                let local_value_cols: Option<Vec<usize>> = value_cols.as_ref().map(|vc| {
+                    vc.iter()
+                        .filter(|&&c| c >= src.offset && c < src.offset + src.arity)
+                        .map(|&c| c - src.offset)
+                        .collect()
+                });
                 let scan = scan_stream(
                     src,
                     local,
                     std::mem::take(&mut pushed[i]),
                     opts.index_scans,
+                    local_value_cols,
                     &st,
                 );
                 // an eager attacher fills this source's own slots (offset 0
@@ -798,6 +1051,15 @@ fn run_simple_select(
                 })),
                 None => Box::new(stream),
             };
+            // ---- pushed LIMIT: stop pulling (and therefore scanning)
+            //      after the k-th surviving tuple ----
+            let stream: Box<dyn Iterator<Item = Result<AnnRow>> + '_> = match push_limit {
+                Some(k) => {
+                    st.borrow_mut().limit_pushdowns += 1;
+                    Box::new(stream.take(k))
+                }
+                None => stream,
+            };
             stream.collect::<Result<Vec<AnnRow>>>()
         };
         run()
@@ -808,7 +1070,7 @@ fn run_simple_select(
 
     // ---- projection / aggregation (identical to the pre-streaming
     //      executor from here on: the paper's §3.4 output semantics) ----
-    let items = expand_projection(&sel.projection, &bindings)?;
+    let items = items_early?;
     let aggregated = !sel.group_by.is_empty()
         || items.iter().any(|i| has_aggregate(&i.expr))
         || sel.having.as_ref().is_some_and(has_aggregate);

@@ -53,6 +53,7 @@ pub mod parser;
 pub mod plan;
 pub mod provenance;
 pub mod result;
+pub mod stats;
 pub mod xml;
 
 pub use database::Database;

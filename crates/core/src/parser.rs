@@ -39,6 +39,7 @@ const CLAUSE_KEYWORDS: &[&str] = &[
     "JOIN",
     "AND",
     "BETWEEN",
+    "LIMIT",
 ];
 
 struct Parser {
@@ -159,6 +160,12 @@ impl Parser {
                 Ok(Statement::DisapproveOperation { id: self.uint()? })
             }
             t if t.is_kw("SHOW") => self.show(),
+            t if t.is_kw("ANALYZE") => {
+                self.bump();
+                Ok(Statement::Analyze {
+                    table: self.ident()?,
+                })
+            }
             t if t.is_kw("VALIDATE") => self.validate(),
             _ => Err(self.err_here("statement keyword")),
         }
@@ -623,6 +630,11 @@ impl Parser {
                 }
             }
         }
+        let mut limit = if self.accept_kw("LIMIT") {
+            Some(self.uint()?)
+        } else {
+            None
+        };
         let mut set_op = if self.accept_kw("INTERSECT") {
             Some((SetOp::Intersect, Box::new(self.select()?)))
         } else if self.accept_kw("UNION") {
@@ -632,13 +644,16 @@ impl Parser {
         } else {
             None
         };
-        // A trailing ORDER BY after a set operation binds to the whole
-        // compound (standard SQL), but right-recursion hands it to the
-        // rightmost SELECT — hoist it up.  (Inner ORDER BY is meaningless
-        // on set-operation inputs anyway.)
+        // A trailing ORDER BY / LIMIT after a set operation binds to the
+        // whole compound (standard SQL), but right-recursion hands it to
+        // the rightmost SELECT — hoist it up.  (Inner ORDER BY is
+        // meaningless on set-operation inputs anyway.)
         if let Some((_, right)) = &mut set_op {
             if order_by.is_empty() && !right.order_by.is_empty() {
                 order_by = std::mem::take(&mut right.order_by);
+            }
+            if limit.is_none() && right.limit.is_some() {
+                limit = right.limit.take();
             }
         }
         Ok(Select {
@@ -652,6 +667,7 @@ impl Parser {
             ahaving,
             filter,
             order_by,
+            limit,
             set_op,
         })
     }

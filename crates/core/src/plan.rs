@@ -7,7 +7,7 @@
 //! 1. the WHERE clause is split into top-level conjuncts
 //!    ([`split_conjuncts`]);
 //! 2. each conjunct whose columns all resolve inside one source is
-//!    *pushed down* to that source's scan ([`classify_conjuncts`]), so
+//!    *pushed down* to that source's scan ([`classify_conjunct`]), so
 //!    non-qualifying tuples are dropped before joins and before any
 //!    annotation is attached;
 //! 3. a pushed conjunct of the shape `column ⟨cmp⟩ constant` over an
@@ -21,6 +21,19 @@
 //! interleave collapses `i64` values beyond 2^53).  Widening keeps the
 //! candidate set a superset of the true result; re-evaluation trims the
 //! false positives.
+//!
+//! ## Cost model
+//!
+//! When several indexes could serve a scan, [`choose_probe`] costs each
+//! candidate with the table's [`crate::stats::TableStats`] and takes the
+//! one expected to return the fewest rows: an equality probe is costed
+//! at `rows / distinct(col)`, a range probe at the fraction of the
+//! `[min, max]` span it covers (System R's 1/3 / 1/9 defaults when the
+//! column is non-numeric).  [`estimate_scan_rows`] applies the same
+//! per-conjunct selectivities to a whole pushed-conjunct set, which is
+//! what the executor's greedy join ordering ranks sources by.  All
+//! estimates are deterministic functions of the insert history, so plan
+//! choices are stable and testable.
 
 use std::ops::Bound;
 
@@ -29,6 +42,7 @@ use bdbms_common::{DataType, Result, Value};
 use crate::ast::{BinaryOp, Expr};
 use crate::catalog::Table;
 use crate::expr::{eval, referenced_columns, ColBinding};
+use crate::stats::ColumnStats;
 
 /// Split a predicate into its top-level conjuncts, in evaluation order.
 pub fn split_conjuncts(e: &Expr) -> Vec<Expr> {
@@ -217,15 +231,184 @@ pub fn choose_probe(table: &Table, local_bindings: &[ColBinding], pushed: &[Expr
             break; // a conjunct constrains via at most one side
         }
     }
-    let pick = cols.iter().find(|(_, b)| b.has_eq).or_else(|| cols.first());
+    // cost-based choice: expected result rows per candidate, smallest
+    // wins; ties prefer equality probes, then first-seen order (so the
+    // choice is deterministic given fixed stats)
+    let pick = cols
+        .iter()
+        .filter(|(_, b)| b.lo.is_some() || b.hi.is_some())
+        .map(|(col, b)| (col, b, estimate_bounds_rows(table, *col, b)))
+        // `min_by` keeps the first of equal candidates → first-seen order
+        .min_by(|(_, ab, ae), (_, bb, be)| {
+            ae.total_cmp(be).then_with(|| bb.has_eq.cmp(&ab.has_eq))
+        });
     match pick {
-        Some((col, b)) if b.lo.is_some() || b.hi.is_some() => Probe::Index {
+        Some((col, b, _)) => Probe::Index {
             column: *col,
             lo: b.lo.clone().map_or(Bound::Unbounded, Bound::Included),
             hi: b.hi.clone().map_or(Bound::Unbounded, Bound::Included),
         },
-        _ => Probe::FullScan,
+        None => Probe::FullScan,
     }
+}
+
+/// Expected rows returned by a probe of `column` constrained to the
+/// accumulated bounds.
+fn estimate_bounds_rows(table: &Table, column: usize, b: &ColBounds) -> f64 {
+    let n = table.len() as f64;
+    let cs = table.stats().column(column);
+    let nonnull = (n - cs.null_count as f64).max(0.0);
+    if b.has_eq {
+        return nonnull / cs.distinct().max(1) as f64;
+    }
+    nonnull * range_fraction(cs, b.lo.as_ref(), b.hi.as_ref())
+}
+
+/// Fraction of a column's `[min, max]` span covered by the bounds, when
+/// the column is numeric; System R-style defaults (1/3 one-sided, 1/9
+/// two-sided) otherwise.
+fn range_fraction(cs: &ColumnStats, lo: Option<&Value>, hi: Option<&Value>) -> f64 {
+    let bounds_numeric =
+        lo.is_none_or(|v| v.as_float().is_some()) && hi.is_none_or(|v| v.as_float().is_some());
+    let stats_numeric = (
+        cs.min.as_ref().and_then(|v| v.as_float()),
+        cs.max.as_ref().and_then(|v| v.as_float()),
+    );
+    if let (Some(min), Some(max)) = stats_numeric {
+        if bounds_numeric {
+            let span = max - min;
+            if span <= 0.0 {
+                // single-valued column: every row shares the one key
+                return 1.0;
+            }
+            let lo_f = lo.and_then(|v| v.as_float()).unwrap_or(min).max(min);
+            let hi_f = hi.and_then(|v| v.as_float()).unwrap_or(max).min(max);
+            return ((hi_f - lo_f) / span).clamp(0.0, 1.0);
+        }
+    }
+    match (lo, hi) {
+        (Some(_), Some(_)) => 1.0 / 9.0,
+        (None, None) => 1.0,
+        _ => 1.0 / 3.0,
+    }
+}
+
+/// Estimated selectivity of one conjunct evaluated at a single source's
+/// scan (fraction of rows surviving), using the table's stats where the
+/// conjunct has the `column ⟨cmp⟩ constant` shape and fixed defaults
+/// elsewhere.
+pub fn estimate_conjunct_selectivity(
+    table: &Table,
+    local_bindings: &[ColBinding],
+    conjunct: &Expr,
+) -> f64 {
+    let n = table.len() as f64;
+    match conjunct {
+        Expr::Binary(l, op, r)
+            if matches!(
+                op,
+                BinaryOp::Eq
+                    | BinaryOp::Ne
+                    | BinaryOp::Lt
+                    | BinaryOp::Le
+                    | BinaryOp::Gt
+                    | BinaryOp::Ge
+            ) =>
+        {
+            let sides = [(l, *op, r), (r, mirror(*op), l)];
+            for (col_side, op, const_side) in sides {
+                let Expr::Column(q, name) = &**col_side else {
+                    continue;
+                };
+                let Ok(col) = crate::expr::resolve_column(local_bindings, q.as_deref(), name)
+                else {
+                    continue;
+                };
+                let mut const_cols = Vec::new();
+                if referenced_columns(const_side, local_bindings, &mut const_cols).is_err()
+                    || !const_cols.is_empty()
+                {
+                    continue;
+                }
+                let Some(key) = const_fold(const_side) else {
+                    continue;
+                };
+                if key.is_null() {
+                    return 0.0; // comparison with NULL is never true
+                }
+                let cs = table.stats().column(col);
+                let nonnull_frac = if n > 0.0 {
+                    ((n - cs.null_count as f64) / n).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
+                let eq_sel = 1.0 / cs.distinct().max(1) as f64;
+                return nonnull_frac
+                    * match op {
+                        BinaryOp::Eq => eq_sel,
+                        BinaryOp::Ne => 1.0 - eq_sel,
+                        BinaryOp::Lt | BinaryOp::Le => range_fraction(cs, None, Some(&key)),
+                        BinaryOp::Gt | BinaryOp::Ge => range_fraction(cs, Some(&key), None),
+                        _ => 1.0,
+                    };
+            }
+            0.5 // column-vs-column / expression comparison
+        }
+        Expr::Binary(_, BinaryOp::And, _) => split_conjuncts(conjunct)
+            .iter()
+            .map(|c| estimate_conjunct_selectivity(table, local_bindings, c))
+            .product(),
+        Expr::Like(_, _, negated) => {
+            if *negated {
+                0.75
+            } else {
+                0.25
+            }
+        }
+        Expr::IsNull(inner, negated) => {
+            if let Expr::Column(q, name) = &**inner {
+                if let Ok(col) = crate::expr::resolve_column(local_bindings, q.as_deref(), name) {
+                    let null_frac = if n > 0.0 {
+                        (table.stats().column(col).null_count as f64 / n).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
+                    return if *negated { 1.0 - null_frac } else { null_frac };
+                }
+            }
+            0.5
+        }
+        Expr::InList(inner, items, negated) => {
+            let base = if let Expr::Column(q, name) = &**inner {
+                match crate::expr::resolve_column(local_bindings, q.as_deref(), name) {
+                    Ok(col) => {
+                        let d = table.stats().column(col).distinct().max(1) as f64;
+                        (items.len() as f64 / d).clamp(0.0, 1.0)
+                    }
+                    Err(_) => 0.5,
+                }
+            } else {
+                0.5
+            };
+            if *negated {
+                1.0 - base
+            } else {
+                base
+            }
+        }
+        _ => 0.5,
+    }
+}
+
+/// Estimated rows a source's scan yields after its pushed conjuncts,
+/// assuming independent predicates.  This is the cardinality the greedy
+/// join ordering ranks sources by.
+pub fn estimate_scan_rows(table: &Table, local_bindings: &[ColBinding], pushed: &[Expr]) -> f64 {
+    let mut est = table.len() as f64;
+    for c in pushed {
+        est *= estimate_conjunct_selectivity(table, local_bindings, c).clamp(0.0, 1.0);
+    }
+    est
 }
 
 /// Mirror a comparison so `const ⟨cmp⟩ col` reads as `col ⟨cmp'⟩ const`.

@@ -1,0 +1,317 @@
+//! Planner determinism suite: given a fixed insert history (hence fixed
+//! statistics), the cost-based planner must make reproducible, assertable
+//! decisions — which index serves a scan, which join order runs, whether
+//! a LIMIT terminates the pipeline early, and when a scan is served
+//! index-only — all observed through `ExecStats`.  The naive executor
+//! must keep returning the same answers on every new workload shape.
+
+use bdbms_common::Value;
+use bdbms_core::executor::{ExecOptions, ExecStats};
+use bdbms_core::result::QueryResult;
+use bdbms_core::Database;
+
+/// 200-row Gene table: `Len` = row number (unique), `Bucket` = row % 10
+/// (10 distinct), B+-tree indexes on both; 10-row Tag dimension table.
+fn fixture() -> Database {
+    let mut db = Database::new_in_memory();
+    db.execute("CREATE TABLE Gene (GID TEXT, GName TEXT, Len INT, Bucket INT)")
+        .unwrap();
+    db.execute("CREATE ANNOTATION TABLE Curation ON Gene")
+        .unwrap();
+    for i in 0..200 {
+        db.execute(&format!(
+            "INSERT INTO Gene VALUES ('JW{i:04}', 'g{i}', {i}, {})",
+            i % 10
+        ))
+        .unwrap();
+    }
+    db.execute(
+        "ADD ANNOTATION TO Gene.Curation VALUE 'curated' \
+         ON (SELECT G.GName FROM Gene G)",
+    )
+    .unwrap();
+    db.execute("CREATE INDEX len_idx ON Gene (Len)").unwrap();
+    db.execute("CREATE INDEX bucket_idx ON Gene (Bucket)")
+        .unwrap();
+    db.execute("CREATE TABLE Tag (Len INT, TName TEXT)")
+        .unwrap();
+    for t in 0..10 {
+        db.execute(&format!("INSERT INTO Tag VALUES ({}, 'tag{t}')", t * 20))
+            .unwrap();
+    }
+    db
+}
+
+fn sorted_values(qr: &QueryResult) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> = qr
+        .rows
+        .iter()
+        .map(|r| r.values.iter().map(|v| v.to_string()).collect())
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// Both executors must agree on the multiset of result rows.
+fn assert_same_rows(db: &Database, sql: &str) -> (ExecStats, ExecStats) {
+    let (naive, ns) = db
+        .query_traced(sql, &ExecOptions::naive())
+        .unwrap_or_else(|e| panic!("naive failed on {sql}: {e:?}"));
+    let (opt, os) = db
+        .query_traced(sql, &ExecOptions::default())
+        .unwrap_or_else(|e| panic!("optimized failed on {sql}: {e:?}"));
+    assert_eq!(naive.columns, opt.columns, "columns differ: {sql}");
+    assert_eq!(
+        sorted_values(&naive),
+        sorted_values(&opt),
+        "rows differ: {sql}"
+    );
+    (ns, os)
+}
+
+#[test]
+fn incremental_stats_track_dml() {
+    let db = fixture();
+    let t = db.catalog().table("Gene").unwrap();
+    let len = t.stats().column(2);
+    assert_eq!(len.min, Some(Value::Int(0)));
+    assert_eq!(len.max, Some(Value::Int(199)));
+    assert_eq!(len.null_count, 0);
+    // fewer than the sketch's K distinct values → the estimate is exact
+    assert_eq!(len.distinct(), 200);
+    assert_eq!(t.stats().column(3).distinct(), 10);
+
+    let mut db = db;
+    db.execute("INSERT INTO Gene VALUES ('JW9999', 'g', 500, NULL)")
+        .unwrap();
+    let t = db.catalog().table("Gene").unwrap();
+    assert_eq!(t.stats().column(2).max, Some(Value::Int(500)));
+    assert_eq!(t.stats().column(3).null_count, 1);
+    db.execute("UPDATE Gene SET Bucket = 3 WHERE Len = 500")
+        .unwrap();
+    assert_eq!(
+        db.catalog()
+            .table("Gene")
+            .unwrap()
+            .stats()
+            .column(3)
+            .null_count,
+        0
+    );
+    // deletes shrink NULL counts but conservatively keep min/max wide
+    db.execute("DELETE FROM Gene WHERE Len = 500").unwrap();
+    let t = db.catalog().table("Gene").unwrap();
+    assert_eq!(t.stats().column(2).max, Some(Value::Int(500)));
+}
+
+#[test]
+fn analyze_statement_rebuilds_exact_stats() {
+    let mut db = fixture();
+    db.execute("DELETE FROM Gene WHERE Len >= 100").unwrap();
+    // incrementally-maintained bounds are stale-wide after the delete…
+    assert_eq!(
+        db.catalog().table("Gene").unwrap().stats().column(2).max,
+        Some(Value::Int(199))
+    );
+    // …until ANALYZE recomputes them from the live rows
+    let r = db.execute("ANALYZE Gene").unwrap();
+    assert!(r.message.unwrap().contains("100 row(s)"));
+    let t = db.catalog().table("Gene").unwrap();
+    assert_eq!(t.stats().column(2).max, Some(Value::Int(99)));
+    assert_eq!(t.stats().column(2).distinct(), 100);
+    assert!(db.execute("ANALYZE NoSuchTable").is_err());
+}
+
+#[test]
+fn multi_index_choice_is_cost_based_and_deterministic() {
+    let db = fixture();
+    // Bucket = 3 matches 20 rows; Len ∈ [100, 102) matches 2 → len_idx
+    // (the pre-stats planner preferred any equality, i.e. bucket_idx)
+    let sql = "SELECT GID FROM Gene WHERE Bucket = 3 AND Len >= 100 AND Len < 102";
+    let (_, st) = db.query_traced(sql, &ExecOptions::default()).unwrap();
+    assert_eq!(st.chosen_indexes, vec!["len_idx".to_string()]);
+    assert_eq!(st.index_probes, 1);
+    // a table-wide Len range is worse than the Bucket equality
+    let sql = "SELECT GID FROM Gene WHERE Bucket = 3 AND Len >= 0";
+    let (_, st) = db.query_traced(sql, &ExecOptions::default()).unwrap();
+    assert_eq!(st.chosen_indexes, vec!["bucket_idx".to_string()]);
+    // decisions are a pure function of the (fixed) stats
+    for _ in 0..3 {
+        let (_, again) = db.query_traced(sql, &ExecOptions::default()).unwrap();
+        assert_eq!(again.chosen_indexes, st.chosen_indexes);
+    }
+    // both plans return the same rows as the naive executor
+    assert_same_rows(&db, sql);
+    assert_same_rows(
+        &db,
+        "SELECT GID FROM Gene WHERE Bucket = 3 AND Len >= 100 AND Len < 102",
+    );
+}
+
+#[test]
+fn join_order_streams_the_big_source() {
+    let db = fixture();
+    let sql = "SELECT G.GID, T.TName FROM Tag T, Gene G WHERE T.Len = G.Len";
+    let (naive, opt) = assert_same_rows(&db, sql);
+    assert_eq!(naive.join_order, vec![0, 1], "naive keeps FROM order");
+    assert_eq!(
+        opt.join_order,
+        vec![1, 0],
+        "Gene (200 rows) streams; Tag (10 rows) is the hash build side"
+    );
+    // with Gene already first, the order is kept
+    let sql = "SELECT G.GID, T.TName FROM Gene G, Tag T WHERE T.Len = G.Len";
+    let (_, opt) = assert_same_rows(&db, sql);
+    assert_eq!(opt.join_order, vec![0, 1]);
+    // a selective pushed predicate flips the estimate: Gene shrinks to
+    // one row, so Tag streams and Gene becomes the build side
+    let sql = "SELECT G.GID, T.TName FROM Gene G, Tag T WHERE T.Len = G.Len AND G.Len = 40";
+    let (_, opt) = assert_same_rows(&db, sql);
+    assert_eq!(opt.join_order, vec![1, 0]);
+}
+
+#[test]
+fn three_way_join_prefers_connected_sources() {
+    let mut db = fixture();
+    db.execute("CREATE TABLE TagMeta (TName TEXT, Grp TEXT)")
+        .unwrap();
+    for t in 0..10 {
+        db.execute(&format!(
+            "INSERT INTO TagMeta VALUES ('tag{t}', 'grp{}')",
+            t % 2
+        ))
+        .unwrap();
+    }
+    // TagMeta only joins through Tag; after Gene streams, Tag (connected
+    // to Gene) must come before TagMeta even though TagMeta is no bigger
+    let sql = "SELECT G.GID, M.Grp FROM TagMeta M, Tag T, Gene G \
+               WHERE T.Len = G.Len AND M.TName = T.TName";
+    let (_, opt) = assert_same_rows(&db, sql);
+    assert_eq!(
+        opt.join_order,
+        vec![2, 1, 0],
+        "Gene, then Tag, then TagMeta"
+    );
+}
+
+#[test]
+fn limit_terminates_the_pipeline_early() {
+    let db = fixture();
+    // full-scan LIMIT: both paths emit rows in row order, so results are
+    // identical row-for-row; only the work differs
+    let sql = "SELECT GID, GName FROM Gene LIMIT 7";
+    let (naive_r, naive) = db.query_traced(sql, &ExecOptions::naive()).unwrap();
+    let (opt_r, opt) = db.query_traced(sql, &ExecOptions::default()).unwrap();
+    assert_eq!(
+        naive_r.rows.iter().map(|r| &r.values).collect::<Vec<_>>(),
+        opt_r.rows.iter().map(|r| &r.values).collect::<Vec<_>>()
+    );
+    assert_eq!(naive.rows_fetched, 200);
+    assert_eq!(naive.rows_limit_discarded, 193);
+    assert_eq!(naive.limit_pushdowns, 0);
+    assert_eq!(opt.rows_fetched, 7, "scan stopped after the limit");
+    assert_eq!(opt.limit_pushdowns, 1);
+    assert_eq!(opt.rows_limit_discarded, 0);
+
+    // LIMIT over an index range probe stops the probe's re-checks too
+    let sql = "SELECT GID, Len FROM Gene WHERE Len >= 50 LIMIT 5";
+    let (_, opt) = db.query_traced(sql, &ExecOptions::default()).unwrap();
+    assert_eq!(opt.rows_fetched, 5);
+    assert_eq!(opt.limit_pushdowns, 1);
+    assert_same_rows(&db, sql);
+
+    // annotations still attach only to the tuples that survive the limit
+    let sql = "SELECT GName FROM Gene ANNOTATION(Curation) LIMIT 3";
+    let (_, opt) = db.query_traced(sql, &ExecOptions::default()).unwrap();
+    assert_eq!(opt.anns_attached, 3);
+    assert_same_rows(&db, sql);
+}
+
+#[test]
+fn limit_is_not_pushed_past_blocking_operators() {
+    let db = fixture();
+    for sql in [
+        // ORDER BY must see every row before truncating
+        "SELECT GID, Len FROM Gene ORDER BY Len DESC LIMIT 4",
+        // grouping and DISTINCT are blocking too
+        "SELECT Bucket, COUNT(*) AS n FROM Gene GROUP BY Bucket ORDER BY Bucket LIMIT 3",
+        "SELECT DISTINCT Bucket FROM Gene ORDER BY Bucket LIMIT 3",
+    ] {
+        let (naive_r, _) = db.query_traced(sql, &ExecOptions::naive()).unwrap();
+        let (opt_r, opt) = db.query_traced(sql, &ExecOptions::default()).unwrap();
+        assert_eq!(opt.limit_pushdowns, 0, "must not push: {sql}");
+        assert_eq!(
+            naive_r.rows.iter().map(|r| &r.values).collect::<Vec<_>>(),
+            opt_r.rows.iter().map(|r| &r.values).collect::<Vec<_>>(),
+            "{sql}"
+        );
+        assert!(opt.rows_limit_discarded > 0, "late truncation: {sql}");
+    }
+    // ORDER BY + LIMIT answers are correct (top-4 by Len descending)
+    let (qr, _) = db
+        .query_traced(
+            "SELECT Len FROM Gene ORDER BY Len DESC LIMIT 4",
+            &ExecOptions::default(),
+        )
+        .unwrap();
+    let lens: Vec<String> = qr.rows.iter().map(|r| r.values[0].to_string()).collect();
+    assert_eq!(lens, vec!["199", "198", "197", "196"]);
+}
+
+#[test]
+fn index_only_scans_skip_the_heap() {
+    let db = fixture();
+    // projection and predicate both live on the indexed column
+    let sql = "SELECT Len FROM Gene WHERE Len >= 5 AND Len < 8";
+    let (qr, st) = db.query_traced(sql, &ExecOptions::default()).unwrap();
+    assert_eq!(st.index_only_scans, 1);
+    assert_eq!(st.index_probes, 1);
+    assert_eq!(
+        qr.rows
+            .iter()
+            .map(|r| r.values[0].to_string())
+            .collect::<Vec<_>>(),
+        vec!["5", "6", "7"]
+    );
+    assert_same_rows(&db, sql);
+    // aggregates over the covered column stay index-only
+    let sql = "SELECT COUNT(*) AS n FROM Gene WHERE Len >= 100";
+    let (qr, st) = db.query_traced(sql, &ExecOptions::default()).unwrap();
+    assert_eq!(st.index_only_scans, 1);
+    assert_eq!(qr.rows[0].values[0], Value::Int(100));
+    assert_same_rows(&db, sql);
+    // projecting an uncovered column forces heap fetches
+    let (_, st) = db
+        .query_traced(
+            "SELECT GID FROM Gene WHERE Len = 5",
+            &ExecOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(st.index_only_scans, 0);
+    assert_eq!(st.index_probes, 1);
+}
+
+#[test]
+fn stats_survive_heavy_churn_and_plans_stay_valid() {
+    let mut db = fixture();
+    // churn: shift half the buckets, delete a band, re-insert
+    db.execute("UPDATE Gene SET Bucket = Bucket + 10 WHERE Len < 100")
+        .unwrap();
+    db.execute("DELETE FROM Gene WHERE Len >= 150").unwrap();
+    for i in 300..330 {
+        db.execute(&format!(
+            "INSERT INTO Gene VALUES ('JW{i:04}', 'g{i}', {i}, {})",
+            i % 10
+        ))
+        .unwrap();
+    }
+    db.execute("ANALYZE Gene").unwrap();
+    for sql in [
+        "SELECT GID FROM Gene WHERE Bucket = 13 AND Len >= 10 AND Len < 12",
+        "SELECT GID, Len FROM Gene WHERE Len >= 300 ORDER BY Len",
+        "SELECT Bucket, COUNT(*) AS n FROM Gene GROUP BY Bucket ORDER BY Bucket",
+        "SELECT GID FROM Gene WHERE Len >= 100 LIMIT 6",
+    ] {
+        assert_same_rows(&db, sql);
+    }
+}

@@ -277,7 +277,7 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
         }
     }
 
-    /// All entries within `lo`/`hi` (any [`Bound`] combination) in key
+    /// All entries within `lo`/`hi` (any [`std::ops::Bound`] combination) in key
     /// order.  This is the executor's index-scan entry point: equality
     /// probes use `Included(k)..=Included(k)`, one-sided comparisons leave
     /// the other end `Unbounded`.

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over `reproduce -- e13 --json` output.
+
+Usage:
+    check_perf.py BASELINE.json FRESH.json [--tolerance N]
+
+Both files are arrays of experiment reports as emitted by
+`cargo run -p bdbms-bench --release --bin reproduce -- e13 --json`.
+For every e13 query row present in both files, the fresh speedup (the
+"speedup" column, e.g. "12000.5x") must be at least `baseline / N`
+(default N = 5): only a more-than-N-fold drop fails the gate, so noisy
+CI runners never flake it, while a real regression — an index probe
+silently degrading to a full scan, a LIMIT no longer terminating the
+pipeline — trips it immediately.
+
+Exit code 0 = pass, 1 = regression (or malformed input).
+"""
+
+import json
+import sys
+
+
+def speedups(path):
+    """Map query label -> speedup ratio from an e13 report."""
+    with open(path) as f:
+        reports = json.load(f)
+    for report in reports:
+        if report.get("id") != "e13":
+            continue
+        headers = report["headers"]
+        qi = headers.index("query")
+        si = headers.index("speedup")
+        out = {}
+        for row in report["rows"]:
+            ratio = row[si].rstrip("x")
+            try:
+                out[row[qi]] = float(ratio)
+            except ValueError:
+                continue  # "-" (unmeasurable) rows are not gated
+        return out
+    raise SystemExit(f"error: no e13 report found in {path}")
+
+
+def main(argv):
+    tolerance = 5.0
+    args = []
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--tolerance":
+            tolerance = float(argv[i + 1])
+            i += 2
+        else:
+            args.append(argv[i])
+            i += 1
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    base = speedups(args[0])
+    fresh = speedups(args[1])
+    failed = False
+    print(f"{'query':<24} {'baseline':>10} {'fresh':>10} {'floor':>10}  verdict")
+    for label, base_s in sorted(base.items()):
+        if label not in fresh:
+            print(f"{label:<24} {base_s:>10.1f} {'missing':>10} {'':>10}  FAIL")
+            failed = True
+            continue
+        floor = base_s / tolerance
+        fresh_s = fresh[label]
+        verdict = "ok" if fresh_s >= floor else "FAIL"
+        failed = failed or verdict == "FAIL"
+        print(f"{label:<24} {base_s:>10.1f} {fresh_s:>10.1f} {floor:>10.1f}  {verdict}")
+    for label in sorted(set(fresh) - set(base)):
+        print(f"{label:<24} {'(new)':>10} {fresh[label]:>10.1f} {'':>10}  ok")
+    if failed:
+        print(
+            f"\nperf gate FAILED: a speedup regressed by more than {tolerance}x "
+            "against bench/baseline_e13.json.\nIf the regression is intended "
+            "(workload change), regenerate the baseline with:\n"
+            "  cargo run -p bdbms-bench --release --bin reproduce -- e13 --json "
+            "> bench/baseline_e13.json"
+        )
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
