@@ -1,81 +1,243 @@
-//! The workspace-wide error type.
+//! The workspace-wide structured error type.
 //!
 //! Every fallible public operation in the bdbms crates returns
 //! [`Result<T>`](Result), so callers handle one error type across the
 //! storage engine, the access methods, and the query engine.
+//!
+//! A [`BdbmsError`] is a *structured* error: a machine-readable
+//! [`ErrorCode`] (so clients can branch on syntax vs. authorization vs.
+//! constraint failures programmatically), a human-readable message, and —
+//! for errors raised while lexing or parsing a statement — an optional
+//! [`Span`] pointing at the offending bytes of the SQL text.
 
 use std::fmt;
 
 /// Convenient alias used across the workspace.
 pub type Result<T> = std::result::Result<T, BdbmsError>;
 
-/// All error conditions surfaced by bdbms.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum BdbmsError {
-    /// A SQL / A-SQL statement failed to lex or parse.
-    Parse(String),
+/// Byte range into the source SQL text of a statement-level error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First byte of the offending region.
+    pub start: usize,
+    /// One past the last byte of the offending region.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Machine-readable category of every error bdbms surfaces.  Clients
+/// branch on this (retry? reauthenticate? fix the statement?) instead of
+/// string-matching messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// A SQL / A-SQL statement failed to lex or parse.  Carries a
+    /// [`Span`] into the statement text whenever one is known.
+    Syntax,
     /// A statement referenced a table, column, annotation table, user,
     /// procedure, or rule that does not exist.
-    NotFound(String),
+    NotFound,
     /// An object with the same name already exists.
-    AlreadyExists(String),
+    AlreadyExists,
+    /// A value's type does not match the column or operation it is used
+    /// with (INSERT of TEXT into an INT column, and the like).
+    TypeMismatch,
     /// The statement is well-formed but violates a semantic rule
-    /// (type mismatch, arity mismatch, invalid granularity, ...).
-    Invalid(String),
+    /// (arity mismatch, invalid granularity, ...).
+    Invalid,
     /// The current user lacks the privilege for the attempted operation
     /// (identity-based GRANT/REVOKE check — §6 of the paper).
-    Unauthorized(String),
+    Unauthorized,
     /// A content-based approval constraint rejected the operation
     /// (content-based authorization — §6 of the paper).
-    ApprovalViolation(String),
+    Approval,
     /// A dependency-rule operation failed (cycle detected, conflicting
     /// rules, unknown procedure — §5 of the paper).
-    Dependency(String),
+    Dependency,
     /// The storage layer failed (page overflow, bad record id, I/O error).
-    Storage(String),
+    Storage,
     /// An expression failed to evaluate at runtime.
-    Eval(String),
+    Eval,
     /// Underlying filesystem error, stringified to keep the type `Clone`.
-    Io(String),
+    Io,
+    /// A prepared statement was bound with the wrong number of
+    /// parameters, or executed with a parameter slot left unbound.
+    ParamMismatch,
+}
+
+impl ErrorCode {
+    /// Short machine-readable slug, handy in tests and logs.  Codes that
+    /// predate the structured redesign keep their historical slugs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Syntax => "parse",
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::AlreadyExists => "already_exists",
+            ErrorCode::TypeMismatch => "type_mismatch",
+            ErrorCode::Invalid => "invalid",
+            ErrorCode::Unauthorized => "unauthorized",
+            ErrorCode::Approval => "approval",
+            ErrorCode::Dependency => "dependency",
+            ErrorCode::Storage => "storage",
+            ErrorCode::Eval => "eval",
+            ErrorCode::Io => "io",
+            ErrorCode::ParamMismatch => "param_mismatch",
+        }
+    }
+
+    /// Every code, for exhaustive tests.
+    pub const ALL: [ErrorCode; 12] = [
+        ErrorCode::Syntax,
+        ErrorCode::NotFound,
+        ErrorCode::AlreadyExists,
+        ErrorCode::TypeMismatch,
+        ErrorCode::Invalid,
+        ErrorCode::Unauthorized,
+        ErrorCode::Approval,
+        ErrorCode::Dependency,
+        ErrorCode::Storage,
+        ErrorCode::Eval,
+        ErrorCode::Io,
+        ErrorCode::ParamMismatch,
+    ];
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// All error conditions surfaced by bdbms: a code, a message, and (for
+/// statement-text errors) an optional span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BdbmsError {
+    /// Machine-readable category.
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub message: String,
+    /// Byte range into the offending SQL text, when known.
+    pub span: Option<Span>,
 }
 
 impl BdbmsError {
-    /// Short machine-readable category, handy in tests and logs.
-    pub fn kind(&self) -> &'static str {
-        match self {
-            BdbmsError::Parse(_) => "parse",
-            BdbmsError::NotFound(_) => "not_found",
-            BdbmsError::AlreadyExists(_) => "already_exists",
-            BdbmsError::Invalid(_) => "invalid",
-            BdbmsError::Unauthorized(_) => "unauthorized",
-            BdbmsError::ApprovalViolation(_) => "approval",
-            BdbmsError::Dependency(_) => "dependency",
-            BdbmsError::Storage(_) => "storage",
-            BdbmsError::Eval(_) => "eval",
-            BdbmsError::Io(_) => "io",
+    /// Construct an error with an explicit code.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        BdbmsError {
+            code,
+            message: message.into(),
+            span: None,
         }
+    }
+
+    /// Attach a source span (builder style).
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// The machine-readable category.
+    pub fn code(&self) -> ErrorCode {
+        self.code
+    }
+
+    /// Short machine-readable category slug, handy in tests and logs.
+    pub fn kind(&self) -> &'static str {
+        self.code.as_str()
     }
 
     /// The human-readable message carried by the error.
     pub fn message(&self) -> &str {
-        match self {
-            BdbmsError::Parse(m)
-            | BdbmsError::NotFound(m)
-            | BdbmsError::AlreadyExists(m)
-            | BdbmsError::Invalid(m)
-            | BdbmsError::Unauthorized(m)
-            | BdbmsError::ApprovalViolation(m)
-            | BdbmsError::Dependency(m)
-            | BdbmsError::Storage(m)
-            | BdbmsError::Eval(m)
-            | BdbmsError::Io(m) => m,
-        }
+        &self.message
+    }
+
+    // ---- constructors, one per code ----
+
+    /// [`ErrorCode::Syntax`] without a span (lex/parse failures where no
+    /// position is known).
+    pub fn syntax(m: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Syntax, m)
+    }
+
+    /// [`ErrorCode::Syntax`] pointing at `start..end` of the SQL text.
+    pub fn syntax_at(m: impl Into<String>, start: usize, end: usize) -> Self {
+        Self::new(ErrorCode::Syntax, m).with_span(Span::new(start, end))
+    }
+
+    /// [`ErrorCode::NotFound`].
+    pub fn not_found(m: impl Into<String>) -> Self {
+        Self::new(ErrorCode::NotFound, m)
+    }
+
+    /// [`ErrorCode::AlreadyExists`].
+    pub fn already_exists(m: impl Into<String>) -> Self {
+        Self::new(ErrorCode::AlreadyExists, m)
+    }
+
+    /// [`ErrorCode::TypeMismatch`].
+    pub fn type_mismatch(m: impl Into<String>) -> Self {
+        Self::new(ErrorCode::TypeMismatch, m)
+    }
+
+    /// [`ErrorCode::Invalid`].
+    pub fn invalid(m: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Invalid, m)
+    }
+
+    /// [`ErrorCode::Unauthorized`].
+    pub fn unauthorized(m: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Unauthorized, m)
+    }
+
+    /// [`ErrorCode::Approval`].
+    pub fn approval(m: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Approval, m)
+    }
+
+    /// [`ErrorCode::Dependency`].
+    pub fn dependency(m: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Dependency, m)
+    }
+
+    /// [`ErrorCode::Storage`].
+    pub fn storage(m: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Storage, m)
+    }
+
+    /// [`ErrorCode::Eval`].
+    pub fn eval(m: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Eval, m)
+    }
+
+    /// [`ErrorCode::Io`].
+    pub fn io(m: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Io, m)
+    }
+
+    /// [`ErrorCode::ParamMismatch`].
+    pub fn param_mismatch(m: impl Into<String>) -> Self {
+        Self::new(ErrorCode::ParamMismatch, m)
     }
 }
 
 impl fmt::Display for BdbmsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {}", self.kind(), self.message())
+        write!(f, "{}: {}", self.kind(), self.message)?;
+        if let Some(span) = self.span {
+            write!(f, " (at {span})")?;
+        }
+        Ok(())
     }
 }
 
@@ -83,7 +245,7 @@ impl std::error::Error for BdbmsError {}
 
 impl From<std::io::Error> for BdbmsError {
     fn from(e: std::io::Error) -> Self {
-        BdbmsError::Io(e.to_string())
+        BdbmsError::io(e.to_string())
     }
 }
 
@@ -93,37 +255,35 @@ mod tests {
 
     #[test]
     fn display_includes_kind_and_message() {
-        let e = BdbmsError::NotFound("table Gene".into());
+        let e = BdbmsError::not_found("table Gene");
         assert_eq!(e.to_string(), "not_found: table Gene");
         assert_eq!(e.kind(), "not_found");
+        assert_eq!(e.code(), ErrorCode::NotFound);
         assert_eq!(e.message(), "table Gene");
+        assert_eq!(e.span, None);
+    }
+
+    #[test]
+    fn spans_render_and_compare() {
+        let e = BdbmsError::syntax_at("unexpected `?`", 7, 8);
+        assert_eq!(e.code(), ErrorCode::Syntax);
+        assert_eq!(e.span, Some(Span::new(7, 8)));
+        assert_eq!(e.to_string(), "parse: unexpected `?` (at 7..8)");
     }
 
     #[test]
     fn io_error_converts() {
         let io = std::io::Error::other("disk on fire");
         let e: BdbmsError = io.into();
-        assert_eq!(e.kind(), "io");
+        assert_eq!(e.code(), ErrorCode::Io);
         assert!(e.message().contains("disk on fire"));
     }
 
     #[test]
     fn kinds_are_distinct() {
-        let all = [
-            BdbmsError::Parse(String::new()),
-            BdbmsError::NotFound(String::new()),
-            BdbmsError::AlreadyExists(String::new()),
-            BdbmsError::Invalid(String::new()),
-            BdbmsError::Unauthorized(String::new()),
-            BdbmsError::ApprovalViolation(String::new()),
-            BdbmsError::Dependency(String::new()),
-            BdbmsError::Storage(String::new()),
-            BdbmsError::Eval(String::new()),
-            BdbmsError::Io(String::new()),
-        ];
-        let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();
+        let mut kinds: Vec<_> = ErrorCode::ALL.iter().map(|c| c.as_str()).collect();
         kinds.sort_unstable();
         kinds.dedup();
-        assert_eq!(kinds.len(), all.len());
+        assert_eq!(kinds.len(), ErrorCode::ALL.len());
     }
 }

@@ -26,6 +26,6 @@ pub mod schema;
 pub mod stats;
 pub mod value;
 
-pub use error::{BdbmsError, Result};
+pub use error::{BdbmsError, ErrorCode, Result, Span};
 pub use schema::{ColumnDef, Schema};
 pub use value::{DataType, Value};

@@ -36,7 +36,7 @@ impl Schema {
                 .iter()
                 .any(|p| p.name.eq_ignore_ascii_case(&c.name))
             {
-                return Err(BdbmsError::Invalid(format!(
+                return Err(BdbmsError::invalid(format!(
                     "duplicate column `{}`",
                     c.name
                 )));
@@ -71,7 +71,7 @@ impl Schema {
     /// Lookup that errors with the column name when missing.
     pub fn require(&self, name: &str) -> Result<usize> {
         self.index_of(name)
-            .ok_or_else(|| BdbmsError::NotFound(format!("column `{name}`")))
+            .ok_or_else(|| BdbmsError::not_found(format!("column `{name}`")))
     }
 
     /// Column names in order.
@@ -82,7 +82,7 @@ impl Schema {
     /// Validate and coerce a row against this schema.
     pub fn check_row(&self, row: Vec<Value>) -> Result<Vec<Value>> {
         if row.len() != self.arity() {
-            return Err(BdbmsError::Invalid(format!(
+            return Err(BdbmsError::invalid(format!(
                 "row arity {} does not match schema arity {}",
                 row.len(),
                 self.arity()

@@ -35,7 +35,7 @@ impl DataType {
             "TEXT" | "VARCHAR" | "STRING" | "SEQUENCE" => Ok(DataType::Text),
             "BOOL" | "BOOLEAN" => Ok(DataType::Bool),
             "TIMESTAMP" => Ok(DataType::Timestamp),
-            other => Err(BdbmsError::Parse(format!("unknown type `{other}`"))),
+            other => Err(BdbmsError::syntax(format!("unknown type `{other}`"))),
         }
     }
 }
@@ -100,13 +100,13 @@ impl Value {
             (Value::Int(i), DataType::Float) => Ok(Value::Float(i as f64)),
             (Value::Int(i), DataType::Timestamp) => {
                 if i < 0 {
-                    Err(BdbmsError::Invalid(format!("negative timestamp {i}")))
+                    Err(BdbmsError::invalid(format!("negative timestamp {i}")))
                 } else {
                     Ok(Value::Timestamp(i as u64))
                 }
             }
             (v, t) if v.data_type() == Some(t) => Ok(v),
-            (v, t) => Err(BdbmsError::Invalid(format!(
+            (v, t) => Err(BdbmsError::type_mismatch(format!(
                 "cannot store {} value into {} column",
                 v.type_name(),
                 t
@@ -188,7 +188,7 @@ impl Value {
 
     /// Decode one value from `buf` starting at `*pos`, advancing `*pos`.
     pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Value> {
-        let err = || BdbmsError::Storage("truncated value encoding".into());
+        let err = || BdbmsError::storage("truncated value encoding");
         let tag = *buf.get(*pos).ok_or_else(err)?;
         *pos += 1;
         let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
@@ -211,7 +211,7 @@ impl Value {
                 let n = u32::from_le_bytes(b) as usize;
                 let s = take(pos, n)?;
                 let s = std::str::from_utf8(s)
-                    .map_err(|_| BdbmsError::Storage("invalid utf8 in stored text".into()))?;
+                    .map_err(|_| BdbmsError::storage("invalid utf8 in stored text"))?;
                 Ok(Value::Text(s.to_string()))
             }
             4 => {
@@ -222,7 +222,7 @@ impl Value {
                 let b: [u8; 8] = take(pos, 8)?.try_into().unwrap();
                 Ok(Value::Timestamp(u64::from_le_bytes(b)))
             }
-            t => Err(BdbmsError::Storage(format!("unknown value tag {t}"))),
+            t => Err(BdbmsError::storage(format!("unknown value tag {t}"))),
         }
     }
 

@@ -204,7 +204,7 @@ impl ApprovalManager {
         self.log
             .iter()
             .find(|op| op.id == id)
-            .ok_or_else(|| BdbmsError::NotFound(format!("operation {id}")))
+            .ok_or_else(|| BdbmsError::not_found(format!("operation {id}")))
     }
 
     /// Mark an entry decided; returns the entry (with the inverse the
@@ -214,9 +214,9 @@ impl ApprovalManager {
             .log
             .iter_mut()
             .find(|op| op.id == id)
-            .ok_or_else(|| BdbmsError::NotFound(format!("operation {id}")))?;
+            .ok_or_else(|| BdbmsError::not_found(format!("operation {id}")))?;
         if op.status != OpStatus::Pending {
-            return Err(BdbmsError::ApprovalViolation(format!(
+            return Err(BdbmsError::approval(format!(
                 "operation {id} was already {}",
                 op.status
             )));

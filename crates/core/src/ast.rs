@@ -16,6 +16,11 @@ use bdbms_common::{DataType, Value};
 pub enum Expr {
     /// Literal constant.
     Literal(Value),
+    /// Prepared-statement parameter placeholder (`?` or `$n`), stored as
+    /// a 0-based slot index.  Bound to a literal before execution; an
+    /// unbound parameter reaching evaluation is a
+    /// [`bdbms_common::ErrorCode::ParamMismatch`] error.
+    Param(usize),
     /// Column reference, optionally qualified (`G.GSequence`).
     Column(Option<String>, String),
     /// Unary operators.

@@ -42,7 +42,7 @@ impl AuthManager {
     pub fn create_user(&mut self, name: &str, groups: &[String]) -> Result<()> {
         let key = Self::key(name);
         if self.users.contains_key(&key) {
-            return Err(BdbmsError::AlreadyExists(format!("user `{name}`")));
+            return Err(BdbmsError::already_exists(format!("user `{name}`")));
         }
         self.users
             .insert(key, groups.iter().map(|g| Self::key(g)).collect());
@@ -114,7 +114,7 @@ impl AuthManager {
         if Self::key(user) == Self::key(owner) || self.has_privilege(user, table, privilege) {
             Ok(())
         } else {
-            Err(BdbmsError::Unauthorized(format!(
+            Err(BdbmsError::unauthorized(format!(
                 "user `{user}` lacks {privilege} on `{table}`"
             )))
         }

@@ -169,7 +169,7 @@ impl Table {
 
     fn decode_row(buf: &[u8], arity: usize) -> Result<(u64, Vec<Value>)> {
         if buf.len() < 8 {
-            return Err(BdbmsError::Storage("row record too short".into()));
+            return Err(BdbmsError::storage("row record too short"));
         }
         let row_no = u64::from_le_bytes(buf[..8].try_into().unwrap());
         let mut pos = 8;
@@ -192,7 +192,7 @@ impl Table {
     /// inverses restoring deleted rows).
     pub fn insert_with_row_no(&mut self, row_no: u64, values: Vec<Value>) -> Result<u64> {
         if self.rows.contains_key(&row_no) {
-            return Err(BdbmsError::Invalid(format!(
+            return Err(BdbmsError::invalid(format!(
                 "row {row_no} already exists in {}",
                 self.name
             )));
@@ -216,7 +216,7 @@ impl Table {
         let rid = *self
             .rows
             .get(&row_no)
-            .ok_or_else(|| BdbmsError::NotFound(format!("row {row_no} in {}", self.name)))?;
+            .ok_or_else(|| BdbmsError::not_found(format!("row {row_no} in {}", self.name)))?;
         let buf = self.heap.get(rid)?;
         let (no, values) = Self::decode_row(&buf, self.schema.arity())?;
         debug_assert_eq!(no, row_no);
@@ -247,7 +247,7 @@ impl Table {
         let rid = *self
             .rows
             .get(&row_no)
-            .ok_or_else(|| BdbmsError::NotFound(format!("row {row_no} in {}", self.name)))?;
+            .ok_or_else(|| BdbmsError::not_found(format!("row {row_no} in {}", self.name)))?;
         let new_rid = self.heap.update(rid, &Self::encode_row(row_no, &values))?;
         self.rows.insert(row_no, new_rid);
         for idx in &mut self.indexes {
@@ -304,7 +304,7 @@ impl Table {
     /// it from the live rows.
     pub fn create_index(&mut self, name: &str, column: &str) -> Result<()> {
         if self.index_named(name).is_some() {
-            return Err(BdbmsError::AlreadyExists(format!(
+            return Err(BdbmsError::already_exists(format!(
                 "index `{name}` on `{}`",
                 self.name
             )));
@@ -324,7 +324,7 @@ impl Table {
         let before = self.indexes.len();
         self.indexes.retain(|i| !i.name.eq_ignore_ascii_case(name));
         if self.indexes.len() == before {
-            return Err(BdbmsError::NotFound(format!(
+            return Err(BdbmsError::not_found(format!(
                 "index `{name}` on `{}`",
                 self.name
             )));
@@ -427,9 +427,30 @@ impl Table {
 }
 
 /// The database catalog.
-#[derive(Default)]
 pub struct Catalog {
     tables: BTreeMap<String, Table>,
+    /// Bumped by every DDL change (and `ANALYZE`) that can invalidate a
+    /// cached query plan: table/index create/drop, stats rebuild.
+    /// Prepared statements stamp their cached plans with this and replan
+    /// when it moves.
+    generation: u64,
+    /// Process-unique catalog identity, stamped into cached plans so a
+    /// prepared statement carried across `Database` instances can never
+    /// replay one database's plan against another's schema (generation
+    /// counters alone can coincide).
+    id: u64,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_CATALOG_ID: AtomicU64 = AtomicU64::new(1);
+        Catalog {
+            tables: BTreeMap::new(),
+            generation: 0,
+            id: NEXT_CATALOG_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
 }
 
 impl Catalog {
@@ -442,35 +463,57 @@ impl Catalog {
         name.to_ascii_lowercase()
     }
 
+    /// The current plan-validity generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// This catalog's process-unique identity.
+    pub fn instance_id(&self) -> u64 {
+        self.id
+    }
+
+    /// Invalidate all cached plans (DDL / ANALYZE happened).
+    pub fn bump_generation(&mut self) {
+        self.generation += 1;
+    }
+
     /// Register a new table.
     pub fn add_table(&mut self, table: Table) -> Result<()> {
         let key = Self::key(&table.name);
         if self.tables.contains_key(&key) {
-            return Err(BdbmsError::AlreadyExists(format!("table `{}`", table.name)));
+            return Err(BdbmsError::already_exists(format!(
+                "table `{}`",
+                table.name
+            )));
         }
         self.tables.insert(key, table);
+        self.bump_generation();
         Ok(())
     }
 
     /// Drop a table.
     pub fn drop_table(&mut self, name: &str) -> Result<Table> {
-        self.tables
+        let t = self
+            .tables
             .remove(&Self::key(name))
-            .ok_or_else(|| BdbmsError::NotFound(format!("table `{name}`")))
+            .ok_or_else(|| BdbmsError::not_found(format!("table `{name}`")))?;
+        self.bump_generation();
+        Ok(t)
     }
 
     /// Case-insensitive lookup.
     pub fn table(&self, name: &str) -> Result<&Table> {
         self.tables
             .get(&Self::key(name))
-            .ok_or_else(|| BdbmsError::NotFound(format!("table `{name}`")))
+            .ok_or_else(|| BdbmsError::not_found(format!("table `{name}`")))
     }
 
     /// Mutable lookup.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
         self.tables
             .get_mut(&Self::key(name))
-            .ok_or_else(|| BdbmsError::NotFound(format!("table `{name}`")))
+            .ok_or_else(|| BdbmsError::not_found(format!("table `{name}`")))
     }
 
     /// Does the table exist?

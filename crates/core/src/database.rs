@@ -22,10 +22,10 @@ use crate::catalog::{Catalog, DeletedRow, Table};
 use crate::dependency::{DependencyManager, DependencyRule};
 use crate::executor::{run_select, run_select_traced, select_cells, ExecOptions, ExecStats};
 use crate::expr::{eval, ColBinding};
-use crate::parser::parse;
 use crate::plan;
 use crate::provenance::{self, ProvenanceRecord};
 use crate::result::{AnnRow, QueryResult};
+use crate::session::Session;
 
 /// How a dependency cascade treats non-recomputable targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,15 +100,40 @@ impl Database {
         self.deps.register_procedure(name, f);
     }
 
+    /// Open a [`Session`] acting as `user` — the prepared-statement /
+    /// parameter-binding / streaming-cursor entry point (see
+    /// `docs/API.md`).  The legacy one-shot entry points below are thin
+    /// wrappers over session internals.
+    pub fn session(&mut self, user: &str) -> Session<'_> {
+        Session::new(self, user)
+    }
+
     /// Execute a statement as `admin`.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         self.execute_as(sql, ADMIN)
     }
 
-    /// Execute a statement as a given user.
+    /// Execute a statement as a given user (parse + execute in one step;
+    /// statements with parameter placeholders must instead be prepared
+    /// through a [`Session`]).
     pub fn execute_as(&mut self, sql: &str, user: &str) -> Result<QueryResult> {
-        let stmt = parse(sql)?;
-        self.execute_stmt(stmt, user)
+        self.session(user).run(sql)
+    }
+
+    /// Authorize `user` to read every FROM table of a SELECT, including
+    /// the branches of UNION/INTERSECT/EXCEPT chains (shared by the
+    /// one-shot execute path and session query cursors).
+    pub(crate) fn check_select_auth(&self, sel: &crate::ast::Select, user: &str) -> Result<()> {
+        let mut next = Some(sel);
+        while let Some(sel) = next {
+            for tref in &sel.from {
+                let owner = &self.catalog.table(&tref.table)?.owner;
+                self.auth
+                    .check(user, &tref.table, owner, Privilege::Select)?;
+            }
+            next = sel.set_op.as_ref().map(|(_, right)| &**right);
+        }
+        Ok(())
     }
 
     /// Run a SELECT with explicit executor options, returning the result
@@ -116,13 +141,20 @@ impl Database {
     /// path used by benchmarks and the pushdown regression tests; it
     /// runs with admin visibility and does not tick the logical clock.
     pub fn query_traced(&self, sql: &str, opts: &ExecOptions) -> Result<(QueryResult, ExecStats)> {
-        match parse(sql)? {
+        let (stmt, param_count) = crate::parser::parse_prepared(sql)?;
+        if param_count > 0 {
+            return Err(BdbmsError::param_mismatch(format!(
+                "statement expects {param_count} parameter(s); prepare it and \
+                 pass them through a session"
+            )));
+        }
+        match stmt {
             Statement::Select(sel) => {
                 let mut stats = ExecStats::default();
                 let qr = run_select_traced(&self.catalog, &sel, opts, &mut stats)?;
                 Ok((qr, stats))
             }
-            _ => Err(BdbmsError::Invalid("query_traced expects a SELECT".into())),
+            _ => Err(BdbmsError::invalid("query_traced expects a SELECT")),
         }
     }
 
@@ -141,6 +173,8 @@ impl Database {
                 self.catalog
                     .table_mut(&table)?
                     .create_index(&name, &column)?;
+                // a new access path invalidates cached prepared plans
+                self.catalog.bump_generation();
                 Ok(QueryResult::message(format!(
                     "index `{name}` created on `{table}`"
                 )))
@@ -148,6 +182,7 @@ impl Database {
             Statement::DropIndex { name, table } => {
                 self.require_owner(&table, user)?;
                 self.catalog.table_mut(&table)?.drop_index(&name)?;
+                self.catalog.bump_generation();
                 Ok(QueryResult::message(format!(
                     "index `{name}` dropped from `{table}`"
                 )))
@@ -168,11 +203,7 @@ impl Database {
                 self.archive_restore(from, between, on, false, user)
             }
             Statement::Select(sel) => {
-                for tref in &sel.from {
-                    let owner = self.catalog.table(&tref.table)?.owner.clone();
-                    self.auth
-                        .check(user, &tref.table, &owner, Privilege::Select)?;
-                }
+                self.check_select_auth(&sel, user)?;
                 run_select(&self.catalog, &sel)
             }
             Statement::Insert { table, rows } => {
@@ -203,9 +234,7 @@ impl Database {
             }
             Statement::CreateUser { name, groups } => {
                 if user != ADMIN {
-                    return Err(BdbmsError::Unauthorized(
-                        "only admin may create users".into(),
-                    ));
+                    return Err(BdbmsError::unauthorized("only admin may create users"));
                 }
                 self.auth.create_user(&name, &groups)?;
                 Ok(QueryResult::message(format!("user `{name}` created")))
@@ -296,8 +325,8 @@ impl Database {
             ),
             Statement::DropDependencyRule { name } => {
                 if user != ADMIN {
-                    return Err(BdbmsError::Unauthorized(
-                        "only admin may drop dependency rules".into(),
+                    return Err(BdbmsError::unauthorized(
+                        "only admin may drop dependency rules",
                     ));
                 }
                 self.deps.drop_rule(&name)?;
@@ -307,6 +336,8 @@ impl Database {
                 let owner = self.catalog.table(&table)?.owner.clone();
                 self.auth.check(user, &table, &owner, Privilege::Select)?;
                 let rows = self.catalog.table_mut(&table)?.analyze()?;
+                // fresh stats can change cost-based choices: replan
+                self.catalog.bump_generation();
                 Ok(QueryResult::message(format!(
                     "analyzed `{table}`: {rows} row(s)"
                 )))
@@ -327,7 +358,7 @@ impl Database {
         if t.owner.eq_ignore_ascii_case(user) {
             Ok(())
         } else {
-            Err(BdbmsError::Unauthorized(format!(
+            Err(BdbmsError::unauthorized(format!(
                 "user `{user}` is not the owner of `{table}`"
             )))
         }
@@ -368,7 +399,7 @@ impl Database {
         self.require_owner(on, user)?;
         let table = self.catalog.table_mut(on)?;
         if table.ann_set(name).is_some() {
-            return Err(BdbmsError::AlreadyExists(format!(
+            return Err(BdbmsError::already_exists(format!(
                 "annotation table `{name}` on `{on}`"
             )));
         }
@@ -386,7 +417,7 @@ impl Database {
             .ann_sets
             .retain(|s| !s.name.eq_ignore_ascii_case(name));
         if table.ann_sets.len() == before {
-            return Err(BdbmsError::NotFound(format!(
+            return Err(BdbmsError::not_found(format!(
                 "annotation table `{name}` on `{on}`"
             )));
         }
@@ -637,7 +668,7 @@ impl Database {
                         vec![]
                     })
                 } else {
-                    Err(BdbmsError::Dependency(format!(
+                    Err(BdbmsError::dependency(format!(
                         "rule `{}` spans tables but has no LINK",
                         rule.name
                     )))
@@ -677,10 +708,10 @@ impl Database {
         let src_table = from
             .first()
             .map(|(t, _)| t.clone())
-            .ok_or_else(|| BdbmsError::Invalid("rule needs a source column".into()))?;
+            .ok_or_else(|| BdbmsError::invalid("rule needs a source column"))?;
         if !from.iter().all(|(t, _)| t.eq_ignore_ascii_case(&src_table)) {
-            return Err(BdbmsError::Invalid(
-                "all source columns must come from one table".into(),
+            return Err(BdbmsError::invalid(
+                "all source columns must come from one table",
             ));
         }
         {
@@ -698,7 +729,7 @@ impl Database {
                 let parse_side = |s: &str| -> Result<(String, String)> {
                     s.split_once('.')
                         .map(|(t, c)| (t.to_string(), c.to_string()))
-                        .ok_or_else(|| BdbmsError::Invalid(format!("bad LINK side `{s}`")))
+                        .ok_or_else(|| BdbmsError::invalid(format!("bad LINK side `{s}`")))
                 };
                 let (at, ac) = parse_side(&a)?;
                 let (bt, bc) = parse_side(&b)?;
@@ -711,8 +742,8 @@ impl Database {
                 if !src_side.0.eq_ignore_ascii_case(&src_table)
                     || !dst_side.0.eq_ignore_ascii_case(&to.0)
                 {
-                    return Err(BdbmsError::Invalid(
-                        "LINK must join the rule's source and target tables".into(),
+                    return Err(BdbmsError::invalid(
+                        "LINK must join the rule's source and target tables",
                     ));
                 }
                 let st = self.catalog.table(&src_table)?;
@@ -754,7 +785,7 @@ impl Database {
                 None => false,
             };
         if !allowed {
-            return Err(BdbmsError::Unauthorized(format!(
+            return Err(BdbmsError::unauthorized(format!(
                 "user `{user}` may not decide operations on `{}`",
                 op.table
             )));
@@ -815,7 +846,7 @@ impl Database {
     fn check_ann_write(&self, user: &str, table: &str, set_name: &str) -> Result<()> {
         let t = self.catalog.table(table)?;
         let set = t.ann_set(set_name).ok_or_else(|| {
-            BdbmsError::NotFound(format!("annotation table `{set_name}` on `{table}`"))
+            BdbmsError::not_found(format!("annotation table `{set_name}` on `{table}`"))
         })?;
         if set.system_only {
             // §4: provenance writes restricted to integration tools
@@ -891,7 +922,7 @@ impl Database {
         // every target annotation table must belong to the target table
         for (t, _) in &to {
             if !t.eq_ignore_ascii_case(&target_table) {
-                return Err(BdbmsError::Invalid(format!(
+                return Err(BdbmsError::invalid(format!(
                     "annotation target selects from `{target_table}` but annotation \
                      table is on `{t}`"
                 )));
@@ -932,7 +963,7 @@ impl Database {
         let mut changed = 0;
         for (t, s) in &from {
             if !t.eq_ignore_ascii_case(&target_table) {
-                return Err(BdbmsError::Invalid(format!(
+                return Err(BdbmsError::invalid(format!(
                     "annotation target selects from `{target_table}` but annotation \
                      table is on `{t}`"
                 )));
@@ -941,7 +972,7 @@ impl Database {
             let table = self.catalog.table_mut(t)?;
             let set = table
                 .ann_set_mut(s)
-                .ok_or_else(|| BdbmsError::NotFound(format!("annotation table `{s}` on `{t}`")))?;
+                .ok_or_else(|| BdbmsError::not_found(format!("annotation table `{s}` on `{t}`")))?;
             changed += set.set_archived(&cells, between, archive);
         }
         Ok(QueryResult::message(format!(

@@ -144,21 +144,21 @@ impl DependencyManager {
     /// rules").
     pub fn add_rule(&mut self, mut rule: DependencyRule) -> Result<RuleId> {
         if self.rule_by_name(&rule.name).is_some() {
-            return Err(BdbmsError::AlreadyExists(format!(
+            return Err(BdbmsError::already_exists(format!(
                 "dependency rule `{}`",
                 rule.name
             )));
         }
         // conflict: a column derived by two different rules
         if self.rules.iter().any(|r| r.dst() == rule.dst()) {
-            return Err(BdbmsError::Dependency(format!(
+            return Err(BdbmsError::dependency(format!(
                 "conflict: column {}.{} is already derived by another rule",
                 rule.dst_table, rule.dst_col
             )));
         }
         // self-dependency
         if rule.srcs().contains(&rule.dst()) {
-            return Err(BdbmsError::Dependency(format!(
+            return Err(BdbmsError::dependency(format!(
                 "rule `{}` makes {}.{} depend on itself",
                 rule.name, rule.dst_table, rule.dst_col
             )));
@@ -167,7 +167,7 @@ impl DependencyManager {
         let downstream = self.closure_of_attribute(&rule.dst_table, &rule.dst_col);
         for src in rule.srcs() {
             if downstream.contains(&src) {
-                return Err(BdbmsError::Dependency(format!(
+                return Err(BdbmsError::dependency(format!(
                     "cycle: {}.{} transitively depends on {}.{}",
                     src.0, src.1, rule.dst_table, rule.dst_col
                 )));
@@ -186,7 +186,7 @@ impl DependencyManager {
             .rules
             .iter()
             .position(|r| r.name.eq_ignore_ascii_case(name))
-            .ok_or_else(|| BdbmsError::NotFound(format!("dependency rule `{name}`")))?;
+            .ok_or_else(|| BdbmsError::not_found(format!("dependency rule `{name}`")))?;
         Ok(self.rules.remove(pos))
     }
 

@@ -64,7 +64,7 @@ use crate::annotation::AnnotationSet;
 use crate::ast::{AnnExpr, BinaryOp, Expr, Projection, Select, SelectItem, SetOp, TableRef};
 use crate::catalog::{Catalog, Table};
 use crate::expr::{eval, referenced_columns, resolve_column, ColBinding};
-use crate::plan::{self, ConjunctSite, Probe};
+use crate::plan::{self, ConjunctSite, Probe, ProbeChoice};
 use crate::result::{AnnOut, AnnRef, AnnRow, QueryResult};
 use crate::xml::XmlNode;
 
@@ -168,10 +168,15 @@ pub fn eval_ann(cond: &AnnExpr, ann: &AnnOut) -> bool {
     }
 }
 
-/// One FROM entry resolved against the catalog.
+/// One FROM entry resolved against the catalog.  Everything borrowed
+/// here lives as long as the *catalog*, never the SELECT AST — which is
+/// what lets the assembled pipeline outlive the statement text as a
+/// [`SelectCursor`].
 struct Source<'a> {
     table: &'a Table,
-    tref: &'a TableRef,
+    /// The annotation sets named in the FROM entry's `ANNOTATION(…)`,
+    /// resolved up front.
+    sets: Vec<&'a AnnotationSet>,
     /// First column position of this source in the joined binding list.
     offset: usize,
     arity: usize,
@@ -207,12 +212,7 @@ impl<'a> SourceAttach<'a> {
     fn new(src: &Source<'a>, cols: Vec<usize>, offset: usize) -> Self {
         SourceAttach {
             table: src.table,
-            sets: src
-                .tref
-                .annotations
-                .iter()
-                .map(|n| src.table.ann_set(n).expect("validated at source setup"))
-                .collect(),
+            sets: src.sets.clone(),
             cols,
             offset,
             cache: HashMap::new(),
@@ -274,20 +274,24 @@ impl<'a> SourceAttach<'a> {
 /// probe covers every needed column, the scan is served *index-only*:
 /// tuples are reconstructed from the B+-tree keys (all other slots NULL,
 /// provably unread) and the heap is never touched.
+/// A scan's lazy `(row_no, values)` stream.
+type RowValueStream<'a> = Box<dyn Iterator<Item = Result<(u64, Vec<Value>)>> + 'a>;
+
 fn scan_stream<'a>(
     src: &Source<'a>,
-    local_bindings: &'a [ColBinding],
+    local_bindings: Rc<Vec<ColBinding>>,
     pushed: Vec<Expr>,
     use_index: bool,
     value_needed: Option<Vec<usize>>,
-    st: &'a RefCell<ExecStats>,
-) -> Box<dyn Iterator<Item = Result<(u64, Vec<Value>)>> + 'a> {
-    let probe = if use_index {
-        plan::choose_probe(src.table, local_bindings, &pushed)
+    forced: Option<ProbeChoice>,
+    st: Rc<RefCell<ExecStats>>,
+) -> (RowValueStream<'a>, Option<ProbeChoice>) {
+    let (probe, choice) = if use_index {
+        plan::choose_probe_with(src.table, &local_bindings, &pushed, forced)
     } else {
-        Probe::FullScan
+        (Probe::FullScan, Some(ProbeChoice::FullScan))
     };
-    let base: Box<dyn Iterator<Item = Result<(u64, Vec<Value>)>> + 'a> = match probe {
+    let base: RowValueStream<'a> = match probe {
         Probe::Empty => Box::new(std::iter::empty()),
         Probe::Index { column, lo, hi } => {
             let idx = src.table.index_on(column).expect("plan chose an index");
@@ -325,14 +329,14 @@ fn scan_stream<'a>(
             Box::new(src.table.iter_rows())
         }
     };
-    Box::new(base.filter_map(move |entry| {
+    let stream = Box::new(base.filter_map(move |entry| {
         let (row_no, values) = match entry {
             Ok(x) => x,
             Err(e) => return Some(Err(e)),
         };
         st.borrow_mut().rows_fetched += 1;
         for conjunct in &pushed {
-            match eval(conjunct, local_bindings, &values) {
+            match eval(conjunct, &local_bindings, &values) {
                 Err(e) => return Some(Err(e)),
                 Ok(v) if !v.is_true() => {
                     st.borrow_mut().rows_scan_filtered += 1;
@@ -342,7 +346,8 @@ fn scan_stream<'a>(
             }
         }
         Some(Ok((row_no, values)))
-    }))
+    }));
+    (stream, choice)
 }
 
 /// Find a usable equi-join conjunct between the accumulated sources and
@@ -394,7 +399,7 @@ fn concat_pipe(left: &PipeRow, right: &PipeRow) -> PipeRow {
 fn has_aggregate(e: &Expr) -> bool {
     match e {
         Expr::Aggregate(..) => true,
-        Expr::Literal(_) | Expr::Column(..) => false,
+        Expr::Literal(_) | Expr::Column(..) | Expr::Param(_) => false,
         Expr::Unary(_, a) | Expr::IsNull(a, _) | Expr::Like(a, _, _) => has_aggregate(a),
         Expr::Binary(a, _, b) => has_aggregate(a) || has_aggregate(b),
         Expr::InList(a, items, _) => has_aggregate(a) || items.iter().any(has_aggregate),
@@ -485,9 +490,7 @@ fn expand_projection(projection: &Projection, bindings: &[ColBinding]) -> Result
                 })
                 .collect();
             if items.is_empty() {
-                return Err(BdbmsError::Invalid(
-                    "`*` matched no columns (bad alias?)".into(),
-                ));
+                return Err(BdbmsError::invalid("`*` matched no columns (bad alias?)"));
             }
             Ok(items)
         }
@@ -558,7 +561,7 @@ pub fn run_select_traced(
     if let Some((op, right)) = &sel.set_op {
         let right_res = run_select_traced(catalog, right, opts, stats)?;
         if right_res.columns.len() != result.columns.len() {
-            return Err(BdbmsError::Invalid(format!(
+            return Err(BdbmsError::invalid(format!(
                 "set operation arity mismatch: {} vs {}",
                 result.columns.len(),
                 right_res.columns.len()
@@ -604,7 +607,7 @@ pub fn run_select_traced(
                 .columns
                 .iter()
                 .position(|c| c.eq_ignore_ascii_case(name))
-                .ok_or_else(|| BdbmsError::NotFound(format!("ORDER BY column `{name}`")))?;
+                .ok_or_else(|| BdbmsError::not_found(format!("ORDER BY column `{name}`")))?;
             keys.push((idx, *desc));
         }
         result.rows.sort_by(|a, b| {
@@ -742,14 +745,58 @@ fn needed_value_columns(
     Some(out)
 }
 
-fn run_simple_select(
-    catalog: &Catalog,
+/// The value-independent plan of one simple SELECT, stamped with the
+/// catalog generation it was derived under.  Prepared statements cache
+/// this (see [`crate::session`]) and replay it until DDL or `ANALYZE`
+/// moves the generation; key bounds and filter constants are *not* part
+/// of the plan, so re-binding parameters never forces a replan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectPlan {
+    /// Identity of the catalog the plan was derived against.
+    pub catalog: u64,
+    /// Catalog generation the plan was derived under.
+    pub generation: u64,
+    /// Execution order of the FROM sources (the first entry streams, the
+    /// rest become hash-build sides).
+    pub join_order: Vec<usize>,
+    /// Pushdown site of each top-level WHERE conjunct, in conjunct order.
+    pub sites: Vec<ConjunctSite>,
+    /// Access path of each source, in execution order.
+    pub probes: Vec<ProbeChoice>,
+}
+
+/// A fully assembled (but not yet pulled) pipeline for one simple
+/// SELECT: the lazy joined-filtered-annotated row stream plus everything
+/// the projection stage needs.  It borrows only from the *catalog*,
+/// never from the SELECT AST, so it can outlive the statement text
+/// inside a [`SelectCursor`].
+struct BuiltPipeline<'a> {
+    /// Joined rows, pre-projection (pushed conjuncts, residual WHERE,
+    /// annotation attachment, AWHERE, and any pushed LIMIT applied).
+    stream: Box<dyn Iterator<Item = Result<AnnRow>> + 'a>,
+    /// Column bindings in execution order.
+    bindings: Rc<Vec<ColBinding>>,
+    /// Expanded projection items (errors deferred to projection time,
+    /// exactly where the naive executor reports them).
+    items: std::result::Result<Vec<SelectItem>, BdbmsError>,
+    /// The plan this pipeline was assembled with — `None` when a
+    /// decision depended on the bound values and must not be cached.
+    plan: Option<SelectPlan>,
+}
+
+/// Assemble the streaming pipeline for one simple SELECT.  `hints`
+/// replays a cached [`SelectPlan`] when it is still valid (same catalog
+/// generation, same statement shape); otherwise every decision is made
+/// live and recorded in the returned plan.
+fn build_simple_pipeline<'a>(
+    catalog: &'a Catalog,
     sel: &Select,
     opts: &ExecOptions,
-    stats_out: &mut ExecStats,
-) -> Result<QueryResult> {
+    st: Rc<RefCell<ExecStats>>,
+    hints: Option<&SelectPlan>,
+) -> Result<BuiltPipeline<'a>> {
     if sel.from.is_empty() {
-        return Err(BdbmsError::Invalid("SELECT requires FROM".into()));
+        return Err(BdbmsError::invalid("SELECT requires FROM"));
     }
 
     // ---- source resolution (FROM order) ----
@@ -759,7 +806,7 @@ fn run_simple_select(
         // validate requested annotation tables up front
         for ann in &tref.annotations {
             if table.ann_set(ann).is_none() {
-                return Err(BdbmsError::NotFound(format!(
+                return Err(BdbmsError::not_found(format!(
                     "annotation table `{}` on `{}`",
                     ann, table.name
                 )));
@@ -767,22 +814,42 @@ fn run_simple_select(
         }
         resolved.push((table, tref));
     }
-    let from_bindings: Vec<ColBinding> = resolved
-        .iter()
-        .flat_map(|(t, r)| source_bindings(t, r))
-        .collect();
+    let all_conjuncts: Vec<Expr> = sel
+        .where_clause
+        .as_ref()
+        .map(plan::split_conjuncts)
+        .unwrap_or_default();
+
+    // a cached plan replays only while it was derived against *this*
+    // catalog at its current generation and the statement shape still
+    // matches (paranoid shape checks keep a mismatched cache from ever
+    // mis-executing — it just replans)
+    let hints = hints.filter(|h| {
+        h.catalog == catalog.instance_id()
+            && h.generation == catalog.generation()
+            && h.join_order.len() == resolved.len()
+            && h.probes.len() == resolved.len()
+            && h.sites.len() == all_conjuncts.len()
+    });
+
+    // a replayed plan skips classification and join ordering, and an
+    // explicit projection list never consults the FROM-order bindings —
+    // don't build them on the (hot) fully-hinted path
+    let from_bindings: Vec<ColBinding> =
+        if hints.is_some() && matches!(&sel.projection, Projection::Items(_)) {
+            Vec::new()
+        } else {
+            resolved
+                .iter()
+                .flat_map(|(t, r)| source_bindings(t, r))
+                .collect()
+        };
 
     // the projection expands against FROM-ordered bindings so `SELECT *`
     // column order does not depend on the join order chosen below;
     // expansion errors surface at projection time, exactly where the
     // naive path reports them
     let items_early = expand_projection(&sel.projection, &from_bindings);
-
-    let all_conjuncts: Vec<Expr> = sel
-        .where_clause
-        .as_ref()
-        .map(plan::split_conjuncts)
-        .unwrap_or_default();
 
     // ---- conjunct classification (pushdown), FROM layout ----
     // classification is permutation-invariant (it resolves by
@@ -798,11 +865,17 @@ fn run_simple_select(
             seg
         })
         .collect();
+    let mut plan_sites: Vec<ConjunctSite> = Vec::new();
     let mut pushed_from: Vec<Vec<Expr>> = vec![Vec::new(); resolved.len()];
     let mut residual: Vec<Expr> = Vec::new();
     if opts.predicate_pushdown {
-        for c in &all_conjuncts {
-            match plan::classify_conjunct(c, &from_bindings, &from_segments) {
+        for (ci, c) in all_conjuncts.iter().enumerate() {
+            let site = match hints {
+                Some(h) => h.sites[ci],
+                None => plan::classify_conjunct(c, &from_bindings, &from_segments),
+            };
+            plan_sites.push(site);
+            match site {
                 ConjunctSite::Source(i) => pushed_from[i].push(c.clone()),
                 ConjunctSite::Residual => residual.push(c.clone()),
             }
@@ -812,7 +885,9 @@ fn run_simple_select(
     }
 
     // ---- join order (greedy, by estimated post-pushdown cardinality) ----
-    let order: Vec<usize> = if opts.join_reorder && resolved.len() > 1 {
+    let order: Vec<usize> = if let Some(h) = hints {
+        h.join_order.clone()
+    } else if opts.join_reorder && resolved.len() > 1 {
         choose_join_order(&resolved, &pushed_from, &all_conjuncts)
     } else {
         (0..resolved.len()).collect()
@@ -827,7 +902,11 @@ fn run_simple_select(
         all_bindings.extend(source_bindings(table, tref));
         sources.push(Source {
             table,
-            tref,
+            sets: tref
+                .annotations
+                .iter()
+                .map(|n| table.ann_set(n).expect("validated above"))
+                .collect(),
             offset,
             arity: table.schema.arity(),
         });
@@ -837,7 +916,6 @@ fn run_simple_select(
         .map(|&i| std::mem::take(&mut pushed_from[i]))
         .collect();
     let total_arity = all_bindings.len();
-    let st = RefCell::new(std::mem::take(stats_out));
     st.borrow_mut().join_order.extend(order.iter().copied());
 
     // ---- columns whose annotations the query can propagate ----
@@ -896,181 +974,256 @@ fn run_simple_select(
             .map(|&c| c - src.offset)
             .collect()
     };
+    let bindings = Rc::new(all_bindings);
 
-    // the pipeline closure lives in its own block so its borrows of `st`
-    // (and the pushed/residual conjunct lists) end before stats recovery
-    let rows = {
-        let mut run = || -> Result<Vec<AnnRow>> {
-            // ---- per-source scans (eager mode attaches here, pre-filter) ----
-            let mut source_streams: Vec<Box<dyn Iterator<Item = Result<PipeRow>> + '_>> =
-                Vec::new();
-            for (i, src) in sources.iter().enumerate() {
-                let local = &all_bindings[src.offset..src.offset + src.arity];
-                let local_value_cols: Option<Vec<usize>> = value_cols.as_ref().map(|vc| {
-                    vc.iter()
-                        .filter(|&&c| c >= src.offset && c < src.offset + src.arity)
-                        .map(|&c| c - src.offset)
-                        .collect()
+    // ---- per-source scans (eager mode attaches here, pre-filter) ----
+    let mut plan_probes: Vec<ProbeChoice> = Vec::with_capacity(sources.len());
+    // value-dependent probe decisions poison the whole plan for caching
+    let mut plan_cacheable = true;
+    let mut source_streams: Vec<Box<dyn Iterator<Item = Result<PipeRow>> + 'a>> = Vec::new();
+    for (i, src) in sources.iter().enumerate() {
+        let local: Rc<Vec<ColBinding>> =
+            Rc::new(bindings[src.offset..src.offset + src.arity].to_vec());
+        let local_value_cols: Option<Vec<usize>> = value_cols.as_ref().map(|vc| {
+            vc.iter()
+                .filter(|&&c| c >= src.offset && c < src.offset + src.arity)
+                .map(|&c| c - src.offset)
+                .collect()
+        });
+        let (scan, choice) = scan_stream(
+            src,
+            local,
+            std::mem::take(&mut pushed[i]),
+            opts.index_scans,
+            local_value_cols,
+            hints.map(|h| h.probes[i]),
+            st.clone(),
+        );
+        match choice {
+            Some(c) => plan_probes.push(c),
+            None => {
+                plan_cacheable = false;
+                plan_probes.push(ProbeChoice::FullScan);
+            }
+        }
+        // an eager attacher fills this source's own slots (offset 0
+        // within the source stream — joins concatenate them later)
+        let mut attacher = if eager {
+            Some(SourceAttach::new(src, (0..src.arity).collect(), 0))
+        } else {
+            None
+        };
+        let arity = src.arity;
+        let st_scan = st.clone();
+        source_streams.push(Box::new(scan.map(move |entry| {
+            entry.map(|(row_no, values)| {
+                let anns = attacher.as_mut().map(|a| {
+                    let mut slots = vec![Vec::new(); arity];
+                    a.attach_into(row_no, &mut slots, &st_scan);
+                    slots
                 });
-                let scan = scan_stream(
-                    src,
-                    local,
-                    std::mem::take(&mut pushed[i]),
-                    opts.index_scans,
-                    local_value_cols,
-                    &st,
-                );
-                // an eager attacher fills this source's own slots (offset 0
-                // within the source stream — joins concatenate them later)
-                let mut attacher = if eager {
-                    Some(SourceAttach::new(src, (0..src.arity).collect(), 0))
-                } else {
-                    None
-                };
-                let arity = src.arity;
-                let st_ref = &st;
-                source_streams.push(Box::new(scan.map(move |entry| {
-                    entry.map(|(row_no, values)| {
-                        let anns = attacher.as_mut().map(|a| {
-                            let mut slots = vec![Vec::new(); arity];
-                            a.attach_into(row_no, &mut slots, st_ref);
-                            slots
-                        });
-                        PipeRow {
-                            values,
-                            rows: vec![row_no],
-                            anns,
-                        }
-                    })
-                })));
-            }
+                PipeRow {
+                    values,
+                    rows: vec![row_no],
+                    anns,
+                }
+            })
+        })));
+    }
 
-            // ---- joins (hash join on an equi-conjunct, else cross product) ----
-            let mut streams = source_streams.into_iter();
-            let mut stream: Box<dyn Iterator<Item = Result<PipeRow>> + '_> =
-                streams.next().expect("at least one source");
-            for (next_i, right_stream) in streams.enumerate() {
-                let src = &sources[next_i + 1];
-                let right_rows: Vec<PipeRow> = right_stream.collect::<Result<_>>()?;
-                let acc_bindings = &all_bindings[..src.offset];
-                let next_bindings = &all_bindings[src.offset..src.offset + src.arity];
-                let key = find_equi_key(&all_conjuncts, acc_bindings, next_bindings);
-                let right = Rc::new(right_rows);
-                stream = match key {
-                    Some((lcol, rcol)) => {
-                        // hash join (NULL keys never match, per SQL)
-                        let mut table: HashMap<Value, Vec<usize>> = HashMap::new();
-                        for (ri, r) in right.iter().enumerate() {
-                            if !r.values[rcol].is_null() {
-                                table.entry(r.values[rcol].clone()).or_default().push(ri);
-                            }
-                        }
-                        Box::new(stream.flat_map(move |l| {
-                            let out: Vec<Result<PipeRow>> = match l {
-                                Err(e) => vec![Err(e)],
-                                Ok(l) => {
-                                    if l.values[lcol].is_null() {
-                                        Vec::new()
-                                    } else {
-                                        table
-                                            .get(&l.values[lcol])
-                                            .map(|idxs| {
-                                                idxs.iter()
-                                                    .map(|&ri| Ok(concat_pipe(&l, &right[ri])))
-                                                    .collect()
-                                            })
-                                            .unwrap_or_default()
-                                    }
-                                }
-                            };
-                            out.into_iter()
-                        }))
-                    }
-                    None => Box::new(stream.flat_map(move |l| {
-                        let out: Vec<Result<PipeRow>> = match l {
-                            Err(e) => vec![Err(e)],
-                            Ok(l) => right.iter().map(|r| Ok(concat_pipe(&l, r))).collect(),
-                        };
-                        out.into_iter()
-                    })),
-                };
-            }
-
-            // ---- residual WHERE (cross-source conjuncts / naive full pred) ----
-            let bindings_ref: &[ColBinding] = &all_bindings;
-            let residual = std::mem::take(&mut residual);
-            let stream = stream.filter_map(move |entry| {
-                let row = match entry {
-                    Ok(r) => r,
-                    Err(e) => return Some(Err(e)),
-                };
-                for conjunct in &residual {
-                    match eval(conjunct, bindings_ref, &row.values) {
-                        Err(e) => return Some(Err(e)),
-                        Ok(v) if !v.is_true() => return None,
-                        Ok(_) => {}
+    // ---- joins (hash join on an equi-conjunct, else cross product) ----
+    // build sides materialize here, at assembly time; the first source
+    // streams lazily all the way to the consumer
+    let mut streams = source_streams.into_iter();
+    let mut stream: Box<dyn Iterator<Item = Result<PipeRow>> + 'a> =
+        streams.next().expect("at least one source");
+    for (next_i, right_stream) in streams.enumerate() {
+        let src = &sources[next_i + 1];
+        let right_rows: Vec<PipeRow> = right_stream.collect::<Result<_>>()?;
+        let acc_bindings = &bindings[..src.offset];
+        let next_bindings = &bindings[src.offset..src.offset + src.arity];
+        let key = find_equi_key(&all_conjuncts, acc_bindings, next_bindings);
+        let right = Rc::new(right_rows);
+        stream = match key {
+            Some((lcol, rcol)) => {
+                // hash join (NULL keys never match, per SQL)
+                let mut table: HashMap<Value, Vec<usize>> = HashMap::new();
+                for (ri, r) in right.iter().enumerate() {
+                    if !r.values[rcol].is_null() {
+                        table.entry(r.values[rcol].clone()).or_default().push(ri);
                     }
                 }
-                Some(Ok(row))
-            });
-
-            // ---- annotation attachment (lazy mode: survivors only) ----
-            let mut attachers: Vec<SourceAttach> = if eager {
-                Vec::new()
-            } else {
-                sources
-                    .iter()
-                    .map(|src| SourceAttach::new(src, local_needed(src), src.offset))
-                    .collect()
-            };
-            let st_ref = &st;
-            let stream = stream.map(move |entry| {
-                entry.map(|p| {
-                    let anns = match p.anns {
-                        Some(anns) => anns,
-                        None => {
-                            let mut slots = vec![Vec::new(); total_arity];
-                            for (si, attacher) in attachers.iter_mut().enumerate() {
-                                attacher.attach_into(p.rows[si], &mut slots, st_ref);
+                Box::new(stream.flat_map(move |l| {
+                    let out: Vec<Result<PipeRow>> = match l {
+                        Err(e) => vec![Err(e)],
+                        Ok(l) => {
+                            if l.values[lcol].is_null() {
+                                Vec::new()
+                            } else {
+                                table
+                                    .get(&l.values[lcol])
+                                    .map(|idxs| {
+                                        idxs.iter()
+                                            .map(|&ri| Ok(concat_pipe(&l, &right[ri])))
+                                            .collect()
+                                    })
+                                    .unwrap_or_default()
                             }
-                            slots
                         }
                     };
-                    AnnRow {
-                        values: p.values,
-                        anns,
-                    }
-                })
-            });
-
-            // ---- AWHERE: annotation-based selection (some annotation satisfies) ----
-            let stream: Box<dyn Iterator<Item = Result<AnnRow>> + '_> = match &sel.awhere {
-                Some(cond) => Box::new(stream.filter(move |entry| match entry {
-                    Err(_) => true,
-                    Ok(row) => row.all_anns().iter().any(|a| eval_ann(cond, a)),
-                })),
-                None => Box::new(stream),
-            };
-            // ---- pushed LIMIT: stop pulling (and therefore scanning)
-            //      after the k-th surviving tuple ----
-            let stream: Box<dyn Iterator<Item = Result<AnnRow>> + '_> = match push_limit {
-                Some(k) => {
-                    st.borrow_mut().limit_pushdowns += 1;
-                    Box::new(stream.take(k))
-                }
-                None => stream,
-            };
-            stream.collect::<Result<Vec<AnnRow>>>()
+                    out.into_iter()
+                }))
+            }
+            None => Box::new(stream.flat_map(move |l| {
+                let out: Vec<Result<PipeRow>> = match l {
+                    Err(e) => vec![Err(e)],
+                    Ok(l) => right.iter().map(|r| Ok(concat_pipe(&l, r))).collect(),
+                };
+                out.into_iter()
+            })),
         };
-        run()
+    }
+
+    // ---- residual WHERE (cross-source conjuncts / naive full pred) ----
+    let bindings_resid = bindings.clone();
+    let stream = stream.filter_map(move |entry| {
+        let row = match entry {
+            Ok(r) => r,
+            Err(e) => return Some(Err(e)),
+        };
+        for conjunct in &residual {
+            match eval(conjunct, &bindings_resid, &row.values) {
+                Err(e) => return Some(Err(e)),
+                Ok(v) if !v.is_true() => return None,
+                Ok(_) => {}
+            }
+        }
+        Some(Ok(row))
+    });
+
+    // ---- annotation attachment (lazy mode: survivors only) ----
+    let mut attachers: Vec<SourceAttach> = if eager {
+        Vec::new()
+    } else {
+        sources
+            .iter()
+            .map(|src| SourceAttach::new(src, local_needed(src), src.offset))
+            .collect()
     };
-    *stats_out = st.into_inner();
-    let rows = rows?;
-    let bindings = all_bindings;
+    let st_attach = st.clone();
+    let stream = stream.map(move |entry| {
+        entry.map(|p| {
+            let anns = match p.anns {
+                Some(anns) => anns,
+                None => {
+                    let mut slots = vec![Vec::new(); total_arity];
+                    for (si, attacher) in attachers.iter_mut().enumerate() {
+                        attacher.attach_into(p.rows[si], &mut slots, &st_attach);
+                    }
+                    slots
+                }
+            };
+            AnnRow {
+                values: p.values,
+                anns,
+            }
+        })
+    });
+
+    // ---- AWHERE: annotation-based selection (some annotation satisfies) ----
+    let stream: Box<dyn Iterator<Item = Result<AnnRow>> + 'a> = match sel.awhere.clone() {
+        Some(cond) => Box::new(stream.filter(move |entry| match entry {
+            Err(_) => true,
+            Ok(row) => row.all_anns().iter().any(|a| eval_ann(&cond, a)),
+        })),
+        None => Box::new(stream),
+    };
+    // ---- pushed LIMIT: stop pulling (and therefore scanning) after the
+    //      k-th surviving tuple ----
+    let stream: Box<dyn Iterator<Item = Result<AnnRow>> + 'a> = match push_limit {
+        Some(k) => {
+            st.borrow_mut().limit_pushdowns += 1;
+            Box::new(stream.take(k))
+        }
+        None => stream,
+    };
+
+    Ok(BuiltPipeline {
+        stream,
+        bindings,
+        items: items_early,
+        plan: plan_cacheable.then(|| SelectPlan {
+            catalog: catalog.instance_id(),
+            generation: catalog.generation(),
+            join_order: order,
+            sites: plan_sites,
+            probes: plan_probes,
+        }),
+    })
+}
+
+/// Project one joined row through the SELECT items: evaluate each item's
+/// expression and merge the annotations of its referenced (plus
+/// PROMOTEd) columns — the paper's §3.4 projection semantics, shared by
+/// the materializing executor and streaming cursors.
+fn project_row(
+    items: &[SelectItem],
+    item_cols: &[Vec<usize>],
+    bindings: &[ColBinding],
+    row: &AnnRow,
+) -> Result<AnnRow> {
+    let mut values = Vec::with_capacity(items.len());
+    let mut anns = Vec::with_capacity(items.len());
+    for (item, cols) in items.iter().zip(item_cols) {
+        values.push(eval(&item.expr, bindings, &row.values)?);
+        let mut merged: Vec<AnnRef> = Vec::new();
+        for &c in cols {
+            for a in &row.anns[c] {
+                if !merged.iter().any(|x| x.identity() == a.identity()) {
+                    merged.push(a.clone());
+                }
+            }
+        }
+        anns.push(merged);
+    }
+    Ok(AnnRow { values, anns })
+}
+
+fn run_simple_select(
+    catalog: &Catalog,
+    sel: &Select,
+    opts: &ExecOptions,
+    stats_out: &mut ExecStats,
+) -> Result<QueryResult> {
+    let st = Rc::new(RefCell::new(std::mem::take(stats_out)));
+    let res = run_simple_select_shared(catalog, sel, opts, &st);
+    *stats_out = st.borrow().clone();
+    res
+}
+
+/// [`run_simple_select`] over shared stats.  Plan hints apply only to
+/// the streaming-cursor path ([`open_select_cursor`]); materialized
+/// execution always plans live.
+fn run_simple_select_shared(
+    catalog: &Catalog,
+    sel: &Select,
+    opts: &ExecOptions,
+    st: &Rc<RefCell<ExecStats>>,
+) -> Result<QueryResult> {
+    let built = build_simple_pipeline(catalog, sel, opts, st.clone(), None)?;
+    let BuiltPipeline {
+        stream,
+        bindings,
+        items,
+        plan: _,
+    } = built;
+    // pipeline errors surface before projection errors, exactly as the
+    // pre-streaming executor reported them
+    let rows = stream.collect::<Result<Vec<AnnRow>>>()?;
+    let items = items?;
 
     // ---- projection / aggregation (identical to the pre-streaming
     //      executor from here on: the paper's §3.4 output semantics) ----
-    let items = items_early?;
     let aggregated = !sel.group_by.is_empty()
         || items.iter().any(|i| has_aggregate(&i.expr))
         || sel.having.as_ref().is_some_and(has_aggregate);
@@ -1142,8 +1295,8 @@ fn run_simple_select(
         }
     } else {
         if sel.having.is_some() || sel.ahaving.is_some() {
-            return Err(BdbmsError::Invalid(
-                "HAVING/AHAVING require GROUP BY or aggregates".into(),
+            return Err(BdbmsError::invalid(
+                "HAVING/AHAVING require GROUP BY or aggregates",
             ));
         }
         // plain projection: pass only the projected columns' annotations
@@ -1153,21 +1306,7 @@ fn run_simple_select(
             .collect::<Result<_>>()?;
         out_rows = Vec::with_capacity(rows.len());
         for row in rows {
-            let mut values = Vec::with_capacity(items.len());
-            let mut anns = Vec::with_capacity(items.len());
-            for (item, cols) in items.iter().zip(&item_cols) {
-                values.push(eval(&item.expr, &bindings, &row.values)?);
-                let mut merged: Vec<AnnRef> = Vec::new();
-                for &c in cols {
-                    for a in &row.anns[c] {
-                        if !merged.iter().any(|x| x.identity() == a.identity()) {
-                            merged.push(a.clone());
-                        }
-                    }
-                }
-                anns.push(merged);
-            }
-            out_rows.push(AnnRow { values, anns });
+            out_rows.push(project_row(&items, &item_cols, &bindings, &row)?);
         }
     }
 
@@ -1193,6 +1332,119 @@ fn run_simple_select(
     })
 }
 
+/// A pull-based cursor over one SELECT's output: rows are produced on
+/// demand, directly off the executor pipeline, without materializing the
+/// full result (the [`crate::session`] API surfaces this as `RowCursor`).
+pub struct SelectCursor<'a> {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// The projected row stream.
+    pub stream: Box<dyn Iterator<Item = Result<AnnRow>> + 'a>,
+}
+
+/// O(1) half of the can-this-SELECT-stream check: clauses that force
+/// the blocking path regardless of what the projection resolves to.
+/// (Set operations, grouping, HAVING/AHAVING, DISTINCT, and ORDER BY
+/// all need the full input before the first output row; FILTER and
+/// LIMIT are per-row.)
+fn has_blocking_clause(sel: &Select) -> bool {
+    sel.set_op.is_some()
+        || !sel.group_by.is_empty()
+        || sel.having.is_some()
+        || sel.ahaving.is_some()
+        || sel.distinct
+        || !sel.order_by.is_empty()
+}
+
+/// Resolution half of the can-this-SELECT-stream check: the projection
+/// expands against the FROM tables and carries no aggregates.
+/// Resolution failures answer `false` so the error surfaces through the
+/// materializing path with its usual ordering.
+fn projection_streamable(catalog: &Catalog, sel: &Select) -> bool {
+    let mut bindings = Vec::new();
+    for tref in &sel.from {
+        match catalog.table(&tref.table) {
+            Ok(t) => bindings.extend(source_bindings(t, tref)),
+            Err(_) => return false,
+        }
+    }
+    match expand_projection(&sel.projection, &bindings) {
+        Ok(items) => items
+            .iter()
+            .all(|i| !has_aggregate(&i.expr) && item_ann_columns(i, &bindings).is_ok()),
+        Err(_) => false,
+    }
+}
+
+/// Open a streaming cursor over a (possibly compound) SELECT.
+///
+/// Streamable simple SELECTs pull rows lazily off the pipeline — the
+/// scan advances only as the cursor is consumed, which is what the
+/// `ExecStats` row counters pin in the regression tests.  Blocking
+/// queries (set ops, grouping, DISTINCT, ORDER BY, aggregates) run to
+/// completion first and the cursor walks the materialized result.
+///
+/// Returns the cursor plus the [`SelectPlan`] used (for prepared-
+/// statement caching; `None` when the query took the blocking path).
+pub fn open_select_cursor<'a>(
+    catalog: &'a Catalog,
+    sel: &Select,
+    opts: &ExecOptions,
+    st: Rc<RefCell<ExecStats>>,
+    hints: Option<&SelectPlan>,
+) -> Result<(SelectCursor<'a>, Option<SelectPlan>)> {
+    // a cached plan is only ever produced by the streamable path, so a
+    // generation-valid one stands in for the (allocating) projection-
+    // resolution half of the check; the O(1) blocking-clause check still
+    // runs, so a hint mismatched to its statement can never force a
+    // grouping/ordering query onto the streaming path
+    let can_stream = !has_blocking_clause(sel)
+        && (hints.is_some_and(|h| {
+            h.catalog == catalog.instance_id() && h.generation == catalog.generation()
+        }) || projection_streamable(catalog, sel));
+    if can_stream {
+        let built = build_simple_pipeline(catalog, sel, opts, st.clone(), hints)?;
+        let items = built.items?;
+        let columns: Vec<String> = items.iter().map(item_name).collect();
+        let item_cols: Vec<Vec<usize>> = items
+            .iter()
+            .map(|i| item_ann_columns(i, &built.bindings))
+            .collect::<Result<_>>()?;
+        let bindings = built.bindings.clone();
+        let filter = sel.filter.clone();
+        let pre = built.stream;
+        let mut stream: Box<dyn Iterator<Item = Result<AnnRow>> + 'a> =
+            Box::new(pre.map(move |entry| {
+                let row = entry?;
+                let mut out = project_row(&items, &item_cols, &bindings, &row)?;
+                if let Some(cond) = &filter {
+                    for col in &mut out.anns {
+                        col.retain(|a| eval_ann(cond, a));
+                    }
+                }
+                Ok(out)
+            }));
+        if let Some(k) = sel.limit {
+            // usually already pushed into the pipeline; this cap also
+            // covers runs with limit pushdown disabled
+            stream = Box::new(stream.take(k as usize));
+        }
+        return Ok((SelectCursor { columns, stream }, built.plan));
+    }
+    // blocking query: run to completion, then stream the buffered rows
+    let mut tmp = st.borrow().clone();
+    let res = run_select_traced(catalog, sel, opts, &mut tmp);
+    *st.borrow_mut() = tmp;
+    let qr = res?;
+    Ok((
+        SelectCursor {
+            columns: qr.columns,
+            stream: Box::new(qr.rows.into_iter().map(Ok)),
+        },
+        None,
+    ))
+}
+
 /// Resolve an annotation-command target (`ADD/ARCHIVE/RESTORE … ON
 /// (SELECT …)`) to concrete cells of one table.
 ///
@@ -1212,10 +1464,9 @@ pub fn select_cells(catalog: &Catalog, sel: &Select) -> Result<(String, Vec<u64>
         || sel.ahaving.is_some()
         || sel.filter.is_some()
     {
-        return Err(BdbmsError::Invalid(
+        return Err(BdbmsError::invalid(
             "annotation target must be a simple single-table SELECT \
-             (no set ops, grouping, DISTINCT, or annotation clauses)"
-                .into(),
+             (no set ops, grouping, DISTINCT, or annotation clauses)",
         ));
     }
     let tref = &sel.from[0];
@@ -1234,8 +1485,8 @@ pub fn select_cells(catalog: &Catalog, sel: &Select) -> Result<(String, Vec<u64>
         match &item.expr {
             Expr::Column(q, n) => cols.push(resolve_column(&bindings, q.as_deref(), n)?),
             _ => {
-                return Err(BdbmsError::Invalid(
-                    "annotation target must project plain columns".into(),
+                return Err(BdbmsError::invalid(
+                    "annotation target must project plain columns",
                 ))
             }
         }

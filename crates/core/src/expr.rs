@@ -45,13 +45,13 @@ pub fn resolve_column(
         .map(|(i, _)| i)
         .collect();
     match matches.len() {
-        0 => Err(BdbmsError::NotFound(format!(
+        0 => Err(BdbmsError::not_found(format!(
             "column `{}{}`",
             qualifier.map(|q| format!("{q}.")).unwrap_or_default(),
             name
         ))),
         1 => Ok(matches[0]),
-        _ => Err(BdbmsError::Invalid(format!(
+        _ => Err(BdbmsError::invalid(format!(
             "ambiguous column `{name}` (qualify it)"
         ))),
     }
@@ -65,7 +65,7 @@ pub fn referenced_columns(
     out: &mut Vec<usize>,
 ) -> Result<()> {
     match expr {
-        Expr::Literal(_) => Ok(()),
+        Expr::Literal(_) | Expr::Param(_) => Ok(()),
         Expr::Column(q, n) => {
             out.push(resolve_column(bindings, q.as_deref(), n)?);
             Ok(())
@@ -104,6 +104,10 @@ pub fn referenced_columns(
 pub fn eval(expr: &Expr, bindings: &[ColBinding], values: &[Value]) -> Result<Value> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
+        Expr::Param(i) => Err(BdbmsError::param_mismatch(format!(
+            "unbound parameter ${} (bind it through a prepared statement)",
+            i + 1
+        ))),
         Expr::Column(q, n) => {
             let idx = resolve_column(bindings, q.as_deref(), n)?;
             Ok(values[idx].clone())
@@ -113,7 +117,7 @@ pub fn eval(expr: &Expr, bindings: &[ColBinding], values: &[Value]) -> Result<Va
             match v {
                 Value::Null => Ok(Value::Null),
                 Value::Bool(b) => Ok(Value::Bool(!b)),
-                other => Err(BdbmsError::Eval(format!(
+                other => Err(BdbmsError::eval(format!(
                     "NOT applied to {}",
                     other.type_name()
                 ))),
@@ -125,7 +129,7 @@ pub fn eval(expr: &Expr, bindings: &[ColBinding], values: &[Value]) -> Result<Va
                 Value::Null => Ok(Value::Null),
                 Value::Int(i) => Ok(Value::Int(-i)),
                 Value::Float(f) => Ok(Value::Float(-f)),
-                other => Err(BdbmsError::Eval(format!(
+                other => Err(BdbmsError::eval(format!(
                     "negation of {}",
                     other.type_name()
                 ))),
@@ -143,7 +147,7 @@ pub fn eval(expr: &Expr, bindings: &[ColBinding], values: &[Value]) -> Result<Va
                     let hit = like_match(&s, pattern)?;
                     Ok(Value::Bool(hit != *negated))
                 }
-                other => Err(BdbmsError::Eval(format!(
+                other => Err(BdbmsError::eval(format!(
                     "LIKE applied to {}",
                     other.type_name()
                 ))),
@@ -172,9 +176,7 @@ pub fn eval(expr: &Expr, bindings: &[ColBinding], values: &[Value]) -> Result<Va
                 .collect::<Result<_>>()?;
             eval_function(name, &vals)
         }
-        Expr::Aggregate(..) => Err(BdbmsError::Eval(
-            "aggregate used outside GROUP BY context".into(),
-        )),
+        Expr::Aggregate(..) => Err(BdbmsError::eval("aggregate used outside GROUP BY context")),
     }
 }
 
@@ -202,7 +204,7 @@ fn eval_binary(
             (BinaryOp::Or, Value::Null, Value::Bool(true))
             | (BinaryOp::Or, Value::Bool(true), Value::Null) => Ok(Value::Bool(true)),
             (_, Value::Null, _) | (_, _, Value::Null) => Ok(Value::Null),
-            (_, a, b) => Err(BdbmsError::Eval(format!(
+            (_, a, b) => Err(BdbmsError::eval(format!(
                 "logic over {} and {}",
                 a.type_name(),
                 b.type_name()
@@ -251,14 +253,14 @@ fn arith(op: BinaryOp, lv: Value, rv: Value) -> Result<Value> {
             BinaryOp::Mul => Ok(Value::Int(a.wrapping_mul(*b))),
             BinaryOp::Div => {
                 if *b == 0 {
-                    Err(BdbmsError::Eval("division by zero".into()))
+                    Err(BdbmsError::eval("division by zero"))
                 } else {
                     Ok(Value::Int(a / b))
                 }
             }
             BinaryOp::Mod => {
                 if *b == 0 {
-                    Err(BdbmsError::Eval("modulo by zero".into()))
+                    Err(BdbmsError::eval("modulo by zero"))
                 } else {
                     Ok(Value::Int(a % b))
                 }
@@ -269,7 +271,7 @@ fn arith(op: BinaryOp, lv: Value, rv: Value) -> Result<Value> {
     let (a, b) = match (lv.as_float(), rv.as_float()) {
         (Some(a), Some(b)) => (a, b),
         _ => {
-            return Err(BdbmsError::Eval(format!(
+            return Err(BdbmsError::eval(format!(
                 "arithmetic over {} and {}",
                 lv.type_name(),
                 rv.type_name()
@@ -282,7 +284,7 @@ fn arith(op: BinaryOp, lv: Value, rv: Value) -> Result<Value> {
         BinaryOp::Mul => a * b,
         BinaryOp::Div => {
             if b == 0.0 {
-                return Err(BdbmsError::Eval("division by zero".into()));
+                return Err(BdbmsError::eval("division by zero"));
             }
             a / b
         }
@@ -297,7 +299,7 @@ fn eval_function(name: &str, args: &[Value]) -> Result<Value> {
         if args.len() == n {
             Ok(())
         } else {
-            Err(BdbmsError::Eval(format!(
+            Err(BdbmsError::eval(format!(
                 "{name} expects {n} argument(s), got {}",
                 args.len()
             )))
@@ -309,7 +311,7 @@ fn eval_function(name: &str, args: &[Value]) -> Result<Value> {
             match &args[0] {
                 Value::Null => Ok(Value::Null),
                 Value::Text(s) => Ok(Value::Int(s.chars().count() as i64)),
-                other => Err(BdbmsError::Eval(format!("LENGTH of {}", other.type_name()))),
+                other => Err(BdbmsError::eval(format!("LENGTH of {}", other.type_name()))),
             }
         }
         "UPPER" | "LOWER" => {
@@ -321,7 +323,7 @@ fn eval_function(name: &str, args: &[Value]) -> Result<Value> {
                 } else {
                     s.to_lowercase()
                 })),
-                other => Err(BdbmsError::Eval(format!("{name} of {}", other.type_name()))),
+                other => Err(BdbmsError::eval(format!("{name} of {}", other.type_name()))),
             }
         }
         "ABS" => {
@@ -330,7 +332,7 @@ fn eval_function(name: &str, args: &[Value]) -> Result<Value> {
                 Value::Null => Ok(Value::Null),
                 Value::Int(i) => Ok(Value::Int(i.abs())),
                 Value::Float(f) => Ok(Value::Float(f.abs())),
-                other => Err(BdbmsError::Eval(format!("ABS of {}", other.type_name()))),
+                other => Err(BdbmsError::eval(format!("ABS of {}", other.type_name()))),
             }
         }
         "SUBSTR" => {
@@ -342,7 +344,7 @@ fn eval_function(name: &str, args: &[Value]) -> Result<Value> {
                     let len = (*len).max(0) as usize;
                     Ok(Value::Text(s.chars().skip(start).take(len).collect()))
                 }
-                _ => Err(BdbmsError::Eval("SUBSTR(text, int, int) expected".into())),
+                _ => Err(BdbmsError::eval("SUBSTR(text, int, int) expected")),
             }
         }
         "TRIM" => {
@@ -350,10 +352,10 @@ fn eval_function(name: &str, args: &[Value]) -> Result<Value> {
             match &args[0] {
                 Value::Null => Ok(Value::Null),
                 Value::Text(s) => Ok(Value::Text(s.trim().to_string())),
-                other => Err(BdbmsError::Eval(format!("TRIM of {}", other.type_name()))),
+                other => Err(BdbmsError::eval(format!("TRIM of {}", other.type_name()))),
             }
         }
-        other => Err(BdbmsError::Eval(format!("unknown function `{other}`"))),
+        other => Err(BdbmsError::eval(format!("unknown function `{other}`"))),
     }
 }
 
@@ -373,7 +375,7 @@ pub fn like_match(s: &str, pattern: &str) -> Result<bool> {
         }
     }
     let compiled =
-        Regex::compile(&re).map_err(|e| BdbmsError::Eval(format!("bad LIKE pattern: {e}")))?;
+        Regex::compile(&re).map_err(|e| BdbmsError::eval(format!("bad LIKE pattern: {e}")))?;
     Ok(compiled.is_match(s.as_bytes()))
 }
 

@@ -1,6 +1,11 @@
 //! Tokenizer for SQL / A-SQL.
+//!
+//! Every token carries the byte [`Span`] it was read from, so parse
+//! errors can point at the offending region of the statement text, and
+//! the lexer recognizes the prepared-statement parameter placeholders
+//! `?` (positional) and `$n` (1-based numbered).
 
-use bdbms_common::{BdbmsError, Result};
+use bdbms_common::{BdbmsError, Result, Span};
 
 /// A lexical token.
 #[derive(Debug, Clone, PartialEq)]
@@ -13,8 +18,10 @@ pub enum Token {
     Int(i64),
     /// Float literal.
     Float(f64),
-    /// Punctuation / operator.
+    /// Punctuation / operator (`?` is the positional parameter marker).
     Sym(&'static str),
+    /// Numbered parameter placeholder `$n` (1-based, as written).
+    Param(usize),
 }
 
 impl Token {
@@ -24,11 +31,32 @@ impl Token {
     }
 }
 
-/// Tokenize an input statement.
+/// A token together with the byte range it occupies in the input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Token,
+    /// Byte range in the statement text.
+    pub span: Span,
+}
+
+/// Tokenize an input statement, dropping the spans (convenience for
+/// callers that only care about the token stream).
 pub fn lex(input: &str) -> Result<Vec<Token>> {
+    Ok(lex_spanned(input)?.into_iter().map(|s| s.tok).collect())
+}
+
+/// Tokenize an input statement, keeping each token's source span.
+pub fn lex_spanned(input: &str) -> Result<Vec<Spanned>> {
     let b = input.as_bytes();
     let mut out = Vec::new();
     let mut i = 0;
+    let mut push = |tok: Token, start: usize, end: usize| {
+        out.push(Spanned {
+            tok,
+            span: Span::new(start, end),
+        });
+    };
     while i < b.len() {
         let c = b[i];
         if c.is_ascii_whitespace() {
@@ -47,7 +75,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
             while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
                 i += 1;
             }
-            out.push(Token::Ident(input[start..i].to_string()));
+            push(Token::Ident(input[start..i].to_string()), start, i);
             continue;
         }
         if c.is_ascii_digit() {
@@ -79,22 +107,37 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
             }
             let text = &input[start..i];
             if is_float {
-                out.push(Token::Float(text.parse().map_err(|_| {
-                    BdbmsError::Parse(format!("bad float literal `{text}`"))
-                })?));
+                push(
+                    Token::Float(text.parse().map_err(|_| {
+                        BdbmsError::syntax_at(format!("bad float literal `{text}`"), start, i)
+                    })?),
+                    start,
+                    i,
+                );
             } else {
-                out.push(Token::Int(text.parse().map_err(|_| {
-                    BdbmsError::Parse(format!("bad integer literal `{text}`"))
-                })?));
+                push(
+                    Token::Int(text.parse().map_err(|_| {
+                        BdbmsError::syntax_at(format!("bad integer literal `{text}`"), start, i)
+                    })?),
+                    start,
+                    i,
+                );
             }
             continue;
         }
         if c == b'\'' {
+            let start = i;
             let mut s = String::new();
             i += 1;
             loop {
                 match b.get(i) {
-                    None => return Err(BdbmsError::Parse("unterminated string literal".into())),
+                    None => {
+                        return Err(BdbmsError::syntax_at(
+                            "unterminated string literal",
+                            start,
+                            b.len(),
+                        ))
+                    }
                     Some(b'\'') if b.get(i + 1) == Some(&b'\'') => {
                         s.push('\'');
                         i += 2;
@@ -112,7 +155,28 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     }
                 }
             }
-            out.push(Token::Str(s));
+            push(Token::Str(s), start, i);
+            continue;
+        }
+        // numbered parameter placeholder: $n
+        if c == b'$' {
+            let start = i;
+            let mut j = i + 1;
+            while j < b.len() && b[j].is_ascii_digit() {
+                j += 1;
+            }
+            if j == i + 1 {
+                return Err(BdbmsError::syntax_at(
+                    "`$` must be followed by a parameter number (e.g. `$1`)",
+                    start,
+                    start + 1,
+                ));
+            }
+            let n: usize = input[i + 1..j].parse().map_err(|_| {
+                BdbmsError::syntax_at(format!("bad parameter number `{}`", &input[i..j]), start, j)
+            })?;
+            push(Token::Param(n), start, j);
+            i = j;
             continue;
         }
         // multi-char operators first
@@ -126,7 +190,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
             _ => "",
         };
         if !sym.is_empty() {
-            out.push(Token::Sym(sym));
+            push(Token::Sym(sym), i, i + 2);
             i += 2;
             continue;
         }
@@ -144,14 +208,16 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
             b'=' => "=",
             b'<' => "<",
             b'>' => ">",
+            b'?' => "?",
             _ => {
-                return Err(BdbmsError::Parse(format!(
-                    "unexpected character `{}`",
-                    c as char
-                )))
+                return Err(BdbmsError::syntax_at(
+                    format!("unexpected character `{}`", c as char),
+                    i,
+                    i + 1,
+                ))
             }
         };
-        out.push(Token::Sym(sym));
+        push(Token::Sym(sym), i, i + 1);
         i += 1;
     }
     Ok(out)
@@ -199,9 +265,27 @@ mod tests {
     }
 
     #[test]
-    fn errors() {
-        assert!(lex("'unterminated").is_err());
-        assert!(lex("a ? b").is_err());
+    fn parameter_placeholders() {
+        let toks = lex("WHERE GID = ? AND Len >= $2").unwrap();
+        assert!(toks.contains(&Token::Sym("?")));
+        assert!(toks.contains(&Token::Param(2)));
+        // a bare `$` is an error
+        assert!(lex("a $ b").is_err());
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let e = lex_spanned("'unterminated").unwrap_err();
+        assert_eq!(e.span.map(|s| s.start), Some(0));
+        let e = lex_spanned("ab @").unwrap_err();
+        assert_eq!(e.span.map(|s| (s.start, s.end)), Some((3, 4)));
+    }
+
+    #[test]
+    fn spans_cover_tokens() {
+        let toks = lex_spanned("SELECT 'ab'").unwrap();
+        assert_eq!((toks[0].span.start, toks[0].span.end), (0, 6));
+        assert_eq!((toks[1].span.start, toks[1].span.end), (7, 11));
     }
 
     #[test]

@@ -53,8 +53,10 @@ pub mod parser;
 pub mod plan;
 pub mod provenance;
 pub mod result;
+pub mod session;
 pub mod stats;
 pub mod xml;
 
 pub use database::Database;
 pub use result::{AnnOut, AnnRef, AnnRow, QueryResult};
+pub use session::{Prepared, RowCursor, Session};

@@ -1,23 +1,43 @@
 //! Recursive-descent parser for SQL + A-SQL.
+//!
+//! Parse errors carry a byte [`Span`] into the statement text whenever
+//! the offending token is known.  The parser also accepts the
+//! prepared-statement parameter placeholders `?` (positional, numbered
+//! left to right) and `$n` (explicit 1-based slot); [`parse_prepared`]
+//! reports how many parameter slots a statement declares.
 
-use bdbms_common::{BdbmsError, DataType, Result, Value};
+use bdbms_common::{BdbmsError, DataType, Result, Span, Value};
 
 use crate::ast::*;
-use crate::lexer::{lex, Token};
+use crate::lexer::{lex_spanned, Spanned, Token};
 
 /// Parse one statement (trailing `;` allowed).
 pub fn parse(input: &str) -> Result<Statement> {
-    let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    Ok(parse_prepared(input)?.0)
+}
+
+/// Parse one statement, additionally returning the number of parameter
+/// slots (`?` / `$n` placeholders) it declares.  `$n` placeholders
+/// reserve slots `0..n`, so `$3` alone means three parameters.
+pub fn parse_prepared(input: &str) -> Result<(Statement, usize)> {
+    let tokens = lex_spanned(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        end: input.len(),
+        param_slots: 0,
+    };
     let stmt = p.statement()?;
     p.accept_sym(";");
     if p.pos != p.tokens.len() {
-        return Err(BdbmsError::Parse(format!(
+        let t = &p.tokens[p.pos];
+        return Err(BdbmsError::syntax(format!(
             "unexpected trailing tokens starting at {:?}",
-            p.tokens[p.pos]
-        )));
+            t.tok
+        ))
+        .with_span(t.span));
     }
-    Ok(stmt)
+    Ok((stmt, p.param_slots))
 }
 
 /// Keywords that terminate a table alias position.
@@ -43,17 +63,31 @@ const CLAUSE_KEYWORDS: &[&str] = &[
 ];
 
 struct Parser {
-    tokens: Vec<Token>,
+    tokens: Vec<Spanned>,
     pos: usize,
+    /// Byte length of the input (end-of-input error span).
+    end: usize,
+    /// Total parameter slots declared so far.  A positional `?` claims
+    /// the next slot *after* everything declared before it (SQLite's
+    /// rule), so `?` never silently aliases an explicit `$n`.
+    param_slots: usize,
 }
 
 impl Parser {
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    /// Span of the token at `pos` (or a zero-width end-of-input span).
+    fn span_here(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map(|s| s.span)
+            .unwrap_or_else(|| Span::new(self.end, self.end))
     }
 
     fn bump(&mut self) -> Option<Token> {
-        let t = self.tokens.get(self.pos).cloned();
+        let t = self.tokens.get(self.pos).map(|s| s.tok.clone());
         if t.is_some() {
             self.pos += 1;
         }
@@ -61,10 +95,11 @@ impl Parser {
     }
 
     fn err_here(&self, what: &str) -> BdbmsError {
-        match self.peek() {
-            Some(t) => BdbmsError::Parse(format!("expected {what}, found {t:?}")),
-            None => BdbmsError::Parse(format!("expected {what}, found end of input")),
-        }
+        let e = match self.peek() {
+            Some(t) => BdbmsError::syntax(format!("expected {what}, found {t:?}")),
+            None => BdbmsError::syntax(format!("expected {what}, found end of input")),
+        };
+        e.with_span(self.span_here())
     }
 
     fn accept_kw(&mut self, kw: &str) -> bool {
@@ -200,7 +235,7 @@ impl Parser {
                     "CELL" => true,
                     "RECTANGLE" | "RECT" => false,
                     other => {
-                        return Err(BdbmsError::Parse(format!(
+                        return Err(BdbmsError::syntax(format!(
                             "unknown annotation scheme `{other}`"
                         )))
                     }
@@ -450,7 +485,7 @@ impl Parser {
         loop {
             let name = self.ident()?;
             let p = Privilege::parse(&name)
-                .ok_or_else(|| BdbmsError::Parse(format!("unknown privilege `{name}`")))?;
+                .ok_or_else(|| BdbmsError::syntax(format!("unknown privilege `{name}`")))?;
             privileges.push(p);
             if !self.accept_sym(",") {
                 break;
@@ -678,9 +713,9 @@ impl Parser {
         }
         // alias.* form
         if let (Some(Token::Ident(a)), Some(Token::Sym(".")), Some(Token::Sym("*"))) = (
-            self.tokens.get(self.pos),
-            self.tokens.get(self.pos + 1),
-            self.tokens.get(self.pos + 2),
+            self.tokens.get(self.pos).map(|s| &s.tok),
+            self.tokens.get(self.pos + 1).map(|s| &s.tok),
+            self.tokens.get(self.pos + 2).map(|s| &s.tok),
         ) {
             let alias = a.clone();
             self.pos += 3;
@@ -876,6 +911,22 @@ impl Parser {
 
     fn primary(&mut self) -> Result<Expr> {
         match self.bump() {
+            Some(Token::Sym("?")) => {
+                // positional placeholder: the next slot after everything
+                // declared so far (left to right, past any $n seen)
+                let slot = self.param_slots;
+                self.param_slots += 1;
+                Ok(Expr::Param(slot))
+            }
+            Some(Token::Param(n)) => {
+                if n == 0 {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(BdbmsError::syntax("parameter numbers start at $1")
+                        .with_span(self.span_here()));
+                }
+                self.param_slots = self.param_slots.max(n);
+                Ok(Expr::Param(n - 1))
+            }
             Some(Token::Int(i)) => Ok(Expr::Literal(Value::Int(i))),
             Some(Token::Float(f)) => Ok(Expr::Literal(Value::Float(f))),
             Some(Token::Str(s)) => Ok(Expr::Literal(Value::Text(s))),
@@ -936,9 +987,10 @@ impl Parser {
             }
             other => {
                 self.pos = self.pos.saturating_sub(1);
-                Err(BdbmsError::Parse(format!(
-                    "expected expression, found {other:?}"
-                )))
+                Err(
+                    BdbmsError::syntax(format!("expected expression, found {other:?}"))
+                        .with_span(self.span_here()),
+                )
             }
         }
     }
@@ -1321,6 +1373,58 @@ mod tests {
         assert!(parse("SELECT * FROM t WHERE").is_err());
         assert!(parse("GRANT FLY ON t TO u").is_err());
         assert!(parse("SELECT * FROM t; extra").is_err());
+    }
+
+    #[test]
+    fn parameter_placeholders_count_slots() {
+        let (_, n) = parse_prepared("SELECT * FROM t WHERE a = ? AND b = ?").unwrap();
+        assert_eq!(n, 2);
+        // numbered slots may repeat and appear in any order
+        let (_, n) = parse_prepared("UPDATE t SET a = $2 WHERE b = $1 AND c = $1").unwrap();
+        assert_eq!(n, 2);
+        // $3 alone reserves slots 1..3
+        let (_, n) = parse_prepared("SELECT * FROM t WHERE a = $3").unwrap();
+        assert_eq!(n, 3);
+        // mixing: a later `?` claims the slot after the largest declared
+        let (stmt, n) = parse_prepared("SELECT * FROM t WHERE a = $1 AND b = ?").unwrap();
+        assert_eq!(n, 2);
+        match stmt {
+            Statement::Select(sel) => {
+                let w = sel.where_clause.unwrap();
+                match w {
+                    Expr::Binary(l, BinaryOp::And, r) => {
+                        assert!(matches!(&*l, Expr::Binary(_, _, b) if **b == Expr::Param(0)));
+                        assert!(matches!(&*r, Expr::Binary(_, _, b) if **b == Expr::Param(1)));
+                    }
+                    _ => panic!("expected AND"),
+                }
+            }
+            _ => panic!("wrong statement"),
+        }
+        let (stmt, n) = parse_prepared("INSERT INTO t VALUES (?, ?, 3)").unwrap();
+        assert_eq!(n, 2);
+        match stmt {
+            Statement::Insert { rows, .. } => {
+                assert_eq!(rows[0][0], Expr::Param(0));
+                assert_eq!(rows[0][1], Expr::Param(1));
+            }
+            _ => panic!("wrong statement"),
+        }
+        assert!(
+            parse("SELECT * FROM t WHERE a = $0").is_err(),
+            "slots are 1-based"
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_spans() {
+        let sql = "SELECT GID FRM Gene";
+        let err = parse(sql).unwrap_err();
+        let span = err.span.expect("span on parse error");
+        assert_eq!(&sql[span.start..span.end], "FRM");
+        // a truncated statement still points somewhere useful
+        let err = parse("SELECT * FROM t WHERE").unwrap_err();
+        assert!(err.span.is_some());
     }
 
     #[test]

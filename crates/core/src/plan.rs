@@ -156,6 +156,19 @@ impl ColBounds {
     }
 }
 
+/// The value-independent part of a probe decision: which access path a
+/// source scan takes, with key bounds left to be recomputed from the
+/// (possibly parameter-bound) conjuncts at execution time.  This is what
+/// prepared statements cache and replay until the catalog generation
+/// moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeChoice {
+    /// Walk the heap.
+    FullScan,
+    /// Probe the index over this source-local column.
+    Column(usize),
+}
+
 /// Pick an index access path for one source given its pushed conjuncts.
 ///
 /// All usable `column ⟨cmp⟩ constant` conjuncts over indexed columns are
@@ -164,8 +177,32 @@ impl ColBounds {
 /// equality wins over range-only columns.  `local_bindings` are the
 /// source's own bindings, so resolved positions are source-local.
 pub fn choose_probe(table: &Table, local_bindings: &[ColBinding], pushed: &[Expr]) -> Probe {
+    choose_probe_with(table, local_bindings, pushed, None).0
+}
+
+/// Like [`choose_probe`], but optionally replaying a cached
+/// [`ProbeChoice`] instead of re-costing the candidates, and returning
+/// the choice actually taken alongside the concrete probe.  The
+/// returned choice is `None` when any decision along the way depended
+/// on a constant's *value* (a NULL or type-incompatible key, a constant
+/// that failed to fold) — such a choice must not be cached, or a freak
+/// first binding would pin a bad access path for every later execution.
+///
+/// A forced choice pins only the access *path*; key bounds are always
+/// recomputed from the conjuncts at hand, so re-binding a prepared
+/// statement with new parameter values probes the right keys.  A forced
+/// choice that no longer fits the table (index dropped, conjunct shape
+/// drifted) falls back to a live cost-based pick.
+pub fn choose_probe_with(
+    table: &Table,
+    local_bindings: &[ColBinding],
+    pushed: &[Expr],
+    forced: Option<ProbeChoice>,
+) -> (Probe, Option<ProbeChoice>) {
     // per-column accumulated bounds, in first-seen order
     let mut cols: Vec<(usize, ColBounds)> = Vec::new();
+    let mut empty = false;
+    let mut value_dependent = false;
     for conjunct in pushed {
         let Expr::Binary(l, op, r) = conjunct else {
             continue;
@@ -195,6 +232,9 @@ pub fn choose_probe(table: &Table, local_bindings: &[ColBinding], pushed: &[Expr
                 continue;
             }
             let Some(key) = const_fold(const_side) else {
+                // a column-free side that fails to fold (e.g. `? / 0`)
+                // is a value-level accident, not statement shape
+                value_dependent = true;
                 continue;
             };
             if table.index_on(col).is_none() {
@@ -202,11 +242,18 @@ pub fn choose_probe(table: &Table, local_bindings: &[ColBinding], pushed: &[Expr
             }
             if key.is_null() {
                 // `col ⟨cmp⟩ NULL` is never true, and the conjunct must
-                // hold for a row to survive: the scan is provably empty
-                return Probe::Empty;
+                // hold for a row to survive: the scan is provably empty.
+                // (A value-dependent fact — never part of the cached
+                // choice, which is why it is not an early return.)
+                empty = true;
+                value_dependent = true;
+                continue;
             }
             let key_ty = key.data_type().expect("non-null");
             if !probe_types_compatible(table.schema.columns()[col].ty, key_ty) {
+                // whether the key's type fits the index is a property of
+                // the bound value, not of the statement
+                value_dependent = true;
                 continue;
             }
             let pos = match cols.iter().position(|(c, _)| *c == col) {
@@ -231,25 +278,43 @@ pub fn choose_probe(table: &Table, local_bindings: &[ColBinding], pushed: &[Expr
             break; // a conjunct constrains via at most one side
         }
     }
-    // cost-based choice: expected result rows per candidate, smallest
-    // wins; ties prefer equality probes, then first-seen order (so the
-    // choice is deterministic given fixed stats)
-    let pick = cols
-        .iter()
-        .filter(|(_, b)| b.lo.is_some() || b.hi.is_some())
-        .map(|(col, b)| (col, b, estimate_bounds_rows(table, *col, b)))
-        // `min_by` keeps the first of equal candidates → first-seen order
-        .min_by(|(_, ab, ae), (_, bb, be)| {
-            ae.total_cmp(be).then_with(|| bb.has_eq.cmp(&ab.has_eq))
-        });
-    match pick {
-        Some((col, b, _)) => Probe::Index {
-            column: *col,
-            lo: b.lo.clone().map_or(Bound::Unbounded, Bound::Included),
-            hi: b.hi.clone().map_or(Bound::Unbounded, Bound::Included),
-        },
-        None => Probe::FullScan,
-    }
+    let bounded = |b: &ColBounds| b.lo.is_some() || b.hi.is_some();
+    let concrete = |col: usize, b: &ColBounds| Probe::Index {
+        column: col,
+        lo: b.lo.clone().map_or(Bound::Unbounded, Bound::Included),
+        hi: b.hi.clone().map_or(Bound::Unbounded, Bound::Included),
+    };
+    // a cached choice replays if it still fits the current shape
+    let (probe, choice) = match forced {
+        Some(ProbeChoice::FullScan) => (Probe::FullScan, ProbeChoice::FullScan),
+        Some(ProbeChoice::Column(c))
+            if table.index_on(c).is_some()
+                && cols.iter().any(|(col, b)| *col == c && bounded(b)) =>
+        {
+            let b = &cols.iter().find(|(col, _)| *col == c).expect("checked").1;
+            (concrete(c, b), ProbeChoice::Column(c))
+        }
+        // live cost-based choice (also the fallback for a stale forced
+        // column): expected result rows per candidate, smallest wins;
+        // ties prefer equality probes, then first-seen order (so the
+        // choice is deterministic given fixed stats)
+        _ => {
+            let pick = cols
+                .iter()
+                .filter(|(_, b)| bounded(b))
+                .map(|(col, b)| (col, b, estimate_bounds_rows(table, *col, b)))
+                // `min_by` keeps the first of equal candidates → first-seen order
+                .min_by(|(_, ab, ae), (_, bb, be)| {
+                    ae.total_cmp(be).then_with(|| bb.has_eq.cmp(&ab.has_eq))
+                });
+            match pick {
+                Some((col, b, _)) => (concrete(*col, b), ProbeChoice::Column(*col)),
+                None => (Probe::FullScan, ProbeChoice::FullScan),
+            }
+        }
+    };
+    let probe = if empty { Probe::Empty } else { probe };
+    (probe, (!value_dependent).then_some(choice))
 }
 
 /// Expected rows returned by a probe of `column` constrained to the

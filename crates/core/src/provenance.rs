@@ -89,13 +89,13 @@ impl ProvenanceRecord {
     pub fn from_xml(body: &XmlNode, created: u64) -> Result<ProvenanceRecord> {
         let source = body
             .path_text("/Annotation/source")
-            .ok_or_else(|| BdbmsError::Invalid("provenance body missing <source>".into()))?
+            .ok_or_else(|| BdbmsError::invalid("provenance body missing <source>"))?
             .to_string();
         let op_text = body
             .path_text("/Annotation/operation")
-            .ok_or_else(|| BdbmsError::Invalid("provenance body missing <operation>".into()))?;
+            .ok_or_else(|| BdbmsError::invalid("provenance body missing <operation>"))?;
         let operation = ProvOp::parse(op_text).ok_or_else(|| {
-            BdbmsError::Invalid(format!("unknown provenance operation `{op_text}`"))
+            BdbmsError::invalid(format!("unknown provenance operation `{op_text}`"))
         })?;
         Ok(ProvenanceRecord {
             source,
@@ -110,7 +110,7 @@ impl ProvenanceRecord {
 /// the parse error the engine reports when schema enforcement is on.
 pub fn validate_body(raw: &str) -> Result<()> {
     let body = XmlNode::parse(raw)
-        .map_err(|e| BdbmsError::Invalid(format!("provenance body must be XML: {e}")))?;
+        .map_err(|e| BdbmsError::invalid(format!("provenance body must be XML: {e}")))?;
     ProvenanceRecord::from_xml(&body, 0).map(|_| ())
 }
 

@@ -122,12 +122,16 @@ impl QueryResult {
         }
     }
 
-    /// Values of one column, by name.
+    /// Values of one column, by name.  Lookup follows SQL identifier
+    /// semantics (case-insensitive, like the catalog and the schema);
+    /// when two output columns differ only by case, an exact-case match
+    /// wins over the first case-insensitive one.
     pub fn column_values(&self, name: &str) -> Option<Vec<&Value>> {
-        let idx = self
-            .columns
-            .iter()
-            .position(|c| c.eq_ignore_ascii_case(name))?;
+        let idx = self.columns.iter().position(|c| c == name).or_else(|| {
+            self.columns
+                .iter()
+                .position(|c| c.eq_ignore_ascii_case(name))
+        })?;
         Some(self.rows.iter().map(|r| &r.values[idx]).collect())
     }
 
@@ -263,6 +267,23 @@ mod tests {
             message: None,
         };
         assert_eq!(qr.column_values("B").unwrap(), vec![&Value::Int(2)]);
+        assert_eq!(qr.column_values("b").unwrap(), vec![&Value::Int(2)]);
         assert!(qr.column_values("z").is_none());
+    }
+
+    #[test]
+    fn column_values_prefers_exact_case_on_collision() {
+        // `SELECT Gid AS gid, GID AS GID …`-style outputs can collide
+        // case-insensitively; an exact-case request must pick its column
+        let qr = QueryResult {
+            columns: vec!["gid".into(), "GID".into()],
+            rows: vec![AnnRow::plain(vec![Value::Int(1), Value::Int(2)])],
+            affected: 0,
+            message: None,
+        };
+        assert_eq!(qr.column_values("GID").unwrap(), vec![&Value::Int(2)]);
+        assert_eq!(qr.column_values("gid").unwrap(), vec![&Value::Int(1)]);
+        // no exact match: first case-insensitive hit wins
+        assert_eq!(qr.column_values("Gid").unwrap(), vec![&Value::Int(1)]);
     }
 }

@@ -35,7 +35,7 @@ impl XmlNode {
         let node = p.parse_element()?;
         p.skip_ws();
         if p.pos != p.s.len() {
-            return Err(BdbmsError::Parse(format!(
+            return Err(BdbmsError::syntax(format!(
                 "trailing content after root element at byte {}",
                 p.pos
             )));
@@ -161,7 +161,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(BdbmsError::Parse(format!(
+            Err(BdbmsError::syntax(format!(
                 "expected `{}` at byte {} of annotation XML",
                 b as char, self.pos
             )))
@@ -178,7 +178,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         if start == self.pos {
-            return Err(BdbmsError::Parse(format!(
+            return Err(BdbmsError::syntax(format!(
                 "expected tag name at byte {}",
                 self.pos
             )));
@@ -215,7 +215,7 @@ impl<'a> Parser<'a> {
                 )));
             }
             if self.pos >= self.s.len() {
-                return Err(BdbmsError::Parse(format!("unclosed <{tag}>")));
+                return Err(BdbmsError::syntax(format!("unclosed <{tag}>")));
             }
             if self.s.get(self.pos + 1) == Some(&b'/') {
                 // closing tag
@@ -224,7 +224,7 @@ impl<'a> Parser<'a> {
                 self.skip_ws();
                 self.expect(b'>')?;
                 if !close.eq_ignore_ascii_case(&tag) {
-                    return Err(BdbmsError::Parse(format!(
+                    return Err(BdbmsError::syntax(format!(
                         "mismatched </{close}> for <{tag}>"
                     )));
                 }

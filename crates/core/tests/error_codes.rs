@@ -1,0 +1,139 @@
+//! One end-to-end assertion per [`ErrorCode`] variant: clients must be
+//! able to distinguish syntax vs. authorization vs. constraint failures
+//! programmatically, without string-matching messages.
+
+use bdbms_common::{BdbmsError, ErrorCode, Value};
+use bdbms_core::Database;
+
+fn db_with_gene() -> Database {
+    let mut db = Database::new_in_memory();
+    db.execute("CREATE TABLE Gene (GID TEXT, Len INT)").unwrap();
+    db.execute("INSERT INTO Gene VALUES ('JW0080', 11)")
+        .unwrap();
+    db
+}
+
+#[test]
+fn syntax_error_carries_code_and_span() {
+    let mut db = db_with_gene();
+    let err = db.execute("SELECT GID FRM Gene").unwrap_err();
+    assert_eq!(err.code(), ErrorCode::Syntax);
+    let span = err.span.expect("parse errors point at the offending token");
+    assert_eq!(
+        &"SELECT GID FRM Gene"[span.start..span.end],
+        "FRM",
+        "span must cover the unexpected token"
+    );
+    // lex-level errors are spanned too
+    let err = db.execute("SELECT 'oops").unwrap_err();
+    assert_eq!(err.code(), ErrorCode::Syntax);
+    assert_eq!(err.span.map(|s| s.start), Some(7));
+}
+
+#[test]
+fn unknown_table_is_not_found() {
+    let mut db = db_with_gene();
+    let err = db.execute("SELECT * FROM Protein").unwrap_err();
+    assert_eq!(err.code(), ErrorCode::NotFound);
+}
+
+#[test]
+fn duplicate_table_already_exists() {
+    let mut db = db_with_gene();
+    let err = db.execute("CREATE TABLE Gene (X INT)").unwrap_err();
+    assert_eq!(err.code(), ErrorCode::AlreadyExists);
+}
+
+#[test]
+fn wrong_value_type_is_type_mismatch() {
+    let mut db = db_with_gene();
+    let err = db
+        .execute("INSERT INTO Gene VALUES ('JW0001', 'not-an-int')")
+        .unwrap_err();
+    assert_eq!(err.code(), ErrorCode::TypeMismatch);
+}
+
+#[test]
+fn semantic_violation_is_invalid() {
+    let mut db = db_with_gene();
+    let err = db.execute("CREATE TABLE Dup (a INT, a TEXT)").unwrap_err();
+    assert_eq!(err.code(), ErrorCode::Invalid);
+}
+
+#[test]
+fn auth_denial_is_unauthorized() {
+    let mut db = db_with_gene();
+    db.execute("CREATE USER mallory").unwrap();
+    let err = db.execute_as("DROP TABLE Gene", "mallory").unwrap_err();
+    assert_eq!(err.code(), ErrorCode::Unauthorized);
+}
+
+#[test]
+fn double_decision_is_approval_error() {
+    let mut db = db_with_gene();
+    db.execute("CREATE USER intern").unwrap();
+    db.execute("GRANT INSERT ON Gene TO intern").unwrap();
+    db.execute("START CONTENT APPROVAL ON Gene APPROVED BY admin")
+        .unwrap();
+    db.execute_as("INSERT INTO Gene VALUES ('JW0002', 7)", "intern")
+        .unwrap();
+    let id = db.approval().pending(None)[0].id.raw();
+    db.execute(&format!("APPROVE OPERATION {id}")).unwrap();
+    let err = db.execute(&format!("APPROVE OPERATION {id}")).unwrap_err();
+    assert_eq!(err.code(), ErrorCode::Approval);
+}
+
+#[test]
+fn rule_cycle_is_dependency_error() {
+    let mut db = Database::new_in_memory();
+    db.execute("CREATE TABLE T (a TEXT, b TEXT)").unwrap();
+    db.execute("CREATE DEPENDENCY RULE r1 FROM T.a TO T.b VIA PROCEDURE 'p'")
+        .unwrap();
+    let err = db
+        .execute("CREATE DEPENDENCY RULE r2 FROM T.b TO T.a VIA PROCEDURE 'q'")
+        .unwrap_err();
+    assert_eq!(err.code(), ErrorCode::Dependency);
+}
+
+#[test]
+fn storage_and_io_codes() {
+    // storage failures need a corrupted heap to trigger end-to-end; the
+    // constructor contract is what clients rely on
+    let err = BdbmsError::storage("page overflow");
+    assert_eq!(err.code(), ErrorCode::Storage);
+    assert_eq!(err.kind(), "storage");
+    // io errors arrive via the std conversion
+    let err: BdbmsError = std::io::Error::other("disk gone").into();
+    assert_eq!(err.code(), ErrorCode::Io);
+}
+
+#[test]
+fn runtime_expression_failure_is_eval() {
+    let mut db = db_with_gene();
+    let err = db
+        .execute("SELECT * FROM Gene WHERE Len / 0 = 1")
+        .unwrap_err();
+    assert_eq!(err.code(), ErrorCode::Eval);
+}
+
+#[test]
+fn bad_bind_is_param_mismatch() {
+    let mut db = db_with_gene();
+    let mut session = db.session("admin");
+    let stmt = session
+        .prepare("SELECT GID FROM Gene WHERE Len = ?")
+        .unwrap();
+    let err = session.execute(&stmt, &[]).unwrap_err();
+    assert_eq!(err.code(), ErrorCode::ParamMismatch);
+    let err = session
+        .execute(&stmt, &[Value::Int(1), Value::Int(2)])
+        .unwrap_err();
+    assert_eq!(err.code(), ErrorCode::ParamMismatch);
+}
+
+#[test]
+fn every_code_is_covered_and_distinct() {
+    // the assertions above cover each variant; this pins the full set so
+    // adding a code without a test shows up here
+    assert_eq!(ErrorCode::ALL.len(), 12);
+}

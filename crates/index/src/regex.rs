@@ -162,11 +162,11 @@ impl<'a> Parser<'a> {
 
     fn parse_atom(&mut self) -> Result<Ast> {
         match self.bump() {
-            None => Err(BdbmsError::Parse("unexpected end of pattern".into())),
+            None => Err(BdbmsError::syntax("unexpected end of pattern")),
             Some(b'(') => {
                 let inner = self.parse_alt()?;
                 if self.bump() != Some(b')') {
-                    return Err(BdbmsError::Parse("unclosed group".into()));
+                    return Err(BdbmsError::syntax("unclosed group"));
                 }
                 Ok(inner)
             }
@@ -175,10 +175,10 @@ impl<'a> Parser<'a> {
             Some(b'\\') => {
                 let b = self
                     .bump()
-                    .ok_or_else(|| BdbmsError::Parse("trailing backslash".into()))?;
+                    .ok_or_else(|| BdbmsError::syntax("trailing backslash"))?;
                 Ok(Ast::Byte(b))
             }
-            Some(b @ (b'*' | b'+' | b'?' | b')')) => Err(BdbmsError::Parse(format!(
+            Some(b @ (b'*' | b'+' | b'?' | b')')) => Err(BdbmsError::syntax(format!(
                 "misplaced `{}` in pattern",
                 b as char
             ))),
@@ -196,16 +196,16 @@ impl<'a> Parser<'a> {
         loop {
             let b = self
                 .bump()
-                .ok_or_else(|| BdbmsError::Parse("unclosed character class".into()))?;
+                .ok_or_else(|| BdbmsError::syntax("unclosed character class"))?;
             if b == b']' {
                 if ranges.is_empty() {
-                    return Err(BdbmsError::Parse("empty character class".into()));
+                    return Err(BdbmsError::syntax("empty character class"));
                 }
                 break;
             }
             let lo = if b == b'\\' {
                 self.bump()
-                    .ok_or_else(|| BdbmsError::Parse("trailing backslash in class".into()))?
+                    .ok_or_else(|| BdbmsError::syntax("trailing backslash in class"))?
             } else {
                 b
             };
@@ -213,9 +213,9 @@ impl<'a> Parser<'a> {
                 self.bump(); // '-'
                 let hi = self
                     .bump()
-                    .ok_or_else(|| BdbmsError::Parse("unclosed range in class".into()))?;
+                    .ok_or_else(|| BdbmsError::syntax("unclosed range in class"))?;
                 if hi < lo {
-                    return Err(BdbmsError::Parse(format!(
+                    return Err(BdbmsError::syntax(format!(
                         "inverted range {}-{} in class",
                         lo as char, hi as char
                     )));
@@ -303,7 +303,7 @@ impl Regex {
         };
         let ast = p.parse_alt()?;
         if p.pos != p.pat.len() {
-            return Err(BdbmsError::Parse(format!(
+            return Err(BdbmsError::syntax(format!(
                 "unexpected `{}` at position {}",
                 p.pat[p.pos] as char, p.pos
             )));

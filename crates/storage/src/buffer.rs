@@ -114,7 +114,7 @@ impl Inner {
     fn evict_one(&mut self) -> Result<()> {
         let victim = self
             .tail
-            .ok_or_else(|| BdbmsError::Storage("evict from empty pool".into()))?;
+            .ok_or_else(|| BdbmsError::storage("evict from empty pool"))?;
         self.detach(victim);
         let frame = self.frames.remove(&victim).unwrap();
         if frame.dirty {

@@ -57,7 +57,7 @@ fn encode_fragment(is_head: bool, next: Option<Rid>, payload: &[u8]) -> Vec<u8> 
 
 fn decode_fragment(rec: &[u8]) -> Result<(bool, Option<Rid>, &[u8])> {
     if rec.len() < FRAG_HEADER {
-        return Err(BdbmsError::Storage("fragment too short".into()));
+        return Err(BdbmsError::storage("fragment too short"));
     }
     let flags = rec[0];
     let page = u64::from_le_bytes(rec[1..9].try_into().unwrap());
@@ -134,7 +134,7 @@ impl HeapFile {
         let slot = self
             .pool
             .with_page_mut(pid, |pg| slotted::insert(pg, frag))?
-            .ok_or_else(|| BdbmsError::Storage("fragment larger than a fresh page".into()))?;
+            .ok_or_else(|| BdbmsError::storage("fragment larger than a fresh page"))?;
         Ok(Rid { page: pid, slot })
     }
 
@@ -165,10 +165,10 @@ impl HeapFile {
             let frag = self
                 .pool
                 .with_page(r.page, |pg| slotted::get(pg, r.slot).map(|d| d.to_vec()))?;
-            let frag = frag.ok_or_else(|| BdbmsError::Storage(format!("no record at {r}")))?;
+            let frag = frag.ok_or_else(|| BdbmsError::storage(format!("no record at {r}")))?;
             let (is_head, next, payload) = decode_fragment(&frag)?;
             if first && !is_head {
-                return Err(BdbmsError::Storage(format!(
+                return Err(BdbmsError::storage(format!(
                     "{r} is a continuation fragment, not a record head"
                 )));
             }
@@ -197,7 +197,7 @@ impl HeapFile {
             let frag = self
                 .pool
                 .with_page(r.page, |pg| slotted::get(pg, r.slot).map(|d| d.to_vec()))?;
-            let frag = frag.ok_or_else(|| BdbmsError::Storage(format!("broken chain at {r}")))?;
+            let frag = frag.ok_or_else(|| BdbmsError::storage(format!("broken chain at {r}")))?;
             let (_, next, _) = decode_fragment(&frag)?;
             self.pool
                 .with_page_mut(r.page, |pg| slotted::delete(pg, r.slot))?;
@@ -217,10 +217,10 @@ impl HeapFile {
         let head = self.pool.with_page(rid.page, |pg| {
             slotted::get(pg, rid.slot).map(|d| d.to_vec())
         })?;
-        let head = head.ok_or_else(|| BdbmsError::Storage(format!("no record at {rid}")))?;
+        let head = head.ok_or_else(|| BdbmsError::storage(format!("no record at {rid}")))?;
         let (is_head, next, _) = decode_fragment(&head)?;
         if !is_head {
-            return Err(BdbmsError::Storage(format!("{rid} is not a record head")));
+            return Err(BdbmsError::storage(format!("{rid} is not a record head")));
         }
         if next.is_none() && rec.len() <= FRAG_PAYLOAD {
             let frag = encode_fragment(true, None, rec);

@@ -61,7 +61,7 @@ impl PageStore for MemStore {
         let page = self
             .pages
             .get(id.0 as usize)
-            .ok_or_else(|| BdbmsError::Storage(format!("read of unallocated {id}")))?;
+            .ok_or_else(|| BdbmsError::storage(format!("read of unallocated {id}")))?;
         buf.copy_from_slice(&page[..]);
         Ok(())
     }
@@ -70,7 +70,7 @@ impl PageStore for MemStore {
         let page = self
             .pages
             .get_mut(id.0 as usize)
-            .ok_or_else(|| BdbmsError::Storage(format!("write of unallocated {id}")))?;
+            .ok_or_else(|| BdbmsError::storage(format!("write of unallocated {id}")))?;
         page.copy_from_slice(buf);
         Ok(())
     }
@@ -97,7 +97,7 @@ impl FileStore {
             .open(path)?;
         let len = file.metadata()?.len();
         if len % PAGE_SIZE as u64 != 0 {
-            return Err(BdbmsError::Storage(format!(
+            return Err(BdbmsError::storage(format!(
                 "file length {len} is not a multiple of page size"
             )));
         }
@@ -119,7 +119,7 @@ impl PageStore for FileStore {
 
     fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
         if id.0 >= self.num_pages {
-            return Err(BdbmsError::Storage(format!("read of unallocated {id}")));
+            return Err(BdbmsError::storage(format!("read of unallocated {id}")));
         }
         self.file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
         self.file.read_exact(buf)?;
@@ -128,7 +128,7 @@ impl PageStore for FileStore {
 
     fn write_page(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
         if id.0 >= self.num_pages {
-            return Err(BdbmsError::Storage(format!("write of unallocated {id}")));
+            return Err(BdbmsError::storage(format!("write of unallocated {id}")));
         }
         self.file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
         self.file.write_all(buf)?;
