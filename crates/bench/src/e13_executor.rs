@@ -77,6 +77,50 @@ fn time_prepared(db: &mut Database, n: usize, reps: u32) -> (Duration, Duration)
     (one_shot, prepared)
 }
 
+/// Per-cycle mean of `BEGIN; INSERT <batch rows>; COMMIT` vs. the same
+/// cycle ending in `ROLLBACK`, on a scratch table.  Both legs pay the
+/// undo-log *recording* cost; the rollback leg additionally replays the
+/// log (row deletes + snapshot restore).  The gated ratio therefore
+/// pins the *replay* path — a pathological rollback drags it toward 0
+/// and trips the gate — while recording regressions inflate both legs
+/// alike and show up in the report's absolute ms columns, not the
+/// ratio.
+fn time_txn_batch(db: &mut Database, batch: usize, reps: u32) -> (Duration, Duration) {
+    db.execute("CREATE TABLE TxnScratch (K INT, V TEXT)")
+        .expect("scratch table");
+    let mut insert = String::from("INSERT INTO TxnScratch VALUES ");
+    for i in 0..batch {
+        if i > 0 {
+            insert.push(',');
+        }
+        insert.push_str(&format!("({i}, 'v{i}')"));
+    }
+    // warm-up one full cycle of each shape
+    db.execute("BEGIN").unwrap();
+    db.execute(&insert).unwrap();
+    db.execute("ROLLBACK").unwrap();
+    let mut commit_total = Duration::ZERO;
+    for _ in 0..reps {
+        let s = Instant::now();
+        db.execute("BEGIN").unwrap();
+        db.execute(&insert).unwrap();
+        db.execute("COMMIT").unwrap();
+        commit_total += s.elapsed();
+        // cleanup outside the timed window
+        db.execute("DELETE FROM TxnScratch").unwrap();
+    }
+    let mut rollback_total = Duration::ZERO;
+    for _ in 0..reps {
+        let s = Instant::now();
+        db.execute("BEGIN").unwrap();
+        db.execute(&insert).unwrap();
+        db.execute("ROLLBACK").unwrap();
+        rollback_total += s.elapsed();
+    }
+    db.execute("DROP TABLE TxnScratch").unwrap();
+    (commit_total / reps, rollback_total / reps)
+}
+
 /// Run E13 at a chosen table size (tests use a smaller one).
 pub fn run_sized(n: usize) -> Report {
     let mut db = indexed_gene_db(n);
@@ -177,6 +221,24 @@ pub fn run_sized(n: usize) -> Report {
         reps.to_string(),
         ratio(one_shot.as_secs_f64(), prepared.as_secs_f64()),
     ]);
+    // transactional batch insert: commit (undo-log recording only) vs
+    // rollback (recording + replay); the ratio pins the undo-log overhead
+    let batch = (n / 100).max(10);
+    let (commit_t, rollback_t) = time_txn_batch(&mut db, batch, 25);
+    let txn_speedup = commit_t.as_secs_f64() / rollback_t.as_secs_f64().max(1e-12);
+    speedups.push((
+        "txn batch insert (commit vs rollback)".to_string(),
+        txn_speedup,
+    ));
+    report.row(vec![
+        "txn batch insert (commit vs rollback)".to_string(),
+        format!("{batch} rows"),
+        ms(commit_t),
+        ms(rollback_t),
+        batch.to_string(),
+        batch.to_string(),
+        ratio(commit_t.as_secs_f64(), rollback_t.as_secs_f64()),
+    ]);
     for (label, s) in &speedups {
         report.note(format!("{label}: {s:.1}x"));
     }
@@ -194,6 +256,11 @@ pub fn run_sized(n: usize) -> Report {
         "prepared point: Session::prepare caches the parsed AST and the \
          generation-stamped plan, so 1,000 re-executions skip lex/parse/\
          plan and stream one row each off the index probe",
+    );
+    report.note(
+        "txn batch insert: BEGIN + batch INSERT + COMMIT vs the same \
+         cycle ending in ROLLBACK; the gated ratio pins undo-log replay \
+         (recording cost is in both legs' absolute times, ungated)",
     );
     report
 }
@@ -235,11 +302,25 @@ mod tests {
     }
 
     #[test]
-    fn report_has_seven_rows_and_json_renders() {
+    fn report_has_eight_rows_and_json_renders() {
         let r = run_sized(3000);
-        assert_eq!(r.rows.len(), 7);
+        assert_eq!(r.rows.len(), 8);
         let j = r.render_json();
         assert!(j.contains("\"id\":\"e13\""));
+        assert!(j.contains("txn batch insert (commit vs rollback)"));
+    }
+
+    /// The transactional batch cycle must be exact: commit keeps every
+    /// row, rollback keeps none, and the cycle leaves no scratch state.
+    #[test]
+    fn txn_batch_workload_is_self_cleaning() {
+        let mut db = indexed_gene_db(200);
+        let (commit_t, rollback_t) = time_txn_batch(&mut db, 50, 2);
+        assert!(commit_t > Duration::ZERO && rollback_t > Duration::ZERO);
+        assert!(
+            db.catalog().table("TxnScratch").is_err(),
+            "scratch table dropped after the workload"
+        );
     }
 
     /// The cost-based planner must pick the more selective of two

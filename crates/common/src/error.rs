@@ -74,6 +74,11 @@ pub enum ErrorCode {
     /// A prepared statement was bound with the wrong number of
     /// parameters, or executed with a parameter slot left unbound.
     ParamMismatch,
+    /// A transaction-control statement was issued in the wrong state:
+    /// `BEGIN` inside an open transaction, `COMMIT`/`ROLLBACK` outside
+    /// one, a savepoint command naming an unknown savepoint, or a
+    /// non-transactional statement inside an explicit transaction.
+    TxnState,
 }
 
 impl ErrorCode {
@@ -93,11 +98,12 @@ impl ErrorCode {
             ErrorCode::Eval => "eval",
             ErrorCode::Io => "io",
             ErrorCode::ParamMismatch => "param_mismatch",
+            ErrorCode::TxnState => "txn_state",
         }
     }
 
     /// Every code, for exhaustive tests.
-    pub const ALL: [ErrorCode; 12] = [
+    pub const ALL: [ErrorCode; 13] = [
         ErrorCode::Syntax,
         ErrorCode::NotFound,
         ErrorCode::AlreadyExists,
@@ -110,6 +116,7 @@ impl ErrorCode {
         ErrorCode::Eval,
         ErrorCode::Io,
         ErrorCode::ParamMismatch,
+        ErrorCode::TxnState,
     ];
 }
 
@@ -228,6 +235,11 @@ impl BdbmsError {
     /// [`ErrorCode::ParamMismatch`].
     pub fn param_mismatch(m: impl Into<String>) -> Self {
         Self::new(ErrorCode::ParamMismatch, m)
+    }
+
+    /// [`ErrorCode::TxnState`].
+    pub fn txn_state(m: impl Into<String>) -> Self {
+        Self::new(ErrorCode::TxnState, m)
     }
 }
 

@@ -72,6 +72,17 @@ impl CellScheme {
         self.cells.get(&(row, col)).cloned().unwrap_or_default()
     }
 
+    /// Drop every attachment of annotations at or past the id watermark
+    /// (transaction rollback).  Cells left without attachments are
+    /// removed so storage accounting matches a history where the
+    /// annotations never existed.
+    fn detach_from(&mut self, watermark: u64) {
+        self.cells.retain(|_, ids| {
+            ids.retain(|id| id.raw() < watermark);
+            !ids.is_empty()
+        });
+    }
+
     /// Attachment records stored (one per annotated cell per annotation —
     /// the repetition the paper calls out).
     fn record_count(&self) -> usize {
@@ -130,6 +141,30 @@ impl RectScheme {
 
     fn record_count(&self) -> usize {
         self.rects.len()
+    }
+
+    /// Drop every rectangle of annotations at or past the id watermark
+    /// (transaction rollback).  Annotations are appended in id order, so
+    /// the survivors are a prefix of the rectangle list; rebuilding the
+    /// R-tree over that prefix reproduces the pre-transaction structure
+    /// exactly (same rectangles, same insertion order).
+    fn detach_from(&mut self, watermark: u64) {
+        let keep = self
+            .rects
+            .iter()
+            .take_while(|(_, _, _, _, ann)| ann.raw() < watermark)
+            .count();
+        if keep == self.rects.len() {
+            return;
+        }
+        self.rects.truncate(keep);
+        self.index = RTree::default();
+        for (idx, &(clo, chi, rlo, rhi, _)) in self.rects.iter().enumerate() {
+            self.index.insert(
+                Rect::new([clo as f64, rlo as f64], [chi as f64, rhi as f64]),
+                idx as u64,
+            );
+        }
     }
 
     /// 40 bytes per rectangle record (4 coordinates + id), plus the R-tree.
@@ -280,6 +315,40 @@ impl AnnotationSet {
             }
         }
         changed
+    }
+
+    /// The id the next [`add`](Self::add) would allocate — the watermark
+    /// a transaction snapshot records before the set is first mutated.
+    pub(crate) fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// The archived flag of every annotation, in id order (the other
+    /// half of a transaction snapshot).
+    pub(crate) fn archived_flags(&self) -> Vec<(u64, bool)> {
+        self.annotations
+            .iter()
+            .map(|(&id, a)| (id, a.archived))
+            .collect()
+    }
+
+    /// Restore the set to a snapshot: truncate annotations (and their
+    /// scheme attachments) at or past the id watermark, rewind the id
+    /// allocator, and put the survivors' archived flags back.
+    pub(crate) fn rollback_to(&mut self, next_id: u64, flags: &[(u64, bool)]) {
+        if self.next_id > next_id {
+            self.annotations.retain(|&id, _| id < next_id);
+            match &mut self.scheme {
+                Scheme::Cell(s) => s.detach_from(next_id),
+                Scheme::Rect(s) => s.detach_from(next_id),
+            }
+            self.next_id = next_id;
+        }
+        for &(id, archived) in flags {
+            if let Some(a) = self.annotations.get_mut(&id) {
+                a.archived = archived;
+            }
+        }
     }
 
     /// Number of annotation records.

@@ -229,6 +229,27 @@ impl ApprovalManager {
         Ok(op.clone())
     }
 
+    /// The log length and id allocator — the watermark a transaction
+    /// snapshot records before the first approval-log append.
+    pub(crate) fn log_watermark(&self) -> (usize, u64) {
+        (self.log.len(), self.next_id)
+    }
+
+    /// Restore the log to a snapshot: drop entries appended past the
+    /// watermark and rewind the id allocator (transaction rollback).
+    pub(crate) fn truncate_log(&mut self, len: usize, next_id: u64) {
+        self.log.truncate(len);
+        self.next_id = next_id;
+    }
+
+    /// Force an entry's status (transaction rollback undoing a decision
+    /// whose inverse execution was itself rolled back).
+    pub(crate) fn set_status(&mut self, id: OperationId, status: OpStatus) {
+        if let Some(op) = self.log.iter_mut().find(|op| op.id == id) {
+            op.status = status;
+        }
+    }
+
     /// Bytes of log storage (for the E11 overhead report): description +
     /// stored inverse values.
     pub fn log_bytes(&self) -> usize {

@@ -415,6 +415,33 @@ pub enum Statement {
         /// Row predicate.
         where_clause: Option<Expr>,
     },
+    /// `BEGIN [TRANSACTION | WORK]` — open an explicit transaction.
+    /// Until `COMMIT`/`ROLLBACK`, every statement's effects are recorded
+    /// in the session's undo log (see `crate::txn`).
+    Begin,
+    /// `COMMIT [TRANSACTION | WORK]` — make the open transaction's
+    /// effects permanent and discard its undo log.
+    Commit,
+    /// `ROLLBACK [TRANSACTION | WORK]` — undo everything since `BEGIN`.
+    Rollback,
+    /// `SAVEPOINT name` — mark a rollback point inside the open
+    /// transaction.  Names may shadow earlier savepoints.
+    Savepoint {
+        /// Savepoint name.
+        name: String,
+    },
+    /// `ROLLBACK TO [SAVEPOINT] name` — undo back to the savepoint,
+    /// keeping the transaction (and the savepoint itself) open.
+    RollbackTo {
+        /// Savepoint name.
+        name: String,
+    },
+    /// `RELEASE [SAVEPOINT] name` — forget the savepoint (and any
+    /// savepoints created after it) without undoing anything.
+    Release {
+        /// Savepoint name.
+        name: String,
+    },
 }
 
 /// Table privileges of the GRANT/REVOKE model.

@@ -357,6 +357,23 @@ impl Table {
         &self.stats
     }
 
+    /// Replace the statistics wholesale (transaction rollback restoring
+    /// a first-touch snapshot — the KMV sketch cannot retract).
+    pub(crate) fn set_stats(&mut self, stats: TableStats) {
+        self.stats = stats;
+    }
+
+    /// The next row number an insert would allocate.
+    pub(crate) fn peek_next_row(&self) -> u64 {
+        self.next_row
+    }
+
+    /// Rewind the row-number allocator (transaction rollback; the rows
+    /// past it have already been deleted by the row-level undo ops).
+    pub(crate) fn set_next_row(&mut self, next_row: u64) {
+        self.next_row = next_row;
+    }
+
     /// Rebuild statistics exactly from the live rows (`ANALYZE`).
     /// Returns the number of rows scanned.
     pub fn analyze(&mut self) -> Result<u64> {

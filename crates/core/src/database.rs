@@ -26,6 +26,7 @@ use crate::plan;
 use crate::provenance::{self, ProvenanceRecord};
 use crate::result::{AnnRow, QueryResult};
 use crate::session::Session;
+use crate::txn::{TxnRuntime, TxnStatus, UndoOp};
 
 /// How a dependency cascade treats non-recomputable targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +50,11 @@ pub struct Database {
     auth: AuthManager,
     approval: ApprovalManager,
     deps: DependencyManager,
+    /// Transaction runtime: the undo log and its watermarks.  Driven by
+    /// the [`Session`] state machine (`BEGIN`/`COMMIT`/`ROLLBACK`);
+    /// outside an explicit transaction every statement wraps itself in
+    /// an implicit one, so a failing multi-row statement is atomic.
+    txn: TxnRuntime,
 }
 
 impl Database {
@@ -67,6 +73,7 @@ impl Database {
             auth: AuthManager::new(),
             approval: ApprovalManager::new(),
             deps: DependencyManager::new(),
+            txn: TxnRuntime::new(),
         }
     }
 
@@ -158,8 +165,230 @@ impl Database {
         }
     }
 
+    // ---- transactions (see `crate::txn` and docs/TRANSACTIONS.md) ----
+
+    /// Observable transaction state: [`TxnStatus::Idle`], or
+    /// [`TxnStatus::Active`] with the live savepoint count.
+    pub fn transaction_status(&self) -> TxnStatus {
+        if self.txn.explicit() {
+            TxnStatus::Active {
+                savepoints: self.txn.savepoint_count(),
+            }
+        } else {
+            TxnStatus::Idle
+        }
+    }
+
+    /// Is an explicit transaction (`BEGIN` without a matching
+    /// `COMMIT`/`ROLLBACK`) open?
+    pub fn in_transaction(&self) -> bool {
+        self.txn.explicit()
+    }
+
+    pub(crate) fn txn_begin(&mut self) -> Result<QueryResult> {
+        if self.txn.explicit() {
+            return Err(BdbmsError::txn_state(
+                "BEGIN inside an open transaction (nested transactions are \
+                 not supported; use SAVEPOINT)",
+            ));
+        }
+        self.txn.begin_explicit();
+        Ok(QueryResult::message("transaction started"))
+    }
+
+    pub(crate) fn txn_commit(&mut self) -> Result<QueryResult> {
+        if !self.txn.explicit() {
+            return Err(BdbmsError::txn_state("COMMIT outside a transaction"));
+        }
+        self.txn.commit();
+        Ok(QueryResult::message("transaction committed"))
+    }
+
+    pub(crate) fn txn_rollback(&mut self) -> Result<QueryResult> {
+        if !self.txn.explicit() {
+            return Err(BdbmsError::txn_state("ROLLBACK outside a transaction"));
+        }
+        let ops = self.txn.take_all();
+        self.apply_undo(ops);
+        Ok(QueryResult::message("transaction rolled back"))
+    }
+
+    pub(crate) fn txn_savepoint(&mut self, name: &str) -> Result<QueryResult> {
+        if !self.txn.explicit() {
+            return Err(BdbmsError::txn_state("SAVEPOINT outside a transaction"));
+        }
+        self.txn.add_savepoint(name);
+        Ok(QueryResult::message(format!("savepoint `{name}` created")))
+    }
+
+    pub(crate) fn txn_rollback_to(&mut self, name: &str) -> Result<QueryResult> {
+        if !self.txn.explicit() {
+            return Err(BdbmsError::txn_state(
+                "ROLLBACK TO SAVEPOINT outside a transaction",
+            ));
+        }
+        let mark = self
+            .txn
+            .find_savepoint(name)
+            .ok_or_else(|| BdbmsError::txn_state(format!("unknown savepoint `{name}`")))?;
+        let ops = self.txn.take_after(mark);
+        self.apply_undo(ops);
+        Ok(QueryResult::message(format!(
+            "rolled back to savepoint `{name}`"
+        )))
+    }
+
+    pub(crate) fn txn_release(&mut self, name: &str) -> Result<QueryResult> {
+        if !self.txn.explicit() {
+            return Err(BdbmsError::txn_state(
+                "RELEASE SAVEPOINT outside a transaction",
+            ));
+        }
+        if !self.txn.release_savepoint(name) {
+            return Err(BdbmsError::txn_state(format!("unknown savepoint `{name}`")));
+        }
+        Ok(QueryResult::message(format!("savepoint `{name}` released")))
+    }
+
+    /// Apply recorded undo ops (newest first) and, if anything was
+    /// undone, bump the catalog generation: the generation only ever
+    /// moves forward, so a prepared plan cached against rolled-back DDL
+    /// can never be replayed.
+    fn apply_undo(&mut self, ops: Vec<UndoOp>) {
+        if ops.is_empty() {
+            return;
+        }
+        for op in ops.into_iter().rev() {
+            op.apply(&mut self.catalog, &mut self.deps, &mut self.approval);
+        }
+        self.catalog.bump_generation();
+    }
+
+    /// Push the first-touch snapshot of a table's non-row state (stats,
+    /// outdated bitmap, row allocator, deletion-log length).  Must run
+    /// *before* the mutation it covers.
+    fn rec_touch_table(&mut self, table: &str) {
+        if !self.txn.table_needs_snapshot(table) {
+            return;
+        }
+        if let Ok(t) = self.catalog.table(table) {
+            let op = UndoOp::RestoreTableState {
+                table: t.name.clone(),
+                stats: t.stats().clone(),
+                outdated: t.outdated.clone(),
+                next_row: t.peek_next_row(),
+                deleted_log_len: t.deleted_log.len(),
+            };
+            self.txn.push(op);
+        }
+    }
+
+    /// Push the first-touch snapshot of an annotation set (id watermark
+    /// and archived flags).  Must run *before* the mutation it covers.
+    fn rec_touch_ann_set(&mut self, table: &str, set: &str) {
+        if !self.txn.ann_set_needs_snapshot(table, set) {
+            return;
+        }
+        if let Ok(t) = self.catalog.table(table) {
+            if let Some(s) = t.ann_set(set) {
+                let op = UndoOp::RestoreAnnSet {
+                    table: t.name.clone(),
+                    set: s.name.clone(),
+                    next_id: s.next_id(),
+                    flags: s.archived_flags(),
+                };
+                self.txn.push(op);
+            }
+        }
+    }
+
+    /// Push the first-touch snapshot of the approval log.  Must run
+    /// *before* the append it covers.
+    fn rec_touch_approval(&mut self) {
+        if self.txn.approval_needs_snapshot() {
+            let (len, next_id) = self.approval.log_watermark();
+            self.txn.push(UndoOp::RestoreApprovalLog { len, next_id });
+        }
+    }
+
+    /// Statements whose effects live outside the undo log's reach
+    /// (authorization and approval-workflow state) — rejected inside an
+    /// explicit transaction.
+    fn non_transactional(stmt: &Statement) -> Option<&'static str> {
+        Some(match stmt {
+            Statement::CreateUser { .. } => "CREATE USER",
+            Statement::Grant { .. } => "GRANT",
+            Statement::Revoke { .. } => "REVOKE",
+            Statement::StartContentApproval { .. } => "START CONTENT APPROVAL",
+            Statement::StopContentApproval { .. } => "STOP CONTENT APPROVAL",
+            Statement::ApproveOperation { .. } => "APPROVE OPERATION",
+            Statement::DisapproveOperation { .. } => "DISAPPROVE OPERATION",
+            _ => return None,
+        })
+    }
+
     /// Execute a parsed statement.
+    ///
+    /// Inside an explicit transaction the statement runs against the
+    /// open undo log with statement-level atomicity (a failure undoes
+    /// the statement's own effects and leaves the transaction usable).
+    /// Otherwise the statement wraps itself in an **implicit
+    /// transaction**: on error every already-applied effect — rows of a
+    /// multi-row INSERT, earlier rows of an UPDATE, cascade recomputes —
+    /// is rolled back, so statements are atomic.
     pub fn execute_stmt(&mut self, stmt: Statement, user: &str) -> Result<QueryResult> {
+        // Transaction control is the Session's state machine
+        // (`Session::run` and `Session::execute` route these before they
+        // get here); reaching one directly is a state-machine bypass.
+        if matches!(
+            stmt,
+            Statement::Begin
+                | Statement::Commit
+                | Statement::Rollback
+                | Statement::Savepoint { .. }
+                | Statement::RollbackTo { .. }
+                | Statement::Release { .. }
+        ) {
+            return Err(BdbmsError::txn_state(
+                "transaction control statements run through a Session \
+                 (Database::execute wraps one)",
+            ));
+        }
+        if self.txn.explicit() {
+            if let Some(what) = Self::non_transactional(&stmt) {
+                return Err(BdbmsError::txn_state(format!(
+                    "{what} is non-transactional; run it outside BEGIN…COMMIT"
+                )));
+            }
+            let mark = self.txn.watermark();
+            let r = self.execute_stmt_inner(stmt, user);
+            match &r {
+                // drop this statement's now-redundant snapshot copies so
+                // long transactions hold one snapshot per object per
+                // frame, not per statement
+                Ok(_) => self.txn.statement_succeeded(mark),
+                Err(_) => {
+                    let ops = self.txn.take_after(mark);
+                    self.apply_undo(ops);
+                }
+            }
+            r
+        } else {
+            self.txn.begin_implicit();
+            let r = self.execute_stmt_inner(stmt, user);
+            match &r {
+                Ok(_) => self.txn.commit(),
+                Err(_) => {
+                    let ops = self.txn.take_all();
+                    self.apply_undo(ops);
+                }
+            }
+            r
+        }
+    }
+
+    /// Execute a parsed statement against the open undo log.
+    fn execute_stmt_inner(&mut self, stmt: Statement, user: &str) -> Result<QueryResult> {
         self.clock.tick();
         match stmt {
             Statement::CreateTable { name, columns } => self.create_table(name, columns, user),
@@ -173,6 +402,10 @@ impl Database {
                 self.catalog
                     .table_mut(&table)?
                     .create_index(&name, &column)?;
+                self.txn.push(UndoOp::UnCreateIndex {
+                    table: table.clone(),
+                    index: name.clone(),
+                });
                 // a new access path invalidates cached prepared plans
                 self.catalog.bump_generation();
                 Ok(QueryResult::message(format!(
@@ -181,7 +414,21 @@ impl Database {
             }
             Statement::DropIndex { name, table } => {
                 self.require_owner(&table, user)?;
+                // resolve the indexed column first: rollback recreates
+                // the index by backfilling over that column
+                let column = {
+                    let t = self.catalog.table(&table)?;
+                    let idx = t.index_named(&name).ok_or_else(|| {
+                        BdbmsError::not_found(format!("index `{name}` on `{table}`"))
+                    })?;
+                    t.schema.columns()[idx.column].name.clone()
+                };
                 self.catalog.table_mut(&table)?.drop_index(&name)?;
+                self.txn.push(UndoOp::UnDropIndex {
+                    table: table.clone(),
+                    index: name.clone(),
+                    column,
+                });
                 self.catalog.bump_generation();
                 Ok(QueryResult::message(format!(
                     "index `{name}` dropped from `{table}`"
@@ -329,12 +576,19 @@ impl Database {
                         "only admin may drop dependency rules",
                     ));
                 }
-                self.deps.drop_rule(&name)?;
+                let pos = self.deps.rule_position(&name).unwrap_or(0);
+                let rule = self.deps.drop_rule(&name)?;
+                self.txn.push(UndoOp::UnDropRule {
+                    pos,
+                    rule: Box::new(rule),
+                });
                 Ok(QueryResult::message(format!("rule `{name}` dropped")))
             }
             Statement::Analyze { table } => {
                 let owner = self.catalog.table(&table)?.owner.clone();
                 self.auth.check(user, &table, &owner, Privilege::Select)?;
+                // the snapshot holds the incremental stats ANALYZE replaces
+                self.rec_touch_table(&table);
                 let rows = self.catalog.table_mut(&table)?.analyze()?;
                 // fresh stats can change cost-based choices: replan
                 self.catalog.bump_generation();
@@ -347,6 +601,14 @@ impl Database {
                 columns,
                 where_clause,
             } => self.validate(&table, &columns, where_clause.as_ref(), user),
+            Statement::Begin
+            | Statement::Commit
+            | Statement::Rollback
+            | Statement::Savepoint { .. }
+            | Statement::RollbackTo { .. }
+            | Statement::Release { .. } => {
+                unreachable!("transaction control is routed by execute_stmt")
+            }
         }
     }
 
@@ -380,12 +642,18 @@ impl Database {
         )?;
         let table = Table::create(name.clone(), schema, user, self.pool.clone())?;
         self.catalog.add_table(table)?;
+        self.txn.push(UndoOp::UnCreateTable { name: name.clone() });
         Ok(QueryResult::message(format!("table `{name}` created")))
     }
 
     fn drop_table(&mut self, name: &str, user: &str) -> Result<QueryResult> {
         self.require_owner(name, user)?;
-        self.catalog.drop_table(name)?;
+        // the dropped table moves into the undo log wholesale: rollback
+        // puts it back byte-identical (heap, indexes, annotations, stats)
+        let table = self.catalog.drop_table(name)?;
+        self.txn.push(UndoOp::UnDropTable {
+            table: Box::new(table),
+        });
         Ok(QueryResult::message(format!("table `{name}` dropped")))
     }
 
@@ -404,6 +672,10 @@ impl Database {
             )));
         }
         table.ann_sets.push(AnnotationSet::new(name, cell_scheme));
+        self.txn.push(UndoOp::UnCreateAnnSet {
+            table: on.to_string(),
+            set: name.to_string(),
+        });
         Ok(QueryResult::message(format!(
             "annotation table `{name}` created on `{on}`"
         )))
@@ -412,15 +684,18 @@ impl Database {
     fn drop_annotation_table(&mut self, name: &str, on: &str, user: &str) -> Result<QueryResult> {
         self.require_owner(on, user)?;
         let table = self.catalog.table_mut(on)?;
-        let before = table.ann_sets.len();
-        table
+        let pos = table
             .ann_sets
-            .retain(|s| !s.name.eq_ignore_ascii_case(name));
-        if table.ann_sets.len() == before {
-            return Err(BdbmsError::not_found(format!(
-                "annotation table `{name}` on `{on}`"
-            )));
-        }
+            .iter()
+            .position(|s| s.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| BdbmsError::not_found(format!("annotation table `{name}` on `{on}`")))?;
+        // like DROP TABLE, the set moves into the undo log wholesale
+        let set = table.ann_sets.remove(pos);
+        self.txn.push(UndoOp::UnDropAnnSet {
+            table: on.to_string(),
+            pos,
+            set: Box::new(set),
+        });
         Ok(QueryResult::message(format!(
             "annotation table `{name}` dropped from `{on}`"
         )))
@@ -445,12 +720,18 @@ impl Database {
             .iter()
             .map(|e| eval(e, &[], &[]))
             .collect::<Result<_>>()?;
+        self.rec_touch_table(table);
         let t = self.catalog.table_mut(table)?;
         let row_no = t.insert(values)?;
         let all_cols: Vec<String> = t.schema.names().iter().map(|s| s.to_string()).collect();
+        self.txn.push(UndoOp::UnInsert {
+            table: table.to_string(),
+            row_no,
+        });
         // content approval (§6)
         if self.approval.monitors(table, &all_cols) && !self.is_approver(user, table) {
             let time = self.clock.now();
+            self.rec_touch_approval();
             self.approval.log_operation(
                 table,
                 user,
@@ -501,8 +782,16 @@ impl Database {
         }
         let monitored =
             self.approval.monitors(table, &touched_names) && !self.is_approver(user, table);
+        self.rec_touch_table(table);
         let mut touched = Vec::with_capacity(plans.len());
         for (row_no, old_values, new_values, old) in plans {
+            // the undo log keeps the full old image: rollback restores
+            // the row (and its index entries) in one logical op
+            self.txn.push(UndoOp::UnUpdate {
+                table: table.to_string(),
+                row_no,
+                old: old_values.clone(),
+            });
             let t = self.catalog.table_mut(table)?;
             // the row-selection pass already materialized the old values,
             // so index maintenance needs no heap re-read
@@ -514,6 +803,7 @@ impl Database {
             }
             if monitored {
                 let time = self.clock.now();
+                self.rec_touch_approval();
                 self.approval.log_operation(
                     table,
                     user,
@@ -555,6 +845,7 @@ impl Database {
             .collect();
         let monitored = self.approval.monitors(table, &all_cols) && !self.is_approver(user, table);
         let arity = self.catalog.table(table)?.schema.arity();
+        self.rec_touch_table(table);
         for &row_no in &victims {
             // mark dependents stale *before* the source row disappears
             for col in 0..arity {
@@ -570,7 +861,15 @@ impl Database {
                 time,
                 user: user.to_string(),
             });
+            // rollback re-inserts the image; the deletion-log entry is
+            // retired by the table snapshot's log watermark
+            self.txn.push(UndoOp::UnDelete {
+                table: table.to_string(),
+                row_no,
+                values: values.clone(),
+            });
             if monitored {
+                self.rec_touch_approval();
                 self.approval.log_operation(
                     table,
                     user,
@@ -607,6 +906,9 @@ impl Database {
         for rule in rules {
             let targets = self.link_targets(&rule, row_no)?;
             for dst_row in targets {
+                // the cascade mutates target cells and outdated bits;
+                // both are covered by the target table's snapshot
+                self.rec_touch_table(&rule.dst_table);
                 let dst_col = {
                     let dt = self.catalog.table(&rule.dst_table)?;
                     dt.schema.require(&rule.dst_col)?
@@ -628,12 +930,18 @@ impl Database {
                     let dt = self.catalog.table_mut(&rule.dst_table)?;
                     let mut dst_values = dt.get(dst_row)?;
                     if dst_values[dst_col] != new_value {
+                        let old = dst_values.clone();
                         dst_values[dst_col] = new_value;
                         dt.update(dst_row, dst_values)?;
                         // recomputed: the cell is current again (Figure 10:
                         // PSequence bits stay 0); downstream saw a genuine
                         // modification, so continue in Update mode
                         dt.clear_outdated(dst_row, dst_col);
+                        self.txn.push(UndoOp::UnUpdate {
+                            table: rule.dst_table.clone(),
+                            row_no: dst_row,
+                            old,
+                        });
                         self.cascade(&rule.dst_table, dst_row, dst_col, CascadeMode::Update)?;
                     } else {
                         dt.clear_outdated(dst_row, dst_col);
@@ -765,7 +1073,12 @@ impl Database {
             invertible,
             link: link_cols,
         };
+        let prev_next_id = self.deps.next_rule_id();
         self.deps.add_rule(rule)?;
+        self.txn.push(UndoOp::UnAddRule {
+            name: name.clone(),
+            prev_next_id,
+        });
         Ok(QueryResult::message(format!(
             "dependency rule `{name}` created"
         )))
@@ -790,6 +1103,12 @@ impl Database {
                 op.table
             )));
         }
+        // a failing inverse execution rolls back with the statement, so
+        // the decision's status flip must be undoable too
+        self.txn.push(UndoOp::RestoreOpStatus {
+            id: op.id,
+            status: op.status,
+        });
         let decided = self
             .approval
             .decide(bdbms_common::ids::OperationId(id), approve)?;
@@ -799,6 +1118,7 @@ impl Database {
         // §6: execute the inverse statement; dependency tracking then
         // invalidates anything derived from the undone values.
         debug_assert_eq!(decided.status, OpStatus::Disapproved);
+        self.rec_touch_table(&decided.table);
         match decided.inverse {
             InverseOp::DeleteRow { row_no } => {
                 let arity = self.catalog.table(&decided.table)?.schema.arity();
@@ -810,15 +1130,24 @@ impl Database {
                 let values = t.delete(row_no)?;
                 t.deleted_log.push(DeletedRow {
                     row_no,
-                    values,
+                    values: values.clone(),
                     annotation: Some(format!("disapproved operation {id}")),
                     time,
                     user: user.to_string(),
+                });
+                self.txn.push(UndoOp::UnDelete {
+                    table: decided.table.clone(),
+                    row_no,
+                    values,
                 });
             }
             InverseOp::InsertRow { row_no, values } => {
                 let t = self.catalog.table_mut(&decided.table)?;
                 t.insert_with_row_no(row_no, values)?;
+                self.txn.push(UndoOp::UnInsert {
+                    table: decided.table.clone(),
+                    row_no,
+                });
                 let arity = self.catalog.table(&decided.table)?.schema.arity();
                 for col in 0..arity {
                     self.cascade(&decided.table, row_no, col, CascadeMode::Update)?;
@@ -827,10 +1156,16 @@ impl Database {
             InverseOp::RestoreCells { row_no, old } => {
                 let t = self.catalog.table_mut(&decided.table)?;
                 let mut values = t.get(row_no)?;
+                let pre_patch = values.clone();
                 for (col, v) in &old {
                     values[*col] = v.clone();
                 }
                 t.update(row_no, values)?;
+                self.txn.push(UndoOp::UnUpdate {
+                    table: decided.table.clone(),
+                    row_no,
+                    old: pre_patch,
+                });
                 for (col, _) in &old {
                     self.cascade(&decided.table, row_no, *col, CascadeMode::Update)?;
                 }
@@ -931,6 +1266,7 @@ impl Database {
         let time = self.clock.now();
         let mut added = 0;
         for (t, s) in &to {
+            self.rec_touch_ann_set(t, s);
             let table = self.catalog.table_mut(t)?;
             let set = table.ann_set_mut(s).expect("checked");
             set.add(value, user, time, &rows, &cols);
@@ -969,6 +1305,8 @@ impl Database {
                 )));
             }
             self.check_ann_write(user, t, s)?;
+            // the snapshot's archived flags cover the state flips
+            self.rec_touch_ann_set(t, s);
             let table = self.catalog.table_mut(t)?;
             let set = table
                 .ann_set_mut(s)
@@ -1031,6 +1369,8 @@ impl Database {
             .into_iter()
             .map(|(row_no, _)| row_no)
             .collect();
+        // the snapshot's outdated bitmap covers the cleared bits
+        self.rec_touch_table(table);
         let t = self.catalog.table_mut(table)?;
         let mut cleared = 0;
         for row_no in targets {
@@ -1050,14 +1390,25 @@ impl Database {
 
     /// Create the reserved provenance annotation table on `table`.
     pub fn enable_provenance(&mut self, table: &str) -> Result<()> {
-        let t = self.catalog.table_mut(table)?;
-        provenance::ensure_provenance_set(t);
+        let (name, created) = {
+            let t = self.catalog.table_mut(table)?;
+            let created = t.ann_set(provenance::PROVENANCE_TABLE).is_none();
+            provenance::ensure_provenance_set(t);
+            (t.name.clone(), created)
+        };
+        if created {
+            self.txn.push(UndoOp::UnCreateAnnSet {
+                table: name,
+                set: provenance::PROVENANCE_TABLE.to_string(),
+            });
+        }
         Ok(())
     }
 
     /// Record a provenance annotation over cells (system path — this is
     /// what integration tools call; end users go through A-SQL and hit
-    /// the PROVENANCE privilege check).
+    /// the PROVENANCE privilege check).  Inside an open transaction the
+    /// attachment joins the undo log: a rollback removes it.
     pub fn record_provenance(
         &mut self,
         table: &str,
@@ -1066,6 +1417,7 @@ impl Database {
         record: &ProvenanceRecord,
     ) -> Result<()> {
         self.enable_provenance(table)?;
+        self.rec_touch_ann_set(table, provenance::PROVENANCE_TABLE);
         let time = self.clock.tick();
         let t = self.catalog.table_mut(table)?;
         let set = t

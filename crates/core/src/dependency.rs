@@ -118,6 +118,31 @@ impl DependencyManager {
         self.procedures.get(name).cloned()
     }
 
+    /// The id the next rule would be assigned (recorded by transaction
+    /// snapshots so a rolled-back `CREATE DEPENDENCY RULE` also rewinds
+    /// the allocator).
+    pub(crate) fn next_rule_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Rewind the rule-id allocator (transaction rollback).
+    pub(crate) fn set_next_rule_id(&mut self, next_id: u64) {
+        self.next_id = next_id;
+    }
+
+    /// Position of a rule in the evaluation order, if present.
+    pub(crate) fn rule_position(&self, name: &str) -> Option<usize> {
+        self.rules
+            .iter()
+            .position(|r| r.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Reinsert a dropped rule at its old position (transaction rollback
+    /// undoing `DROP DEPENDENCY RULE`; order matters for cascades).
+    pub(crate) fn insert_rule_at(&mut self, pos: usize, rule: DependencyRule) {
+        self.rules.insert(pos.min(self.rules.len()), rule);
+    }
+
     /// All rules.
     pub fn rules(&self) -> &[DependencyRule] {
         &self.rules

@@ -55,8 +55,10 @@ pub mod provenance;
 pub mod result;
 pub mod session;
 pub mod stats;
+pub mod txn;
 pub mod xml;
 
 pub use database::Database;
 pub use result::{AnnOut, AnnRef, AnnRow, QueryResult};
 pub use session::{Prepared, RowCursor, Session};
+pub use txn::TxnStatus;

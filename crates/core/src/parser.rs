@@ -202,8 +202,51 @@ impl Parser {
                 })
             }
             t if t.is_kw("VALIDATE") => self.validate(),
+            t if t.is_kw("BEGIN") => {
+                self.bump();
+                self.accept_txn_noise();
+                Ok(Statement::Begin)
+            }
+            t if t.is_kw("COMMIT") => {
+                self.bump();
+                self.accept_txn_noise();
+                Ok(Statement::Commit)
+            }
+            t if t.is_kw("ROLLBACK") => self.rollback(),
+            t if t.is_kw("SAVEPOINT") => {
+                self.bump();
+                Ok(Statement::Savepoint {
+                    name: self.ident()?,
+                })
+            }
+            t if t.is_kw("RELEASE") => {
+                self.bump();
+                self.accept_kw("SAVEPOINT");
+                Ok(Statement::Release {
+                    name: self.ident()?,
+                })
+            }
             _ => Err(self.err_here("statement keyword")),
         }
+    }
+
+    /// The optional `TRANSACTION` / `WORK` noise word after
+    /// `BEGIN` / `COMMIT` / `ROLLBACK`.
+    fn accept_txn_noise(&mut self) {
+        let _ = self.accept_kw("TRANSACTION") || self.accept_kw("WORK");
+    }
+
+    /// `ROLLBACK [TRANSACTION | WORK] [TO [SAVEPOINT] name]`.
+    fn rollback(&mut self) -> Result<Statement> {
+        self.expect_kw("ROLLBACK")?;
+        self.accept_txn_noise();
+        if self.accept_kw("TO") {
+            self.accept_kw("SAVEPOINT");
+            return Ok(Statement::RollbackTo {
+                name: self.ident()?,
+            });
+        }
+        Ok(Statement::Rollback)
     }
 
     fn create_stmt(&mut self) -> Result<Statement> {
@@ -1425,6 +1468,40 @@ mod tests {
         // a truncated statement still points somewhere useful
         let err = parse("SELECT * FROM t WHERE").unwrap_err();
         assert!(err.span.is_some());
+    }
+
+    #[test]
+    fn transaction_control_statements() {
+        assert_eq!(parse("BEGIN").unwrap(), Statement::Begin);
+        assert_eq!(parse("BEGIN TRANSACTION").unwrap(), Statement::Begin);
+        assert_eq!(parse("begin work;").unwrap(), Statement::Begin);
+        assert_eq!(parse("COMMIT").unwrap(), Statement::Commit);
+        assert_eq!(parse("COMMIT WORK").unwrap(), Statement::Commit);
+        assert_eq!(parse("ROLLBACK").unwrap(), Statement::Rollback);
+        assert_eq!(parse("ROLLBACK TRANSACTION").unwrap(), Statement::Rollback);
+        assert_eq!(
+            parse("SAVEPOINT sp1").unwrap(),
+            Statement::Savepoint { name: "sp1".into() }
+        );
+        assert_eq!(
+            parse("ROLLBACK TO sp1").unwrap(),
+            Statement::RollbackTo { name: "sp1".into() }
+        );
+        assert_eq!(
+            parse("ROLLBACK WORK TO SAVEPOINT sp1").unwrap(),
+            Statement::RollbackTo { name: "sp1".into() }
+        );
+        assert_eq!(
+            parse("RELEASE sp1").unwrap(),
+            Statement::Release { name: "sp1".into() }
+        );
+        assert_eq!(
+            parse("RELEASE SAVEPOINT sp1").unwrap(),
+            Statement::Release { name: "sp1".into() }
+        );
+        assert!(parse("SAVEPOINT").is_err(), "savepoint needs a name");
+        assert!(parse("ROLLBACK TO").is_err(), "rollback-to needs a name");
+        assert!(parse("BEGIN extra").is_err(), "trailing tokens rejected");
     }
 
     #[test]

@@ -37,6 +37,12 @@
 //! the canonical spelling is `session.query(&stmt, &params)` (or the
 //! equivalent sugar `stmt.query(&session, &params)`).  DML goes through
 //! [`Session::execute`], which takes the session mutably.
+//!
+//! Sessions also drive the transaction state machine:
+//! `BEGIN`/`COMMIT`/`ROLLBACK` and savepoints flow through
+//! [`Session::run`]/[`Session::execute`] (or the method mirrors
+//! [`Session::begin`] and friends), with the undo log living on the
+//! [`Database`] — see `docs/TRANSACTIONS.md` and [`crate::txn`].
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -272,11 +278,12 @@ impl<'db> Session<'db> {
         })
     }
 
-    /// Run a prepared statement of any kind (DML, DDL, A-SQL commands —
-    /// SELECTs work too, materialized) with the given parameters.
+    /// Run a prepared statement of any kind (DML, DDL, A-SQL commands,
+    /// transaction control — SELECTs work too, materialized) with the
+    /// given parameters.
     pub fn execute(&mut self, stmt: &Prepared, params: &[Value]) -> Result<QueryResult> {
         let bound = stmt.bind(params)?;
-        self.db.execute_stmt(bound, &self.user)
+        self.dispatch(bound)
     }
 
     /// Parse and execute a parameter-less statement in one step — the
@@ -289,7 +296,68 @@ impl<'db> Session<'db> {
                  pass them through query/execute"
             )));
         }
-        self.db.execute_stmt(stmt, &self.user)
+        self.dispatch(stmt)
+    }
+
+    /// The session's transaction state machine: transaction-control
+    /// statements drive it directly; everything else executes against
+    /// the current transaction (explicit, or the implicit per-statement
+    /// one — see `docs/TRANSACTIONS.md`).
+    fn dispatch(&mut self, stmt: Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::Begin => self.begin(),
+            Statement::Commit => self.commit(),
+            Statement::Rollback => self.rollback(),
+            Statement::Savepoint { name } => self.savepoint(&name),
+            Statement::RollbackTo { name } => self.rollback_to(&name),
+            Statement::Release { name } => self.release(&name),
+            other => self.db.execute_stmt(other, &self.user),
+        }
+    }
+
+    // ---- transaction state machine (docs/TRANSACTIONS.md) ----
+
+    /// Is an explicit transaction open?
+    pub fn in_transaction(&self) -> bool {
+        self.db.in_transaction()
+    }
+
+    /// `BEGIN`: open an explicit transaction.  `TxnState` error if one
+    /// is already open (no nesting — use [`savepoint`](Self::savepoint)).
+    pub fn begin(&mut self) -> Result<QueryResult> {
+        self.db.txn_begin()
+    }
+
+    /// `COMMIT`: make the open transaction permanent.  `TxnState` error
+    /// outside a transaction.
+    pub fn commit(&mut self) -> Result<QueryResult> {
+        self.db.txn_commit()
+    }
+
+    /// `ROLLBACK`: undo everything since `BEGIN` — rows, DDL, stats,
+    /// annotations, provenance, dependency edges.  `TxnState` error
+    /// outside a transaction.
+    pub fn rollback(&mut self) -> Result<QueryResult> {
+        self.db.txn_rollback()
+    }
+
+    /// `SAVEPOINT name`: mark a partial-rollback point.  Names may
+    /// shadow earlier savepoints.
+    pub fn savepoint(&mut self, name: &str) -> Result<QueryResult> {
+        self.db.txn_savepoint(name)
+    }
+
+    /// `ROLLBACK TO name`: undo back to the savepoint, keeping the
+    /// transaction (and the savepoint) open.  `TxnState` error if the
+    /// name is unknown.
+    pub fn rollback_to(&mut self, name: &str) -> Result<QueryResult> {
+        self.db.txn_rollback_to(name)
+    }
+
+    /// `RELEASE name`: forget the savepoint (and all later ones) without
+    /// undoing anything.
+    pub fn release(&mut self, name: &str) -> Result<QueryResult> {
+        self.db.txn_release(name)
     }
 }
 

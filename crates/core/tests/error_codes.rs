@@ -132,8 +132,26 @@ fn bad_bind_is_param_mismatch() {
 }
 
 #[test]
+fn bad_transaction_state_is_txn_state() {
+    let mut db = db_with_gene();
+    // COMMIT / ROLLBACK outside a transaction
+    let err = db.execute("COMMIT").unwrap_err();
+    assert_eq!(err.code(), ErrorCode::TxnState);
+    let err = db.execute("ROLLBACK").unwrap_err();
+    assert_eq!(err.code(), ErrorCode::TxnState);
+    // nested BEGIN
+    db.execute("BEGIN").unwrap();
+    let err = db.execute("BEGIN").unwrap_err();
+    assert_eq!(err.code(), ErrorCode::TxnState);
+    // unknown savepoint
+    let err = db.execute("ROLLBACK TO nowhere").unwrap_err();
+    assert_eq!(err.code(), ErrorCode::TxnState);
+    db.execute("ROLLBACK").unwrap();
+}
+
+#[test]
 fn every_code_is_covered_and_distinct() {
     // the assertions above cover each variant; this pins the full set so
     // adding a code without a test shows up here
-    assert_eq!(ErrorCode::ALL.len(), 12);
+    assert_eq!(ErrorCode::ALL.len(), 13);
 }

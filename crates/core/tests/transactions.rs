@@ -1,0 +1,533 @@
+//! Session-level transactions: `BEGIN`/`COMMIT`/`ROLLBACK`, savepoints,
+//! and the implicit per-statement transaction.
+//!
+//! The headline guarantee (ISSUE 4): `BEGIN; <DML+DDL+ANALYZE>;
+//! ROLLBACK` restores row data, indexes, planner statistics, outdated
+//! bitmaps, annotations, provenance, and dependency rules to their
+//! exact pre-transaction state — while the catalog generation moves
+//! *forward*, so prepared plans cached against rolled-back DDL are
+//! never replayed.
+
+use bdbms_common::{ErrorCode, Value};
+use bdbms_core::executor::ExecOptions;
+use bdbms_core::provenance::{ProvOp, ProvenanceRecord};
+use bdbms_core::{Database, TxnStatus};
+
+fn curated_db() -> Database {
+    let mut db = Database::new_in_memory();
+    db.execute("CREATE TABLE Gene (GID TEXT, Len INT)").unwrap();
+    db.execute("CREATE ANNOTATION TABLE Curation ON Gene")
+        .unwrap();
+    db.execute("INSERT INTO Gene VALUES ('JW0080', 11), ('JW0082', 42), ('JW0055', 7)")
+        .unwrap();
+    db.execute(
+        "ADD ANNOTATION TO Gene.Curation VALUE 'seed annotation' \
+         ON (SELECT G.GID FROM Gene G WHERE Len = 42)",
+    )
+    .unwrap();
+    db
+}
+
+/// One annotation's observable identity: id, archived flag, body.
+type AnnFacts = Vec<(u64, bool, String)>;
+
+/// Everything observable about a table, for byte-identical comparisons.
+fn table_fingerprint(db: &Database, table: &str) -> String {
+    let t = db.catalog().table(table).unwrap();
+    let rows = t.scan().unwrap();
+    let indexes: Vec<(String, usize, usize)> = t
+        .indexes()
+        .iter()
+        .map(|i| (i.name.clone(), i.column, i.len()))
+        .collect();
+    let anns: Vec<(String, usize, usize, AnnFacts)> = t
+        .ann_sets
+        .iter()
+        .map(|s| {
+            (
+                s.name.clone(),
+                s.len(),
+                s.attachment_records(),
+                s.iter()
+                    .map(|a| (a.id.raw(), a.archived, a.raw.clone()))
+                    .collect(),
+            )
+        })
+        .collect();
+    format!(
+        "rows={rows:?} indexes={indexes:?} anns={anns:?} stats={:?} \
+         outdated_rows={} deleted_log={}",
+        t.stats(),
+        t.outdated.rows(),
+        t.deleted_log.len()
+    )
+}
+
+#[test]
+fn commit_makes_everything_permanent() {
+    let mut db = curated_db();
+    assert_eq!(db.transaction_status(), TxnStatus::Idle);
+    db.execute("BEGIN").unwrap();
+    assert_eq!(db.transaction_status(), TxnStatus::Active { savepoints: 0 });
+    db.execute("INSERT INTO Gene VALUES ('JW9999', 99)")
+        .unwrap();
+    db.execute("CREATE INDEX len_idx ON Gene (Len)").unwrap();
+    db.execute("UPDATE Gene SET Len = 12 WHERE GID = 'JW0080'")
+        .unwrap();
+    db.execute("COMMIT").unwrap();
+    assert_eq!(db.transaction_status(), TxnStatus::Idle);
+    let r = db.execute("SELECT GID FROM Gene WHERE Len = 99").unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert!(db
+        .catalog()
+        .table("Gene")
+        .unwrap()
+        .index_named("len_idx")
+        .is_some());
+    let r = db
+        .execute("SELECT Len FROM Gene WHERE GID = 'JW0080'")
+        .unwrap();
+    assert_eq!(r.rows[0].values[0], Value::Int(12));
+}
+
+#[test]
+fn rollback_restores_dml_ddl_analyze_exactly() {
+    let mut db = curated_db();
+    let before = table_fingerprint(&db, "Gene");
+    let gen_before = db.catalog().generation();
+
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO Gene VALUES ('JW1111', 1), ('JW2222', 2)")
+        .unwrap();
+    db.execute("UPDATE Gene SET Len = Len + 100 WHERE Len >= 11")
+        .unwrap();
+    db.execute("DELETE FROM Gene WHERE GID = 'JW0055'").unwrap();
+    db.execute("CREATE INDEX len_idx ON Gene (Len)").unwrap();
+    db.execute("ANALYZE Gene").unwrap();
+    db.execute("CREATE TABLE Scratch (x INT)").unwrap();
+    db.execute("INSERT INTO Scratch VALUES (1)").unwrap();
+    db.execute(
+        "ADD ANNOTATION TO Gene.Curation VALUE 'mid-txn note' \
+         ON (SELECT G.GID FROM Gene G WHERE GID = 'JW0080')",
+    )
+    .unwrap();
+    db.execute("ROLLBACK").unwrap();
+
+    assert_eq!(table_fingerprint(&db, "Gene"), before);
+    assert!(!db.catalog().has_table("Scratch"), "created table removed");
+    assert!(
+        db.catalog().generation() > gen_before,
+        "rollback must move the generation forward, never back"
+    );
+
+    // row-number allocation is part of the restored state: the next
+    // insert gets the number it would have gotten without the txn
+    db.execute("INSERT INTO Gene VALUES ('JW3333', 3)").unwrap();
+    let t = db.catalog().table("Gene").unwrap();
+    assert_eq!(t.row_numbers(), vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn rollback_restores_a_dropped_table_wholesale() {
+    let mut db = curated_db();
+    db.execute("CREATE INDEX gid_idx ON Gene (GID)").unwrap();
+    let before = table_fingerprint(&db, "Gene");
+    db.execute("BEGIN").unwrap();
+    db.execute("DROP TABLE Gene").unwrap();
+    assert!(!db.catalog().has_table("Gene"));
+    // ... and a different table can even take its name mid-transaction
+    db.execute("CREATE TABLE Gene (other TEXT)").unwrap();
+    db.execute("ROLLBACK").unwrap();
+    assert_eq!(table_fingerprint(&db, "Gene"), before);
+    // the restored secondary index answers probes again
+    let (_, st) = db
+        .query_traced(
+            "SELECT Len FROM Gene WHERE GID = 'JW0082'",
+            &ExecOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(st.index_probes, 1, "restored index is used");
+}
+
+#[test]
+fn savepoints_partial_rollback_release_and_shadowing() {
+    let mut db = curated_db();
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO Gene VALUES ('A', 1)").unwrap();
+    db.execute("SAVEPOINT sp1").unwrap();
+    assert_eq!(db.transaction_status(), TxnStatus::Active { savepoints: 1 });
+    db.execute("INSERT INTO Gene VALUES ('B', 2)").unwrap();
+    db.execute("SAVEPOINT sp2").unwrap();
+    db.execute("INSERT INTO Gene VALUES ('C', 3)").unwrap();
+    // partial rollback drops C and sp2, keeps A, B and sp1
+    db.execute("ROLLBACK TO sp1").unwrap();
+    assert_eq!(db.transaction_status(), TxnStatus::Active { savepoints: 1 });
+    let err = db.execute("ROLLBACK TO sp2").unwrap_err();
+    assert_eq!(
+        err.code(),
+        ErrorCode::TxnState,
+        "sp2 died with the rollback"
+    );
+    // B was rolled back: rollback-to keeps everything before the savepoint
+    let r = db.execute("SELECT GID FROM Gene WHERE Len <= 3").unwrap();
+    let got: Vec<Value> = r
+        .column_values("GID")
+        .unwrap()
+        .into_iter()
+        .cloned()
+        .collect();
+    assert_eq!(got, vec![Value::Text("A".into())]);
+    db.execute("INSERT INTO Gene VALUES ('D', 4)").unwrap();
+    db.execute("RELEASE sp1").unwrap();
+    assert_eq!(db.transaction_status(), TxnStatus::Active { savepoints: 0 });
+    db.execute("COMMIT").unwrap();
+    let r = db.execute("SELECT GID FROM Gene WHERE Len <= 4").unwrap();
+    assert_eq!(r.rows.len(), 2, "A and D survive; B and C rolled back");
+
+    // full rollback after a savepoint-heavy transaction restores all
+    let before = table_fingerprint(&db, "Gene");
+    db.execute("BEGIN").unwrap();
+    db.execute("SAVEPOINT s").unwrap();
+    db.execute("INSERT INTO Gene VALUES ('E', 5)").unwrap();
+    db.execute("SAVEPOINT s").unwrap(); // shadows
+    db.execute("DELETE FROM Gene WHERE GID = 'A'").unwrap();
+    db.execute("ROLLBACK TO s").unwrap(); // undoes only the delete
+    db.execute("ROLLBACK").unwrap();
+    assert_eq!(table_fingerprint(&db, "Gene"), before);
+}
+
+#[test]
+fn stats_counters_restored_exactly_for_the_planner() {
+    let mut db = curated_db();
+    db.execute("ANALYZE Gene").unwrap();
+    let stats_before = format!("{:?}", db.catalog().table("Gene").unwrap().stats());
+    let analyze_before = db.execute("ANALYZE Gene").unwrap().message;
+    // (re-ANALYZE is idempotent, so running it to capture the message is safe)
+
+    db.execute("BEGIN").unwrap();
+    for i in 0..100 {
+        db.execute(&format!("INSERT INTO Gene VALUES ('T{i}', {i})"))
+            .unwrap();
+    }
+    db.execute("ANALYZE Gene").unwrap();
+    db.execute("DELETE FROM Gene WHERE Len < 50").unwrap();
+    db.execute("ROLLBACK").unwrap();
+
+    let stats_after = format!("{:?}", db.catalog().table("Gene").unwrap().stats());
+    assert_eq!(
+        stats_after, stats_before,
+        "min/max, NULL counts, and the KMV sketch must be byte-identical"
+    );
+    // the documented check: ANALYZE reports the same row count as before
+    let analyze_after = db.execute("ANALYZE Gene").unwrap().message;
+    assert_eq!(analyze_after, analyze_before);
+}
+
+#[test]
+fn prepared_plans_do_not_survive_a_rolled_back_create_index() {
+    let mut db = curated_db();
+    for i in 0..50 {
+        db.execute(&format!("INSERT INTO Gene VALUES ('X{i}', {})", i + 1000))
+            .unwrap();
+    }
+    let mut session = db.session("admin");
+    let stmt = session
+        .prepare("SELECT GID FROM Gene WHERE Len = 1042")
+        .unwrap();
+    // first run: no index, full scan; plan cached
+    session.query(&stmt, &[]).unwrap().into_result().unwrap();
+    assert!(stmt.has_cached_plan());
+
+    session.run("BEGIN").unwrap();
+    session.run("CREATE INDEX len_idx ON Gene (Len)").unwrap();
+    // inside the txn the new index is live and the statement replans onto it
+    let mut cur = session.query(&stmt, &[]).unwrap();
+    while cur.next_row().unwrap().is_some() {}
+    let mid = cur.stats();
+    drop(cur);
+    assert_eq!(mid.index_probes, 1, "mid-txn plan probes the new index");
+    assert_eq!(mid.chosen_indexes, vec!["len_idx".to_string()]);
+
+    session.run("ROLLBACK").unwrap();
+    // the index is gone and the generation moved: the cached plan must
+    // not be replayed (it would probe a dropped index)
+    let mut cur = session.query(&stmt, &[]).unwrap();
+    let row = cur.next_row().unwrap().expect("row still present");
+    assert_eq!(row.values[0], Value::Text("X42".into()));
+    assert!(cur.next_row().unwrap().is_none());
+    let after = cur.stats();
+    assert_eq!(after.index_probes, 0, "replanned onto a full scan");
+    assert!(after.chosen_indexes.is_empty());
+}
+
+#[test]
+fn annotations_and_provenance_attachments_disappear_on_rollback() {
+    let mut db = curated_db();
+    db.enable_provenance("Gene").unwrap();
+    db.record_provenance(
+        "Gene",
+        &[0],
+        &[0],
+        &ProvenanceRecord {
+            source: "GenoBase".into(),
+            operation: ProvOp::Copy,
+            program: None,
+            time: 1,
+        },
+    )
+    .unwrap();
+    let before = table_fingerprint(&db, "Gene");
+
+    db.execute("BEGIN").unwrap();
+    db.execute(
+        "ADD ANNOTATION TO Gene.Curation VALUE 'uncommitted note' \
+         ON (SELECT G.GID FROM Gene G)",
+    )
+    .unwrap();
+    // provenance through the system API joins the transaction too
+    db.record_provenance(
+        "Gene",
+        &[1],
+        &[1],
+        &ProvenanceRecord {
+            source: "RegulonDB".into(),
+            operation: ProvOp::ProgramUpdate,
+            program: Some("pipeline".into()),
+            time: 2,
+        },
+    )
+    .unwrap();
+    // archive the pre-existing annotation (a state flip, not an add)
+    db.execute("ARCHIVE ANNOTATION FROM Gene.Curation ON (SELECT G.GID FROM Gene G)")
+        .unwrap();
+    // annotation-DDL is transactional as well
+    db.execute("CREATE ANNOTATION TABLE Review ON Gene")
+        .unwrap();
+    db.execute("DROP ANNOTATION TABLE Curation ON Gene")
+        .unwrap();
+    db.execute("ROLLBACK").unwrap();
+
+    assert_eq!(table_fingerprint(&db, "Gene"), before);
+    // the propagated view agrees: the seed annotation is live again
+    let r = db
+        .execute("SELECT GID FROM Gene ANNOTATION(Curation) AWHERE CONTAINS 'seed'")
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    // and the provenance query sees exactly the pre-txn record
+    let p = db.source_of("Gene", 0, 0, 10).unwrap().unwrap();
+    assert_eq!(p.source, "GenoBase");
+    assert!(db.source_of("Gene", 1, 1, 10).unwrap().is_none());
+}
+
+#[test]
+fn dependency_rules_and_cascades_roll_back() {
+    let mut db = Database::new_in_memory();
+    db.execute("CREATE TABLE Gene (GID TEXT, GSequence TEXT)")
+        .unwrap();
+    db.execute("CREATE TABLE Protein (GID TEXT, PSequence TEXT)")
+        .unwrap();
+    db.execute("INSERT INTO Gene VALUES ('JW0080', 'ATG')")
+        .unwrap();
+    db.execute("INSERT INTO Protein VALUES ('JW0080', 'M')")
+        .unwrap();
+    db.register_procedure("translate", |args| Value::Text(format!("T:{}", args[0])));
+    db.execute(
+        "CREATE DEPENDENCY RULE r1 FROM Gene.GSequence TO Protein.PSequence \
+         VIA PROCEDURE 'translate' EXECUTABLE LINK Gene.GID = Protein.GID",
+    )
+    .unwrap();
+    db.execute("UPDATE Gene SET GSequence = 'ATGATG' WHERE GID = 'JW0080'")
+        .unwrap();
+    let gene_before = table_fingerprint(&db, "Gene");
+    let protein_before = table_fingerprint(&db, "Protein");
+
+    db.execute("BEGIN").unwrap();
+    // the update cascades: Protein.PSequence is recomputed in-txn
+    db.execute("UPDATE Gene SET GSequence = 'GGG' WHERE GID = 'JW0080'")
+        .unwrap();
+    let r = db.execute("SELECT PSequence FROM Protein").unwrap();
+    assert_eq!(r.rows[0].values[0], Value::Text("T:GGG".into()));
+    // rule DDL inside the transaction
+    db.execute("DROP DEPENDENCY RULE r1").unwrap();
+    db.execute("CREATE DEPENDENCY RULE r2 FROM Gene.GID TO Protein.GID VIA PROCEDURE 'copy'")
+        .unwrap();
+    db.execute("ROLLBACK").unwrap();
+
+    assert_eq!(table_fingerprint(&db, "Gene"), gene_before);
+    assert_eq!(
+        table_fingerprint(&db, "Protein"),
+        protein_before,
+        "cascade recomputes are undone with their trigger"
+    );
+    assert!(db.dependencies().rule_by_name("r1").is_some());
+    assert!(db.dependencies().rule_by_name("r2").is_none());
+}
+
+#[test]
+fn outdated_bitmaps_roll_back_with_validate() {
+    let mut db = Database::new_in_memory();
+    db.execute("CREATE TABLE T (a INT, b INT)").unwrap();
+    db.execute("INSERT INTO T VALUES (1, 2)").unwrap();
+    // a non-executable dependency marks b outdated when a changes
+    db.execute("CREATE DEPENDENCY RULE r FROM T.a TO T.b VIA PROCEDURE 'lab'")
+        .unwrap();
+    db.execute("UPDATE T SET a = 5").unwrap();
+    assert!(db.catalog().table("T").unwrap().is_outdated(0, 1));
+    let before = table_fingerprint(&db, "T");
+
+    db.execute("BEGIN").unwrap();
+    db.execute("VALIDATE T COLUMNS b").unwrap();
+    assert!(!db.catalog().table("T").unwrap().is_outdated(0, 1));
+    db.execute("ROLLBACK").unwrap();
+    assert!(
+        db.catalog().table("T").unwrap().is_outdated(0, 1),
+        "the outdated bit came back with the rollback"
+    );
+    assert_eq!(table_fingerprint(&db, "T"), before);
+}
+
+#[test]
+fn implicit_transaction_makes_multi_row_dml_atomic() {
+    // regression (ISSUE 4 satellite): a mid-flight failure used to leave
+    // the earlier rows applied
+    let mut db = curated_db();
+    let before = table_fingerprint(&db, "Gene");
+    let err = db
+        .execute("INSERT INTO Gene VALUES ('OK1', 1), ('bad', 'not-an-int'), ('OK2', 2)")
+        .unwrap_err();
+    assert_eq!(err.code(), ErrorCode::TypeMismatch);
+    assert_eq!(
+        table_fingerprint(&db, "Gene"),
+        before,
+        "no row of the failed INSERT may remain"
+    );
+    // row numbers were not burned by the rolled-back rows
+    db.execute("INSERT INTO Gene VALUES ('JW4444', 4)").unwrap();
+    assert_eq!(
+        db.catalog().table("Gene").unwrap().row_numbers(),
+        vec![0, 1, 2, 3]
+    );
+}
+
+#[test]
+fn failed_statement_inside_txn_rolls_back_alone() {
+    let mut db = curated_db();
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO Gene VALUES ('KEEP', 123)").unwrap();
+    let err = db
+        .execute("INSERT INTO Gene VALUES ('X1', 9), ('X2', 'boom')")
+        .unwrap_err();
+    assert_eq!(err.code(), ErrorCode::TypeMismatch);
+    assert!(db.in_transaction(), "statement failure keeps the txn open");
+    db.execute("COMMIT").unwrap();
+    let r = db.execute("SELECT GID FROM Gene WHERE Len >= 9").unwrap();
+    let mut got: Vec<Value> = r
+        .column_values("GID")
+        .unwrap()
+        .into_iter()
+        .cloned()
+        .collect();
+    got.sort_by_key(|v| format!("{v:?}"));
+    assert_eq!(
+        got,
+        vec![
+            Value::Text("JW0080".into()),
+            Value::Text("JW0082".into()),
+            Value::Text("KEEP".into())
+        ],
+        "KEEP survives, X1/X2 do not"
+    );
+}
+
+#[test]
+fn non_transactional_statements_rejected_inside_txn() {
+    let mut db = curated_db();
+    db.execute("CREATE USER alice").unwrap();
+    db.execute("BEGIN").unwrap();
+    for sql in [
+        "CREATE USER bob",
+        "GRANT SELECT ON Gene TO alice",
+        "REVOKE SELECT ON Gene FROM alice",
+        "START CONTENT APPROVAL ON Gene APPROVED BY admin",
+        "STOP CONTENT APPROVAL ON Gene",
+        "APPROVE OPERATION 0",
+        "DISAPPROVE OPERATION 0",
+    ] {
+        let err = db.execute(sql).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::TxnState, "{sql} must be rejected");
+    }
+    db.execute("ROLLBACK").unwrap();
+}
+
+#[test]
+fn cursors_opened_inside_a_transaction_see_its_writes_and_stream() {
+    let mut db = curated_db();
+    let mut session = db.session("admin");
+    session.run("BEGIN").unwrap();
+    for i in 0..20 {
+        session
+            .run(&format!("INSERT INTO Gene VALUES ('N{i}', {})", 500 + i))
+            .unwrap();
+    }
+    let stmt = session
+        .prepare("SELECT GID FROM Gene WHERE Len >= 500")
+        .unwrap();
+    let mut cur = session.query(&stmt, &[]).unwrap();
+    // pinned semantics: the cursor reads the transaction's own
+    // uncommitted writes, and advances the scan only as pulled
+    let first = cur.next_row().unwrap().expect("uncommitted row visible");
+    assert_eq!(first.values[0], Value::Text("N0".into()));
+    let early = cur.stats();
+    assert!(
+        early.rows_fetched < 23,
+        "streaming: the whole table is not materialized (fetched {})",
+        early.rows_fetched
+    );
+    let rest: Vec<_> = cur.collect();
+    assert_eq!(rest.len(), 19);
+
+    session.run("ROLLBACK").unwrap();
+    let mut cur = session.query(&stmt, &[]).unwrap();
+    assert!(
+        cur.next_row().unwrap().is_none(),
+        "a cursor opened after ROLLBACK sees none of the rolled-back rows"
+    );
+}
+
+#[test]
+fn approval_log_rolls_back_with_the_statement_that_wrote_it() {
+    let mut db = curated_db();
+    db.execute("CREATE USER intern").unwrap();
+    db.execute("GRANT INSERT ON Gene TO intern").unwrap();
+    db.execute("START CONTENT APPROVAL ON Gene APPROVED BY admin")
+        .unwrap();
+    // a monitored multi-row INSERT that fails mid-way must leave neither
+    // rows nor pending-approval entries behind
+    let err = db
+        .execute_as("INSERT INTO Gene VALUES ('P1', 1), ('P2', 'bad')", "intern")
+        .unwrap_err();
+    assert_eq!(err.code(), ErrorCode::TypeMismatch);
+    assert!(
+        db.approval().pending(None).is_empty(),
+        "no stale pending operation may reference a rolled-back row"
+    );
+}
+
+#[test]
+fn transaction_control_statement_errors() {
+    let mut db = curated_db();
+    // savepoint commands need an open transaction
+    for sql in ["SAVEPOINT s", "ROLLBACK TO s", "RELEASE s"] {
+        assert_eq!(db.execute(sql).unwrap_err().code(), ErrorCode::TxnState);
+    }
+    db.execute("BEGIN").unwrap();
+    assert_eq!(
+        db.execute("RELEASE nope").unwrap_err().code(),
+        ErrorCode::TxnState
+    );
+    // an empty transaction commits and rolls back cleanly
+    db.execute("COMMIT").unwrap();
+    db.execute("BEGIN").unwrap();
+    db.execute("ROLLBACK").unwrap();
+    assert_eq!(db.transaction_status(), TxnStatus::Idle);
+}

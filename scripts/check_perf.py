@@ -13,7 +13,14 @@ CI runners never flake it, while a real regression — an index probe
 silently degrading to a full scan, a LIMIT no longer terminating the
 pipeline — trips it immediately.
 
-Exit code 0 = pass, 1 = regression (or malformed input).
+The two files must also agree on the *set* of workload keys: a workload
+missing from the fresh run (renamed or deleted) and a workload present
+only in the fresh run (newly added) both fail the gate.  Either way the
+baseline no longer describes the benchmark and must be regenerated —
+silently passing would leave the new workload ungated (or the old one
+unmeasured) forever.
+
+Exit code 0 = pass, 1 = regression / workload-key drift / malformed input.
 """
 
 import json
@@ -70,12 +77,14 @@ def main(argv):
         failed = failed or verdict == "FAIL"
         print(f"{label:<24} {base_s:>10.1f} {fresh_s:>10.1f} {floor:>10.1f}  {verdict}")
     for label in sorted(set(fresh) - set(base)):
-        print(f"{label:<24} {'(new)':>10} {fresh[label]:>10.1f} {'':>10}  ok")
+        print(f"{label:<24} {'(absent)':>10} {fresh[label]:>10.1f} {'':>10}  FAIL")
+        failed = True
     if failed:
         print(
-            f"\nperf gate FAILED: a speedup regressed by more than {tolerance}x "
-            "against bench/baseline_e13.json.\nIf the regression is intended "
-            "(workload change), regenerate the baseline with:\n"
+            f"\nperf gate FAILED: a speedup regressed by more than {tolerance}x, "
+            "or the workload keys drifted (a row added to or removed from the "
+            "e13 table), against bench/baseline_e13.json.\nIf the change is "
+            "intended, regenerate the baseline with:\n"
             "  cargo run -p bdbms-bench --release --bin reproduce -- e13 --json "
             "> bench/baseline_e13.json"
         )

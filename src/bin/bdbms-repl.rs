@@ -24,7 +24,8 @@ dot-commands:
 everything else is executed as (A-)SQL, e.g.:
   SELECT GID FROM DB2_Gene ANNOTATION(GAnnotation) AWHERE CONTAINS 'GenoBase'
   ADD ANNOTATION TO T.notes VALUE 'checked' ON (SELECT G.c FROM T G)
-  SHOW PENDING OPERATIONS / SHOW OUTDATED / VALIDATE T";
+  SHOW PENDING OPERATIONS / SHOW OUTDATED / VALIDATE T
+  BEGIN / SAVEPOINT s / ROLLBACK TO s / COMMIT   (prompt shows * in a txn)";
 
 fn load_demo(db: &mut Database) {
     let stmts = [
@@ -78,10 +79,13 @@ fn main() {
     let mut buffer = String::new();
     println!("bdbms — CIDR 2007 reproduction. `.help` for commands, `.quit` to exit.");
     loop {
-        if buffer.is_empty() {
-            print!("bdbms> ");
-        } else {
+        if !buffer.is_empty() {
             print!("   ..> ");
+        } else if db.in_transaction() {
+            // `*` marks an open BEGIN: statements queue in the undo log
+            print!("bdbms*> ");
+        } else {
+            print!("bdbms> ");
         }
         std::io::stdout().flush().ok();
         let mut line = String::new();
