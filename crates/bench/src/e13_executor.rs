@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 
 use bdbms_common::Value;
 use bdbms_core::executor::{ExecOptions, ExecStats};
-use bdbms_core::Database;
+use bdbms_core::{Database, DurabilityOptions};
 
 use crate::report::{ms, ratio, Report};
 use crate::workloads::indexed_gene_db;
@@ -119,6 +119,46 @@ fn time_txn_batch(db: &mut Database, batch: usize, reps: u32) -> (Duration, Dura
     }
     db.execute("DROP TABLE TxnScratch").unwrap();
     (commit_total / reps, rollback_total / reps)
+}
+
+/// Per-commit mean of single-row `INSERT`s (each an implicit
+/// transaction) against a durable database under `Durability::Full`
+/// (WAL append + fsync per commit) vs `Durability::NoSync` (WAL append
+/// only).  The gated ratio pins the fsync discipline: Full collapsing
+/// towards NoSync would mean commits stopped syncing; the absolute
+/// NoSync column exposes pure WAL-append overhead regressions.
+fn time_commit_durability(reps: u32) -> (Duration, Duration) {
+    // unique per call: two tests in one cargo-test process may run this
+    // concurrently, and sharing a directory would race create/remove
+    static SEQ: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+    let base = std::env::temp_dir().join(format!(
+        "bdbms-e13-durability-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let mut times = Vec::new();
+    for (tag, opts) in [
+        ("full", DurabilityOptions::default()),
+        ("nosync", DurabilityOptions::no_sync()),
+    ] {
+        let dir = base.join(tag);
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut db = Database::create_with(&dir, opts).expect("durable bench db");
+        db.execute("CREATE TABLE Durable (K INT, V TEXT)").unwrap();
+        db.execute("INSERT INTO Durable VALUES (-1, 'warm-up')")
+            .unwrap();
+        let s = Instant::now();
+        for i in 0..reps {
+            db.execute(&format!("INSERT INTO Durable VALUES ({i}, 'v{i}')"))
+                .unwrap();
+        }
+        times.push(s.elapsed() / reps);
+        // skip the shutdown checkpoint: it is not part of the commit path
+        db.simulate_crash();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    (times[0], times[1])
 }
 
 /// Run E13 at a chosen table size (tests use a smaller one).
@@ -239,6 +279,23 @@ pub fn run_sized(n: usize) -> Report {
         batch.to_string(),
         ratio(commit_t.as_secs_f64(), rollback_t.as_secs_f64()),
     ]);
+    // commit durability: WAL fsync per commit (Full) vs buffered (NoSync)
+    let dur_reps = (n / 500).clamp(20, 200) as u32;
+    let (full_t, nosync_t) = time_commit_durability(dur_reps);
+    let dur_speedup = full_t.as_secs_f64() / nosync_t.as_secs_f64().max(1e-12);
+    speedups.push((
+        "commit durability (Full vs NoSync)".to_string(),
+        dur_speedup,
+    ));
+    report.row(vec![
+        "commit durability (Full vs NoSync)".to_string(),
+        "1 row/txn".to_string(),
+        ms(full_t),
+        ms(nosync_t),
+        dur_reps.to_string(),
+        dur_reps.to_string(),
+        ratio(full_t.as_secs_f64(), nosync_t.as_secs_f64()),
+    ]);
     for (label, s) in &speedups {
         report.note(format!("{label}: {s:.1}x"));
     }
@@ -261,6 +318,13 @@ pub fn run_sized(n: usize) -> Report {
         "txn batch insert: BEGIN + batch INSERT + COMMIT vs the same \
          cycle ending in ROLLBACK; the gated ratio pins undo-log replay \
          (recording cost is in both legs' absolute times, ungated)",
+    );
+    report.note(
+        "commit durability: per-commit time of single-row implicit \
+         transactions against Database::create(path) under Full (WAL \
+         fsync each commit) vs NoSync (buffered WAL); the ratio is the \
+         price of the fsync barrier and is gated loosely (fsync latency \
+         is hardware-dependent — see scripts/check_perf.py)",
     );
     report
 }
@@ -302,12 +366,21 @@ mod tests {
     }
 
     #[test]
-    fn report_has_eight_rows_and_json_renders() {
+    fn report_has_nine_rows_and_json_renders() {
         let r = run_sized(3000);
-        assert_eq!(r.rows.len(), 8);
+        assert_eq!(r.rows.len(), 9);
         let j = r.render_json();
         assert!(j.contains("\"id\":\"e13\""));
         assert!(j.contains("txn batch insert (commit vs rollback)"));
+        assert!(j.contains("commit durability (Full vs NoSync)"));
+    }
+
+    /// The durability workload must produce sane (non-zero) timings
+    /// (the helper cleans up its own per-call temp directories).
+    #[test]
+    fn commit_durability_workload_runs_clean() {
+        let (full_t, nosync_t) = time_commit_durability(10);
+        assert!(full_t > Duration::ZERO && nosync_t > Duration::ZERO);
     }
 
     /// The transactional batch cycle must be exact: commit keeps every

@@ -67,6 +67,12 @@ pub enum ErrorCode {
     Dependency,
     /// The storage layer failed (page overflow, bad record id, I/O error).
     Storage,
+    /// Persisted state failed validation: a bad magic number, a checksum
+    /// mismatch on a header page or WAL frame outside the torn tail, or a
+    /// snapshot that does not decode.  Unlike [`ErrorCode::Storage`] this
+    /// means the *bytes on disk* are wrong, not that an operation was
+    /// invalid.
+    Corrupt,
     /// An expression failed to evaluate at runtime.
     Eval,
     /// Underlying filesystem error, stringified to keep the type `Clone`.
@@ -95,6 +101,7 @@ impl ErrorCode {
             ErrorCode::Approval => "approval",
             ErrorCode::Dependency => "dependency",
             ErrorCode::Storage => "storage",
+            ErrorCode::Corrupt => "corrupt",
             ErrorCode::Eval => "eval",
             ErrorCode::Io => "io",
             ErrorCode::ParamMismatch => "param_mismatch",
@@ -103,7 +110,7 @@ impl ErrorCode {
     }
 
     /// Every code, for exhaustive tests.
-    pub const ALL: [ErrorCode; 13] = [
+    pub const ALL: [ErrorCode; 14] = [
         ErrorCode::Syntax,
         ErrorCode::NotFound,
         ErrorCode::AlreadyExists,
@@ -113,6 +120,7 @@ impl ErrorCode {
         ErrorCode::Approval,
         ErrorCode::Dependency,
         ErrorCode::Storage,
+        ErrorCode::Corrupt,
         ErrorCode::Eval,
         ErrorCode::Io,
         ErrorCode::ParamMismatch,
@@ -220,6 +228,11 @@ impl BdbmsError {
     /// [`ErrorCode::Storage`].
     pub fn storage(m: impl Into<String>) -> Self {
         Self::new(ErrorCode::Storage, m)
+    }
+
+    /// [`ErrorCode::Corrupt`].
+    pub fn corrupt(m: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Corrupt, m)
     }
 
     /// [`ErrorCode::Eval`].

@@ -24,8 +24,10 @@ use std::collections::BTreeMap;
 use std::collections::HashMap;
 
 use bdbms_common::ids::AnnotationId;
+use bdbms_common::Result;
 use bdbms_index::rtree::{RTree, Rect};
 
+use crate::codec;
 use crate::xml::XmlNode;
 
 /// One annotation record.
@@ -391,6 +393,138 @@ impl AnnotationSet {
     /// Iterate all annotations (archived included).
     pub fn iter(&self) -> impl Iterator<Item = &Annotation> {
         self.annotations.values()
+    }
+
+    /// Is this set stored in the per-cell scheme (Figure 3) rather than
+    /// the rectangle scheme (Figure 5)?
+    pub fn is_cell_scheme(&self) -> bool {
+        matches!(self.scheme, Scheme::Cell(_))
+    }
+
+    // ---- durable form (checkpoint snapshots — see `crate::durability`) ----
+
+    /// Serialize the whole set: annotation records (bodies as their raw
+    /// text, re-parsed on load) plus the exact attachment-scheme state.
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        codec::put_str(out, &self.name);
+        codec::put_bool(out, self.system_only);
+        codec::put_bool(out, self.schema_enforced);
+        codec::put_u64(out, self.next_id);
+        codec::put_u32(out, self.annotations.len() as u32);
+        for a in self.annotations.values() {
+            codec::put_u64(out, a.id.raw());
+            codec::put_str(out, &a.raw);
+            codec::put_u64(out, a.created);
+            codec::put_str(out, &a.creator);
+            codec::put_bool(out, a.archived);
+        }
+        match &self.scheme {
+            Scheme::Cell(s) => {
+                codec::put_u8(out, 0);
+                // deterministic order: sorted by (row, col)
+                let mut cells: Vec<(&(u64, usize), &Vec<AnnotationId>)> = s.cells.iter().collect();
+                cells.sort_by_key(|(k, _)| **k);
+                codec::put_u32(out, cells.len() as u32);
+                for ((row, col), ids) in cells {
+                    codec::put_u64(out, *row);
+                    codec::put_u32(out, *col as u32);
+                    codec::put_u32(out, ids.len() as u32);
+                    for id in ids {
+                        codec::put_u64(out, id.raw());
+                    }
+                }
+            }
+            Scheme::Rect(s) => {
+                codec::put_u8(out, 1);
+                codec::put_u32(out, s.rects.len() as u32);
+                for &(clo, chi, rlo, rhi, ann) in &s.rects {
+                    codec::put_u32(out, clo as u32);
+                    codec::put_u32(out, chi as u32);
+                    codec::put_u64(out, rlo);
+                    codec::put_u64(out, rhi);
+                    codec::put_u64(out, ann.raw());
+                }
+            }
+        }
+    }
+
+    /// Inverse of [`encode`](Self::encode).  Rebuilds parsed bodies and
+    /// the R-tree, reproducing the in-memory structure exactly (the
+    /// rectangle list keeps its insertion order, which the rollback
+    /// machinery's prefix-truncation relies on).
+    pub(crate) fn decode(cur: &mut codec::Cur<'_>) -> Result<AnnotationSet> {
+        let name = cur.str()?;
+        let system_only = cur.bool()?;
+        let schema_enforced = cur.bool()?;
+        let next_id = cur.u64()?;
+        let n = cur.len()?;
+        let mut annotations = BTreeMap::new();
+        for _ in 0..n {
+            let id = cur.u64()?;
+            let raw = cur.str()?;
+            let created = cur.u64()?;
+            let creator = cur.str()?;
+            let archived = cur.bool()?;
+            annotations.insert(
+                id,
+                Annotation {
+                    id: AnnotationId(id),
+                    body: XmlNode::parse_or_wrap(&raw),
+                    raw,
+                    created,
+                    creator,
+                    archived,
+                },
+            );
+        }
+        let scheme = match cur.u8()? {
+            0 => {
+                let n = cur.len()?;
+                let mut cells = HashMap::with_capacity(n);
+                for _ in 0..n {
+                    let row = cur.u64()?;
+                    let col = cur.u32()? as usize;
+                    let k = cur.len()?;
+                    let mut ids = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        ids.push(AnnotationId(cur.u64()?));
+                    }
+                    cells.insert((row, col), ids);
+                }
+                Scheme::Cell(CellScheme { cells })
+            }
+            1 => {
+                let n = cur.len()?;
+                let mut s = RectScheme::default();
+                for _ in 0..n {
+                    let clo = cur.u32()? as usize;
+                    let chi = cur.u32()? as usize;
+                    let rlo = cur.u64()?;
+                    let rhi = cur.u64()?;
+                    let ann = AnnotationId(cur.u64()?);
+                    let idx = s.rects.len();
+                    s.rects.push((clo, chi, rlo, rhi, ann));
+                    s.index.insert(
+                        Rect::new([clo as f64, rlo as f64], [chi as f64, rhi as f64]),
+                        idx as u64,
+                    );
+                }
+                Scheme::Rect(s)
+            }
+            t => {
+                return Err(bdbms_common::BdbmsError::corrupt(format!(
+                    "unknown annotation scheme tag {t}"
+                )))
+            }
+        };
+        Ok(AnnotationSet {
+            name,
+            system_only,
+            schema_enforced,
+            annotations,
+            scheme,
+            next_id,
+        })
     }
 }
 

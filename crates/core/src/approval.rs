@@ -250,6 +250,45 @@ impl ApprovalManager {
         }
     }
 
+    /// Deterministic dump of the manager (checkpoint snapshots — see
+    /// `crate::durability`): sorted per-table configs, the full log, and
+    /// the id allocator.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn snapshot(
+        &self,
+    ) -> (Vec<(String, Option<Vec<String>>, String)>, &[LoggedOp], u64) {
+        let mut configs: Vec<(String, Option<Vec<String>>, String)> = self
+            .configs
+            .iter()
+            .map(|(t, c)| (t.clone(), c.columns.clone(), c.approver.clone()))
+            .collect();
+        configs.sort();
+        (configs, &self.log, self.next_id)
+    }
+
+    /// Rebuild from a [`snapshot`](Self::snapshot) dump.
+    pub(crate) fn restore(
+        configs: Vec<(String, Option<Vec<String>>, String)>,
+        log: Vec<LoggedOp>,
+        next_id: u64,
+    ) -> ApprovalManager {
+        let mut m = ApprovalManager::new();
+        for (table, columns, approver) in configs {
+            // keys were stored lowercased; reinsert directly
+            m.configs
+                .insert(table, ApprovalConfig { columns, approver });
+        }
+        m.log = log;
+        m.next_id = next_id;
+        m
+    }
+
+    /// Re-append a logged operation with its original id (WAL replay).
+    pub(crate) fn restore_log_entry(&mut self, op: LoggedOp) {
+        self.next_id = self.next_id.max(op.id.raw() + 1);
+        self.log.push(op);
+    }
+
     /// Bytes of log storage (for the E11 overhead report): description +
     /// stored inverse values.
     pub fn log_bytes(&self) -> usize {

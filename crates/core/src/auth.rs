@@ -109,6 +109,55 @@ impl AuthManager {
         })
     }
 
+    /// Deterministic dump of the whole authorization state (checkpoint
+    /// snapshots — see `crate::durability`): sorted users with their
+    /// groups, and sorted `(grantee, table)` privilege sets.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn snapshot(
+        &self,
+    ) -> (
+        Vec<(String, Vec<String>)>,
+        Vec<(String, String, Vec<Privilege>)>,
+    ) {
+        let mut users: Vec<(String, Vec<String>)> = self
+            .users
+            .iter()
+            .map(|(u, g)| (u.clone(), g.clone()))
+            .collect();
+        users.sort();
+        let mut grants: Vec<(String, String, Vec<Privilege>)> = self
+            .grants
+            .iter()
+            .map(|((g, t), ps)| {
+                let mut ps: Vec<Privilege> = ps.iter().copied().collect();
+                ps.sort_by_key(|p| *p as u8);
+                (g.clone(), t.clone(), ps)
+            })
+            .collect();
+        grants.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        (users, grants)
+    }
+
+    /// Rebuild from a [`snapshot`](Self::snapshot) dump.
+    pub(crate) fn restore(
+        users: Vec<(String, Vec<String>)>,
+        grants: Vec<(String, String, Vec<Privilege>)>,
+    ) -> AuthManager {
+        let mut auth = AuthManager::new();
+        for (user, groups) in users {
+            // keys were stored lowercased already; insert directly so the
+            // built-in admin row round-trips
+            auth.users.insert(user, groups);
+        }
+        for (grantee, table, privs) in grants {
+            auth.grants
+                .entry((grantee, table))
+                .or_default()
+                .extend(privs);
+        }
+        auth
+    }
+
     /// Error unless the privilege is held (owner always passes).
     pub fn check(&self, user: &str, table: &str, owner: &str, privilege: Privilege) -> Result<()> {
         if Self::key(user) == Self::key(owner) || self.has_privilege(user, table, privilege) {

@@ -10,6 +10,7 @@ use bdbms_index::BPlusTree;
 use bdbms_storage::{BufferPool, HeapFile, Rid};
 
 use crate::annotation::AnnotationSet;
+use crate::durability::{disabled_redo_sink, RedoSink, WalRecord};
 use crate::stats::TableStats;
 
 /// A secondary B+-tree index over one column, kept in sync by every
@@ -132,6 +133,10 @@ pub struct Table {
     /// Planner statistics, maintained incrementally by every write path
     /// and rebuilt exactly by `ANALYZE`.
     stats: TableStats,
+    /// Redo sink for durable databases: every logical mutation of this
+    /// table appends a [`WalRecord`] here (disabled and record-free for
+    /// in-memory databases — see `crate::durability`).
+    redo: RedoSink,
 }
 
 impl Table {
@@ -155,7 +160,87 @@ impl Table {
             deleted_log: Vec::new(),
             indexes: Vec::new(),
             stats: TableStats::new(arity),
+            redo: disabled_redo_sink(),
         })
+    }
+
+    /// Rebuild a table from its persisted parts (database open).  The
+    /// heap is already attached to the live buffer pool; statistics are
+    /// recomputed exactly (a reopen is an implicit `ANALYZE`) and the
+    /// secondary indexes are backfilled from the heap — index *payloads*
+    /// are never persisted, only their definitions.
+    #[allow(clippy::too_many_arguments)] // mirrors the persisted fields
+    pub(crate) fn from_parts(
+        name: String,
+        schema: Schema,
+        owner: String,
+        heap: HeapFile,
+        rows: BTreeMap<u64, Rid>,
+        next_row: u64,
+        ann_sets: Vec<AnnotationSet>,
+        outdated: CellBitmap,
+        deleted_log: Vec<DeletedRow>,
+        index_defs: &[(String, usize)],
+    ) -> Result<Table> {
+        let arity = schema.arity();
+        let mut t = Table {
+            name,
+            schema,
+            owner,
+            heap,
+            rows,
+            next_row,
+            ann_sets,
+            outdated,
+            deleted_log,
+            indexes: Vec::new(),
+            stats: TableStats::new(arity),
+            redo: disabled_redo_sink(),
+        };
+        t.analyze()?;
+        for (index, col) in index_defs {
+            let column = t
+                .schema
+                .columns()
+                .get(*col)
+                .ok_or_else(|| {
+                    BdbmsError::corrupt(format!(
+                        "index `{index}` references column {col} beyond the schema"
+                    ))
+                })?
+                .name
+                .clone();
+            t.create_index(index, &column)?;
+        }
+        Ok(t)
+    }
+
+    /// Attach the shared redo sink (durable databases).
+    pub(crate) fn set_redo(&mut self, redo: RedoSink) {
+        self.redo = redo;
+    }
+
+    /// Copy every live row into a fresh heap on `pool` (checkpoint),
+    /// returning the new heap and rid map.
+    pub(crate) fn write_rows_to(
+        &self,
+        pool: Arc<BufferPool>,
+    ) -> Result<(HeapFile, BTreeMap<u64, Rid>)> {
+        let mut heap = HeapFile::create(pool)?;
+        let mut rows = BTreeMap::new();
+        for entry in self.iter_rows() {
+            let (row_no, values) = entry?;
+            rows.insert(row_no, heap.insert(&Self::encode_row(row_no, &values))?);
+        }
+        Ok((heap, rows))
+    }
+
+    /// Adopt a freshly written heap + rid map (the checkpoint just moved
+    /// this table's rows onto a new page file).
+    pub(crate) fn swap_storage(&mut self, heap: HeapFile, rows: BTreeMap<u64, Rid>) {
+        debug_assert_eq!(rows.len(), self.rows.len());
+        self.heap = heap;
+        self.rows = rows;
     }
 
     fn encode_row(row_no: u64, values: &[Value]) -> Vec<u8> {
@@ -208,6 +293,11 @@ impl Table {
             idx.add(&values[idx.column], row_no);
         }
         self.stats.observe_row(&values);
+        self.redo.borrow_mut().push(|| WalRecord::RowInsert {
+            table: self.name.clone(),
+            row_no,
+            values: values.clone(),
+        });
         Ok(row_no)
     }
 
@@ -261,6 +351,11 @@ impl Table {
                 self.stats.update_cell(col, o, n);
             }
         }
+        self.redo.borrow_mut().push(|| WalRecord::RowUpdate {
+            table: self.name.clone(),
+            row_no,
+            values: values.clone(),
+        });
         Ok(())
     }
 
@@ -277,7 +372,22 @@ impl Table {
             idx.remove(&values[idx.column], row_no);
         }
         self.stats.retire_row(&values);
+        self.redo.borrow_mut().push(|| WalRecord::RowDelete {
+            table: self.name.clone(),
+            row_no,
+        });
         Ok(values)
+    }
+
+    /// Append an entry to the deletion log (§3.2).  Routed through a
+    /// method (rather than pushing on the public field) so durable
+    /// databases get a redo record.
+    pub(crate) fn push_deleted(&mut self, row: DeletedRow) {
+        self.redo.borrow_mut().push(|| WalRecord::DeletedLogPush {
+            table: self.name.clone(),
+            row: row.clone(),
+        });
+        self.deleted_log.push(row);
     }
 
     /// All `(row_no, values)` pairs in row-number order.
@@ -316,6 +426,11 @@ impl Table {
             idx.add(&values[col], row_no);
         }
         self.indexes.push(idx);
+        self.redo.borrow_mut().push(|| WalRecord::IndexCreate {
+            table: self.name.clone(),
+            index: name.to_string(),
+            column: column.to_string(),
+        });
         Ok(())
     }
 
@@ -329,6 +444,10 @@ impl Table {
                 self.name
             )));
         }
+        self.redo.borrow_mut().push(|| WalRecord::IndexDrop {
+            table: self.name.clone(),
+            index: name.to_string(),
+        });
         Ok(())
     }
 
@@ -422,18 +541,101 @@ impl Table {
             .find(|s| s.name.eq_ignore_ascii_case(name))
     }
 
+    /// Attach a new annotation table (logged for durable databases —
+    /// every annotation-set creation funnels through here).
+    pub(crate) fn add_ann_set(&mut self, set: AnnotationSet) {
+        self.redo.borrow_mut().push(|| WalRecord::AnnSetCreate {
+            table: self.name.clone(),
+            set: set.name.clone(),
+            cell_scheme: set.is_cell_scheme(),
+            system_only: set.system_only,
+            schema_enforced: set.schema_enforced,
+        });
+        self.ann_sets.push(set);
+    }
+
+    /// Detach the annotation table at `pos` (DROP ANNOTATION TABLE).
+    pub(crate) fn remove_ann_set_at(&mut self, pos: usize) -> AnnotationSet {
+        let set = self.ann_sets.remove(pos);
+        self.redo.borrow_mut().push(|| WalRecord::AnnSetDrop {
+            table: self.name.clone(),
+            set: set.name.clone(),
+        });
+        set
+    }
+
+    /// Add an annotation to the named set over `rows × cols` (logged).
+    /// Returns `None` when the set does not exist.
+    pub(crate) fn ann_add(
+        &mut self,
+        set: &str,
+        raw: &str,
+        creator: &str,
+        created: u64,
+        rows: &[u64],
+        cols: &[usize],
+    ) -> Option<bdbms_common::ids::AnnotationId> {
+        // borrow dance: record first (name lookup is immutable), then add
+        let exists = self.ann_set(set).is_some();
+        if !exists {
+            return None;
+        }
+        self.redo.borrow_mut().push(|| WalRecord::AnnAdd {
+            table: self.name.clone(),
+            set: set.to_string(),
+            raw: raw.to_string(),
+            creator: creator.to_string(),
+            created,
+            rows: rows.to_vec(),
+            cols: cols.iter().map(|&c| c as u64).collect(),
+        });
+        let s = self.ann_set_mut(set).expect("checked above");
+        Some(s.add(raw, creator, created, rows, cols))
+    }
+
+    /// Archive/restore annotations of the named set (logged).  Returns
+    /// the change count, or `None` when the set does not exist.
+    pub(crate) fn ann_set_archived(
+        &mut self,
+        set: &str,
+        cells: &[(u64, usize)],
+        between: Option<(u64, u64)>,
+        archived: bool,
+    ) -> Option<usize> {
+        self.ann_set(set)?;
+        self.redo.borrow_mut().push(|| WalRecord::AnnArchive {
+            table: self.name.clone(),
+            set: set.to_string(),
+            cells: cells.iter().map(|&(r, c)| (r, c as u64)).collect(),
+            between,
+            archived,
+        });
+        let s = self.ann_set_mut(set).expect("checked above");
+        Some(s.set_archived(cells, between, archived))
+    }
+
     /// Mark a cell outdated (§5), growing the bitmap as needed.
     pub fn mark_outdated(&mut self, row_no: u64, col: usize) {
         if self.outdated.rows() <= row_no as usize {
             self.outdated.grow_rows(row_no as usize + 1);
         }
         self.outdated.set(row_no as usize, col);
+        self.redo.borrow_mut().push(|| WalRecord::OutdatedMark {
+            table: self.name.clone(),
+            row_no,
+            col: col as u64,
+        });
     }
 
     /// Clear the outdated mark (revalidation — §5).
     pub fn clear_outdated(&mut self, row_no: u64, col: usize) {
         if (row_no as usize) < self.outdated.rows() {
             self.outdated.clear(row_no as usize, col);
+            self.redo.borrow_mut().push(|| WalRecord::OutdatedClear {
+                table: self.name.clone(),
+                row_no,
+                col: col as u64,
+            });
         }
     }
 

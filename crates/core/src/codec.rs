@@ -1,0 +1,228 @@
+//! Tiny byte codec shared by the durability layer (snapshot blobs, WAL
+//! record payloads) and the structures that serialize themselves
+//! ([`crate::annotation::AnnotationSet`]).
+//!
+//! Everything is little-endian and length-prefixed; decoding is fully
+//! bounds-checked and surfaces [`ErrorCode::Corrupt`] — bytes come off
+//! disk, so a short or mangled buffer must be an error, never a panic.
+
+use bdbms_common::{BdbmsError, ErrorCode, Result, Value};
+
+pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub(crate) fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn put_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => put_bool(out, false),
+        Some(s) => {
+            put_bool(out, true);
+            put_str(out, s);
+        }
+    }
+}
+
+pub(crate) fn put_value(out: &mut Vec<u8>, v: &Value) {
+    v.encode(out);
+}
+
+pub(crate) fn put_values(out: &mut Vec<u8>, vs: &[Value]) {
+    put_u32(out, vs.len() as u32);
+    for v in vs {
+        v.encode(out);
+    }
+}
+
+pub(crate) fn put_u64s(out: &mut Vec<u8>, vs: &[u64]) {
+    put_u32(out, vs.len() as u32);
+    for &v in vs {
+        put_u64(out, v);
+    }
+}
+
+pub(crate) fn put_strs(out: &mut Vec<u8>, vs: &[String]) {
+    put_u32(out, vs.len() as u32);
+    for v in vs {
+        put_str(out, v);
+    }
+}
+
+/// A bounds-checked cursor over encoded bytes.
+pub(crate) struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Cur<'a> {
+        Cur { buf, pos: 0 }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn short() -> BdbmsError {
+        BdbmsError::new(ErrorCode::Corrupt, "truncated encoding")
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let s = self
+            .buf
+            .get(self.pos..self.pos + n)
+            .ok_or_else(Self::short)?;
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn bool(&mut self) -> Result<bool> {
+        Ok(self.u8()? != 0)
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A length prefix about to drive a `Vec::with_capacity`: sanity-cap
+    /// it so corrupt bytes can't trigger an absurd allocation.
+    pub(crate) fn len(&mut self) -> Result<usize> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len().saturating_sub(self.pos).max(1) * 4096 {
+            return Err(BdbmsError::corrupt(format!(
+                "implausible length prefix {n}"
+            )));
+        }
+        Ok(n)
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| BdbmsError::corrupt("invalid utf8 in stored string"))
+    }
+
+    pub(crate) fn opt_str(&mut self) -> Result<Option<String>> {
+        Ok(if self.bool()? {
+            Some(self.str()?)
+        } else {
+            None
+        })
+    }
+
+    pub(crate) fn value(&mut self) -> Result<Value> {
+        // Value::decode reports Storage on truncation; re-badge as
+        // Corrupt — these bytes came from a snapshot or WAL frame.
+        let mut pos = self.pos;
+        let v = Value::decode(self.buf, &mut pos)
+            .map_err(|e| BdbmsError::corrupt(e.message().to_string()))?;
+        self.pos = pos;
+        Ok(v)
+    }
+
+    pub(crate) fn values(&mut self) -> Result<Vec<Value>> {
+        let n = self.len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.value()?);
+        }
+        Ok(out)
+    }
+
+    pub(crate) fn u64s(&mut self) -> Result<Vec<u64>> {
+        let n = self.len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+
+    pub(crate) fn strs(&mut self) -> Result<Vec<String>> {
+        let n = self.len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.str()?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 7);
+        put_bool(&mut out, true);
+        put_u16(&mut out, 513);
+        put_u32(&mut out, 70_000);
+        put_u64(&mut out, u64::MAX - 1);
+        put_str(&mut out, "géne");
+        put_opt_str(&mut out, None);
+        put_opt_str(&mut out, Some("x"));
+        put_values(&mut out, &[Value::Int(-3), Value::Null]);
+        put_u64s(&mut out, &[1, 2, 3]);
+        put_strs(&mut out, &["a".into(), "b".into()]);
+        let mut c = Cur::new(&out);
+        assert_eq!(c.u8().unwrap(), 7);
+        assert!(c.bool().unwrap());
+        assert_eq!(c.u16().unwrap(), 513);
+        assert_eq!(c.u32().unwrap(), 70_000);
+        assert_eq!(c.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(c.str().unwrap(), "géne");
+        assert_eq!(c.opt_str().unwrap(), None);
+        assert_eq!(c.opt_str().unwrap(), Some("x".into()));
+        assert_eq!(c.values().unwrap(), vec![Value::Int(-3), Value::Null]);
+        assert_eq!(c.u64s().unwrap(), vec![1, 2, 3]);
+        assert_eq!(c.strs().unwrap(), vec!["a".to_string(), "b".to_string()]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_corrupt_not_panic() {
+        let mut out = Vec::new();
+        put_str(&mut out, "hello");
+        out.truncate(6);
+        let mut c = Cur::new(&out);
+        let err = c.str().unwrap_err();
+        assert_eq!(err.code(), ErrorCode::Corrupt);
+        let mut c = Cur::new(&[1, 0, 0]);
+        assert_eq!(c.u64().unwrap_err().code(), ErrorCode::Corrupt);
+    }
+}

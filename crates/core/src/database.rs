@@ -43,18 +43,28 @@ enum CascadeMode {
 }
 
 /// The bdbms engine.
+///
+/// A `Database` is either **in-memory** ([`Database::new_in_memory`] —
+/// state dies with the process; this is what tests and benchmarks use)
+/// or **durable** ([`Database::create`] / [`Database::open`] — catalog
+/// and row heaps persist on `FileStore` pages, commits are redo-logged
+/// through a WAL, and crash recovery replays committed transactions; see
+/// `crate::durability` and `docs/STORAGE.md`).
 pub struct Database {
-    pool: Arc<BufferPool>,
-    catalog: Catalog,
-    clock: LogicalClock,
-    auth: AuthManager,
-    approval: ApprovalManager,
-    deps: DependencyManager,
-    /// Transaction runtime: the undo log and its watermarks.  Driven by
-    /// the [`Session`] state machine (`BEGIN`/`COMMIT`/`ROLLBACK`);
-    /// outside an explicit transaction every statement wraps itself in
-    /// an implicit one, so a failing multi-row statement is atomic.
-    txn: TxnRuntime,
+    pub(crate) pool: Arc<BufferPool>,
+    pub(crate) catalog: Catalog,
+    pub(crate) clock: LogicalClock,
+    pub(crate) auth: AuthManager,
+    pub(crate) approval: ApprovalManager,
+    pub(crate) deps: DependencyManager,
+    /// Transaction runtime: the undo log, the redo buffer, and their
+    /// watermarks.  Driven by the [`Session`] state machine
+    /// (`BEGIN`/`COMMIT`/`ROLLBACK`); outside an explicit transaction
+    /// every statement wraps itself in an implicit one, so a failing
+    /// multi-row statement is atomic.
+    pub(crate) txn: TxnRuntime,
+    /// The durable half (WAL, checkpoint paths) — `None` when in-memory.
+    pub(crate) storage: Option<crate::durability::PersistentStorage>,
 }
 
 impl Database {
@@ -74,6 +84,7 @@ impl Database {
             approval: ApprovalManager::new(),
             deps: DependencyManager::new(),
             txn: TxnRuntime::new(),
+            storage: None,
         }
     }
 
@@ -200,7 +211,20 @@ impl Database {
         if !self.txn.explicit() {
             return Err(BdbmsError::txn_state("COMMIT outside a transaction"));
         }
+        // WAL first: only after the redo records + commit record are on
+        // disk (per the durability policy) may the commit be
+        // acknowledged.  A WAL failure rolls the transaction back — its
+        // partial tail has no commit record, so recovery discards it.
+        if let Err(e) = self.wal_commit() {
+            let ops = self.txn.take_all();
+            self.apply_undo(ops);
+            return Err(BdbmsError::new(
+                e.code(),
+                format!("commit failed and was rolled back: {}", e.message()),
+            ));
+        }
         self.txn.commit();
+        self.maybe_checkpoint();
         Ok(QueryResult::message("transaction committed"))
     }
 
@@ -254,14 +278,58 @@ impl Database {
     /// undone, bump the catalog generation: the generation only ever
     /// moves forward, so a prepared plan cached against rolled-back DDL
     /// can never be replayed.
-    fn apply_undo(&mut self, ops: Vec<UndoOp>) {
+    ///
+    /// Redo collection is suspended for the duration: the records of the
+    /// rolled-back work were already truncated from the buffer, and the
+    /// undo ops' own table mutations must not log fresh ones.
+    pub(crate) fn apply_undo(&mut self, ops: Vec<UndoOp>) {
         if ops.is_empty() {
             return;
         }
+        self.txn.redo_suspend();
         for op in ops.into_iter().rev() {
             op.apply(&mut self.catalog, &mut self.deps, &mut self.approval);
         }
+        self.txn.redo_resume();
         self.catalog.bump_generation();
+    }
+
+    /// Append a redo record for a mutation performed outside the tables'
+    /// own sinks (DDL, auth, approval, rules).  No-op when in-memory.
+    fn redo(&self, build: impl FnOnce() -> crate::durability::WalRecord) {
+        self.txn.redo_push(build);
+    }
+
+    /// Run `f` inside the implicit-transaction envelope: on success the
+    /// redo records are committed to the WAL (durable databases) and the
+    /// undo log discarded; on failure — of `f` *or* of the WAL write —
+    /// every applied effect is rolled back.  When a transaction is
+    /// already recording, `f` simply joins it.
+    fn with_implicit<R>(&mut self, f: impl FnOnce(&mut Self) -> Result<R>) -> Result<R> {
+        if self.txn.recording() {
+            return f(self);
+        }
+        self.txn.begin_implicit();
+        match f(self) {
+            Ok(r) => {
+                if let Err(e) = self.wal_commit() {
+                    let ops = self.txn.take_all();
+                    self.apply_undo(ops);
+                    return Err(BdbmsError::new(
+                        e.code(),
+                        format!("commit failed and was rolled back: {}", e.message()),
+                    ));
+                }
+                self.txn.commit();
+                self.maybe_checkpoint();
+                Ok(r)
+            }
+            Err(e) => {
+                let ops = self.txn.take_all();
+                self.apply_undo(ops);
+                Err(e)
+            }
+        }
     }
 
     /// Push the first-touch snapshot of a table's non-row state (stats,
@@ -374,16 +442,9 @@ impl Database {
             }
             r
         } else {
-            self.txn.begin_implicit();
-            let r = self.execute_stmt_inner(stmt, user);
-            match &r {
-                Ok(_) => self.txn.commit(),
-                Err(_) => {
-                    let ops = self.txn.take_all();
-                    self.apply_undo(ops);
-                }
-            }
-            r
+            // implicit transaction: atomic in memory AND on disk — the
+            // statement's redo records reach the WAL only on success
+            self.with_implicit(|db| db.execute_stmt_inner(stmt, user))
         }
     }
 
@@ -484,6 +545,10 @@ impl Database {
                     return Err(BdbmsError::unauthorized("only admin may create users"));
                 }
                 self.auth.create_user(&name, &groups)?;
+                self.redo(|| crate::durability::WalRecord::UserCreate {
+                    name: name.clone(),
+                    groups: groups.clone(),
+                });
                 Ok(QueryResult::message(format!("user `{name}` created")))
             }
             Statement::Grant {
@@ -493,6 +558,11 @@ impl Database {
             } => {
                 self.require_owner(&table, user)?;
                 self.auth.grant(&to, &table, &privileges);
+                self.redo(|| crate::durability::WalRecord::Grant {
+                    grantee: to.clone(),
+                    table: table.clone(),
+                    privileges: privileges.clone(),
+                });
                 Ok(QueryResult::message(format!(
                     "granted on `{table}` to `{to}`"
                 )))
@@ -504,6 +574,11 @@ impl Database {
             } => {
                 self.require_owner(&table, user)?;
                 self.auth.revoke(&from, &table, &privileges);
+                self.redo(|| crate::durability::WalRecord::Revoke {
+                    grantee: from.clone(),
+                    table: table.clone(),
+                    privileges: privileges.clone(),
+                });
                 Ok(QueryResult::message(format!(
                     "revoked on `{table}` from `{from}`"
                 )))
@@ -520,7 +595,12 @@ impl Database {
                 } else {
                     Some(columns)
                 };
-                self.approval.start(&table, cols, &approved_by);
+                self.approval.start(&table, cols.clone(), &approved_by);
+                self.redo(|| crate::durability::WalRecord::ApprovalStart {
+                    table: table.clone(),
+                    columns: cols,
+                    approver: approved_by.clone(),
+                });
                 Ok(QueryResult::message(format!(
                     "content approval started on `{table}`"
                 )))
@@ -528,6 +608,10 @@ impl Database {
             Statement::StopContentApproval { table, columns } => {
                 self.require_owner(&table, user)?;
                 self.approval.stop(&table, &columns);
+                self.redo(|| crate::durability::WalRecord::ApprovalStop {
+                    table: table.clone(),
+                    columns: columns.clone(),
+                });
                 Ok(QueryResult::message(format!(
                     "content approval stopped on `{table}`"
                 )))
@@ -582,6 +666,7 @@ impl Database {
                     pos,
                     rule: Box::new(rule),
                 });
+                self.redo(|| crate::durability::WalRecord::RuleDrop { name: name.clone() });
                 Ok(QueryResult::message(format!("rule `{name}` dropped")))
             }
             Statement::Analyze { table } => {
@@ -640,7 +725,14 @@ impl Database {
                 .map(|(n, t)| bdbms_common::ColumnDef::new(n, t))
                 .collect(),
         )?;
-        let table = Table::create(name.clone(), schema, user, self.pool.clone())?;
+        let mut table = Table::create(name.clone(), schema, user, self.pool.clone())?;
+        // durable databases share one redo sink across every table
+        table.set_redo(self.txn.redo_sink());
+        self.redo(|| crate::durability::WalRecord::TableCreate {
+            name: table.name.clone(),
+            owner: table.owner.clone(),
+            schema: table.schema.clone(),
+        });
         self.catalog.add_table(table)?;
         self.txn.push(UndoOp::UnCreateTable { name: name.clone() });
         Ok(QueryResult::message(format!("table `{name}` created")))
@@ -651,6 +743,9 @@ impl Database {
         // the dropped table moves into the undo log wholesale: rollback
         // puts it back byte-identical (heap, indexes, annotations, stats)
         let table = self.catalog.drop_table(name)?;
+        self.redo(|| crate::durability::WalRecord::TableDrop {
+            name: table.name.clone(),
+        });
         self.txn.push(UndoOp::UnDropTable {
             table: Box::new(table),
         });
@@ -671,7 +766,7 @@ impl Database {
                 "annotation table `{name}` on `{on}`"
             )));
         }
-        table.ann_sets.push(AnnotationSet::new(name, cell_scheme));
+        table.add_ann_set(AnnotationSet::new(name, cell_scheme));
         self.txn.push(UndoOp::UnCreateAnnSet {
             table: on.to_string(),
             set: name.to_string(),
@@ -690,7 +785,7 @@ impl Database {
             .position(|s| s.name.eq_ignore_ascii_case(name))
             .ok_or_else(|| BdbmsError::not_found(format!("annotation table `{name}` on `{on}`")))?;
         // like DROP TABLE, the set moves into the undo log wholesale
-        let set = table.ann_sets.remove(pos);
+        let set = table.remove_ann_set_at(pos);
         self.txn.push(UndoOp::UnDropAnnSet {
             table: on.to_string(),
             pos,
@@ -732,13 +827,16 @@ impl Database {
         if self.approval.monitors(table, &all_cols) && !self.is_approver(user, table) {
             let time = self.clock.now();
             self.rec_touch_approval();
-            self.approval.log_operation(
+            let id = self.approval.log_operation(
                 table,
                 user,
                 time,
                 format!("INSERT INTO {table} (row {row_no})"),
                 InverseOp::DeleteRow { row_no },
             );
+            self.redo(|| crate::durability::WalRecord::ApprovalLogged {
+                op: self.approval.get(id).expect("just logged").clone(),
+            });
         }
         // dependency cascade: the new row may feed *computable* derived
         // cells; it never outdates values supplied with the fresh row
@@ -804,7 +902,7 @@ impl Database {
             if monitored {
                 let time = self.clock.now();
                 self.rec_touch_approval();
-                self.approval.log_operation(
+                let id = self.approval.log_operation(
                     table,
                     user,
                     time,
@@ -817,6 +915,9 @@ impl Database {
                         old: old.clone(),
                     },
                 );
+                self.redo(|| crate::durability::WalRecord::ApprovalLogged {
+                    op: self.approval.get(id).expect("just logged").clone(),
+                });
             }
             for &(col, _) in &old {
                 self.cascade(table, row_no, col, CascadeMode::Update)?;
@@ -854,7 +955,7 @@ impl Database {
             let time = self.clock.now();
             let t = self.catalog.table_mut(table)?;
             let values = t.delete(row_no)?;
-            t.deleted_log.push(DeletedRow {
+            t.push_deleted(DeletedRow {
                 row_no,
                 values: values.clone(),
                 annotation: why.map(|s| s.to_string()),
@@ -870,13 +971,16 @@ impl Database {
             });
             if monitored {
                 self.rec_touch_approval();
-                self.approval.log_operation(
+                let id = self.approval.log_operation(
                     table,
                     user,
                     time,
                     format!("DELETE FROM {table} (row {row_no})"),
                     InverseOp::InsertRow { row_no, values },
                 );
+                self.redo(|| crate::durability::WalRecord::ApprovalLogged {
+                    op: self.approval.get(id).expect("just logged").clone(),
+                });
             }
         }
         Ok(victims)
@@ -1079,6 +1183,9 @@ impl Database {
             name: name.clone(),
             prev_next_id,
         });
+        self.redo(|| crate::durability::WalRecord::RuleAdd {
+            rule: self.deps.rule_by_name(&name).expect("just added").clone(),
+        });
         Ok(QueryResult::message(format!(
             "dependency rule `{name}` created"
         )))
@@ -1112,6 +1219,9 @@ impl Database {
         let decided = self
             .approval
             .decide(bdbms_common::ids::OperationId(id), approve)?;
+        // replay only re-flips the status: the inverse execution below
+        // emits its own row-level records
+        self.redo(|| crate::durability::WalRecord::ApprovalDecide { id, approve });
         if approve {
             return Ok(QueryResult::message(format!("operation {id} approved")));
         }
@@ -1128,7 +1238,7 @@ impl Database {
                 let time = self.clock.now();
                 let t = self.catalog.table_mut(&decided.table)?;
                 let values = t.delete(row_no)?;
-                t.deleted_log.push(DeletedRow {
+                t.push_deleted(DeletedRow {
                     row_no,
                     values: values.clone(),
                     annotation: Some(format!("disapproved operation {id}")),
@@ -1268,8 +1378,9 @@ impl Database {
         for (t, s) in &to {
             self.rec_touch_ann_set(t, s);
             let table = self.catalog.table_mut(t)?;
-            let set = table.ann_set_mut(s).expect("checked");
-            set.add(value, user, time, &rows, &cols);
+            table
+                .ann_add(s, value, user, time, &rows, &cols)
+                .expect("checked");
             added += 1;
         }
         Ok(QueryResult {
@@ -1308,10 +1419,9 @@ impl Database {
             // the snapshot's archived flags cover the state flips
             self.rec_touch_ann_set(t, s);
             let table = self.catalog.table_mut(t)?;
-            let set = table
-                .ann_set_mut(s)
+            changed += table
+                .ann_set_archived(s, &cells, between, archive)
                 .ok_or_else(|| BdbmsError::not_found(format!("annotation table `{s}` on `{t}`")))?;
-            changed += set.set_archived(&cells, between, archive);
         }
         Ok(QueryResult::message(format!(
             "{changed} annotation(s) {}",
@@ -1388,8 +1498,9 @@ impl Database {
 
     // ---- provenance API (§4) ----
 
-    /// Create the reserved provenance annotation table on `table`.
-    pub fn enable_provenance(&mut self, table: &str) -> Result<()> {
+    /// Create the provenance set if missing, with its undo record.
+    /// Runs inside whatever transaction the caller holds open.
+    fn ensure_provenance_inner(&mut self, table: &str) -> Result<()> {
         let (name, created) = {
             let t = self.catalog.table_mut(table)?;
             let created = t.ann_set(provenance::PROVENANCE_TABLE).is_none();
@@ -1405,10 +1516,18 @@ impl Database {
         Ok(())
     }
 
+    /// Create the reserved provenance annotation table on `table`.
+    /// Outside an open transaction this commits (and WAL-logs) on its
+    /// own; inside one it joins the transaction.
+    pub fn enable_provenance(&mut self, table: &str) -> Result<()> {
+        self.with_implicit(|db| db.ensure_provenance_inner(table))
+    }
+
     /// Record a provenance annotation over cells (system path — this is
     /// what integration tools call; end users go through A-SQL and hit
     /// the PROVENANCE privilege check).  Inside an open transaction the
-    /// attachment joins the undo log: a rollback removes it.
+    /// attachment joins the undo log: a rollback removes it.  Outside
+    /// one it commits (and WAL-logs) on its own.
     pub fn record_provenance(
         &mut self,
         table: &str,
@@ -1416,15 +1535,22 @@ impl Database {
         cols: &[usize],
         record: &ProvenanceRecord,
     ) -> Result<()> {
-        self.enable_provenance(table)?;
-        self.rec_touch_ann_set(table, provenance::PROVENANCE_TABLE);
-        let time = self.clock.tick();
-        let t = self.catalog.table_mut(table)?;
-        let set = t
-            .ann_set_mut(provenance::PROVENANCE_TABLE)
+        self.with_implicit(|db| {
+            db.ensure_provenance_inner(table)?;
+            db.rec_touch_ann_set(table, provenance::PROVENANCE_TABLE);
+            let time = db.clock.tick();
+            let t = db.catalog.table_mut(table)?;
+            t.ann_add(
+                provenance::PROVENANCE_TABLE,
+                &record.to_xml().to_xml(),
+                "system",
+                time,
+                rows,
+                cols,
+            )
             .expect("just ensured");
-        set.add(&record.to_xml().to_xml(), "system", time, rows, cols);
-        Ok(())
+            Ok(())
+        })
     }
 
     /// Figure 8's query: the source of a cell at time `at`.

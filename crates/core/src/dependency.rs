@@ -143,6 +143,20 @@ impl DependencyManager {
         self.rules.insert(pos.min(self.rules.len()), rule);
     }
 
+    /// Rebuild the rule set from a checkpoint snapshot (validation was
+    /// done when the rules were first created).  Registered procedure
+    /// bodies are *not* persisted — re-register them after opening.
+    pub(crate) fn restore(&mut self, rules: Vec<DependencyRule>, next_id: u64) {
+        self.rules = rules;
+        self.next_id = next_id;
+    }
+
+    /// Re-append a rule with its original id (WAL replay).
+    pub(crate) fn replay_rule(&mut self, rule: DependencyRule) {
+        self.next_id = self.next_id.max(rule.id.raw() + 1);
+        self.rules.push(rule);
+    }
+
     /// All rules.
     pub fn rules(&self) -> &[DependencyRule] {
         &self.rules

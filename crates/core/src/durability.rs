@@ -1,0 +1,1841 @@
+//! The durability subsystem: logical redo logging, checkpoint images,
+//! and crash recovery (`Database::open(path)` / `Database::create(path)`).
+//!
+//! ## Architecture
+//!
+//! A durable database is a directory:
+//!
+//! ```text
+//! mydb.bdbms/
+//!   data.bdb        checkpoint image: a FileStore page file
+//!   wal/wal-*.log   write-ahead log segments (bdbms_storage::wal)
+//! ```
+//!
+//! **`data.bdb`** holds the last checkpoint: page 0 is a header (magic +
+//! CRC + the record id of the metadata blob), each table's rows live in
+//! their own heap-file pages (the existing slotted-page/overflow-chain
+//! machinery), and one metadata record describes everything else — table
+//! schemas, rid maps, annotation sets, outdated bitmaps, deletion logs,
+//! index *definitions* (payloads are rebuilt on open), dependency rules,
+//! auth and approval state, and the logical clock.
+//!
+//! **The WAL** holds logical redo records for every transaction committed
+//! since that checkpoint.  Records are buffered in memory while a
+//! transaction runs — mirroring the undo log's watermark discipline, so a
+//! `ROLLBACK` (or a failed statement, or `ROLLBACK TO SAVEPOINT`) simply
+//! truncates the buffer — and are appended + flushed at commit, *before*
+//! the commit is acknowledged.  Under [`Durability::Full`] the flush
+//! fsyncs; under [`Durability::NoSync`] it only reaches the OS.
+//!
+//! **WAL-before-data**: the buffer pool backing a durable database runs
+//! in no-steal mode (`pin_dirty`) — dirty data pages are never written
+//! outside a checkpoint — *and* carries the page-LSN flush gate, so even
+//! a steal-mode write would flush the log first.  Between checkpoints the
+//! on-disk image therefore stays exactly the last checkpoint.
+//!
+//! **Checkpoint** writes a complete fresh image to `data.bdb.tmp`
+//! (shadow-style: new heaps, new metadata, new header), fsyncs, atomically
+//! renames over `data.bdb`, swaps the live engine onto the new pages, and
+//! truncates the WAL.  A crash at any instant leaves either the old image
+//! + old WAL or the new image + empty WAL — both consistent.
+//!
+//! **Recovery** (`Database::open`) loads the image, rebuilds indexes and
+//! statistics from the heaps (a reopen is an implicit `ANALYZE`), then
+//! replays the WAL: records are buffered per transaction and applied only
+//! when a `Commit` record is reached — ARIES-lite redo with committed
+//! records replayed and the uncommitted tail discarded.  Torn frames
+//! (bad CRC / short write) at the log's tail are truncated by the WAL
+//! layer; damage *behind* durable data surfaces as
+//! [`ErrorCode::Corrupt`](bdbms_common::ErrorCode::Corrupt).  Open always
+//! ends with a checkpoint, so the WAL is empty and the image fresh.
+//!
+//! See `docs/STORAGE.md` for the byte-level formats.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bdbms_common::{BdbmsError, DataType, Result, Schema, Value};
+use bdbms_storage::wal::{SharedWal, Wal, WalScan};
+use bdbms_storage::{crc32, BufferPool, FileStore, FlushGate, HeapFile, MemStore, PageId, Rid};
+
+pub use bdbms_storage::wal::Durability;
+
+use crate::annotation::AnnotationSet;
+use crate::approval::{ApprovalManager, InverseOp, LoggedOp, OpStatus};
+use crate::ast::Privilege;
+use crate::auth::AuthManager;
+use crate::catalog::{DeletedRow, Table};
+use crate::codec::{self, Cur};
+use crate::database::Database;
+use crate::dependency::DependencyRule;
+
+/// Data file name inside a database directory.
+pub(crate) const DATA_FILE: &str = "data.bdb";
+/// Temporary checkpoint image (renamed over [`DATA_FILE`] when complete).
+const DATA_TMP: &str = "data.bdb.tmp";
+/// WAL directory name inside a database directory.
+pub(crate) const WAL_DIR: &str = "wal";
+
+const HEADER_MAGIC: &[u8; 8] = b"BDBMSDB1";
+const FORMAT_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------
+// Redo buffering
+// ---------------------------------------------------------------------
+
+/// The per-connection redo buffer: logical [`WalRecord`]s accumulated by
+/// the open transaction.  Shared (via [`RedoSink`]) between the
+/// transaction runtime (watermark truncation), every [`Table`] (row and
+/// annotation mutations), and the [`Database`] (DDL, auth, approval).
+///
+/// Disabled for in-memory databases: `push` then never builds the record
+/// (the closure is not called), so the legacy paths pay one branch.
+pub(crate) struct RedoLog {
+    recs: Vec<WalRecord>,
+    /// Records are only collected when enabled (durable databases).
+    pub(crate) enabled: bool,
+    /// Non-zero while rollback applies undo ops: their table-level
+    /// mutations must not re-log (the rolled-back records were already
+    /// truncated from the buffer).
+    suspended: u32,
+}
+
+impl RedoLog {
+    /// Append a record (built lazily) unless disabled or suspended.
+    pub(crate) fn push(&mut self, build: impl FnOnce() -> WalRecord) {
+        if self.enabled && self.suspended == 0 {
+            self.recs.push(build());
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.recs.len()
+    }
+
+    pub(crate) fn truncate(&mut self, len: usize) {
+        self.recs.truncate(len);
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.recs.clear();
+    }
+
+    pub(crate) fn take(&mut self) -> Vec<WalRecord> {
+        std::mem::take(&mut self.recs)
+    }
+
+    pub(crate) fn suspend(&mut self) {
+        self.suspended += 1;
+    }
+
+    pub(crate) fn resume(&mut self) {
+        debug_assert!(self.suspended > 0);
+        self.suspended -= 1;
+    }
+}
+
+/// Shared handle to a [`RedoLog`].
+pub(crate) type RedoSink = Rc<RefCell<RedoLog>>;
+
+/// A fresh, collecting-capable sink (the transaction runtime owns one).
+pub(crate) fn fresh_redo_sink() -> RedoSink {
+    Rc::new(RefCell::new(RedoLog {
+        recs: Vec::new(),
+        enabled: false,
+        suspended: 0,
+    }))
+}
+
+/// The default sink a standalone [`Table`] starts with (disabled; the
+/// engine swaps in the shared sink for durable databases).
+pub(crate) fn disabled_redo_sink() -> RedoSink {
+    fresh_redo_sink()
+}
+
+// ---------------------------------------------------------------------
+// The logical redo vocabulary
+// ---------------------------------------------------------------------
+
+/// One logical redo operation.  The WAL for a committed transaction is
+/// its surviving operations in execution order, terminated by
+/// [`WalRecord::Commit`]; recovery replays them through the same engine
+/// methods that produced them, so derived state (index entries, outdated
+/// clears inside `delete`, schema coercion) re-derives identically.
+#[derive(Debug, Clone)]
+pub(crate) enum WalRecord {
+    /// A row inserted (schema-coerced values, original row number).
+    RowInsert {
+        table: String,
+        row_no: u64,
+        values: Vec<Value>,
+    },
+    /// A row overwritten in place.
+    RowUpdate {
+        table: String,
+        row_no: u64,
+        values: Vec<Value>,
+    },
+    /// A row deleted.
+    RowDelete { table: String, row_no: u64 },
+    /// A cell marked outdated (§5 cascade).
+    OutdatedMark {
+        table: String,
+        row_no: u64,
+        col: u64,
+    },
+    /// A cell revalidated.
+    OutdatedClear {
+        table: String,
+        row_no: u64,
+        col: u64,
+    },
+    /// An entry appended to the deletion log (§3.2).
+    DeletedLogPush { table: String, row: DeletedRow },
+    /// `CREATE TABLE`.
+    TableCreate {
+        name: String,
+        owner: String,
+        schema: Schema,
+    },
+    /// `DROP TABLE`.
+    TableDrop { name: String },
+    /// `CREATE INDEX` (definition only; payload rebuilds on replay).
+    IndexCreate {
+        table: String,
+        index: String,
+        column: String,
+    },
+    /// `DROP INDEX`.
+    IndexDrop { table: String, index: String },
+    /// `CREATE ANNOTATION TABLE` (or the provenance set auto-creation).
+    AnnSetCreate {
+        table: String,
+        set: String,
+        cell_scheme: bool,
+        system_only: bool,
+        schema_enforced: bool,
+    },
+    /// `DROP ANNOTATION TABLE`.
+    AnnSetDrop { table: String, set: String },
+    /// `ADD ANNOTATION` over `rows × cols` cells.
+    AnnAdd {
+        table: String,
+        set: String,
+        raw: String,
+        creator: String,
+        created: u64,
+        rows: Vec<u64>,
+        cols: Vec<u64>,
+    },
+    /// `ARCHIVE`/`RESTORE ANNOTATION` over cells.
+    AnnArchive {
+        table: String,
+        set: String,
+        cells: Vec<(u64, u64)>,
+        between: Option<(u64, u64)>,
+        archived: bool,
+    },
+    /// `CREATE USER`.
+    UserCreate { name: String, groups: Vec<String> },
+    /// `GRANT`.
+    Grant {
+        grantee: String,
+        table: String,
+        privileges: Vec<Privilege>,
+    },
+    /// `REVOKE`.
+    Revoke {
+        grantee: String,
+        table: String,
+        privileges: Vec<Privilege>,
+    },
+    /// `START CONTENT APPROVAL`.
+    ApprovalStart {
+        table: String,
+        columns: Option<Vec<String>>,
+        approver: String,
+    },
+    /// `STOP CONTENT APPROVAL`.
+    ApprovalStop { table: String, columns: Vec<String> },
+    /// An operation appended to the approval log.
+    ApprovalLogged { op: LoggedOp },
+    /// An approval decision (the inverse's row effects have their own
+    /// records; replay only flips the status).
+    ApprovalDecide { id: u64, approve: bool },
+    /// `CREATE DEPENDENCY RULE` (with its allocated id).
+    RuleAdd { rule: DependencyRule },
+    /// `DROP DEPENDENCY RULE`.
+    RuleDrop { name: String },
+    /// Transaction commit barrier; carries the logical clock.
+    Commit { clock: u64 },
+}
+
+fn put_datatype(out: &mut Vec<u8>, ty: DataType) {
+    codec::put_u8(
+        out,
+        match ty {
+            DataType::Int => 1,
+            DataType::Float => 2,
+            DataType::Text => 3,
+            DataType::Bool => 4,
+            DataType::Timestamp => 5,
+        },
+    );
+}
+
+fn get_datatype(cur: &mut Cur<'_>) -> Result<DataType> {
+    Ok(match cur.u8()? {
+        1 => DataType::Int,
+        2 => DataType::Float,
+        3 => DataType::Text,
+        4 => DataType::Bool,
+        5 => DataType::Timestamp,
+        t => return Err(BdbmsError::corrupt(format!("unknown data type tag {t}"))),
+    })
+}
+
+fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
+    codec::put_u32(out, schema.arity() as u32);
+    for c in schema.columns() {
+        codec::put_str(out, &c.name);
+        put_datatype(out, c.ty);
+    }
+}
+
+fn get_schema(cur: &mut Cur<'_>) -> Result<Schema> {
+    let n = cur.len()?;
+    let mut cols = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = cur.str()?;
+        let ty = get_datatype(cur)?;
+        cols.push(bdbms_common::ColumnDef::new(name, ty));
+    }
+    Schema::new(cols).map_err(|e| BdbmsError::corrupt(e.message().to_string()))
+}
+
+fn put_privileges(out: &mut Vec<u8>, ps: &[Privilege]) {
+    codec::put_u32(out, ps.len() as u32);
+    for p in ps {
+        codec::put_u8(
+            out,
+            match p {
+                Privilege::Select => 0,
+                Privilege::Insert => 1,
+                Privilege::Update => 2,
+                Privilege::Delete => 3,
+                Privilege::Provenance => 4,
+            },
+        );
+    }
+}
+
+fn get_privileges(cur: &mut Cur<'_>) -> Result<Vec<Privilege>> {
+    let n = cur.len()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(match cur.u8()? {
+            0 => Privilege::Select,
+            1 => Privilege::Insert,
+            2 => Privilege::Update,
+            3 => Privilege::Delete,
+            4 => Privilege::Provenance,
+            t => return Err(BdbmsError::corrupt(format!("unknown privilege tag {t}"))),
+        });
+    }
+    Ok(out)
+}
+
+fn put_deleted_row(out: &mut Vec<u8>, row: &DeletedRow) {
+    codec::put_u64(out, row.row_no);
+    codec::put_values(out, &row.values);
+    codec::put_opt_str(out, row.annotation.as_deref());
+    codec::put_u64(out, row.time);
+    codec::put_str(out, &row.user);
+}
+
+fn get_deleted_row(cur: &mut Cur<'_>) -> Result<DeletedRow> {
+    Ok(DeletedRow {
+        row_no: cur.u64()?,
+        values: cur.values()?,
+        annotation: cur.opt_str()?,
+        time: cur.u64()?,
+        user: cur.str()?,
+    })
+}
+
+fn put_inverse(out: &mut Vec<u8>, inv: &InverseOp) {
+    match inv {
+        InverseOp::DeleteRow { row_no } => {
+            codec::put_u8(out, 0);
+            codec::put_u64(out, *row_no);
+        }
+        InverseOp::InsertRow { row_no, values } => {
+            codec::put_u8(out, 1);
+            codec::put_u64(out, *row_no);
+            codec::put_values(out, values);
+        }
+        InverseOp::RestoreCells { row_no, old } => {
+            codec::put_u8(out, 2);
+            codec::put_u64(out, *row_no);
+            codec::put_u32(out, old.len() as u32);
+            for (col, v) in old {
+                codec::put_u64(out, *col as u64);
+                codec::put_value(out, v);
+            }
+        }
+    }
+}
+
+fn get_inverse(cur: &mut Cur<'_>) -> Result<InverseOp> {
+    Ok(match cur.u8()? {
+        0 => InverseOp::DeleteRow { row_no: cur.u64()? },
+        1 => InverseOp::InsertRow {
+            row_no: cur.u64()?,
+            values: cur.values()?,
+        },
+        2 => {
+            let row_no = cur.u64()?;
+            let n = cur.len()?;
+            let mut old = Vec::with_capacity(n);
+            for _ in 0..n {
+                let col = cur.u64()? as usize;
+                old.push((col, cur.value()?));
+            }
+            InverseOp::RestoreCells { row_no, old }
+        }
+        t => return Err(BdbmsError::corrupt(format!("unknown inverse tag {t}"))),
+    })
+}
+
+fn put_status(out: &mut Vec<u8>, s: OpStatus) {
+    codec::put_u8(
+        out,
+        match s {
+            OpStatus::Pending => 0,
+            OpStatus::Approved => 1,
+            OpStatus::Disapproved => 2,
+        },
+    );
+}
+
+fn get_status(cur: &mut Cur<'_>) -> Result<OpStatus> {
+    Ok(match cur.u8()? {
+        0 => OpStatus::Pending,
+        1 => OpStatus::Approved,
+        2 => OpStatus::Disapproved,
+        t => return Err(BdbmsError::corrupt(format!("unknown op status tag {t}"))),
+    })
+}
+
+fn put_logged_op(out: &mut Vec<u8>, op: &LoggedOp) {
+    codec::put_u64(out, op.id.raw());
+    codec::put_str(out, &op.table);
+    codec::put_str(out, &op.user);
+    codec::put_u64(out, op.time);
+    codec::put_str(out, &op.description);
+    put_inverse(out, &op.inverse);
+    put_status(out, op.status);
+}
+
+fn get_logged_op(cur: &mut Cur<'_>) -> Result<LoggedOp> {
+    Ok(LoggedOp {
+        id: bdbms_common::ids::OperationId(cur.u64()?),
+        table: cur.str()?,
+        user: cur.str()?,
+        time: cur.u64()?,
+        description: cur.str()?,
+        inverse: get_inverse(cur)?,
+        status: get_status(cur)?,
+    })
+}
+
+fn put_rule(out: &mut Vec<u8>, r: &DependencyRule) {
+    codec::put_u64(out, r.id.raw());
+    codec::put_str(out, &r.name);
+    codec::put_str(out, &r.src_table);
+    codec::put_strs(out, &r.src_cols);
+    codec::put_str(out, &r.dst_table);
+    codec::put_str(out, &r.dst_col);
+    codec::put_str(out, &r.procedure);
+    codec::put_bool(out, r.executable);
+    codec::put_bool(out, r.invertible);
+    match &r.link {
+        None => codec::put_bool(out, false),
+        Some((a, b)) => {
+            codec::put_bool(out, true);
+            codec::put_str(out, a);
+            codec::put_str(out, b);
+        }
+    }
+}
+
+fn get_rule(cur: &mut Cur<'_>) -> Result<DependencyRule> {
+    Ok(DependencyRule {
+        id: bdbms_common::ids::RuleId(cur.u64()?),
+        name: cur.str()?,
+        src_table: cur.str()?,
+        src_cols: cur.strs()?,
+        dst_table: cur.str()?,
+        dst_col: cur.str()?,
+        procedure: cur.str()?,
+        executable: cur.bool()?,
+        invertible: cur.bool()?,
+        link: if cur.bool()? {
+            Some((cur.str()?, cur.str()?))
+        } else {
+            None
+        },
+    })
+}
+
+fn put_opt_strs(out: &mut Vec<u8>, v: Option<&[String]>) {
+    match v {
+        None => codec::put_bool(out, false),
+        Some(v) => {
+            codec::put_bool(out, true);
+            codec::put_strs(out, v);
+        }
+    }
+}
+
+fn get_opt_strs(cur: &mut Cur<'_>) -> Result<Option<Vec<String>>> {
+    Ok(if cur.bool()? { Some(cur.strs()?) } else { None })
+}
+
+impl WalRecord {
+    /// Serialize into `out` (tag byte + fields).
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WalRecord::RowInsert {
+                table,
+                row_no,
+                values,
+            } => {
+                codec::put_u8(out, 1);
+                codec::put_str(out, table);
+                codec::put_u64(out, *row_no);
+                codec::put_values(out, values);
+            }
+            WalRecord::RowUpdate {
+                table,
+                row_no,
+                values,
+            } => {
+                codec::put_u8(out, 2);
+                codec::put_str(out, table);
+                codec::put_u64(out, *row_no);
+                codec::put_values(out, values);
+            }
+            WalRecord::RowDelete { table, row_no } => {
+                codec::put_u8(out, 3);
+                codec::put_str(out, table);
+                codec::put_u64(out, *row_no);
+            }
+            WalRecord::OutdatedMark { table, row_no, col } => {
+                codec::put_u8(out, 4);
+                codec::put_str(out, table);
+                codec::put_u64(out, *row_no);
+                codec::put_u64(out, *col);
+            }
+            WalRecord::OutdatedClear { table, row_no, col } => {
+                codec::put_u8(out, 5);
+                codec::put_str(out, table);
+                codec::put_u64(out, *row_no);
+                codec::put_u64(out, *col);
+            }
+            WalRecord::DeletedLogPush { table, row } => {
+                codec::put_u8(out, 6);
+                codec::put_str(out, table);
+                put_deleted_row(out, row);
+            }
+            WalRecord::TableCreate {
+                name,
+                owner,
+                schema,
+            } => {
+                codec::put_u8(out, 7);
+                codec::put_str(out, name);
+                codec::put_str(out, owner);
+                put_schema(out, schema);
+            }
+            WalRecord::TableDrop { name } => {
+                codec::put_u8(out, 8);
+                codec::put_str(out, name);
+            }
+            WalRecord::IndexCreate {
+                table,
+                index,
+                column,
+            } => {
+                codec::put_u8(out, 9);
+                codec::put_str(out, table);
+                codec::put_str(out, index);
+                codec::put_str(out, column);
+            }
+            WalRecord::IndexDrop { table, index } => {
+                codec::put_u8(out, 10);
+                codec::put_str(out, table);
+                codec::put_str(out, index);
+            }
+            WalRecord::AnnSetCreate {
+                table,
+                set,
+                cell_scheme,
+                system_only,
+                schema_enforced,
+            } => {
+                codec::put_u8(out, 11);
+                codec::put_str(out, table);
+                codec::put_str(out, set);
+                codec::put_bool(out, *cell_scheme);
+                codec::put_bool(out, *system_only);
+                codec::put_bool(out, *schema_enforced);
+            }
+            WalRecord::AnnSetDrop { table, set } => {
+                codec::put_u8(out, 12);
+                codec::put_str(out, table);
+                codec::put_str(out, set);
+            }
+            WalRecord::AnnAdd {
+                table,
+                set,
+                raw,
+                creator,
+                created,
+                rows,
+                cols,
+            } => {
+                codec::put_u8(out, 13);
+                codec::put_str(out, table);
+                codec::put_str(out, set);
+                codec::put_str(out, raw);
+                codec::put_str(out, creator);
+                codec::put_u64(out, *created);
+                codec::put_u64s(out, rows);
+                codec::put_u64s(out, cols);
+            }
+            WalRecord::AnnArchive {
+                table,
+                set,
+                cells,
+                between,
+                archived,
+            } => {
+                codec::put_u8(out, 14);
+                codec::put_str(out, table);
+                codec::put_str(out, set);
+                codec::put_u32(out, cells.len() as u32);
+                for (r, c) in cells {
+                    codec::put_u64(out, *r);
+                    codec::put_u64(out, *c);
+                }
+                match between {
+                    None => codec::put_bool(out, false),
+                    Some((lo, hi)) => {
+                        codec::put_bool(out, true);
+                        codec::put_u64(out, *lo);
+                        codec::put_u64(out, *hi);
+                    }
+                }
+                codec::put_bool(out, *archived);
+            }
+            WalRecord::UserCreate { name, groups } => {
+                codec::put_u8(out, 15);
+                codec::put_str(out, name);
+                codec::put_strs(out, groups);
+            }
+            WalRecord::Grant {
+                grantee,
+                table,
+                privileges,
+            } => {
+                codec::put_u8(out, 16);
+                codec::put_str(out, grantee);
+                codec::put_str(out, table);
+                put_privileges(out, privileges);
+            }
+            WalRecord::Revoke {
+                grantee,
+                table,
+                privileges,
+            } => {
+                codec::put_u8(out, 17);
+                codec::put_str(out, grantee);
+                codec::put_str(out, table);
+                put_privileges(out, privileges);
+            }
+            WalRecord::ApprovalStart {
+                table,
+                columns,
+                approver,
+            } => {
+                codec::put_u8(out, 18);
+                codec::put_str(out, table);
+                put_opt_strs(out, columns.as_deref());
+                codec::put_str(out, approver);
+            }
+            WalRecord::ApprovalStop { table, columns } => {
+                codec::put_u8(out, 19);
+                codec::put_str(out, table);
+                codec::put_strs(out, columns);
+            }
+            WalRecord::ApprovalLogged { op } => {
+                codec::put_u8(out, 20);
+                put_logged_op(out, op);
+            }
+            WalRecord::ApprovalDecide { id, approve } => {
+                codec::put_u8(out, 21);
+                codec::put_u64(out, *id);
+                codec::put_bool(out, *approve);
+            }
+            WalRecord::RuleAdd { rule } => {
+                codec::put_u8(out, 22);
+                put_rule(out, rule);
+            }
+            WalRecord::RuleDrop { name } => {
+                codec::put_u8(out, 23);
+                codec::put_str(out, name);
+            }
+            WalRecord::Commit { clock } => {
+                codec::put_u8(out, 24);
+                codec::put_u64(out, *clock);
+            }
+        }
+    }
+
+    /// Decode one record from a WAL frame payload.
+    pub(crate) fn decode(buf: &[u8]) -> Result<WalRecord> {
+        let mut cur = Cur::new(buf);
+        let rec = match cur.u8()? {
+            1 => WalRecord::RowInsert {
+                table: cur.str()?,
+                row_no: cur.u64()?,
+                values: cur.values()?,
+            },
+            2 => WalRecord::RowUpdate {
+                table: cur.str()?,
+                row_no: cur.u64()?,
+                values: cur.values()?,
+            },
+            3 => WalRecord::RowDelete {
+                table: cur.str()?,
+                row_no: cur.u64()?,
+            },
+            4 => WalRecord::OutdatedMark {
+                table: cur.str()?,
+                row_no: cur.u64()?,
+                col: cur.u64()?,
+            },
+            5 => WalRecord::OutdatedClear {
+                table: cur.str()?,
+                row_no: cur.u64()?,
+                col: cur.u64()?,
+            },
+            6 => WalRecord::DeletedLogPush {
+                table: cur.str()?,
+                row: get_deleted_row(&mut cur)?,
+            },
+            7 => WalRecord::TableCreate {
+                name: cur.str()?,
+                owner: cur.str()?,
+                schema: get_schema(&mut cur)?,
+            },
+            8 => WalRecord::TableDrop { name: cur.str()? },
+            9 => WalRecord::IndexCreate {
+                table: cur.str()?,
+                index: cur.str()?,
+                column: cur.str()?,
+            },
+            10 => WalRecord::IndexDrop {
+                table: cur.str()?,
+                index: cur.str()?,
+            },
+            11 => WalRecord::AnnSetCreate {
+                table: cur.str()?,
+                set: cur.str()?,
+                cell_scheme: cur.bool()?,
+                system_only: cur.bool()?,
+                schema_enforced: cur.bool()?,
+            },
+            12 => WalRecord::AnnSetDrop {
+                table: cur.str()?,
+                set: cur.str()?,
+            },
+            13 => WalRecord::AnnAdd {
+                table: cur.str()?,
+                set: cur.str()?,
+                raw: cur.str()?,
+                creator: cur.str()?,
+                created: cur.u64()?,
+                rows: cur.u64s()?,
+                cols: cur.u64s()?,
+            },
+            14 => {
+                let table = cur.str()?;
+                let set = cur.str()?;
+                let n = cur.len()?;
+                let mut cells = Vec::with_capacity(n);
+                for _ in 0..n {
+                    cells.push((cur.u64()?, cur.u64()?));
+                }
+                let between = if cur.bool()? {
+                    Some((cur.u64()?, cur.u64()?))
+                } else {
+                    None
+                };
+                WalRecord::AnnArchive {
+                    table,
+                    set,
+                    cells,
+                    between,
+                    archived: cur.bool()?,
+                }
+            }
+            15 => WalRecord::UserCreate {
+                name: cur.str()?,
+                groups: cur.strs()?,
+            },
+            16 => WalRecord::Grant {
+                grantee: cur.str()?,
+                table: cur.str()?,
+                privileges: get_privileges(&mut cur)?,
+            },
+            17 => WalRecord::Revoke {
+                grantee: cur.str()?,
+                table: cur.str()?,
+                privileges: get_privileges(&mut cur)?,
+            },
+            18 => WalRecord::ApprovalStart {
+                table: cur.str()?,
+                columns: get_opt_strs(&mut cur)?,
+                approver: cur.str()?,
+            },
+            19 => WalRecord::ApprovalStop {
+                table: cur.str()?,
+                columns: cur.strs()?,
+            },
+            20 => WalRecord::ApprovalLogged {
+                op: get_logged_op(&mut cur)?,
+            },
+            21 => WalRecord::ApprovalDecide {
+                id: cur.u64()?,
+                approve: cur.bool()?,
+            },
+            22 => WalRecord::RuleAdd {
+                rule: get_rule(&mut cur)?,
+            },
+            23 => WalRecord::RuleDrop { name: cur.str()? },
+            24 => WalRecord::Commit { clock: cur.u64()? },
+            t => return Err(BdbmsError::corrupt(format!("unknown WAL record tag {t}"))),
+        };
+        Ok(rec)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Options, reports, handles
+// ---------------------------------------------------------------------
+
+/// Tuning knobs for a durable database.
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// Fsync policy at commit ([`Durability::Full`] by default).
+    pub durability: Durability,
+    /// Checkpoint automatically after this many committed transactions.
+    pub checkpoint_every_commits: u64,
+    /// WAL segment rotation threshold in bytes.
+    pub wal_segment_bytes: u64,
+    /// Buffer-pool capacity in pages.
+    pub pool_pages: usize,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        DurabilityOptions {
+            durability: Durability::Full,
+            checkpoint_every_commits: 1024,
+            wal_segment_bytes: bdbms_storage::wal::DEFAULT_SEGMENT_BYTES,
+            pool_pages: 1024,
+        }
+    }
+}
+
+impl DurabilityOptions {
+    /// Default options with [`Durability::NoSync`] (bulk loads, benches).
+    pub fn no_sync() -> Self {
+        DurabilityOptions {
+            durability: Durability::NoSync,
+            ..Default::default()
+        }
+    }
+}
+
+/// What `Database::open` replayed and discarded (see
+/// [`Database::last_recovery`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Committed transactions replayed from the WAL.
+    pub replayed_commits: u64,
+    /// Logical operations applied during replay.
+    pub replayed_ops: u64,
+    /// Operations after the last commit record — an uncommitted tail —
+    /// discarded.
+    pub discarded_ops: u64,
+    /// Physically damaged tail bytes truncated by the WAL scan.
+    pub torn_bytes: u64,
+}
+
+/// The durable half of a [`Database`]: paths, the WAL, and checkpoint
+/// bookkeeping.  `None` on in-memory databases.
+pub(crate) struct PersistentStorage {
+    dir: PathBuf,
+    wal: SharedWal,
+    /// The WAL's reserved-LSN frontier, mirrored for page stamping.
+    lsn_source: Arc<AtomicU64>,
+    opts: DurabilityOptions,
+    commits_since_checkpoint: u64,
+    last_recovery: Option<RecoveryReport>,
+    /// Set by `close` / `simulate_crash`: the drop hook must not
+    /// checkpoint.
+    skip_shutdown: bool,
+}
+
+// ---------------------------------------------------------------------
+// Header page
+// ---------------------------------------------------------------------
+
+fn write_header(pg: &mut [u8], meta: Rid) {
+    pg[..8].copy_from_slice(HEADER_MAGIC);
+    pg[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    pg[12..20].copy_from_slice(&meta.page.0.to_le_bytes());
+    pg[20..22].copy_from_slice(&meta.slot.to_le_bytes());
+    let crc = crc32(&pg[..22]);
+    pg[22..26].copy_from_slice(&crc.to_le_bytes());
+}
+
+fn read_header(pg: &[u8]) -> Result<Rid> {
+    if &pg[..8] != HEADER_MAGIC {
+        return Err(BdbmsError::corrupt(
+            "bad magic in database header page (not a bdbms database?)",
+        ));
+    }
+    let crc = u32::from_le_bytes(pg[22..26].try_into().unwrap());
+    if crc32(&pg[..22]) != crc {
+        return Err(BdbmsError::corrupt(
+            "database header page checksum mismatch",
+        ));
+    }
+    let version = u32::from_le_bytes(pg[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(BdbmsError::corrupt(format!(
+            "unsupported database format version {version}"
+        )));
+    }
+    Ok(Rid {
+        page: PageId(u64::from_le_bytes(pg[12..20].try_into().unwrap())),
+        slot: u16::from_le_bytes(pg[20..22].try_into().unwrap()),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Snapshot (checkpoint image metadata)
+// ---------------------------------------------------------------------
+
+/// Serialize the whole engine state, with each table's rows already moved
+/// into `moved` heaps (page lists + rid maps refer to the *new* store).
+fn encode_snapshot(
+    db: &Database,
+    moved: &[(String, HeapFile, BTreeMap<u64, Rid>)],
+    wal_frontier: u64,
+) -> Vec<u8> {
+    let mut body = Vec::new();
+    codec::put_u64(&mut body, db.clock.now());
+    // every WAL entry with an LSN below this is already folded into the
+    // image; recovery skips them.  This is what makes the checkpoint's
+    // rename → WAL-truncate sequence crash-safe: a crash between the
+    // two leaves the new image + the old (pre-checkpoint) log, whose
+    // entries are all below the frontier and are ignored, instead of
+    // being double-applied.
+    codec::put_u64(&mut body, wal_frontier);
+
+    let (users, grants) = db.auth.snapshot();
+    codec::put_u32(&mut body, users.len() as u32);
+    for (user, groups) in &users {
+        codec::put_str(&mut body, user);
+        codec::put_strs(&mut body, groups);
+    }
+    codec::put_u32(&mut body, grants.len() as u32);
+    for (grantee, table, privs) in &grants {
+        codec::put_str(&mut body, grantee);
+        codec::put_str(&mut body, table);
+        put_privileges(&mut body, privs);
+    }
+
+    let (configs, log, next_op_id) = db.approval.snapshot();
+    codec::put_u32(&mut body, configs.len() as u32);
+    for (table, columns, approver) in &configs {
+        codec::put_str(&mut body, table);
+        put_opt_strs(&mut body, columns.as_deref());
+        codec::put_str(&mut body, approver);
+    }
+    codec::put_u32(&mut body, log.len() as u32);
+    for op in log {
+        put_logged_op(&mut body, op);
+    }
+    codec::put_u64(&mut body, next_op_id);
+
+    let rules = db.deps.rules();
+    codec::put_u32(&mut body, rules.len() as u32);
+    for r in rules {
+        put_rule(&mut body, r);
+    }
+    codec::put_u64(&mut body, db.deps.next_rule_id());
+
+    codec::put_u32(&mut body, moved.len() as u32);
+    for ((name, heap, rows), t) in moved.iter().zip(db.catalog.tables()) {
+        debug_assert!(t.name.eq_ignore_ascii_case(name));
+        codec::put_str(&mut body, &t.name);
+        codec::put_str(&mut body, &t.owner);
+        put_schema(&mut body, &t.schema);
+        codec::put_u64(&mut body, t.peek_next_row());
+        let pages: Vec<u64> = heap.pages().iter().map(|p| p.0).collect();
+        codec::put_u64s(&mut body, &pages);
+        codec::put_u32(&mut body, rows.len() as u32);
+        for (row_no, rid) in rows {
+            codec::put_u64(&mut body, *row_no);
+            codec::put_u64(&mut body, rid.page.0);
+            codec::put_u16(&mut body, rid.slot);
+        }
+        let indexes = t.indexes();
+        codec::put_u32(&mut body, indexes.len() as u32);
+        for idx in indexes {
+            codec::put_str(&mut body, &idx.name);
+            codec::put_u32(&mut body, idx.column as u32);
+        }
+        // outdated bitmap, sparse
+        codec::put_u64(&mut body, t.outdated.rows() as u64);
+        codec::put_u64(&mut body, t.outdated.cols() as u64);
+        let set_cells: Vec<(usize, usize)> = t.outdated.iter_set().collect();
+        codec::put_u32(&mut body, set_cells.len() as u32);
+        for (r, c) in set_cells {
+            codec::put_u64(&mut body, r as u64);
+            codec::put_u64(&mut body, c as u64);
+        }
+        codec::put_u32(&mut body, t.deleted_log.len() as u32);
+        for row in &t.deleted_log {
+            put_deleted_row(&mut body, row);
+        }
+        codec::put_u32(&mut body, t.ann_sets.len() as u32);
+        for set in &t.ann_sets {
+            set.encode(&mut body);
+        }
+    }
+
+    let mut out = Vec::with_capacity(body.len() + 12);
+    codec::put_u32(&mut out, FORMAT_VERSION);
+    codec::put_u32(&mut out, crc32(&body));
+    codec::put_u64(&mut out, body.len() as u64);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decode a snapshot blob into a fresh `db` whose pool already serves the
+/// image's pages (table heaps attach to it).  Returns the WAL frontier:
+/// log entries below it are already part of the image.
+fn decode_snapshot_into(db: &mut Database, blob: &[u8], pool: &Arc<BufferPool>) -> Result<u64> {
+    let mut head = Cur::new(blob);
+    let version = head.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(BdbmsError::corrupt(format!(
+            "unsupported snapshot version {version}"
+        )));
+    }
+    let crc = head.u32()?;
+    let len = head.u64()? as usize;
+    let body = blob
+        .get(16..16 + len)
+        .ok_or_else(|| BdbmsError::corrupt("snapshot shorter than its declared length"))?;
+    if crc32(body) != crc {
+        return Err(BdbmsError::corrupt("snapshot checksum mismatch"));
+    }
+    let mut cur = Cur::new(body);
+
+    db.clock.advance_to(cur.u64()?);
+    let wal_frontier = cur.u64()?;
+
+    let n = cur.len()?;
+    let mut users = Vec::with_capacity(n);
+    for _ in 0..n {
+        users.push((cur.str()?, cur.strs()?));
+    }
+    let n = cur.len()?;
+    let mut grants = Vec::with_capacity(n);
+    for _ in 0..n {
+        grants.push((cur.str()?, cur.str()?, get_privileges(&mut cur)?));
+    }
+    db.auth = AuthManager::restore(users, grants);
+
+    let n = cur.len()?;
+    let mut configs = Vec::with_capacity(n);
+    for _ in 0..n {
+        configs.push((cur.str()?, get_opt_strs(&mut cur)?, cur.str()?));
+    }
+    let n = cur.len()?;
+    let mut log = Vec::with_capacity(n);
+    for _ in 0..n {
+        log.push(get_logged_op(&mut cur)?);
+    }
+    let next_op_id = cur.u64()?;
+    db.approval = ApprovalManager::restore(configs, log, next_op_id);
+
+    let n = cur.len()?;
+    let mut rules = Vec::with_capacity(n);
+    for _ in 0..n {
+        rules.push(get_rule(&mut cur)?);
+    }
+    let next_rule_id = cur.u64()?;
+    db.deps.restore(rules, next_rule_id);
+
+    let n_tables = cur.len()?;
+    for _ in 0..n_tables {
+        let name = cur.str()?;
+        let owner = cur.str()?;
+        let schema = get_schema(&mut cur)?;
+        let next_row = cur.u64()?;
+        let pages: Vec<PageId> = cur.u64s()?.into_iter().map(PageId).collect();
+        let n = cur.len()?;
+        let mut rows = BTreeMap::new();
+        for _ in 0..n {
+            let row_no = cur.u64()?;
+            let page = PageId(cur.u64()?);
+            let slot = cur.u16()?;
+            rows.insert(row_no, Rid { page, slot });
+        }
+        let n = cur.len()?;
+        let mut index_defs = Vec::with_capacity(n);
+        for _ in 0..n {
+            index_defs.push((cur.str()?, cur.u32()? as usize));
+        }
+        let bm_rows = cur.u64()? as usize;
+        let bm_cols = cur.u64()? as usize;
+        let mut outdated = bdbms_common::bitmap::CellBitmap::new(bm_rows, bm_cols);
+        let n = cur.len()?;
+        for _ in 0..n {
+            let r = cur.u64()? as usize;
+            let c = cur.u64()? as usize;
+            if r >= bm_rows || c >= bm_cols {
+                return Err(BdbmsError::corrupt("outdated bit outside its bitmap"));
+            }
+            outdated.set(r, c);
+        }
+        let n = cur.len()?;
+        let mut deleted_log = Vec::with_capacity(n);
+        for _ in 0..n {
+            deleted_log.push(get_deleted_row(&mut cur)?);
+        }
+        let n = cur.len()?;
+        let mut ann_sets = Vec::with_capacity(n);
+        for _ in 0..n {
+            ann_sets.push(AnnotationSet::decode(&mut cur)?);
+        }
+        let heap = HeapFile::attach(pool.clone(), pages);
+        let table = Table::from_parts(
+            name,
+            schema,
+            owner,
+            heap,
+            rows,
+            next_row,
+            ann_sets,
+            outdated,
+            deleted_log,
+            &index_defs,
+        )?;
+        db.catalog
+            .add_table(table)
+            .map_err(|e| BdbmsError::corrupt(e.message().to_string()))?;
+    }
+    if !cur.is_empty() {
+        return Err(BdbmsError::corrupt("trailing bytes after snapshot"));
+    }
+    Ok(wal_frontier)
+}
+
+// ---------------------------------------------------------------------
+// Database: open / create / checkpoint / recovery
+// ---------------------------------------------------------------------
+
+impl Database {
+    /// Create a new durable database directory at `path` with default
+    /// [`DurabilityOptions`].  Errors with `AlreadyExists` if a database
+    /// is already there.
+    pub fn create(path: impl AsRef<Path>) -> Result<Database> {
+        Self::create_with(path, DurabilityOptions::default())
+    }
+
+    /// [`create`](Self::create) with explicit options.
+    pub fn create_with(path: impl AsRef<Path>, opts: DurabilityOptions) -> Result<Database> {
+        let dir = path.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        if dir.join(DATA_FILE).exists() {
+            return Err(BdbmsError::already_exists(format!(
+                "database at `{}`",
+                dir.display()
+            )));
+        }
+        let (mut wal, _stale) =
+            Wal::open_sized(dir.join(WAL_DIR), opts.durability, opts.wal_segment_bytes)?;
+        // a WAL without a data file is debris from an interrupted create
+        wal.reset()?;
+        let wal = SharedWal::new(wal);
+        let lsn_source = Arc::new(AtomicU64::new(wal.with(|w| w.reserved_lsn())));
+        let mut db = Database::with_pool(Arc::new(BufferPool::new(
+            Box::new(MemStore::new()),
+            opts.pool_pages,
+        )));
+        db.storage = Some(PersistentStorage {
+            dir,
+            wal,
+            lsn_source,
+            opts,
+            commits_since_checkpoint: 0,
+            last_recovery: None,
+            skip_shutdown: false,
+        });
+        // the first checkpoint writes the empty image and swaps the pool
+        // onto the new FileStore
+        db.checkpoint_inner()?;
+        db.attach_redo();
+        Ok(db)
+    }
+
+    /// Open an existing durable database, replaying the WAL: committed
+    /// transactions become visible, the uncommitted tail is discarded,
+    /// and a fresh checkpoint is written before the database is handed
+    /// back (so the WAL is empty and the image current).
+    pub fn open(path: impl AsRef<Path>) -> Result<Database> {
+        Self::open_with(path, DurabilityOptions::default())
+    }
+
+    /// [`open`](Self::open) with explicit options.
+    pub fn open_with(path: impl AsRef<Path>, opts: DurabilityOptions) -> Result<Database> {
+        let dir = path.as_ref().to_path_buf();
+        let data = dir.join(DATA_FILE);
+        if !data.exists() {
+            return Err(BdbmsError::not_found(format!(
+                "no database at `{}`",
+                dir.display()
+            )));
+        }
+        let store = FileStore::open(&data)?;
+        let pool = Arc::new(BufferPool::new(Box::new(store), opts.pool_pages));
+        // no page of the image may be overwritten while we recover on it
+        pool.set_pin_dirty(true);
+        if pool.num_pages() == 0 {
+            return Err(BdbmsError::corrupt(format!(
+                "database file `{}` is empty",
+                data.display()
+            )));
+        }
+        let meta_rid = pool.with_page(PageId(0), read_header)??;
+        let meta_heap = HeapFile::attach(pool.clone(), Vec::new());
+        let blob = meta_heap
+            .get(meta_rid)
+            .map_err(|e| BdbmsError::corrupt(format!("unreadable snapshot record: {e}")))?;
+        let mut db = Database::with_pool(pool.clone());
+        let wal_frontier = decode_snapshot_into(&mut db, &blob, &pool)?;
+
+        let (wal, scan) =
+            Wal::open_sized(dir.join(WAL_DIR), opts.durability, opts.wal_segment_bytes)?;
+        let report = db.replay(scan, wal_frontier)?;
+        let wal = SharedWal::new(wal);
+        let lsn_source = Arc::new(AtomicU64::new(wal.with(|w| w.reserved_lsn())));
+        db.storage = Some(PersistentStorage {
+            dir,
+            wal,
+            lsn_source,
+            opts,
+            commits_since_checkpoint: 0,
+            last_recovery: Some(report),
+            skip_shutdown: false,
+        });
+        // fold the replayed state into a fresh image; truncates the WAL
+        // (dropping the uncommitted tail for good)
+        db.checkpoint_inner()?;
+        db.attach_redo();
+        Ok(db)
+    }
+
+    /// Replay scanned WAL entries: buffer records, apply on each commit.
+    /// Entries below `frontier` are already folded into the checkpoint
+    /// image (a crash hit the window between the image rename and the
+    /// WAL truncation) and are skipped, not double-applied.
+    fn replay(&mut self, scan: WalScan, frontier: u64) -> Result<RecoveryReport> {
+        let mut report = RecoveryReport {
+            torn_bytes: scan.torn_bytes,
+            ..Default::default()
+        };
+        let mut pending: Vec<WalRecord> = Vec::new();
+        for entry in scan.entries {
+            if entry.lsn < frontier {
+                continue;
+            }
+            let rec = WalRecord::decode(&entry.payload)?;
+            if let WalRecord::Commit { clock } = rec {
+                for r in pending.drain(..) {
+                    self.apply_wal_record(r).map_err(|e| {
+                        BdbmsError::corrupt(format!(
+                            "WAL replay diverged from the checkpoint image: {e}"
+                        ))
+                    })?;
+                    report.replayed_ops += 1;
+                }
+                self.clock.advance_to(clock);
+                report.replayed_commits += 1;
+            } else {
+                pending.push(rec);
+            }
+        }
+        report.discarded_ops = pending.len() as u64;
+        Ok(report)
+    }
+
+    /// Apply one committed redo record against the live state, through
+    /// the same engine methods that produced it.
+    fn apply_wal_record(&mut self, rec: WalRecord) -> Result<()> {
+        match rec {
+            WalRecord::RowInsert {
+                table,
+                row_no,
+                values,
+            } => {
+                self.catalog
+                    .table_mut(&table)?
+                    .insert_with_row_no(row_no, values)?;
+            }
+            WalRecord::RowUpdate {
+                table,
+                row_no,
+                values,
+            } => {
+                self.catalog.table_mut(&table)?.update(row_no, values)?;
+            }
+            WalRecord::RowDelete { table, row_no } => {
+                self.catalog.table_mut(&table)?.delete(row_no)?;
+            }
+            WalRecord::OutdatedMark { table, row_no, col } => {
+                self.catalog
+                    .table_mut(&table)?
+                    .mark_outdated(row_no, col as usize);
+            }
+            WalRecord::OutdatedClear { table, row_no, col } => {
+                self.catalog
+                    .table_mut(&table)?
+                    .clear_outdated(row_no, col as usize);
+            }
+            WalRecord::DeletedLogPush { table, row } => {
+                self.catalog.table_mut(&table)?.push_deleted(row);
+            }
+            WalRecord::TableCreate {
+                name,
+                owner,
+                schema,
+            } => {
+                let table = Table::create(name, schema, owner, self.pool.clone())?;
+                self.catalog.add_table(table)?;
+            }
+            WalRecord::TableDrop { name } => {
+                self.catalog.drop_table(&name)?;
+            }
+            WalRecord::IndexCreate {
+                table,
+                index,
+                column,
+            } => {
+                self.catalog
+                    .table_mut(&table)?
+                    .create_index(&index, &column)?;
+            }
+            WalRecord::IndexDrop { table, index } => {
+                self.catalog.table_mut(&table)?.drop_index(&index)?;
+            }
+            WalRecord::AnnSetCreate {
+                table,
+                set,
+                cell_scheme,
+                system_only,
+                schema_enforced,
+            } => {
+                let mut s = AnnotationSet::new(set, cell_scheme);
+                s.system_only = system_only;
+                s.schema_enforced = schema_enforced;
+                self.catalog.table_mut(&table)?.add_ann_set(s);
+            }
+            WalRecord::AnnSetDrop { table, set } => {
+                let t = self.catalog.table_mut(&table)?;
+                let pos = t
+                    .ann_sets
+                    .iter()
+                    .position(|s| s.name.eq_ignore_ascii_case(&set))
+                    .ok_or_else(|| {
+                        BdbmsError::not_found(format!("annotation table `{set}` on `{table}`"))
+                    })?;
+                t.remove_ann_set_at(pos);
+            }
+            WalRecord::AnnAdd {
+                table,
+                set,
+                raw,
+                creator,
+                created,
+                rows,
+                cols,
+            } => {
+                let cols: Vec<usize> = cols.into_iter().map(|c| c as usize).collect();
+                self.catalog
+                    .table_mut(&table)?
+                    .ann_add(&set, &raw, &creator, created, &rows, &cols)
+                    .ok_or_else(|| {
+                        BdbmsError::not_found(format!("annotation table `{set}` on `{table}`"))
+                    })?;
+            }
+            WalRecord::AnnArchive {
+                table,
+                set,
+                cells,
+                between,
+                archived,
+            } => {
+                let cells: Vec<(u64, usize)> =
+                    cells.into_iter().map(|(r, c)| (r, c as usize)).collect();
+                self.catalog
+                    .table_mut(&table)?
+                    .ann_set_archived(&set, &cells, between, archived)
+                    .ok_or_else(|| {
+                        BdbmsError::not_found(format!("annotation table `{set}` on `{table}`"))
+                    })?;
+            }
+            WalRecord::UserCreate { name, groups } => {
+                self.auth.create_user(&name, &groups)?;
+            }
+            WalRecord::Grant {
+                grantee,
+                table,
+                privileges,
+            } => {
+                self.auth.grant(&grantee, &table, &privileges);
+            }
+            WalRecord::Revoke {
+                grantee,
+                table,
+                privileges,
+            } => {
+                self.auth.revoke(&grantee, &table, &privileges);
+            }
+            WalRecord::ApprovalStart {
+                table,
+                columns,
+                approver,
+            } => {
+                self.approval.start(&table, columns, &approver);
+            }
+            WalRecord::ApprovalStop { table, columns } => {
+                self.approval.stop(&table, &columns);
+            }
+            WalRecord::ApprovalLogged { op } => {
+                self.approval.restore_log_entry(op);
+            }
+            WalRecord::ApprovalDecide { id, approve } => {
+                self.approval
+                    .decide(bdbms_common::ids::OperationId(id), approve)?;
+            }
+            WalRecord::RuleAdd { rule } => {
+                self.deps.replay_rule(rule);
+            }
+            WalRecord::RuleDrop { name } => {
+                self.deps.drop_rule(&name)?;
+            }
+            WalRecord::Commit { clock } => {
+                self.clock.advance_to(clock);
+            }
+        }
+        Ok(())
+    }
+
+    /// Enable redo collection and share the sink with every table.
+    fn attach_redo(&mut self) {
+        let sink = self.txn.redo_sink();
+        sink.borrow_mut().enabled = true;
+        for t in self.catalog.tables_mut() {
+            t.set_redo(sink.clone());
+        }
+    }
+
+    /// Is this database backed by files (vs. purely in-memory)?
+    pub fn is_persistent(&self) -> bool {
+        self.storage.is_some()
+    }
+
+    /// The database directory, if persistent.
+    pub fn path(&self) -> Option<&Path> {
+        self.storage.as_ref().map(|s| s.dir.as_path())
+    }
+
+    /// What the last `open` replayed/discarded (`None` for in-memory
+    /// databases and fresh `create`s).
+    pub fn last_recovery(&self) -> Option<&RecoveryReport> {
+        self.storage.as_ref().and_then(|s| s.last_recovery.as_ref())
+    }
+
+    /// Live WAL segment files (observability: checkpoints truncate them).
+    pub fn wal_segment_count(&self) -> Option<usize> {
+        self.storage
+            .as_ref()
+            .map(|s| s.wal.with(|w| w.segment_count()))
+            .transpose()
+            .ok()
+            .flatten()
+    }
+
+    /// Write a checkpoint: a complete fresh image of the database,
+    /// atomically renamed over the old one, after which the WAL is
+    /// truncated.  No-op for in-memory databases; `TxnState` error inside
+    /// an open transaction (the image must be transaction-consistent).
+    pub fn checkpoint(&mut self) -> Result<()> {
+        if self.storage.is_none() {
+            return Ok(());
+        }
+        if self.in_transaction() {
+            return Err(BdbmsError::txn_state(
+                "CHECKPOINT cannot run inside an open transaction",
+            ));
+        }
+        self.checkpoint_inner()
+    }
+
+    /// The checkpoint body (callers have verified preconditions).
+    pub(crate) fn checkpoint_inner(&mut self) -> Result<()> {
+        let (dir, pool_pages, wal, lsn_source) = {
+            let ps = self.storage.as_ref().expect("checkpoint of durable db");
+            (
+                ps.dir.clone(),
+                ps.opts.pool_pages,
+                ps.wal.clone(),
+                ps.lsn_source.clone(),
+            )
+        };
+        // make committed WAL records durable before the image rewrite:
+        // if the rename below never happens, recovery needs them
+        let wal_frontier = wal.with(|w| -> Result<u64> {
+            w.flush()?;
+            Ok(w.reserved_lsn())
+        })?;
+        let tmp = dir.join(DATA_TMP);
+        let _ = fs::remove_file(&tmp);
+        let new_pool = Arc::new(BufferPool::new(
+            Box::new(FileStore::create(&tmp)?),
+            pool_pages,
+        ));
+        let header = new_pool.allocate()?;
+        debug_assert_eq!(header, PageId(0));
+        let mut moved: Vec<(String, HeapFile, BTreeMap<u64, Rid>)> = Vec::new();
+        for t in self.catalog.tables() {
+            let (heap, rows) = t.write_rows_to(new_pool.clone())?;
+            moved.push((t.name.clone(), heap, rows));
+        }
+        let blob = encode_snapshot(self, &moved, wal_frontier);
+        let mut meta_heap = HeapFile::create(new_pool.clone())?;
+        let meta_rid = meta_heap.insert(&blob)?;
+        new_pool.with_page_mut(PageId(0), |pg| write_header(pg, meta_rid))?;
+        new_pool.flush_all()?;
+        new_pool.sync_store()?;
+        fs::rename(&tmp, dir.join(DATA_FILE))?;
+        if let Ok(d) = File::open(&dir) {
+            let _ = d.sync_all();
+        }
+        // adopt the new image as the live storage
+        for (name, heap, rows) in moved {
+            self.catalog.table_mut(&name)?.swap_storage(heap, rows);
+        }
+        new_pool.set_pin_dirty(true);
+        new_pool.set_flush_gate(Arc::new(wal.clone()) as Arc<dyn FlushGate>);
+        new_pool.set_lsn_source(lsn_source);
+        self.pool = new_pool;
+        // Truncating the log is pure space reclamation at this point:
+        // the image's WAL frontier makes recovery skip the old entries
+        // whether or not the files disappear, so a failure here must not
+        // fail the (already effective) checkpoint.
+        let _ = wal.with(|w| w.reset());
+        let ps = self.storage.as_mut().expect("still durable");
+        ps.commits_since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// Checkpoint if the auto-checkpoint interval has elapsed.
+    /// Best-effort: the triggering commit is already durable in the WAL,
+    /// so a checkpoint failure (say, no space for the image rewrite)
+    /// must not turn a successful commit into an error — the counter
+    /// stays past the threshold and the next commit retries.
+    pub(crate) fn maybe_checkpoint(&mut self) {
+        let due = match &self.storage {
+            Some(ps) => ps.commits_since_checkpoint >= ps.opts.checkpoint_every_commits,
+            None => false,
+        };
+        if due {
+            let _ = self.checkpoint_inner();
+        }
+    }
+
+    /// Append the open transaction's redo records + a commit record to
+    /// the WAL and flush per the durability policy.  Called *before* the
+    /// in-memory commit; an error here means the transaction must roll
+    /// back (the partial WAL tail has no commit record and is discarded
+    /// by the next recovery).
+    pub(crate) fn wal_commit(&mut self) -> Result<()> {
+        if self.storage.is_none() {
+            return Ok(());
+        }
+        let recs = self.txn.redo_take();
+        if recs.is_empty() {
+            return Ok(()); // read-only transaction: no WAL traffic
+        }
+        let clock = self.clock.now();
+        let ps = self.storage.as_mut().expect("checked above");
+        ps.wal.with(|w| -> Result<()> {
+            // on any failure the half-written commit is rewound out of
+            // the log: left in place, a *later* successful commit would
+            // make these frames replayable and resurrect a transaction
+            // the caller is about to roll back.  (If the rewind itself
+            // fails the WAL latches damaged and refuses further writes
+            // until reopen.)
+            let pos = w.position();
+            let append_all = |w: &mut bdbms_storage::Wal| -> Result<()> {
+                let mut buf = Vec::new();
+                for r in &recs {
+                    buf.clear();
+                    r.encode(&mut buf);
+                    w.append(&buf)?;
+                }
+                buf.clear();
+                WalRecord::Commit { clock }.encode(&mut buf);
+                w.append(&buf)?;
+                w.flush()
+            };
+            if let Err(e) = append_all(w) {
+                let _ = w.rewind(pos);
+                return Err(e);
+            }
+            ps.lsn_source.store(w.reserved_lsn(), Ordering::Release);
+            Ok(())
+        })?;
+        ps.commits_since_checkpoint += 1;
+        Ok(())
+    }
+
+    /// Checkpoint and shut down cleanly.  (Dropping a durable database
+    /// also checkpoints, best-effort; `close` surfaces the error.)
+    pub fn close(mut self) -> Result<()> {
+        if self.in_transaction() {
+            let _ = self.txn_rollback();
+        }
+        let r = self.checkpoint();
+        if let Some(ps) = self.storage.as_mut() {
+            ps.skip_shutdown = true;
+        }
+        r
+    }
+
+    /// Drop the database *without* the shutdown checkpoint — exactly what
+    /// a `kill -9` leaves behind: the last checkpoint image plus the WAL
+    /// as flushed by committed transactions.  The crash-recovery suite is
+    /// built on this.
+    pub fn simulate_crash(mut self) {
+        if let Some(ps) = self.storage.as_mut() {
+            ps.skip_shutdown = true;
+        }
+    }
+}
+
+impl Drop for Database {
+    fn drop(&mut self) {
+        let Some(ps) = &self.storage else { return };
+        if ps.skip_shutdown {
+            return;
+        }
+        if self.in_transaction() {
+            let _ = self.txn_rollback();
+        }
+        let _ = self.checkpoint_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wal_record_roundtrip_every_variant() {
+        let records = vec![
+            WalRecord::RowInsert {
+                table: "Gene".into(),
+                row_no: 3,
+                values: vec![Value::Text("JW0080".into()), Value::Int(11), Value::Null],
+            },
+            WalRecord::RowUpdate {
+                table: "Gene".into(),
+                row_no: 3,
+                values: vec![Value::Float(2.5)],
+            },
+            WalRecord::RowDelete {
+                table: "Gene".into(),
+                row_no: 9,
+            },
+            WalRecord::OutdatedMark {
+                table: "Gene".into(),
+                row_no: 1,
+                col: 2,
+            },
+            WalRecord::OutdatedClear {
+                table: "Gene".into(),
+                row_no: 1,
+                col: 2,
+            },
+            WalRecord::DeletedLogPush {
+                table: "Gene".into(),
+                row: DeletedRow {
+                    row_no: 4,
+                    values: vec![Value::Bool(true)],
+                    annotation: Some("why".into()),
+                    time: 8,
+                    user: "alice".into(),
+                },
+            },
+            WalRecord::TableCreate {
+                name: "Gene".into(),
+                owner: "admin".into(),
+                schema: Schema::of(&[("GID", DataType::Text), ("Len", DataType::Int)]),
+            },
+            WalRecord::TableDrop {
+                name: "Gene".into(),
+            },
+            WalRecord::IndexCreate {
+                table: "Gene".into(),
+                index: "len_idx".into(),
+                column: "Len".into(),
+            },
+            WalRecord::IndexDrop {
+                table: "Gene".into(),
+                index: "len_idx".into(),
+            },
+            WalRecord::AnnSetCreate {
+                table: "Gene".into(),
+                set: "Curation".into(),
+                cell_scheme: false,
+                system_only: true,
+                schema_enforced: true,
+            },
+            WalRecord::AnnSetDrop {
+                table: "Gene".into(),
+                set: "Curation".into(),
+            },
+            WalRecord::AnnAdd {
+                table: "Gene".into(),
+                set: "Curation".into(),
+                raw: "<Annotation>x</Annotation>".into(),
+                creator: "bob".into(),
+                created: 12,
+                rows: vec![0, 1, 5],
+                cols: vec![2],
+            },
+            WalRecord::AnnArchive {
+                table: "Gene".into(),
+                set: "Curation".into(),
+                cells: vec![(0, 2), (1, 2)],
+                between: Some((3, 9)),
+                archived: true,
+            },
+            WalRecord::UserCreate {
+                name: "alice".into(),
+                groups: vec!["lab1".into()],
+            },
+            WalRecord::Grant {
+                grantee: "alice".into(),
+                table: "Gene".into(),
+                privileges: vec![Privilege::Select, Privilege::Provenance],
+            },
+            WalRecord::Revoke {
+                grantee: "alice".into(),
+                table: "Gene".into(),
+                privileges: vec![Privilege::Update],
+            },
+            WalRecord::ApprovalStart {
+                table: "Gene".into(),
+                columns: Some(vec!["gsequence".into()]),
+                approver: "labadmin".into(),
+            },
+            WalRecord::ApprovalStop {
+                table: "Gene".into(),
+                columns: vec![],
+            },
+            WalRecord::ApprovalLogged {
+                op: LoggedOp {
+                    id: bdbms_common::ids::OperationId(5),
+                    table: "Gene".into(),
+                    user: "alice".into(),
+                    time: 44,
+                    description: "UPDATE Gene".into(),
+                    inverse: InverseOp::RestoreCells {
+                        row_no: 2,
+                        old: vec![(1, Value::Int(7))],
+                    },
+                    status: OpStatus::Pending,
+                },
+            },
+            WalRecord::ApprovalDecide {
+                id: 5,
+                approve: false,
+            },
+            WalRecord::RuleAdd {
+                rule: DependencyRule {
+                    id: bdbms_common::ids::RuleId(2),
+                    name: "r1".into(),
+                    src_table: "Gene".into(),
+                    src_cols: vec!["GSequence".into()],
+                    dst_table: "Protein".into(),
+                    dst_col: "PSequence".into(),
+                    procedure: "translate".into(),
+                    executable: true,
+                    invertible: false,
+                    link: Some(("GID".into(), "GID".into())),
+                },
+            },
+            WalRecord::RuleDrop { name: "r1".into() },
+            WalRecord::Commit { clock: 99 },
+        ];
+        for rec in records {
+            let mut buf = Vec::new();
+            rec.encode(&mut buf);
+            let back = WalRecord::decode(&buf).unwrap();
+            // LoggedOp/DeletedRow/DependencyRule don't implement
+            // PartialEq wholesale; compare re-encodings instead
+            let mut buf2 = Vec::new();
+            back.encode(&mut buf2);
+            assert_eq!(buf, buf2, "roundtrip drift for {rec:?}");
+        }
+    }
+
+    #[test]
+    fn wal_record_decode_rejects_garbage() {
+        assert!(WalRecord::decode(&[]).is_err());
+        assert!(WalRecord::decode(&[200]).is_err());
+        let mut buf = Vec::new();
+        WalRecord::Commit { clock: 7 }.encode(&mut buf);
+        buf.truncate(buf.len() - 2);
+        assert!(WalRecord::decode(&buf).is_err());
+    }
+}

@@ -44,8 +44,10 @@ pub mod approval;
 pub mod ast;
 pub mod auth;
 pub mod catalog;
+pub(crate) mod codec;
 pub mod database;
 pub mod dependency;
+pub mod durability;
 pub mod executor;
 pub mod expr;
 pub mod lexer;
@@ -59,6 +61,7 @@ pub mod txn;
 pub mod xml;
 
 pub use database::Database;
+pub use durability::{Durability, DurabilityOptions, RecoveryReport};
 pub use result::{AnnOut, AnnRef, AnnRow, QueryResult};
 pub use session::{Prepared, RowCursor, Session};
 pub use txn::TxnStatus;

@@ -121,7 +121,8 @@ pub fn ensure_provenance_set(table: &mut Table) {
         let mut set = AnnotationSet::new(PROVENANCE_TABLE, false);
         set.system_only = true;
         set.schema_enforced = true;
-        table.ann_sets.push(set);
+        // add_ann_set (not a raw push) so durable databases redo-log it
+        table.add_ann_set(set);
     }
 }
 

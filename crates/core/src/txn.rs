@@ -54,6 +54,7 @@ use crate::annotation::AnnotationSet;
 use crate::approval::{ApprovalManager, OpStatus};
 use crate::catalog::{Catalog, Table};
 use crate::dependency::{DependencyManager, DependencyRule};
+use crate::durability::{fresh_redo_sink, RedoSink, WalRecord};
 use crate::stats::TableStats;
 
 /// Observable state of the transaction machinery (see
@@ -250,6 +251,19 @@ impl UndoOp {
     }
 }
 
+/// A watermark into the transaction's two logs: the undo-op list and
+/// the redo-record buffer.  Savepoints and statement boundaries record
+/// one; partial rollback truncates both logs to it (the undo ops are
+/// applied, the redo records simply vanish — they describe work that no
+/// longer survives, so the WAL never sees them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TxnMark {
+    /// Position in the undo-op list.
+    pub(crate) ops: usize,
+    /// Position in the redo-record buffer.
+    pub(crate) redo: usize,
+}
+
 /// Mode of the transaction machinery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
@@ -268,9 +282,13 @@ enum Mode {
 pub(crate) struct TxnRuntime {
     mode: Mode,
     ops: Vec<UndoOp>,
-    /// Savepoint stack: `(lowercased name, op watermark)`.  Names may
+    /// The redo buffer shared with every table and the database (see
+    /// `crate::durability`): logical WAL records of the open
+    /// transaction, drained at commit, truncated by rollback.
+    redo: RedoSink,
+    /// Savepoint stack: `(lowercased name, watermark)`.  Names may
     /// shadow; lookups find the most recent.
-    savepoints: Vec<(String, usize)>,
+    savepoints: Vec<(String, TxnMark)>,
     /// Tables snapshotted since the last watermark (lowercased names).
     touched_tables: HashSet<String>,
     /// Annotation sets snapshotted since the last watermark.
@@ -295,6 +313,7 @@ impl TxnRuntime {
         TxnRuntime {
             mode: Mode::Idle,
             ops: Vec::new(),
+            redo: fresh_redo_sink(),
             savepoints: Vec::new(),
             touched_tables: HashSet::new(),
             touched_sets: HashSet::new(),
@@ -350,12 +369,43 @@ impl TxnRuntime {
         true
     }
 
-    /// A watermark covering the current point: the op position.  The
+    /// A watermark covering the current point in both logs.  The
     /// first-touch sets are reset so the next mutation re-snapshots at
     /// this point's state (the invariant every partial rollback needs).
-    pub(crate) fn watermark(&mut self) -> usize {
+    pub(crate) fn watermark(&mut self) -> TxnMark {
         self.reset_touches();
-        self.ops.len()
+        TxnMark {
+            ops: self.ops.len(),
+            redo: self.redo.borrow().len(),
+        }
+    }
+
+    // ---- redo buffer plumbing (see `crate::durability`) ----
+
+    /// The shared redo sink (tables and the database clone this).
+    pub(crate) fn redo_sink(&self) -> RedoSink {
+        self.redo.clone()
+    }
+
+    /// Append a redo record (no-op when redo is disabled or suspended).
+    pub(crate) fn redo_push(&self, build: impl FnOnce() -> WalRecord) {
+        self.redo.borrow_mut().push(build);
+    }
+
+    /// Drain the redo buffer (commit hands the records to the WAL).
+    pub(crate) fn redo_take(&mut self) -> Vec<WalRecord> {
+        self.redo.borrow_mut().take()
+    }
+
+    /// Stop collecting while rollback applies undo ops (their table
+    /// mutations must not re-log).
+    pub(crate) fn redo_suspend(&self) {
+        self.redo.borrow_mut().suspend();
+    }
+
+    /// Resume collecting after rollback.
+    pub(crate) fn redo_resume(&self) {
+        self.redo.borrow_mut().resume();
     }
 
     fn reset_touches(&mut self) {
@@ -377,11 +427,11 @@ impl TxnRuntime {
     /// savepoint — is older than the frame's retained snapshot, and
     /// during reverse replay the older snapshot wins), so keeping them
     /// would grow the log by a full stats + bitmap copy per statement.
-    pub(crate) fn statement_succeeded(&mut self, mark: usize) {
+    pub(crate) fn statement_succeeded(&mut self, mark: TxnMark) {
         if self.mode != Mode::Explicit {
             return;
         }
-        let tail = self.ops.split_off(mark.min(self.ops.len()));
+        let tail = self.ops.split_off(mark.ops.min(self.ops.len()));
         for op in tail {
             let redundant = match &op {
                 UndoOp::RestoreTableState { table, .. } => {
@@ -425,22 +475,28 @@ impl TxnRuntime {
         self.reset_frames();
     }
 
-    /// Commit: discard the log and return to idle.
+    /// Commit: discard the log and return to idle.  (For durable
+    /// databases the redo buffer was already drained into the WAL by
+    /// `Database::wal_commit`; clearing here is the in-memory no-op.)
     pub(crate) fn commit(&mut self) {
         self.mode = Mode::Idle;
         self.ops.clear();
+        self.redo.borrow_mut().clear();
         self.savepoints.clear();
         self.reset_touches();
         self.reset_frames();
     }
 
     /// Take every recorded op (rollback of the whole transaction) and
-    /// return to idle.  The caller applies them in reverse.
+    /// return to idle.  The caller applies them in reverse.  The redo
+    /// buffer is discarded wholesale: nothing of this transaction may
+    /// reach the WAL.
     pub(crate) fn take_all(&mut self) -> Vec<UndoOp> {
         self.mode = Mode::Idle;
         self.savepoints.clear();
         self.reset_touches();
         self.reset_frames();
+        self.redo.borrow_mut().clear();
         std::mem::take(&mut self.ops)
     }
 
@@ -451,11 +507,12 @@ impl TxnRuntime {
     /// are no longer retained, so later touches re-snapshot (redundant
     /// copies for objects whose frame snapshot pre-dates the mark are
     /// harmless — the older snapshot wins during reverse replay).
-    pub(crate) fn take_after(&mut self, mark: usize) -> Vec<UndoOp> {
-        self.savepoints.retain(|(_, m)| *m <= mark);
+    pub(crate) fn take_after(&mut self, mark: TxnMark) -> Vec<UndoOp> {
+        self.savepoints.retain(|(_, m)| m.ops <= mark.ops);
         self.reset_touches();
         self.reset_frames();
-        self.ops.split_off(mark.min(self.ops.len()))
+        self.redo.borrow_mut().truncate(mark.redo);
+        self.ops.split_off(mark.ops.min(self.ops.len()))
     }
 
     /// Create a savepoint at the current point.  Starts a new snapshot
@@ -467,8 +524,8 @@ impl TxnRuntime {
         self.savepoints.push((name.to_ascii_lowercase(), mark));
     }
 
-    /// The op watermark of the most recent savepoint with this name.
-    pub(crate) fn find_savepoint(&self, name: &str) -> Option<usize> {
+    /// The watermark of the most recent savepoint with this name.
+    pub(crate) fn find_savepoint(&self, name: &str) -> Option<TxnMark> {
         let key = name.to_ascii_lowercase();
         self.savepoints
             .iter()
@@ -569,14 +626,19 @@ mod tests {
             row_no: 1,
         });
         txn.add_savepoint("a"); // shadows
-        assert_eq!(txn.find_savepoint("A"), Some(2), "most recent wins");
+        let ops_of = |m: Option<TxnMark>| m.map(|m| m.ops);
+        assert_eq!(ops_of(txn.find_savepoint("A")), Some(2), "most recent wins");
         assert!(txn.release_savepoint("a"));
-        assert_eq!(txn.find_savepoint("a"), Some(1), "outer `a` survives");
+        assert_eq!(
+            ops_of(txn.find_savepoint("a")),
+            Some(1),
+            "outer `a` survives"
+        );
         // rollback past a savepoint drops it
-        let ops = txn.take_after(1);
+        let ops = txn.take_after(TxnMark { ops: 1, redo: 0 });
         assert_eq!(ops.len(), 1);
-        assert_eq!(txn.find_savepoint("a"), Some(1));
-        let ops = txn.take_after(0);
+        assert_eq!(ops_of(txn.find_savepoint("a")), Some(1));
+        let ops = txn.take_after(TxnMark { ops: 0, redo: 0 });
         assert_eq!(ops.len(), 1);
         assert_eq!(txn.find_savepoint("a"), None);
         assert!(!txn.release_savepoint("a"));

@@ -1,0 +1,387 @@
+//! Durable-database round trips: everything the engine manages —
+//! tables, rows, secondary indexes, annotation sets in both schemes,
+//! archived flags, outdated bitmaps, deletion logs, dependency rules,
+//! auth state, the approval log, and the logical clock — must survive
+//! `close()` + `open()` byte-identically (modulo planner statistics,
+//! which a reopen recomputes exactly, like `ANALYZE`).
+
+use std::path::PathBuf;
+
+use bdbms_common::{ErrorCode, Value};
+use bdbms_core::{Database, Durability, DurabilityOptions};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "bdbms-durability-{}-{name}.bdbms",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Everything observable about a table, for byte-identical comparisons
+/// (same shape as the transactions suite, minus stats — a reopen is an
+/// implicit ANALYZE).
+fn table_fingerprint(db: &Database, table: &str) -> String {
+    let t = db.catalog().table(table).unwrap();
+    let rows = t.scan().unwrap();
+    let indexes: Vec<(String, usize, usize)> = t
+        .indexes()
+        .iter()
+        .map(|i| (i.name.clone(), i.column, i.len()))
+        .collect();
+    #[allow(clippy::type_complexity)]
+    let anns: Vec<(String, usize, usize, Vec<(u64, bool, String, u64, String)>)> = t
+        .ann_sets
+        .iter()
+        .map(|s| {
+            (
+                s.name.clone(),
+                s.len(),
+                s.attachment_records(),
+                s.iter()
+                    .map(|a| {
+                        (
+                            a.id.raw(),
+                            a.archived,
+                            a.raw.clone(),
+                            a.created,
+                            a.creator.clone(),
+                        )
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let outdated: Vec<(usize, usize)> = t.outdated.iter_set().collect();
+    let deleted: Vec<(u64, Option<String>)> = t
+        .deleted_log
+        .iter()
+        .map(|d| (d.row_no, d.annotation.clone()))
+        .collect();
+    format!(
+        "rows={rows:?} indexes={indexes:?} anns={anns:?} outdated={outdated:?} deleted={deleted:?}"
+    )
+}
+
+#[test]
+fn create_populate_close_open_round_trip() {
+    let dir = tmp("roundtrip");
+    let before = {
+        let mut db = Database::create(&dir).unwrap();
+        assert!(db.is_persistent());
+        assert_eq!(db.path().unwrap(), dir.as_path());
+        db.execute("CREATE TABLE Gene (GID TEXT, GName TEXT, Len INT)")
+            .unwrap();
+        db.execute("CREATE INDEX len_idx ON Gene (Len)").unwrap();
+        db.execute(
+            "INSERT INTO Gene VALUES ('JW0080','mraW',11), ('JW0082','ftsI',42), \
+             ('JW0055','yabP',7)",
+        )
+        .unwrap();
+        db.execute("UPDATE Gene SET Len = 13 WHERE GID = 'JW0080'")
+            .unwrap();
+        db.execute("DELETE FROM Gene WHERE GID = 'JW0055'").unwrap();
+        // annotations in both schemes, one archived
+        db.execute("CREATE ANNOTATION TABLE Curation ON Gene")
+            .unwrap();
+        db.execute("CREATE ANNOTATION TABLE CellNotes ON Gene SCHEME CELL")
+            .unwrap();
+        db.execute(
+            "ADD ANNOTATION TO Gene.Curation VALUE '<Annotation>checked</Annotation>' \
+             ON (SELECT G.GName FROM Gene G)",
+        )
+        .unwrap();
+        db.execute(
+            "ADD ANNOTATION TO Gene.CellNotes VALUE 'cell note' \
+             ON (SELECT G.GID FROM Gene G WHERE Len = 42)",
+        )
+        .unwrap();
+        db.execute(
+            "ARCHIVE ANNOTATION FROM Gene.Curation ON (SELECT G.GName FROM Gene G WHERE Len = 13)",
+        )
+        .unwrap();
+        let fp = table_fingerprint(&db, "Gene");
+        db.close().unwrap();
+        fp
+    };
+    let db = Database::open(&dir).unwrap();
+    assert_eq!(table_fingerprint(&db, "Gene"), before);
+    // a clean close leaves nothing to replay
+    let rec = db.last_recovery().unwrap();
+    assert_eq!(rec.replayed_commits, 0);
+    assert_eq!(rec.discarded_ops, 0);
+    assert_eq!(rec.torn_bytes, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn indexes_are_rebuilt_and_used_after_reopen() {
+    let dir = tmp("indexes");
+    {
+        let mut db = Database::create(&dir).unwrap();
+        db.execute("CREATE TABLE Gene (GID TEXT, Len INT)").unwrap();
+        for i in 0..500 {
+            db.execute(&format!("INSERT INTO Gene VALUES ('g{i}', {i})"))
+                .unwrap();
+        }
+        db.execute("CREATE INDEX len_idx ON Gene (Len)").unwrap();
+        db.close().unwrap();
+    }
+    let db = Database::open(&dir).unwrap();
+    let (r, stats) = db
+        .query_traced(
+            "SELECT GID FROM Gene WHERE Len = 250",
+            &bdbms_core::executor::ExecOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0].values[0], Value::Text("g250".into()));
+    assert_eq!(stats.index_probes, 1, "rebuilt index must serve probes");
+    assert_eq!(stats.rows_fetched, 1, "no full scan after reopen");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn auth_approval_rules_clock_survive_reopen() {
+    let dir = tmp("managers");
+    let pending_before;
+    let clock_before;
+    {
+        let mut db = Database::create(&dir).unwrap();
+        db.execute("CREATE TABLE Gene (GID TEXT, GSequence TEXT)")
+            .unwrap();
+        db.execute("CREATE TABLE Protein (GID TEXT, PSequence TEXT)")
+            .unwrap();
+        db.execute("CREATE USER alice IN GROUP curators").unwrap();
+        db.execute("CREATE USER labadmin").unwrap();
+        db.execute("GRANT SELECT, INSERT ON Gene TO alice").unwrap();
+        db.execute("GRANT SELECT ON Gene TO curators").unwrap();
+        db.execute(
+            "CREATE DEPENDENCY RULE translate FROM Gene.GSequence TO Protein.PSequence \
+             VIA PROCEDURE 'translate' LINK Gene.GID = Protein.GID",
+        )
+        .unwrap();
+        db.execute("START CONTENT APPROVAL ON Gene APPROVED BY labadmin")
+            .unwrap();
+        db.execute_as("INSERT INTO Gene VALUES ('JW1', 'ATG')", "alice")
+            .unwrap();
+        pending_before = db.approval().pending(None).len();
+        assert_eq!(pending_before, 1);
+        clock_before = db.now();
+        db.close().unwrap();
+    }
+    let mut db = Database::open(&dir).unwrap();
+    // clock never rewinds
+    assert!(db.now() >= clock_before);
+    // grants still enforced: alice may read, not delete
+    db.execute_as("SELECT * FROM Gene", "alice").unwrap();
+    let err = db
+        .execute_as("DELETE FROM Gene WHERE GID = 'JW1'", "alice")
+        .unwrap_err();
+    assert_eq!(err.code(), ErrorCode::Unauthorized);
+    // duplicate user still rejected (user table survived)
+    assert_eq!(
+        db.execute("CREATE USER alice").unwrap_err().code(),
+        ErrorCode::AlreadyExists
+    );
+    // the pending approval op survived the reopen
+    let ops = db.approval().pending(None);
+    assert_eq!(ops.len(), pending_before);
+    let id = ops[0].id.raw();
+    // the dependency rule survived: updating the source cascades (this
+    // update is itself approval-logged — admin is not the approver —
+    // which is fine; we decide the original op below)
+    assert_eq!(db.dependencies().rules().len(), 1);
+    db.execute("INSERT INTO Protein VALUES ('JW1', 'M')")
+        .unwrap();
+    db.execute_as(
+        "UPDATE Gene SET GSequence = 'GTG' WHERE GID = 'JW1'",
+        "admin",
+    )
+    .unwrap();
+    let t = db.catalog().table("Protein").unwrap();
+    assert!(t.is_outdated(0, 1), "cascade across reopen marks outdated");
+    db.execute_as(&format!("DISAPPROVE OPERATION {id}"), "labadmin")
+        .unwrap();
+    assert_eq!(
+        db.catalog().table("Gene").unwrap().len(),
+        0,
+        "disapproval executed the stored inverse after reopen"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn committed_transactions_survive_without_checkpoint() {
+    let dir = tmp("wal-replay");
+    {
+        let mut db = Database::create(&dir).unwrap();
+        db.execute("CREATE TABLE T (K INT, V TEXT)").unwrap();
+        db.execute("BEGIN").unwrap();
+        db.execute("INSERT INTO T VALUES (1, 'one'), (2, 'two')")
+            .unwrap();
+        db.execute("COMMIT").unwrap();
+        // crash: no checkpoint — everything past `create` lives in the WAL
+        db.simulate_crash();
+    }
+    let mut db = Database::open(&dir).unwrap();
+    let rec = db.last_recovery().unwrap().clone();
+    assert!(rec.replayed_commits >= 2, "DDL txn + explicit txn replayed");
+    assert!(rec.replayed_ops >= 3);
+    let r = db.execute("SELECT K, V FROM T").unwrap();
+    assert_eq!(r.rows.len(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rolled_back_work_never_reaches_the_wal() {
+    let dir = tmp("rollback");
+    {
+        let mut db = Database::create(&dir).unwrap();
+        db.execute("CREATE TABLE T (K INT)").unwrap();
+        db.execute("INSERT INTO T VALUES (1)").unwrap();
+        // an explicitly rolled-back transaction
+        db.execute("BEGIN").unwrap();
+        db.execute("INSERT INTO T VALUES (2)").unwrap();
+        db.execute("CREATE TABLE Ghost (X INT)").unwrap();
+        db.execute("ROLLBACK").unwrap();
+        // a savepoint rollback inside a committed transaction
+        db.execute("BEGIN").unwrap();
+        db.execute("INSERT INTO T VALUES (3)").unwrap();
+        db.execute("SAVEPOINT s").unwrap();
+        db.execute("INSERT INTO T VALUES (4)").unwrap();
+        db.execute("ROLLBACK TO s").unwrap();
+        db.execute("COMMIT").unwrap();
+        // a failed statement in an implicit transaction (partial apply
+        // must not leak to disk either)
+        let _ = db.execute("INSERT INTO T VALUES (5), ('boom')");
+        db.simulate_crash();
+    }
+    let mut db = Database::open(&dir).unwrap();
+    let r = db.execute("SELECT K FROM T").unwrap();
+    let ks: Vec<&Value> = r.rows.iter().map(|row| &row.values[0]).collect();
+    assert_eq!(ks, vec![&Value::Int(1), &Value::Int(3)]);
+    assert!(
+        db.catalog().table("Ghost").is_err(),
+        "rolled-back DDL must not resurrect"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn no_sync_durability_works_and_checkpoints_truncate_the_wal() {
+    let dir = tmp("nosync");
+    {
+        let mut db = Database::create_with(&dir, DurabilityOptions::no_sync()).unwrap();
+        db.execute("CREATE TABLE T (K INT)").unwrap();
+        for i in 0..50 {
+            db.execute(&format!("INSERT INTO T VALUES ({i})")).unwrap();
+        }
+        assert_eq!(db.wal_segment_count(), Some(1));
+        db.checkpoint().unwrap();
+        // the image now carries everything; the WAL restarted empty
+        assert_eq!(db.wal_segment_count(), Some(1));
+        db.execute("INSERT INTO T VALUES (99)").unwrap();
+        db.simulate_crash();
+    }
+    let mut db = Database::open_with(&dir, DurabilityOptions::no_sync()).unwrap();
+    assert_eq!(
+        db.last_recovery().unwrap().replayed_commits,
+        1,
+        "only the post-checkpoint insert needed replay"
+    );
+    assert_eq!(db.execute("SELECT K FROM T").unwrap().rows.len(), 51);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn auto_checkpoint_after_commit_interval() {
+    let dir = tmp("autockpt");
+    let opts = DurabilityOptions {
+        durability: Durability::NoSync,
+        checkpoint_every_commits: 5,
+        ..Default::default()
+    };
+    let mut db = Database::create_with(&dir, opts.clone()).unwrap();
+    db.execute("CREATE TABLE T (K INT)").unwrap();
+    for i in 0..20 {
+        db.execute(&format!("INSERT INTO T VALUES ({i})")).unwrap();
+    }
+    // with a checkpoint every 5 commits the WAL can never hold more
+    // than 5 transactions; reopening replays at most that many
+    db.simulate_crash();
+    let mut db = Database::open_with(&dir, opts).unwrap();
+    assert!(db.last_recovery().unwrap().replayed_commits <= 5);
+    assert_eq!(db.execute("SELECT K FROM T").unwrap().rows.len(), 20);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn create_and_open_error_shapes() {
+    let dir = tmp("errors");
+    // open of nothing
+    let err = match Database::open(&dir) {
+        Ok(_) => panic!("open of a missing database must fail"),
+        Err(e) => e,
+    };
+    assert_eq!(err.code(), ErrorCode::NotFound);
+    // double create
+    let db = Database::create(&dir).unwrap();
+    db.close().unwrap();
+    let err = match Database::create(&dir) {
+        Ok(_) => panic!("create over an existing database must fail"),
+        Err(e) => e,
+    };
+    assert_eq!(err.code(), ErrorCode::AlreadyExists);
+    // checkpoint inside a transaction is rejected
+    let mut db = Database::open(&dir).unwrap();
+    db.execute("BEGIN").unwrap();
+    assert_eq!(db.checkpoint().unwrap_err().code(), ErrorCode::TxnState);
+    db.execute("ROLLBACK").unwrap();
+    db.close().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn in_memory_databases_are_unchanged() {
+    let mut db = Database::new_in_memory();
+    assert!(!db.is_persistent());
+    assert_eq!(db.path(), None);
+    assert_eq!(db.last_recovery(), None);
+    assert_eq!(db.wal_segment_count(), None);
+    db.checkpoint().unwrap(); // no-op, not an error
+    db.execute("CREATE TABLE T (K INT)").unwrap();
+    db.execute("INSERT INTO T VALUES (1)").unwrap();
+    assert_eq!(db.execute("SELECT * FROM T").unwrap().rows.len(), 1);
+}
+
+#[test]
+fn provenance_survives_reopen() {
+    use bdbms_core::provenance::{ProvOp, ProvenanceRecord};
+    let dir = tmp("provenance");
+    {
+        let mut db = Database::create(&dir).unwrap();
+        db.execute("CREATE TABLE Gene (GID TEXT, GSequence TEXT)")
+            .unwrap();
+        db.execute("INSERT INTO Gene VALUES ('JW1', 'ATG')")
+            .unwrap();
+        db.record_provenance(
+            "Gene",
+            &[0],
+            &[1],
+            &ProvenanceRecord {
+                source: "GenoBase".into(),
+                operation: ProvOp::Copy,
+                program: None,
+                time: db.now(),
+            },
+        )
+        .unwrap();
+        db.simulate_crash(); // provenance must come back from the WAL alone
+    }
+    let db = Database::open(&dir).unwrap();
+    let rec = db.source_of("Gene", 0, 1, u64::MAX).unwrap();
+    assert_eq!(rec.unwrap().source, "GenoBase");
+    let _ = std::fs::remove_dir_all(&dir);
+}

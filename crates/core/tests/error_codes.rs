@@ -108,6 +108,26 @@ fn storage_and_io_codes() {
 }
 
 #[test]
+fn damaged_database_file_is_corrupt() {
+    // a real end-to-end trigger: scribble over a durable database's page
+    // file and try to open it
+    let dir = std::env::temp_dir().join(format!("bdbms-corrupt-code-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut db = Database::create(&dir).unwrap();
+        db.execute("CREATE TABLE Gene (GID TEXT)").unwrap();
+        db.close().unwrap();
+    }
+    std::fs::write(dir.join("data.bdb"), vec![0xAB; 8192]).unwrap();
+    let err = match Database::open(&dir) {
+        Ok(_) => panic!("a scribbled-over page file must not open"),
+        Err(e) => e,
+    };
+    assert_eq!(err.code(), ErrorCode::Corrupt);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn runtime_expression_failure_is_eval() {
     let mut db = db_with_gene();
     let err = db
@@ -153,5 +173,5 @@ fn bad_transaction_state_is_txn_state() {
 fn every_code_is_covered_and_distinct() {
     // the assertions above cover each variant; this pins the full set so
     // adding a code without a test shows up here
-    assert_eq!(ErrorCode::ALL.len(), 13);
+    assert_eq!(ErrorCode::ALL.len(), 14);
 }

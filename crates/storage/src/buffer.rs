@@ -8,8 +8,28 @@
 //! Access is closure-based (`with_page` / `with_page_mut`) so callers never
 //! hold frame guards across other pool calls — a simple way to make the
 //! pool safe under any call pattern.
+//!
+//! ## WAL ordering (page LSNs)
+//!
+//! A pool backing a durable database is wired to a write-ahead log:
+//!
+//! * [`set_lsn_source`](BufferPool::set_lsn_source) — every mutation
+//!   stamps the frame with the WAL's reserved LSN, an upper bound on the
+//!   log record that will describe the change;
+//! * [`set_flush_gate`](BufferPool::set_flush_gate) — before *any* dirty
+//!   page reaches the backing store (eviction, `flush_all`,
+//!   `clear_cache`), the pool calls the gate with the page's LSN so the
+//!   WAL is flushed at least that far first.  A dirty page can never
+//!   overtake its log record;
+//! * [`set_pin_dirty`](BufferPool::set_pin_dirty) — no-steal mode:
+//!   eviction only considers *clean* victims and the pool grows past its
+//!   capacity rather than write a dirty page mid-transaction.  The
+//!   engine's checkpoint is then the only dirty-page writer, which keeps
+//!   the on-disk image exactly the last checkpoint until the next one.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -17,10 +37,13 @@ use bdbms_common::stats::IoSnapshot;
 use bdbms_common::{BdbmsError, Result};
 
 use crate::pager::{PageId, PageStore, PAGE_SIZE};
+use crate::wal::FlushGate;
 
 struct Frame {
     data: Box<[u8; PAGE_SIZE]>,
     dirty: bool,
+    /// LSN stamped at the last mutation (0 = never mutated under a log).
+    lsn: u64,
     /// Towards the MRU end of the intrusive LRU list.
     prev: Option<PageId>,
     /// Towards the LRU end of the intrusive LRU list.
@@ -40,6 +63,13 @@ struct Inner {
     tail: Option<PageId>,
     reads: u64,
     writes: u64,
+    /// WAL-before-data hook: called with a frame's LSN before its bytes
+    /// may reach the store.
+    gate: Option<Arc<dyn FlushGate>>,
+    /// Source of LSN stamps for mutated frames (the WAL's reserved LSN).
+    lsn_source: Option<Arc<AtomicU64>>,
+    /// No-steal mode: never write a dirty page on eviction.
+    pin_dirty: bool,
 }
 
 impl Inner {
@@ -103,6 +133,7 @@ impl Inner {
             Frame {
                 data,
                 dirty: false,
+                lsn: 0,
                 prev: None,
                 next: None,
             },
@@ -111,17 +142,63 @@ impl Inner {
         Ok(())
     }
 
+    /// Write one frame's bytes back to the store, honouring
+    /// WAL-before-data: the gate flushes the log up to the frame's LSN
+    /// *before* the page write.
+    fn write_back(&mut self, id: PageId, lsn: u64) -> Result<()> {
+        if lsn > 0 {
+            if let Some(gate) = self.gate.clone() {
+                gate.flush_to(lsn)?;
+            }
+        }
+        // copy out to appease the borrow checker: store and frames are
+        // both fields of the same Inner.
+        let data = self.frames.get(&id).expect("resident frame").data.clone();
+        self.store.write_page(id, &data[..])?;
+        self.writes += 1;
+        Ok(())
+    }
+
+    /// Evict one frame.  In `pin_dirty` mode only clean frames are
+    /// candidates; with every frame dirty the pool grows past its
+    /// capacity instead of violating no-steal.
     fn evict_one(&mut self) -> Result<()> {
-        let victim = self
+        let mut victim = self
             .tail
             .ok_or_else(|| BdbmsError::storage("evict from empty pool"))?;
-        self.detach(victim);
-        let frame = self.frames.remove(&victim).unwrap();
-        if frame.dirty {
-            self.store.write_page(victim, &frame.data[..])?;
-            self.writes += 1;
+        if self.pin_dirty {
+            // walk from the LRU end towards MRU looking for a clean frame
+            let mut cur = Some(victim);
+            loop {
+                match cur {
+                    Some(id) if self.frames[&id].dirty => {
+                        cur = self.frames[&id].prev;
+                    }
+                    Some(id) => {
+                        victim = id;
+                        break;
+                    }
+                    // every frame is dirty: grow rather than steal
+                    None => return Ok(()),
+                }
+            }
         }
+        self.detach(victim);
+        let frame = self.frames.get(&victim).unwrap();
+        if frame.dirty {
+            let lsn = frame.lsn;
+            self.write_back(victim, lsn)?;
+        }
+        self.frames.remove(&victim);
         Ok(())
+    }
+
+    /// The LSN stamp a mutation happening now should carry.
+    fn current_lsn(&self) -> u64 {
+        self.lsn_source
+            .as_ref()
+            .map(|s| s.load(Ordering::Acquire))
+            .unwrap_or(0)
     }
 }
 
@@ -143,8 +220,40 @@ impl BufferPool {
                 tail: None,
                 reads: 0,
                 writes: 0,
+                gate: None,
+                lsn_source: None,
+                pin_dirty: false,
             }),
         }
+    }
+
+    /// Install the WAL-before-data hook: every dirty-page write is
+    /// preceded by `gate.flush_to(page lsn)`.
+    pub fn set_flush_gate(&self, gate: Arc<dyn FlushGate>) {
+        self.inner.lock().gate = Some(gate);
+    }
+
+    /// Install the LSN stamp source (the WAL's reserved-LSN counter).
+    pub fn set_lsn_source(&self, source: Arc<AtomicU64>) {
+        self.inner.lock().lsn_source = Some(source);
+    }
+
+    /// Switch no-steal mode on/off: when on, eviction never writes a
+    /// dirty page (clean victims only; the pool grows when all frames
+    /// are dirty).
+    pub fn set_pin_dirty(&self, pin: bool) {
+        self.inner.lock().pin_dirty = pin;
+    }
+
+    /// The LSN stamped on a resident page (0 if clean-loaded or not
+    /// resident) — observability for the WAL-ordering tests.
+    pub fn page_lsn(&self, id: PageId) -> u64 {
+        self.inner
+            .lock()
+            .frames
+            .get(&id)
+            .map(|f| f.lsn)
+            .unwrap_or(0)
     }
 
     /// Allocate a fresh page (resident and clean).
@@ -154,11 +263,13 @@ impl BufferPool {
         if g.frames.len() >= g.capacity {
             g.evict_one()?;
         }
+        let lsn = g.current_lsn();
         g.frames.insert(
             id,
             Frame {
                 data: Box::new([0u8; PAGE_SIZE]),
                 dirty: true,
+                lsn,
                 prev: None,
                 next: None,
             },
@@ -181,30 +292,35 @@ impl BufferPool {
         let mut g = self.inner.lock();
         g.fault_in(id)?;
         g.touch(id);
+        let lsn = g.current_lsn();
         let frame = g.frames.get_mut(&id).unwrap();
         frame.dirty = true;
+        frame.lsn = frame.lsn.max(lsn);
         Ok(f(&mut frame.data[..]))
     }
 
-    /// Write every dirty page back to the store.
+    /// Write every dirty page back to the store, flushing the WAL past
+    /// each page's LSN first (WAL-before-data holds here exactly as it
+    /// does for eviction).
     pub fn flush_all(&self) -> Result<()> {
         let mut g = self.inner.lock();
-        let dirty: Vec<PageId> = g
+        let mut dirty: Vec<(PageId, u64)> = g
             .frames
             .iter()
             .filter(|(_, f)| f.dirty)
-            .map(|(id, _)| *id)
+            .map(|(id, f)| (*id, f.lsn))
             .collect();
-        for id in dirty {
-            let frame = g.frames.get(&id).unwrap();
-            // copy out to appease the borrow checker: store and frames are
-            // both fields of the same Inner.
-            let data = frame.data.clone();
-            g.store.write_page(id, &data[..])?;
-            g.writes += 1;
+        dirty.sort_unstable_by_key(|&(id, _)| id);
+        for (id, lsn) in dirty {
+            g.write_back(id, lsn)?;
             g.frames.get_mut(&id).unwrap().dirty = false;
         }
         Ok(())
+    }
+
+    /// Fsync the backing store (durable checkpoint barrier).
+    pub fn sync_store(&self) -> Result<()> {
+        self.inner.lock().store.sync()
     }
 
     /// Total pages ever allocated in the backing store.
@@ -340,6 +456,178 @@ mod tests {
             0,
             "the {cap} most recently used pages must be resident"
         );
+    }
+
+    /// Shared event trace: the order of WAL flushes and page writes.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Event {
+        WalFlushedTo(u64),
+        PageWritten(PageId),
+    }
+
+    /// A gate that records when it runs and what the WAL has flushed.
+    struct RecordingGate {
+        events: Arc<Mutex<Vec<Event>>>,
+        flushed: AtomicU64,
+    }
+
+    impl FlushGate for RecordingGate {
+        fn flush_to(&self, lsn: u64) -> Result<()> {
+            let prev = self.flushed.load(Ordering::SeqCst);
+            if prev < lsn {
+                self.flushed.store(lsn, Ordering::SeqCst);
+                self.events.lock().push(Event::WalFlushedTo(lsn));
+            }
+            Ok(())
+        }
+    }
+
+    /// A store that records every page write into the shared trace.
+    struct RecordingStore {
+        inner: MemStore,
+        events: Arc<Mutex<Vec<Event>>>,
+    }
+
+    impl PageStore for RecordingStore {
+        fn allocate(&mut self) -> Result<PageId> {
+            self.inner.allocate()
+        }
+        fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
+            self.inner.read_page(id, buf)
+        }
+        fn write_page(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
+            self.events.lock().push(Event::PageWritten(id));
+            self.inner.write_page(id, buf)
+        }
+        fn num_pages(&self) -> u64 {
+            self.inner.num_pages()
+        }
+    }
+
+    /// A pool wired to a recording gate + store, with `lsn` as the
+    /// mutation stamp source.
+    fn gated_pool(cap: usize) -> (BufferPool, Arc<Mutex<Vec<Event>>>, Arc<AtomicU64>) {
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let p = BufferPool::new(
+            Box::new(RecordingStore {
+                inner: MemStore::new(),
+                events: events.clone(),
+            }),
+            cap,
+        );
+        let lsn = Arc::new(AtomicU64::new(0));
+        p.set_lsn_source(lsn.clone());
+        p.set_flush_gate(Arc::new(RecordingGate {
+            events: events.clone(),
+            flushed: AtomicU64::new(0),
+        }));
+        (p, events, lsn)
+    }
+
+    /// For every page write in the trace, a WAL flush covering that
+    /// page's stamp must have happened earlier.
+    fn assert_wal_before_data(events: &[Event], stamps: &HashMap<PageId, u64>) {
+        let mut flushed = 0u64;
+        for e in events {
+            match e {
+                Event::WalFlushedTo(lsn) => flushed = flushed.max(*lsn),
+                Event::PageWritten(id) => {
+                    let stamp = stamps.get(id).copied().unwrap_or(0);
+                    assert!(
+                        flushed >= stamp,
+                        "page {id} (lsn {stamp}) reached the store with only \
+                         {flushed} flushed: WAL-before-data violated\n{events:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Regression: `flush_all` must flush the WAL up to each page's LSN
+    /// before writing that page.
+    #[test]
+    fn flush_all_orders_wal_before_data() {
+        let (p, events, lsn) = gated_pool(8);
+        let mut stamps = HashMap::new();
+        for i in 1..=4u64 {
+            lsn.store(i, Ordering::SeqCst);
+            let id = p.allocate().unwrap();
+            p.with_page_mut(id, |pg| pg[0] = i as u8).unwrap();
+            stamps.insert(id, i);
+        }
+        p.flush_all().unwrap();
+        let trace = events.lock().clone();
+        assert_eq!(
+            trace
+                .iter()
+                .filter(|e| matches!(e, Event::PageWritten(_)))
+                .count(),
+            4
+        );
+        assert_wal_before_data(&trace, &stamps);
+    }
+
+    /// Regression: evicting a dirty page must flush its WAL record
+    /// first.  (This is the bug class the page-LSN gate exists for: a
+    /// steal-mode eviction racing ahead of the log.)
+    #[test]
+    fn dirty_eviction_orders_wal_before_data() {
+        let (p, events, lsn) = gated_pool(2);
+        let mut stamps = HashMap::new();
+        lsn.store(7, Ordering::SeqCst);
+        let a = p.allocate().unwrap();
+        p.with_page_mut(a, |pg| pg[0] = 1).unwrap();
+        stamps.insert(a, 7);
+        lsn.store(9, Ordering::SeqCst);
+        let b = p.allocate().unwrap();
+        p.with_page_mut(b, |pg| pg[0] = 2).unwrap();
+        stamps.insert(b, 9);
+        // allocating two more pages forces both dirty pages out
+        let _c = p.allocate().unwrap();
+        let _d = p.allocate().unwrap();
+        let trace = events.lock().clone();
+        assert!(
+            trace.contains(&Event::PageWritten(a)),
+            "a must have been evicted: {trace:?}"
+        );
+        assert_wal_before_data(&trace, &stamps);
+    }
+
+    /// In pin-dirty (no-steal) mode, eviction never writes a dirty page:
+    /// clean frames are evicted first and the pool grows past capacity
+    /// when everything is dirty.
+    #[test]
+    fn pin_dirty_never_writes_on_eviction() {
+        let (p, events, lsn) = gated_pool(2);
+        p.set_pin_dirty(true);
+        lsn.store(3, Ordering::SeqCst);
+        let ids: Vec<_> = (0..4).map(|_| p.allocate().unwrap()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            p.with_page_mut(*id, |pg| pg[0] = i as u8).unwrap();
+        }
+        assert!(
+            events
+                .lock()
+                .iter()
+                .all(|e| !matches!(e, Event::PageWritten(_))),
+            "no dirty page may reach the store before a checkpoint flush"
+        );
+        // all four dirty pages are still readable (pool grew)
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(p.with_page(*id, |pg| pg[0]).unwrap(), i as u8);
+        }
+        // an explicit flush (the checkpoint) writes them, WAL first
+        p.flush_all().unwrap();
+        let stamps: HashMap<PageId, u64> = ids.iter().map(|&id| (id, 3)).collect();
+        assert_wal_before_data(&events.lock(), &stamps);
+        // once clean, frames evict without further writes
+        events.lock().clear();
+        let _ = p.allocate().unwrap();
+        let _ = p.allocate().unwrap();
+        assert!(events
+            .lock()
+            .iter()
+            .all(|e| !matches!(e, Event::PageWritten(_))));
     }
 
     #[test]

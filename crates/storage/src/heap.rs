@@ -91,6 +91,26 @@ impl HeapFile {
         })
     }
 
+    /// Reattach a heap file persisted earlier: `pages` is the page list a
+    /// previous incarnation reported via [`pages`](Self::pages), in
+    /// order.  Records are readable immediately; inserts continue on the
+    /// tail page.
+    pub fn attach(pool: Arc<BufferPool>, pages: Vec<PageId>) -> HeapFile {
+        HeapFile {
+            pool,
+            pages,
+            // conservative: pages with reusable holes are rediscovered as
+            // deletions happen
+            reuse_candidates: Vec::new(),
+        }
+    }
+
+    /// The pages owned by this file, in allocation order (persisted by
+    /// checkpoints and handed back to [`attach`](Self::attach)).
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+
     /// The buffer pool this file lives on.
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool

@@ -12,12 +12,19 @@
 //! I/O accounting matters here: the paper's evaluation claims are phrased
 //! in I/Os, so the buffer pool counts every page fetched from and flushed
 //! to the backing store, and benchmarks read those counters.
+//!
+//! Durability lives in [`wal`]: a segmented, CRC-framed write-ahead log
+//! with `Full`/`NoSync` fsync policies, plus the [`wal::FlushGate`] hook
+//! through which the buffer pool enforces WAL-before-data (no dirty page
+//! reaches the store ahead of its log record).  See `docs/STORAGE.md`.
 
 pub mod buffer;
 pub mod heap;
 pub mod pager;
 pub mod slotted;
+pub mod wal;
 
 pub use buffer::BufferPool;
 pub use heap::{HeapFile, Rid};
 pub use pager::{FileStore, MemStore, PageId, PageStore, PAGE_SIZE};
+pub use wal::{crc32, Durability, FlushGate, SharedWal, Wal, WalPos};

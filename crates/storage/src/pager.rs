@@ -36,6 +36,12 @@ pub trait PageStore: Send {
 
     /// Number of pages allocated so far.
     fn num_pages(&self) -> u64;
+
+    /// Force written pages to stable storage (no-op for stores without a
+    /// durable backing).
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// In-memory page store.
@@ -97,14 +103,26 @@ impl FileStore {
             .open(path)?;
         let len = file.metadata()?.len();
         if len % PAGE_SIZE as u64 != 0 {
-            return Err(BdbmsError::storage(format!(
-                "file length {len} is not a multiple of page size"
+            return Err(BdbmsError::corrupt(format!(
+                "page file length {len} is not a multiple of the page size \
+                 ({PAGE_SIZE}); the file is truncated or damaged"
             )));
         }
         Ok(FileStore {
             file,
             num_pages: len / PAGE_SIZE as u64,
         })
+    }
+
+    /// Create an empty store at `path`, truncating any existing file.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileStore { file, num_pages: 0 })
     }
 }
 
@@ -137,6 +155,11 @@ impl PageStore for FileStore {
 
     fn num_pages(&self) -> u64 {
         self.num_pages
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file.sync_all()?;
+        Ok(())
     }
 }
 

@@ -1,0 +1,722 @@
+//! Write-ahead log: an append-only, segmented redo log.
+//!
+//! The WAL is the durability half of the engine's crash story (the other
+//! half is the atomically-renamed checkpoint image written by
+//! `bdbms-core`).  This module is deliberately *byte-oriented*: it frames,
+//! checksums, segments, fsyncs, and replays opaque payloads, while the
+//! record vocabulary (logical redo operations) lives upstairs in
+//! `bdbms_core::durability`.
+//!
+//! ## On-disk format
+//!
+//! A WAL is a directory of segment files `wal-NNNNNNNN.log`.  Each segment
+//! starts with a 16-byte header:
+//!
+//! ```text
+//! [0..8)   magic  b"BDBMSWAL"
+//! [8..16)  lsn of the first record in this segment (u64 LE)
+//! ```
+//!
+//! followed by frames:
+//!
+//! ```text
+//! [0..4)   payload length (u32 LE)
+//! [4..8)   CRC-32 over (lsn bytes || payload)
+//! [8..16)  lsn (u64 LE), strictly increasing across segments
+//! [16..)   payload
+//! ```
+//!
+//! LSNs are allocated densely starting at 1.  A frame that fails its
+//! length or CRC check in the **final** segment is a *torn tail* — the
+//! expected signature of a crash mid-append — and is truncated away
+//! (with everything after it).  The same failure in a non-final segment
+//! means bytes rotted *behind* durable data and surfaces as
+//! [`ErrorCode::Corrupt`](bdbms_common::ErrorCode::Corrupt) instead: a
+//! later segment may hold committed records that silently truncating
+//! would throw away.
+//!
+//! ## Fsync policy
+//!
+//! [`Durability::Full`] fsyncs the active segment on every
+//! [`Wal::flush`] (the commit path) — a committed transaction survives
+//! power loss.  [`Durability::NoSync`] only writes the OS buffer: commits
+//! survive a process crash but a machine crash may lose the most recent
+//! ones (PostgreSQL's `synchronous_commit = off` trade).
+//!
+//! ## WAL-before-data
+//!
+//! [`SharedWal`] implements [`FlushGate`], the hook the buffer pool calls
+//! before writing any page whose [`page LSN`](crate::BufferPool) exceeds
+//! the flushed LSN — no data page can reach the store ahead of its log
+//! record.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use bdbms_common::{BdbmsError, Result};
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes` — the checksum used by WAL
+/// frames and the database header page.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Small table-free implementation; the WAL is not the bottleneck and
+    // the container has no external crc crate.
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// When does a committed transaction actually reach the platter?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Fsync the WAL on every commit: commits survive power loss.
+    #[default]
+    Full,
+    /// Write the OS buffer only: commits survive a process crash, not
+    /// necessarily a machine crash.
+    NoSync,
+}
+
+/// The ordering hook between a WAL and a buffer pool: before writing a
+/// dirty page stamped with `lsn`, the pool calls
+/// [`flush_to`](FlushGate::flush_to) so the page's log record is
+/// durable first.
+pub trait FlushGate: Send + Sync {
+    /// Make every appended record with an LSN ≤ `lsn` durable (to the
+    /// extent the durability policy promises).  Records not yet appended
+    /// cannot be waited for — the gate flushes what exists.
+    fn flush_to(&self, lsn: u64) -> Result<()>;
+}
+
+const SEG_MAGIC: &[u8; 8] = b"BDBMSWAL";
+const SEG_HEADER: u64 = 16;
+const FRAME_HEADER: usize = 16;
+/// Rotate to a fresh segment once the active one exceeds this.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 4 << 20;
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("wal-{index:08}.log"))
+}
+
+/// One recovered record: its LSN and payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalEntry {
+    /// Log sequence number (dense, starting at 1).
+    pub lsn: u64,
+    /// Opaque payload as appended.
+    pub payload: Vec<u8>,
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug, Default)]
+pub struct WalScan {
+    /// Every valid record, in LSN order.
+    pub entries: Vec<WalEntry>,
+    /// Bytes discarded from a torn tail (0 on a clean log).
+    pub torn_bytes: u64,
+}
+
+/// The append-only segmented log.
+pub struct Wal {
+    dir: PathBuf,
+    durability: Durability,
+    segment_bytes: u64,
+    /// Index of the active segment file.
+    active_index: u64,
+    /// Buffered writer over the active segment.
+    writer: BufWriter<File>,
+    /// Bytes written to the active segment (including its header).
+    active_len: u64,
+    /// Next LSN to allocate.
+    next_lsn: u64,
+    /// Highest LSN guaranteed written to the OS (and fsynced under
+    /// `Full`).
+    flushed_lsn: u64,
+    /// Latched when a failed append could not be rewound: the log's
+    /// tail is in an unknown state and further appends could make a
+    /// dead transaction's frames replayable.  Everything write-shaped
+    /// errors until the database is reopened (which re-scans and
+    /// truncates the tail).
+    damaged: bool,
+}
+
+/// An opaque append position, taken with [`Wal::position`] before a
+/// commit's appends and handed back to [`Wal::rewind`] if any of them
+/// (or the flush) fails — the half-written commit must not linger,
+/// because a *later* successful commit would otherwise make its frames
+/// replayable.
+#[derive(Debug, Clone, Copy)]
+pub struct WalPos {
+    index: u64,
+    len: u64,
+    next_lsn: u64,
+}
+
+impl Wal {
+    /// Open (or create) the log directory, scan every segment, truncate a
+    /// torn tail, and position the writer after the last valid frame.
+    ///
+    /// The caller decides which recovered entries are *committed*; the
+    /// WAL itself only vouches for their integrity.  After replaying,
+    /// the caller truncates the log with [`reset`](Wal::reset) (the
+    /// post-recovery checkpoint), which also drops any uncommitted
+    /// entries for good.
+    pub fn open(dir: impl Into<PathBuf>, durability: Durability) -> Result<(Wal, WalScan)> {
+        Self::open_sized(dir, durability, DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// [`open`](Wal::open) with an explicit segment-rotation threshold.
+    pub fn open_sized(
+        dir: impl Into<PathBuf>,
+        durability: Durability,
+        segment_bytes: u64,
+    ) -> Result<(Wal, WalScan)> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut indexes = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(idx) = name
+                .strip_prefix("wal-")
+                .and_then(|s| s.strip_suffix(".log"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                indexes.push(idx);
+            }
+        }
+        indexes.sort_unstable();
+
+        let mut scan = WalScan::default();
+        let mut next_lsn = 1u64;
+        for (pos, &idx) in indexes.iter().enumerate() {
+            let last = pos + 1 == indexes.len();
+            let path = segment_path(&dir, idx);
+            let bytes = fs::read(&path)?;
+            match scan_segment(&bytes, &mut scan.entries) {
+                Ok(()) => {}
+                Err(valid_up_to) if last => {
+                    // torn tail: truncate the file at the last valid frame
+                    scan.torn_bytes = bytes.len() as u64 - valid_up_to;
+                    let f = OpenOptions::new().write(true).open(&path)?;
+                    f.set_len(valid_up_to)?;
+                    f.sync_all()?;
+                }
+                Err(_) => {
+                    return Err(BdbmsError::corrupt(format!(
+                        "WAL segment {} is damaged before the final segment; \
+                         refusing to silently drop possibly-committed records",
+                        path.display()
+                    )));
+                }
+            }
+        }
+        if let Some(e) = scan.entries.last() {
+            next_lsn = e.lsn + 1;
+        }
+
+        // append into the last segment (or a fresh first one)
+        let active_index = indexes.last().copied().unwrap_or(0);
+        let path = segment_path(&dir, active_index);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let len = file.metadata()?.len();
+        let active_len = if len == 0 {
+            file.write_all(SEG_MAGIC)?;
+            file.write_all(&next_lsn.to_le_bytes())?;
+            SEG_HEADER
+        } else {
+            file.seek(SeekFrom::End(0))?;
+            len
+        };
+        let wal = Wal {
+            dir,
+            durability,
+            segment_bytes,
+            active_index,
+            writer: BufWriter::new(file),
+            active_len,
+            next_lsn,
+            flushed_lsn: next_lsn - 1,
+            damaged: false,
+        };
+        Ok((wal, scan))
+    }
+
+    /// The current append position (see [`WalPos`]).
+    pub fn position(&self) -> WalPos {
+        WalPos {
+            index: self.active_index,
+            len: self.active_len,
+            next_lsn: self.next_lsn,
+        }
+    }
+
+    /// Discard everything appended after `pos` — the error path of a
+    /// commit whose append/flush failed partway.  Buffered bytes are
+    /// dropped without flushing, segments created since `pos` are
+    /// deleted, and the active segment is truncated back.  If the
+    /// rewind itself fails the log is latched [`damaged`]: the tail
+    /// state is unknown and appending more would risk replaying the
+    /// dead transaction, so every later write errors until reopen.
+    pub fn rewind(&mut self, pos: WalPos) -> Result<()> {
+        let r = (|| -> Result<()> {
+            let path = segment_path(&self.dir, pos.index);
+            let file = OpenOptions::new().read(true).write(true).open(&path)?;
+            // swap first and drop the old writer via into_parts: a plain
+            // drop would flush its buffered (dead) bytes into the file
+            let old = std::mem::replace(&mut self.writer, BufWriter::new(file));
+            let _ = old.into_parts();
+            for idx in (pos.index + 1)..=self.active_index {
+                let _ = fs::remove_file(segment_path(&self.dir, idx));
+            }
+            self.writer.get_ref().set_len(pos.len)?;
+            self.writer.get_mut().seek(SeekFrom::Start(pos.len))?;
+            self.active_index = pos.index;
+            self.active_len = pos.len;
+            self.next_lsn = pos.next_lsn;
+            self.flushed_lsn = self.flushed_lsn.min(pos.next_lsn - 1);
+            Ok(())
+        })();
+        if r.is_err() {
+            self.damaged = true;
+        }
+        r
+    }
+
+    fn check_damage(&self) -> Result<()> {
+        if self.damaged {
+            Err(BdbmsError::storage(
+                "WAL tail is in an unknown state after a failed commit \
+                 rewind; reopen the database to recover",
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The durability policy in force.
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// The next LSN [`append`](Wal::append) would allocate.  Data pages
+    /// dirtied *now* are stamped with this: whatever record describes the
+    /// change will get an LSN ≥ it.
+    pub fn reserved_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Highest LSN made durable so far.
+    pub fn flushed_lsn(&self) -> u64 {
+        self.flushed_lsn
+    }
+
+    /// Number of live segment files (observability for checkpoint tests).
+    pub fn segment_count(&self) -> Result<usize> {
+        let mut n = 0;
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("wal-") && name.ends_with(".log") {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Append one record; returns its LSN.  The bytes are buffered — call
+    /// [`flush`](Wal::flush) (commit) to make them durable.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64> {
+        self.check_damage()?;
+        if self.active_len >= self.segment_bytes + SEG_HEADER {
+            self.rotate()?;
+        }
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        let mut crc_input = Vec::with_capacity(8 + payload.len());
+        crc_input.extend_from_slice(&lsn.to_le_bytes());
+        crc_input.extend_from_slice(payload);
+        self.writer
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&crc32(&crc_input).to_le_bytes())?;
+        self.writer.write_all(&crc_input)?;
+        self.active_len += (FRAME_HEADER + payload.len()) as u64;
+        Ok(lsn)
+    }
+
+    fn rotate(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        if self.durability == Durability::Full {
+            self.writer.get_ref().sync_all()?;
+        }
+        self.active_index += 1;
+        let path = segment_path(&self.dir, self.active_index);
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(SEG_MAGIC)?;
+        file.write_all(&self.next_lsn.to_le_bytes())?;
+        self.writer = BufWriter::new(file);
+        self.active_len = SEG_HEADER;
+        Ok(())
+    }
+
+    /// Push buffered frames to the OS and, under [`Durability::Full`],
+    /// fsync them.  This is the commit barrier.
+    pub fn flush(&mut self) -> Result<()> {
+        self.check_damage()?;
+        self.writer.flush()?;
+        if self.durability == Durability::Full {
+            self.writer.get_ref().sync_all()?;
+        }
+        self.flushed_lsn = self.next_lsn - 1;
+        Ok(())
+    }
+
+    /// Drop every segment and start over with an empty log (checkpoint:
+    /// the image now carries everything).  LSNs keep counting — they
+    /// never restart, so page LSN stamps stay comparable.
+    pub fn reset(&mut self) -> Result<()> {
+        // flush so the writer's drop order can't resurrect bytes
+        self.writer.flush()?;
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy().into_owned();
+            if name.starts_with("wal-") && name.ends_with(".log") {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        self.active_index += 1;
+        let path = segment_path(&self.dir, self.active_index);
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(SEG_MAGIC)?;
+        file.write_all(&self.next_lsn.to_le_bytes())?;
+        if self.durability == Durability::Full {
+            file.sync_all()?;
+            File::open(&self.dir)?.sync_all()?;
+        }
+        self.writer = BufWriter::new(file);
+        self.active_len = SEG_HEADER;
+        self.flushed_lsn = self.next_lsn - 1;
+        // a completed reset is a known-good state from scratch
+        self.damaged = false;
+        Ok(())
+    }
+}
+
+/// Scan one segment's bytes, pushing valid entries.  `Err(offset)` means
+/// the segment is valid up to `offset` and damaged after it.
+fn scan_segment(bytes: &[u8], out: &mut Vec<WalEntry>) -> std::result::Result<(), u64> {
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    if bytes.len() < SEG_HEADER as usize || &bytes[..8] != SEG_MAGIC {
+        return Err(0);
+    }
+    let mut pos = SEG_HEADER as usize;
+    while pos < bytes.len() {
+        let valid_up_to = pos as u64;
+        if pos + FRAME_HEADER > bytes.len() {
+            return Err(valid_up_to);
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let end = pos + FRAME_HEADER + len;
+        if end > bytes.len() {
+            return Err(valid_up_to);
+        }
+        let crc_input = &bytes[pos + 8..end];
+        if crc32(crc_input) != crc {
+            return Err(valid_up_to);
+        }
+        let lsn = u64::from_le_bytes(crc_input[..8].try_into().unwrap());
+        out.push(WalEntry {
+            lsn,
+            payload: crc_input[8..].to_vec(),
+        });
+        pos = end;
+    }
+    Ok(())
+}
+
+/// A clonable, thread-safe handle over a [`Wal`], shared between the
+/// engine (appends, commits) and the buffer pool (the
+/// [`FlushGate`] ordering hook).
+#[derive(Clone)]
+pub struct SharedWal(Arc<Mutex<Wal>>);
+
+impl SharedWal {
+    /// Wrap a WAL for sharing.
+    pub fn new(wal: Wal) -> SharedWal {
+        SharedWal(Arc::new(Mutex::new(wal)))
+    }
+
+    /// Run `f` with exclusive access to the log.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Wal) -> R) -> R {
+        f(&mut self.0.lock())
+    }
+}
+
+impl FlushGate for SharedWal {
+    fn flush_to(&self, lsn: u64) -> Result<()> {
+        let mut wal = self.0.lock();
+        // Records up to `lsn` that exist are flushed; a stamp ahead of
+        // the log (dirtied by an op whose record is still buffered in the
+        // transaction) flushes everything appended so far — the missing
+        // records belong to an uncommitted transaction, which recovery
+        // discards regardless of what the data page holds.
+        if wal.flushed_lsn() < lsn.min(wal.reserved_lsn() - 1) {
+            wal.flush()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bdbms-wal-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn append_flush_reopen_roundtrip() {
+        let dir = tmp("roundtrip");
+        {
+            let (mut wal, scan) = Wal::open(&dir, Durability::Full).unwrap();
+            assert!(scan.entries.is_empty());
+            assert_eq!(wal.append(b"alpha").unwrap(), 1);
+            assert_eq!(wal.append(b"beta").unwrap(), 2);
+            wal.flush().unwrap();
+            assert_eq!(wal.flushed_lsn(), 2);
+        }
+        let (wal, scan) = Wal::open(&dir, Durability::Full).unwrap();
+        assert_eq!(scan.torn_bytes, 0);
+        assert_eq!(
+            scan.entries,
+            vec![
+                WalEntry {
+                    lsn: 1,
+                    payload: b"alpha".to_vec()
+                },
+                WalEntry {
+                    lsn: 2,
+                    payload: b"beta".to_vec()
+                },
+            ]
+        );
+        assert_eq!(wal.reserved_lsn(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = tmp("torn");
+        {
+            let (mut wal, _) = Wal::open(&dir, Durability::Full).unwrap();
+            wal.append(b"kept").unwrap();
+            wal.append(b"torn-away").unwrap();
+            wal.flush().unwrap();
+        }
+        // chop bytes off the tail: the second frame becomes unreadable
+        let seg = segment_path(&dir, 0);
+        let len = fs::metadata(&seg).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+        let (_, scan) = Wal::open(&dir, Durability::Full).unwrap();
+        assert_eq!(scan.entries.len(), 1);
+        assert_eq!(scan.entries[0].payload, b"kept");
+        assert!(scan.torn_bytes > 0);
+        // the truncation is persistent: a second open sees a clean log
+        let (_, scan) = Wal::open(&dir, Durability::Full).unwrap();
+        assert_eq!(scan.entries.len(), 1);
+        assert_eq!(scan.torn_bytes, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bitflip_in_final_segment_truncates_from_there() {
+        let dir = tmp("bitflip");
+        {
+            let (mut wal, _) = Wal::open(&dir, Durability::Full).unwrap();
+            wal.append(b"first").unwrap();
+            wal.append(b"second").unwrap();
+            wal.flush().unwrap();
+        }
+        // flip the first payload byte of the second frame
+        let seg = segment_path(&dir, 0);
+        let mut bytes = fs::read(&seg).unwrap();
+        let off = SEG_HEADER as usize + (FRAME_HEADER + 5) + FRAME_HEADER;
+        bytes[off] ^= 0xFF;
+        fs::write(&seg, &bytes).unwrap();
+        let (_, scan) = Wal::open(&dir, Durability::Full).unwrap();
+        assert_eq!(scan.entries.len(), 1, "bad frame and its tail dropped");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damage_in_non_final_segment_is_corrupt() {
+        let dir = tmp("midrot");
+        {
+            // tiny segments force rotation
+            let (mut wal, _) = Wal::open_sized(&dir, Durability::Full, 32).unwrap();
+            for i in 0..8 {
+                wal.append(format!("record-{i}").as_bytes()).unwrap();
+            }
+            wal.flush().unwrap();
+            assert!(wal.segment_count().unwrap() > 1);
+        }
+        let seg = segment_path(&dir, 0);
+        let mut bytes = fs::read(&seg).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&seg, &bytes).unwrap();
+        let err = match Wal::open(&dir, Durability::Full) {
+            Ok(_) => panic!("damaged middle segment must not open"),
+            Err(e) => e,
+        };
+        assert_eq!(err.code(), bdbms_common::ErrorCode::Corrupt);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_preserves_lsn_order_across_segments() {
+        let dir = tmp("rotate");
+        {
+            let (mut wal, _) = Wal::open_sized(&dir, Durability::NoSync, 64).unwrap();
+            for i in 0..50u64 {
+                assert_eq!(wal.append(&i.to_le_bytes()).unwrap(), i + 1);
+            }
+            wal.flush().unwrap();
+            assert!(wal.segment_count().unwrap() >= 3, "rotated");
+        }
+        let (_, scan) = Wal::open(&dir, Durability::NoSync).unwrap();
+        let lsns: Vec<u64> = scan.entries.iter().map(|e| e.lsn).collect();
+        assert_eq!(lsns, (1..=50).collect::<Vec<u64>>());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reset_truncates_segments_and_keeps_lsns_monotonic() {
+        let dir = tmp("reset");
+        let (mut wal, _) = Wal::open_sized(&dir, Durability::Full, 64).unwrap();
+        for _ in 0..20 {
+            wal.append(b"padding-padding").unwrap();
+        }
+        wal.flush().unwrap();
+        assert!(wal.segment_count().unwrap() > 1);
+        let before = wal.reserved_lsn();
+        wal.reset().unwrap();
+        assert_eq!(wal.segment_count().unwrap(), 1, "old segments deleted");
+        assert_eq!(wal.reserved_lsn(), before, "LSNs never restart");
+        let lsn = wal.append(b"after-reset").unwrap();
+        assert_eq!(lsn, before);
+        wal.flush().unwrap();
+        drop(wal);
+        let (_, scan) = Wal::open(&dir, Durability::Full).unwrap();
+        assert_eq!(scan.entries.len(), 1);
+        assert_eq!(scan.entries[0].lsn, before);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Regression: a commit whose append/flush fails must be rewindable
+    /// — without the rewind, a later successful commit would make the
+    /// dead frames replayable.
+    #[test]
+    fn rewind_discards_a_half_written_commit() {
+        let dir = tmp("rewind");
+        {
+            let (mut wal, _) = Wal::open(&dir, Durability::Full).unwrap();
+            wal.append(b"committed-1").unwrap();
+            wal.flush().unwrap();
+            let pos = wal.position();
+            // a commit that "fails": two frames appended, then rewound
+            wal.append(b"dead-op").unwrap();
+            wal.append(b"dead-op-2").unwrap();
+            wal.rewind(pos).unwrap();
+            // the next commit reuses the LSNs and must be the only
+            // thing that follows the first one
+            assert_eq!(wal.append(b"committed-2").unwrap(), 2);
+            wal.flush().unwrap();
+        }
+        let (_, scan) = Wal::open(&dir, Durability::Full).unwrap();
+        let payloads: Vec<&[u8]> = scan.entries.iter().map(|e| e.payload.as_slice()).collect();
+        assert_eq!(payloads, vec![b"committed-1".as_slice(), b"committed-2"]);
+        assert_eq!(
+            scan.entries.iter().map(|e| e.lsn).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Rewind across a segment rotation deletes the segments the dead
+    /// commit created.
+    #[test]
+    fn rewind_across_rotation_deletes_new_segments() {
+        let dir = tmp("rewind-rot");
+        let (mut wal, _) = Wal::open_sized(&dir, Durability::NoSync, 48).unwrap();
+        wal.append(b"keep").unwrap();
+        wal.flush().unwrap();
+        let pos = wal.position();
+        for _ in 0..10 {
+            wal.append(b"dead-padding-padding").unwrap();
+        }
+        assert!(wal.segment_count().unwrap() > 1, "rotated");
+        wal.rewind(pos).unwrap();
+        assert_eq!(wal.segment_count().unwrap(), 1);
+        wal.append(b"after").unwrap();
+        wal.flush().unwrap();
+        drop(wal);
+        let (_, scan) = Wal::open(&dir, Durability::NoSync).unwrap();
+        let payloads: Vec<&[u8]> = scan.entries.iter().map(|e| e.payload.as_slice()).collect();
+        assert_eq!(payloads, vec![b"keep".as_slice(), b"after"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_wal_gate_flushes_up_to_stamp() {
+        let dir = tmp("gate");
+        let (wal, _) = Wal::open(&dir, Durability::NoSync).unwrap();
+        let shared = SharedWal::new(wal);
+        shared.with(|w| w.append(b"one").map(|_| ())).unwrap();
+        assert_eq!(shared.with(|w| w.flushed_lsn()), 0);
+        shared.flush_to(1).unwrap();
+        assert_eq!(shared.with(|w| w.flushed_lsn()), 1);
+        // a stamp ahead of the log flushes what exists and succeeds
+        shared.flush_to(99).unwrap();
+        assert_eq!(shared.with(|w| w.flushed_lsn()), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

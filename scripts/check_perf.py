@@ -26,6 +26,18 @@ Exit code 0 = pass, 1 = regression / workload-key drift / malformed input.
 import json
 import sys
 
+# Per-workload tolerance overrides.  The default tolerance assumes the
+# measured ratio is hardware-stable (algorithmic speedups are); a few
+# workloads measure something hardware-dependent instead and only gate
+# against outright collapse.
+WORKLOAD_TOLERANCE = {
+    # Full/NoSync = the price of the commit fsync barrier, which swings
+    # with the filesystem and disk (tmpfs CI runners vs laptops vs SSDs).
+    # A collapse to ~baseline/50 would still mean commits stopped
+    # syncing; anything milder is machine variance, not a regression.
+    "commit durability (Full vs NoSync)": 50.0,
+}
+
 
 def speedups(path):
     """Map query label -> speedup ratio from an e13 report."""
@@ -71,7 +83,7 @@ def main(argv):
             print(f"{label:<24} {base_s:>10.1f} {'missing':>10} {'':>10}  FAIL")
             failed = True
             continue
-        floor = base_s / tolerance
+        floor = base_s / WORKLOAD_TOLERANCE.get(label, tolerance)
         fresh_s = fresh[label]
         verdict = "ok" if fresh_s >= floor else "FAIL"
         failed = failed or verdict == "FAIL"

@@ -1,14 +1,18 @@
-//! An interactive A-SQL shell over an in-memory bdbms instance.
+//! An interactive A-SQL shell over a bdbms instance — in-memory by
+//! default, durable when given a database path.
 //!
 //! ```text
-//! cargo run --release --bin bdbms-repl
+//! cargo run --release --bin bdbms-repl              # in-memory scratch
+//! cargo run --release --bin bdbms-repl mydb.bdbms   # open or create
 //! bdbms> CREATE TABLE Gene (GID TEXT, GSequence TEXT)
-//! bdbms> .user alice        -- switch the session user
-//! bdbms> .demo              -- load the paper's Figure 2 scenario
-//! bdbms> .help
+//! mydb> .open other.bdbms   -- switch databases (checkpoints the old one)
+//! mydb> .user alice          -- switch the session user
+//! mydb> .demo                -- load the paper's Figure 2 scenario
+//! mydb> .help
 //! ```
 //!
 //! Statements may span lines; a trailing `;` or an empty line submits.
+//! `.quit` checkpoints a durable database cleanly before exiting.
 
 use std::io::{BufRead, Write};
 
@@ -17,10 +21,14 @@ use bdbms::core::Database;
 const HELP: &str = "\
 dot-commands:
   .help            this help
+  .open PATH       switch to the database at PATH (created if missing);
+                   the current database is checkpointed first
+  .db              show the current database path and WAL state
+  .checkpoint      write a checkpoint now (truncates the WAL)
   .user NAME       switch session user (default: admin)
   .demo            load the paper's Figure 2 gene tables + annotations
   .tables          list tables, row counts, annotation tables
-  .quit            exit
+  .quit            checkpoint (durable databases) and exit
 everything else is executed as (A-)SQL, e.g.:
   SELECT GID FROM DB2_Gene ANNOTATION(GAnnotation) AWHERE CONTAINS 'GenoBase'
   ADD ANNOTATION TO T.notes VALUE 'checked' ON (SELECT G.c FROM T G)
@@ -72,20 +80,78 @@ fn list_tables(db: &Database) {
     }
 }
 
+/// Open (or create) the database at `path`, reporting what recovery did.
+fn open_database(path: &str) -> Option<Database> {
+    let existed = std::path::Path::new(path).join("data.bdb").exists();
+    let result = if existed {
+        Database::open(path)
+    } else {
+        Database::create(path)
+    };
+    match result {
+        Ok(db) => {
+            if let Some(rec) = db.last_recovery() {
+                if rec.replayed_commits > 0 || rec.discarded_ops > 0 || rec.torn_bytes > 0 {
+                    println!(
+                        "recovered `{path}`: {} committed transaction(s) replayed, \
+                         {} uncommitted op(s) discarded, {} torn byte(s) truncated",
+                        rec.replayed_commits, rec.discarded_ops, rec.torn_bytes
+                    );
+                } else {
+                    println!("opened `{path}` (clean)");
+                }
+            } else {
+                println!("created `{path}`");
+            }
+            Some(db)
+        }
+        Err(e) => {
+            eprintln!("cannot open `{path}`: {e}");
+            None
+        }
+    }
+}
+
+/// The prompt stem: the database's file stem, or `bdbms` when in-memory.
+fn db_name(db: &Database) -> String {
+    db.path()
+        .and_then(|p| p.file_stem())
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "bdbms".to_string())
+}
+
+/// Checkpoint a durable database, reporting errors (exit/switch path).
+fn close_current(db: Database) {
+    let durable = db.is_persistent();
+    match db.close() {
+        Ok(()) if durable => println!("checkpointed"),
+        Ok(()) => {}
+        Err(e) => eprintln!("checkpoint on close failed: {e}"),
+    }
+}
+
 fn main() {
-    let mut db = Database::new_in_memory();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut db = match args.first() {
+        Some(path) => match open_database(path) {
+            Some(db) => db,
+            None => std::process::exit(1),
+        },
+        None => Database::new_in_memory(),
+    };
     let mut user = "admin".to_string();
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     println!("bdbms — CIDR 2007 reproduction. `.help` for commands, `.quit` to exit.");
     loop {
+        let name = db_name(&db);
         if !buffer.is_empty() {
             print!("   ..> ");
         } else if db.in_transaction() {
             // `*` marks an open BEGIN: statements queue in the undo log
-            print!("bdbms*> ");
+            print!("{name}*> ");
         } else {
-            print!("bdbms> ");
+            print!("{name}> ");
         }
         std::io::stdout().flush().ok();
         let mut line = String::new();
@@ -105,6 +171,45 @@ fn main() {
                 ".help" => println!("{HELP}"),
                 ".demo" => load_demo(&mut db),
                 ".tables" => list_tables(&db),
+                ".open" => match parts.next() {
+                    Some(p) if !p.trim().is_empty() => {
+                        let p = p.trim();
+                        // two live handles on one directory checkpoint
+                        // over each other (docs/STORAGE.md Limitations):
+                        // refuse a same-path reopen, and close the old
+                        // database *before* opening the new one
+                        let same = db.path().is_some_and(|cur| {
+                            std::fs::canonicalize(cur)
+                                .ok()
+                                .is_some_and(|a| std::fs::canonicalize(p).is_ok_and(|b| a == b))
+                        });
+                        if same {
+                            println!("`{p}` is already the current database");
+                        } else {
+                            close_current(std::mem::replace(&mut db, Database::new_in_memory()));
+                            match open_database(p) {
+                                Some(new_db) => db = new_db,
+                                None => println!(
+                                    "fell back to an in-memory database (`.open` to retry)"
+                                ),
+                            }
+                        }
+                    }
+                    _ => println!("usage: .open PATH"),
+                },
+                ".db" => match db.path() {
+                    Some(p) => println!(
+                        "database: {} ({} WAL segment(s))",
+                        p.display(),
+                        db.wal_segment_count().unwrap_or(0)
+                    ),
+                    None => println!("database: in-memory (state dies with the process)"),
+                },
+                ".checkpoint" => match db.checkpoint() {
+                    Ok(()) if db.is_persistent() => println!("checkpointed"),
+                    Ok(()) => println!("in-memory database: nothing to checkpoint"),
+                    Err(e) => println!("error: {e}"),
+                },
                 ".user" => match parts.next() {
                     Some(u) if !u.trim().is_empty() => {
                         user = u.trim().to_string();
@@ -135,5 +240,7 @@ fn main() {
             Err(e) => println!("error: {e}"),
         }
     }
+    // `.quit` / EOF: a durable database checkpoints cleanly
+    close_current(db);
     println!("bye");
 }
