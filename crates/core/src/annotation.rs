@@ -363,6 +363,19 @@ impl AnnotationSet {
         self.annotations.is_empty()
     }
 
+    /// Every annotation id referenced by an attachment record, sorted and
+    /// deduplicated.  `CHECK` verifies these never dangle (each must
+    /// resolve through [`get`](Self::get)).
+    pub fn referenced_ids(&self) -> Vec<AnnotationId> {
+        let mut ids: Vec<AnnotationId> = match &self.scheme {
+            Scheme::Cell(s) => s.cells.values().flatten().copied().collect(),
+            Scheme::Rect(s) => s.rects.iter().map(|r| r.4).collect(),
+        };
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
     /// Attachment records stored by the scheme (the compactness metric of
     /// E05).
     pub fn attachment_records(&self) -> usize {

@@ -398,6 +398,15 @@ pub enum Statement {
         /// Optional table filter.
         table: Option<String>,
     },
+    /// `CHECK [TABLE t]` — online integrity verification: page
+    /// checksums of the durable image, B+-tree key order, index↔heap
+    /// agreement, annotation-attachment and outdated-bitmap
+    /// cross-checks, and WAL chain continuity.  Read-only; reports
+    /// problems instead of failing on the first one.
+    Check {
+        /// Optional table filter (storage-wide legs still run).
+        table: Option<String>,
+    },
     /// `ANALYZE t` — rebuild the table's planner statistics (row count,
     /// per-column min/max, NULL counts, distinct-value estimates) from a
     /// full scan.  Stats are otherwise maintained incrementally by DML.

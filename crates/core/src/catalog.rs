@@ -82,6 +82,13 @@ impl TableIndex {
         rows
     }
 
+    /// Every `(key, row_no)` entry in tree order.  `CHECK` walks this to
+    /// verify key ordering and index↔heap agreement; it is not a query
+    /// path (use [`probe`](Self::probe) there).
+    pub fn entries(&self) -> Vec<(Value, u64)> {
+        self.tree.iter_all()
+    }
+
     /// Number of indexed (non-NULL) entries.
     pub fn len(&self) -> usize {
         self.tree.len()

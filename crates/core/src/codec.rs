@@ -225,4 +225,34 @@ mod tests {
         let mut c = Cur::new(&[1, 0, 0]);
         assert_eq!(c.u64().unwrap_err().code(), ErrorCode::Corrupt);
     }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any reader sequence over any bytes: errors, never panics,
+        /// and the length sanity cap keeps `with_capacity` bounded.
+        #[test]
+        fn cursor_never_panics(
+            bytes in prop::collection::vec(any::<u8>(), 0..128),
+            ops in prop::collection::vec(0u8..10, 1..16),
+        ) {
+            let mut c = Cur::new(&bytes);
+            for op in ops {
+                let _ = match op {
+                    0 => c.u8().map(|_| ()),
+                    1 => c.bool().map(|_| ()),
+                    2 => c.u16().map(|_| ()),
+                    3 => c.u32().map(|_| ()),
+                    4 => c.u64().map(|_| ()),
+                    5 => c.str().map(|_| ()),
+                    6 => c.opt_str().map(|_| ()),
+                    7 => c.values().map(|_| ()),
+                    8 => c.u64s().map(|_| ()),
+                    _ => c.strs().map(|_| ()),
+                };
+            }
+        }
+    }
 }

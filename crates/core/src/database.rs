@@ -643,6 +643,7 @@ impl Database {
                 Ok(qr)
             }
             Statement::ShowOutdated { table } => self.show_outdated(table.as_deref()),
+            Statement::Check { table } => self.run_check(table.as_deref()),
             Statement::CreateDependencyRule {
                 name,
                 from,

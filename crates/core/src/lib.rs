@@ -44,6 +44,7 @@ pub mod approval;
 pub mod ast;
 pub mod auth;
 pub mod catalog;
+pub mod check;
 pub(crate) mod codec;
 pub mod database;
 pub mod dependency;
@@ -60,6 +61,7 @@ pub mod stats;
 pub mod txn;
 pub mod xml;
 
+pub use check::CheckReport;
 pub use database::Database;
 pub use durability::{Durability, DurabilityOptions, RecoveryReport};
 pub use result::{AnnOut, AnnRef, AnnRow, QueryResult};

@@ -195,6 +195,15 @@ impl Parser {
                 Ok(Statement::DisapproveOperation { id: self.uint()? })
             }
             t if t.is_kw("SHOW") => self.show(),
+            t if t.is_kw("CHECK") => {
+                self.bump();
+                self.accept_kw("TABLE");
+                let table = match self.peek() {
+                    Some(Token::Ident(_)) => Some(self.ident()?),
+                    _ => None,
+                };
+                Ok(Statement::Check { table })
+            }
             t if t.is_kw("ANALYZE") => {
                 self.bump();
                 Ok(Statement::Analyze {

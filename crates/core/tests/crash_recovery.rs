@@ -21,8 +21,10 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-use bdbms_core::Database;
+use bdbms_core::{Database, DurabilityOptions};
+use bdbms_storage::{FaultInjector, FaultKind};
 
 fn tmp(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("bdbms-crash-{}-{name}.bdbms", std::process::id()));
@@ -75,6 +77,19 @@ const SCRIPT: &[&str] = &[
 
 /// Everything observable about every table, concatenated in name order.
 fn database_fingerprint(db: &Database) -> String {
+    fingerprint(db, false)
+}
+
+/// [`database_fingerprint`] with logical-clock values (annotation
+/// `created`, deletion-log `time`) blanked.  A statement that fails
+/// mid-flight still consumes clock ticks, so the surviving state of a
+/// faulted run matches its oracle in everything *except* these
+/// counters — the fault harness compares clocklessly.
+fn clockless_fingerprint(db: &Database) -> String {
+    fingerprint(db, true)
+}
+
+fn fingerprint(db: &Database, redact_clock: bool) -> String {
     let mut out = String::new();
     for t in db.catalog().tables() {
         let rows = t.scan().unwrap();
@@ -97,7 +112,7 @@ fn database_fingerprint(db: &Database) -> String {
                                 a.id.raw(),
                                 a.archived,
                                 a.raw.clone(),
-                                a.created,
+                                if redact_clock { 0 } else { a.created },
                                 a.creator.clone(),
                             )
                         })
@@ -110,9 +125,10 @@ fn database_fingerprint(db: &Database) -> String {
             .deleted_log
             .iter()
             .map(|d| {
+                let time = if redact_clock { 0 } else { d.time };
                 format!(
                     "{}:{:?}:{:?}@{}by{}",
-                    d.row_no, d.values, d.annotation, d.time, d.user
+                    d.row_no, d.values, d.annotation, time, d.user
                 )
             })
             .collect();
@@ -297,6 +313,196 @@ fn crash_between_image_rename_and_wal_truncation() {
     drop(db);
     let _ = fs::remove_dir_all(&dir);
     let _ = fs::remove_dir_all(&pre_ckpt_wal);
+}
+
+// ---------------------------------------------------------------------
+// Deterministic fault injection (the third injection axis)
+// ---------------------------------------------------------------------
+
+/// Harness options: an aggressive auto-checkpoint interval so the
+/// workload crosses several full checkpoint cycles, putting image
+/// writes, fsyncs, and renames inside the injected window.
+fn fault_opts(inj: Option<Arc<FaultInjector>>) -> DurabilityOptions {
+    DurabilityOptions {
+        checkpoint_every_commits: 4,
+        fault_injector: inj,
+        ..Default::default()
+    }
+}
+
+/// Run the scripted workload against a fresh database at `dir`, arming
+/// `kind` at operation index `n` — counted from *after* the create, to
+/// line up with the counting pass.  Returns one bool per statement: did
+/// it succeed?  Panics are the one outcome never allowed.
+fn run_workload(dir: &Path, inj: &Arc<FaultInjector>, n: u64, kind: FaultKind) -> Vec<bool> {
+    let mut db = Database::create_with(dir, fault_opts(Some(inj.clone()))).unwrap();
+    inj.arm(n, kind);
+    let ok: Vec<bool> = SCRIPT.iter().map(|s| db.execute(s).is_ok()).collect();
+    // reopen must see only what the *disk* holds: disarm so recovery
+    // itself runs on a healthy device
+    inj.disarm();
+    db.simulate_crash();
+    ok
+}
+
+/// The oracle for a faulted run: execute the statements that succeeded;
+/// a failed `COMMIT` rolled the real transaction back, so the oracle
+/// rolls back too.  `also` optionally includes one failed statement (the
+/// durable-but-reported-failed ambiguity window).
+fn oracle_with_failures(ok: &[bool], also: Option<usize>) -> String {
+    let mut db = Database::new_in_memory();
+    for (i, s) in SCRIPT.iter().enumerate() {
+        if ok[i] || also == Some(i) {
+            db.execute(s).unwrap();
+        } else if s.trim().eq_ignore_ascii_case("COMMIT") {
+            db.execute("ROLLBACK").unwrap();
+        }
+    }
+    if db.in_transaction() {
+        db.execute("ROLLBACK").unwrap();
+    }
+    clockless_fingerprint(&db)
+}
+
+/// The exhaustive sweep: replay the whole workload once per
+/// (operation index, fault kind) pair, injecting exactly that fault at
+/// exactly that I/O, then crash + reopen on a healthy device and check
+/// the recovered state against the oracle.
+///
+/// The durability contract per run:
+///
+/// * no panic, ever;
+/// * error-shaped faults (transient, permanent, torn): the reopened
+///   database fingerprints identically to the oracle over the
+///   statements that reported success (a failed statement may at most
+///   be durable anyway if it died *after* its commit barrier — both
+///   candidates are accepted);
+/// * bit flips are *silent*, so the write path cannot reject them — but
+///   the reopen must then either recover a state from the same oracle
+///   family or refuse with `Corrupt` (the page checksum / header CRC /
+///   frame CRC catching the flip).  Serving garbage is the one failure
+///   mode checked against.
+#[test]
+fn every_io_fault_index_recovers_or_fails_loudly() {
+    // Pass 1: count the workload's I/O operations on a healthy device.
+    let inj = FaultInjector::new();
+    let count_dir = tmp("fault-count");
+    {
+        let mut db = Database::create_with(&count_dir, fault_opts(Some(inj.clone()))).unwrap();
+        inj.arm(u64::MAX, FaultKind::TransientError); // reset counter, never fires
+        for s in SCRIPT {
+            db.execute(s).unwrap();
+        }
+        db.simulate_crash();
+    }
+    let total_ops = inj.op_count();
+    let _ = fs::remove_dir_all(&count_dir);
+    assert!(
+        total_ops > 30,
+        "the workload must exercise a healthy spread of I/O (saw {total_ops})"
+    );
+
+    // Pass 2: the sweep.  Exhaustive in release; debug builds stride so
+    // the dev loop stays quick (CI runs the release leg).
+    let stride = if cfg!(debug_assertions) { 5 } else { 1 };
+    for n in (0..total_ops).step_by(stride) {
+        let kinds = [
+            FaultKind::TransientError,
+            FaultKind::PermanentError,
+            FaultKind::TornWrite {
+                bytes: 1 + (n as usize * 997) % 4000,
+            },
+            FaultKind::BitFlip {
+                byte: (n as usize * 131) % 8192,
+            },
+        ];
+        for kind in kinds {
+            let dir = tmp(&format!("fault-{n}-{kind:?}"));
+            let inj = FaultInjector::new();
+            let ok = run_workload(&dir, &inj, n, kind);
+            let first_failed = ok.iter().position(|&b| !b);
+            match Database::open(&dir) {
+                Ok(db) => {
+                    // A statement that fails mid-flight still burns logical
+                    // clock ticks the oracle never sees, so the comparison
+                    // ignores clock-derived fields.
+                    let got = clockless_fingerprint(&db);
+                    let clean = oracle_with_failures(&ok, None);
+                    let matched = got == clean
+                        || first_failed.is_some_and(|f| got == oracle_with_failures(&ok, Some(f)));
+                    assert!(
+                        matched,
+                        "fault {kind:?} at op {n}: recovered state matches no \
+                         oracle\nstatement outcomes: {ok:?}\ngot:\n{got}\n\
+                         oracle(successes only):\n{clean}"
+                    );
+                }
+                Err(e) => {
+                    assert!(
+                        matches!(kind, FaultKind::BitFlip { .. }),
+                        "fault {kind:?} at op {n}: only silent corruption may \
+                         survive to reopen, got error: {e}"
+                    );
+                    assert_eq!(
+                        e.code(),
+                        bdbms_common::ErrorCode::Corrupt,
+                        "a flipped bit must be *detected*, not mangled: {e}"
+                    );
+                }
+            }
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// A transient commit-path failure is retried and the statement
+/// *succeeds* — the retry loop in `wal_commit` absorbs one-shot faults.
+#[test]
+fn transient_commit_fault_is_absorbed_by_retry() {
+    let dir = tmp("transient-retry");
+    let inj = FaultInjector::new();
+    let mut db = Database::create_with(&dir, fault_opts(Some(inj.clone()))).unwrap();
+    db.execute("CREATE TABLE T (K INT)").unwrap();
+    // the first insert allocates the heap page; the second then performs
+    // exactly one I/O — its commit's WAL flush, the retryable barrier
+    db.execute("INSERT INTO T VALUES (1)").unwrap();
+    inj.arm(0, FaultKind::TransientError);
+    db.execute("INSERT INTO T VALUES (2)")
+        .expect("a transient I/O blip must not fail the statement");
+    assert!(inj.fired(), "the fault must actually have fired");
+    inj.disarm();
+    db.simulate_crash();
+    let mut db = Database::open(&dir).unwrap();
+    let r = db.execute("SELECT K FROM T").unwrap();
+    assert_eq!(r.rows.len(), 2, "the retried commit is durable");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A permanent device failure exhausts the bounded retry, the statement
+/// rolls back, and the error is an I/O error — not a panic, not silent.
+#[test]
+fn permanent_commit_fault_rolls_back_after_bounded_retry() {
+    let dir = tmp("permanent-retry");
+    let inj = FaultInjector::new();
+    let mut db = Database::create_with(&dir, fault_opts(Some(inj.clone()))).unwrap();
+    db.execute("CREATE TABLE T (K INT)").unwrap();
+    inj.arm(0, FaultKind::PermanentError);
+    let err = db.execute("INSERT INTO T VALUES (1)").unwrap_err();
+    assert_eq!(err.code(), bdbms_common::ErrorCode::Io, "got: {err}");
+    // rolled back in memory: the table is still empty
+    let r = db.execute("SELECT K FROM T");
+    assert!(r.is_err() || r.unwrap().rows.is_empty());
+    inj.disarm();
+    let r = db.execute("SELECT K FROM T").unwrap();
+    assert_eq!(r.rows.len(), 0, "the failed insert must not resurface");
+    db.simulate_crash();
+    let db = Database::open(&dir).unwrap();
+    assert_eq!(
+        database_fingerprint(&db),
+        oracle_fingerprint(&["CREATE TABLE T (K INT)"]),
+        "after reopen the failed insert stays gone"
+    );
+    let _ = fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -36,7 +36,7 @@ use parking_lot::Mutex;
 use bdbms_common::stats::IoSnapshot;
 use bdbms_common::{BdbmsError, Result};
 
-use crate::pager::{PageId, PageStore, PAGE_SIZE};
+use crate::pager::{stamp_page_checksum, verify_page_checksum, PageId, PageStore, PAGE_SIZE};
 use crate::wal::FlushGate;
 
 struct Frame {
@@ -128,6 +128,11 @@ impl Inner {
         let mut data = Box::new([0u8; PAGE_SIZE]);
         self.store.read_page(id, &mut data[..])?;
         self.reads += 1;
+        if !verify_page_checksum(&data[..]) {
+            return Err(BdbmsError::corrupt(format!(
+                "page checksum mismatch reading {id} from the backing store"
+            )));
+        }
         self.frames.insert(
             id,
             Frame {
@@ -153,7 +158,8 @@ impl Inner {
         }
         // copy out to appease the borrow checker: store and frames are
         // both fields of the same Inner.
-        let data = self.frames.get(&id).expect("resident frame").data.clone();
+        let mut data = self.frames.get(&id).expect("resident frame").data.clone();
+        stamp_page_checksum(&mut data[..]);
         self.store.write_page(id, &data[..])?;
         self.writes += 1;
         Ok(())
@@ -628,6 +634,55 @@ mod tests {
             .lock()
             .iter()
             .all(|e| !matches!(e, Event::PageWritten(_))));
+    }
+
+    /// A store whose backing [`MemStore`] the test keeps a handle to, so
+    /// it can scribble on persisted bytes behind the pool's back.
+    struct SharedStore {
+        inner: Arc<Mutex<MemStore>>,
+    }
+
+    impl PageStore for SharedStore {
+        fn allocate(&mut self) -> Result<PageId> {
+            self.inner.lock().allocate()
+        }
+        fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
+            self.inner.lock().read_page(id, buf)
+        }
+        fn write_page(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
+            self.inner.lock().write_page(id, buf)
+        }
+        fn num_pages(&self) -> u64 {
+            self.inner.lock().num_pages()
+        }
+    }
+
+    #[test]
+    fn cold_read_of_a_corrupted_page_is_an_error_not_garbage() {
+        let backing = Arc::new(Mutex::new(MemStore::new()));
+        let p = BufferPool::new(
+            Box::new(SharedStore {
+                inner: backing.clone(),
+            }),
+            4,
+        );
+        let id = p.allocate().unwrap();
+        p.with_page_mut(id, |pg| pg[100] = 0xEE).unwrap();
+        p.clear_cache().unwrap();
+        // A stamped page reloads cleanly.
+        assert_eq!(p.with_page(id, |pg| pg[100]).unwrap(), 0xEE);
+        p.clear_cache().unwrap();
+        // Flip one persisted byte behind the pool's back.
+        {
+            let mut g = backing.lock();
+            let mut buf = [0u8; PAGE_SIZE];
+            g.read_page(id, &mut buf).unwrap();
+            buf[100] ^= 0xFF;
+            g.write_page(id, &buf).unwrap();
+        }
+        let err = p.with_page(id, |_| ()).unwrap_err();
+        assert_eq!(err.code(), bdbms_common::ErrorCode::Corrupt);
+        assert!(err.to_string().contains("pg0"), "names the page: {err}");
     }
 
     #[test]

@@ -19,12 +19,20 @@
 //! reaches the store ahead of its log record).  See `docs/STORAGE.md`.
 
 pub mod buffer;
+pub mod fault;
 pub mod heap;
 pub mod pager;
 pub mod slotted;
 pub mod wal;
 
 pub use buffer::BufferPool;
+pub use fault::{FaultInjector, FaultKind, FaultStore, IoDecision};
 pub use heap::{HeapFile, Rid};
-pub use pager::{FileStore, MemStore, PageId, PageStore, PAGE_SIZE};
-pub use wal::{crc32, Durability, FlushGate, SharedWal, Wal, WalPos};
+pub use pager::{
+    page_checksum, stamp_page_checksum, verify_page_checksum, FileStore, MemStore, PageId,
+    PageStore, PAGE_BODY, PAGE_SIZE, PAGE_TRAILER,
+};
+pub use wal::{
+    crc32, scan_segment_bytes, verify_wal_dir, Durability, FlushGate, SharedWal, Wal, WalCheck,
+    WalPos,
+};

@@ -10,8 +10,49 @@ use std::path::Path;
 
 use bdbms_common::{BdbmsError, Result};
 
+use crate::wal::crc32;
+
 /// Size of every page in bytes (8 KiB — PostgreSQL's default).
 pub const PAGE_SIZE: usize = 8192;
+
+/// Bytes reserved at the end of every page for the CRC-32 checksum
+/// trailer.  Page users (the slotted layout, and through it the heap)
+/// never touch these bytes; the buffer pool stamps them on every flush
+/// and verifies them on every read miss, so a scribbled byte anywhere in
+/// a persisted page surfaces as [`bdbms_common::ErrorCode::Corrupt`]
+/// instead of being served to queries as garbage rows.
+pub const PAGE_TRAILER: usize = 4;
+
+/// Bytes of a page covered by the checksum (everything but the trailer).
+pub const PAGE_BODY: usize = PAGE_SIZE - PAGE_TRAILER;
+
+/// The CRC-32 a page's trailer should carry for its current body.
+pub fn page_checksum(page: &[u8]) -> u32 {
+    debug_assert_eq!(page.len(), PAGE_SIZE);
+    crc32(&page[..PAGE_BODY])
+}
+
+/// Stamp the checksum trailer (done by the buffer pool before any page
+/// write reaches the backing store).
+pub fn stamp_page_checksum(page: &mut [u8]) {
+    let c = page_checksum(page);
+    page[PAGE_BODY..PAGE_SIZE].copy_from_slice(&c.to_le_bytes());
+}
+
+/// Does the page's trailer match its body?
+///
+/// An entirely zeroed page is accepted: that is the state of a page the
+/// store allocated but never flushed (e.g. [`FileStore::allocate`]
+/// extends the file with zeros), and of pre-checksum images.  A zeroed
+/// page carries no records, so accepting it serves no garbage — while
+/// any single corrupted byte of a *stamped* page fails the match (a flip
+/// in the body changes the CRC; a flip in the trailer breaks the stored
+/// value; no flip can zero the whole page).
+pub fn verify_page_checksum(page: &[u8]) -> bool {
+    debug_assert_eq!(page.len(), PAGE_SIZE);
+    let stored = u32::from_le_bytes(page[PAGE_BODY..PAGE_SIZE].try_into().unwrap());
+    stored == page_checksum(page) || (stored == 0 && page.iter().all(|&b| b == 0))
+}
 
 /// Identifies a page within a store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -195,6 +236,41 @@ mod tests {
     #[test]
     fn mem_store_basics() {
         exercise(&mut MemStore::new());
+    }
+
+    #[test]
+    fn checksum_stamp_verify_roundtrip() {
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[17] = 0x5A;
+        page[4000] = 0xC3;
+        stamp_page_checksum(&mut page);
+        assert!(verify_page_checksum(&page));
+    }
+
+    #[test]
+    fn checksum_catches_any_single_byte_flip_of_a_stamped_page() {
+        let mut page = vec![0u8; PAGE_SIZE];
+        for (i, b) in page.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        stamp_page_checksum(&mut page);
+        assert!(verify_page_checksum(&page));
+        // Flip one byte in the body, one in the trailer: both must fail.
+        for at in [0, 123, PAGE_BODY - 1, PAGE_BODY, PAGE_SIZE - 1] {
+            let mut bad = page.clone();
+            bad[at] ^= 0x01;
+            assert!(!verify_page_checksum(&bad), "flip at {at} went undetected");
+        }
+    }
+
+    #[test]
+    fn all_zero_page_passes_as_never_flushed() {
+        let page = vec![0u8; PAGE_SIZE];
+        assert!(verify_page_checksum(&page));
+        // ...but a zero trailer on a non-zero body does not.
+        let mut nonzero = page.clone();
+        nonzero[9] = 1;
+        assert!(!verify_page_checksum(&nonzero));
     }
 
     #[test]

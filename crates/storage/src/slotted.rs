@@ -10,20 +10,27 @@
 //! 0              2           4
 //! ```
 //!
-//! Records are packed from the end of the page downward; the slot array
-//! grows from the header upward.  A deleted slot has `offset == DEAD` and
-//! is reused by later inserts.  [`compact`] squeezes out holes left by
-//! deletions so the free region is contiguous again.
+//! Records are packed from the end of the usable region downward; the
+//! slot array grows from the header upward.  A deleted slot has
+//! `offset == DEAD` and is reused by later inserts.  [`compact`] squeezes
+//! out holes left by deletions so the free region is contiguous again.
+//!
+//! The last [`PAGE_TRAILER`] bytes of every
+//! page are reserved for the buffer pool's CRC-32 checksum and never hold
+//! record bytes — the usable region ends at `PAGE_SIZE - PAGE_TRAILER`.
 
-use crate::pager::PAGE_SIZE;
+use crate::pager::{PAGE_SIZE, PAGE_TRAILER};
 
 const HEADER: usize = 4;
 const SLOT_BYTES: usize = 4;
 /// Sentinel offset marking a dead (deleted) slot.
 const DEAD: u16 = u16::MAX;
+/// One past the last byte records may occupy (the checksum trailer
+/// starts here).
+const PAGE_END: usize = PAGE_SIZE - PAGE_TRAILER;
 
 /// Largest record payload a single page can hold.
-pub const MAX_RECORD: usize = PAGE_SIZE - HEADER - SLOT_BYTES;
+pub const MAX_RECORD: usize = PAGE_END - HEADER - SLOT_BYTES;
 
 fn read_u16(page: &[u8], at: usize) -> u16 {
     u16::from_le_bytes([page[at], page[at + 1]])
@@ -37,7 +44,7 @@ fn write_u16(page: &mut [u8], at: usize, v: u16) {
 pub fn init(page: &mut [u8]) {
     debug_assert_eq!(page.len(), PAGE_SIZE);
     write_u16(page, 0, 0);
-    write_u16(page, 2, PAGE_SIZE as u16);
+    write_u16(page, 2, PAGE_END as u16);
 }
 
 /// Number of slots (live + dead) on the page.
@@ -73,7 +80,7 @@ fn dead_bytes(page: &[u8]) -> usize {
         .filter(|(off, _)| *off != DEAD)
         .map(|(_, len)| len as usize)
         .sum();
-    (PAGE_SIZE - free_end(page)) - live
+    (PAGE_END - free_end(page)) - live
 }
 
 /// Can a record of `len` bytes be inserted (possibly after compaction)?
@@ -172,8 +179,8 @@ pub fn compact(page: &mut [u8]) {
     let mut live: Vec<(u16, Vec<u8>)> = (0..n)
         .filter_map(|i| get(page, i).map(|d| (i, d.to_vec())))
         .collect();
-    // Pack from the page end downward.
-    let mut end = PAGE_SIZE;
+    // Pack from the end of the usable region downward.
+    let mut end = PAGE_END;
     // Write larger offsets first to keep record order stable-ish; order
     // doesn't matter for correctness.
     for (slot_no, data) in live.drain(..) {

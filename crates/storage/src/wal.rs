@@ -59,6 +59,8 @@ use parking_lot::Mutex;
 
 use bdbms_common::{BdbmsError, Result};
 
+use crate::fault::{FaultInjector, IoDecision};
+
 /// CRC-32 (IEEE 802.3, reflected) over `bytes` — the checksum used by WAL
 /// frames and the database header page.
 pub fn crc32(bytes: &[u8]) -> u32 {
@@ -147,6 +149,12 @@ pub struct Wal {
     /// errors until the database is reopened (which re-scans and
     /// truncates the tail).
     damaged: bool,
+    /// Bytes of the active segment known written to the OS — an injected
+    /// torn flush may only damage bytes past this point (a real torn
+    /// write can only tear the bytes being written, never earlier ones).
+    flushed_len: u64,
+    /// Fault-injection hook on the flush path (armed only by tests).
+    hook: Option<Arc<FaultInjector>>,
 }
 
 /// An opaque append position, taken with [`Wal::position`] before a
@@ -253,6 +261,8 @@ impl Wal {
             next_lsn,
             flushed_lsn: next_lsn - 1,
             damaged: false,
+            flushed_len: active_len,
+            hook: None,
         };
         Ok((wal, scan))
     }
@@ -270,7 +280,7 @@ impl Wal {
     /// commit whose append/flush failed partway.  Buffered bytes are
     /// dropped without flushing, segments created since `pos` are
     /// deleted, and the active segment is truncated back.  If the
-    /// rewind itself fails the log is latched [`damaged`]: the tail
+    /// rewind itself fails the log is latched `damaged`: the tail
     /// state is unknown and appending more would risk replaying the
     /// dead transaction, so every later write errors until reopen.
     pub fn rewind(&mut self, pos: WalPos) -> Result<()> {
@@ -290,12 +300,23 @@ impl Wal {
             self.active_len = pos.len;
             self.next_lsn = pos.next_lsn;
             self.flushed_lsn = self.flushed_lsn.min(pos.next_lsn - 1);
+            self.flushed_len = self.flushed_len.min(pos.len);
             Ok(())
         })();
-        if r.is_err() {
-            self.damaged = true;
+        match r {
+            // a completed rewind leaves the tail in a known state, even
+            // if an earlier failure (e.g. an injected torn flush) had
+            // latched it damaged
+            Ok(()) => self.damaged = false,
+            Err(_) => self.damaged = true,
         }
         r
+    }
+
+    /// Route the flush path through `injector` — deterministic
+    /// fault-injection tests only; see [`crate::fault`].
+    pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.hook = Some(injector);
     }
 
     fn check_damage(&self) -> Result<()> {
@@ -375,6 +396,7 @@ impl Wal {
         file.write_all(&self.next_lsn.to_le_bytes())?;
         self.writer = BufWriter::new(file);
         self.active_len = SEG_HEADER;
+        self.flushed_len = SEG_HEADER;
         Ok(())
     }
 
@@ -382,11 +404,39 @@ impl Wal {
     /// fsync them.  This is the commit barrier.
     pub fn flush(&mut self) -> Result<()> {
         self.check_damage()?;
+        if let Some(h) = self.hook.clone() {
+            match h.next_op() {
+                IoDecision::Proceed => {}
+                IoDecision::Fail | IoDecision::Flip { .. } => {
+                    // Nothing reached the medium; buffered bytes stay
+                    // buffered and a failed commit rewinds them away.
+                    // (A flush has no payload to flip, so Flip degrades
+                    // to a plain failure.)
+                    return Err(FaultInjector::injected_error("WAL flush"));
+                }
+                IoDecision::Tear { bytes } => {
+                    // Part of the buffered tail reaches the medium, the
+                    // rest vanishes: flush, then chop the un-durable end.
+                    // The in-memory tail no longer matches the file, so
+                    // the log latches damaged until a rewind (the commit
+                    // error path) or a reopen restores a known state.
+                    self.writer.flush()?;
+                    let keep = self
+                        .active_len
+                        .saturating_sub(bytes as u64)
+                        .max(self.flushed_len);
+                    self.writer.get_ref().set_len(keep)?;
+                    self.damaged = true;
+                    return Err(FaultInjector::injected_error("torn WAL flush"));
+                }
+            }
+        }
         self.writer.flush()?;
         if self.durability == Durability::Full {
             self.writer.get_ref().sync_all()?;
         }
         self.flushed_lsn = self.next_lsn - 1;
+        self.flushed_len = self.active_len;
         Ok(())
     }
 
@@ -419,6 +469,7 @@ impl Wal {
         }
         self.writer = BufWriter::new(file);
         self.active_len = SEG_HEADER;
+        self.flushed_len = SEG_HEADER;
         self.flushed_lsn = self.next_lsn - 1;
         // a completed reset is a known-good state from scratch
         self.damaged = false;
@@ -428,6 +479,14 @@ impl Wal {
 
 /// Scan one segment's bytes, pushing valid entries.  `Err(offset)` means
 /// the segment is valid up to `offset` and damaged after it.
+///
+/// Every slice below is guarded: the frame header is taken with `get`
+/// (so a truncated header is a torn tail, not a panic) and the frame end
+/// is computed with checked arithmetic (so a garbage length field that
+/// would overflow `usize` is damage, not a panic).  The follow-up
+/// `unwrap`s convert provably-sized slices and are unreachable for any
+/// input — the property-fuzz suite in `tests/prop_wal.rs` holds this to
+/// arbitrary byte strings.
 fn scan_segment(bytes: &[u8], out: &mut Vec<WalEntry>) -> std::result::Result<(), u64> {
     if bytes.is_empty() {
         return Ok(());
@@ -438,16 +497,22 @@ fn scan_segment(bytes: &[u8], out: &mut Vec<WalEntry>) -> std::result::Result<()
     let mut pos = SEG_HEADER as usize;
     while pos < bytes.len() {
         let valid_up_to = pos as u64;
-        if pos + FRAME_HEADER > bytes.len() {
+        let Some(header) = bytes.get(pos..pos + FRAME_HEADER) else {
             return Err(valid_up_to);
-        }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
-        let end = pos + FRAME_HEADER + len;
-        if end > bytes.len() {
+        };
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let Some(end) = pos
+            .checked_add(FRAME_HEADER)
+            .and_then(|p| p.checked_add(len))
+        else {
             return Err(valid_up_to);
-        }
-        let crc_input = &bytes[pos + 8..end];
+        };
+        // end ≥ pos + 8 always holds here, so the range is well-formed;
+        // `get` rejects an end past the buffer.
+        let Some(crc_input) = bytes.get(pos + 8..end) else {
+            return Err(valid_up_to);
+        };
         if crc32(crc_input) != crc {
             return Err(valid_up_to);
         }
@@ -459,6 +524,105 @@ fn scan_segment(bytes: &[u8], out: &mut Vec<WalEntry>) -> std::result::Result<()
         pos = end;
     }
     Ok(())
+}
+
+/// Parse one segment's bytes read-only: the valid entries plus, when the
+/// segment is damaged, the byte offset at which damage starts.  Public
+/// surface for the fuzz suite and [`verify_wal_dir`].
+pub fn scan_segment_bytes(bytes: &[u8]) -> (Vec<WalEntry>, Option<u64>) {
+    let mut out = Vec::new();
+    match scan_segment(bytes, &mut out) {
+        Ok(()) => (out, None),
+        Err(off) => (out, Some(off)),
+    }
+}
+
+/// A read-only integrity report over a WAL directory (the WAL half of
+/// the engine's `CHECK` statement).
+#[derive(Debug, Default)]
+pub struct WalCheck {
+    /// Segment files inspected.
+    pub segments: usize,
+    /// Valid frames found across all segments.
+    pub frames: usize,
+    /// Human-readable integrity problems (empty = clean).
+    pub problems: Vec<String>,
+}
+
+/// Walk every segment in `dir` without mutating anything: frame CRCs,
+/// segment-index contiguity, header/first-frame agreement, and dense LSN
+/// chaining across segments.  Unlike [`Wal::open`], damage is *reported*
+/// rather than repaired — a torn tail is a finding here, not a
+/// truncation.
+pub fn verify_wal_dir(dir: impl AsRef<Path>) -> Result<WalCheck> {
+    let dir = dir.as_ref();
+    let mut check = WalCheck::default();
+    if !dir.is_dir() {
+        check
+            .problems
+            .push(format!("WAL directory `{}` is missing", dir.display()));
+        return Ok(check);
+    }
+    let mut indexes = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let name = name.to_string_lossy();
+        if let Some(idx) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".log"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            indexes.push(idx);
+        }
+    }
+    indexes.sort_unstable();
+    for w in indexes.windows(2) {
+        if w[1] != w[0] + 1 {
+            check.problems.push(format!(
+                "segment gap: wal-{:08} follows wal-{:08}",
+                w[1], w[0]
+            ));
+        }
+    }
+    let mut expect_lsn: Option<u64> = None;
+    for (i, &idx) in indexes.iter().enumerate() {
+        check.segments += 1;
+        let path = segment_path(dir, idx);
+        let bytes = fs::read(&path)?;
+        let (entries, damage) = scan_segment_bytes(&bytes);
+        if bytes.len() >= SEG_HEADER as usize && &bytes[..8] == SEG_MAGIC {
+            let hdr_lsn = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+            if let Some(first) = entries.first() {
+                if first.lsn != hdr_lsn {
+                    check.problems.push(format!(
+                        "segment {idx}: header claims first LSN {hdr_lsn}, \
+                         first frame carries {}",
+                        first.lsn
+                    ));
+                }
+            }
+        }
+        if let Some(off) = damage {
+            let last = i + 1 == indexes.len();
+            check.problems.push(format!(
+                "segment {idx}: damaged at byte {off}{}",
+                if last { " (torn tail)" } else { "" }
+            ));
+        }
+        for e in &entries {
+            check.frames += 1;
+            if let Some(want) = expect_lsn {
+                if e.lsn != want {
+                    check.problems.push(format!(
+                        "LSN chain broken: expected {want}, found {}",
+                        e.lsn
+                    ));
+                }
+            }
+            expect_lsn = Some(e.lsn + 1);
+        }
+    }
+    Ok(check)
 }
 
 /// A clonable, thread-safe handle over a [`Wal`], shared between the
