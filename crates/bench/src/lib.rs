@@ -20,6 +20,7 @@ pub mod e10_bitmaps;
 pub mod e11_approval;
 pub mod e12_sbc_tree;
 pub mod e13_executor;
+pub mod e14_server;
 pub mod espgist;
 
 use report::Report;
@@ -42,6 +43,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e11", e11_approval::run),
         ("e12", e12_sbc_tree::run),
         ("e13", e13_executor::run),
+        ("e14", e14_server::run),
         ("spgist", espgist::run),
     ]
 }

@@ -1,0 +1,174 @@
+//! `bdbms-hammer` — the multi-client workload driver.
+//!
+//! ```text
+//! bdbms-hammer HOST:PORT [--clients N] [--commits M] [--reads K]
+//! ```
+//!
+//! Spawns `N` concurrent clients against a running `bdbms-serve`.  Each
+//! client INSERTs `M` rows (one autocommitted transaction each — the
+//! group-commit workload) and then runs `K` prepared point reads of its
+//! own keys.  After the threads join, a verifier connection reads every
+//! key back: an acknowledged commit that is not visible afterwards is a
+//! hard failure (exit code 1).  CI boots a server, runs this, and then
+//! kills the server — the same binary doubles as a smoke test and a
+//! load generator.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bdbms_client::RemoteConnection;
+use bdbms_common::{ErrorCode, Value};
+use bdbms_core::client::Connection;
+
+const USAGE: &str = "usage: bdbms-hammer HOST:PORT [--clients N] [--commits M] [--reads K]";
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut clients: usize = 8;
+    let mut commits: usize = 25;
+    let mut reads: usize = 25;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut grab = |what: &str| -> usize {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{what} needs a number\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--clients" => clients = grab("--clients"),
+            "--commits" => commits = grab("--commits"),
+            "--reads" => reads = grab("--reads"),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}`\n{USAGE}");
+                std::process::exit(2);
+            }
+            a if addr.is_none() => addr = Some(a.to_string()),
+            extra => {
+                eprintln!("unexpected argument `{extra}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+
+    // one setup connection creates the table (tolerating an earlier run)
+    let mut setup = RemoteConnection::connect(&addr, "admin").unwrap_or_else(|e| {
+        eprintln!("bdbms-hammer: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = setup.run("CREATE TABLE Hammer (K INT, Who TEXT)") {
+        if e.code() != ErrorCode::AlreadyExists {
+            eprintln!("bdbms-hammer: setup failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    // offset this run's keys past anything an earlier run left behind
+    let base = match setup.run("SELECT K FROM Hammer") {
+        Ok(r) => {
+            r.rows
+                .iter()
+                .filter_map(|row| match row.values[0] {
+                    Value::Int(k) => Some(k),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(-1)
+                + 1
+        }
+        Err(e) => {
+            eprintln!("bdbms-hammer: scan failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let acked = Arc::new(AtomicU64::new(0));
+    let start = std::time::Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let acked = acked.clone();
+            std::thread::spawn(move || -> Result<(), String> {
+                let mut conn = RemoteConnection::connect(&addr, "admin")
+                    .map_err(|e| format!("client {c}: {e}"))?;
+                let ins = conn
+                    .prepare("INSERT INTO Hammer VALUES (?, ?)")
+                    .map_err(|e| format!("client {c}: {e}"))?;
+                let who = format!("client-{c}");
+                for i in 0..commits {
+                    let key = base + (c * commits + i) as i64;
+                    conn.execute(&ins, &[Value::Int(key), Value::Text(who.clone())])
+                        .map_err(|e| format!("client {c} commit {i}: {e}"))?;
+                    acked.fetch_add(1, Ordering::Relaxed);
+                }
+                let sel = conn
+                    .prepare("SELECT Who FROM Hammer WHERE K = ?")
+                    .map_err(|e| format!("client {c}: {e}"))?;
+                for i in 0..reads {
+                    let key = base + (c * commits + i % commits.max(1)) as i64;
+                    let mut rows = conn
+                        .query(&sel, &[Value::Int(key)])
+                        .map_err(|e| format!("client {c} read {i}: {e}"))?;
+                    let row = rows
+                        .next_row()
+                        .map_err(|e| format!("client {c} read {i}: {e}"))?;
+                    if row.is_none() {
+                        return Err(format!("client {c}: committed key {key} not readable"));
+                    }
+                }
+                conn.close().map_err(|e| format!("client {c}: {e}"))?;
+                Ok(())
+            })
+        })
+        .collect();
+
+    let mut failed = false;
+    for h in handles {
+        match h.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(msg)) => {
+                eprintln!("bdbms-hammer: {msg}");
+                failed = true;
+            }
+            Err(_) => {
+                eprintln!("bdbms-hammer: client thread panicked");
+                failed = true;
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+
+    // verify every acknowledged commit is visible
+    let expect = (clients * commits) as i64;
+    let visible = match setup.run("SELECT K FROM Hammer") {
+        Ok(r) => r
+            .rows
+            .iter()
+            .filter(|row| matches!(row.values[0], Value::Int(k) if k >= base))
+            .count() as i64,
+        Err(e) => {
+            eprintln!("bdbms-hammer: verification scan failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let _ = setup.close();
+
+    println!(
+        "hammered {addr}: {clients} client(s) x {commits} commit(s) + {reads} read(s) in {:.2?} \
+         ({} acked, {visible}/{expect} visible)",
+        elapsed,
+        acked.load(Ordering::Relaxed),
+    );
+    if failed || visible != expect {
+        eprintln!("bdbms-hammer: FAILED");
+        std::process::exit(1);
+    }
+}

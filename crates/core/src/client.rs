@@ -1,0 +1,492 @@
+//! The transport-agnostic client API.
+//!
+//! The paper's prototype exposes bdbms the way PostgreSQL does: a server
+//! process speaking a wire protocol, plus an embedded path for tools that
+//! link the engine directly.  This module is the seam between the two —
+//! everything above it (the REPL, the CLI, bench drivers) programs
+//! against [`Connection`] and never learns whether statements execute in
+//! this process or across a socket:
+//!
+//! * [`LocalConnection`] owns a [`Database`] and executes in-process —
+//!   the embedded path.
+//! * `RemoteConnection` (in the `bdbms-client` crate) speaks the wire
+//!   protocol to a `bdbms-serve` process — see `docs/SERVER.md`.
+//! * [`Session`] implements [`Connection`] too, so existing code that
+//!   borrows a database for a scope can hand a `&mut dyn Connection` to
+//!   trait-generic helpers without giving up ownership.
+//!
+//! The trait mirrors the client lifecycle the wire protocol frames:
+//! connect → [`prepare`](Connection::prepare) →
+//! [`execute`](Connection::execute)/[`query`](Connection::query) (bind +
+//! run) → fetch rows → transaction control → close.  Statement handles
+//! ([`StatementHandle`]) are backend-tagged: a handle prepared on one
+//! connection cannot be executed on another.
+//!
+//! ```
+//! use bdbms_core::client::{Connection, LocalConnection};
+//! use bdbms_common::Value;
+//!
+//! fn count_genes(conn: &mut dyn Connection) -> u64 {
+//!     let stmt = conn.prepare("SELECT GID FROM Gene WHERE Len > ?").unwrap();
+//!     let mut rows = conn.query(&stmt, &[Value::Int(10)]).unwrap();
+//!     let mut n = 0;
+//!     while rows.next_row().unwrap().is_some() {
+//!         n += 1;
+//!     }
+//!     n
+//! }
+//!
+//! let mut conn = LocalConnection::in_memory("admin");
+//! conn.run("CREATE TABLE Gene (GID TEXT, Len INT)").unwrap();
+//! conn.run("INSERT INTO Gene VALUES ('JW0080', 11), ('JW0082', 9)").unwrap();
+//! assert_eq!(count_genes(&mut conn), 1);
+//! ```
+
+use std::path::Path;
+
+use bdbms_common::{BdbmsError, Result, Value};
+
+use crate::database::Database;
+use crate::result::{AnnRow, QueryResult};
+use crate::session::{open_cursor, Prepared, RowCursor, Session};
+
+/// A prepared statement handle, tagged with the backend that prepared
+/// it.  Local handles carry the cached parse/plan directly; remote
+/// handles carry the server-assigned statement id.
+#[derive(Clone)]
+pub struct StatementHandle {
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    Local(Prepared),
+    Remote {
+        id: u64,
+        param_count: usize,
+        sql: String,
+    },
+}
+
+impl StatementHandle {
+    /// Wrap an in-process [`Prepared`] statement.
+    pub fn local(stmt: Prepared) -> StatementHandle {
+        StatementHandle {
+            repr: Repr::Local(stmt),
+        }
+    }
+
+    /// Wrap a server-assigned statement id (constructed by the remote
+    /// connection from a `PrepareOk` frame).
+    pub fn remote(id: u64, param_count: usize, sql: impl Into<String>) -> StatementHandle {
+        StatementHandle {
+            repr: Repr::Remote {
+                id,
+                param_count,
+                sql: sql.into(),
+            },
+        }
+    }
+
+    /// The SQL text this handle was prepared from.
+    pub fn sql(&self) -> &str {
+        match &self.repr {
+            Repr::Local(p) => p.sql(),
+            Repr::Remote { sql, .. } => sql,
+        }
+    }
+
+    /// Number of parameter slots (`?` / `$n`) the statement declares.
+    pub fn param_count(&self) -> usize {
+        match &self.repr {
+            Repr::Local(p) => p.param_count(),
+            Repr::Remote { param_count, .. } => *param_count,
+        }
+    }
+
+    /// The in-process statement, if this is a local handle.
+    pub fn as_local(&self) -> Option<&Prepared> {
+        match &self.repr {
+            Repr::Local(p) => Some(p),
+            Repr::Remote { .. } => None,
+        }
+    }
+
+    /// The server-assigned statement id, if this is a remote handle.
+    pub fn remote_id(&self) -> Option<u64> {
+        match &self.repr {
+            Repr::Local(_) => None,
+            Repr::Remote { id, .. } => Some(*id),
+        }
+    }
+
+    fn expect_local(&self) -> Result<&Prepared> {
+        self.as_local().ok_or_else(backend_mismatch)
+    }
+}
+
+impl std::fmt::Debug for StatementHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.repr {
+            Repr::Local(p) => f
+                .debug_struct("StatementHandle::Local")
+                .field("sql", &p.sql())
+                .finish_non_exhaustive(),
+            Repr::Remote { id, sql, .. } => f
+                .debug_struct("StatementHandle::Remote")
+                .field("id", id)
+                .field("sql", sql)
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+fn backend_mismatch() -> BdbmsError {
+    BdbmsError::invalid("statement was prepared on a different connection backend")
+}
+
+/// A pull-based stream of result rows, the trait-object face of
+/// [`RowCursor`].  Local backends stream straight off the executor
+/// pipeline; remote backends page batches over the wire as rows are
+/// pulled.
+pub trait Rows {
+    /// Output column names.
+    fn columns(&self) -> &[String];
+
+    /// Pull the next row (`Ok(None)` = exhausted).
+    fn next_row(&mut self) -> Result<Option<AnnRow>>;
+
+    /// Drain the remaining rows into a materialized [`QueryResult`].
+    fn collect_result(&mut self) -> Result<QueryResult> {
+        let columns = self.columns().to_vec();
+        let mut rows = Vec::new();
+        while let Some(row) = self.next_row()? {
+            rows.push(row);
+        }
+        Ok(QueryResult {
+            columns,
+            rows,
+            affected: 0,
+            message: None,
+        })
+    }
+}
+
+impl Rows for RowCursor<'_> {
+    fn columns(&self) -> &[String] {
+        RowCursor::columns(self)
+    }
+
+    fn next_row(&mut self) -> Result<Option<AnnRow>> {
+        RowCursor::next_row(self)
+    }
+}
+
+/// A client connection to a bdbms engine, local or remote.
+///
+/// Object-safe: tools hold a `Box<dyn Connection>` and work identically
+/// against an embedded [`Database`] or a `bdbms-serve` process.  All
+/// errors cross the boundary as [`BdbmsError`] — the wire protocol
+/// round-trips code, message, and source span losslessly.
+pub trait Connection {
+    /// Human-readable description of the backend (shown by the REPL).
+    fn describe(&self) -> String;
+
+    /// The user this connection acts as.
+    fn user(&self) -> &str;
+
+    /// Switch the acting user for subsequent statements.
+    fn set_user(&mut self, user: &str) -> Result<()>;
+
+    /// Parse (local) or register (remote) a statement with `?` / `$n`
+    /// parameter placeholders.
+    fn prepare(&mut self, sql: &str) -> Result<StatementHandle>;
+
+    /// Bind `params` and execute a prepared statement of any kind,
+    /// materializing the result.
+    fn execute(&mut self, stmt: &StatementHandle, params: &[Value]) -> Result<QueryResult>;
+
+    /// Bind `params` and run a prepared SELECT, streaming rows back.
+    fn query<'c>(
+        &'c mut self,
+        stmt: &StatementHandle,
+        params: &[Value],
+    ) -> Result<Box<dyn Rows + 'c>>;
+
+    /// Parse and execute a parameter-less statement in one step.
+    fn run(&mut self, sql: &str) -> Result<QueryResult>;
+
+    /// Is an explicit transaction open on this connection?
+    fn in_transaction(&self) -> bool;
+
+    /// Release the connection (sends `Quit` on remote backends).
+    /// Idempotent; dropping the connection closes it implicitly.
+    fn close(&mut self) -> Result<()>;
+
+    /// `BEGIN` — sugar over [`run`](Connection::run).
+    fn begin(&mut self) -> Result<QueryResult> {
+        self.run("BEGIN")
+    }
+
+    /// `COMMIT` — sugar over [`run`](Connection::run).
+    fn commit(&mut self) -> Result<QueryResult> {
+        self.run("COMMIT")
+    }
+
+    /// `ROLLBACK` — sugar over [`run`](Connection::run).
+    fn rollback(&mut self) -> Result<QueryResult> {
+        self.run("ROLLBACK")
+    }
+
+    /// Engine-level escape hatch for embedded backends; `None` on
+    /// remote connections.  The REPL's `.checkpoint` / `.demo` /
+    /// `.tables` dot-commands reach the engine through this.
+    fn local_database(&mut self) -> Option<&mut Database> {
+        None
+    }
+}
+
+/// The embedded backend: a [`Connection`] that owns its [`Database`]
+/// and executes statements in-process through transient sessions.
+///
+/// Statement handles stay valid for the connection's lifetime (a
+/// [`Prepared`] carries its own parse and plan cache, independent of
+/// any session).  The owned database remains reachable through
+/// [`database`](LocalConnection::database) /
+/// [`database_mut`](LocalConnection::database_mut) for tools that need
+/// engine-level hooks (checkpointing, integrity checks, demo seeding).
+pub struct LocalConnection {
+    db: Database,
+    user: String,
+}
+
+impl LocalConnection {
+    /// Wrap an already-constructed database.
+    pub fn new(db: Database, user: &str) -> LocalConnection {
+        LocalConnection {
+            db,
+            user: user.to_string(),
+        }
+    }
+
+    /// A fresh in-memory database (no durability).
+    pub fn in_memory(user: &str) -> LocalConnection {
+        LocalConnection::new(Database::new_in_memory(), user)
+    }
+
+    /// Open an existing on-disk database (see [`Database::open`]).
+    pub fn open(path: impl AsRef<Path>, user: &str) -> Result<LocalConnection> {
+        Ok(LocalConnection::new(Database::open(path)?, user))
+    }
+
+    /// Create a new on-disk database (see [`Database::create`]).
+    pub fn create(path: impl AsRef<Path>, user: &str) -> Result<LocalConnection> {
+        Ok(LocalConnection::new(Database::create(path)?, user))
+    }
+
+    /// The owned database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The owned database, mutably.
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Unwrap back into the owned database.
+    pub fn into_database(self) -> Database {
+        self.db
+    }
+}
+
+impl Connection for LocalConnection {
+    fn describe(&self) -> String {
+        "embedded database (in-process)".to_string()
+    }
+
+    fn user(&self) -> &str {
+        &self.user
+    }
+
+    fn set_user(&mut self, user: &str) -> Result<()> {
+        self.user = user.to_string();
+        Ok(())
+    }
+
+    fn prepare(&mut self, sql: &str) -> Result<StatementHandle> {
+        self.db
+            .session(&self.user)
+            .prepare(sql)
+            .map(StatementHandle::local)
+    }
+
+    fn execute(&mut self, stmt: &StatementHandle, params: &[Value]) -> Result<QueryResult> {
+        let prepared = stmt.expect_local()?.clone();
+        self.db.session(&self.user).execute(&prepared, params)
+    }
+
+    fn query<'c>(
+        &'c mut self,
+        stmt: &StatementHandle,
+        params: &[Value],
+    ) -> Result<Box<dyn Rows + 'c>> {
+        let prepared = stmt.expect_local()?;
+        let cursor = open_cursor(&self.db, &self.user, prepared, params)?;
+        Ok(Box::new(cursor))
+    }
+
+    fn run(&mut self, sql: &str) -> Result<QueryResult> {
+        self.db.session(&self.user).run(sql)
+    }
+
+    fn in_transaction(&self) -> bool {
+        self.db.in_transaction()
+    }
+
+    fn close(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn local_database(&mut self) -> Option<&mut Database> {
+        Some(&mut self.db)
+    }
+}
+
+impl Connection for Session<'_> {
+    fn describe(&self) -> String {
+        "in-process session".to_string()
+    }
+
+    fn user(&self) -> &str {
+        Session::user(self)
+    }
+
+    fn set_user(&mut self, user: &str) -> Result<()> {
+        Session::set_user(self, user);
+        Ok(())
+    }
+
+    fn prepare(&mut self, sql: &str) -> Result<StatementHandle> {
+        Session::prepare(self, sql).map(StatementHandle::local)
+    }
+
+    fn execute(&mut self, stmt: &StatementHandle, params: &[Value]) -> Result<QueryResult> {
+        let prepared = stmt.expect_local()?.clone();
+        Session::execute(self, &prepared, params)
+    }
+
+    fn query<'c>(
+        &'c mut self,
+        stmt: &StatementHandle,
+        params: &[Value],
+    ) -> Result<Box<dyn Rows + 'c>> {
+        let prepared = stmt.expect_local()?;
+        let cursor = Session::query(self, prepared, params)?;
+        Ok(Box::new(cursor))
+    }
+
+    fn run(&mut self, sql: &str) -> Result<QueryResult> {
+        Session::run(self, sql)
+    }
+
+    fn in_transaction(&self) -> bool {
+        Session::in_transaction(self)
+    }
+
+    fn close(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn local_database(&mut self) -> Option<&mut Database> {
+        Some(self.database_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> LocalConnection {
+        let mut conn = LocalConnection::in_memory("admin");
+        conn.run("CREATE TABLE Gene (GID TEXT, Len INT)").unwrap();
+        conn.run("INSERT INTO Gene VALUES ('JW0080', 11), ('JW0082', 42)")
+            .unwrap();
+        conn
+    }
+
+    /// One generic body runs against both in-process backends.
+    fn drive(conn: &mut dyn Connection) {
+        let stmt = conn.prepare("SELECT GID FROM Gene WHERE Len = ?").unwrap();
+        assert_eq!(stmt.param_count(), 1);
+        let mut rows = conn.query(&stmt, &[Value::Int(42)]).unwrap();
+        assert_eq!(rows.columns(), ["GID"]);
+        let row = rows.next_row().unwrap().unwrap();
+        assert_eq!(row.values[0], Value::Text("JW0082".into()));
+        assert!(rows.next_row().unwrap().is_none());
+        drop(rows);
+
+        let ins = conn.prepare("INSERT INTO Gene VALUES (?, ?)").unwrap();
+        let r = conn
+            .execute(&ins, &[Value::Text("JW0090".into()), Value::Int(7)])
+            .unwrap();
+        assert_eq!(r.affected, 1);
+
+        assert!(!conn.in_transaction());
+        conn.begin().unwrap();
+        assert!(conn.in_transaction());
+        conn.run("DELETE FROM Gene WHERE GID = 'JW0090'").unwrap();
+        conn.rollback().unwrap();
+        assert!(!conn.in_transaction());
+        let back = conn
+            .run("SELECT GID FROM Gene WHERE GID = 'JW0090'")
+            .unwrap();
+        assert_eq!(back.rows.len(), 1);
+        conn.close().unwrap();
+    }
+
+    #[test]
+    fn local_connection_drives_generic_client_code() {
+        let mut conn = seeded();
+        drive(&mut conn);
+    }
+
+    #[test]
+    fn session_drives_generic_client_code() {
+        let mut conn = seeded();
+        let db = conn.database_mut();
+        let mut session = db.session("admin");
+        drive(&mut session);
+    }
+
+    #[test]
+    fn remote_handle_rejected_by_local_backend() {
+        let mut conn = seeded();
+        let fake = StatementHandle::remote(7, 0, "SELECT GID FROM Gene");
+        let err = conn.execute(&fake, &[]).unwrap_err();
+        assert!(err.to_string().contains("different connection backend"));
+        assert!(conn.query(&fake, &[]).is_err());
+    }
+
+    #[test]
+    fn rows_collect_result_materializes() {
+        let mut conn = seeded();
+        let stmt = conn.prepare("SELECT GID FROM Gene").unwrap();
+        let mut rows = conn.query(&stmt, &[]).unwrap();
+        let qr = rows.collect_result().unwrap();
+        assert_eq!(qr.rows.len(), 2);
+        assert_eq!(qr.columns, ["GID"]);
+    }
+
+    #[test]
+    fn set_user_switches_authorization_scope() {
+        let mut conn = seeded();
+        conn.run("CREATE USER alice").unwrap();
+        conn.set_user("alice").unwrap();
+        assert_eq!(conn.user(), "alice");
+        // alice has no SELECT grant on Gene
+        assert!(conn.run("SELECT GID FROM Gene").is_err());
+        conn.set_user("admin").unwrap();
+        assert!(conn.run("SELECT GID FROM Gene").is_ok());
+    }
+}

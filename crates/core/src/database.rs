@@ -120,20 +120,31 @@ impl Database {
 
     /// Open a [`Session`] acting as `user` — the prepared-statement /
     /// parameter-binding / streaming-cursor entry point (see
-    /// `docs/API.md`).  The legacy one-shot entry points below are thin
-    /// wrappers over session internals.
+    /// `docs/API.md`).  Transport-agnostic tools should program against
+    /// [`crate::client::Connection`] instead, which sessions implement.
     pub fn session(&mut self, user: &str) -> Session<'_> {
         Session::new(self, user)
     }
 
-    /// Execute a statement as `admin`.
+    /// Does `user` exist in the authorization manager?  (`admin` always
+    /// does.)  The wire-protocol server validates `Hello` frames with
+    /// this before binding a connection to a user.
+    pub fn user_exists(&self, user: &str) -> bool {
+        self.auth.user_exists(user)
+    }
+
+    /// Execute a statement as `admin`.  Legacy one-shot entry point: a
+    /// thin wrapper over [`Session::run`] via [`Self::execute_as`] —
+    /// kept because half the test suite and every doc example reads
+    /// better with it.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         self.execute_as(sql, ADMIN)
     }
 
     /// Execute a statement as a given user (parse + execute in one step;
     /// statements with parameter placeholders must instead be prepared
-    /// through a [`Session`]).
+    /// through a [`Session`]).  Legacy one-shot entry point: literally
+    /// `self.session(user).run(sql)`.
     pub fn execute_as(&mut self, sql: &str, user: &str) -> Result<QueryResult> {
         self.session(user).run(sql)
     }

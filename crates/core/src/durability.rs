@@ -60,13 +60,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bdbms_common::{BdbmsError, DataType, ErrorCode, Result, Schema, Value};
-use bdbms_storage::wal::{SharedWal, Wal, WalScan};
+use bdbms_storage::wal::{GroupCommitter, SharedWal, Wal, WalScan};
 use bdbms_storage::{
     crc32, BufferPool, FaultInjector, FaultStore, FileStore, FlushGate, HeapFile, IoDecision,
     MemStore, PageId, PageStore, Rid,
 };
 
-pub use bdbms_storage::wal::Durability;
+pub use bdbms_storage::wal::{CommitTicket, Durability};
 
 use crate::annotation::AnnotationSet;
 use crate::approval::{ApprovalManager, InverseOp, LoggedOp, OpStatus};
@@ -925,6 +925,16 @@ pub(crate) struct PersistentStorage {
     /// Set by `close` / `simulate_crash`: the drop hook must not
     /// checkpoint.
     skip_shutdown: bool,
+    /// Group-commit gate, armed by [`Database::enable_group_commit`].
+    /// When present, `wal_commit` appends without flushing and parks a
+    /// [`CommitTicket`] in `pending_ticket`; the background flusher
+    /// amortizes one fsync over every commit queued behind it.
+    group: Option<GroupCommitter>,
+    /// The ticket of the most recent deferred commit, picked up by
+    /// [`Database::take_commit_ticket`] (the server engine collects it
+    /// after each statement and acknowledges the client only once it
+    /// resolves).
+    pending_ticket: Option<CommitTicket>,
 }
 
 // ---------------------------------------------------------------------
@@ -1263,12 +1273,26 @@ impl Database {
             commits_since_checkpoint: 0,
             last_recovery: None,
             skip_shutdown: false,
+            group: None,
+            pending_ticket: None,
         });
         // the first checkpoint writes the empty image and swaps the pool
         // onto the new FileStore
         db.checkpoint_inner()?;
         db.attach_redo();
         Ok(db)
+    }
+
+    /// [`open`](Self::open) the database at `path` if a data file is
+    /// already there, otherwise [`create`](Self::create) it — the
+    /// server's boot behavior.
+    pub fn open_or_create(path: impl AsRef<Path>) -> Result<Database> {
+        let dir = path.as_ref();
+        if dir.join(DATA_FILE).exists() {
+            Self::open(dir)
+        } else {
+            Self::create(dir)
+        }
     }
 
     /// Open an existing durable database, replaying the WAL: committed
@@ -1307,6 +1331,8 @@ impl Database {
             commits_since_checkpoint: 0,
             last_recovery: Some(report),
             skip_shutdown: false,
+            group: None,
+            pending_ticket: None,
         });
         // fold the replayed state into a fresh image; truncates the WAL
         // (dropping the uncommitted tail for good)
@@ -1443,6 +1469,8 @@ impl Database {
             commits_since_checkpoint: 0,
             last_recovery: Some(report),
             skip_shutdown: false,
+            group: None,
+            pending_ticket: None,
         });
         // re-checkpoint the survivors: the on-disk image is clean again
         db.checkpoint_inner()?;
@@ -1814,6 +1842,13 @@ impl Database {
     /// in-memory commit; an error here means the transaction must roll
     /// back (the partial WAL tail has no commit record and is discarded
     /// by the next recovery).
+    ///
+    /// With [group commit](Database::enable_group_commit) armed, the
+    /// flush is *deferred*: the records are appended and the commit LSN
+    /// queued at the group-commit gate, and the resulting
+    /// [`CommitTicket`] is parked for [`Database::take_commit_ticket`].
+    /// `Ok` then means "appended, durability pending" — the caller must
+    /// not acknowledge the commit to a client until the ticket resolves.
     pub(crate) fn wal_commit(&mut self) -> Result<()> {
         if self.storage.is_none() {
             return Ok(());
@@ -1824,7 +1859,8 @@ impl Database {
         }
         let clock = self.clock.now();
         let ps = self.storage.as_mut().expect("checked above");
-        ps.wal.with(|w| -> Result<()> {
+        let group = &ps.group;
+        let ticket = ps.wal.with(|w| -> Result<Option<CommitTicket>> {
             // on any failure the half-written commit is rewound out of
             // the log: left in place, a *later* successful commit would
             // make these frames replayable and resurrect a transaction
@@ -1842,7 +1878,13 @@ impl Database {
                 buf.clear();
                 WalRecord::Commit { clock }.encode(&mut buf);
                 w.append(&buf)?;
-                w.flush()
+                // grouped commits leave the flush to the gate's flusher
+                // thread — one fsync covers every commit queued there
+                if group.is_some() {
+                    Ok(())
+                } else {
+                    w.flush()
+                }
             };
             // Bounded deterministic retry: a *transient* I/O failure
             // (ErrorCode::Io — a flaky fsync, not logical damage) is
@@ -1870,10 +1912,70 @@ impl Database {
                 return Err(e);
             }
             ps.lsn_source.store(w.reserved_lsn(), Ordering::Release);
-            Ok(())
+            // the commit record is the last frame appended
+            Ok(group.as_ref().map(|g| g.submit(w.reserved_lsn() - 1)))
         })?;
+        ps.pending_ticket = ticket;
         ps.commits_since_checkpoint += 1;
         Ok(())
+    }
+
+    /// Arm group commit: commits append their WAL frames and queue at
+    /// the flush gate instead of fsyncing inline, and a background
+    /// flusher resolves every queued commit with one fsync.  Returns
+    /// `false` (and does nothing) for in-memory databases.
+    ///
+    /// After every successful commit the caller **must** collect the
+    /// pending [`CommitTicket`] via [`Database::take_commit_ticket`]
+    /// and wait on it before
+    /// acknowledging the commit externally — this is how the server
+    /// keeps the durability contract while amortizing the barrier.
+    /// In-process callers that don't collect tickets still get correct
+    /// recovery semantics (unflushed commits are simply not yet
+    /// durable), which is why this is opt-in rather than default.
+    pub fn enable_group_commit(&mut self) -> bool {
+        match self.storage.as_mut() {
+            Some(ps) => {
+                if ps.group.is_none() {
+                    ps.group = Some(GroupCommitter::new(ps.wal.clone()));
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Is the group-commit gate armed?
+    pub fn group_commit_enabled(&self) -> bool {
+        self.storage.as_ref().is_some_and(|ps| ps.group.is_some())
+    }
+
+    /// Take the ticket of the most recent deferred commit, if any.
+    /// Present only after a commit that ran with group commit armed and
+    /// actually wrote WAL records (read-only commits and in-memory
+    /// databases never produce one).
+    pub fn take_commit_ticket(&mut self) -> Option<CommitTicket> {
+        self.storage
+            .as_mut()
+            .and_then(|ps| ps.pending_ticket.take())
+    }
+
+    /// Total fsyncs issued against the WAL so far (`None` in-memory).
+    /// The e14 experiment divides this by acknowledged commits to
+    /// measure group commit's amortization.
+    pub fn wal_fsync_count(&self) -> Option<u64> {
+        self.storage
+            .as_ref()
+            .map(|ps| ps.wal.with(|w| w.sync_count()))
+    }
+
+    /// Shared handle to the WAL's fsync counter (`None` in-memory).
+    /// Lets the server observe fsync totals from other threads while
+    /// the database stays pinned to its engine thread.
+    pub fn wal_sync_counter(&self) -> Option<Arc<AtomicU64>> {
+        self.storage
+            .as_ref()
+            .map(|ps| ps.wal.with(|w| w.sync_counter()))
     }
 
     /// Checkpoint and shut down cleanly.  (Dropping a durable database

@@ -45,6 +45,7 @@ pub mod ast;
 pub mod auth;
 pub mod catalog;
 pub mod check;
+pub mod client;
 pub(crate) mod codec;
 pub mod database;
 pub mod dependency;
@@ -62,8 +63,9 @@ pub mod txn;
 pub mod xml;
 
 pub use check::CheckReport;
+pub use client::{Connection, LocalConnection, Rows, StatementHandle};
 pub use database::Database;
-pub use durability::{Durability, DurabilityOptions, RecoveryReport};
+pub use durability::{CommitTicket, Durability, DurabilityOptions, RecoveryReport};
 pub use result::{AnnOut, AnnRef, AnnRow, QueryResult};
 pub use session::{Prepared, RowCursor, Session};
 pub use txn::TxnStatus;

@@ -207,6 +207,19 @@ impl<'db> Session<'db> {
         &self.user
     }
 
+    /// Switch the user subsequent statements are authorized as.  Cached
+    /// statements stay valid — authorization is checked at execution
+    /// time, not at prepare time.
+    pub fn set_user(&mut self, user: &str) {
+        self.user = user.to_string();
+    }
+
+    /// The underlying database (for the [`crate::client::Connection`]
+    /// escape hatch).
+    pub(crate) fn database_mut(&mut self) -> &mut Database {
+        self.db
+    }
+
     /// Parse (or fetch from the session cache) a statement.  Parameter
     /// placeholders: `?` takes the next positional slot, `$n` names slot
     /// `n` (1-based); both may appear anywhere an expression may.
@@ -234,48 +247,7 @@ impl<'db> Session<'db> {
     /// the catalog generation still matches, and re-caches the plan the
     /// executor actually used.
     pub fn query<'s>(&'s self, stmt: &Prepared, params: &[Value]) -> Result<RowCursor<'s>> {
-        stmt.check_params(params)?;
-        let not_select = || {
-            BdbmsError::invalid("query expects a SELECT statement (run DML/DDL through execute)")
-        };
-        // owned storage for the parameter-bound copy; with no parameters
-        // the cached AST is borrowed as-is (no per-call deep clone)
-        let bound;
-        let sel: &Select = if params.is_empty() {
-            match &stmt.inner.stmt {
-                Statement::Select(sel) => sel,
-                _ => return Err(not_select()),
-            }
-        } else {
-            bound = bind_statement(&stmt.inner.stmt, params);
-            match &bound {
-                Statement::Select(sel) => sel,
-                _ => return Err(not_select()),
-            }
-        };
-        self.db.check_select_auth(sel, &self.user)?;
-        let st = Rc::new(RefCell::new(ExecStats::default()));
-        let hints = stmt.inner.plan.borrow().clone();
-        let (cursor, plan) = open_select_cursor(
-            self.db.catalog(),
-            sel,
-            &ExecOptions::default(),
-            st.clone(),
-            hints.as_ref(),
-        )?;
-        if let Some(p) = plan {
-            // replayed plans come back unchanged — only genuinely new
-            // decisions are written to the cache
-            let mut cached = stmt.inner.plan.borrow_mut();
-            if cached.as_ref() != Some(&p) {
-                *cached = Some(p);
-            }
-        }
-        Ok(RowCursor {
-            columns: cursor.columns,
-            stream: cursor.stream,
-            stats: st,
-        })
+        open_cursor(self.db, &self.user, stmt, params)
     }
 
     /// Run a prepared statement of any kind (DML, DDL, A-SQL commands,
@@ -359,6 +331,61 @@ impl<'db> Session<'db> {
     pub fn release(&mut self, name: &str) -> Result<QueryResult> {
         self.db.txn_release(name)
     }
+}
+
+/// The engine half of [`Session::query`], with the borrow anchored to the
+/// [`Database`] rather than a session: binds `params`, checks SELECT
+/// authorization, opens the streaming cursor, and refreshes the
+/// statement's cached plan.  Shared with [`crate::client::LocalConnection`],
+/// whose cursors must borrow the connection-owned database (a transient
+/// session would not live long enough).
+pub(crate) fn open_cursor<'d>(
+    db: &'d Database,
+    user: &str,
+    stmt: &Prepared,
+    params: &[Value],
+) -> Result<RowCursor<'d>> {
+    stmt.check_params(params)?;
+    let not_select =
+        || BdbmsError::invalid("query expects a SELECT statement (run DML/DDL through execute)");
+    // owned storage for the parameter-bound copy; with no parameters
+    // the cached AST is borrowed as-is (no per-call deep clone)
+    let bound;
+    let sel: &Select = if params.is_empty() {
+        match &stmt.inner.stmt {
+            Statement::Select(sel) => sel,
+            _ => return Err(not_select()),
+        }
+    } else {
+        bound = bind_statement(&stmt.inner.stmt, params);
+        match &bound {
+            Statement::Select(sel) => sel,
+            _ => return Err(not_select()),
+        }
+    };
+    db.check_select_auth(sel, user)?;
+    let st = Rc::new(RefCell::new(ExecStats::default()));
+    let hints = stmt.inner.plan.borrow().clone();
+    let (cursor, plan) = open_select_cursor(
+        db.catalog(),
+        sel,
+        &ExecOptions::default(),
+        st.clone(),
+        hints.as_ref(),
+    )?;
+    if let Some(p) = plan {
+        // replayed plans come back unchanged — only genuinely new
+        // decisions are written to the cache
+        let mut cached = stmt.inner.plan.borrow_mut();
+        if cached.as_ref() != Some(&p) {
+            *cached = Some(p);
+        }
+    }
+    Ok(RowCursor {
+        columns: cursor.columns,
+        stream: cursor.stream,
+        stats: st,
+    })
 }
 
 // ---- parameter substitution ----

@@ -1,0 +1,71 @@
+//! `bdbms-serve` — the bdbms wire-protocol server.
+//!
+//! ```text
+//! bdbms-serve <db-dir> [--listen HOST:PORT] [--no-group-commit]
+//! ```
+//!
+//! Opens (or creates) the database directory, binds the listener, and
+//! prints `listening on HOST:PORT` once ready — scripts and tests wait
+//! for that line before connecting.  Runs until killed; recovery on the
+//! next boot replays the WAL, so `kill -9` loses nothing that was
+//! acknowledged.  See `docs/SERVER.md`.
+
+use std::process::ExitCode;
+
+use bdbms_server::{Server, ServerConfig};
+
+const USAGE: &str = "usage: bdbms-serve <db-dir> [--listen HOST:PORT] [--no-group-commit]";
+
+fn main() -> ExitCode {
+    let mut db_path: Option<String> = None;
+    let mut listen = "127.0.0.1:4411".to_string();
+    let mut group_commit = true;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => match args.next() {
+                Some(a) => listen = a,
+                None => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--no-group-commit" => group_commit = false,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag `{flag}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            path if db_path.is_none() => db_path = Some(path.to_string()),
+            extra => {
+                eprintln!("unexpected argument `{extra}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(db_path) = db_path else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    let mut cfg = ServerConfig::new(db_path, listen);
+    cfg.group_commit = group_commit;
+    match Server::start(cfg) {
+        Ok(server) => {
+            // tooling waits for this exact line before connecting
+            println!("listening on {}", server.local_addr());
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+            server.serve_forever();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bdbms-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

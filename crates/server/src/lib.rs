@@ -1,0 +1,27 @@
+//! # bdbms-server
+//!
+//! The wire-protocol server: `bdbms-serve` exposes a [`Database`] over
+//! TCP to many concurrent clients while the engine itself stays
+//! single-threaded, and turns that concurrency into *group commit* —
+//! one WAL fsync acknowledges every commit whose records reached the
+//! log before the barrier.
+//!
+//! Layers (see `docs/SERVER.md` for the picture):
+//!
+//! * [`proto`] — the length-prefixed binary frame protocol, shared with
+//!   the `bdbms-client` crate.  Errors round-trip losslessly (code,
+//!   message, span).
+//! * [`engine`] — the single thread that owns the database; connection
+//!   handlers reach it over channels, and commits come back as
+//!   [`CommitTicket`](bdbms_core::CommitTicket)s resolved by the WAL's
+//!   group-commit flusher.
+//! * [`server`] — the TCP accept loop and per-connection handler
+//!   threads.
+//!
+//! [`Database`]: bdbms_core::Database
+
+pub mod engine;
+pub mod proto;
+pub mod server;
+
+pub use server::{Server, ServerConfig};

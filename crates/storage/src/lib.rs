@@ -33,6 +33,6 @@ pub use pager::{
     PageStore, PAGE_BODY, PAGE_SIZE, PAGE_TRAILER,
 };
 pub use wal::{
-    crc32, scan_segment_bytes, verify_wal_dir, Durability, FlushGate, SharedWal, Wal, WalCheck,
-    WalPos,
+    crc32, scan_segment_bytes, verify_wal_dir, CommitTicket, Durability, FlushGate, GroupCommitter,
+    SharedWal, Wal, WalCheck, WalPos,
 };

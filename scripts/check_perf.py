@@ -1,17 +1,24 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over `reproduce -- e13 --json` output.
+"""Perf-regression gate over `reproduce -- <id> --json` output.
 
 Usage:
-    check_perf.py BASELINE.json FRESH.json [--tolerance N]
+    check_perf.py BASELINE.json FRESH.json [--tolerance N] [--id EXP]
 
 Both files are arrays of experiment reports as emitted by
-`cargo run -p bdbms-bench --release --bin reproduce -- e13 --json`.
-For every e13 query row present in both files, the fresh speedup (the
-"speedup" column, e.g. "12000.5x") must be at least `baseline / N`
-(default N = 5): only a more-than-N-fold drop fails the gate, so noisy
-CI runners never flake it, while a real regression — an index probe
+`cargo run -p bdbms-bench --release --bin reproduce -- e13 --json`
+(or `-- e14 --json` with `--id e14`).  For every query row of the gated
+experiment present in both files, the fresh speedup (the "speedup"
+column, e.g. "12000.5x") must be at least `baseline / N` (default
+N = 5): only a more-than-N-fold drop fails the gate, so noisy CI
+runners never flake it, while a real regression — an index probe
 silently degrading to a full scan, a LIMIT no longer terminating the
 pipeline — trips it immediately.
+
+A few workloads additionally carry an *absolute* floor (see
+ABSOLUTE_FLOOR): e14's group-commit rows gate the paper-repro
+acceptance numbers — >= 4x aggregate commit throughput over sequential
+commits and >= 4 commits per fsync — regardless of what the baseline
+happened to measure.
 
 The two files must also agree on the *set* of workload keys: a workload
 missing from the fresh run (renamed or deleted) and a workload present
@@ -41,15 +48,36 @@ WORKLOAD_TOLERANCE = {
     # "cold" reads (tmpfs CI runners vs real disks).  Only a wholesale
     # collapse — warm scans suddenly paying the cold path — should fail.
     "checksummed read (cold vs warm)": 50.0,
+    # e14: group-commit gains scale with fsync latency (a slow disk makes
+    # the win huge, tmpfs makes it modest), so gate the relative drop
+    # loosely — the ABSOLUTE_FLOOR entries below still hold the line.
+    "sequential commits (wire)": 50.0,
+    "group commit": 50.0,
+    "commits per fsync": 50.0,
+    # Concurrent point reads funnel through the single engine thread; the
+    # ratio over sequential reads is scheduling-dependent, so only gate
+    # against outright collapse.
+    "point reads": 50.0,
+}
+
+# Absolute minimum speedups, enforced on the fresh run regardless of the
+# baseline.  These encode acceptance criteria rather than trajectories.
+ABSOLUTE_FLOOR = {
+    # 16 concurrent committing clients must beat 16 sequential
+    # single-session commits by >= 4x in aggregate throughput...
+    "group commit": 4.0,
+    # ...and one fsync must cover >= 4 acknowledged commits on average
+    # (i.e. <= 0.25 fsyncs per acknowledged commit).
+    "commits per fsync": 4.0,
 }
 
 
-def speedups(path):
-    """Map query label -> speedup ratio from an e13 report."""
+def speedups(path, exp_id):
+    """Map query label -> speedup ratio from the `exp_id` report."""
     with open(path) as f:
         reports = json.load(f)
     for report in reports:
-        if report.get("id") != "e13":
+        if report.get("id") != exp_id:
             continue
         headers = report["headers"]
         qi = headers.index("query")
@@ -62,16 +90,20 @@ def speedups(path):
             except ValueError:
                 continue  # "-" (unmeasurable) rows are not gated
         return out
-    raise SystemExit(f"error: no e13 report found in {path}")
+    raise SystemExit(f"error: no {exp_id} report found in {path}")
 
 
 def main(argv):
     tolerance = 5.0
+    exp_id = "e13"
     args = []
     i = 0
     while i < len(argv):
         if argv[i] == "--tolerance":
             tolerance = float(argv[i + 1])
+            i += 2
+        elif argv[i] == "--id":
+            exp_id = argv[i + 1]
             i += 2
         else:
             args.append(argv[i])
@@ -79,8 +111,8 @@ def main(argv):
     if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 1
-    base = speedups(args[0])
-    fresh = speedups(args[1])
+    base = speedups(args[0], exp_id)
+    fresh = speedups(args[1], exp_id)
     failed = False
     print(f"{'query':<24} {'baseline':>10} {'fresh':>10} {'floor':>10}  verdict")
     for label, base_s in sorted(base.items()):
@@ -89,6 +121,7 @@ def main(argv):
             failed = True
             continue
         floor = base_s / WORKLOAD_TOLERANCE.get(label, tolerance)
+        floor = max(floor, ABSOLUTE_FLOOR.get(label, 0.0))
         fresh_s = fresh[label]
         verdict = "ok" if fresh_s >= floor else "FAIL"
         failed = failed or verdict == "FAIL"
@@ -99,11 +132,12 @@ def main(argv):
     if failed:
         print(
             f"\nperf gate FAILED: a speedup regressed by more than {tolerance}x, "
-            "or the workload keys drifted (a row added to or removed from the "
-            "e13 table), against bench/baseline_e13.json.\nIf the change is "
-            "intended, regenerate the baseline with:\n"
-            "  cargo run -p bdbms-bench --release --bin reproduce -- e13 --json "
-            "> bench/baseline_e13.json"
+            "fell below an absolute floor, or the workload keys drifted (a row "
+            f"added to or removed from the {exp_id} table), against "
+            f"bench/baseline_{exp_id}.json.\nIf the change is intended, "
+            "regenerate the baseline with:\n"
+            f"  cargo run -p bdbms-bench --release --bin reproduce -- {exp_id} "
+            f"--json > bench/baseline_{exp_id}.json"
         )
         return 1
     print("\nperf gate passed")

@@ -1,246 +1,32 @@
 //! An interactive A-SQL shell over a bdbms instance — in-memory by
-//! default, durable when given a database path.
+//! default, durable when given a database path, remote when given a
+//! `host:port` of a running `bdbms-serve`.
 //!
 //! ```text
 //! cargo run --release --bin bdbms-repl              # in-memory scratch
 //! cargo run --release --bin bdbms-repl mydb.bdbms   # open or create
+//! cargo run --release --bin bdbms-repl 127.0.0.1:4411   # remote server
 //! bdbms> CREATE TABLE Gene (GID TEXT, GSequence TEXT)
-//! mydb> .open other.bdbms   -- switch databases (checkpoints the old one)
+//! mydb> .open other.bdbms    -- switch databases (checkpoints the old one)
+//! mydb> .open 127.0.0.1:4411 -- or switch to a server
 //! mydb> .user alice          -- switch the session user
 //! mydb> .demo                -- load the paper's Figure 2 scenario
 //! mydb> .help
 //! ```
 //!
 //! Statements may span lines; a trailing `;` or an empty line submits.
-//! `.quit` checkpoints a durable database cleanly before exiting.
+//! `.quit` checkpoints a durable database cleanly before exiting.  The
+//! shell itself lives in `bdbms-client` and drives the transport-
+//! agnostic `Connection` trait, so local and remote sessions behave
+//! identically (the `*` transaction prompt mirrors server-side state
+//! when remote).  `bdbms-cli` is the same shell with the same flags.
 
-use std::io::{BufRead, Write};
-
-use bdbms::core::Database;
-
-const HELP: &str = "\
-dot-commands:
-  .help            this help
-  .open PATH       switch to the database at PATH (created if missing);
-                   the current database is checkpointed first
-  .db              show the current database path and WAL state
-  .checkpoint      write a checkpoint now (truncates the WAL)
-  .user NAME       switch session user (default: admin)
-  .demo            load the paper's Figure 2 gene tables + annotations
-  .tables          list tables, row counts, annotation tables
-  .quit            checkpoint (durable databases) and exit
-everything else is executed as (A-)SQL, e.g.:
-  SELECT GID FROM DB2_Gene ANNOTATION(GAnnotation) AWHERE CONTAINS 'GenoBase'
-  ADD ANNOTATION TO T.notes VALUE 'checked' ON (SELECT G.c FROM T G)
-  SHOW PENDING OPERATIONS / SHOW OUTDATED / VALIDATE T
-  BEGIN / SAVEPOINT s / ROLLBACK TO s / COMMIT   (prompt shows * in a txn)";
-
-fn load_demo(db: &mut Database) {
-    let stmts = [
-        "CREATE TABLE DB1_Gene (GID TEXT, GName TEXT, GSequence TEXT)",
-        "CREATE TABLE DB2_Gene (GID TEXT, GName TEXT, GSequence TEXT)",
-        "CREATE ANNOTATION TABLE GAnnotation ON DB1_Gene",
-        "CREATE ANNOTATION TABLE GAnnotation ON DB2_Gene",
-        "INSERT INTO DB1_Gene VALUES ('JW0080','mraW','ATGATGGAAAA'), \
-         ('JW0082','ftsI','ATGAAAGCAGC'), ('JW0055','yabP','ATGAAAGTATC'), \
-         ('JW0078','fruR','GTGAAACTGGA')",
-        "INSERT INTO DB2_Gene VALUES ('JW0080','mraW','ATGATGGAAAA'), \
-         ('JW0041','fixB','ATGAACACGTT'), ('JW0037','caiB','ATGGATCATCT'), \
-         ('JW0027','ispH','ATGCAGATCCT'), ('JW0055','yabP','ATGAAAGTATC')",
-        "ADD ANNOTATION TO DB2_Gene.GAnnotation \
-         VALUE '<Annotation>B3: obtained from GenoBase</Annotation>' \
-         ON (SELECT G.GSequence FROM DB2_Gene G)",
-        "ADD ANNOTATION TO DB2_Gene.GAnnotation \
-         VALUE '<Annotation>B5: This gene has an unknown function</Annotation>' \
-         ON (SELECT G.* FROM DB2_Gene G WHERE GID = 'JW0080')",
-        "ADD ANNOTATION TO DB1_Gene.GAnnotation \
-         VALUE '<Annotation>A2: These genes were obtained from RegulonDB</Annotation>' \
-         ON (SELECT G.* FROM DB1_Gene G WHERE GID IN ('JW0055','JW0078'))",
-    ];
-    for s in stmts {
-        if let Err(e) = db.execute(s) {
-            eprintln!("demo load failed: {e}");
-            return;
-        }
-    }
-    println!("Figure 2 scenario loaded (DB1_Gene, DB2_Gene, GAnnotation). Try:");
-    println!("  SELECT GID, GName, GSequence FROM DB1_Gene ANNOTATION(GAnnotation)");
-    println!("  INTERSECT SELECT GID, GName, GSequence FROM DB2_Gene ANNOTATION(GAnnotation)");
-}
-
-fn list_tables(db: &Database) {
-    for t in db.catalog().tables() {
-        let anns: Vec<&str> = t.ann_sets.iter().map(|s| s.name.as_str()).collect();
-        println!(
-            "{:<16} {:>6} rows   annotation tables: [{}]",
-            t.name,
-            t.len(),
-            anns.join(", ")
-        );
-    }
-}
-
-/// Open (or create) the database at `path`, reporting what recovery did.
-fn open_database(path: &str) -> Option<Database> {
-    let existed = std::path::Path::new(path).join("data.bdb").exists();
-    let result = if existed {
-        Database::open(path)
-    } else {
-        Database::create(path)
-    };
-    match result {
-        Ok(db) => {
-            if let Some(rec) = db.last_recovery() {
-                if rec.replayed_commits > 0 || rec.discarded_ops > 0 || rec.torn_bytes > 0 {
-                    println!(
-                        "recovered `{path}`: {} committed transaction(s) replayed, \
-                         {} uncommitted op(s) discarded, {} torn byte(s) truncated",
-                        rec.replayed_commits, rec.discarded_ops, rec.torn_bytes
-                    );
-                } else {
-                    println!("opened `{path}` (clean)");
-                }
-            } else {
-                println!("created `{path}`");
-            }
-            Some(db)
-        }
-        Err(e) => {
-            eprintln!("cannot open `{path}`: {e}");
-            None
-        }
-    }
-}
-
-/// The prompt stem: the database's file stem, or `bdbms` when in-memory.
-fn db_name(db: &Database) -> String {
-    db.path()
-        .and_then(|p| p.file_stem())
-        .map(|s| s.to_string_lossy().into_owned())
-        .unwrap_or_else(|| "bdbms".to_string())
-}
-
-/// Checkpoint a durable database, reporting errors (exit/switch path).
-fn close_current(db: Database) {
-    let durable = db.is_persistent();
-    match db.close() {
-        Ok(()) if durable => println!("checkpointed"),
-        Ok(()) => {}
-        Err(e) => eprintln!("checkpoint on close failed: {e}"),
-    }
-}
+use bdbms_client::shell;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut db = match args.first() {
-        Some(path) => match open_database(path) {
-            Some(db) => db,
-            None => std::process::exit(1),
-        },
-        None => Database::new_in_memory(),
-    };
-    let mut user = "admin".to_string();
-    let stdin = std::io::stdin();
-    let mut buffer = String::new();
-    println!("bdbms — CIDR 2007 reproduction. `.help` for commands, `.quit` to exit.");
-    loop {
-        let name = db_name(&db);
-        if !buffer.is_empty() {
-            print!("   ..> ");
-        } else if db.in_transaction() {
-            // `*` marks an open BEGIN: statements queue in the undo log
-            print!("{name}*> ");
-        } else {
-            print!("{name}> ");
-        }
-        std::io::stdout().flush().ok();
-        let mut line = String::new();
-        match stdin.lock().read_line(&mut line) {
-            Ok(0) => break, // EOF
-            Ok(_) => {}
-            Err(e) => {
-                eprintln!("input error: {e}");
-                break;
-            }
-        }
-        let trimmed = line.trim();
-        if buffer.is_empty() && trimmed.starts_with('.') {
-            let mut parts = trimmed.splitn(2, ' ');
-            match parts.next().unwrap() {
-                ".quit" | ".exit" => break,
-                ".help" => println!("{HELP}"),
-                ".demo" => load_demo(&mut db),
-                ".tables" => list_tables(&db),
-                ".open" => match parts.next() {
-                    Some(p) if !p.trim().is_empty() => {
-                        let p = p.trim();
-                        // two live handles on one directory checkpoint
-                        // over each other (docs/STORAGE.md Limitations):
-                        // refuse a same-path reopen, and close the old
-                        // database *before* opening the new one
-                        let same = db.path().is_some_and(|cur| {
-                            std::fs::canonicalize(cur)
-                                .ok()
-                                .is_some_and(|a| std::fs::canonicalize(p).is_ok_and(|b| a == b))
-                        });
-                        if same {
-                            println!("`{p}` is already the current database");
-                        } else {
-                            close_current(std::mem::replace(&mut db, Database::new_in_memory()));
-                            match open_database(p) {
-                                Some(new_db) => db = new_db,
-                                None => println!(
-                                    "fell back to an in-memory database (`.open` to retry)"
-                                ),
-                            }
-                        }
-                    }
-                    _ => println!("usage: .open PATH"),
-                },
-                ".db" => match db.path() {
-                    Some(p) => println!(
-                        "database: {} ({} WAL segment(s))",
-                        p.display(),
-                        db.wal_segment_count().unwrap_or(0)
-                    ),
-                    None => println!("database: in-memory (state dies with the process)"),
-                },
-                ".checkpoint" => match db.checkpoint() {
-                    Ok(()) if db.is_persistent() => println!("checkpointed"),
-                    Ok(()) => println!("in-memory database: nothing to checkpoint"),
-                    Err(e) => println!("error: {e}"),
-                },
-                ".user" => match parts.next() {
-                    Some(u) if !u.trim().is_empty() => {
-                        user = u.trim().to_string();
-                        println!("session user is now `{user}`");
-                    }
-                    _ => println!("usage: .user NAME"),
-                },
-                other => println!("unknown command {other} (`.help`)"),
-            }
-            continue;
-        }
-        // accumulate until `;` or a blank line after content
-        if !trimmed.is_empty() {
-            buffer.push_str(&line);
-            if !trimmed.ends_with(';') {
-                continue;
-            }
-        } else if buffer.is_empty() {
-            continue;
-        }
-        let stmt = buffer.trim().trim_end_matches(';').to_string();
-        buffer.clear();
-        if stmt.is_empty() {
-            continue;
-        }
-        match db.execute_as(&stmt, &user) {
-            Ok(result) => println!("{result}"),
-            Err(e) => println!("error: {e}"),
-        }
+    match shell::open_target(args.first().map(|s| s.as_str()), "admin") {
+        Some((conn, name)) => shell::run(conn, name),
+        None => std::process::exit(1),
     }
-    // `.quit` / EOF: a durable database checkpoints cleanly
-    close_current(db);
-    println!("bye");
 }
