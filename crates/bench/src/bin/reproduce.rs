@@ -19,14 +19,30 @@ use bdbms_bench::{all_experiments, e12_sbc_tree};
 /// output would corrupt scripted perf-gate pipelines).
 const KNOWN_FLAGS: &[&str] = &["--markdown", "--json"];
 
+/// Every runnable experiment: the DESIGN.md set plus the e12 companion
+/// table (registered here because it shares e12's module).
+fn experiments() -> Vec<bdbms_bench::Experiment> {
+    let mut experiments = all_experiments();
+    experiments.push(("e12b", e12_sbc_tree::run_prefix_range as fn() -> _));
+    experiments
+}
+
+/// Usage text for error paths: flags and every registered experiment id,
+/// so a typo'd invocation shows what *would* have worked.
+fn usage() -> String {
+    let ids: Vec<&str> = experiments().iter().map(|(id, _)| *id).collect();
+    format!(
+        "usage: reproduce [{}] [experiment id ...]\nexperiment ids: {}",
+        KNOWN_FLAGS.join("|"),
+        ids.join(", ")
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     for a in &args {
         if a.starts_with("--") && !KNOWN_FLAGS.contains(&a.as_str()) {
-            eprintln!(
-                "unknown flag `{a}`; known flags: {}",
-                KNOWN_FLAGS.join(", ")
-            );
+            eprintln!("unknown flag `{a}`\n{}", usage());
             std::process::exit(1);
         }
     }
@@ -34,18 +50,12 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
-    let mut experiments = all_experiments();
-    experiments.push(("e12b", e12_sbc_tree::run_prefix_range as fn() -> _));
-
-    let selected: Vec<_> = experiments
+    let selected: Vec<_> = experiments()
         .into_iter()
         .filter(|(id, _)| filter.is_empty() || filter.iter().any(|f| f.as_str() == *id))
         .collect();
     if selected.is_empty() {
-        eprintln!("no experiment matches; known ids:");
-        for (id, _) in all_experiments() {
-            eprintln!("  {id}");
-        }
+        eprintln!("no experiment matches\n{}", usage());
         std::process::exit(1);
     }
     if !markdown && !json {

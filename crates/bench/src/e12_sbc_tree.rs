@@ -66,7 +66,9 @@ pub fn run() -> Report {
             let a = sbt.substring_search(&pat);
             sbt_reads += sbt.io_stats().reads;
             sbc.reset_io();
-            let b = sbc.substring_search(&pat);
+            // forced 3-sided ablation (the production `substring_search`
+            // falls back to a class scan when the tail class is small)
+            let b = sbc.substring_search_three_sided(&pat);
             three_reads += sbc.io_stats().reads;
             sbc.reset_io();
             let c = sbc.substring_search_scan(&pat);

@@ -21,6 +21,7 @@ pub mod e11_approval;
 pub mod e12_sbc_tree;
 pub mod e13_executor;
 pub mod e14_server;
+pub mod e15_ingest;
 pub mod espgist;
 
 use report::Report;
@@ -44,6 +45,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e12", e12_sbc_tree::run),
         ("e13", e13_executor::run),
         ("e14", e14_server::run),
+        ("e15", e15_ingest::run),
         ("spgist", espgist::run),
     ]
 }

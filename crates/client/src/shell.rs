@@ -25,6 +25,10 @@ dot-commands:
   .checkpoint      write a checkpoint now (embedded databases only)
   .user NAME       switch the acting user (default: admin)
   .demo            load the paper's Figure 2 gene tables + annotations
+  .import PATH TABLE [FASTA|TSV]
+                   bulk-load a file into TABLE via COPY (format inferred
+                   from the extension unless given; on remote connections
+                   the *server* reads PATH from its own filesystem)
   .tables          list tables (embedded databases only)
   .quit            close the connection and exit
 everything else is executed as (A-)SQL, e.g.:
@@ -229,6 +233,28 @@ pub fn run(mut conn: Box<dyn Connection>, mut name: String) {
                         println!(".checkpoint needs an embedded database (the server checkpoints)")
                     }
                 },
+                ".import" => {
+                    let args: Vec<&str> = parts.next().unwrap_or("").split_whitespace().collect();
+                    match args.as_slice() {
+                        [path, ..] if path.contains('\'') => {
+                            println!("error: path `{path}` contains a quote");
+                        }
+                        [path, table] | [path, table, _] => {
+                            // `.import` is sugar over COPY, so it works
+                            // identically on embedded and remote
+                            // connections (the server resolves PATH)
+                            let mut sql = format!("COPY {table} FROM '{path}'");
+                            if let Some(f) = args.get(2) {
+                                sql.push_str(&format!(" FORMAT {}", f.to_uppercase()));
+                            }
+                            match conn.run(&sql) {
+                                Ok(result) => println!("{result}"),
+                                Err(e) => println!("error: {e}"),
+                            }
+                        }
+                        _ => println!("usage: .import PATH TABLE [FASTA|TSV]"),
+                    }
+                }
                 ".user" => match parts.next() {
                     Some(u) if !u.trim().is_empty() => match conn.set_user(u.trim()) {
                         Ok(()) => println!("session user is now `{}`", conn.user()),

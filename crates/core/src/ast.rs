@@ -31,6 +31,11 @@ pub enum Expr {
     IsNull(Box<Expr>, bool),
     /// `expr [NOT] LIKE 'pattern'` (SQL `%`/`_` wildcards).
     Like(Box<Expr>, String, bool),
+    /// `expr [NOT] CONTAINS SEQ 'pattern'` — exact substring match over a
+    /// sequence column.  The pattern is a parse-time literal (never a
+    /// parameter) so plans stay value-independent; the planner routes the
+    /// positive form through a sequence index when one covers the column.
+    ContainsSeq(Box<Expr>, String, bool),
     /// `expr [NOT] IN (v1, v2, ...)`.
     InList(Box<Expr>, Vec<Expr>, bool),
     /// Scalar function call (`LENGTH`, `UPPER`, `LOWER`, `ABS`, `SUBSTR`).
@@ -240,6 +245,39 @@ pub enum Statement {
         name: String,
         /// Indexed table.
         table: String,
+    },
+    /// `CREATE SEQUENCE INDEX name ON table (column) [USING SBC|SUFFIX]` —
+    /// a substring-search index over a TEXT sequence column, backed by the
+    /// paper's SBC-tree (RLE-compressed suffixes, the default) or by an
+    /// uncompressed String B-tree baseline.
+    CreateSequenceIndex {
+        /// Index name.
+        name: String,
+        /// Indexed table.
+        table: String,
+        /// Indexed column.
+        column: String,
+        /// Backing structure.
+        kind: SeqIndexKind,
+    },
+    /// `DROP SEQUENCE INDEX name ON table`.
+    DropSequenceIndex {
+        /// Index name.
+        name: String,
+        /// Indexed table.
+        table: String,
+    },
+    /// `COPY table FROM 'path' [FORMAT FASTA|TSV]` — bulk load from a file
+    /// through the deferred-index, WAL-bypassing ingest engine
+    /// (`crate::ingest`; docs/INGEST.md).
+    Copy {
+        /// Target table.
+        table: String,
+        /// Source file path (server-side for remote connections).
+        path: String,
+        /// Input format; `None` = infer from the file extension
+        /// (`.fa`/`.fasta` → FASTA, everything else → TSV).
+        format: Option<CopyFormat>,
     },
     /// `CREATE ANNOTATION TABLE ann ON tbl [SCHEME CELL|RECTANGLE]`
     /// (Figure 4; SCHEME is our ablation extension, default RECTANGLE).
@@ -451,6 +489,45 @@ pub enum Statement {
         /// Savepoint name.
         name: String,
     },
+}
+
+/// Backing structure for a sequence index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqIndexKind {
+    /// RLE-compressed SBC-tree (the paper's §7.2 structure; default).
+    Sbc,
+    /// Uncompressed String B-tree baseline.
+    Suffix,
+}
+
+impl SeqIndexKind {
+    /// Keyword used in SQL (`USING SBC` / `USING SUFFIX`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SeqIndexKind::Sbc => "SBC",
+            SeqIndexKind::Suffix => "SUFFIX",
+        }
+    }
+}
+
+/// Input format of a `COPY` statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyFormat {
+    /// `>header` lines followed by sequence lines; loads two TEXT columns
+    /// (header, sequence).
+    Fasta,
+    /// Tab-separated positional columns coerced to the table schema.
+    Tsv,
+}
+
+impl CopyFormat {
+    /// Keyword used in SQL (`FORMAT FASTA` / `FORMAT TSV`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CopyFormat::Fasta => "FASTA",
+            CopyFormat::Tsv => "TSV",
+        }
+    }
 }
 
 /// Table privileges of the GRANT/REVOKE model.

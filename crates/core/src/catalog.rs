@@ -1,15 +1,17 @@
 //! The catalog: tables, their heaps, annotation sets, and outdated bitmaps.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
 use std::sync::Arc;
 
 use bdbms_common::bitmap::CellBitmap;
-use bdbms_common::{BdbmsError, Result, Schema, Value};
+use bdbms_common::{BdbmsError, DataType, Result, Schema, Value};
 use bdbms_index::BPlusTree;
+use bdbms_seq::{SbcTree, StringBTree};
 use bdbms_storage::{BufferPool, HeapFile, Rid};
 
 use crate::annotation::AnnotationSet;
+use crate::ast::SeqIndexKind;
 use crate::durability::{disabled_redo_sink, RedoSink, WalRecord};
 use crate::stats::TableStats;
 
@@ -98,6 +100,140 @@ impl TableIndex {
     pub fn is_empty(&self) -> bool {
         self.tree.is_empty()
     }
+
+    /// Replace the tree wholesale from key-sorted entries (bulk load's
+    /// deferred index build).  Ascending insertion keeps every split on
+    /// the rightmost path, so this beats the shuffled per-row inserts a
+    /// 50k-record `COPY` would otherwise issue.
+    fn rebuild_sorted(&mut self, entries: Vec<(Value, u64)>) {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 <= w[1].0), "sorted");
+        let mut tree = BPlusTree::new();
+        for (value, row_no) in entries {
+            if !value.is_null() {
+                tree.insert(value, row_no);
+            }
+        }
+        self.tree = tree;
+    }
+}
+
+/// The physical structure behind a sequence index: the paper's SBC-tree
+/// (RLE-compressed suffixes, queried without decompression) or the plain
+/// String B-tree baseline it is benchmarked against.
+enum SeqBackend {
+    Sbc(SbcTree),
+    Suffix(StringBTree),
+}
+
+impl SeqBackend {
+    fn new(kind: SeqIndexKind) -> SeqBackend {
+        match kind {
+            SeqIndexKind::Sbc => SeqBackend::Sbc(SbcTree::new()),
+            SeqIndexKind::Suffix => SeqBackend::Suffix(StringBTree::new()),
+        }
+    }
+
+    fn insert_text(&mut self, text: &[u8]) -> u32 {
+        match self {
+            SeqBackend::Sbc(t) => t.insert_sequence(text),
+            SeqBackend::Suffix(t) => t.insert_text(text),
+        }
+    }
+
+    /// Text ids containing `pattern` as a substring, deduplicated.
+    fn matching_texts(&self, pattern: &[u8]) -> Vec<u32> {
+        let mut ids: Vec<u32> = match self {
+            SeqBackend::Sbc(t) => t
+                .substring_search(pattern)
+                .into_iter()
+                .map(|occ| occ.text)
+                .collect(),
+            SeqBackend::Suffix(t) => t
+                .substring_search(pattern)
+                .into_iter()
+                .map(|(text, _)| text)
+                .collect(),
+        };
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+/// A sequence index (`CREATE SEQUENCE INDEX … USING SBC|SUFFIX`) over one
+/// TEXT column, answering `CONTAINS SEQ` probes from the suffix structure
+/// instead of a full scan.
+///
+/// Neither backend supports deletion, so updates and deletes *tombstone*:
+/// the row↔text maps drop their entries (making the stale text
+/// unreachable from any probe result) while the suffix structure keeps
+/// the dead text's nodes.  Like [`TableIndex`], the probe result is a
+/// candidate set — the executor re-checks the originating predicate, so
+/// over-approximation is safe and NULLs are simply never entered.
+pub struct SeqIndex {
+    /// Index name (unique per table across seq indexes, case-insensitive).
+    pub name: String,
+    /// Indexed column position (always a TEXT column).
+    pub column: usize,
+    /// Which backend structure this index uses.
+    pub kind: SeqIndexKind,
+    backend: SeqBackend,
+    text_of_row: BTreeMap<u64, u32>,
+    row_of_text: HashMap<u32, u64>,
+}
+
+impl SeqIndex {
+    fn new(name: impl Into<String>, column: usize, kind: SeqIndexKind) -> SeqIndex {
+        SeqIndex {
+            name: name.into(),
+            column,
+            kind,
+            backend: SeqBackend::new(kind),
+            text_of_row: BTreeMap::new(),
+            row_of_text: HashMap::new(),
+        }
+    }
+
+    fn add(&mut self, value: &Value, row_no: u64) {
+        if let Value::Text(s) = value {
+            let id = self.backend.insert_text(s.as_bytes());
+            self.text_of_row.insert(row_no, id);
+            self.row_of_text.insert(id, row_no);
+        }
+    }
+
+    fn remove(&mut self, row_no: u64) {
+        if let Some(id) = self.text_of_row.remove(&row_no) {
+            self.row_of_text.remove(&id);
+        }
+    }
+
+    /// Row numbers whose sequence contains `pattern`, sorted ascending
+    /// (scan order).  An empty pattern matches nothing, mirroring the
+    /// `CONTAINS SEQ ''` evaluation rule.
+    pub fn probe(&self, pattern: &str) -> Vec<u64> {
+        if pattern.is_empty() {
+            return Vec::new();
+        }
+        let mut rows: Vec<u64> = self
+            .backend
+            .matching_texts(pattern.as_bytes())
+            .into_iter()
+            .filter_map(|id| self.row_of_text.get(&id).copied())
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Number of live (non-tombstoned) indexed rows.
+    pub fn len(&self) -> usize {
+        self.text_of_row.len()
+    }
+
+    /// True when no live rows are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.text_of_row.is_empty()
+    }
 }
 
 /// A row preserved in the deletion log (§3.2: *"the deleted tuples will be
@@ -137,6 +273,8 @@ pub struct Table {
     pub deleted_log: Vec<DeletedRow>,
     /// Secondary indexes (`CREATE INDEX … ON …`).
     indexes: Vec<TableIndex>,
+    /// Sequence indexes (`CREATE SEQUENCE INDEX … ON …`).
+    seq_indexes: Vec<SeqIndex>,
     /// Planner statistics, maintained incrementally by every write path
     /// and rebuilt exactly by `ANALYZE`.
     stats: TableStats,
@@ -166,6 +304,7 @@ impl Table {
             outdated: CellBitmap::new(0, arity),
             deleted_log: Vec::new(),
             indexes: Vec::new(),
+            seq_indexes: Vec::new(),
             stats: TableStats::new(arity),
             redo: disabled_redo_sink(),
         })
@@ -188,6 +327,7 @@ impl Table {
         outdated: CellBitmap,
         deleted_log: Vec<DeletedRow>,
         index_defs: &[(String, usize)],
+        seq_index_defs: &[(String, usize, SeqIndexKind)],
     ) -> Result<Table> {
         let arity = schema.arity();
         let mut t = Table {
@@ -201,6 +341,7 @@ impl Table {
             outdated,
             deleted_log,
             indexes: Vec::new(),
+            seq_indexes: Vec::new(),
             stats: TableStats::new(arity),
             redo: disabled_redo_sink(),
         };
@@ -218,6 +359,20 @@ impl Table {
                 .name
                 .clone();
             t.create_index(index, &column)?;
+        }
+        for (index, col, kind) in seq_index_defs {
+            let column = t
+                .schema
+                .columns()
+                .get(*col)
+                .ok_or_else(|| {
+                    BdbmsError::corrupt(format!(
+                        "sequence index `{index}` references column {col} beyond the schema"
+                    ))
+                })?
+                .name
+                .clone();
+            t.create_seq_index(index, &column, *kind)?;
         }
         Ok(t)
     }
@@ -299,6 +454,9 @@ impl Table {
         for idx in &mut self.indexes {
             idx.add(&values[idx.column], row_no);
         }
+        for sidx in &mut self.seq_indexes {
+            sidx.add(&values[sidx.column], row_no);
+        }
         self.stats.observe_row(&values);
         self.redo.borrow_mut().push(|| WalRecord::RowInsert {
             table: self.name.clone(),
@@ -353,6 +511,12 @@ impl Table {
                 idx.add(&values[idx.column], row_no);
             }
         }
+        for sidx in &mut self.seq_indexes {
+            if old[sidx.column] != values[sidx.column] {
+                sidx.remove(row_no);
+                sidx.add(&values[sidx.column], row_no);
+            }
+        }
         for (col, (o, n)) in old.iter().zip(&values).enumerate() {
             if o != n {
                 self.stats.update_cell(col, o, n);
@@ -377,6 +541,9 @@ impl Table {
         }
         for idx in &mut self.indexes {
             idx.remove(&values[idx.column], row_no);
+        }
+        for sidx in &mut self.seq_indexes {
+            sidx.remove(row_no);
         }
         self.stats.retire_row(&values);
         self.redo.borrow_mut().push(|| WalRecord::RowDelete {
@@ -473,6 +640,153 @@ impl Table {
     /// All indexes on this table.
     pub fn indexes(&self) -> &[TableIndex] {
         &self.indexes
+    }
+
+    // ---- sequence indexes ----
+
+    /// Create a sequence index named `name` over the TEXT column
+    /// `column`, backfilling it from the live rows.
+    pub fn create_seq_index(&mut self, name: &str, column: &str, kind: SeqIndexKind) -> Result<()> {
+        if self.seq_index_named(name).is_some() {
+            return Err(BdbmsError::already_exists(format!(
+                "sequence index `{name}` on `{}`",
+                self.name
+            )));
+        }
+        let col = self.schema.require(column)?;
+        if self.schema.columns()[col].ty != DataType::Text {
+            return Err(BdbmsError::invalid(format!(
+                "sequence index `{name}` requires a TEXT column, but `{column}` is {:?}",
+                self.schema.columns()[col].ty
+            )));
+        }
+        let mut sidx = SeqIndex::new(name, col, kind);
+        for entry in self.iter_rows() {
+            let (row_no, values) = entry?;
+            sidx.add(&values[col], row_no);
+        }
+        self.seq_indexes.push(sidx);
+        self.redo.borrow_mut().push(|| WalRecord::SeqIndexCreate {
+            table: self.name.clone(),
+            index: name.to_string(),
+            column: column.to_string(),
+            kind,
+        });
+        Ok(())
+    }
+
+    /// Drop the sequence index named `name`.
+    pub fn drop_seq_index(&mut self, name: &str) -> Result<()> {
+        let before = self.seq_indexes.len();
+        self.seq_indexes
+            .retain(|i| !i.name.eq_ignore_ascii_case(name));
+        if self.seq_indexes.len() == before {
+            return Err(BdbmsError::not_found(format!(
+                "sequence index `{name}` on `{}`",
+                self.name
+            )));
+        }
+        self.redo.borrow_mut().push(|| WalRecord::SeqIndexDrop {
+            table: self.name.clone(),
+            index: name.to_string(),
+        });
+        Ok(())
+    }
+
+    /// Find a sequence index by name (case-insensitive).
+    pub fn seq_index_named(&self, name: &str) -> Option<&SeqIndex> {
+        self.seq_indexes
+            .iter()
+            .find(|i| i.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Find a sequence index over the given column position, if any.
+    pub fn seq_index_on(&self, column: usize) -> Option<&SeqIndex> {
+        self.seq_indexes.iter().find(|i| i.column == column)
+    }
+
+    /// All sequence indexes on this table.
+    pub fn seq_indexes(&self) -> &[SeqIndex] {
+        &self.seq_indexes
+    }
+
+    // ---- bulk load (COPY) ----
+
+    /// `COPY` fast path: append one row, deferring index maintenance,
+    /// statistics, and redo logging to [`finish_bulk`](Self::finish_bulk)
+    /// / the single logical `BulkLoad` WAL record.  The table is in a
+    /// *scan-correct but index-stale* state between the first
+    /// `bulk_append` and `finish_bulk`; `crate::ingest` owns that window
+    /// and never lets a query see it.
+    pub(crate) fn bulk_append(&mut self, values: Vec<Value>) -> Result<u64> {
+        let values = self.schema.check_row(values)?;
+        let row_no = self.next_row;
+        let rid = self.heap.insert(&Self::encode_row(row_no, &values))?;
+        self.rows.insert(row_no, rid);
+        self.next_row = row_no + 1;
+        Ok(row_no)
+    }
+
+    /// Close out a bulk-append run that started at `first_row`: grow the
+    /// outdated bitmap, rebuild every secondary B+-tree index by sorted
+    /// bulk construction, append only the new rows to the sequence
+    /// indexes (their backends are insert-only), and recompute exact
+    /// statistics (the deferred `ANALYZE`).
+    pub(crate) fn finish_bulk(&mut self, first_row: u64) -> Result<()> {
+        if self.outdated.rows() < self.next_row as usize {
+            self.outdated.grow_rows(self.next_row as usize);
+        }
+        let mut stats = TableStats::new(self.schema.arity());
+        let mut per_index: Vec<Vec<(Value, u64)>> =
+            self.indexes.iter().map(|_| Vec::new()).collect();
+        let mut fresh: Vec<(u64, Vec<Value>)> = Vec::new();
+        for entry in self.iter_rows() {
+            let (row_no, values) = entry?;
+            stats.observe_row(&values);
+            for (slot, idx) in self.indexes.iter().enumerate() {
+                per_index[slot].push((values[idx.column].clone(), row_no));
+            }
+            if row_no >= first_row && !self.seq_indexes.is_empty() {
+                fresh.push((row_no, values));
+            }
+        }
+        for (slot, mut entries) in per_index.into_iter().enumerate() {
+            entries.sort_unstable();
+            self.indexes[slot].rebuild_sorted(entries);
+        }
+        for sidx in &mut self.seq_indexes {
+            for (row_no, values) in &fresh {
+                sidx.add(&values[sidx.column], *row_no);
+            }
+        }
+        self.stats = stats;
+        Ok(())
+    }
+
+    /// Remove every row numbered `first_row` or above (bulk-load
+    /// rollback).  Index entries that were never built (load failed
+    /// before `finish_bulk`) are tolerated; statistics are restored
+    /// wholesale by the accompanying first-touch snapshot, not here.
+    pub(crate) fn truncate_rows_from(&mut self, first_row: u64) -> Result<()> {
+        let doomed: Vec<u64> = self.rows.range(first_row..).map(|(&no, _)| no).collect();
+        for row_no in doomed {
+            let values = self.get(row_no)?;
+            let rid = self.rows.remove(&row_no).expect("listed above");
+            self.heap.delete(rid)?;
+            for c in 0..self.schema.arity() {
+                if (row_no as usize) < self.outdated.rows() {
+                    self.outdated.clear(row_no as usize, c);
+                }
+            }
+            for idx in &mut self.indexes {
+                idx.remove(&values[idx.column], row_no);
+            }
+            for sidx in &mut self.seq_indexes {
+                sidx.remove(row_no);
+            }
+        }
+        self.set_next_row(first_row);
+        Ok(())
     }
 
     // ---- planner statistics ----
@@ -915,6 +1229,99 @@ mod tests {
         assert_eq!(t.index_named("a_idx").unwrap().len(), 2);
         t.update(0, vec![Value::Null, Value::Null]).unwrap();
         assert_eq!(t.index_named("a_idx").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn seq_index_stays_consistent_across_dml() {
+        let mut t = gene_table();
+        t.insert(vec!["JW0001".into(), "a".into(), "ATGCATGC".into()])
+            .unwrap();
+        t.insert(vec!["JW0002".into(), "b".into(), "GGGGCCCC".into()])
+            .unwrap();
+        t.create_seq_index("seq_idx", "GSequence", SeqIndexKind::Sbc)
+            .unwrap();
+        assert_eq!(t.seq_index_named("seq_idx").unwrap().len(), 2, "backfilled");
+        let probe = |t: &Table, pat: &str| t.seq_index_on(2).unwrap().probe(pat);
+        assert_eq!(probe(&t, "GCAT"), vec![0]);
+        assert_eq!(probe(&t, "GGCC"), vec![1]);
+        assert_eq!(probe(&t, ""), Vec::<u64>::new(), "empty pattern");
+        // update tombstones the old text and indexes the new one
+        t.update(0, vec!["JW0001".into(), "a".into(), "TTTTTTTT".into()])
+            .unwrap();
+        assert_eq!(probe(&t, "GCAT"), Vec::<u64>::new());
+        assert_eq!(probe(&t, "TTT"), vec![0]);
+        // delete tombstones
+        t.delete(1).unwrap();
+        assert_eq!(probe(&t, "GGCC"), Vec::<u64>::new());
+        assert_eq!(t.seq_index_on(2).unwrap().len(), 1);
+        // duplicate name / non-TEXT column / unknown column rejected
+        assert!(t
+            .create_seq_index("SEQ_IDX", "GSequence", SeqIndexKind::Suffix)
+            .is_err());
+        assert!(t
+            .create_seq_index("nope", "missing", SeqIndexKind::Sbc)
+            .is_err());
+        t.drop_seq_index("SEQ_IDX").unwrap();
+        assert!(t.seq_index_on(2).is_none());
+        assert!(t.drop_seq_index("seq_idx").is_err());
+    }
+
+    #[test]
+    fn seq_index_rejects_non_text_column() {
+        let mut t = Table::create(
+            "N",
+            Schema::of(&[("a", DataType::Int), ("b", DataType::Text)]),
+            "admin",
+            pool(),
+        )
+        .unwrap();
+        assert!(t.create_seq_index("sa", "a", SeqIndexKind::Sbc).is_err());
+        assert!(t.create_seq_index("sb", "b", SeqIndexKind::Suffix).is_ok());
+    }
+
+    #[test]
+    fn bulk_append_then_finish_matches_row_at_a_time() {
+        let mut t = gene_table();
+        t.insert(vec!["JW0000".into(), "pre".into(), "ACGT".into()])
+            .unwrap();
+        t.create_index("gid_idx", "GID").unwrap();
+        t.create_seq_index("seq_idx", "GSequence", SeqIndexKind::Sbc)
+            .unwrap();
+        let first = t.peek_next_row();
+        for i in 1..=10 {
+            t.bulk_append(vec![
+                format!("JW{i:04}").into(),
+                "x".into(),
+                format!("ACGT{}", "T".repeat(i)).into(),
+            ])
+            .unwrap();
+        }
+        t.finish_bulk(first).unwrap();
+        assert_eq!(t.len(), 11);
+        assert_eq!(t.index_named("gid_idx").unwrap().len(), 11, "rebuilt");
+        assert_eq!(t.seq_index_named("seq_idx").unwrap().len(), 11, "appended");
+        let v = Value::Text("JW0007".into());
+        assert_eq!(
+            t.index_on(0)
+                .unwrap()
+                .probe(Bound::Included(&v), Bound::Included(&v)),
+            vec![7]
+        );
+        // "ACGT" + 9 extra T's already holds a 10-T run (the G is followed
+        // by 1+9 T's), so both of the longest two rows match
+        assert_eq!(t.seq_index_on(2).unwrap().probe("TTTTTTTTTT"), vec![9, 10]);
+        assert_eq!(t.seq_index_on(2).unwrap().probe("TTTTTTTTTTT"), vec![10]);
+        assert_eq!(t.stats().column(0).distinct(), 11, "stats recomputed");
+        // rollback path: truncate removes exactly the bulk rows
+        let first2 = t.peek_next_row();
+        t.bulk_append(vec!["JW9998".into(), "y".into(), "GGG".into()])
+            .unwrap();
+        t.bulk_append(vec!["JW9999".into(), "y".into(), "GGG".into()])
+            .unwrap();
+        t.truncate_rows_from(first2).unwrap();
+        assert_eq!(t.len(), 11);
+        assert_eq!(t.peek_next_row(), first2);
+        assert_eq!(t.index_named("gid_idx").unwrap().len(), 11);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use bdbms_storage::{BufferPool, MemStore};
 
 use crate::annotation::AnnotationSet;
 use crate::approval::{ApprovalManager, InverseOp, OpStatus};
-use crate::ast::{AnnTarget, Expr, Privilege, Statement};
+use crate::ast::{AnnTarget, CopyFormat, Expr, Privilege, Statement};
 use crate::auth::{AuthManager, ADMIN};
 use crate::catalog::{Catalog, DeletedRow, Table};
 use crate::dependency::{DependencyManager, DependencyRule};
@@ -402,6 +402,10 @@ impl Database {
             Statement::StopContentApproval { .. } => "STOP CONTENT APPROVAL",
             Statement::ApproveOperation { .. } => "APPROVE OPERATION",
             Statement::DisapproveOperation { .. } => "DISAPPROVE OPERATION",
+            // COPY commits through a single BulkLoad record and then
+            // *forces a checkpoint* — which cannot run inside an open
+            // transaction, so neither can COPY
+            Statement::Copy { .. } => "COPY",
             _ => return None,
         })
     }
@@ -453,9 +457,19 @@ impl Database {
             }
             r
         } else {
+            let copy_barrier = matches!(stmt, Statement::Copy { .. });
             // implicit transaction: atomic in memory AND on disk — the
             // statement's redo records reach the WAL only on success
-            self.with_implicit(|db| db.execute_stmt_inner(stmt, user))
+            let r = self.with_implicit(|db| db.execute_stmt_inner(stmt, user));
+            if copy_barrier && r.is_ok() {
+                // WAL-bypass barrier: the committed BulkLoad record's
+                // replay re-reads the source file, so fold the loaded
+                // rows into the checkpoint image now and close that
+                // window.  Best-effort — the commit itself is already
+                // durable, and replay covers a checkpoint that fails.
+                let _ = self.checkpoint();
+            }
+            r
         }
     }
 
@@ -506,6 +520,54 @@ impl Database {
                     "index `{name}` dropped from `{table}`"
                 )))
             }
+            Statement::CreateSequenceIndex {
+                name,
+                table,
+                column,
+                kind,
+            } => {
+                self.require_owner(&table, user)?;
+                self.catalog
+                    .table_mut(&table)?
+                    .create_seq_index(&name, &column, kind)?;
+                self.txn.push(UndoOp::UnCreateSeqIndex {
+                    table: table.clone(),
+                    index: name.clone(),
+                });
+                self.catalog.bump_generation();
+                Ok(QueryResult::message(format!(
+                    "sequence index `{name}` ({}) created on `{table}`",
+                    kind.as_str()
+                )))
+            }
+            Statement::DropSequenceIndex { name, table } => {
+                self.require_owner(&table, user)?;
+                // resolve column + kind first: rollback recreates the
+                // index by backfilling over that column with that backend
+                let (column, kind) = {
+                    let t = self.catalog.table(&table)?;
+                    let sidx = t.seq_index_named(&name).ok_or_else(|| {
+                        BdbmsError::not_found(format!("sequence index `{name}` on `{table}`"))
+                    })?;
+                    (t.schema.columns()[sidx.column].name.clone(), sidx.kind)
+                };
+                self.catalog.table_mut(&table)?.drop_seq_index(&name)?;
+                self.txn.push(UndoOp::UnDropSeqIndex {
+                    table: table.clone(),
+                    index: name.clone(),
+                    column,
+                    kind,
+                });
+                self.catalog.bump_generation();
+                Ok(QueryResult::message(format!(
+                    "sequence index `{name}` dropped from `{table}`"
+                )))
+            }
+            Statement::Copy {
+                table,
+                path,
+                format,
+            } => self.do_copy(&table, &path, format, user),
             Statement::CreateAnnotationTable {
                 name,
                 on,
@@ -721,6 +783,64 @@ impl Database {
                 "user `{user}` is not the owner of `{table}`"
             )))
         }
+    }
+
+    // ---- bulk load (COPY) ----
+
+    /// `COPY <table> FROM '<path>'`: the bulk-load protocol.  Rows go to
+    /// the heap with index/stats/redo maintenance deferred
+    /// (`crate::ingest`), the WAL gets one logical `BulkLoad` record for
+    /// the whole file, and the caller (`execute_stmt`) forces a
+    /// checkpoint after the implicit commit.  Rollback on failure is the
+    /// pushed `UnBulkLoad` op (truncate the appended rows) plus the
+    /// first-touch snapshot (restore stats / allocator / bitmap) —
+    /// pushed first, so applied last.
+    fn do_copy(
+        &mut self,
+        table: &str,
+        path: &str,
+        format: Option<CopyFormat>,
+        user: &str,
+    ) -> Result<QueryResult> {
+        let owner = self.catalog.table(table)?.owner.clone();
+        self.auth.check(user, table, &owner, Privilege::Insert)?;
+        if self.approval.config(table).is_some() {
+            return Err(BdbmsError::invalid(format!(
+                "COPY into `{table}` is not supported while content approval \
+                 monitors it (bulk loads bypass per-row operation logging)"
+            )));
+        }
+        let format = crate::ingest::resolve_format(std::path::Path::new(path), format);
+        self.rec_touch_table(table);
+        let first_row = self.catalog.table(table)?.peek_next_row();
+        self.txn.push(UndoOp::UnBulkLoad {
+            table: table.to_string(),
+            first_row,
+        });
+        // the bulk path skips per-row redo records by design; suspend
+        // the sink so nothing incidental leaks in, then log the single
+        // logical record for the whole load
+        self.txn.redo_suspend();
+        let loaded = self
+            .catalog
+            .table_mut(table)
+            .and_then(|t| crate::ingest::bulk_load(t, std::path::Path::new(path), format));
+        self.txn.redo_resume();
+        let rows = loaded?;
+        self.redo(|| crate::durability::WalRecord::BulkLoad {
+            table: table.to_string(),
+            path: path.to_string(),
+            format,
+            rows,
+        });
+        // new rows + rebuilt stats invalidate cached plans
+        self.catalog.bump_generation();
+        let mut qr = QueryResult::affected(rows as usize);
+        qr.message = Some(format!(
+            "copied {rows} row(s) into `{table}` from `{path}` ({})",
+            format.as_str()
+        ));
+        Ok(qr)
     }
 
     // ---- DDL ----

@@ -70,7 +70,7 @@ pub use bdbms_storage::wal::{CommitTicket, Durability};
 
 use crate::annotation::AnnotationSet;
 use crate::approval::{ApprovalManager, InverseOp, LoggedOp, OpStatus};
-use crate::ast::Privilege;
+use crate::ast::{CopyFormat, Privilege, SeqIndexKind};
 use crate::auth::AuthManager;
 use crate::catalog::{DeletedRow, Table};
 use crate::codec::{self, Cur};
@@ -85,7 +85,8 @@ const DATA_TMP: &str = "data.bdb.tmp";
 pub(crate) const WAL_DIR: &str = "wal";
 
 const HEADER_MAGIC: &[u8; 8] = b"BDBMSDB1";
-const FORMAT_VERSION: u32 = 1;
+// v2: per-table sequence-index definitions appended to the snapshot
+const FORMAT_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------
 // Redo buffering
@@ -276,6 +277,69 @@ pub(crate) enum WalRecord {
     RuleDrop { name: String },
     /// Transaction commit barrier; carries the logical clock.
     Commit { clock: u64 },
+    /// A `COPY` bulk load: the WAL-bypass record.  Instead of one
+    /// `RowInsert` per loaded row, the committed transaction carries
+    /// this single logical record; replay re-runs the load from the
+    /// source file and cross-checks the row count.  The forced
+    /// checkpoint right after the commit keeps the replay window (in
+    /// which the source file must still exist unchanged) to the crash
+    /// of the loading process itself — see `docs/INGEST.md`.
+    BulkLoad {
+        table: String,
+        path: String,
+        format: CopyFormat,
+        rows: u64,
+    },
+    /// `CREATE SEQUENCE INDEX` (definition only; payload rebuilds on
+    /// replay, like `IndexCreate`).
+    SeqIndexCreate {
+        table: String,
+        index: String,
+        column: String,
+        kind: SeqIndexKind,
+    },
+    /// `DROP SEQUENCE INDEX`.
+    SeqIndexDrop { table: String, index: String },
+}
+
+fn put_copy_format(out: &mut Vec<u8>, f: CopyFormat) {
+    codec::put_u8(
+        out,
+        match f {
+            CopyFormat::Fasta => 0,
+            CopyFormat::Tsv => 1,
+        },
+    );
+}
+
+fn get_copy_format(cur: &mut Cur<'_>) -> Result<CopyFormat> {
+    Ok(match cur.u8()? {
+        0 => CopyFormat::Fasta,
+        1 => CopyFormat::Tsv,
+        t => return Err(BdbmsError::corrupt(format!("unknown COPY format tag {t}"))),
+    })
+}
+
+fn put_seq_kind(out: &mut Vec<u8>, k: SeqIndexKind) {
+    codec::put_u8(
+        out,
+        match k {
+            SeqIndexKind::Sbc => 0,
+            SeqIndexKind::Suffix => 1,
+        },
+    );
+}
+
+fn get_seq_kind(cur: &mut Cur<'_>) -> Result<SeqIndexKind> {
+    Ok(match cur.u8()? {
+        0 => SeqIndexKind::Sbc,
+        1 => SeqIndexKind::Suffix,
+        t => {
+            return Err(BdbmsError::corrupt(format!(
+                "unknown sequence index kind tag {t}"
+            )))
+        }
+    })
 }
 
 fn put_datatype(out: &mut Vec<u8>, ty: DataType) {
@@ -708,6 +772,35 @@ impl WalRecord {
                 codec::put_u8(out, 24);
                 codec::put_u64(out, *clock);
             }
+            WalRecord::BulkLoad {
+                table,
+                path,
+                format,
+                rows,
+            } => {
+                codec::put_u8(out, 25);
+                codec::put_str(out, table);
+                codec::put_str(out, path);
+                put_copy_format(out, *format);
+                codec::put_u64(out, *rows);
+            }
+            WalRecord::SeqIndexCreate {
+                table,
+                index,
+                column,
+                kind,
+            } => {
+                codec::put_u8(out, 26);
+                codec::put_str(out, table);
+                codec::put_str(out, index);
+                codec::put_str(out, column);
+                put_seq_kind(out, *kind);
+            }
+            WalRecord::SeqIndexDrop { table, index } => {
+                codec::put_u8(out, 27);
+                codec::put_str(out, table);
+                codec::put_str(out, index);
+            }
         }
     }
 
@@ -834,6 +927,22 @@ impl WalRecord {
             },
             23 => WalRecord::RuleDrop { name: cur.str()? },
             24 => WalRecord::Commit { clock: cur.u64()? },
+            25 => WalRecord::BulkLoad {
+                table: cur.str()?,
+                path: cur.str()?,
+                format: get_copy_format(&mut cur)?,
+                rows: cur.u64()?,
+            },
+            26 => WalRecord::SeqIndexCreate {
+                table: cur.str()?,
+                index: cur.str()?,
+                column: cur.str()?,
+                kind: get_seq_kind(&mut cur)?,
+            },
+            27 => WalRecord::SeqIndexDrop {
+                table: cur.str()?,
+                index: cur.str()?,
+            },
             t => return Err(BdbmsError::corrupt(format!("unknown WAL record tag {t}"))),
         };
         Ok(rec)
@@ -1049,6 +1158,13 @@ fn encode_snapshot(
             codec::put_str(&mut body, &idx.name);
             codec::put_u32(&mut body, idx.column as u32);
         }
+        let seq_indexes = t.seq_indexes();
+        codec::put_u32(&mut body, seq_indexes.len() as u32);
+        for sidx in seq_indexes {
+            codec::put_str(&mut body, &sidx.name);
+            codec::put_u32(&mut body, sidx.column as u32);
+            put_seq_kind(&mut body, sidx.kind);
+        }
         // outdated bitmap, sparse
         codec::put_u64(&mut body, t.outdated.rows() as u64);
         codec::put_u64(&mut body, t.outdated.cols() as u64);
@@ -1167,6 +1283,11 @@ fn decode_snapshot_mode(
         for _ in 0..n {
             index_defs.push((cur.str()?, cur.u32()? as usize));
         }
+        let n = cur.len()?;
+        let mut seq_index_defs = Vec::with_capacity(n);
+        for _ in 0..n {
+            seq_index_defs.push((cur.str()?, cur.u32()? as usize, get_seq_kind(&mut cur)?));
+        }
         let bm_rows = cur.u64()? as usize;
         let bm_cols = cur.u64()? as usize;
         // the dimensions drive an allocation, so cap them before trusting
@@ -1212,6 +1333,7 @@ fn decode_snapshot_mode(
             outdated,
             deleted_log,
             &index_defs,
+            &seq_index_defs,
         );
         match table {
             Ok(table) => db
@@ -1697,6 +1819,34 @@ impl Database {
             WalRecord::Commit { clock } => {
                 self.clock.advance_to(clock);
             }
+            WalRecord::BulkLoad {
+                table,
+                path,
+                format,
+                rows,
+            } => {
+                let t = self.catalog.table_mut(&table)?;
+                let loaded = crate::ingest::bulk_load(t, Path::new(&path), format)?;
+                if loaded != rows {
+                    return Err(BdbmsError::corrupt(format!(
+                        "bulk-load replay of `{path}` into `{table}` yielded {loaded} \
+                         rows, the committed load had {rows} (source file changed?)"
+                    )));
+                }
+            }
+            WalRecord::SeqIndexCreate {
+                table,
+                index,
+                column,
+                kind,
+            } => {
+                self.catalog
+                    .table_mut(&table)?
+                    .create_seq_index(&index, &column, kind)?;
+            }
+            WalRecord::SeqIndexDrop { table, index } => {
+                self.catalog.table_mut(&table)?.drop_seq_index(&index)?;
+            }
         }
         Ok(())
     }
@@ -2158,6 +2308,22 @@ mod tests {
             },
             WalRecord::RuleDrop { name: "r1".into() },
             WalRecord::Commit { clock: 99 },
+            WalRecord::BulkLoad {
+                table: "Gene".into(),
+                path: "/tmp/genes.fasta".into(),
+                format: CopyFormat::Fasta,
+                rows: 50_000,
+            },
+            WalRecord::SeqIndexCreate {
+                table: "Gene".into(),
+                index: "seq_idx".into(),
+                column: "GSequence".into(),
+                kind: SeqIndexKind::Sbc,
+            },
+            WalRecord::SeqIndexDrop {
+                table: "Gene".into(),
+                index: "seq_idx".into(),
+            },
         ]
     }
 

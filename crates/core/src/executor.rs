@@ -131,6 +131,8 @@ pub struct ExecStats {
     pub rows_scan_filtered: u64,
     /// Scans served by a B+-tree probe.
     pub index_probes: u64,
+    /// Scans served by a sequence-index (`CONTAINS SEQ`) probe.
+    pub seq_index_probes: u64,
     /// Scans that walked the whole heap.
     pub full_scans: u64,
     /// Index probes that never touched the heap (all needed columns
@@ -324,6 +326,23 @@ fn scan_stream<'a>(
                 )
             }
         }
+        Probe::SeqIndex { column, pattern } => {
+            let sidx = src
+                .table
+                .seq_index_on(column)
+                .expect("plan chose a seq index");
+            {
+                let mut s = st.borrow_mut();
+                s.seq_index_probes += 1;
+                s.chosen_indexes.push(sidx.name.clone());
+            }
+            let table = src.table;
+            Box::new(
+                sidx.probe(&pattern)
+                    .into_iter()
+                    .map(move |row_no| table.get(row_no).map(|v| (row_no, v))),
+            )
+        }
         Probe::FullScan => {
             st.borrow_mut().full_scans += 1;
             Box::new(src.table.iter_rows())
@@ -400,7 +419,10 @@ fn has_aggregate(e: &Expr) -> bool {
     match e {
         Expr::Aggregate(..) => true,
         Expr::Literal(_) | Expr::Column(..) | Expr::Param(_) => false,
-        Expr::Unary(_, a) | Expr::IsNull(a, _) | Expr::Like(a, _, _) => has_aggregate(a),
+        Expr::Unary(_, a)
+        | Expr::IsNull(a, _)
+        | Expr::Like(a, _, _)
+        | Expr::ContainsSeq(a, _, _) => has_aggregate(a),
         Expr::Binary(a, _, b) => has_aggregate(a) || has_aggregate(b),
         Expr::InList(a, items, _) => has_aggregate(a) || items.iter().any(has_aggregate),
         Expr::Call(_, args) => args.iter().any(has_aggregate),

@@ -70,9 +70,10 @@ pub fn referenced_columns(
             out.push(resolve_column(bindings, q.as_deref(), n)?);
             Ok(())
         }
-        Expr::Unary(_, e) | Expr::IsNull(e, _) | Expr::Like(e, _, _) => {
-            referenced_columns(e, bindings, out)
-        }
+        Expr::Unary(_, e)
+        | Expr::IsNull(e, _)
+        | Expr::Like(e, _, _)
+        | Expr::ContainsSeq(e, _, _) => referenced_columns(e, bindings, out),
         Expr::Binary(l, _, r) => {
             referenced_columns(l, bindings, out)?;
             referenced_columns(r, bindings, out)
@@ -149,6 +150,20 @@ pub fn eval(expr: &Expr, bindings: &[ColBinding], values: &[Value]) -> Result<Va
                 }
                 other => Err(BdbmsError::eval(format!(
                     "LIKE applied to {}",
+                    other.type_name()
+                ))),
+            }
+        }
+        Expr::ContainsSeq(e, pattern, negated) => {
+            let v = eval(e, bindings, values)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => {
+                    let hit = !pattern.is_empty() && s.contains(pattern.as_str());
+                    Ok(Value::Bool(hit != *negated))
+                }
+                other => Err(BdbmsError::eval(format!(
+                    "CONTAINS SEQ applied to {}",
                     other.type_name()
                 ))),
             }
@@ -347,6 +362,26 @@ fn eval_function(name: &str, args: &[Value]) -> Result<Value> {
                 _ => Err(BdbmsError::eval("SUBSTR(text, int, int) expected")),
             }
         }
+        "SUBSEQ" => {
+            // SUBSEQ(seq, lo, hi): the 1-based inclusive character range
+            // [lo, hi] of a sequence — the paper's subsequence extraction,
+            // evaluated over the SQL-visible (uncompressed) column value.
+            argc(3)?;
+            match (&args[0], &args[1], &args[2]) {
+                (Value::Null, _, _) => Ok(Value::Null),
+                (Value::Text(s), Value::Int(lo), Value::Int(hi)) => {
+                    if *lo < 1 || *hi < *lo {
+                        return Err(BdbmsError::eval(format!(
+                            "SUBSEQ range [{lo}, {hi}] must satisfy 1 <= lo <= hi"
+                        )));
+                    }
+                    let start = (*lo - 1) as usize;
+                    let len = (*hi - *lo + 1) as usize;
+                    Ok(Value::Text(s.chars().skip(start).take(len).collect()))
+                }
+                _ => Err(BdbmsError::eval("SUBSEQ(text, int, int) expected")),
+            }
+        }
         "TRIM" => {
             argc(1)?;
             match &args[0] {
@@ -470,6 +505,22 @@ mod tests {
         assert_eq!(run("ABS(0 - len) = 12"), Value::Bool(true));
         assert_eq!(run("TRIM('  x ') = 'x'"), Value::Bool(true));
         assert_eq!(run("GID || '!' = 'JW0080!'"), Value::Bool(true));
+    }
+
+    #[test]
+    fn contains_seq_and_subseq() {
+        assert_eq!(run("GID CONTAINS SEQ 'W00'"), Value::Bool(true));
+        assert_eq!(run("GID CONTAINS SEQ 'XYZ'"), Value::Bool(false));
+        assert_eq!(run("GID NOT CONTAINS SEQ 'XYZ'"), Value::Bool(true));
+        assert_eq!(run("note CONTAINS SEQ 'x'"), Value::Null);
+        assert_eq!(run("GID CONTAINS SEQ ''"), Value::Bool(false));
+        assert_eq!(run("SUBSEQ(GID, 1, 2) = 'JW'"), Value::Bool(true));
+        assert_eq!(run("SUBSEQ(GID, 3, 6) = '0080'"), Value::Bool(true));
+        assert_eq!(run("SUBSEQ(note, 1, 2)"), Value::Null);
+        let (b, v) = ctx();
+        assert!(eval(&where_expr("len CONTAINS SEQ 'x'"), &b, &v).is_err());
+        assert!(eval(&where_expr("SUBSEQ(GID, 0, 2) = 'J'"), &b, &v).is_err());
+        assert!(eval(&where_expr("SUBSEQ(GID, 3, 2) = ''"), &b, &v).is_err());
     }
 
     #[test]

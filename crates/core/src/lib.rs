@@ -52,6 +52,7 @@ pub mod dependency;
 pub mod durability;
 pub mod executor;
 pub mod expr;
+pub(crate) mod ingest;
 pub mod lexer;
 pub mod parser;
 pub mod plan;

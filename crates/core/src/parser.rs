@@ -211,6 +211,7 @@ impl Parser {
                 })
             }
             t if t.is_kw("VALIDATE") => self.validate(),
+            t if t.is_kw("COPY") => self.copy_stmt(),
             t if t.is_kw("BEGIN") => {
                 self.bump();
                 self.accept_txn_noise();
@@ -312,6 +313,35 @@ impl Parser {
                 column,
             });
         }
+        if self.accept_kw("SEQUENCE") {
+            self.expect_kw("INDEX")?;
+            let name = self.ident()?;
+            self.expect_kw("ON")?;
+            let table = self.ident()?;
+            self.expect_sym("(")?;
+            let column = self.ident()?;
+            self.expect_sym(")")?;
+            let kind = if self.accept_kw("USING") {
+                let k = self.ident()?;
+                match k.to_ascii_uppercase().as_str() {
+                    "SBC" => SeqIndexKind::Sbc,
+                    "SUFFIX" => SeqIndexKind::Suffix,
+                    other => {
+                        return Err(BdbmsError::syntax(format!(
+                            "unknown sequence index kind `{other}` (SBC or SUFFIX)"
+                        )))
+                    }
+                }
+            } else {
+                SeqIndexKind::Sbc
+            };
+            return Ok(Statement::CreateSequenceIndex {
+                name,
+                table,
+                column,
+                kind,
+            });
+        }
         if self.accept_kw("USER") {
             let name = self.ident()?;
             let mut groups = Vec::new();
@@ -371,7 +401,35 @@ impl Parser {
                 link,
             });
         }
-        Err(self.err_here("TABLE, INDEX, ANNOTATION TABLE, USER, or DEPENDENCY RULE"))
+        Err(self
+            .err_here("TABLE, INDEX, SEQUENCE INDEX, ANNOTATION TABLE, USER, or DEPENDENCY RULE"))
+    }
+
+    /// `COPY table FROM 'path' [FORMAT FASTA|TSV]`.
+    fn copy_stmt(&mut self) -> Result<Statement> {
+        self.expect_kw("COPY")?;
+        let table = self.ident()?;
+        self.expect_kw("FROM")?;
+        let path = self.string()?;
+        let format = if self.accept_kw("FORMAT") {
+            let f = self.ident()?;
+            Some(match f.to_ascii_uppercase().as_str() {
+                "FASTA" => CopyFormat::Fasta,
+                "TSV" => CopyFormat::Tsv,
+                other => {
+                    return Err(BdbmsError::syntax(format!(
+                        "unknown COPY format `{other}` (FASTA or TSV)"
+                    )))
+                }
+            })
+        } else {
+            None
+        };
+        Ok(Statement::Copy {
+            table,
+            path,
+            format,
+        })
     }
 
     /// `table.column` (both parts required here).
@@ -402,13 +460,20 @@ impl Parser {
             let table = self.ident()?;
             return Ok(Statement::DropIndex { name, table });
         }
+        if self.accept_kw("SEQUENCE") {
+            self.expect_kw("INDEX")?;
+            let name = self.ident()?;
+            self.expect_kw("ON")?;
+            let table = self.ident()?;
+            return Ok(Statement::DropSequenceIndex { name, table });
+        }
         if self.accept_kw("DEPENDENCY") {
             self.expect_kw("RULE")?;
             return Ok(Statement::DropDependencyRule {
                 name: self.ident()?,
             });
         }
-        Err(self.err_here("TABLE, INDEX, ANNOTATION TABLE, or DEPENDENCY RULE"))
+        Err(self.err_here("TABLE, INDEX, SEQUENCE INDEX, ANNOTATION TABLE, or DEPENDENCY RULE"))
     }
 
     /// `t.a` pairs for ADD/ARCHIVE/RESTORE ANNOTATION.
@@ -883,11 +948,16 @@ impl Parser {
             self.expect_kw("NULL")?;
             return Ok(Expr::IsNull(Box::new(left), negated));
         }
-        // [NOT] LIKE / [NOT] IN
+        // [NOT] LIKE / [NOT] IN / [NOT] CONTAINS SEQ
         let negated = self.accept_kw("NOT");
         if self.accept_kw("LIKE") {
             let pat = self.string()?;
             return Ok(Expr::Like(Box::new(left), pat, negated));
+        }
+        if self.accept_kw("CONTAINS") {
+            self.expect_kw("SEQ")?;
+            let pat = self.string()?;
+            return Ok(Expr::ContainsSeq(Box::new(left), pat, negated));
         }
         if self.accept_kw("IN") {
             self.expect_sym("(")?;
@@ -902,7 +972,7 @@ impl Parser {
             return Ok(Expr::InList(Box::new(left), items, negated));
         }
         if negated {
-            return Err(self.err_here("LIKE or IN after NOT"));
+            return Err(self.err_here("LIKE, IN, or CONTAINS SEQ after NOT"));
         }
         let op = match self.peek() {
             Some(Token::Sym("=")) => Some(BinaryOp::Eq),
@@ -1511,6 +1581,95 @@ mod tests {
         assert!(parse("SAVEPOINT").is_err(), "savepoint needs a name");
         assert!(parse("ROLLBACK TO").is_err(), "rollback-to needs a name");
         assert!(parse("BEGIN extra").is_err(), "trailing tokens rejected");
+    }
+
+    #[test]
+    fn copy_statement() {
+        assert_eq!(
+            parse("COPY Gene FROM '/tmp/genes.fasta' FORMAT FASTA").unwrap(),
+            Statement::Copy {
+                table: "Gene".into(),
+                path: "/tmp/genes.fasta".into(),
+                format: Some(CopyFormat::Fasta),
+            }
+        );
+        assert_eq!(
+            parse("copy gene from 'rows.tsv' format tsv").unwrap(),
+            Statement::Copy {
+                table: "gene".into(),
+                path: "rows.tsv".into(),
+                format: Some(CopyFormat::Tsv),
+            }
+        );
+        assert!(matches!(
+            parse("COPY Gene FROM 'x.fa'").unwrap(),
+            Statement::Copy { format: None, .. }
+        ));
+        assert!(parse("COPY Gene FROM 'x' FORMAT CSV").is_err());
+        assert!(parse("COPY FROM 'x'").is_err(), "table required");
+    }
+
+    #[test]
+    fn sequence_index_statements() {
+        assert_eq!(
+            parse("CREATE SEQUENCE INDEX seq_idx ON Gene (GSequence)").unwrap(),
+            Statement::CreateSequenceIndex {
+                name: "seq_idx".into(),
+                table: "Gene".into(),
+                column: "GSequence".into(),
+                kind: SeqIndexKind::Sbc,
+            }
+        );
+        assert_eq!(
+            parse("CREATE SEQUENCE INDEX s ON t (c) USING SUFFIX").unwrap(),
+            Statement::CreateSequenceIndex {
+                name: "s".into(),
+                table: "t".into(),
+                column: "c".into(),
+                kind: SeqIndexKind::Suffix,
+            }
+        );
+        assert_eq!(
+            parse("DROP SEQUENCE INDEX seq_idx ON Gene").unwrap(),
+            Statement::DropSequenceIndex {
+                name: "seq_idx".into(),
+                table: "Gene".into(),
+            }
+        );
+        assert!(parse("CREATE SEQUENCE INDEX s ON t (c) USING HASH").is_err());
+        assert!(parse("DROP SEQUENCE INDEX s").is_err(), "table required");
+    }
+
+    #[test]
+    fn contains_seq_predicate() {
+        let s = parse("SELECT * FROM Gene WHERE GSequence CONTAINS SEQ 'ATG'").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(
+                    sel.where_clause.unwrap(),
+                    Expr::ContainsSeq(
+                        Box::new(Expr::Column(None, "GSequence".into())),
+                        "ATG".into(),
+                        false
+                    )
+                );
+            }
+            _ => panic!("wrong statement"),
+        }
+        let s = parse("SELECT * FROM Gene WHERE GSequence NOT CONTAINS SEQ 'ATG'").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert!(matches!(
+                    sel.where_clause.unwrap(),
+                    Expr::ContainsSeq(_, _, true)
+                ));
+            }
+            _ => panic!("wrong statement"),
+        }
+        assert!(
+            parse("SELECT * FROM t WHERE c CONTAINS 'x'").is_err(),
+            "SEQ required"
+        );
     }
 
     #[test]

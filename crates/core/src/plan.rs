@@ -113,7 +113,22 @@ pub enum Probe {
         /// Upper key bound (inclusive or unbounded).
         hi: Bound<Value>,
     },
+    /// Sequence-index probe over `column`: the SBC-tree / String B-tree
+    /// candidate rows whose text contains `pattern`.  Candidates are
+    /// still re-checked against the pushed predicate (deleted-row
+    /// tombstones and multi-conjunct filters are handled there).
+    SeqIndex {
+        /// Source-local column position.
+        column: usize,
+        /// The literal substring from `CONTAINS SEQ '<pattern>'`.
+        pattern: String,
+    },
 }
+
+/// Assumed fraction of rows matching a `CONTAINS SEQ` substring
+/// predicate: sequence motifs are rare, so a sequence-index probe is
+/// costed well below a full scan but above a unique-key equality probe.
+const SEQ_MATCH_FRACTION: f64 = 0.05;
 
 /// Is an index over a column of type `col` usable for a probe with a
 /// constant of type `key`?  Requires that SQL comparison agree with the
@@ -167,6 +182,9 @@ pub enum ProbeChoice {
     FullScan,
     /// Probe the index over this source-local column.
     Column(usize),
+    /// Probe the sequence index over this source-local column; the
+    /// pattern is re-read from the conjuncts at execution time.
+    SeqIndex(usize),
 }
 
 /// Pick an index access path for one source given its pushed conjuncts.
@@ -278,11 +296,34 @@ pub fn choose_probe_with(
             break; // a conjunct constrains via at most one side
         }
     }
+    // `col CONTAINS SEQ '<pat>'` over a sequence-indexed column is a
+    // candidate too (first-seen wins among several); the pattern is a
+    // statement literal, so this is never value-dependent
+    let mut seq_candidate: Option<(usize, &str)> = None;
+    for conjunct in pushed {
+        let Expr::ContainsSeq(col_side, pattern, false) = conjunct else {
+            continue;
+        };
+        let Expr::Column(q, n) = &**col_side else {
+            continue;
+        };
+        let Ok(col) = crate::expr::resolve_column(local_bindings, q.as_deref(), n) else {
+            continue;
+        };
+        if table.seq_index_on(col).is_some() {
+            seq_candidate = Some((col, pattern.as_str()));
+            break;
+        }
+    }
     let bounded = |b: &ColBounds| b.lo.is_some() || b.hi.is_some();
     let concrete = |col: usize, b: &ColBounds| Probe::Index {
         column: col,
         lo: b.lo.clone().map_or(Bound::Unbounded, Bound::Included),
         hi: b.hi.clone().map_or(Bound::Unbounded, Bound::Included),
+    };
+    let seq_concrete = |col: usize, pat: &str| Probe::SeqIndex {
+        column: col,
+        pattern: pat.to_string(),
     };
     // a cached choice replays if it still fits the current shape
     let (probe, choice) = match forced {
@@ -293,6 +334,10 @@ pub fn choose_probe_with(
         {
             let b = &cols.iter().find(|(col, _)| *col == c).expect("checked").1;
             (concrete(c, b), ProbeChoice::Column(c))
+        }
+        Some(ProbeChoice::SeqIndex(c)) if seq_candidate.is_some_and(|(col, _)| col == c) => {
+            let (col, pat) = seq_candidate.expect("checked");
+            (seq_concrete(col, pat), ProbeChoice::SeqIndex(col))
         }
         // live cost-based choice (also the fallback for a stale forced
         // column): expected result rows per candidate, smallest wins;
@@ -307,9 +352,19 @@ pub fn choose_probe_with(
                 .min_by(|(_, ab, ae), (_, bb, be)| {
                     ae.total_cmp(be).then_with(|| bb.has_eq.cmp(&ab.has_eq))
                 });
-            match pick {
-                Some((col, b, _)) => (concrete(*col, b), ProbeChoice::Column(*col)),
-                None => (Probe::FullScan, ProbeChoice::FullScan),
+            let seq_est = table.len() as f64 * SEQ_MATCH_FRACTION;
+            match (seq_candidate, pick) {
+                // the sequence probe competes on the same expected-rows
+                // basis; ties go to the B+-tree (cheaper candidate walk)
+                (Some((col, pat)), pick)
+                    if pick
+                        .as_ref()
+                        .is_none_or(|(_, _, tree_est)| seq_est < *tree_est) =>
+                {
+                    (seq_concrete(col, pat), ProbeChoice::SeqIndex(col))
+                }
+                (_, Some((col, b, _))) => (concrete(*col, b), ProbeChoice::Column(*col)),
+                _ => (Probe::FullScan, ProbeChoice::FullScan),
             }
         }
     };
@@ -430,6 +485,13 @@ pub fn estimate_conjunct_selectivity(
                 0.25
             }
         }
+        Expr::ContainsSeq(_, _, negated) => {
+            if *negated {
+                1.0 - SEQ_MATCH_FRACTION
+            } else {
+                SEQ_MATCH_FRACTION
+            }
+        }
         Expr::IsNull(inner, negated) => {
             if let Expr::Column(q, name) = &**inner {
                 if let Ok(col) = crate::expr::resolve_column(local_bindings, q.as_deref(), name) {
@@ -538,6 +600,13 @@ pub fn filter_rows(
         Probe::Index { column, lo, hi } => {
             let idx = table.index_on(column).expect("probe chose an index");
             for row_no in idx.probe(as_ref_bound(&lo), as_ref_bound(&hi)) {
+                let values = table.get(row_no)?;
+                keep_row(row_no, values)?;
+            }
+        }
+        Probe::SeqIndex { column, pattern } => {
+            let sidx = table.seq_index_on(column).expect("probe chose a seq index");
+            for row_no in sidx.probe(&pattern) {
                 let values = table.get(row_no)?;
                 keep_row(row_no, values)?;
             }
@@ -693,6 +762,53 @@ mod tests {
         // type-incompatible constant → no index
         let cs = split_conjuncts(&where_of("SELECT * FROM g WHERE len = 'JW'"));
         assert!(matches!(choose_probe(&t, &bindings, &cs), Probe::FullScan));
+    }
+
+    #[test]
+    fn contains_seq_routes_to_seq_index() {
+        let mut t = test_table(true);
+        t.create_seq_index("gid_seq", "GID", crate::ast::SeqIndexKind::Sbc)
+            .unwrap();
+        let bindings: Vec<ColBinding> = t
+            .schema
+            .columns()
+            .iter()
+            .map(|c| ColBinding::new(Some("g"), &c.name))
+            .collect();
+        let cs = split_conjuncts(&where_of("SELECT * FROM g WHERE GID CONTAINS SEQ 'JW00'"));
+        match choose_probe(&t, &bindings, &cs) {
+            Probe::SeqIndex { column, pattern } => {
+                assert_eq!(column, 0);
+                assert_eq!(pattern, "JW00");
+            }
+            other => panic!("expected seq probe, got {other:?}"),
+        }
+        // a unique-key equality probe is expected to yield fewer rows
+        // than the assumed substring match fraction, so it wins
+        let cs = split_conjuncts(&where_of(
+            "SELECT * FROM g WHERE GID CONTAINS SEQ 'JW00' AND len = 42",
+        ));
+        assert!(matches!(
+            choose_probe(&t, &bindings, &cs),
+            Probe::Index { column: 1, .. }
+        ));
+        // NOT CONTAINS SEQ cannot use the candidate set (complement)
+        let cs = split_conjuncts(&where_of(
+            "SELECT * FROM g WHERE GID NOT CONTAINS SEQ 'JW00'",
+        ));
+        assert!(matches!(choose_probe(&t, &bindings, &cs), Probe::FullScan));
+        // probe results match a naive scan
+        let naive = test_table(false);
+        for sql in [
+            "SELECT * FROM g WHERE GID CONTAINS SEQ '004'",
+            "SELECT * FROM g WHERE GID CONTAINS SEQ 'JW' AND len < 3",
+            "SELECT * FROM g WHERE GID CONTAINS SEQ 'absent'",
+        ] {
+            let pred = where_of(sql);
+            let a = filter_rows(&t, "G", Some(&pred)).unwrap();
+            let b = filter_rows(&naive, "G", Some(&pred)).unwrap();
+            assert_eq!(a, b, "{sql}");
+        }
     }
 
     #[test]

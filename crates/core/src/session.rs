@@ -404,6 +404,9 @@ fn bind_expr(e: &Expr, params: &[Value]) -> Expr {
         ),
         Expr::IsNull(a, neg) => Expr::IsNull(Box::new(bind_expr(a, params)), *neg),
         Expr::Like(a, pat, neg) => Expr::Like(Box::new(bind_expr(a, params)), pat.clone(), *neg),
+        Expr::ContainsSeq(a, pat, neg) => {
+            Expr::ContainsSeq(Box::new(bind_expr(a, params)), pat.clone(), *neg)
+        }
         Expr::InList(a, items, neg) => Expr::InList(
             Box::new(bind_expr(a, params)),
             items.iter().map(|i| bind_expr(i, params)).collect(),

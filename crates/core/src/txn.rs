@@ -105,6 +105,20 @@ pub(crate) enum UndoOp {
         index: String,
         column: String,
     },
+    /// Undo `CREATE SEQUENCE INDEX`.
+    UnCreateSeqIndex { table: String, index: String },
+    /// Undo `DROP SEQUENCE INDEX`: recreate and backfill (same timing
+    /// contract as [`UndoOp::UnDropIndex`]).
+    UnDropSeqIndex {
+        table: String,
+        index: String,
+        column: String,
+        kind: crate::ast::SeqIndexKind,
+    },
+    /// Undo a `COPY` bulk load: remove every row the load appended
+    /// (they all sit at or above `first_row`).  The accompanying
+    /// first-touch snapshot restores stats / allocator / bitmap state.
+    UnBulkLoad { table: String, first_row: u64 },
     /// Undo `CREATE ANNOTATION TABLE`.
     UnCreateAnnSet { table: String, set: String },
     /// Undo `DROP ANNOTATION TABLE`: the set is moved here and
@@ -196,6 +210,26 @@ impl UndoOp {
             } => {
                 if let Ok(t) = catalog.table_mut(&table) {
                     let _ = t.create_index(&index, &column);
+                }
+            }
+            UndoOp::UnCreateSeqIndex { table, index } => {
+                if let Ok(t) = catalog.table_mut(&table) {
+                    let _ = t.drop_seq_index(&index);
+                }
+            }
+            UndoOp::UnDropSeqIndex {
+                table,
+                index,
+                column,
+                kind,
+            } => {
+                if let Ok(t) = catalog.table_mut(&table) {
+                    let _ = t.create_seq_index(&index, &column, kind);
+                }
+            }
+            UndoOp::UnBulkLoad { table, first_row } => {
+                if let Ok(t) = catalog.table_mut(&table) {
+                    let _ = t.truncate_rows_from(first_row);
                 }
             }
             UndoOp::UnCreateAnnSet { table, set } => {

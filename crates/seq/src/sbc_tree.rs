@@ -58,6 +58,22 @@ const NO_PREV_Y: f64 = 256.0 * 4294967296.0;
 /// Initial spacing of lexicographic order keys (see `assign_x`).
 const X_GAP: f64 = 1048576.0; // 2^20
 
+/// Class size below which [`SbcTree::substring_search`] verifies the tail
+/// class directly instead of probing the 3-sided structure (a handful of
+/// leaf pages at the default fanout).
+const ADAPTIVE_CLASS_CUTOFF: usize = 256;
+
+/// Which first-run filter `multi_run_search` applies to the tail class.
+#[derive(Clone, Copy)]
+enum FirstRunFilter {
+    /// Scan small classes, 3-sided probe for large ones (production path).
+    Adaptive,
+    /// Always the 3-sided structure (ablation).
+    ThreeSided,
+    /// Always scan the class (ablation).
+    Scan,
+}
+
 /// One substring occurrence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Occurrence {
@@ -188,14 +204,34 @@ impl SbcTree {
         }
     }
 
-    /// All occurrences of `pat` as a substring, using the 3-sided (R-tree)
-    /// first-run filter.  Empty patterns return no occurrences.
+    /// All occurrences of `pat` as a substring.  Empty patterns return no
+    /// occurrences.
+    ///
+    /// The first-run filter is chosen adaptively: when the tail class `Q`
+    /// holds at most `ADAPTIVE_CLASS_CUTOFF` (256) suffixes, they are scanned
+    /// and verified directly (a few leaf reads); only larger classes go
+    /// through the 3-sided (R-tree) structure, which is what it is built
+    /// for — pruning a *large* class down to the boundaries whose
+    /// preceding run is long enough.  (Midpoint-assigned order keys
+    /// collide under heavy insertion, so a 3-sided probe over a tiny
+    /// class can touch far more R-tree nodes than the class itself.)
     pub fn substring_search(&self, pat: &[u8]) -> Vec<Occurrence> {
         let prle = RleSeq::encode(pat);
         match prle.num_runs() {
             0 => Vec::new(),
             1 => self.single_run_search(prle.runs()[0].ch, prle.runs()[0].len),
-            _ => self.multi_run_search(&prle, true),
+            _ => self.multi_run_search(&prle, FirstRunFilter::Adaptive),
+        }
+    }
+
+    /// Ablation variant: always use the 3-sided structure, regardless of
+    /// class size (E12 — shows what the 3-sided structure buys or costs).
+    pub fn substring_search_three_sided(&self, pat: &[u8]) -> Vec<Occurrence> {
+        let prle = RleSeq::encode(pat);
+        match prle.num_runs() {
+            0 => Vec::new(),
+            1 => self.single_run_search(prle.runs()[0].ch, prle.runs()[0].len),
+            _ => self.multi_run_search(&prle, FirstRunFilter::ThreeSided),
         }
     }
 
@@ -206,7 +242,7 @@ impl SbcTree {
         match prle.num_runs() {
             0 => Vec::new(),
             1 => self.single_run_search(prle.runs()[0].ch, prle.runs()[0].len),
-            _ => self.multi_run_search(&prle, false),
+            _ => self.multi_run_search(&prle, FirstRunFilter::Scan),
         }
     }
 
@@ -230,14 +266,38 @@ impl SbcTree {
     }
 
     /// Multi-run pattern: String-B-tree probe for the tail `Q`, then the
-    /// first-run filter (3-sided or scan).
-    fn multi_run_search(&self, prle: &RleSeq, use_three_sided: bool) -> Vec<Occurrence> {
+    /// first-run filter (3-sided, scan, or size-adaptive).
+    fn multi_run_search(&self, prle: &RleSeq, filter: FirstRunFilter) -> Vec<Occurrence> {
         let first = prle.runs()[0];
         // Q = pattern minus its first run, as raw bytes.
         let pat_bytes = prle.decode();
         let q = &pat_bytes[first.len as usize..];
         let classify = self.prefix_class(q);
         let mut out = Vec::new();
+        let use_three_sided = match filter {
+            FirstRunFilter::ThreeSided => true,
+            FirstRunFilter::Scan => false,
+            FirstRunFilter::Adaptive => {
+                match self
+                    .tree
+                    .collect_class_bounded(&classify, ADAPTIVE_CLASS_CUTOFF)
+                {
+                    Some(class) => {
+                        // Small class: verify its members directly.
+                        for e in class {
+                            if let Some(occ) =
+                                self.verify_occurrence(e.text, e.run, first.ch, first.len, q)
+                            {
+                                out.push(occ);
+                            }
+                        }
+                        out.sort_unstable();
+                        return out;
+                    }
+                    None => true, // large class: worth the 3-sided probe
+                }
+            }
+        };
         if use_three_sided {
             let Some(first_e) = self.tree.first_in_class(&classify) else {
                 return out;

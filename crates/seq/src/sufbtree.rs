@@ -347,6 +347,47 @@ impl<E: Copy> SufBTree<E> {
         }
     }
 
+    /// Like [`collect_class`](Self::collect_class), but abandons the walk
+    /// (returning `None`) as soon as the class exceeds `limit` entries.
+    /// Callers that only want to *scan* small classes use this to bound
+    /// their worst case at `limit` entries' worth of leaf reads.
+    pub fn collect_class_bounded(
+        &self,
+        classify: &impl Fn(E) -> Ordering,
+        limit: usize,
+    ) -> Option<Vec<E>> {
+        let mut out = Vec::new();
+        let (mut leaf, mut pos) = self.lower_bound(classify);
+        loop {
+            match &self.nodes[leaf] {
+                Node::Leaf { entries, next, .. } => {
+                    while pos < entries.len() {
+                        match classify(entries[pos]) {
+                            Ordering::Less => {}
+                            Ordering::Equal => {
+                                if out.len() == limit {
+                                    return None;
+                                }
+                                out.push(entries[pos]);
+                            }
+                            Ordering::Greater => return Some(out),
+                        }
+                        pos += 1;
+                    }
+                    match next {
+                        Some(n) => {
+                            leaf = *n;
+                            pos = 0;
+                            self.stats.record_read();
+                        }
+                        None => return Some(out),
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
     /// Count of entries in the `Equal` class without materializing them.
     pub fn count_class(&self, classify: &impl Fn(E) -> Ordering) -> usize {
         let mut n = 0;

@@ -4,8 +4,10 @@
 
 use bdbms_seq::rle::RleSeq;
 use bdbms_seq::string_btree::naive_substring_search;
-use bdbms_seq::{SbcTree, StringBTree};
+use bdbms_seq::{gen, SbcTree, StringBTree};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Run-structured sequences over {H, E, L} (compressible, like Figure 12).
 fn arb_ss_text() -> impl Strategy<Value = Vec<u8>> {
@@ -73,11 +75,61 @@ proptest! {
             .into_iter()
             .map(|o| (o.text, o.pos))
             .collect();
+        let got_three: Vec<(u32, u64)> = sbc
+            .substring_search_three_sided(&pat)
+            .into_iter()
+            .map(|o| (o.text, o.pos))
+            .collect();
         let mut got_sbt = sbt.substring_search(&pat);
         got_sbt.sort_unstable();
-        prop_assert_eq!(&got_sbc, &want, "sbc 3-sided");
+        prop_assert_eq!(&got_sbc, &want, "sbc adaptive");
         prop_assert_eq!(&got_scan, &want, "sbc scan");
+        prop_assert_eq!(&got_three, &want, "sbc 3-sided");
         prop_assert_eq!(&got_sbt, &want, "string b-tree");
+    }
+
+    /// Generator-built corpora (the shapes E12/E15 run at, scaled down):
+    /// every SBC filter strategy and the String B-tree must agree with
+    /// the naive decompress-and-scan oracle, both on patterns cut from
+    /// the corpus itself (guaranteed hits, arbitrary run alignment) and
+    /// on independently generated ones.
+    #[test]
+    fn gen_corpus_substring_agreement(
+        seed in any::<u64>(),
+        mean_run in 1.5f64..16.0,
+        pat_len in 2usize..24,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let texts: Vec<Vec<u8>> = (0..8)
+            .map(|_| gen::secondary_structure(&mut rng, 120, mean_run))
+            .collect();
+        let mut sbc = SbcTree::new();
+        let mut sbt = StringBTree::new();
+        for t in &texts {
+            sbc.insert_sequence(t);
+            sbt.insert_text(t);
+        }
+        let cut = &texts[seed as usize % texts.len()];
+        let off = seed as usize % (cut.len() - pat_len.min(cut.len() - 1));
+        let cut_pat = cut[off..off + pat_len.min(cut.len() - off)].to_vec();
+        let fresh_pat = gen::secondary_structure(&mut rng, pat_len, mean_run);
+        for pat in [cut_pat, fresh_pat] {
+            let mut want = naive_substring_search(&texts, &pat);
+            want.sort_unstable();
+            let as_pairs = |occs: Vec<bdbms_seq::sbc_tree::Occurrence>| -> Vec<(u32, u64)> {
+                occs.into_iter().map(|o| (o.text, o.pos)).collect()
+            };
+            prop_assert_eq!(&as_pairs(sbc.substring_search(&pat)), &want, "sbc adaptive");
+            prop_assert_eq!(&as_pairs(sbc.substring_search_scan(&pat)), &want, "sbc scan");
+            prop_assert_eq!(
+                &as_pairs(sbc.substring_search_three_sided(&pat)),
+                &want,
+                "sbc 3-sided"
+            );
+            let mut got_sbt = sbt.substring_search(&pat);
+            got_sbt.sort_unstable();
+            prop_assert_eq!(&got_sbt, &want, "string b-tree");
+        }
     }
 
     /// Prefix and range search agree between the two index structures.

@@ -1,115 +1,100 @@
-//! Searching compressed sequences without decompressing them (§7.2,
-//! Figure 12) — plus the SP-GiST access methods (§7.1).
+//! Sequence search through SQL (§7.2): `COPY`, `CREATE SEQUENCE INDEX`,
+//! `CONTAINS SEQ`, and `SUBSEQ`.
 //!
-//! Generates protein secondary structures shaped like Figure 12's
-//! (`LLLEEEEEEEHHHH…`), stores them RLE-compressed in an SBC-tree, and
-//! runs substring / prefix / range queries against both the SBC-tree and
-//! the uncompressed String B-tree baseline, printing the storage and I/O
-//! comparison the paper claims.  Then demonstrates the SP-GiST trie's
-//! regex matching over gene names.
+//! Earlier revisions of this example drove the SBC-tree and String
+//! B-tree APIs directly; the whole workflow is now surfaced in SQL, so
+//! this walks the curation path a biologist would take:
+//!
+//! 1. bulk-load a FASTA dump with `COPY … FORMAT FASTA`,
+//! 2. index the sequence column with `CREATE SEQUENCE INDEX … USING SBC`
+//!    (the RLE-compressed SBC-tree; `USING SUFFIX` picks the
+//!    uncompressed String B-tree baseline),
+//! 3. search with `WHERE col CONTAINS SEQ '<pattern>'` — the planner
+//!    routes the predicate through the sequence index, visible in the
+//!    execution stats — and slice with `SUBSEQ(col, lo, hi)`.
 //!
 //! Run with: `cargo run --release --example sequence_search`
 
-use bdbms::index::regex::Regex;
-use bdbms::index::trie::{StrQuery, TrieOps};
-use bdbms::index::SpGist;
+use std::fmt::Write as _;
+
+use bdbms::core::executor::ExecOptions;
+use bdbms::core::Database;
 use bdbms::seq::gen;
-use bdbms::seq::rle::RleSeq;
-use bdbms::seq::{SbcTree, StringBTree};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(42);
+    let mut db = Database::new_in_memory();
 
-    // ---- Figure 12: RLE compression of secondary structures ----
-    let demo = gen::secondary_structure(&mut rng, 120, 8.0);
-    let rle = RleSeq::encode(&demo);
-    println!("Protein secondary structure:");
-    println!("  {}", String::from_utf8_lossy(&demo));
-    println!("RLE compressed form (as in Figure 12):");
-    println!("  {}", rle.to_text());
-    println!(
-        "  {} chars -> {} runs ({:.1}x compression)\n",
-        demo.len(),
-        rle.num_runs(),
-        rle.compression_ratio()
-    );
+    // ---- 1. write a FASTA dump and COPY it in ----
+    let mut fasta = String::new();
+    let mut corpus = Vec::new();
+    for i in 0..300 {
+        let seq = gen::secondary_structure(&mut rng, 400, 10.0);
+        writeln!(fasta, ">{} protein secondary structure", gen::gene_id(i)).unwrap();
+        for chunk in seq.chunks(60) {
+            writeln!(fasta, "{}", String::from_utf8_lossy(chunk)).unwrap();
+        }
+        corpus.push(seq);
+    }
+    let path = std::env::temp_dir().join(format!("bdbms-example-{}.fasta", std::process::id()));
+    std::fs::write(&path, fasta).unwrap();
 
-    // ---- index 300 sequences in both structures ----
-    let mut sbc = SbcTree::new();
-    let mut sbt = StringBTree::new();
-    let mut texts = Vec::new();
-    for _ in 0..300 {
-        let s = gen::secondary_structure(&mut rng, 400, 10.0);
-        sbc.insert_sequence(&s);
-        sbt.insert_text(&s);
-        texts.push(s);
+    db.execute("CREATE TABLE Prot (Hdr TEXT, SS TEXT)").unwrap();
+    let r = db
+        .execute(&format!("COPY Prot FROM '{}' FORMAT FASTA", path.display()))
+        .unwrap();
+    println!("{}", r.message.as_deref().unwrap_or_default());
+    std::fs::remove_file(&path).ok();
+
+    // ---- 2. index the sequence column ----
+    db.execute("CREATE SEQUENCE INDEX ss_idx ON Prot (SS) USING SBC")
+        .unwrap();
+    println!("sequence index `ss_idx` created (SBC-tree, RLE-compressed)\n");
+
+    // ---- 3. substring search: indexed vs naive ----
+    // A pattern cut from a stored sequence, so it is guaranteed to hit.
+    let pat = String::from_utf8_lossy(&corpus[17][40..64]).into_owned();
+    let sql = format!("SELECT Hdr FROM Prot WHERE SS CONTAINS SEQ '{pat}'");
+    let (naive, ns) = db.query_traced(&sql, &ExecOptions::naive()).unwrap();
+    let (opt, os) = db.query_traced(&sql, &ExecOptions::default()).unwrap();
+    assert_eq!(naive.rows.len(), opt.rows.len());
+    println!("CONTAINS SEQ '{pat}'");
+    println!("  {} matching protein(s):", opt.rows.len());
+    for row in &opt.rows {
+        println!("    {}", row.values[0]);
     }
     println!(
-        "Indexed 300 sequences of 400 residues ({} total chars):",
-        texts.iter().map(|t| t.len()).sum::<usize>()
+        "  naive:   full scans = {}, rows fetched = {}",
+        ns.full_scans, ns.rows_fetched
     );
     println!(
-        "  String B-tree (uncompressed): {:>9} bytes, {} suffixes",
-        sbt.storage_bytes(),
-        sbt.num_suffixes()
-    );
-    println!(
-        "  SBC-tree (RLE-compressed):    {:>9} bytes, {} suffixes",
-        sbc.storage_bytes(),
-        sbc.num_suffixes()
-    );
-    println!(
-        "  storage ratio: {:.1}x (paper: \"up to an order of magnitude\")\n",
-        sbt.storage_bytes() as f64 / sbc.storage_bytes() as f64
+        "  planned: seq-index probes = {}, rows fetched = {}, via {:?}\n",
+        os.seq_index_probes, os.rows_fetched, os.chosen_indexes
     );
 
-    // ---- substring search over the compressed data ----
-    let pattern = b"HHHHEEEE";
-    sbc.reset_io();
-    sbt.reset_io();
-    let hits_sbc = sbc.substring_search(pattern);
-    let io_sbc = sbc.io_stats();
-    let hits_sbt = sbt.substring_search(pattern);
-    let io_sbt = sbt.io_stats();
-    assert_eq!(hits_sbc.len(), hits_sbt.len());
+    // ---- negation falls back to a scan (the index prunes, it cannot
+    //      enumerate non-matches) ----
+    let (miss, ms) = db
+        .query_traced(
+            &format!("SELECT COUNT(*) FROM Prot WHERE SS NOT CONTAINS SEQ '{pat}'"),
+            &ExecOptions::default(),
+        )
+        .unwrap();
     println!(
-        "Substring search '{}': {} occurrences",
-        String::from_utf8_lossy(pattern),
-        hits_sbc.len()
-    );
-    println!("  SBC-tree reads:      {}", io_sbc.reads);
-    println!("  String B-tree reads: {}\n", io_sbt.reads);
-
-    // ---- prefix + range search ----
-    let prefix = &texts[17][..10];
-    let p_hits = sbc.prefix_search(prefix);
-    println!(
-        "Prefix search '{}': texts {:?}",
-        String::from_utf8_lossy(prefix),
-        p_hits
-    );
-    let lo = b"EE";
-    let hi = b"EL";
-    println!(
-        "Range search ['EE','EL'): {} texts\n",
-        sbc.range_search(lo, hi).len()
+        "NOT CONTAINS SEQ: {} proteins, full scans = {} (negation cannot use the index)\n",
+        miss.rows[0].values[0], ms.full_scans
     );
 
-    // ---- SP-GiST trie regex search over gene names (§7.1) ----
-    let mut trie: SpGist<TrieOps, usize> = SpGist::new(TrieOps);
-    for i in 0..2000 {
-        trie.insert(gen::gene_id(i).into_bytes(), i);
+    // ---- 4. SUBSEQ slices (1-based, inclusive) ----
+    let (slice, _) = db
+        .query_traced(
+            "SELECT Hdr, SUBSEQ(SS, 1, 24) FROM Prot WHERE Hdr LIKE 'JW0017%'",
+            &ExecOptions::default(),
+        )
+        .unwrap();
+    for row in &slice.rows {
+        println!("SUBSEQ(SS, 1, 24) of {}: {}", row.values[0], row.values[1]);
     }
-    let re = Regex::compile("JW00[0-2][0-9]").unwrap();
-    trie.stats().reset();
-    let hits = trie.search(&StrQuery::Regex(re));
-    println!(
-        "SP-GiST trie regex 'JW00[0-2][0-9]' over 2000 gene ids: {} hits, \
-         {} node reads (of {} nodes)",
-        hits.len(),
-        trie.stats().reads(),
-        trie.node_count()
-    );
 }
