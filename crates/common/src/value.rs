@@ -226,6 +226,31 @@ impl Value {
         }
     }
 
+    /// Advance `*pos` past one encoded value without materializing it.
+    ///
+    /// Column-pruned scans use this to step over values the plan has
+    /// proven unread — text payloads are not copied or even
+    /// UTF-8-validated, only length-checked.
+    pub fn skip(buf: &[u8], pos: &mut usize) -> Result<()> {
+        let err = || BdbmsError::storage("truncated value encoding");
+        let tag = *buf.get(*pos).ok_or_else(err)?;
+        *pos += 1;
+        let n = match tag {
+            0 => 0,
+            1 | 2 | 5 => 8,
+            3 => {
+                let b: [u8; 4] = buf.get(*pos..*pos + 4).ok_or_else(err)?.try_into().unwrap();
+                *pos += 4;
+                u32::from_le_bytes(b) as usize
+            }
+            4 => 1,
+            t => return Err(BdbmsError::storage(format!("unknown value tag {t}"))),
+        };
+        buf.get(*pos..*pos + n).ok_or_else(err)?;
+        *pos += n;
+        Ok(())
+    }
+
     /// SQL-comparison between values of compatible types.
     ///
     /// Returns `None` when either side is NULL or the types are
@@ -383,6 +408,35 @@ mod tests {
             assert_eq!(&d, v);
         }
         assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn skip_advances_exactly_like_decode() {
+        let vals = vec![
+            Value::Null,
+            Value::Int(-42),
+            Value::Float(2.5),
+            Value::Text("ATGAAAGTATC".into()),
+            Value::Bool(true),
+            Value::Timestamp(99),
+        ];
+        let mut buf = Vec::new();
+        for v in &vals {
+            v.encode(&mut buf);
+        }
+        let (mut sp, mut dp) = (0, 0);
+        for _ in &vals {
+            Value::skip(&buf, &mut sp).unwrap();
+            Value::decode(&buf, &mut dp).unwrap();
+            assert_eq!(sp, dp);
+        }
+        assert_eq!(sp, buf.len());
+        // truncated text payload: skip must fail, not run off the end
+        let mut short = Vec::new();
+        Value::Text("hello".into()).encode(&mut short);
+        short.truncate(7);
+        let mut pos = 0;
+        assert!(Value::skip(&short, &mut pos).is_err());
     }
 
     #[test]

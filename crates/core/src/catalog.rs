@@ -427,6 +427,31 @@ impl Table {
         Ok((row_no, values))
     }
 
+    /// Decode only the columns in `keep` (ascending); every other slot is
+    /// filled with NULL and its encoding merely skipped — TEXT payloads
+    /// are never copied or validated.  Once `keep` is exhausted the rest
+    /// of the record is not even walked.
+    fn decode_row_pruned(buf: &[u8], arity: usize, keep: &[usize]) -> Result<(u64, Vec<Value>)> {
+        if buf.len() < 8 {
+            return Err(BdbmsError::storage("row record too short"));
+        }
+        let row_no = u64::from_le_bytes(buf[..8].try_into().unwrap());
+        let mut pos = 8;
+        let mut values = vec![Value::Null; arity];
+        let mut next = keep.iter().peekable();
+        for (col, slot) in values.iter_mut().enumerate() {
+            match next.peek() {
+                None => break,
+                Some(&&k) if k == col => {
+                    next.next();
+                    *slot = Value::decode(buf, &mut pos)?;
+                }
+                Some(_) => Value::skip(buf, &mut pos)?,
+            }
+        }
+        Ok((row_no, values))
+    }
+
     /// Insert a row (validated/coerced against the schema); returns its
     /// stable row number.
     pub fn insert(&mut self, values: Vec<Value>) -> Result<u64> {
@@ -580,6 +605,47 @@ impl Table {
         self.rows
             .keys()
             .map(move |&no| self.get(no).map(|v| (no, v)))
+    }
+
+    /// Vectorized scan step for the batch executor: decode up to `want`
+    /// rows with row numbers `>= from` into `out`, materializing only
+    /// the columns in `keep` (source-local, ascending; `None` = all).
+    /// Skipped slots are filled with NULL — the caller's plan must prove
+    /// them unread, the same contract index-only scans rely on.  Records
+    /// are decoded in place in the buffer pool, one page pin per run of
+    /// same-page rows (no per-row record copy, pool lock, or LRU
+    /// bookkeeping).  Returns the row number to resume from, or `None`
+    /// when the table is exhausted.  On error, rows decoded before the
+    /// failure remain in `out`.
+    pub(crate) fn scan_chunk(
+        &self,
+        from: u64,
+        want: usize,
+        keep: Option<&[usize]>,
+        out: &mut Vec<(u64, Vec<Value>)>,
+    ) -> Result<Option<u64>> {
+        let arity = self.schema.arity();
+        let mut nos: Vec<u64> = Vec::with_capacity(want);
+        let mut rids: Vec<Rid> = Vec::with_capacity(want);
+        let mut resume = None;
+        for (&no, &rid) in self.rows.range(from..) {
+            if nos.len() == want {
+                resume = Some(no);
+                break;
+            }
+            nos.push(no);
+            rids.push(rid);
+        }
+        self.heap.with_records(&rids, |k, buf| {
+            let (decoded_no, values) = match keep {
+                None => Self::decode_row(buf, arity),
+                Some(cols) => Self::decode_row_pruned(buf, arity, cols),
+            }?;
+            debug_assert_eq!(decoded_no, nos[k]);
+            out.push((nos[k], values));
+            Ok(())
+        })?;
+        Ok(resume)
     }
 
     // ---- secondary indexes ----

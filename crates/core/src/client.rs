@@ -168,6 +168,7 @@ pub trait Rows {
             rows,
             affected: 0,
             message: None,
+            stats: None,
         })
     }
 }
@@ -179,6 +180,23 @@ impl Rows for RowCursor<'_> {
 
     fn next_row(&mut self) -> Result<Option<AnnRow>> {
         RowCursor::next_row(self)
+    }
+
+    // local cursors can attach their executor counters to the
+    // materialized result, like `RowCursor::into_result`
+    fn collect_result(&mut self) -> Result<QueryResult> {
+        let columns = self.columns().to_vec();
+        let mut rows = Vec::new();
+        while let Some(row) = self.next_row()? {
+            rows.push(row);
+        }
+        Ok(QueryResult {
+            columns,
+            rows,
+            affected: 0,
+            message: None,
+            stats: Some(RowCursor::stats(self)),
+        })
     }
 }
 

@@ -20,7 +20,7 @@ use crate::ast::{AnnTarget, CopyFormat, Expr, Privilege, Statement};
 use crate::auth::{AuthManager, ADMIN};
 use crate::catalog::{Catalog, DeletedRow, Table};
 use crate::dependency::{DependencyManager, DependencyRule};
-use crate::executor::{run_select, run_select_traced, select_cells, ExecOptions, ExecStats};
+use crate::executor::{run_select_traced, select_cells, ExecOptions, ExecStats};
 use crate::expr::{eval, ColBinding};
 use crate::plan;
 use crate::provenance::{self, ProvenanceRecord};
@@ -133,18 +133,26 @@ impl Database {
         self.auth.user_exists(user)
     }
 
-    /// Execute a statement as `admin`.  Legacy one-shot entry point: a
-    /// thin wrapper over [`Session::run`] via [`Self::execute_as`] —
-    /// kept because half the test suite and every doc example reads
-    /// better with it.
+    /// Execute a statement as `admin`.
+    ///
+    /// **Legacy one-shot entry point** — a thin wrapper over
+    /// [`Session::run`] via [`Self::execute_as`], kept because half the
+    /// test suite and every doc example reads better with it.  New code
+    /// should open a [`Session`] (or a [`crate::client::Connection`])
+    /// and use its prepared-statement / cursor surface; SELECT results
+    /// from either path carry their executor counters in
+    /// [`QueryResult::stats`].
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         self.execute_as(sql, ADMIN)
     }
 
     /// Execute a statement as a given user (parse + execute in one step;
     /// statements with parameter placeholders must instead be prepared
-    /// through a [`Session`]).  Legacy one-shot entry point: literally
-    /// `self.session(user).run(sql)`.
+    /// through a [`Session`]).
+    ///
+    /// **Legacy one-shot entry point** — literally
+    /// `self.session(user).run(sql)`.  Prefer holding the [`Session`]
+    /// yourself; it amortizes plan caching across statements.
     pub fn execute_as(&mut self, sql: &str, user: &str) -> Result<QueryResult> {
         self.session(user).run(sql)
     }
@@ -169,6 +177,12 @@ impl Database {
     /// together with execution counters.  This is the instrumentation
     /// path used by benchmarks and the pushdown regression tests; it
     /// runs with admin visibility and does not tick the logical clock.
+    ///
+    /// **Legacy instrumentation entry point** — the counters it returns
+    /// as a tuple are now also attached to every SELECT result as
+    /// [`QueryResult::stats`] (and reachable incrementally from
+    /// [`crate::RowCursor::stats`]), so new code only needs this wrapper
+    /// when it wants non-default [`ExecOptions`].
     pub fn query_traced(&self, sql: &str, opts: &ExecOptions) -> Result<(QueryResult, ExecStats)> {
         let (stmt, param_count) = crate::parser::parse_prepared(sql)?;
         if param_count > 0 {
@@ -180,7 +194,8 @@ impl Database {
         match stmt {
             Statement::Select(sel) => {
                 let mut stats = ExecStats::default();
-                let qr = run_select_traced(&self.catalog, &sel, opts, &mut stats)?;
+                let mut qr = run_select_traced(&self.catalog, &sel, opts, &mut stats)?;
+                qr.stats = Some(stats.clone());
                 Ok((qr, stats))
             }
             _ => Err(BdbmsError::invalid("query_traced expects a SELECT")),
@@ -585,7 +600,11 @@ impl Database {
             }
             Statement::Select(sel) => {
                 self.check_select_auth(&sel, user)?;
-                run_select(&self.catalog, &sel)
+                let mut stats = ExecStats::default();
+                let mut qr =
+                    run_select_traced(&self.catalog, &sel, &ExecOptions::default(), &mut stats)?;
+                qr.stats = Some(stats);
+                Ok(qr)
             }
             Statement::Insert { table, rows } => {
                 let mut inserted = Vec::new();

@@ -90,6 +90,12 @@ pub struct ExecOptions {
     /// Push `LIMIT n` through the pipeline for early termination when no
     /// blocking operator (sort, group, distinct, set op) intervenes.
     pub limit_pushdown: bool,
+    /// Run simple SELECTs through the batch-at-a-time operators
+    /// ([`crate::batch`], up to [`crate::batch::BATCH_SIZE`] tuples per
+    /// operator pull) instead of the row-at-a-time Volcano pipeline.
+    /// Results are identical; only per-pull granularity (and therefore
+    /// throughput) changes.  See `docs/EXECUTOR.md`.
+    pub batch: bool,
 }
 
 impl Default for ExecOptions {
@@ -100,6 +106,7 @@ impl Default for ExecOptions {
             lazy_annotations: true,
             join_reorder: true,
             limit_pushdown: true,
+            batch: true,
         }
     }
 }
@@ -107,7 +114,7 @@ impl Default for ExecOptions {
 impl ExecOptions {
     /// The unoptimized baseline: full scans, post-join filtering, eager
     /// annotation attachment, FROM-order joins, LIMIT applied only to
-    /// the materialized result.
+    /// the materialized result, row-at-a-time operators.
     pub fn naive() -> Self {
         ExecOptions {
             predicate_pushdown: false,
@@ -115,7 +122,79 @@ impl ExecOptions {
             lazy_annotations: false,
             join_reorder: false,
             limit_pushdown: false,
+            batch: false,
         }
+    }
+
+    /// A builder starting from the all-optimizations default.  Preferred
+    /// over struct literals when flipping individual toggles:
+    ///
+    /// ```
+    /// use bdbms_core::executor::ExecOptions;
+    /// let row_path = ExecOptions::builder().batch(false).build();
+    /// let no_reorder = ExecOptions::builder().join_reorder(false).build();
+    /// ```
+    pub fn builder() -> ExecOptionsBuilder {
+        ExecOptionsBuilder {
+            opts: ExecOptions::default(),
+        }
+    }
+}
+
+/// Builder for [`ExecOptions`] — one method per toggle, so adding an
+/// optimization never multiplies constructor variants.
+#[derive(Debug, Clone)]
+pub struct ExecOptionsBuilder {
+    opts: ExecOptions,
+}
+
+impl ExecOptionsBuilder {
+    /// Start from the fully-unoptimized [`ExecOptions::naive`] preset
+    /// instead of the default.
+    pub fn naive(mut self) -> Self {
+        self.opts = ExecOptions::naive();
+        self
+    }
+
+    /// Toggle WHERE-conjunct pushdown to scans.
+    pub fn predicate_pushdown(mut self, on: bool) -> Self {
+        self.opts.predicate_pushdown = on;
+        self
+    }
+
+    /// Toggle secondary-index probes.
+    pub fn index_scans(mut self, on: bool) -> Self {
+        self.opts.index_scans = on;
+        self
+    }
+
+    /// Toggle lazy (survivors-only) annotation attachment.
+    pub fn lazy_annotations(mut self, on: bool) -> Self {
+        self.opts.lazy_annotations = on;
+        self
+    }
+
+    /// Toggle greedy join reordering.
+    pub fn join_reorder(mut self, on: bool) -> Self {
+        self.opts.join_reorder = on;
+        self
+    }
+
+    /// Toggle LIMIT pushdown into the pipeline.
+    pub fn limit_pushdown(mut self, on: bool) -> Self {
+        self.opts.limit_pushdown = on;
+        self
+    }
+
+    /// Toggle batch-at-a-time execution (off = row-at-a-time pulls).
+    pub fn batch(mut self, on: bool) -> Self {
+        self.opts.batch = on;
+        self
+    }
+
+    /// Finish the build.
+    pub fn build(self) -> ExecOptions {
+        self.opts
     }
 }
 
@@ -154,6 +233,9 @@ pub struct ExecStats {
     /// could not be pushed (the naive baseline's waste; 0 when the limit
     /// terminated the pipeline instead).
     pub rows_limit_discarded: u64,
+    /// Batches emitted by batch-mode scans (0 on the row-at-a-time
+    /// path).  `rows_fetched / scan_batches` approximates batch fill.
+    pub scan_batches: u64,
 }
 
 /// Evaluate an annotation predicate against one annotation.
@@ -174,30 +256,30 @@ pub fn eval_ann(cond: &AnnExpr, ann: &AnnOut) -> bool {
 /// here lives as long as the *catalog*, never the SELECT AST — which is
 /// what lets the assembled pipeline outlive the statement text as a
 /// [`SelectCursor`].
-struct Source<'a> {
+pub(crate) struct Source<'a> {
     table: &'a Table,
     /// The annotation sets named in the FROM entry's `ANNOTATION(…)`,
     /// resolved up front.
     sets: Vec<&'a AnnotationSet>,
     /// First column position of this source in the joined binding list.
-    offset: usize,
-    arity: usize,
+    pub(crate) offset: usize,
+    pub(crate) arity: usize,
 }
 
 /// A tuple flowing through the pipeline before annotation attachment.
-struct PipeRow {
-    values: Vec<Value>,
+pub(crate) struct PipeRow {
+    pub(crate) values: Vec<Value>,
     /// Originating row number per source, in FROM order.
-    rows: Vec<u64>,
+    pub(crate) rows: Vec<u64>,
     /// Annotations, already attached in eager mode (`None` while lazy).
-    anns: Option<Vec<Vec<AnnRef>>>,
+    pub(crate) anns: Option<Vec<Vec<AnnRef>>>,
 }
 
 /// Attaches one source's annotations (named sets + synthetic `outdated`)
 /// to tuples, sharing one `Rc` per distinct annotation via a cache —
 /// exactly the old scan-time semantics, applied to whichever columns the
 /// plan says are needed.
-struct SourceAttach<'a> {
+pub(crate) struct SourceAttach<'a> {
     table: &'a Table,
     sets: Vec<&'a AnnotationSet>,
     /// Source-local columns to attach (sorted).
@@ -223,6 +305,25 @@ impl<'a> SourceAttach<'a> {
 
     /// Attach annotations of `row_no` into the joined row's slots.
     fn attach_into(&mut self, row_no: u64, out: &mut [Vec<AnnRef>], st: &RefCell<ExecStats>) {
+        let attached = self.attach_into_buf(row_no, out);
+        if attached > 0 {
+            st.borrow_mut().anns_attached += attached;
+        }
+    }
+
+    /// True when this attacher can never attach anything — no columns to
+    /// attach to, or no annotation sets in scope *and* no outdated cells
+    /// to surface as §5 annotations.  The batch pipeline skips its attach
+    /// stage entirely then, instead of allocating empty annotation slots
+    /// for every row.
+    pub(crate) fn is_noop(&self) -> bool {
+        self.cols.is_empty() || (self.sets.is_empty() && self.table.outdated.count_set() == 0)
+    }
+
+    /// [`attach_into`](Self::attach_into) without the stats side effect:
+    /// returns how many annotations were attached so batch operators can
+    /// bump the counter once per batch instead of once per row.
+    pub(crate) fn attach_into_buf(&mut self, row_no: u64, out: &mut [Vec<AnnRef>]) -> u64 {
         let mut attached = 0u64;
         for (set_idx, set) in self.sets.iter().enumerate() {
             for &col in &self.cols {
@@ -261,9 +362,7 @@ impl<'a> SourceAttach<'a> {
                 attached += 1;
             }
         }
-        if attached > 0 {
-            st.borrow_mut().anns_attached += attached;
-        }
+        attached
     }
 }
 
@@ -277,22 +376,71 @@ impl<'a> SourceAttach<'a> {
 /// tuples are reconstructed from the B+-tree keys (all other slots NULL,
 /// provably unread) and the heap is never touched.
 /// A scan's lazy `(row_no, values)` stream.
-type RowValueStream<'a> = Box<dyn Iterator<Item = Result<(u64, Vec<Value>)>> + 'a>;
+pub(crate) type RowValueStream<'a> = Box<dyn Iterator<Item = Result<(u64, Vec<Value>)>> + 'a>;
 
-fn scan_stream<'a>(
+/// Choose this source's access path and build the raw `(row_no, values)`
+/// stream — probe-selection stats are pushed here, at assembly time.
+/// Pushed conjuncts are *not* applied; the row pipeline wraps the stream
+/// with a per-row filter ([`scan_stream`]) while the batch pipeline
+/// re-checks them in per-conjunct tight loops
+/// ([`crate::batch::BatchScan`]).
+pub(crate) fn scan_base<'a>(
     src: &Source<'a>,
-    local_bindings: Rc<Vec<ColBinding>>,
-    pushed: Vec<Expr>,
+    local_bindings: &[ColBinding],
+    pushed: &[Expr],
     use_index: bool,
     value_needed: Option<Vec<usize>>,
     forced: Option<ProbeChoice>,
-    st: Rc<RefCell<ExecStats>>,
+    st: &RefCell<ExecStats>,
 ) -> (RowValueStream<'a>, Option<ProbeChoice>) {
     let (probe, choice) = if use_index {
-        plan::choose_probe_with(src.table, &local_bindings, &pushed, forced)
+        plan::choose_probe_with(src.table, local_bindings, pushed, forced)
     } else {
         (Probe::FullScan, Some(ProbeChoice::FullScan))
     };
+    (probe_stream(src, probe, value_needed, st), choice)
+}
+
+/// Batch-path access path: same probe choice (and probe-selection
+/// stats) as [`scan_base`], but a full scan is returned as a chunked,
+/// column-pruned table handle ([`crate::batch::ScanBase::Chunk`])
+/// instead of a row-at-a-time iterator, so [`crate::batch::BatchScan`]
+/// decodes whole batches straight out of the buffer pool.
+pub(crate) fn scan_base_batch<'a>(
+    src: &Source<'a>,
+    local_bindings: &[ColBinding],
+    pushed: &[Expr],
+    use_index: bool,
+    value_needed: Option<Vec<usize>>,
+    forced: Option<ProbeChoice>,
+    st: &RefCell<ExecStats>,
+) -> (crate::batch::ScanBase<'a>, Option<ProbeChoice>) {
+    let (probe, choice) = if use_index {
+        plan::choose_probe_with(src.table, local_bindings, pushed, forced)
+    } else {
+        (Probe::FullScan, Some(ProbeChoice::FullScan))
+    };
+    if matches!(probe, Probe::FullScan) {
+        st.borrow_mut().full_scans += 1;
+        let base = crate::batch::ScanBase::Chunk {
+            table: src.table,
+            next: 0,
+            keep: value_needed,
+        };
+        return (base, choice);
+    }
+    let stream = probe_stream(src, probe, value_needed, st);
+    (crate::batch::ScanBase::Stream(stream), choice)
+}
+
+/// Build the row-at-a-time stream for a chosen probe, recording its
+/// access-path stats.
+fn probe_stream<'a>(
+    src: &Source<'a>,
+    probe: Probe,
+    value_needed: Option<Vec<usize>>,
+    st: &RefCell<ExecStats>,
+) -> RowValueStream<'a> {
     let base: RowValueStream<'a> = match probe {
         Probe::Empty => Box::new(std::iter::empty()),
         Probe::Index { column, lo, hi } => {
@@ -348,6 +496,27 @@ fn scan_stream<'a>(
             Box::new(src.table.iter_rows())
         }
     };
+    base
+}
+
+fn scan_stream<'a>(
+    src: &Source<'a>,
+    local_bindings: Rc<Vec<ColBinding>>,
+    pushed: Vec<Expr>,
+    use_index: bool,
+    value_needed: Option<Vec<usize>>,
+    forced: Option<ProbeChoice>,
+    st: Rc<RefCell<ExecStats>>,
+) -> (RowValueStream<'a>, Option<ProbeChoice>) {
+    let (base, choice) = scan_base(
+        src,
+        &local_bindings,
+        &pushed,
+        use_index,
+        value_needed,
+        forced,
+        &st,
+    );
     let stream = Box::new(base.filter_map(move |entry| {
         let (row_no, values) = match entry {
             Ok(x) => x,
@@ -398,7 +567,7 @@ fn find_equi_key(
     None
 }
 
-fn concat_pipe(left: &PipeRow, right: &PipeRow) -> PipeRow {
+pub(crate) fn concat_pipe(left: &PipeRow, right: &PipeRow) -> PipeRow {
     let mut values = left.values.clone();
     values.extend(right.values.iter().cloned());
     let mut rows = left.rows.clone();
@@ -415,7 +584,7 @@ fn concat_pipe(left: &PipeRow, right: &PipeRow) -> PipeRow {
 }
 
 /// Does the expression tree contain an aggregate?
-fn has_aggregate(e: &Expr) -> bool {
+pub(crate) fn has_aggregate(e: &Expr) -> bool {
     match e {
         Expr::Aggregate(..) => true,
         Expr::Literal(_) | Expr::Column(..) | Expr::Param(_) => false,
@@ -532,7 +701,7 @@ fn item_name(item: &SelectItem) -> String {
 
 /// Annotations that flow into one projected item: the referenced columns'
 /// annotations plus any PROMOTE sources (§3.4).
-fn item_ann_columns(item: &SelectItem, bindings: &[ColBinding]) -> Result<Vec<usize>> {
+pub(crate) fn item_ann_columns(item: &SelectItem, bindings: &[ColBinding]) -> Result<Vec<usize>> {
     let mut cols = Vec::new();
     referenced_columns(&item.expr, bindings, &mut cols)?;
     for (q, n) in &item.promote {
@@ -806,17 +975,82 @@ struct BuiltPipeline<'a> {
     plan: Option<SelectPlan>,
 }
 
-/// Assemble the streaming pipeline for one simple SELECT.  `hints`
-/// replays a cached [`SelectPlan`] when it is still valid (same catalog
-/// generation, same statement shape); otherwise every decision is made
-/// live and recorded in the returned plan.
-fn build_simple_pipeline<'a>(
+/// Everything the planner decides for one simple SELECT before any
+/// operator exists: sources in execution order, conjunct sites, access
+/// paths to force, annotation/value column needs, LIMIT pushdown.  This
+/// is the shared front half of both executors — [`assemble_row_pipeline`]
+/// turns it into the row-at-a-time Volcano chain and
+/// [`assemble_batch_pipeline`] into the batch-at-a-time operator tree
+/// ([`crate::batch`]), so every plan decision (and its `ExecStats`
+/// footprint) is identical across the two.
+pub(crate) struct PlannedSelect<'a> {
+    /// FROM sources in execution order.
+    sources: Vec<Source<'a>>,
+    /// Column bindings in execution order.
+    bindings: Rc<Vec<ColBinding>>,
+    /// Pushed conjuncts per source, in execution order.
+    pushed: Vec<Vec<Expr>>,
+    /// Cross-source (or unpushable) conjuncts, evaluated after joins.
+    residual: Vec<Expr>,
+    /// All top-level WHERE conjuncts (for equi-join key discovery).
+    all_conjuncts: Vec<Expr>,
+    /// Expanded projection (errors deferred to projection time).
+    items: std::result::Result<Vec<SelectItem>, BdbmsError>,
+    /// Binding positions whose annotations the query can propagate.
+    needed_cols: BTreeSet<usize>,
+    /// Binding positions whose values are read (index-only planning).
+    value_cols: Option<BTreeSet<usize>>,
+    /// Eager (attach-at-scan) annotation mode.
+    eager: bool,
+    /// Secondary-index probes allowed.
+    use_index: bool,
+    /// LIMIT to push into the pipeline, when eligible.
+    push_limit: Option<usize>,
+    /// AWHERE condition, if any.
+    awhere: Option<AnnExpr>,
+    /// Execution order as FROM positions.
+    order: Vec<usize>,
+    /// Pushdown site per top-level conjunct, in conjunct order.
+    plan_sites: Vec<ConjunctSite>,
+    /// Probe forced by a replayed plan, per source in execution order.
+    forced: Vec<Option<ProbeChoice>>,
+    total_arity: usize,
+    catalog_id: u64,
+    generation: u64,
+}
+
+impl PlannedSelect<'_> {
+    /// Source-local positions of `needed_cols` within `src`.
+    fn local_needed(needed_cols: &BTreeSet<usize>, src: &Source) -> Vec<usize> {
+        needed_cols
+            .iter()
+            .filter(|&&c| c >= src.offset && c < src.offset + src.arity)
+            .map(|&c| c - src.offset)
+            .collect()
+    }
+
+    /// Source-local positions of `value_cols` within `src`.
+    fn local_value_cols(value_cols: &Option<BTreeSet<usize>>, src: &Source) -> Option<Vec<usize>> {
+        value_cols.as_ref().map(|vc| {
+            vc.iter()
+                .filter(|&&c| c >= src.offset && c < src.offset + src.arity)
+                .map(|&c| c - src.offset)
+                .collect()
+        })
+    }
+}
+
+/// Plan one simple SELECT.  `hints` replays a cached [`SelectPlan`] when
+/// it is still valid (same catalog generation, same statement shape);
+/// otherwise every decision is made live and recorded in the assembled
+/// pipeline's plan.
+fn plan_simple_select<'a>(
     catalog: &'a Catalog,
     sel: &Select,
     opts: &ExecOptions,
-    st: Rc<RefCell<ExecStats>>,
+    st: &RefCell<ExecStats>,
     hints: Option<&SelectPlan>,
-) -> Result<BuiltPipeline<'a>> {
+) -> Result<PlannedSelect<'a>> {
     if sel.from.is_empty() {
         return Err(BdbmsError::invalid("SELECT requires FROM"));
     }
@@ -933,7 +1167,7 @@ fn build_simple_pipeline<'a>(
             arity: table.schema.arity(),
         });
     }
-    let mut pushed: Vec<Vec<Expr>> = order
+    let pushed: Vec<Vec<Expr>> = order
         .iter()
         .map(|&i| std::mem::take(&mut pushed_from[i]))
         .collect();
@@ -989,14 +1223,56 @@ fn build_simple_pipeline<'a>(
         }
         _ => None,
     };
-    let local_needed = |src: &Source| -> Vec<usize> {
-        needed_cols
-            .iter()
-            .filter(|&&c| c >= src.offset && c < src.offset + src.arity)
-            .map(|&c| c - src.offset)
-            .collect()
-    };
-    let bindings = Rc::new(all_bindings);
+    let forced: Vec<Option<ProbeChoice>> = (0..sources.len())
+        .map(|i| hints.map(|h| h.probes[i]))
+        .collect();
+    Ok(PlannedSelect {
+        sources,
+        bindings: Rc::new(all_bindings),
+        pushed,
+        residual,
+        all_conjuncts,
+        items: items_early,
+        needed_cols,
+        value_cols,
+        eager,
+        use_index: opts.index_scans,
+        push_limit,
+        awhere: sel.awhere.clone(),
+        order,
+        plan_sites,
+        forced,
+        total_arity,
+        catalog_id: catalog.instance_id(),
+        generation: catalog.generation(),
+    })
+}
+
+/// Assemble the row-at-a-time (Volcano) pipeline from a planned SELECT.
+fn assemble_row_pipeline<'a>(
+    p: PlannedSelect<'a>,
+    st: Rc<RefCell<ExecStats>>,
+) -> Result<BuiltPipeline<'a>> {
+    let PlannedSelect {
+        sources,
+        bindings,
+        mut pushed,
+        residual,
+        all_conjuncts,
+        items,
+        needed_cols,
+        value_cols,
+        eager,
+        use_index,
+        push_limit,
+        awhere,
+        order,
+        plan_sites,
+        forced,
+        total_arity,
+        catalog_id,
+        generation,
+    } = p;
 
     // ---- per-source scans (eager mode attaches here, pre-filter) ----
     let mut plan_probes: Vec<ProbeChoice> = Vec::with_capacity(sources.len());
@@ -1006,19 +1282,14 @@ fn build_simple_pipeline<'a>(
     for (i, src) in sources.iter().enumerate() {
         let local: Rc<Vec<ColBinding>> =
             Rc::new(bindings[src.offset..src.offset + src.arity].to_vec());
-        let local_value_cols: Option<Vec<usize>> = value_cols.as_ref().map(|vc| {
-            vc.iter()
-                .filter(|&&c| c >= src.offset && c < src.offset + src.arity)
-                .map(|&c| c - src.offset)
-                .collect()
-        });
+        let local_value_cols = PlannedSelect::local_value_cols(&value_cols, src);
         let (scan, choice) = scan_stream(
             src,
             local,
             std::mem::take(&mut pushed[i]),
-            opts.index_scans,
+            use_index,
             local_value_cols,
-            hints.map(|h| h.probes[i]),
+            forced[i],
             st.clone(),
         );
         match choice {
@@ -1129,7 +1400,13 @@ fn build_simple_pipeline<'a>(
     } else {
         sources
             .iter()
-            .map(|src| SourceAttach::new(src, local_needed(src), src.offset))
+            .map(|src| {
+                SourceAttach::new(
+                    src,
+                    PlannedSelect::local_needed(&needed_cols, src),
+                    src.offset,
+                )
+            })
             .collect()
     };
     let st_attach = st.clone();
@@ -1153,7 +1430,7 @@ fn build_simple_pipeline<'a>(
     });
 
     // ---- AWHERE: annotation-based selection (some annotation satisfies) ----
-    let stream: Box<dyn Iterator<Item = Result<AnnRow>> + 'a> = match sel.awhere.clone() {
+    let stream: Box<dyn Iterator<Item = Result<AnnRow>> + 'a> = match awhere {
         Some(cond) => Box::new(stream.filter(move |entry| match entry {
             Err(_) => true,
             Ok(row) => row.all_anns().iter().any(|a| eval_ann(&cond, a)),
@@ -1173,10 +1450,161 @@ fn build_simple_pipeline<'a>(
     Ok(BuiltPipeline {
         stream,
         bindings,
-        items: items_early,
-        plan: plan_cacheable.then(|| SelectPlan {
-            catalog: catalog.instance_id(),
-            generation: catalog.generation(),
+        items,
+        plan: plan_cacheable.then_some(SelectPlan {
+            catalog: catalog_id,
+            generation,
+            join_order: order,
+            sites: plan_sites,
+            probes: plan_probes,
+        }),
+    })
+}
+
+/// A fully assembled batch pipeline: the operator tree plus everything
+/// the projection stage needs (the batch counterpart of
+/// [`BuiltPipeline`]).
+pub(crate) struct BuiltBatchPipeline<'a> {
+    /// Root operator: joined, filtered, annotated, limit-capped batches.
+    pub(crate) op: Box<dyn crate::batch::BatchOp<'a> + 'a>,
+    /// Column bindings in execution order.
+    pub(crate) bindings: Rc<Vec<ColBinding>>,
+    /// Expanded projection items (errors deferred to projection time).
+    pub(crate) items: std::result::Result<Vec<SelectItem>, BdbmsError>,
+    /// The plan this pipeline was assembled with (see [`BuiltPipeline`]).
+    pub(crate) plan: Option<SelectPlan>,
+}
+
+/// Assemble the batch-at-a-time operator tree from a planned SELECT.
+/// Stage order, plan decisions, and assembly-time side effects (probe
+/// stats, build-side materialization and its errors, `limit_pushdowns`)
+/// mirror [`assemble_row_pipeline`] exactly; only the pull granularity
+/// differs.
+fn assemble_batch_pipeline<'a>(
+    p: PlannedSelect<'a>,
+    st: Rc<RefCell<ExecStats>>,
+) -> Result<BuiltBatchPipeline<'a>> {
+    use crate::batch::{self, BatchOp};
+    let PlannedSelect {
+        sources,
+        bindings,
+        pushed,
+        residual,
+        all_conjuncts,
+        items,
+        needed_cols,
+        value_cols,
+        eager,
+        use_index,
+        push_limit,
+        awhere,
+        order,
+        plan_sites,
+        forced,
+        total_arity,
+        catalog_id,
+        generation,
+    } = p;
+
+    // ---- per-source scans; the first streams, the rest are drained
+    //      here as hash-join build sides (assembly-time, same error and
+    //      stats timing as the row path) ----
+    let mut plan_probes: Vec<ProbeChoice> = Vec::with_capacity(sources.len());
+    let mut plan_cacheable = true;
+    let mut op: Option<Box<dyn BatchOp<'a> + 'a>> = None;
+    for (i, src) in sources.iter().enumerate() {
+        let local = &bindings[src.offset..src.offset + src.arity];
+        let local_value_cols = PlannedSelect::local_value_cols(&value_cols, src);
+        let (base, choice) = scan_base_batch(
+            src,
+            local,
+            &pushed[i],
+            use_index,
+            local_value_cols,
+            forced[i],
+            &st,
+        );
+        match choice {
+            Some(c) => plan_probes.push(c),
+            None => {
+                plan_cacheable = false;
+                plan_probes.push(ProbeChoice::FullScan);
+            }
+        }
+        let compiled: Vec<crate::expr::CExpr> = pushed[i]
+            .iter()
+            .map(|c| crate::expr::compile(c, local))
+            .collect();
+        let attach = eager
+            .then(|| SourceAttach::new(src, (0..src.arity).collect(), 0))
+            .filter(|a| !a.is_noop());
+        let scan = batch::BatchScan::new(base, compiled, attach, src.arity, st.clone());
+        op = Some(match op {
+            None => Box::new(scan),
+            Some(left) => {
+                let build = batch::drain_build(scan)?;
+                let acc_bindings = &bindings[..src.offset];
+                let next_bindings = &bindings[src.offset..src.offset + src.arity];
+                let key = find_equi_key(&all_conjuncts, acc_bindings, next_bindings);
+                Box::new(batch::BatchJoin::new(left, build, key))
+            }
+        });
+    }
+    let mut op = op.expect("at least one source");
+
+    // ---- residual WHERE (cross-source conjuncts / naive full pred) ----
+    if !residual.is_empty() {
+        let compiled: Vec<crate::expr::CExpr> = residual
+            .iter()
+            .map(|c| crate::expr::compile(c, &bindings))
+            .collect();
+        op = Box::new(batch::BatchFilter::new(op, compiled));
+    }
+
+    // ---- annotation attachment (lazy mode: survivors only).  Skipped
+    //      outright when nothing can attach — downstream operators treat
+    //      `anns: None` exactly like all-empty slots, so un-annotated
+    //      queries never allocate per-row annotation buffers ----
+    if !eager {
+        let attachers: Vec<SourceAttach> = sources
+            .iter()
+            .map(|src| {
+                SourceAttach::new(
+                    src,
+                    PlannedSelect::local_needed(&needed_cols, src),
+                    src.offset,
+                )
+            })
+            .collect();
+        if attachers.iter().any(|a| !a.is_noop()) {
+            op = Box::new(batch::BatchAttach::new(
+                op,
+                attachers,
+                total_arity,
+                st.clone(),
+            ));
+        }
+    }
+
+    // ---- AWHERE: annotation-based selection (some annotation satisfies) ----
+    if let Some(cond) = awhere {
+        op = Box::new(batch::BatchAWhere::new(op, cond));
+    }
+
+    // ---- pushed LIMIT: demand-driven, so scans stop (and fetch counts
+    //      stay exact on filterless scans) after the k-th tuple ----
+    if let Some(k) = push_limit {
+        st.borrow_mut().limit_pushdowns += 1;
+        op = Box::new(batch::BatchLimit::new(op, k));
+    }
+
+    Ok(BuiltBatchPipeline {
+        op,
+        bindings,
+        items,
+        plan: plan_cacheable.then_some(SelectPlan {
+            catalog: catalog_id,
+            generation,
             join_order: order,
             sites: plan_sites,
             probes: plan_probes,
@@ -1223,6 +1651,112 @@ fn run_simple_select(
     res
 }
 
+/// Does this SELECT's output stage aggregate?
+fn is_aggregated(sel: &Select, items: &[SelectItem]) -> bool {
+    !sel.group_by.is_empty()
+        || items.iter().any(|i| has_aggregate(&i.expr))
+        || sel.having.as_ref().is_some_and(has_aggregate)
+}
+
+/// The grouped/aggregated output stage over materialized input rows:
+/// GROUP BY, HAVING/AHAVING, per-item [`eval_group`], and the paper's
+/// union-of-group-annotations semantics.  Shared by the row path and the
+/// batch path's fallback (the batch fast path accumulates instead — see
+/// [`crate::batch::BatchAggregator`]).
+pub(crate) fn aggregate_rows(
+    sel: &Select,
+    items: &[SelectItem],
+    bindings: &[ColBinding],
+    rows: Vec<AnnRow>,
+) -> Result<Vec<AnnRow>> {
+    // group rows by the GROUP BY key
+    let key_idxs: Vec<usize> = sel
+        .group_by
+        .iter()
+        .map(|(q, n)| resolve_column(bindings, q.as_deref(), n))
+        .collect::<Result<_>>()?;
+    let mut groups: Vec<(Vec<Value>, Vec<AnnRow>)> = Vec::new();
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    for row in rows {
+        let key: Vec<Value> = key_idxs.iter().map(|&i| row.values[i].clone()).collect();
+        match index.get(&key) {
+            Some(&g) => groups[g].1.push(row),
+            None => {
+                index.insert(key.clone(), groups.len());
+                groups.push((key, vec![row]));
+            }
+        }
+    }
+    // empty input with no GROUP BY still yields one (empty) group for
+    // global aggregates like COUNT(*)
+    if groups.is_empty() && sel.group_by.is_empty() {
+        groups.push((Vec::new(), Vec::new()));
+    }
+    let mut out_rows = Vec::with_capacity(groups.len());
+    for (_, group) in groups {
+        // HAVING (data predicate over the group)
+        if let Some(h) = &sel.having {
+            if !eval_group(h, bindings, &group)?.is_true() {
+                continue;
+            }
+        }
+        // AHAVING: some annotation within the group satisfies
+        if let Some(cond) = &sel.ahaving {
+            let any = group
+                .iter()
+                .flat_map(|r| r.all_anns())
+                .any(|a| eval_ann(cond, &a));
+            if !any {
+                continue;
+            }
+        }
+        let mut values = Vec::with_capacity(items.len());
+        let mut anns = Vec::with_capacity(items.len());
+        for item in items {
+            values.push(eval_group(&item.expr, bindings, &group)?);
+            // annotations: union across the group of referenced cols
+            let cols = item_ann_columns(item, bindings)?;
+            let mut merged: Vec<AnnRef> = Vec::new();
+            for row in &group {
+                for &c in &cols {
+                    for a in &row.anns[c] {
+                        if !merged.iter().any(|x| x.identity() == a.identity()) {
+                            merged.push(a.clone());
+                        }
+                    }
+                }
+            }
+            anns.push(merged);
+        }
+        out_rows.push(AnnRow { values, anns });
+    }
+    Ok(out_rows)
+}
+
+/// The shared result tail: DISTINCT dedup-union and FILTER (§3.4), then
+/// the materialized [`QueryResult`].
+fn finish_select(sel: &Select, columns: Vec<String>, mut out_rows: Vec<AnnRow>) -> QueryResult {
+    // DISTINCT: merge duplicates, unioning annotations (§3.4)
+    if sel.distinct {
+        out_rows = dedup_union(out_rows);
+    }
+    // FILTER: keep tuples, drop non-matching annotations (§3.4)
+    if let Some(cond) = &sel.filter {
+        for row in &mut out_rows {
+            for col in &mut row.anns {
+                col.retain(|a| eval_ann(cond, a));
+            }
+        }
+    }
+    QueryResult {
+        columns,
+        rows: out_rows,
+        affected: 0,
+        message: None,
+        stats: None,
+    }
+}
+
 /// [`run_simple_select`] over shared stats.  Plan hints apply only to
 /// the streaming-cursor path ([`open_select_cursor`]); materialized
 /// execution always plans live.
@@ -1232,13 +1766,16 @@ fn run_simple_select_shared(
     opts: &ExecOptions,
     st: &Rc<RefCell<ExecStats>>,
 ) -> Result<QueryResult> {
-    let built = build_simple_pipeline(catalog, sel, opts, st.clone(), None)?;
+    let planned = plan_simple_select(catalog, sel, opts, st, None)?;
+    if opts.batch {
+        return run_simple_select_batch(sel, planned, st);
+    }
     let BuiltPipeline {
         stream,
         bindings,
         items,
         plan: _,
-    } = built;
+    } = assemble_row_pipeline(planned, st.clone())?;
     // pipeline errors surface before projection errors, exactly as the
     // pre-streaming executor reported them
     let rows = stream.collect::<Result<Vec<AnnRow>>>()?;
@@ -1246,75 +1783,9 @@ fn run_simple_select_shared(
 
     // ---- projection / aggregation (identical to the pre-streaming
     //      executor from here on: the paper's §3.4 output semantics) ----
-    let aggregated = !sel.group_by.is_empty()
-        || items.iter().any(|i| has_aggregate(&i.expr))
-        || sel.having.as_ref().is_some_and(has_aggregate);
-
-    let mut out_rows: Vec<AnnRow>;
     let out_columns: Vec<String> = items.iter().map(item_name).collect();
-
-    if aggregated {
-        // group rows by the GROUP BY key
-        let key_idxs: Vec<usize> = sel
-            .group_by
-            .iter()
-            .map(|(q, n)| resolve_column(&bindings, q.as_deref(), n))
-            .collect::<Result<_>>()?;
-        let mut groups: Vec<(Vec<Value>, Vec<AnnRow>)> = Vec::new();
-        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
-        for row in rows {
-            let key: Vec<Value> = key_idxs.iter().map(|&i| row.values[i].clone()).collect();
-            match index.get(&key) {
-                Some(&g) => groups[g].1.push(row),
-                None => {
-                    index.insert(key.clone(), groups.len());
-                    groups.push((key, vec![row]));
-                }
-            }
-        }
-        // empty input with no GROUP BY still yields one (empty) group for
-        // global aggregates like COUNT(*)
-        if groups.is_empty() && sel.group_by.is_empty() {
-            groups.push((Vec::new(), Vec::new()));
-        }
-        out_rows = Vec::with_capacity(groups.len());
-        for (_, group) in groups {
-            // HAVING (data predicate over the group)
-            if let Some(h) = &sel.having {
-                if !eval_group(h, &bindings, &group)?.is_true() {
-                    continue;
-                }
-            }
-            // AHAVING: some annotation within the group satisfies
-            if let Some(cond) = &sel.ahaving {
-                let any = group
-                    .iter()
-                    .flat_map(|r| r.all_anns())
-                    .any(|a| eval_ann(cond, &a));
-                if !any {
-                    continue;
-                }
-            }
-            let mut values = Vec::with_capacity(items.len());
-            let mut anns = Vec::with_capacity(items.len());
-            for item in &items {
-                values.push(eval_group(&item.expr, &bindings, &group)?);
-                // annotations: union across the group of referenced cols
-                let cols = item_ann_columns(item, &bindings)?;
-                let mut merged: Vec<AnnRef> = Vec::new();
-                for row in &group {
-                    for &c in &cols {
-                        for a in &row.anns[c] {
-                            if !merged.iter().any(|x| x.identity() == a.identity()) {
-                                merged.push(a.clone());
-                            }
-                        }
-                    }
-                }
-                anns.push(merged);
-            }
-            out_rows.push(AnnRow { values, anns });
-        }
+    let out_rows = if is_aggregated(sel, &items) {
+        aggregate_rows(sel, &items, &bindings, rows)?
     } else {
         if sel.having.is_some() || sel.ahaving.is_some() {
             return Err(BdbmsError::invalid(
@@ -1326,32 +1797,88 @@ fn run_simple_select_shared(
             .iter()
             .map(|i| item_ann_columns(i, &bindings))
             .collect::<Result<_>>()?;
-        out_rows = Vec::with_capacity(rows.len());
+        let mut out = Vec::with_capacity(rows.len());
         for row in rows {
-            out_rows.push(project_row(&items, &item_cols, &bindings, &row)?);
+            out.push(project_row(&items, &item_cols, &bindings, &row)?);
         }
-    }
+        out
+    };
+    Ok(finish_select(sel, out_columns, out_rows))
+}
 
-    // DISTINCT: merge duplicates, unioning annotations (§3.4)
-    if sel.distinct {
-        out_rows = dedup_union(out_rows);
-    }
-
-    // FILTER: keep tuples, drop non-matching annotations (§3.4)
-    if let Some(cond) = &sel.filter {
-        for row in &mut out_rows {
-            for col in &mut row.anns {
-                col.retain(|a| eval_ann(cond, a));
+/// The batch-at-a-time counterpart of the materializing executor:
+/// batches are drained through the operator tree and projected or
+/// aggregated in tight loops.  Error ordering matches the row path —
+/// the pipeline is always drained before projection-stage errors
+/// surface, and aggregate evaluation errors are deferred to
+/// finalization in row-path order.
+fn run_simple_select_batch(
+    sel: &Select,
+    planned: PlannedSelect<'_>,
+    st: &Rc<RefCell<ExecStats>>,
+) -> Result<QueryResult> {
+    use crate::batch::{self, BATCH_SIZE};
+    let BuiltBatchPipeline {
+        mut op,
+        bindings,
+        items,
+        plan: _,
+    } = assemble_batch_pipeline(planned, st.clone())?;
+    let total_arity = bindings.len();
+    // pipeline errors surface before projection errors (row-path parity):
+    // every consumer below drains the operator tree before touching items
+    let items = match items {
+        Ok(items) => items,
+        Err(e) => {
+            while op.next_batch(BATCH_SIZE)?.is_some() {}
+            return Err(e);
+        }
+    };
+    let out_columns: Vec<String> = items.iter().map(item_name).collect();
+    let out_rows = if is_aggregated(sel, &items) {
+        match batch::BatchAggregator::try_new(sel, &items, &bindings) {
+            Some(mut agg) => {
+                // streaming aggregation: accumulators, no per-row AnnRow
+                while let Some(b) = op.next_batch(BATCH_SIZE)? {
+                    agg.consume(&b);
+                }
+                agg.finish()?
+            }
+            None => {
+                // HAVING/AHAVING, computed aggregates, or unresolvable
+                // keys: materialize and reuse the row path's group stage
+                let rows = batch::drain_rows(op.as_mut(), total_arity)?;
+                aggregate_rows(sel, &items, &bindings, rows)?
             }
         }
-    }
-
-    Ok(QueryResult {
-        columns: out_columns,
-        rows: out_rows,
-        affected: 0,
-        message: None,
-    })
+    } else {
+        if sel.having.is_some() || sel.ahaving.is_some() {
+            while op.next_batch(BATCH_SIZE)?.is_some() {}
+            return Err(BdbmsError::invalid(
+                "HAVING/AHAVING require GROUP BY or aggregates",
+            ));
+        }
+        // materialize the batches first (pipeline errors before
+        // projection errors), then project in compiled tight loops
+        let mut batches = Vec::new();
+        while let Some(b) = op.next_batch(BATCH_SIZE)? {
+            batches.push(b);
+        }
+        let item_cols: Vec<Vec<usize>> = items
+            .iter()
+            .map(|i| item_ann_columns(i, &bindings))
+            .collect::<Result<_>>()?;
+        let compiled: Vec<crate::expr::CExpr> = items
+            .iter()
+            .map(|i| crate::expr::compile(&i.expr, &bindings))
+            .collect();
+        let mut out = Vec::with_capacity(batches.iter().map(|b| b.live()).sum());
+        for b in &batches {
+            batch::project_batch_into(&compiled, &item_cols, b, None, &mut out)?;
+        }
+        out
+    };
+    Ok(finish_select(sel, out_columns, out_rows))
 }
 
 /// A pull-based cursor over one SELECT's output: rows are produced on
@@ -1425,7 +1952,37 @@ pub fn open_select_cursor<'a>(
             h.catalog == catalog.instance_id() && h.generation == catalog.generation()
         }) || projection_streamable(catalog, sel));
     if can_stream {
-        let built = build_simple_pipeline(catalog, sel, opts, st.clone(), hints)?;
+        let planned = plan_simple_select(catalog, sel, opts, &st, hints)?;
+        if opts.batch {
+            // batch streaming: the cursor pulls one batch at a time and
+            // hands out its rows, so the scan advances in BATCH_SIZE
+            // steps as the consumer pulls (per-batch granularity — the
+            // session tests pin that nothing is fetched before the
+            // first pull)
+            let built = assemble_batch_pipeline(planned, st.clone())?;
+            let items = built.items?;
+            let columns: Vec<String> = items.iter().map(item_name).collect();
+            let item_cols: Vec<Vec<usize>> = items
+                .iter()
+                .map(|i| item_ann_columns(i, &built.bindings))
+                .collect::<Result<_>>()?;
+            let compiled: Vec<crate::expr::CExpr> = items
+                .iter()
+                .map(|i| crate::expr::compile(&i.expr, &built.bindings))
+                .collect();
+            let mut stream: Box<dyn Iterator<Item = Result<AnnRow>> + 'a> =
+                Box::new(crate::batch::BatchCursorStream::new(
+                    built.op,
+                    compiled,
+                    item_cols,
+                    sel.filter.clone(),
+                ));
+            if let Some(k) = sel.limit {
+                stream = Box::new(stream.take(k as usize));
+            }
+            return Ok((SelectCursor { columns, stream }, built.plan));
+        }
+        let built = assemble_row_pipeline(planned, st.clone())?;
         let items = built.items?;
         let columns: Vec<String> = items.iter().map(item_name).collect();
         let item_cols: Vec<Vec<usize>> = items

@@ -397,6 +397,11 @@ fn eval_function(name: &str, args: &[Value]) -> Result<Value> {
 /// SQL LIKE via the workspace regex engine: `%` → `.*`, `_` → `.`,
 /// everything else escaped.
 pub fn like_match(s: &str, pattern: &str) -> Result<bool> {
+    Ok(like_regex(pattern)?.is_match(s.as_bytes()))
+}
+
+/// Compile a LIKE pattern into the workspace regex engine.
+pub fn like_regex(pattern: &str) -> Result<Regex> {
     let mut re = String::with_capacity(pattern.len() * 2);
     for ch in pattern.chars() {
         match ch {
@@ -409,9 +414,236 @@ pub fn like_match(s: &str, pattern: &str) -> Result<bool> {
             c => re.push(c),
         }
     }
-    let compiled =
-        Regex::compile(&re).map_err(|e| BdbmsError::eval(format!("bad LIKE pattern: {e}")))?;
-    Ok(compiled.is_match(s.as_bytes()))
+    Regex::compile(&re).map_err(|e| BdbmsError::eval(format!("bad LIKE pattern: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// Compiled expressions
+// ---------------------------------------------------------------------------
+
+/// A scalar expression compiled against a fixed binding list: column
+/// references are pre-resolved to value indexes and LIKE patterns are
+/// compiled once, so the batch executor's tight loops skip the per-row
+/// name resolution and regex compilation that [`eval`] pays.
+///
+/// Compilation never fails: anything that cannot be evaluated (an
+/// unresolvable column, an unbound parameter, a bare aggregate) becomes a
+/// [`CExpr::Err`] node whose error surfaces at *evaluation* time, exactly
+/// when the interpreted path would have surfaced it.  An `Err` node under
+/// a short-circuited branch therefore never fires — same as [`eval`].
+pub enum CExpr {
+    /// Constant.
+    Literal(Value),
+    /// Pre-resolved column: an index into the row's value slice.
+    Column(usize),
+    /// Unary operator.
+    Unary(UnaryOp, Box<CExpr>),
+    /// `IS [NOT] NULL`.
+    IsNull(Box<CExpr>, bool),
+    /// `[NOT] LIKE` with the pattern pre-compiled; a bad pattern is kept
+    /// as the error it would raise, surfaced only when a text value is
+    /// actually matched (NULL inputs still yield NULL first).
+    Like(
+        Box<CExpr>,
+        Box<std::result::Result<Regex, BdbmsError>>,
+        bool,
+    ),
+    /// `[NOT] CONTAINS SEQ`.
+    ContainsSeq(Box<CExpr>, String, bool),
+    /// `[NOT] IN (…)`.
+    InList(Box<CExpr>, Vec<CExpr>, bool),
+    /// Binary operator.
+    Binary(Box<CExpr>, BinaryOp, Box<CExpr>),
+    /// Scalar function call.
+    Call(String, Vec<CExpr>),
+    /// Deferred evaluation error (unresolvable column, parameter, …).
+    Err(BdbmsError),
+}
+
+/// Compile `expr` against `bindings`.  Infallible — resolution failures
+/// become deferred [`CExpr::Err`] nodes (see the type docs).
+pub fn compile(expr: &Expr, bindings: &[ColBinding]) -> CExpr {
+    match expr {
+        Expr::Literal(v) => CExpr::Literal(v.clone()),
+        Expr::Param(i) => CExpr::Err(BdbmsError::param_mismatch(format!(
+            "unbound parameter ${} (bind it through a prepared statement)",
+            i + 1
+        ))),
+        Expr::Column(q, n) => match resolve_column(bindings, q.as_deref(), n) {
+            Ok(idx) => CExpr::Column(idx),
+            Err(e) => CExpr::Err(e),
+        },
+        Expr::Unary(op, e) => CExpr::Unary(*op, Box::new(compile(e, bindings))),
+        Expr::IsNull(e, negated) => CExpr::IsNull(Box::new(compile(e, bindings)), *negated),
+        Expr::Like(e, pattern, negated) => CExpr::Like(
+            Box::new(compile(e, bindings)),
+            Box::new(like_regex(pattern)),
+            *negated,
+        ),
+        Expr::ContainsSeq(e, pattern, negated) => {
+            CExpr::ContainsSeq(Box::new(compile(e, bindings)), pattern.clone(), *negated)
+        }
+        Expr::InList(e, items, negated) => CExpr::InList(
+            Box::new(compile(e, bindings)),
+            items.iter().map(|i| compile(i, bindings)).collect(),
+            *negated,
+        ),
+        Expr::Binary(l, op, r) => CExpr::Binary(
+            Box::new(compile(l, bindings)),
+            *op,
+            Box::new(compile(r, bindings)),
+        ),
+        Expr::Call(name, args) => CExpr::Call(
+            name.clone(),
+            args.iter().map(|a| compile(a, bindings)).collect(),
+        ),
+        Expr::Aggregate(..) => {
+            CExpr::Err(BdbmsError::eval("aggregate used outside GROUP BY context"))
+        }
+    }
+}
+
+/// Evaluate a compiled expression over one row's values.  Semantics are
+/// identical to [`eval`] on the source expression, error-for-error.
+pub fn eval_compiled(expr: &CExpr, values: &[Value]) -> Result<Value> {
+    match expr {
+        CExpr::Literal(v) => Ok(v.clone()),
+        CExpr::Column(idx) => Ok(values[*idx].clone()),
+        CExpr::Err(e) => Err(e.clone()),
+        CExpr::Unary(UnaryOp::Not, e) => {
+            let v = eval_compiled(e, values)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                other => Err(BdbmsError::eval(format!(
+                    "NOT applied to {}",
+                    other.type_name()
+                ))),
+            }
+        }
+        CExpr::Unary(UnaryOp::Neg, e) => {
+            let v = eval_compiled(e, values)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(f) => Ok(Value::Float(-f)),
+                other => Err(BdbmsError::eval(format!(
+                    "negation of {}",
+                    other.type_name()
+                ))),
+            }
+        }
+        CExpr::IsNull(e, negated) => {
+            let v = eval_compiled(e, values)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        CExpr::Like(e, regex, negated) => {
+            let v = eval_compiled(e, values)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => match regex.as_ref() {
+                    Ok(re) => Ok(Value::Bool(re.is_match(s.as_bytes()) != *negated)),
+                    Err(e) => Err(e.clone()),
+                },
+                other => Err(BdbmsError::eval(format!(
+                    "LIKE applied to {}",
+                    other.type_name()
+                ))),
+            }
+        }
+        CExpr::ContainsSeq(e, pattern, negated) => {
+            let v = eval_compiled(e, values)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => {
+                    let hit = !pattern.is_empty() && s.contains(pattern.as_str());
+                    Ok(Value::Bool(hit != *negated))
+                }
+                other => Err(BdbmsError::eval(format!(
+                    "CONTAINS SEQ applied to {}",
+                    other.type_name()
+                ))),
+            }
+        }
+        CExpr::InList(e, items, negated) => {
+            let v = eval_compiled(e, values)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut found = false;
+            for item in items {
+                let iv = eval_compiled(item, values)?;
+                if v.sql_cmp(&iv) == Some(std::cmp::Ordering::Equal) {
+                    found = true;
+                    break;
+                }
+            }
+            Ok(Value::Bool(found != *negated))
+        }
+        CExpr::Binary(l, op, r) => eval_compiled_binary(l, *op, r, values),
+        CExpr::Call(name, args) => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval_compiled(a, values))
+                .collect::<Result<_>>()?;
+            eval_function(name, &vals)
+        }
+    }
+}
+
+fn eval_compiled_binary(l: &CExpr, op: BinaryOp, r: &CExpr, values: &[Value]) -> Result<Value> {
+    // short-circuit logic with SQL three-valued semantics
+    if matches!(op, BinaryOp::And | BinaryOp::Or) {
+        let lv = eval_compiled(l, values)?;
+        match (op, &lv) {
+            (BinaryOp::And, Value::Bool(false)) => return Ok(Value::Bool(false)),
+            (BinaryOp::Or, Value::Bool(true)) => return Ok(Value::Bool(true)),
+            _ => {}
+        }
+        let rv = eval_compiled(r, values)?;
+        return match (op, lv, rv) {
+            (BinaryOp::And, Value::Bool(a), Value::Bool(b)) => Ok(Value::Bool(a && b)),
+            (BinaryOp::Or, Value::Bool(a), Value::Bool(b)) => Ok(Value::Bool(a || b)),
+            (BinaryOp::And, Value::Null, Value::Bool(false))
+            | (BinaryOp::And, Value::Bool(false), Value::Null) => Ok(Value::Bool(false)),
+            (BinaryOp::Or, Value::Null, Value::Bool(true))
+            | (BinaryOp::Or, Value::Bool(true), Value::Null) => Ok(Value::Bool(true)),
+            (_, Value::Null, _) | (_, _, Value::Null) => Ok(Value::Null),
+            (_, a, b) => Err(BdbmsError::eval(format!(
+                "logic over {} and {}",
+                a.type_name(),
+                b.type_name()
+            ))),
+        };
+    }
+    let lv = eval_compiled(l, values)?;
+    let rv = eval_compiled(r, values)?;
+    match op {
+        BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => {
+            let cmp = lv.sql_cmp(&rv);
+            let Some(ord) = cmp else {
+                return Ok(Value::Null);
+            };
+            let b = match op {
+                BinaryOp::Eq => ord.is_eq(),
+                BinaryOp::Ne => ord.is_ne(),
+                BinaryOp::Lt => ord.is_lt(),
+                BinaryOp::Le => ord.is_le(),
+                BinaryOp::Gt => ord.is_gt(),
+                BinaryOp::Ge => ord.is_ge(),
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        BinaryOp::Concat => match (lv, rv) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (a, b) => Ok(Value::Text(format!("{a}{b}"))),
+        },
+        BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => {
+            arith(op, lv, rv)
+        }
+        BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
+    }
 }
 
 #[cfg(test)]
@@ -539,6 +771,56 @@ mod tests {
             eval(&e, &b2, &[Value::Int(1), Value::Int(2)]).unwrap(),
             Value::Bool(true)
         );
+    }
+
+    #[test]
+    fn compiled_matches_interpreted() {
+        let (b, v) = ctx();
+        for sql in [
+            "len > 10 AND score < 3",
+            "note = 'x' OR len = 12",
+            "note = 'x' AND 1 = 2",
+            "len + 1 = 13",
+            "len / 0 = 1",
+            "GID LIKE 'JW%'",
+            "GID NOT LIKE '%99'",
+            "note IS NULL",
+            "GID IN ('JW0080', 'JW0082')",
+            "note IN ('a')",
+            "LENGTH(GID) = 6",
+            "SUBSTR(GID, 1, 2) = 'JW'",
+            "GID || '!' = 'JW0080!'",
+            "GID CONTAINS SEQ 'W00'",
+            "note CONTAINS SEQ 'x'",
+            "len CONTAINS SEQ 'x'",
+            "NOT len = 12",
+            "0 - len = 0 - 12",
+            "missing = 1",
+            "a.b = 1",
+        ] {
+            let e = where_expr(sql);
+            let interpreted = eval(&e, &b, &v);
+            let compiled = eval_compiled(&compile(&e, &b), &v);
+            assert_eq!(interpreted, compiled, "divergence on {sql}");
+        }
+    }
+
+    #[test]
+    fn compiled_defers_resolution_errors_past_short_circuits() {
+        let (b, v) = ctx();
+        // the unresolvable column sits behind a short-circuited OR arm, so
+        // neither path ever surfaces it
+        let e = where_expr("len = 12 OR missing = 1");
+        assert_eq!(eval(&e, &b, &v).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_compiled(&compile(&e, &b), &v).unwrap(),
+            Value::Bool(true)
+        );
+        // evaluated directly, the deferred error fires with the same code
+        let e = where_expr("missing = 1");
+        let interp_err = eval(&e, &b, &v).unwrap_err();
+        let comp_err = eval_compiled(&compile(&e, &b), &v).unwrap_err();
+        assert_eq!(interp_err, comp_err);
     }
 
     #[test]

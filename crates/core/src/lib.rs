@@ -43,6 +43,7 @@ pub mod annotation;
 pub mod approval;
 pub mod ast;
 pub mod auth;
+pub mod batch;
 pub mod catalog;
 pub mod check;
 pub mod client;

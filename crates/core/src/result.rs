@@ -103,6 +103,11 @@ pub struct QueryResult {
     pub affected: usize,
     /// Informational message (DDL confirmations etc.).
     pub message: Option<String>,
+    /// Execution statistics for the statement, when the executing
+    /// surface collects them (SELECTs run through [`crate::Database`]
+    /// one-shots and [`crate::Session`] cursors).  `None` for DML/DDL
+    /// and for results deserialized from the wire protocol.
+    pub stats: Option<crate::executor::ExecStats>,
 }
 
 impl QueryResult {
@@ -246,6 +251,7 @@ mod tests {
             rows: vec![r],
             affected: 0,
             message: None,
+            stats: None,
         };
         let t = qr.to_table();
         assert!(t.contains("JW0080"));
@@ -265,6 +271,7 @@ mod tests {
             rows: vec![AnnRow::plain(vec![Value::Int(1), Value::Int(2)])],
             affected: 0,
             message: None,
+            stats: None,
         };
         assert_eq!(qr.column_values("B").unwrap(), vec![&Value::Int(2)]);
         assert_eq!(qr.column_values("b").unwrap(), vec![&Value::Int(2)]);
@@ -280,6 +287,7 @@ mod tests {
             rows: vec![AnnRow::plain(vec![Value::Int(1), Value::Int(2)])],
             affected: 0,
             message: None,
+            stats: None,
         };
         assert_eq!(qr.column_values("GID").unwrap(), vec![&Value::Int(2)]);
         assert_eq!(qr.column_values("gid").unwrap(), vec![&Value::Int(1)]);

@@ -174,13 +174,17 @@ impl<'s> RowCursor<'s> {
     }
 
     /// Drain the remaining rows into a materialized [`QueryResult`].
+    /// The result carries the cursor's final executor counters in
+    /// [`QueryResult::stats`].
     pub fn into_result(self) -> Result<QueryResult> {
         let rows = self.stream.collect::<Result<Vec<AnnRow>>>()?;
+        let stats = self.stats.borrow().clone();
         Ok(QueryResult {
             columns: self.columns,
             rows,
             affected: 0,
             message: None,
+            stats: Some(stats),
         })
     }
 }

@@ -3,6 +3,7 @@
 //! invalidation on DDL / ANALYZE.
 
 use bdbms_common::{ErrorCode, Value};
+use bdbms_core::batch::BATCH_SIZE;
 use bdbms_core::Database;
 
 /// A Gene table with `n` rows (`Len` = row number) and no indexes.
@@ -82,10 +83,15 @@ fn row_cursor_streams_without_materializing() {
     for _ in 0..5 {
         assert!(cursor.next_row().unwrap().is_some());
     }
-    // the scan advanced exactly as far as the cursor was pulled: the
-    // remaining 4995 rows were never fetched off the heap
+    // the scan advanced only as far as the cursor was pulled — at
+    // per-batch granularity: pulling any of the first BATCH_SIZE rows
+    // fetches exactly one batch, and the remaining 3976 rows were never
+    // fetched off the heap
     let st = cursor.stats();
-    assert_eq!(st.rows_fetched, 5, "pull-based cursor must not materialize");
+    assert_eq!(
+        st.rows_fetched, BATCH_SIZE as u64,
+        "pull-based cursor must not materialize past the current batch"
+    );
     assert_eq!(st.full_scans, 1);
     // draining the cursor fetches the rest
     let rest = cursor.into_result().unwrap();
@@ -111,9 +117,37 @@ fn dropped_cursor_stops_the_scan() {
     let fetched_at_drop = cursor.stats().rows_fetched;
     drop(cursor);
     assert!(
-        fetched_at_drop < 10,
-        "one surviving row needs ~1 fetch, got {fetched_at_drop}"
+        fetched_at_drop <= BATCH_SIZE as u64,
+        "one surviving row needs at most one batch of fetches, got {fetched_at_drop}"
     );
+}
+
+/// Regression for the batch-executor redesign: the cursor surface keeps
+/// its blocking-vs-streaming contract, with the streaming scan advancing
+/// in whole batches as rows are pulled — never materializing the rest of
+/// the table, and fetching nothing before the first pull.
+#[test]
+fn streamable_cursor_advances_per_batch() {
+    let mut db = gene_db(5000);
+    let session = db.session("admin");
+    let stmt = session.prepare("SELECT GID FROM Gene").unwrap();
+    let mut cursor = session.query(&stmt, &[]).unwrap();
+    // opening the cursor fetches nothing
+    assert_eq!(cursor.stats().rows_fetched, 0);
+    // rows 1..=BATCH_SIZE all come out of the first batch
+    for _ in 0..BATCH_SIZE {
+        assert!(cursor.next_row().unwrap().is_some());
+    }
+    assert_eq!(cursor.stats().rows_fetched, BATCH_SIZE as u64);
+    assert_eq!(cursor.stats().scan_batches, 1);
+    // the next pull crosses the batch boundary: exactly one more batch
+    assert!(cursor.next_row().unwrap().is_some());
+    assert_eq!(cursor.stats().rows_fetched, 2 * BATCH_SIZE as u64);
+    assert_eq!(cursor.stats().scan_batches, 2);
+    // dropping here leaves the remaining ~3000 rows unfetched
+    let fetched = cursor.stats().rows_fetched;
+    drop(cursor);
+    assert!(fetched < 5000);
 }
 
 #[test]

@@ -364,6 +364,8 @@ fn get_result(c: &mut Cur<'_>) -> Result<QueryResult> {
         rows,
         affected,
         message,
+        // executor counters don't cross the wire
+        stats: None,
     })
 }
 
@@ -741,6 +743,7 @@ mod tests {
             rows: vec![row.clone(), AnnRow::plain(vec![Value::Null, Value::Null])],
             affected: 0,
             message: Some("ok".into()),
+            stats: None,
         };
         let mut buf = Vec::new();
         write_response(

@@ -199,6 +199,62 @@ impl HeapFile {
         Ok(out)
     }
 
+    /// Run `f(index, record_bytes)` over every record in `rids`, in
+    /// order, pinning each underlying page **once per run of same-page
+    /// rids** instead of once per record — a vectorized scan's rows are
+    /// overwhelmingly contiguous on a page, so this removes the
+    /// per-record pool lock, frame lookup, and LRU touch, and
+    /// single-fragment records (the common case for table rows) are
+    /// handed to `f` in place without copying.  Multi-fragment records
+    /// are assembled individually; call order stays strictly by index.
+    /// Stops at the first error from `f` or the pool.
+    pub fn with_records(
+        &self,
+        rids: &[Rid],
+        mut f: impl FnMut(usize, &[u8]) -> Result<()>,
+    ) -> Result<()> {
+        let mut i = 0;
+        while i < rids.len() {
+            let page = rids[i].page;
+            let mut j = i;
+            while j < rids.len() && rids[j].page == page {
+                j += 1;
+            }
+            // Decode the run [i, j) under one page pin; a multi-fragment
+            // record breaks out so it can be assembled (rare), then the
+            // run resumes after it.
+            let mut k = i;
+            while k < j {
+                let stopped_at = self.pool.with_page(page, |pg| -> Result<usize> {
+                    for (idx, &rid) in rids.iter().enumerate().take(j).skip(k) {
+                        let frag = slotted::get(pg, rid.slot)
+                            .ok_or_else(|| BdbmsError::storage(format!("no record at {rid}")))?;
+                        let (is_head, next, payload) = decode_fragment(frag)?;
+                        if !is_head {
+                            return Err(BdbmsError::storage(format!(
+                                "{rid} is a continuation fragment, not a record head"
+                            )));
+                        }
+                        if next.is_some() {
+                            return Ok(idx);
+                        }
+                        f(idx, payload)?;
+                    }
+                    Ok(j)
+                })??;
+                if stopped_at < j {
+                    let buf = self.get(rids[stopped_at])?;
+                    f(stopped_at, &buf)?;
+                    k = stopped_at + 1;
+                } else {
+                    k = j;
+                }
+            }
+            i = j;
+        }
+        Ok(())
+    }
+
     /// Delete the record at `rid` (all fragments).  Returns `false` if no
     /// record lives there.
     pub fn delete(&mut self, rid: Rid) -> Result<bool> {

@@ -81,6 +81,11 @@ ABSOLUTE_FLOOR = {
     # ...and CONTAINS SEQ through the sequence index must beat the naive
     # full scan >= 10x.
     "indexed substring (CONTAINS SEQ vs scan)": 10.0,
+    # Batch-executor acceptance (ISSUE 9): the vectorized next_batch()
+    # pipeline must run the full-scan aggregate >= 2x faster than the
+    # row-at-a-time next() pipeline on the same plan.  Pure CPU-bound
+    # dispatch amortization — hardware-stable, so a hard floor is safe.
+    "full-scan aggregate (batch vs row)": 2.0,
 }
 
 
