@@ -65,8 +65,9 @@ fn main() {
     let mut json_reports = Vec::new();
     for (id, f) in selected {
         let start = Instant::now();
-        let report = f();
+        let mut report = f();
         let elapsed = start.elapsed();
+        report.wall_ms = elapsed.as_secs_f64() * 1e3;
         if json {
             json_reports.push(report.render_json());
         } else if markdown {

@@ -211,6 +211,26 @@ fn time_checksummed_read(rows: usize, reps: u32) -> (Duration, Duration) {
     (cold_total / reps, warm_total / reps)
 }
 
+/// Per-scan mean of the same full-table aggregate with buffer-pool
+/// metric recording disabled vs enabled (the production default) — the
+/// price of the always-on counters on the hottest page-fetch path.
+/// The legs alternate and each keeps its best pass: the minimum is
+/// robust to one-off scheduler noise, which matters because the gate on
+/// this ratio is tight (~5%, see scripts/check_perf.py).
+fn time_instrumentation(db: &Database) -> (Duration, Duration) {
+    let sql = "SELECT COUNT(*), SUM(Len), MIN(Len), MAX(Len) FROM Gene";
+    let opts = ExecOptions::default();
+    let mut off = Duration::MAX;
+    let mut on = Duration::MAX;
+    for _ in 0..3 {
+        db.pool().set_metrics_enabled(false);
+        off = off.min(time_query(db, sql, &opts).0);
+        db.pool().set_metrics_enabled(true);
+        on = on.min(time_query(db, sql, &opts).0);
+    }
+    (off, on)
+}
+
 /// Run E13 at a chosen table size (tests use a smaller one).
 pub fn run_sized(n: usize) -> Report {
     let mut db = indexed_gene_db(n);
@@ -402,6 +422,24 @@ pub fn run_sized(n: usize) -> Report {
         scan_rows.to_string(),
         ratio(cold_t.as_secs_f64(), warm_t.as_secs_f64()),
     ]);
+    // instrumentation overhead: the same aggregate scan with buffer-pool
+    // counters off vs on; the ratio hovers at ~1.0 and is gated with an
+    // absolute floor of 0.95 — always-on metrics may cost at most ~5%
+    let (off_t, on_t) = time_instrumentation(&db);
+    let inst_speedup = off_t.as_secs_f64() / on_t.as_secs_f64().max(1e-12);
+    speedups.push((
+        "instrumentation overhead (metrics on vs off)".to_string(),
+        inst_speedup,
+    ));
+    report.row(vec![
+        "instrumentation overhead (metrics on vs off)".to_string(),
+        "100%".to_string(),
+        ms(off_t),
+        ms(on_t),
+        n.to_string(),
+        n.to_string(),
+        ratio(off_t.as_secs_f64(), on_t.as_secs_f64()),
+    ]);
     for (label, s) in &speedups {
         report.note(format!("{label}: {s:.1}x"));
     }
@@ -436,6 +474,13 @@ pub fn run_sized(n: usize) -> Report {
          cold (cache cleared, every page read off the medium with its \
          CRC-32 trailer verified) vs warm (pool hits); gated loosely — \
          the cold leg rides the OS page cache (see scripts/check_perf.py)",
+    );
+    report.note(
+        "instrumentation overhead: the full-scan aggregate with \
+         buffer-pool metric recording disabled ('naive ms' column) vs \
+         the always-on production default ('optimized ms'); the ratio \
+         sits at ~1.0x and scripts/check_perf.py holds it above an \
+         absolute 0.95 floor — counters may cost at most ~5%",
     );
     report.note(
         "commit durability: per-commit time of single-row implicit \
@@ -484,17 +529,33 @@ mod tests {
     }
 
     #[test]
-    fn report_has_thirteen_rows_and_json_renders() {
+    fn report_has_fourteen_rows_and_json_renders() {
         let r = run_sized(3000);
-        assert_eq!(r.rows.len(), 13);
+        assert_eq!(r.rows.len(), 14);
         let j = r.render_json();
         assert!(j.contains("\"id\":\"e13\""));
+        assert!(j.contains("instrumentation overhead (metrics on vs off)"));
         assert!(j.contains("txn batch insert (commit vs rollback)"));
         assert!(j.contains("commit durability (Full vs NoSync)"));
         assert!(j.contains("checksummed read (cold vs warm)"));
         assert!(j.contains("full-scan aggregate (batch vs row)"));
         assert!(j.contains("selective filter scan (batch vs row)"));
         assert!(j.contains("hash join (batch vs row)"));
+    }
+
+    /// The instrumentation workload must leave metric recording back on
+    /// (the production default) and produce sane timings.
+    #[test]
+    fn instrumentation_workload_restores_metrics() {
+        let mut db = indexed_gene_db(500);
+        let (off_t, on_t) = time_instrumentation(&db);
+        assert!(off_t > Duration::ZERO && on_t > Duration::ZERO);
+        let before = db.pool().metrics().hits.get();
+        db.execute("SELECT COUNT(*) FROM Gene").unwrap();
+        assert!(
+            db.pool().metrics().hits.get() > before,
+            "pool counters must be recording again after the workload"
+        );
     }
 
     /// The checksummed-read workload must produce sane timings and a

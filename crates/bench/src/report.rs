@@ -14,6 +14,11 @@ pub struct Report {
     pub rows: Vec<Vec<String>>,
     /// Free-form observations (comparison against the paper).
     pub notes: Vec<String>,
+    /// Total wall-clock the experiment took to run, in milliseconds.
+    /// Stamped by the `reproduce` harness after the run returns (0.0
+    /// until then), so `--json` trajectories capture absolute latency
+    /// alongside the gated ratios.
+    pub wall_ms: f64,
 }
 
 impl Report {
@@ -26,6 +31,7 @@ impl Report {
             headers: Vec::new(),
             rows: Vec::new(),
             notes: Vec::new(),
+            wall_ms: 0.0,
         }
     }
 
@@ -117,13 +123,14 @@ impl Report {
         let rows: Vec<String> = self.rows.iter().map(|r| str_array(r)).collect();
         format!(
             "{{\"id\":\"{}\",\"title\":\"{}\",\"paper_claim\":\"{}\",\
-             \"headers\":{},\"rows\":[{}],\"notes\":{}}}",
+             \"headers\":{},\"rows\":[{}],\"notes\":{},\"wall_ms\":{:.3}}}",
             esc(self.id),
             esc(&self.title),
             esc(&self.paper_claim),
             str_array(&self.headers),
             rows.join(","),
             str_array(&self.notes),
+            self.wall_ms,
         )
     }
 
@@ -189,6 +196,7 @@ mod tests {
         r.headers(&["path", "ms"]);
         r.row(vec!["naive\\scan".into(), "12.5".into()]);
         r.note("5.0x");
+        r.wall_ms = 1234.5678;
         let j = r.render_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"id\":\"e13\""));
@@ -196,6 +204,7 @@ mod tests {
         assert!(j.contains("claim\\nwith newline"));
         assert!(j.contains("naive\\\\scan"));
         assert!(j.contains("\"notes\":[\"5.0x\"]"));
+        assert!(j.contains("\"wall_ms\":1234.568"));
     }
 
     #[test]

@@ -159,6 +159,15 @@ fn main() {
             std::process::exit(1);
         }
     };
+    // the server-side registry after the storm: group-commit batch
+    // sizes, fsync latency, buffer-pool hit rate, per-statement latency
+    match setup.metrics() {
+        Ok(snapshot) => {
+            println!("--- server metrics ---");
+            print!("{}", snapshot.render());
+        }
+        Err(e) => eprintln!("bdbms-hammer: metrics snapshot failed: {e}"),
+    }
     let _ = setup.close();
 
     println!(

@@ -15,6 +15,7 @@ use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::TcpStream;
 
+use bdbms_common::metrics::MetricsSnapshot;
 use bdbms_common::{BdbmsError, Result, Value};
 use bdbms_core::client::{Connection, Rows, StatementHandle};
 use bdbms_core::result::{AnnRow, QueryResult};
@@ -209,6 +210,13 @@ impl Connection for RemoteConnection {
 
     fn in_transaction(&self) -> bool {
         self.in_txn
+    }
+
+    fn metrics(&mut self) -> Result<MetricsSnapshot> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Metrics { snapshot } => Ok(snapshot),
+            other => Err(unexpected(&other)),
+        }
     }
 
     fn close(&mut self) -> Result<()> {

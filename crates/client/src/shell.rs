@@ -30,6 +30,9 @@ dot-commands:
                    from the extension unless given; on remote connections
                    the *server* reads PATH from its own filesystem)
   .tables          list tables (embedded databases only)
+  .stats           executor counters of the last statement (works on
+                   remote connections too — stats cross the wire)
+  .metrics         engine-wide metrics registry snapshot
   .quit            close the connection and exit
 everything else is executed as (A-)SQL, e.g.:
   SELECT GID FROM DB2_Gene ANNOTATION(GAnnotation) AWHERE CONTAINS 'GenoBase'
@@ -69,6 +72,43 @@ fn load_demo(conn: &mut dyn Connection) {
     println!("Figure 2 scenario loaded (DB1_Gene, DB2_Gene, GAnnotation). Try:");
     println!("  SELECT GID, GName, GSequence FROM DB1_Gene ANNOTATION(GAnnotation)");
     println!("  INTERSECT SELECT GID, GName, GSequence FROM DB2_Gene ANNOTATION(GAnnotation)");
+}
+
+/// One-per-line dump of the executor counters shown by `.stats`.
+fn render_stats(st: &bdbms_core::executor::ExecStats) -> String {
+    fn ns(v: u64) -> String {
+        if v >= 1_000_000_000 {
+            format!("{:.2}s", v as f64 / 1e9)
+        } else if v >= 1_000_000 {
+            format!("{:.2}ms", v as f64 / 1e6)
+        } else if v >= 1_000 {
+            format!("{:.2}us", v as f64 / 1e3)
+        } else {
+            format!("{v}ns")
+        }
+    }
+    format!(
+        "rows_fetched={} scan_filtered={} index_probes={} seq_index_probes={}\n\
+         full_scans={} index_only_scans={} anns_attached={} batches={}\n\
+         limit_pushdowns={} rows_limit_discarded={}\n\
+         join_order={:?} indexes={:?}\n\
+         parse={} plan={} exec={}",
+        st.rows_fetched,
+        st.rows_scan_filtered,
+        st.index_probes,
+        st.seq_index_probes,
+        st.full_scans,
+        st.index_only_scans,
+        st.anns_attached,
+        st.scan_batches,
+        st.limit_pushdowns,
+        st.rows_limit_discarded,
+        st.join_order,
+        st.chosen_indexes,
+        ns(st.parse_ns),
+        ns(st.plan_ns),
+        ns(st.exec_ns),
+    )
 }
 
 fn list_tables(db: &Database) {
@@ -157,6 +197,7 @@ fn close_connection(mut conn: Box<dyn Connection>) {
 pub fn run(mut conn: Box<dyn Connection>, mut name: String) {
     let stdin = std::io::stdin();
     let mut buffer = String::new();
+    let mut last_stats: Option<bdbms_core::executor::ExecStats> = None;
     println!("bdbms — CIDR 2007 reproduction. `.help` for commands, `.quit` to exit.");
     loop {
         if !buffer.is_empty() {
@@ -262,6 +303,14 @@ pub fn run(mut conn: Box<dyn Connection>, mut name: String) {
                     },
                     _ => println!("usage: .user NAME"),
                 },
+                ".stats" => match &last_stats {
+                    Some(st) => println!("{}", render_stats(st)),
+                    None => println!("no statement has produced executor stats yet"),
+                },
+                ".metrics" => match conn.metrics() {
+                    Ok(s) => print!("{}", s.render()),
+                    Err(e) => println!("error: {e}"),
+                },
                 other => println!("unknown command {other} (`.help`)"),
             }
             continue;
@@ -281,7 +330,12 @@ pub fn run(mut conn: Box<dyn Connection>, mut name: String) {
             continue;
         }
         match conn.run(&stmt) {
-            Ok(result) => println!("{result}"),
+            Ok(result) => {
+                if let Some(st) = &result.stats {
+                    last_stats = Some(st.clone());
+                }
+                println!("{result}");
+            }
             Err(e) => println!("error: {e}"),
         }
     }

@@ -241,6 +241,116 @@ fn concurrent_transactions_serialize_across_connections() {
     server.stop();
 }
 
+/// Seed the same small, indexed table through either backend.
+fn seed_for_stats(conn: &mut dyn Connection) {
+    conn.run("CREATE TABLE Gene (GID TEXT, Chrom TEXT, Len INT)")
+        .unwrap();
+    conn.run("CREATE INDEX gene_gid ON Gene (GID)").unwrap();
+    let ins = conn.prepare("INSERT INTO Gene VALUES (?, ?, ?)").unwrap();
+    conn.run("BEGIN").unwrap();
+    for i in 0..100i64 {
+        conn.execute(
+            &ins,
+            &[
+                Value::Text(format!("G{i:03}")),
+                Value::Text(format!("chr{}", i % 4)),
+                Value::Int(i),
+            ],
+        )
+        .unwrap();
+    }
+    conn.run("COMMIT").unwrap();
+    conn.run("ANALYZE Gene").unwrap();
+}
+
+/// The deterministic half of a statement's [`ExecStats`]: everything
+/// except the wall-clock fields, which legitimately differ between an
+/// embedded call and a served one.
+fn deterministic(stats: &bdbms_core::executor::ExecStats) -> bdbms_core::executor::ExecStats {
+    let mut s = stats.clone();
+    s.parse_ns = 0;
+    s.plan_ns = 0;
+    s.exec_ns = 0;
+    s
+}
+
+#[test]
+fn exec_stats_match_between_local_and_remote() {
+    let queries = [
+        "SELECT GID, Len FROM Gene WHERE GID = 'G042'",
+        "SELECT GID FROM Gene WHERE Chrom = 'chr1' AND Len > 50",
+        "SELECT GID, Len FROM Gene ORDER BY Len DESC LIMIT 5",
+    ];
+
+    let mut local = LocalConnection::new(Database::new_in_memory(), "admin");
+    seed_for_stats(&mut local);
+
+    let (server, addr) = start_server("stats-parity");
+    let mut remote = RemoteConnection::connect(&addr, "admin").unwrap();
+    seed_for_stats(&mut remote);
+
+    for sql in queries {
+        let lr = local.run(sql).unwrap();
+        let rr = remote.run(sql).unwrap();
+        assert_eq!(lr.rows.len(), rr.rows.len(), "row counts differ for {sql}");
+        let ls = lr.stats.as_ref().expect("local stats");
+        let rs = rr.stats.as_ref().expect("remote stats crossed the wire");
+        assert_eq!(
+            deterministic(ls),
+            deterministic(rs),
+            "executor counters differ between backends for {sql}"
+        );
+        assert!(
+            rs.exec_ns > 0,
+            "remote ExecStats should carry executor wall time for {sql}"
+        );
+    }
+
+    local.close().unwrap();
+    remote.close().unwrap();
+    drop(remote);
+    server.stop();
+}
+
+#[test]
+fn metrics_snapshot_crosses_the_wire_and_is_monotonic() {
+    let (server, addr) = start_server("metrics-wire");
+    let mut conn = RemoteConnection::connect(&addr, "admin").unwrap();
+    seed_for_stats(&mut conn);
+
+    let before = conn.metrics().unwrap();
+    let commits_before = before.counter("txn.commits").expect("txn.commits registered");
+    let stmts_before = before
+        .counter("session.statements")
+        .expect("session.statements registered");
+    assert!(
+        before.counter("wal.appends").is_some(),
+        "durable server should expose WAL counters"
+    );
+
+    for _ in 0..5 {
+        conn.run("SELECT GID FROM Gene WHERE GID = 'G007'").unwrap();
+    }
+
+    let after = conn.metrics().unwrap();
+    assert!(
+        after.counter("session.statements").unwrap() >= stmts_before + 5,
+        "statement counter must advance across snapshots"
+    );
+    assert!(
+        after.counter("txn.commits").unwrap() >= commits_before,
+        "counters must be monotonic"
+    );
+    let lat = after
+        .histogram("session.statement_latency_ns")
+        .expect("latency histogram registered");
+    assert!(lat.count >= 5, "latency histogram records each statement");
+
+    conn.close().unwrap();
+    drop(conn);
+    server.stop();
+}
+
 #[test]
 fn group_commit_amortizes_fsyncs_across_clients() {
     let (server, addr) = start_server("group-fsync");

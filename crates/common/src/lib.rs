@@ -15,6 +15,9 @@
 //! * [`stats::AccessStats`] — logical I/O instrumentation (one node ≈ one
 //!   page) used by every access method so benchmark I/O counts are
 //!   deterministic and comparable,
+//! * [`metrics::MetricsRegistry`] — thread-safe atomic counters, gauges,
+//!   and log-scale latency histograms for live observability
+//!   (docs/OBSERVABILITY.md),
 //! * [`clock::LogicalClock`] — the timestamp source for annotations,
 //!   provenance, and the content-approval log.
 
@@ -22,6 +25,7 @@ pub mod bitmap;
 pub mod clock;
 pub mod error;
 pub mod ids;
+pub mod metrics;
 pub mod schema;
 pub mod stats;
 pub mod value;

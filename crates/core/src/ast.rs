@@ -44,6 +44,55 @@ pub enum Expr {
     Aggregate(AggFunc, Option<Box<Expr>>),
 }
 
+impl std::fmt::Display for Expr {
+    /// SQL-ish rendering used by `EXPLAIN` plan trees and the slow-query
+    /// log.  Binary expressions are fully parenthesized rather than
+    /// precedence-aware — unambiguous output matters more than pretty
+    /// output, and the text is never re-parsed.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Literal(Value::Text(s)) => write!(f, "'{s}'"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Param(i) => write!(f, "${}", i + 1),
+            Expr::Column(Some(q), c) => write!(f, "{q}.{c}"),
+            Expr::Column(None, c) => f.write_str(c),
+            Expr::Unary(UnaryOp::Not, e) => write!(f, "NOT ({e})"),
+            Expr::Unary(UnaryOp::Neg, e) => write!(f, "-({e})"),
+            Expr::Binary(l, op, r) => write!(f, "({l} {op} {r})"),
+            Expr::IsNull(e, false) => write!(f, "{e} IS NULL"),
+            Expr::IsNull(e, true) => write!(f, "{e} IS NOT NULL"),
+            Expr::Like(e, p, false) => write!(f, "{e} LIKE '{p}'"),
+            Expr::Like(e, p, true) => write!(f, "{e} NOT LIKE '{p}'"),
+            Expr::ContainsSeq(e, p, false) => write!(f, "{e} CONTAINS SEQ '{p}'"),
+            Expr::ContainsSeq(e, p, true) => write!(f, "{e} NOT CONTAINS SEQ '{p}'"),
+            Expr::InList(e, list, neg) => {
+                write!(f, "{e} {}IN (", if *neg { "NOT " } else { "" })?;
+                for (i, item) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::Aggregate(func, arg) => match arg {
+                Some(a) => write!(f, "{func}({a})"),
+                None => write!(f, "{func}(*)"),
+            },
+        }
+    }
+}
+
 /// Unary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UnaryOp {
@@ -86,6 +135,28 @@ pub enum BinaryOp {
     Concat,
 }
 
+impl std::fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BinaryOp::Eq => "=",
+            BinaryOp::Ne => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Concat => "||",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Aggregate functions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggFunc {
@@ -99,6 +170,19 @@ pub enum AggFunc {
     Min,
     /// `MAX`.
     Max,
+}
+
+impl std::fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        };
+        f.write_str(s)
+    }
 }
 
 /// One item in a SELECT projection list.
@@ -462,6 +546,22 @@ pub enum Statement {
         /// Row predicate.
         where_clause: Option<Expr>,
     },
+    /// `EXPLAIN [ANALYZE] <statement>` — render the plan the executor
+    /// would choose (access paths with estimated rows, join order,
+    /// pushed conjuncts, LIMIT pushdown) as a one-column result.  With
+    /// `ANALYZE` the statement is *executed* through the instrumented
+    /// batch pipeline and each node is annotated with actual rows,
+    /// batches, and wall time (docs/OBSERVABILITY.md).  Only SELECT
+    /// statements are explainable.
+    Explain {
+        /// Execute and report actuals?
+        analyze: bool,
+        /// The explained statement.
+        stmt: Box<Statement>,
+    },
+    /// `SHOW SLOW QUERIES` — dump the engine's slow-query ring buffer
+    /// (statements whose wall time exceeded the configured threshold).
+    ShowSlowQueries,
     /// `BEGIN [TRANSACTION | WORK]` — open an explicit transaction.
     /// Until `COMMIT`/`ROLLBACK`, every statement's effects are recorded
     /// in the session's undo log (see `crate::txn`).

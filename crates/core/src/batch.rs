@@ -97,6 +97,12 @@ pub(crate) trait BatchOp<'a> {
     fn next_batch(&mut self, demand: usize) -> Result<Option<Batch>>;
 }
 
+impl<'a> BatchOp<'a> for Box<dyn BatchOp<'a> + 'a> {
+    fn next_batch(&mut self, demand: usize) -> Result<Option<Batch>> {
+        (**self).next_batch(demand)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Scan
 // ---------------------------------------------------------------------------
@@ -261,7 +267,7 @@ impl<'a> BatchOp<'a> for BatchScan<'a> {
 /// Drain a build-side scan to its live rows (assembly-time
 /// materialization of hash-join build sides, matching the row path's
 /// error timing).
-pub(crate) fn drain_build(mut scan: BatchScan<'_>) -> Result<Vec<PipeRow>> {
+pub(crate) fn drain_build<'a>(mut scan: impl BatchOp<'a>) -> Result<Vec<PipeRow>> {
     let mut out = Vec::new();
     while let Some(b) = scan.next_batch(BATCH_SIZE)? {
         out.extend(b.into_rows());
@@ -949,5 +955,67 @@ impl BatchAggregator {
             });
         }
         Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Profiling (EXPLAIN ANALYZE)
+// ---------------------------------------------------------------------------
+
+/// Per-operator actuals collected by [`BatchProfiler`]: rows and batches
+/// emitted, and wall time spent inside the operator (inclusive of its
+/// children — subtract a child's total for self time).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct OpProfile {
+    pub label: String,
+    pub rows: u64,
+    pub batches: u64,
+    pub elapsed_ns: u64,
+}
+
+/// The set of profiled operators of one pipeline, in assembly (leaf to
+/// root) order.  `EXPLAIN ANALYZE` hands one of these to the batch
+/// assembler; normal execution passes `None` and no wrapper is ever
+/// constructed — the disabled path is zero-cost by absence, not by a
+/// branch per batch.
+#[derive(Default)]
+pub(crate) struct PipelineProfile {
+    pub ops: Vec<Rc<RefCell<OpProfile>>>,
+}
+
+impl PipelineProfile {
+    /// Interpose a [`BatchProfiler`] recording under `label`.
+    pub(crate) fn wrap<'a>(
+        &mut self,
+        op: Box<dyn BatchOp<'a> + 'a>,
+        label: impl Into<String>,
+    ) -> Box<dyn BatchOp<'a> + 'a> {
+        let cell = Rc::new(RefCell::new(OpProfile {
+            label: label.into(),
+            ..OpProfile::default()
+        }));
+        self.ops.push(cell.clone());
+        Box::new(BatchProfiler { child: op, cell })
+    }
+}
+
+/// Transparent [`BatchOp`] wrapper that times every pull and counts the
+/// rows and batches flowing out of its child.
+pub(crate) struct BatchProfiler<'a> {
+    child: Box<dyn BatchOp<'a> + 'a>,
+    cell: Rc<RefCell<OpProfile>>,
+}
+
+impl<'a> BatchOp<'a> for BatchProfiler<'a> {
+    fn next_batch(&mut self, demand: usize) -> Result<Option<Batch>> {
+        let started = std::time::Instant::now();
+        let out = self.child.next_batch(demand);
+        let mut p = self.cell.borrow_mut();
+        p.elapsed_ns += started.elapsed().as_nanos() as u64;
+        if let Ok(Some(b)) = &out {
+            p.batches += 1;
+            p.rows += b.live() as u64;
+        }
+        out
     }
 }

@@ -44,6 +44,7 @@
 
 use std::path::Path;
 
+use bdbms_common::metrics::MetricsSnapshot;
 use bdbms_common::{BdbmsError, Result, Value};
 
 use crate::database::Database;
@@ -237,6 +238,10 @@ pub trait Connection {
     /// Is an explicit transaction open on this connection?
     fn in_transaction(&self) -> bool;
 
+    /// Snapshot the engine's metrics registry (local backends read it
+    /// directly; remote backends issue a `Metrics` wire request).
+    fn metrics(&mut self) -> Result<MetricsSnapshot>;
+
     /// Release the connection (sends `Quit` on remote backends).
     /// Idempotent; dropping the connection closes it implicitly.
     fn close(&mut self) -> Result<()>;
@@ -362,6 +367,10 @@ impl Connection for LocalConnection {
         self.db.in_transaction()
     }
 
+    fn metrics(&mut self) -> Result<MetricsSnapshot> {
+        Ok(self.db.metrics_snapshot())
+    }
+
     fn close(&mut self) -> Result<()> {
         Ok(())
     }
@@ -410,6 +419,10 @@ impl Connection for Session<'_> {
 
     fn in_transaction(&self) -> bool {
         Session::in_transaction(self)
+    }
+
+    fn metrics(&mut self) -> Result<MetricsSnapshot> {
+        Ok(self.database_mut().metrics_snapshot())
     }
 
     fn close(&mut self) -> Result<()> {

@@ -8,9 +8,12 @@
 //! [`Database::execute_as`], which parses A-SQL and routes each command
 //! through authorization, approval logging, and dependency tracking.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Duration;
 
 use bdbms_common::clock::LogicalClock;
+use bdbms_common::metrics::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
 use bdbms_common::{BdbmsError, DataType, Result, Schema, Value};
 use bdbms_storage::{BufferPool, MemStore};
 
@@ -42,6 +45,86 @@ enum CascadeMode {
     Stale,
 }
 
+/// Engine-level instruments, registered on the database's
+/// [`MetricsRegistry`] at construction (docs/OBSERVABILITY.md).  The
+/// instruments are plain atomics shared by `Arc`, so recording never
+/// takes the registry lock.
+#[derive(Debug, Clone)]
+pub(crate) struct EngineMetrics {
+    /// Committed transactions — explicit `COMMIT`s *and* the implicit
+    /// per-statement transactions every standalone statement runs in.
+    pub(crate) commits: Arc<Counter>,
+    /// Rolled-back transactions (explicit `ROLLBACK`, failed implicit
+    /// statements, and commits that failed at the WAL and rolled back).
+    pub(crate) rollbacks: Arc<Counter>,
+    /// Checkpoints taken.
+    pub(crate) checkpoints: Arc<Counter>,
+    /// Wall time per checkpoint.
+    pub(crate) checkpoint_duration_ns: Arc<Histogram>,
+    /// Bytes written by checkpoints (durable image pages).
+    pub(crate) checkpoint_bytes: Arc<Counter>,
+    /// Prepared-statement plan replays (cached plan still valid).
+    pub(crate) plan_cache_hits: Arc<Counter>,
+    /// Cursor opens with no cached plan to consult.
+    pub(crate) plan_cache_misses: Arc<Counter>,
+    /// Cached plans discarded (generation moved, or the replan decided
+    /// differently) — the statement re-planned live.
+    pub(crate) plan_cache_invalidations: Arc<Counter>,
+    /// Statements executed through [`crate::Session::run`] / `execute`.
+    pub(crate) statements: Arc<Counter>,
+    /// Per-statement wall time (parse + plan + execute).
+    pub(crate) statement_latency_ns: Arc<Histogram>,
+    /// Statements that exceeded the slow-query threshold.
+    pub(crate) slow_queries: Arc<Counter>,
+}
+
+impl EngineMetrics {
+    fn new(reg: &MetricsRegistry) -> Self {
+        EngineMetrics {
+            commits: reg.counter("txn.commits"),
+            rollbacks: reg.counter("txn.rollbacks"),
+            checkpoints: reg.counter("checkpoint.count"),
+            checkpoint_duration_ns: reg.histogram("checkpoint.duration_ns"),
+            checkpoint_bytes: reg.counter("checkpoint.bytes"),
+            plan_cache_hits: reg.counter("plan_cache.hits"),
+            plan_cache_misses: reg.counter("plan_cache.misses"),
+            plan_cache_invalidations: reg.counter("plan_cache.invalidations"),
+            statements: reg.counter("session.statements"),
+            statement_latency_ns: reg.histogram("session.statement_latency_ns"),
+            slow_queries: reg.counter("session.slow_queries"),
+        }
+    }
+}
+
+/// One slow-query log entry (see [`Database::set_slow_query_threshold`]
+/// and `SHOW SLOW QUERIES`).
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// Logical time the statement finished.
+    pub at: u64,
+    /// User the statement ran as.
+    pub user: String,
+    /// Statement text.
+    pub sql: String,
+    /// Total wall time (parse + plan + execute), nanoseconds.
+    pub duration_ns: u64,
+    /// One-line plan summary from the statement's [`ExecStats`] (empty
+    /// for statements that carry none, e.g. DML).
+    pub plan_summary: String,
+}
+
+/// Fixed-capacity ring buffer of the slowest-statement history.  Bounded
+/// so an unattended server can log slow queries forever without growing;
+/// new entries evict the oldest.
+#[derive(Debug, Default)]
+pub(crate) struct SlowQueryLog {
+    threshold_ns: Option<u64>,
+    entries: VecDeque<SlowQuery>,
+}
+
+/// Capacity of the slow-query ring buffer.
+const SLOW_QUERY_LOG_CAP: usize = 128;
+
 /// The bdbms engine.
 ///
 /// A `Database` is either **in-memory** ([`Database::new_in_memory`] —
@@ -65,6 +148,15 @@ pub struct Database {
     pub(crate) txn: TxnRuntime,
     /// The durable half (WAL, checkpoint paths) — `None` when in-memory.
     pub(crate) storage: Option<crate::durability::PersistentStorage>,
+    /// The live metrics registry: buffer-pool, WAL, checkpoint,
+    /// transaction, plan-cache, and session instruments
+    /// (docs/OBSERVABILITY.md).
+    pub(crate) metrics: Arc<MetricsRegistry>,
+    /// Engine-level instruments, pre-resolved so hot paths never take
+    /// the registry lock.
+    pub(crate) engine_metrics: EngineMetrics,
+    /// Ring buffer of statements slower than the configured threshold.
+    pub(crate) slow_log: SlowQueryLog,
 }
 
 impl Database {
@@ -76,6 +168,14 @@ impl Database {
     /// A database over a caller-supplied buffer pool (benchmarks use this
     /// to control pool size and read I/O counters).
     pub fn with_pool(pool: Arc<BufferPool>) -> Self {
+        let metrics = Arc::new(MetricsRegistry::new());
+        // the pool owns its counters; the registry only names them
+        let pm = pool.metrics();
+        metrics.register_counter("buffer.hits", pm.hits);
+        metrics.register_counter("buffer.misses", pm.misses);
+        metrics.register_counter("buffer.evictions", pm.evictions);
+        metrics.register_counter("buffer.dirty_writebacks", pm.dirty_writebacks);
+        let engine_metrics = EngineMetrics::new(&metrics);
         Database {
             pool,
             catalog: Catalog::new(),
@@ -85,12 +185,103 @@ impl Database {
             deps: DependencyManager::new(),
             txn: TxnRuntime::new(),
             storage: None,
+            metrics,
+            engine_metrics,
+            slow_log: SlowQueryLog::default(),
         }
     }
 
     /// The shared buffer pool (I/O counters live here).
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool
+    }
+
+    /// The live metrics registry (docs/OBSERVABILITY.md).  Snapshot it
+    /// with [`Self::metrics_snapshot`]; tests and tools may also
+    /// register their own instruments here.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// A point-in-time snapshot of every registered metric — counters,
+    /// gauges, and latency histograms, sorted by name.  Cheap (relaxed
+    /// atomic loads); safe to poll.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Engine-level instruments (plan cache, transactions, sessions).
+    pub(crate) fn engine_metrics(&self) -> &EngineMetrics {
+        &self.engine_metrics
+    }
+
+    // ---- slow-query log (docs/OBSERVABILITY.md) ----
+
+    /// Record statements slower than `threshold` in a fixed-size ring
+    /// buffer, surfaced by `SHOW SLOW QUERIES` and [`Self::slow_queries`].
+    /// `None` (the default) disables recording.  Applies to statements
+    /// run through [`crate::Session::run`] / [`crate::Session::execute`]
+    /// (and the `Database::execute*` wrappers); streaming cursors are
+    /// not recorded — their cost accrues as the caller pulls.
+    pub fn set_slow_query_threshold(&mut self, threshold: Option<Duration>) {
+        self.slow_log.threshold_ns =
+            threshold.map(|d| d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// The configured slow-query threshold, if any.
+    pub fn slow_query_threshold(&self) -> Option<Duration> {
+        self.slow_log.threshold_ns.map(Duration::from_nanos)
+    }
+
+    /// The slow-query ring buffer, oldest first.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow_log.entries.iter().cloned().collect()
+    }
+
+    /// Session callback: one statement finished in `duration`.  Bumps
+    /// the session counters and, when a threshold is set and exceeded,
+    /// records the statement in the slow-query ring.
+    pub(crate) fn note_statement(
+        &mut self,
+        sql: &str,
+        user: &str,
+        duration: Duration,
+        result: Option<&QueryResult>,
+    ) {
+        let ns = duration.as_nanos().min(u64::MAX as u128) as u64;
+        self.engine_metrics.statements.inc();
+        self.engine_metrics.statement_latency_ns.record(ns);
+        let Some(threshold) = self.slow_log.threshold_ns else {
+            return;
+        };
+        if ns < threshold {
+            return;
+        }
+        self.engine_metrics.slow_queries.inc();
+        let plan_summary = match result.and_then(|q| q.stats.as_ref()) {
+            Some(st) => format!(
+                "join_order={:?} indexes={:?} full_scans={} index_probes={} \
+                 seq_index_probes={} rows_fetched={} limit_pushdowns={}",
+                st.join_order,
+                st.chosen_indexes,
+                st.full_scans,
+                st.index_probes,
+                st.seq_index_probes,
+                st.rows_fetched,
+                st.limit_pushdowns
+            ),
+            None => String::new(),
+        };
+        if self.slow_log.entries.len() == SLOW_QUERY_LOG_CAP {
+            self.slow_log.entries.pop_front();
+        }
+        self.slow_log.entries.push_back(SlowQuery {
+            at: self.clock.now(),
+            user: user.to_string(),
+            sql: sql.to_string(),
+            duration_ns: ns,
+            plan_summary,
+        });
     }
 
     /// The catalog (read access for benchmarks and tests).
@@ -244,12 +435,14 @@ impl Database {
         if let Err(e) = self.wal_commit() {
             let ops = self.txn.take_all();
             self.apply_undo(ops);
+            self.engine_metrics.rollbacks.inc();
             return Err(BdbmsError::new(
                 e.code(),
                 format!("commit failed and was rolled back: {}", e.message()),
             ));
         }
         self.txn.commit();
+        self.engine_metrics.commits.inc();
         self.maybe_checkpoint();
         Ok(QueryResult::message("transaction committed"))
     }
@@ -260,6 +453,7 @@ impl Database {
         }
         let ops = self.txn.take_all();
         self.apply_undo(ops);
+        self.engine_metrics.rollbacks.inc();
         Ok(QueryResult::message("transaction rolled back"))
     }
 
@@ -341,18 +535,21 @@ impl Database {
                 if let Err(e) = self.wal_commit() {
                     let ops = self.txn.take_all();
                     self.apply_undo(ops);
+                    self.engine_metrics.rollbacks.inc();
                     return Err(BdbmsError::new(
                         e.code(),
                         format!("commit failed and was rolled back: {}", e.message()),
                     ));
                 }
                 self.txn.commit();
+                self.engine_metrics.commits.inc();
                 self.maybe_checkpoint();
                 Ok(r)
             }
             Err(e) => {
                 let ops = self.txn.take_all();
                 self.apply_undo(ops);
+                self.engine_metrics.rollbacks.inc();
                 Err(e)
             }
         }
@@ -736,6 +933,40 @@ impl Database {
             }
             Statement::ShowOutdated { table } => self.show_outdated(table.as_deref()),
             Statement::Check { table } => self.run_check(table.as_deref()),
+            Statement::Explain { analyze, stmt } => match *stmt {
+                Statement::Select(sel) => {
+                    self.check_select_auth(&sel, user)?;
+                    crate::executor::explain_select(
+                        &self.catalog,
+                        &sel,
+                        &ExecOptions::default(),
+                        analyze,
+                    )
+                }
+                _ => Err(BdbmsError::invalid("EXPLAIN supports only SELECT statements")),
+            },
+            Statement::ShowSlowQueries => {
+                let mut qr = QueryResult {
+                    columns: vec![
+                        "time".to_string(),
+                        "user".to_string(),
+                        "duration_us".to_string(),
+                        "plan".to_string(),
+                        "sql".to_string(),
+                    ],
+                    ..Default::default()
+                };
+                for q in self.slow_queries() {
+                    qr.rows.push(AnnRow::plain(vec![
+                        Value::Timestamp(q.at),
+                        Value::Text(q.user),
+                        Value::Int((q.duration_ns / 1_000) as i64),
+                        Value::Text(q.plan_summary),
+                        Value::Text(q.sql),
+                    ]));
+                }
+                Ok(qr)
+            }
             Statement::CreateDependencyRule {
                 name,
                 from,

@@ -1858,6 +1858,21 @@ impl Database {
         for t in self.catalog.tables_mut() {
             t.set_redo(sink.clone());
         }
+        self.register_wal_metrics();
+    }
+
+    /// Publish the WAL's instruments (owned by [`Wal`], which lives in
+    /// the storage crate and knows nothing of the registry) under their
+    /// engine-wide names.  Every durable open/create path funnels through
+    /// [`attach_redo`](Self::attach_redo), so this runs exactly once per
+    /// attached WAL.
+    fn register_wal_metrics(&self) {
+        let Some(ps) = &self.storage else { return };
+        let wm = ps.wal.with(|w| w.metrics());
+        self.metrics.register_counter("wal.appends", wm.appends);
+        self.metrics.register_counter("wal.fsyncs", wm.fsyncs);
+        self.metrics
+            .register_histogram("wal.fsync_latency_ns", wm.fsync_latency_ns);
     }
 
     /// Is this database backed by files (vs. purely in-memory)?
@@ -1904,6 +1919,7 @@ impl Database {
 
     /// The checkpoint body (callers have verified preconditions).
     pub(crate) fn checkpoint_inner(&mut self) -> Result<()> {
+        let cp_started = std::time::Instant::now();
         let (dir, pool_pages, wal, lsn_source, fault) = {
             let ps = self.storage.as_ref().expect("checkpoint of durable db");
             (
@@ -1969,6 +1985,13 @@ impl Database {
         let _ = wal.with(|w| w.reset());
         let ps = self.storage.as_mut().expect("still durable");
         ps.commits_since_checkpoint = 0;
+        self.engine_metrics.checkpoints.inc();
+        self.engine_metrics
+            .checkpoint_duration_ns
+            .record(cp_started.elapsed().as_nanos() as u64);
+        if let Ok(md) = fs::metadata(dir.join(DATA_FILE)) {
+            self.engine_metrics.checkpoint_bytes.add(md.len());
+        }
         Ok(())
     }
 
@@ -2087,7 +2110,12 @@ impl Database {
         match self.storage.as_mut() {
             Some(ps) => {
                 if ps.group.is_none() {
-                    ps.group = Some(GroupCommitter::new(ps.wal.clone()));
+                    let group = GroupCommitter::new(ps.wal.clone());
+                    let gm = group.metrics();
+                    self.metrics.register_histogram("group.sizes", gm.group_sizes);
+                    self.metrics
+                        .register_gauge("group.fsync_ema_ns", gm.fsync_ema_ns);
+                    ps.group = Some(group);
                 }
                 true
             }

@@ -56,6 +56,7 @@
 
 use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap};
+use std::ops::Bound;
 use std::rc::Rc;
 
 use bdbms_common::{BdbmsError, Result, Value};
@@ -236,6 +237,17 @@ pub struct ExecStats {
     /// Batches emitted by batch-mode scans (0 on the row-at-a-time
     /// path).  `rows_fetched / scan_batches` approximates batch fill.
     pub scan_batches: u64,
+    /// Wall time spent parsing the statement text, in nanoseconds
+    /// (0 when the statement arrived pre-parsed, e.g. a cached prepared
+    /// statement).  Integer nanos keep `ExecStats: Eq`.
+    pub parse_ns: u64,
+    /// Wall time spent in the planning front-half (conjunct
+    /// classification, probe choice, join ordering, pipeline assembly),
+    /// in nanoseconds.
+    pub plan_ns: u64,
+    /// Wall time spent executing the assembled pipeline, in
+    /// nanoseconds.  Streaming cursors accumulate this as they drain.
+    pub exec_ns: u64,
 }
 
 /// Evaluate an annotation predicate against one annotation.
@@ -823,6 +835,440 @@ pub fn run_select_traced(
         }
     }
     Ok(result)
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN / EXPLAIN ANALYZE
+// ---------------------------------------------------------------------------
+
+/// One rendered plan line: indented text plus the profiler label of the
+/// operator it describes (`None` for structural lines like `Pushed:`),
+/// so `EXPLAIN ANALYZE` can splice actuals back onto the right nodes.
+struct PlanLine {
+    text: String,
+    label: Option<String>,
+}
+
+/// Render a nanosecond wall time at a human scale (`1.2ms`, `450ns`).
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.1}us", ns as f64 / 1_000.0),
+        10_000_000..=9_999_999_999 => format!("{:.1}ms", ns as f64 / 1_000_000.0),
+        _ => format!("{:.2}s", ns as f64 / 1_000_000_000.0),
+    }
+}
+
+/// Render an annotation predicate for plan output.
+fn render_ann(a: &AnnExpr) -> String {
+    match a {
+        AnnExpr::Contains(s) => format!("CONTAINS '{s}'"),
+        AnnExpr::FromTable(t) => format!("FROM {t}"),
+        AnnExpr::PathEq(p, v) => format!("PATH '{p}' = '{v}'"),
+        AnnExpr::Before(t) => format!("BEFORE T{t}"),
+        AnnExpr::After(t) => format!("AFTER T{t}"),
+        AnnExpr::And(x, y) => format!("({} AND {})", render_ann(x), render_ann(y)),
+        AnnExpr::Or(x, y) => format!("({} OR {})", render_ann(x), render_ann(y)),
+        AnnExpr::Not(x) => format!("NOT ({})", render_ann(x)),
+    }
+}
+
+/// Render a conjunct list as ` AND `-joined parenthesized expressions.
+fn render_conjuncts(cs: &[Expr]) -> String {
+    cs.iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(" AND ")
+}
+
+/// Describe one source's access path (the same [`plan::choose_probe_with`]
+/// decision execution will make) with its estimated cardinality.
+fn describe_scan(
+    src: &Source<'_>,
+    local_bindings: &[ColBinding],
+    pushed: &[Expr],
+    use_index: bool,
+    local_value_cols: &Option<Vec<usize>>,
+) -> String {
+    let table = src.table;
+    let n = table.len();
+    let est = plan::estimate_scan_rows(table, local_bindings, pushed);
+    let (probe, _) = if use_index {
+        plan::choose_probe_with(table, local_bindings, pushed, None)
+    } else {
+        (Probe::FullScan, Some(ProbeChoice::FullScan))
+    };
+    let col_name = |c: usize| table.schema.columns()[c].name.clone();
+    // bound values render like the Expr literals they came from
+    let lit = |v: &Value| match v {
+        Value::Text(s) => format!("'{s}'"),
+        other => other.to_string(),
+    };
+    let mut text = match probe {
+        Probe::FullScan => format!("Seq Scan {}", table.name),
+        Probe::Empty => format!("Empty Scan {} (pushed predicate is NULL)", table.name),
+        Probe::Index { column, lo, hi } => {
+            let idx = table.index_on(column).expect("plan chose an index");
+            let col = col_name(column);
+            let cond = match (&lo, &hi) {
+                (Bound::Included(a), Bound::Included(b)) if a == b => {
+                    format!("{col} = {}", lit(a))
+                }
+                (lo, hi) => {
+                    let mut parts = Vec::new();
+                    match lo {
+                        Bound::Included(v) => parts.push(format!("{col} >= {}", lit(v))),
+                        Bound::Excluded(v) => parts.push(format!("{col} > {}", lit(v))),
+                        Bound::Unbounded => {}
+                    }
+                    match hi {
+                        Bound::Included(v) => parts.push(format!("{col} <= {}", lit(v))),
+                        Bound::Excluded(v) => parts.push(format!("{col} < {}", lit(v))),
+                        Bound::Unbounded => {}
+                    }
+                    parts.join(" AND ")
+                }
+            };
+            let covered = local_value_cols
+                .as_ref()
+                .is_some_and(|cols| cols.iter().all(|&c| c == column));
+            format!(
+                "Index Scan {} using {} ({}){}",
+                table.name,
+                idx.name,
+                cond,
+                if covered { " (index-only)" } else { "" }
+            )
+        }
+        Probe::SeqIndex { column, pattern } => {
+            let sidx = table.seq_index_on(column).expect("plan chose a seq index");
+            format!(
+                "Seq Index Scan {} using {} ({} CONTAINS SEQ '{}')",
+                table.name,
+                sidx.name,
+                col_name(column),
+                pattern
+            )
+        }
+    };
+    text.push_str(&format!(" (rows~{est:.1} of {n})"));
+    text
+}
+
+/// Render one simple-SELECT branch as a root-down tree and, under
+/// `EXPLAIN ANALYZE`, execute it through the instrumented batch pipeline
+/// and splice per-operator actuals onto the nodes.
+///
+/// `apply_order_limit` is false for the left branch of a set operation,
+/// whose ORDER BY / LIMIT apply to the *combined* output and are
+/// rendered by the caller.
+fn explain_branch(
+    catalog: &Catalog,
+    sel: &Select,
+    opts: &ExecOptions,
+    analyze: bool,
+    apply_order_limit: bool,
+    indent: usize,
+    lines: &mut Vec<PlanLine>,
+) -> Result<()> {
+    let st = Rc::new(RefCell::new(ExecStats::default()));
+    let plan_started = std::time::Instant::now();
+    let planned = plan_simple_select(catalog, sel, opts, &st, None)?;
+    let plan_ns = plan_started.elapsed().as_nanos() as u64;
+    let items = planned.items.clone()?;
+
+    let first = lines.len();
+    let mut depth = indent;
+    let mut push = |depth: usize, text: String, label: Option<String>| {
+        lines.push(PlanLine {
+            text: format!("{}{}", "  ".repeat(depth), text),
+            label,
+        });
+    };
+
+    // ---- output-side wrappers, root first ----
+    if apply_order_limit {
+        if let Some(k) = sel.limit {
+            if planned.push_limit.is_none() {
+                push(depth, format!("Limit {k}"), None);
+                depth += 1;
+            }
+        }
+        if !sel.order_by.is_empty() {
+            let keys = sel
+                .order_by
+                .iter()
+                .map(|((q, n), desc)| {
+                    let col = match q {
+                        Some(q) => format!("{q}.{n}"),
+                        None => n.clone(),
+                    };
+                    if *desc {
+                        format!("{col} DESC")
+                    } else {
+                        col
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            push(depth, format!("Sort: {keys}"), None);
+            depth += 1;
+        }
+    }
+    if let Some(f) = &sel.filter {
+        push(depth, format!("Annotation Filter: {}", render_ann(f)), None);
+        depth += 1;
+    }
+    if sel.distinct {
+        push(depth, "Distinct".to_string(), None);
+        depth += 1;
+    }
+    if is_aggregated(sel, &items) {
+        let group = if sel.group_by.is_empty() {
+            String::new()
+        } else {
+            let keys = sel
+                .group_by
+                .iter()
+                .map(|(q, n)| match q {
+                    Some(q) => format!("{q}.{n}"),
+                    None => n.clone(),
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(" (group by {keys})")
+        };
+        let cols = items.iter().map(item_name).collect::<Vec<_>>().join(", ");
+        push(depth, format!("Aggregate{group}: {cols}"), None);
+    } else {
+        let cols = items.iter().map(item_name).collect::<Vec<_>>().join(", ");
+        push(depth, format!("Project: {cols}"), None);
+    }
+    depth += 1;
+
+    // ---- pipeline stages, root first (mirrors assemble_batch_pipeline) ----
+    if let Some(k) = planned.push_limit {
+        push(depth, format!("Limit {k} (pushed)"), Some(format!("Limit {k}")));
+        depth += 1;
+    }
+    if let Some(cond) = &planned.awhere {
+        push(
+            depth,
+            format!("AWhere: {}", render_ann(cond)),
+            Some("AWhere".to_string()),
+        );
+        depth += 1;
+    }
+    if !planned.eager {
+        let any_attach = planned.sources.iter().any(|src| {
+            !SourceAttach::new(
+                src,
+                PlannedSelect::local_needed(&planned.needed_cols, src),
+                src.offset,
+            )
+            .is_noop()
+        });
+        if any_attach {
+            push(
+                depth,
+                "Attach Annotations".to_string(),
+                Some("Attach Annotations".to_string()),
+            );
+            depth += 1;
+        }
+    }
+    if !planned.residual.is_empty() {
+        push(
+            depth,
+            format!("Filter: {}", render_conjuncts(&planned.residual)),
+            Some("Filter".to_string()),
+        );
+        depth += 1;
+    }
+
+    // ---- join chain: the outermost join is the *last* source in
+    //      execution order; recurse probe-side down to the first scan ----
+    fn render_sources(
+        planned: &PlannedSelect<'_>,
+        upto: usize,
+        depth: usize,
+        prefix: &str,
+        push: &mut impl FnMut(usize, String, Option<String>),
+    ) {
+        let src = &planned.sources[upto];
+        let local = &planned.bindings[src.offset..src.offset + src.arity];
+        let local_value_cols = PlannedSelect::local_value_cols(&planned.value_cols, src);
+        if upto == 0 {
+            let text = describe_scan(src, local, &planned.pushed[0], planned.use_index, &local_value_cols);
+            push(depth, format!("{prefix}{text}"), Some(format!("Scan {}", src.table.name)));
+            if !planned.pushed[0].is_empty() {
+                push(depth + 1, format!("Pushed: {}", render_conjuncts(&planned.pushed[0])), None);
+            }
+        } else {
+            push(
+                depth,
+                format!("{prefix}Hash Join {}", src.table.name),
+                Some(format!("Hash Join {}", src.table.name)),
+            );
+            render_sources(planned, upto - 1, depth + 1, "Probe: ", push);
+            let text = describe_scan(src, local, &planned.pushed[upto], planned.use_index, &local_value_cols);
+            push(
+                depth + 1,
+                format!("Build: {text}"),
+                Some(format!("Scan {} (build)", src.table.name)),
+            );
+            if !planned.pushed[upto].is_empty() {
+                push(depth + 2, format!("Pushed: {}", render_conjuncts(&planned.pushed[upto])), None);
+            }
+        }
+    }
+    render_sources(&planned, planned.sources.len() - 1, depth, "", &mut push);
+
+    // ---- ANALYZE: execute through the profiled batch pipeline and
+    //      splice actuals onto the nodes rendered above ----
+    if analyze {
+        let mut prof = crate::batch::PipelineProfile::default();
+        let exec_started = std::time::Instant::now();
+        let res = run_simple_select_batch(sel, planned, &st, Some(&mut prof))?;
+        let exec_ns = exec_started.elapsed().as_nanos() as u64;
+        let mut used = vec![false; prof.ops.len()];
+        for line in &mut lines[first..] {
+            let Some(label) = &line.label else { continue };
+            let hit = prof.ops.iter().enumerate().find(|(i, op)| {
+                !used[*i] && op.borrow().label == *label
+            });
+            if let Some((i, op)) = hit {
+                used[i] = true;
+                let p = op.borrow();
+                line.text.push_str(&format!(
+                    " (actual: rows={} batches={} time={})",
+                    p.rows,
+                    p.batches,
+                    fmt_ns(p.elapsed_ns)
+                ));
+            }
+        }
+        let s = st.borrow();
+        lines.push(PlanLine {
+            text: format!(
+                "{}Actual: output rows={}, plan time={}, exec time={}",
+                "  ".repeat(indent),
+                res.rows.len(),
+                fmt_ns(plan_ns),
+                fmt_ns(exec_ns)
+            ),
+            label: None,
+        });
+        lines.push(PlanLine {
+            text: format!(
+                "{}Stats: rows_fetched={} scan_filtered={} index_probes={} \
+                 seq_index_probes={} full_scans={} index_only_scans={} \
+                 anns_attached={} batches={} limit_pushdowns={}",
+                "  ".repeat(indent),
+                s.rows_fetched,
+                s.rows_scan_filtered,
+                s.index_probes,
+                s.seq_index_probes,
+                s.full_scans,
+                s.index_only_scans,
+                s.anns_attached,
+                s.scan_batches,
+                s.limit_pushdowns
+            ),
+            label: None,
+        });
+    }
+    Ok(())
+}
+
+/// Recursive half of [`explain_select`]: a SELECT without a set
+/// operation is one branch; with one, the set-op node comes first
+/// (root-down) over the left branch and the recursively-rendered right
+/// side, and the outermost ORDER BY / LIMIT — which
+/// [`run_select_traced`] applies to the *combined* output — wrap the
+/// set-op node rather than the left branch.
+fn explain_select_tree(
+    catalog: &Catalog,
+    sel: &Select,
+    opts: &ExecOptions,
+    analyze: bool,
+    depth: usize,
+    lines: &mut Vec<PlanLine>,
+) -> Result<()> {
+    let Some((op, right)) = &sel.set_op else {
+        return explain_branch(catalog, sel, opts, analyze, true, depth, lines);
+    };
+    let mut depth = depth;
+    if let Some(k) = sel.limit {
+        lines.push(PlanLine {
+            text: format!("{}Limit {k}", "  ".repeat(depth)),
+            label: None,
+        });
+        depth += 1;
+    }
+    if !sel.order_by.is_empty() {
+        let keys = sel
+            .order_by
+            .iter()
+            .map(|((q, n), desc)| {
+                let col = match q {
+                    Some(q) => format!("{q}.{n}"),
+                    None => n.clone(),
+                };
+                if *desc {
+                    format!("{col} DESC")
+                } else {
+                    col
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        lines.push(PlanLine {
+            text: format!("{}Sort: {keys}", "  ".repeat(depth)),
+            label: None,
+        });
+        depth += 1;
+    }
+    let name = match op {
+        SetOp::Union => "Union",
+        SetOp::Intersect => "Intersect",
+        SetOp::Except => "Except",
+    };
+    lines.push(PlanLine {
+        text: format!("{}{name}", "  ".repeat(depth)),
+        label: None,
+    });
+    explain_branch(catalog, sel, opts, analyze, false, depth + 1, lines)?;
+    explain_select_tree(catalog, right, opts, analyze, depth + 1, lines)
+}
+
+/// `EXPLAIN [ANALYZE] SELECT …`: render the plan the executor would
+/// choose as a one-column (`plan`) result — access paths with estimated
+/// cardinalities, join order as a root-down tree, pushed conjuncts, and
+/// LIMIT pushdown.  With `analyze` the statement is executed through the
+/// instrumented batch pipeline and every operator node carries actual
+/// rows / batches / wall time (docs/OBSERVABILITY.md).
+pub fn explain_select(
+    catalog: &Catalog,
+    sel: &Select,
+    opts: &ExecOptions,
+    analyze: bool,
+) -> Result<QueryResult> {
+    let mut lines: Vec<PlanLine> = Vec::new();
+    explain_select_tree(catalog, sel, opts, analyze, 0, &mut lines)?;
+    Ok(QueryResult {
+        columns: vec!["plan".to_string()],
+        rows: lines
+            .into_iter()
+            .map(|l| AnnRow {
+                values: vec![Value::Text(l.text)],
+                anns: vec![Vec::new()],
+            })
+            .collect(),
+        affected: 0,
+        message: None,
+        stats: None,
+    })
 }
 
 /// The column bindings one FROM source contributes (alias-qualified).
@@ -1480,9 +1926,23 @@ pub(crate) struct BuiltBatchPipeline<'a> {
 /// stats, build-side materialization and its errors, `limit_pushdowns`)
 /// mirror [`assemble_row_pipeline`] exactly; only the pull granularity
 /// differs.
+/// Interpose a profiler stage when `EXPLAIN ANALYZE` asked for one;
+/// normal execution (`prof = None`) passes operators through untouched.
+fn maybe_profile<'a>(
+    prof: &mut Option<&mut crate::batch::PipelineProfile>,
+    op: Box<dyn crate::batch::BatchOp<'a> + 'a>,
+    label: impl Into<String>,
+) -> Box<dyn crate::batch::BatchOp<'a> + 'a> {
+    match prof {
+        Some(p) => p.wrap(op, label),
+        None => op,
+    }
+}
+
 fn assemble_batch_pipeline<'a>(
     p: PlannedSelect<'a>,
     st: Rc<RefCell<ExecStats>>,
+    mut prof: Option<&mut crate::batch::PipelineProfile>,
 ) -> Result<BuiltBatchPipeline<'a>> {
     use crate::batch::{self, BatchOp};
     let PlannedSelect {
@@ -1540,13 +2000,25 @@ fn assemble_batch_pipeline<'a>(
             .filter(|a| !a.is_noop());
         let scan = batch::BatchScan::new(base, compiled, attach, src.arity, st.clone());
         op = Some(match op {
-            None => Box::new(scan),
+            None => maybe_profile(
+                &mut prof,
+                Box::new(scan),
+                format!("Scan {}", src.table.name),
+            ),
             Some(left) => {
-                let build = batch::drain_build(scan)?;
+                let build = match prof.as_deref_mut() {
+                    Some(pr) => batch::drain_build(pr.wrap(
+                        Box::new(scan),
+                        format!("Scan {} (build)", src.table.name),
+                    ))?,
+                    None => batch::drain_build(scan)?,
+                };
                 let acc_bindings = &bindings[..src.offset];
                 let next_bindings = &bindings[src.offset..src.offset + src.arity];
                 let key = find_equi_key(&all_conjuncts, acc_bindings, next_bindings);
-                Box::new(batch::BatchJoin::new(left, build, key))
+                let join: Box<dyn BatchOp<'a> + 'a> =
+                    Box::new(batch::BatchJoin::new(left, build, key));
+                maybe_profile(&mut prof, join, format!("Hash Join {}", src.table.name))
             }
         });
     }
@@ -1558,7 +2030,7 @@ fn assemble_batch_pipeline<'a>(
             .iter()
             .map(|c| crate::expr::compile(c, &bindings))
             .collect();
-        op = Box::new(batch::BatchFilter::new(op, compiled));
+        op = maybe_profile(&mut prof, Box::new(batch::BatchFilter::new(op, compiled)), "Filter");
     }
 
     // ---- annotation attachment (lazy mode: survivors only).  Skipped
@@ -1577,25 +2049,28 @@ fn assemble_batch_pipeline<'a>(
             })
             .collect();
         if attachers.iter().any(|a| !a.is_noop()) {
-            op = Box::new(batch::BatchAttach::new(
-                op,
-                attachers,
-                total_arity,
-                st.clone(),
-            ));
+            op = maybe_profile(
+                &mut prof,
+                Box::new(batch::BatchAttach::new(op, attachers, total_arity, st.clone())),
+                "Attach Annotations",
+            );
         }
     }
 
     // ---- AWHERE: annotation-based selection (some annotation satisfies) ----
     if let Some(cond) = awhere {
-        op = Box::new(batch::BatchAWhere::new(op, cond));
+        op = maybe_profile(&mut prof, Box::new(batch::BatchAWhere::new(op, cond)), "AWhere");
     }
 
     // ---- pushed LIMIT: demand-driven, so scans stop (and fetch counts
     //      stay exact on filterless scans) after the k-th tuple ----
     if let Some(k) = push_limit {
         st.borrow_mut().limit_pushdowns += 1;
-        op = Box::new(batch::BatchLimit::new(op, k));
+        op = maybe_profile(
+            &mut prof,
+            Box::new(batch::BatchLimit::new(op, k)),
+            format!("Limit {k}"),
+        );
     }
 
     Ok(BuiltBatchPipeline {
@@ -1766,9 +2241,27 @@ fn run_simple_select_shared(
     opts: &ExecOptions,
     st: &Rc<RefCell<ExecStats>>,
 ) -> Result<QueryResult> {
+    let plan_started = std::time::Instant::now();
     let planned = plan_simple_select(catalog, sel, opts, st, None)?;
+    st.borrow_mut().plan_ns += plan_started.elapsed().as_nanos() as u64;
+    let exec_started = std::time::Instant::now();
+    let res = run_simple_select_planned(catalog, sel, opts, planned, st);
+    st.borrow_mut().exec_ns += exec_started.elapsed().as_nanos() as u64;
+    res
+}
+
+/// Execute an already-planned simple SELECT (the back half of
+/// [`run_simple_select_shared`], split out so planning and execution
+/// wall time can be attributed separately in [`ExecStats`]).
+fn run_simple_select_planned<'a>(
+    _catalog: &'a Catalog,
+    sel: &Select,
+    opts: &ExecOptions,
+    planned: PlannedSelect<'a>,
+    st: &Rc<RefCell<ExecStats>>,
+) -> Result<QueryResult> {
     if opts.batch {
-        return run_simple_select_batch(sel, planned, st);
+        return run_simple_select_batch(sel, planned, st, None);
     }
     let BuiltPipeline {
         stream,
@@ -1816,6 +2309,7 @@ fn run_simple_select_batch(
     sel: &Select,
     planned: PlannedSelect<'_>,
     st: &Rc<RefCell<ExecStats>>,
+    prof: Option<&mut crate::batch::PipelineProfile>,
 ) -> Result<QueryResult> {
     use crate::batch::{self, BATCH_SIZE};
     let BuiltBatchPipeline {
@@ -1823,7 +2317,7 @@ fn run_simple_select_batch(
         bindings,
         items,
         plan: _,
-    } = assemble_batch_pipeline(planned, st.clone())?;
+    } = assemble_batch_pipeline(planned, st.clone(), prof)?;
     let total_arity = bindings.len();
     // pipeline errors surface before projection errors (row-path parity):
     // every consumer below drains the operator tree before touching items
@@ -1952,14 +2446,16 @@ pub fn open_select_cursor<'a>(
             h.catalog == catalog.instance_id() && h.generation == catalog.generation()
         }) || projection_streamable(catalog, sel));
     if can_stream {
+        let plan_started = std::time::Instant::now();
         let planned = plan_simple_select(catalog, sel, opts, &st, hints)?;
+        st.borrow_mut().plan_ns += plan_started.elapsed().as_nanos() as u64;
         if opts.batch {
             // batch streaming: the cursor pulls one batch at a time and
             // hands out its rows, so the scan advances in BATCH_SIZE
             // steps as the consumer pulls (per-batch granularity — the
             // session tests pin that nothing is fetched before the
             // first pull)
-            let built = assemble_batch_pipeline(planned, st.clone())?;
+            let built = assemble_batch_pipeline(planned, st.clone(), None)?;
             let items = built.items?;
             let columns: Vec<String> = items.iter().map(item_name).collect();
             let item_cols: Vec<Vec<usize>> = items

@@ -66,7 +66,7 @@ pub mod xml;
 
 pub use check::CheckReport;
 pub use client::{Connection, LocalConnection, Rows, StatementHandle};
-pub use database::Database;
+pub use database::{Database, SlowQuery};
 pub use durability::{CommitTicket, Durability, DurabilityOptions, RecoveryReport};
 pub use result::{AnnOut, AnnRef, AnnRow, QueryResult};
 pub use session::{Prepared, RowCursor, Session};

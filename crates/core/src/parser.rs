@@ -195,6 +195,12 @@ impl Parser {
                 Ok(Statement::DisapproveOperation { id: self.uint()? })
             }
             t if t.is_kw("SHOW") => self.show(),
+            t if t.is_kw("EXPLAIN") => {
+                self.bump();
+                let analyze = self.accept_kw("ANALYZE");
+                let stmt = Box::new(self.statement()?);
+                Ok(Statement::Explain { analyze, stmt })
+            }
             t if t.is_kw("CHECK") => {
                 self.bump();
                 self.accept_kw("TABLE");
@@ -689,7 +695,11 @@ impl Parser {
             };
             return Ok(Statement::ShowOutdated { table });
         }
-        Err(self.err_here("PENDING OPERATIONS or OUTDATED"))
+        if self.accept_kw("SLOW") {
+            self.expect_kw("QUERIES")?;
+            return Ok(Statement::ShowSlowQueries);
+        }
+        Err(self.err_here("PENDING OPERATIONS, OUTDATED, or SLOW QUERIES"))
     }
 
     fn validate(&mut self) -> Result<Statement> {

@@ -177,8 +177,12 @@ impl<'s> RowCursor<'s> {
     /// The result carries the cursor's final executor counters in
     /// [`QueryResult::stats`].
     pub fn into_result(self) -> Result<QueryResult> {
+        let started = std::time::Instant::now();
         let rows = self.stream.collect::<Result<Vec<AnnRow>>>()?;
-        let stats = self.stats.borrow().clone();
+        let mut stats = self.stats.borrow().clone();
+        stats.exec_ns = stats
+            .exec_ns
+            .saturating_add(started.elapsed().as_nanos() as u64);
         Ok(QueryResult {
             columns: self.columns,
             rows,
@@ -258,21 +262,35 @@ impl<'db> Session<'db> {
     /// transaction control — SELECTs work too, materialized) with the
     /// given parameters.
     pub fn execute(&mut self, stmt: &Prepared, params: &[Value]) -> Result<QueryResult> {
+        let started = std::time::Instant::now();
         let bound = stmt.bind(params)?;
-        self.dispatch(bound)
+        let res = self.dispatch(bound);
+        self.db
+            .note_statement(&stmt.inner.sql, &self.user, started.elapsed(), res.as_ref().ok());
+        res
     }
 
     /// Parse and execute a parameter-less statement in one step — the
     /// path the legacy [`Database::execute`] entry points wrap.
     pub fn run(&mut self, sql: &str) -> Result<QueryResult> {
+        let started = std::time::Instant::now();
         let (stmt, param_count) = parse_prepared(sql)?;
+        let parse_ns = started.elapsed().as_nanos() as u64;
         if param_count > 0 {
             return Err(BdbmsError::param_mismatch(format!(
                 "statement expects {param_count} parameter(s); prepare it and \
                  pass them through query/execute"
             )));
         }
-        self.dispatch(stmt)
+        let mut res = self.dispatch(stmt);
+        if let Ok(qr) = &mut res {
+            if let Some(st) = &mut qr.stats {
+                st.parse_ns = parse_ns;
+            }
+        }
+        self.db
+            .note_statement(sql, &self.user, started.elapsed(), res.as_ref().ok());
+        res
     }
 
     /// The session's transaction state machine: transaction-control
@@ -377,6 +395,15 @@ pub(crate) fn open_cursor<'d>(
         st.clone(),
         hints.as_ref(),
     )?;
+    // cache-outcome classification: a replayed plan that comes back
+    // unchanged is a hit; a changed one means the catalog generation
+    // moved underneath it (invalidation); no hints at all is a miss
+    let em = db.engine_metrics();
+    match (&hints, &plan) {
+        (Some(h), Some(p)) if h == p => em.plan_cache_hits.inc(),
+        (Some(_), _) => em.plan_cache_invalidations.inc(),
+        (None, _) => em.plan_cache_misses.inc(),
+    }
     if let Some(p) = plan {
         // replayed plans come back unchanged — only genuinely new
         // decisions are written to the cache
@@ -515,6 +542,10 @@ fn bind_statement(stmt: &Statement, params: &[Value]) -> Statement {
             from: from.clone(),
             between: *between,
             on: bind_select(on, params),
+        },
+        Statement::Explain { analyze, stmt } => Statement::Explain {
+            analyze: *analyze,
+            stmt: Box::new(bind_statement(stmt, params)),
         },
         // every other statement form is parameter-free by construction
         // (the parser only plants Expr::Param inside expressions)

@@ -93,6 +93,8 @@ pub enum Cmd {
     SetUser {
         user: String,
     },
+    /// Snapshot the metrics registry (read-only; never deferred).
+    Metrics,
     /// The connection is gone (EOF, error, or `Quit`).  No reply.
     Disconnect,
 }
@@ -497,6 +499,9 @@ fn handle(
                 )
             }
         }
+        Cmd::Metrics => encode(&Response::Metrics {
+            snapshot: db.metrics_snapshot(),
+        }),
     };
     send_frame(&stream, &frame);
 }

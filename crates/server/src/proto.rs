@@ -23,7 +23,9 @@
 
 use std::io::{Read, Write};
 
+use bdbms_common::metrics::{HistogramSnapshot, MetricsSnapshot};
 use bdbms_common::{BdbmsError, ErrorCode, Result, Span, Value};
+use bdbms_core::executor::ExecStats;
 use bdbms_core::result::{AnnOut, AnnRow, QueryResult};
 use bdbms_core::xml::XmlNode;
 
@@ -50,6 +52,7 @@ const K_RUN: u8 = 0x08;
 const K_SET_USER: u8 = 0x09;
 const K_PING: u8 = 0x0A;
 const K_QUIT: u8 = 0x0B;
+const K_METRICS: u8 = 0x0C;
 
 const K_HELLO_OK: u8 = 0x81;
 const K_PREPARE_OK: u8 = 0x82;
@@ -59,6 +62,7 @@ const K_ROW_BATCH: u8 = 0x85;
 const K_OK: u8 = 0x86;
 const K_PONG: u8 = 0x87;
 const K_BYE: u8 = 0x88;
+const K_METRICS_OK: u8 = 0x89;
 const K_ERROR: u8 = 0x8F;
 
 /// A client→server message.
@@ -87,6 +91,8 @@ pub enum Request {
     Ping,
     /// Orderly goodbye; answered by `Bye`, then the connection closes.
     Quit,
+    /// Snapshot the server's metrics registry; answered by `Metrics`.
+    Metrics,
 }
 
 /// A server→client message.
@@ -117,6 +123,8 @@ pub enum Response {
     Pong,
     /// Goodbye acknowledgment.
     Bye,
+    /// Point-in-time copy of the engine's metrics registry.
+    Metrics { snapshot: MetricsSnapshot },
     /// The command failed; the full engine error, round-tripped.
     Error { error: BdbmsError, in_txn: bool },
 }
@@ -323,6 +331,63 @@ fn get_row(c: &mut Cur<'_>) -> Result<AnnRow> {
     Ok(AnnRow { values, anns })
 }
 
+/// Executor counters, shipped with every `Result` frame so remote
+/// clients see exactly what a local [`Session`](bdbms_core::Session)
+/// reports (the local-vs-remote parity test pins this).
+fn put_stats(out: &mut Vec<u8>, st: &ExecStats) {
+    put_u64(out, st.rows_fetched);
+    put_u64(out, st.rows_scan_filtered);
+    put_u64(out, st.index_probes);
+    put_u64(out, st.seq_index_probes);
+    put_u64(out, st.full_scans);
+    put_u64(out, st.index_only_scans);
+    put_u64(out, st.anns_attached);
+    put_u64(out, st.limit_pushdowns);
+    put_u64(out, st.rows_limit_discarded);
+    put_u64(out, st.scan_batches);
+    put_u64(out, st.parse_ns);
+    put_u64(out, st.plan_ns);
+    put_u64(out, st.exec_ns);
+    put_u32(out, st.chosen_indexes.len() as u32);
+    for ix in &st.chosen_indexes {
+        put_str(out, ix);
+    }
+    put_u32(out, st.join_order.len() as u32);
+    for pos in &st.join_order {
+        put_u64(out, *pos as u64);
+    }
+}
+
+fn get_stats(c: &mut Cur<'_>) -> Result<ExecStats> {
+    let mut st = ExecStats {
+        rows_fetched: c.u64()?,
+        rows_scan_filtered: c.u64()?,
+        index_probes: c.u64()?,
+        seq_index_probes: c.u64()?,
+        full_scans: c.u64()?,
+        index_only_scans: c.u64()?,
+        anns_attached: c.u64()?,
+        limit_pushdowns: c.u64()?,
+        rows_limit_discarded: c.u64()?,
+        scan_batches: c.u64()?,
+        parse_ns: c.u64()?,
+        plan_ns: c.u64()?,
+        exec_ns: c.u64()?,
+        ..Default::default()
+    };
+    let n = c.u32()? as usize;
+    st.chosen_indexes = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        st.chosen_indexes.push(c.str()?);
+    }
+    let n = c.u32()? as usize;
+    st.join_order = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        st.join_order.push(c.u64()? as usize);
+    }
+    Ok(st)
+}
+
 fn put_result(out: &mut Vec<u8>, r: &QueryResult) {
     put_u32(out, r.columns.len() as u32);
     for c in &r.columns {
@@ -338,6 +403,13 @@ fn put_result(out: &mut Vec<u8>, r: &QueryResult) {
         Some(m) => {
             out.push(1);
             put_str(out, m);
+        }
+    }
+    match &r.stats {
+        None => out.push(0),
+        Some(st) => {
+            out.push(1);
+            put_stats(out, st);
         }
     }
 }
@@ -359,13 +431,72 @@ fn get_result(c: &mut Cur<'_>) -> Result<QueryResult> {
         1 => Some(c.str()?),
         _ => return Err(bad("bad option tag")),
     };
+    let stats = match c.u8()? {
+        0 => None,
+        1 => Some(get_stats(c)?),
+        _ => return Err(bad("bad option tag")),
+    };
     Ok(QueryResult {
         columns,
         rows,
         affected,
         message,
-        // executor counters don't cross the wire
-        stats: None,
+        stats,
+    })
+}
+
+fn put_snapshot(out: &mut Vec<u8>, s: &MetricsSnapshot) {
+    put_u32(out, s.counters.len() as u32);
+    for (n, v) in &s.counters {
+        put_str(out, n);
+        put_u64(out, *v);
+    }
+    put_u32(out, s.gauges.len() as u32);
+    for (n, v) in &s.gauges {
+        put_str(out, n);
+        put_u64(out, *v);
+    }
+    put_u32(out, s.histograms.len() as u32);
+    for (n, h) in &s.histograms {
+        put_str(out, n);
+        put_u64(out, h.count);
+        put_u64(out, h.sum);
+        put_u32(out, h.buckets.len() as u32);
+        for (bound, count) in &h.buckets {
+            put_u64(out, *bound);
+            put_u64(out, *count);
+        }
+    }
+}
+
+fn get_snapshot(c: &mut Cur<'_>) -> Result<MetricsSnapshot> {
+    let n = c.u32()? as usize;
+    let mut counters = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        counters.push((c.str()?, c.u64()?));
+    }
+    let n = c.u32()? as usize;
+    let mut gauges = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        gauges.push((c.str()?, c.u64()?));
+    }
+    let n = c.u32()? as usize;
+    let mut histograms = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = c.str()?;
+        let count = c.u64()?;
+        let sum = c.u64()?;
+        let nb = c.u32()? as usize;
+        let mut buckets = Vec::with_capacity(nb.min(1024));
+        for _ in 0..nb {
+            buckets.push((c.u64()?, c.u64()?));
+        }
+        histograms.push((name, HistogramSnapshot { count, sum, buckets }));
+    }
+    Ok(MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
     })
 }
 
@@ -479,6 +610,7 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> Result<()> {
         }
         Request::Ping => K_PING,
         Request::Quit => K_QUIT,
+        Request::Metrics => K_METRICS,
     };
     write_frame(w, kind, &p)
 }
@@ -518,6 +650,7 @@ pub fn read_request(r: &mut impl Read) -> Result<Option<Request>> {
         K_SET_USER => Request::SetUser { user: c.str()? },
         K_PING => Request::Ping,
         K_QUIT => Request::Quit,
+        K_METRICS => Request::Metrics,
         k => return Err(bad(format!("unknown request kind {k:#x}"))),
     };
     c.done()?;
@@ -575,6 +708,10 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<()> {
         }
         Response::Pong => K_PONG,
         Response::Bye => K_BYE,
+        Response::Metrics { snapshot } => {
+            put_snapshot(&mut p, snapshot);
+            K_METRICS_OK
+        }
         Response::Error { error, in_txn } => {
             put_error(&mut p, error);
             put_bool(&mut p, *in_txn);
@@ -633,6 +770,9 @@ pub fn read_response(r: &mut impl Read) -> Result<Response> {
         K_OK => Response::Ok { in_txn: c.bool()? },
         K_PONG => Response::Pong,
         K_BYE => Response::Bye,
+        K_METRICS_OK => Response::Metrics {
+            snapshot: get_snapshot(&mut c)?,
+        },
         K_ERROR => Response::Error {
             error: get_error(&mut c)?,
             in_txn: c.bool()?,
@@ -702,6 +842,77 @@ mod tests {
         });
         roundtrip_req(Request::Ping);
         roundtrip_req(Request::Quit);
+        roundtrip_req(Request::Metrics);
+    }
+
+    #[test]
+    fn exec_stats_round_trip() {
+        let result = QueryResult {
+            columns: vec!["x".into()],
+            rows: vec![],
+            affected: 0,
+            message: None,
+            stats: Some(ExecStats {
+                rows_fetched: 10,
+                rows_scan_filtered: 3,
+                index_probes: 2,
+                seq_index_probes: 1,
+                full_scans: 4,
+                index_only_scans: 1,
+                anns_attached: 7,
+                chosen_indexes: vec!["gene_gid".into()],
+                join_order: vec![1, 0],
+                limit_pushdowns: 1,
+                rows_limit_discarded: 5,
+                scan_batches: 6,
+                parse_ns: 1_000,
+                plan_ns: 2_000,
+                exec_ns: 3_000,
+            }),
+        };
+        let mut buf = Vec::new();
+        write_response(
+            &mut buf,
+            &Response::Result {
+                result: result.clone(),
+                in_txn: false,
+            },
+        )
+        .unwrap();
+        let Response::Result { result: got, .. } = read_response(&mut buf.as_slice()).unwrap()
+        else {
+            panic!("wrong frame");
+        };
+        assert_eq!(got.stats, result.stats);
+    }
+
+    #[test]
+    fn metrics_snapshot_round_trips() {
+        let snapshot = MetricsSnapshot {
+            counters: vec![("buffer.hits".into(), 42), ("txn.commits".into(), 7)],
+            gauges: vec![("group.fsync_ema_ns".into(), 125_000)],
+            histograms: vec![(
+                "wal.fsync_latency_ns".into(),
+                HistogramSnapshot {
+                    count: 3,
+                    sum: 300_000,
+                    buckets: vec![(131_071, 3)],
+                },
+            )],
+        };
+        let mut buf = Vec::new();
+        write_response(
+            &mut buf,
+            &Response::Metrics {
+                snapshot: snapshot.clone(),
+            },
+        )
+        .unwrap();
+        let Response::Metrics { snapshot: got } = read_response(&mut buf.as_slice()).unwrap()
+        else {
+            panic!("wrong frame");
+        };
+        assert_eq!(got, snapshot);
     }
 
     #[test]

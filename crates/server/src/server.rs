@@ -191,6 +191,7 @@ fn serve_conn(stream: TcpStream, conn: u64, engine: Sender<EngineRequest>) {
             Request::CloseCursor { cursor } => Cmd::CloseCursor { cursor },
             Request::Run { sql } => Cmd::Run { sql },
             Request::SetUser { user } => Cmd::SetUser { user },
+            Request::Metrics => Cmd::Metrics,
         };
         if engine.send(EngineRequest { conn, cmd }).is_err() {
             // engine is gone; tell the client and hang up

@@ -33,6 +33,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use bdbms_common::metrics::Counter;
 use bdbms_common::stats::IoSnapshot;
 use bdbms_common::{BdbmsError, Result};
 
@@ -70,6 +71,27 @@ struct Inner {
     lsn_source: Option<Arc<AtomicU64>>,
     /// No-steal mode: never write a dirty page on eviction.
     pin_dirty: bool,
+    /// Live-observability counters (hit/miss/eviction/writeback).  The
+    /// pool always owns them; a database registers them under
+    /// `buffer.*` names.  `metrics_on` gates the recording so the e13
+    /// overhead workload can measure the instrumented-vs-bare delta.
+    metrics: BufferPoolMetrics,
+    metrics_on: bool,
+}
+
+/// The pool's always-allocated observability instruments.  Handles are
+/// `Arc`-shared so a [`bdbms_common::metrics::MetricsRegistry`] can
+/// export them without the pool depending on any registry.
+#[derive(Debug, Clone, Default)]
+pub struct BufferPoolMetrics {
+    /// Page accesses served from a resident frame.
+    pub hits: Arc<Counter>,
+    /// Page accesses that faulted the page in from the store.
+    pub misses: Arc<Counter>,
+    /// Frames evicted to make room.
+    pub evictions: Arc<Counter>,
+    /// Dirty pages written back to the store (evictions + flushes).
+    pub dirty_writebacks: Arc<Counter>,
 }
 
 impl Inner {
@@ -118,9 +140,10 @@ impl Inner {
     }
 
     /// Ensure `id` is resident, evicting the LRU frame if at capacity.
-    fn fault_in(&mut self, id: PageId) -> Result<()> {
+    /// Returns `true` when the page had to be faulted in (a miss).
+    fn fault_in(&mut self, id: PageId) -> Result<bool> {
         if self.frames.contains_key(&id) {
-            return Ok(());
+            return Ok(false);
         }
         if self.frames.len() >= self.capacity {
             self.evict_one()?;
@@ -144,7 +167,19 @@ impl Inner {
             },
         );
         self.attach_front(id);
-        Ok(())
+        Ok(true)
+    }
+
+    /// Record a hit or a miss on the access counters.
+    #[inline]
+    fn note_access(&self, missed: bool) {
+        if self.metrics_on {
+            if missed {
+                self.metrics.misses.inc();
+            } else {
+                self.metrics.hits.inc();
+            }
+        }
     }
 
     /// Write one frame's bytes back to the store, honouring
@@ -162,6 +197,9 @@ impl Inner {
         stamp_page_checksum(&mut data[..]);
         self.store.write_page(id, &data[..])?;
         self.writes += 1;
+        if self.metrics_on {
+            self.metrics.dirty_writebacks.inc();
+        }
         Ok(())
     }
 
@@ -196,6 +234,9 @@ impl Inner {
             self.write_back(victim, lsn)?;
         }
         self.frames.remove(&victim);
+        if self.metrics_on {
+            self.metrics.evictions.inc();
+        }
         Ok(())
     }
 
@@ -229,8 +270,22 @@ impl BufferPool {
                 gate: None,
                 lsn_source: None,
                 pin_dirty: false,
+                metrics: BufferPoolMetrics::default(),
+                metrics_on: true,
             }),
         }
+    }
+
+    /// Handles to the pool's observability counters (for registry
+    /// export).
+    pub fn metrics(&self) -> BufferPoolMetrics {
+        self.inner.lock().metrics.clone()
+    }
+
+    /// Toggle metric recording.  Only the e13 instrumentation-overhead
+    /// workload turns this off; production pools leave it on.
+    pub fn set_metrics_enabled(&self, on: bool) {
+        self.inner.lock().metrics_on = on;
     }
 
     /// Install the WAL-before-data hook: every dirty-page write is
@@ -287,7 +342,8 @@ impl BufferPool {
     /// Run `f` with read access to page `id`.
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
         let mut g = self.inner.lock();
-        g.fault_in(id)?;
+        let missed = g.fault_in(id)?;
+        g.note_access(missed);
         g.touch(id);
         let frame = g.frames.get(&id).unwrap();
         Ok(f(&frame.data[..]))
@@ -296,7 +352,8 @@ impl BufferPool {
     /// Run `f` with write access to page `id`; the page is marked dirty.
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
         let mut g = self.inner.lock();
-        g.fault_in(id)?;
+        let missed = g.fault_in(id)?;
+        g.note_access(missed);
         g.touch(id);
         let lsn = g.current_lsn();
         let frame = g.frames.get_mut(&id).unwrap();
@@ -417,6 +474,36 @@ mod tests {
         p.with_page(a, |_| ()).unwrap();
         assert_eq!(p.io_stats().reads, 1);
         assert_eq!(p.io_stats().writes, 0);
+    }
+
+    #[test]
+    fn metrics_count_hits_misses_evictions_writebacks() {
+        let p = pool(2);
+        let m = p.metrics();
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.with_page_mut(a, |pg| pg[0] = 1).unwrap();
+        p.with_page_mut(b, |pg| pg[0] = 2).unwrap();
+        assert_eq!(m.hits.get(), 2, "both pages resident after allocate");
+        assert_eq!(m.misses.get(), 0);
+        // Two more dirty pages force both originals out (dirty writeback).
+        let c = p.allocate().unwrap();
+        let d = p.allocate().unwrap();
+        p.with_page_mut(c, |pg| pg[0] = 3).unwrap();
+        p.with_page_mut(d, |pg| pg[0] = 4).unwrap();
+        assert_eq!(m.evictions.get(), 2);
+        assert_eq!(m.dirty_writebacks.get(), 2);
+        // Re-reading an evicted page is a miss.
+        p.with_page(a, |_| ()).unwrap();
+        assert_eq!(m.misses.get(), 1);
+        // The toggle stops recording without disturbing existing values.
+        let hits_before = m.hits.get();
+        p.set_metrics_enabled(false);
+        p.with_page(a, |_| ()).unwrap();
+        assert_eq!(m.hits.get(), hits_before);
+        p.set_metrics_enabled(true);
+        p.with_page(a, |_| ()).unwrap();
+        assert_eq!(m.hits.get(), hits_before + 1);
     }
 
     #[test]

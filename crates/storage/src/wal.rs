@@ -58,6 +58,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use bdbms_common::metrics::{Counter, Gauge, Histogram};
 use bdbms_common::{BdbmsError, Result};
 
 use crate::fault::{FaultInjector, IoDecision};
@@ -160,6 +161,21 @@ pub struct Wal {
     /// the observable group commit amortizes.  Shared so servers and
     /// benchmarks can watch it without holding the WAL lock.
     sync_count: Arc<AtomicU64>,
+    /// Live-observability instruments (appends, fsync count + latency).
+    /// Always allocated; a database registers them under `wal.*` names.
+    metrics: WalMetrics,
+}
+
+/// The log's always-allocated observability instruments, `Arc`-shared
+/// so a [`bdbms_common::metrics::MetricsRegistry`] can export them.
+#[derive(Debug, Clone, Default)]
+pub struct WalMetrics {
+    /// Records appended (buffered, not necessarily durable yet).
+    pub appends: Arc<Counter>,
+    /// Fsyncs issued (mirrors [`Wal::sync_count`] for registry export).
+    pub fsyncs: Arc<Counter>,
+    /// Wall time of each fsync, in nanoseconds.
+    pub fsync_latency_ns: Arc<Histogram>,
 }
 
 /// An opaque append position, taken with [`Wal::position`] before a
@@ -269,6 +285,7 @@ impl Wal {
             flushed_len: active_len,
             hook: None,
             sync_count: Arc::new(AtomicU64::new(0)),
+            metrics: WalMetrics::default(),
         };
         Ok((wal, scan))
     }
@@ -365,9 +382,19 @@ impl Wal {
         self.sync_count.load(Ordering::Relaxed)
     }
 
+    /// Handles to the log's observability instruments (for registry
+    /// export).
+    pub fn metrics(&self) -> WalMetrics {
+        self.metrics.clone()
+    }
+
     fn sync_file(&self, f: &File) -> std::io::Result<()> {
         self.sync_count.fetch_add(1, Ordering::Relaxed);
-        f.sync_all()
+        self.metrics.fsyncs.inc();
+        let started = std::time::Instant::now();
+        let r = f.sync_all();
+        self.metrics.fsync_latency_ns.record_duration(started.elapsed());
+        r
     }
 
     /// Number of live segment files (observability for checkpoint tests).
@@ -400,6 +427,7 @@ impl Wal {
         self.writer.write_all(&crc32(&crc_input).to_le_bytes())?;
         self.writer.write_all(&crc_input)?;
         self.active_len += (FRAME_HEADER + payload.len()) as u64;
+        self.metrics.appends.inc();
         Ok(lsn)
     }
 
@@ -493,6 +521,7 @@ impl Wal {
             lsn: self.next_lsn - 1,
             len: self.active_len,
             sync_count: self.sync_count.clone(),
+            metrics: self.metrics.clone(),
             durability: self.durability,
         })
     }
@@ -747,6 +776,7 @@ pub struct FlushHandle {
     lsn: u64,
     len: u64,
     sync_count: Arc<AtomicU64>,
+    metrics: WalMetrics,
     durability: Durability,
 }
 
@@ -762,7 +792,13 @@ impl FlushHandle {
     pub fn sync(&self) -> Result<()> {
         if self.durability == Durability::Full {
             self.sync_count.fetch_add(1, Ordering::Relaxed);
-            self.file.sync_all()?;
+            self.metrics.fsyncs.inc();
+            let started = std::time::Instant::now();
+            let r = self.file.sync_all();
+            self.metrics
+                .fsync_latency_ns
+                .record_duration(started.elapsed());
+            r?;
         }
         Ok(())
     }
@@ -824,7 +860,21 @@ struct GroupShared {
 pub struct GroupCommitter {
     wal: SharedWal,
     shared: Arc<GroupShared>,
+    metrics: GroupCommitMetrics,
     flusher: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The flusher's observability instruments: the group-size distribution
+/// and the live fsync-cost EMA that drives the adaptive gather window.
+/// These used to be locals inside [`GroupCommitter::flush_loop`]; the
+/// registry export makes e14's commits-per-fsync claim observable on a
+/// live server.
+#[derive(Debug, Clone, Default)]
+pub struct GroupCommitMetrics {
+    /// Commits carried per flush round.
+    pub group_sizes: Arc<Histogram>,
+    /// Exponential moving average of fsync wall time, nanoseconds.
+    pub fsync_ema_ns: Arc<Gauge>,
 }
 
 impl GroupCommitter {
@@ -835,17 +885,26 @@ impl GroupCommitter {
             cond: std::sync::Condvar::new(),
             shutdown: std::sync::atomic::AtomicBool::new(false),
         });
+        let metrics = GroupCommitMetrics::default();
         let thread_shared = shared.clone();
         let thread_wal = wal.clone();
+        let thread_metrics = metrics.clone();
         let flusher = std::thread::Builder::new()
             .name("bdbms-group-commit".into())
-            .spawn(move || Self::flush_loop(thread_wal, thread_shared))
+            .spawn(move || Self::flush_loop(thread_wal, thread_shared, thread_metrics))
             .expect("spawn group-commit flusher");
         GroupCommitter {
             wal,
             shared,
+            metrics,
             flusher: Some(flusher),
         }
+    }
+
+    /// Handles to the flusher's observability instruments (for registry
+    /// export).
+    pub fn metrics(&self) -> GroupCommitMetrics {
+        self.metrics.clone()
     }
 
     /// Queue a committed-but-unflushed LSN at the flush gate.  Call
@@ -868,7 +927,7 @@ impl GroupCommitter {
         &self.wal
     }
 
-    fn flush_loop(wal: SharedWal, shared: Arc<GroupShared>) {
+    fn flush_loop(wal: SharedWal, shared: Arc<GroupShared>, metrics: GroupCommitMetrics) {
         // Adaptive gather: when the previous group carried more than one
         // commit (concurrent committers), linger for about half the
         // measured fsync cost before flushing, so commits the engine is
@@ -900,6 +959,7 @@ impl GroupCommitter {
                 batch.append(&mut pending);
             }
             last_group = batch.len();
+            metrics.group_sizes.record(batch.len() as u64);
             // one flush covers the whole batch — committers appended
             // before submitting, so every batched LSN is in the log.
             // Skip the flush entirely if something else (a checkpoint,
@@ -924,6 +984,9 @@ impl GroupCommitter {
                     match handle.sync() {
                         Ok(()) => {
                             fsync_ema = (fsync_ema * 7 + started.elapsed()) / 8;
+                            metrics
+                                .fsync_ema_ns
+                                .set(fsync_ema.as_nanos().min(u64::MAX as u128) as u64);
                             Ok(wal.with(|w| {
                                 w.complete_flush(&handle);
                                 w.flushed_lsn()

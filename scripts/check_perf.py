@@ -81,6 +81,11 @@ ABSOLUTE_FLOOR = {
     # ...and CONTAINS SEQ through the sequence index must beat the naive
     # full scan >= 10x.
     "indexed substring (CONTAINS SEQ vs scan)": 10.0,
+    # Observability acceptance (ISSUE 10): always-on metric counters may
+    # cost at most ~5% on the hottest page-fetch path.  The row's ratio
+    # is (metrics off) / (metrics on), so 0.95 means the instrumented
+    # leg runs no more than ~5% slower than the uninstrumented one.
+    "instrumentation overhead (metrics on vs off)": 0.95,
     # Batch-executor acceptance (ISSUE 9): the vectorized next_batch()
     # pipeline must run the full-scan aggregate >= 2x faster than the
     # row-at-a-time next() pipeline on the same plan.  Pure CPU-bound
